@@ -1,0 +1,263 @@
+//! The CUP baseline: convolutional autoencoder + solver legalization.
+
+use crate::topo::{layout_to_topo_image, topo_image_to_matrix, TOPO_SIDE};
+use pp_drc::{check_layout, RuleDeck};
+use pp_geometry::{GrayImage, Layout};
+use pp_nn::{Adam, AvgPool2, Conv2d, Layer, Linear, Param, Sequential, Silu, Tanh, Tensor, Upsample2};
+use pp_solver::{LegalizeSolver, SolverConfig, SolverSetting};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reshape adapter so `Linear` can sit inside a conv [`Sequential`].
+#[derive(Debug, Clone)]
+struct Reshape {
+    to: [usize; 4],
+    from: Option<[usize; 4]>,
+}
+
+impl Reshape {
+    fn new(to: [usize; 4]) -> Self {
+        Reshape { to, from: None }
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        self.from = Some(x.shape());
+        let mut to = self.to;
+        to[0] = x.n();
+        x.reshape(to)
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        grad.reshape(self.from.take().expect("backward without forward"))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+const LATENT: usize = 24;
+
+/// CUP: a topology autoencoder whose latent perturbations generate new
+/// topologies, legalized by the nonlinear solver.
+///
+/// # Example
+///
+/// ```no_run
+/// use pp_baselines::CupBaseline;
+/// use pp_pdk::{RuleBasedGenerator, SynthNode};
+///
+/// let node = SynthNode::default();
+/// let training = RuleBasedGenerator::new(node.clone(), 1).generate_batch(100);
+/// let mut cup = CupBaseline::new(node.rules().clone(), 0);
+/// cup.train(&training, 200, 8, 1e-3, 0);
+/// let outcomes = cup.generate(&training, 10, 0);
+/// let legal = outcomes.iter().filter(|o| o.legal).count();
+/// assert!(legal <= 10);
+/// ```
+pub struct CupBaseline {
+    encoder: Sequential,
+    decoder: Sequential,
+    deck: RuleDeck,
+    clip: u32,
+}
+
+/// One generated sample with its legalization outcome.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The legalized layout (present when the solver produced one).
+    pub layout: Option<Layout>,
+    /// Whether the final layout passed the full sign-off deck.
+    pub legal: bool,
+    /// Wall-clock seconds spent on this sample (model + solver).
+    pub seconds: f64,
+}
+
+impl CupBaseline {
+    /// Creates an untrained baseline targeting 32×32 clips judged by
+    /// `deck`.
+    pub fn new(deck: RuleDeck, seed: u64) -> Self {
+        let side = TOPO_SIDE as usize; // 16 -> 8 -> 4 spatially
+        let flat = 16 * (side / 4) * (side / 4);
+        CupBaseline {
+            encoder: Sequential::new(vec![
+                Box::new(Conv2d::new(1, 8, 3, seed)),
+                Box::new(Silu::new()),
+                Box::new(AvgPool2::new()),
+                Box::new(Conv2d::new(8, 16, 3, seed ^ 1)),
+                Box::new(Silu::new()),
+                Box::new(AvgPool2::new()),
+                Box::new(Reshape::new([1, flat, 1, 1])),
+                Box::new(Linear::new(flat, LATENT, seed ^ 2)),
+            ]),
+            decoder: Sequential::new(vec![
+                Box::new(Linear::new(LATENT, flat, seed ^ 3)),
+                Box::new(Silu::new()),
+                Box::new(Reshape::new([1, 16, side / 4, side / 4])),
+                Box::new(Upsample2::new()),
+                Box::new(Conv2d::new(16, 8, 3, seed ^ 4)),
+                Box::new(Silu::new()),
+                Box::new(Upsample2::new()),
+                Box::new(Conv2d::new(8, 4, 3, seed ^ 5)),
+                Box::new(Silu::new()),
+                Box::new(Conv2d::new(4, 1, 3, seed ^ 6)),
+                Box::new(Tanh::new()),
+            ]),
+            deck,
+            clip: 32,
+        }
+    }
+
+    /// Trains the autoencoder on DR-clean training layouts; returns the
+    /// tail reconstruction loss.
+    pub fn train(
+        &mut self,
+        training: &[Layout],
+        steps: usize,
+        batch: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f32 {
+        let images: Vec<GrayImage> = training
+            .iter()
+            .filter_map(layout_to_topo_image)
+            .collect();
+        assert!(!images.is_empty(), "no usable training topologies");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt_e = Adam::new(lr);
+        let mut opt_d = Adam::new(lr);
+        let side = TOPO_SIDE as usize;
+        let mut tail = 0.0;
+        let mut tail_n = 0;
+        for step in 0..steps {
+            let mut x = Tensor::zeros([batch, 1, side, side]);
+            for b in 0..batch {
+                let img = &images[rng.gen_range(0..images.len())];
+                x.plane_mut(b, 0).copy_from_slice(img.as_pixels());
+            }
+            self.encoder.zero_grad();
+            self.decoder.zero_grad();
+            let z = self.encoder.forward(x.clone());
+            let y = self.decoder.forward(z);
+            let mut grad = Tensor::zeros(y.shape());
+            let mut loss = 0.0f32;
+            let scale = 2.0 / y.len() as f32;
+            for i in 0..y.len() {
+                let e = y.data()[i] - x.data()[i];
+                loss += e * e / y.len() as f32;
+                grad.data_mut()[i] = scale * e;
+            }
+            let gz = self.decoder.backward(grad);
+            let _ = self.encoder.backward(gz);
+            opt_d.step(&mut self.decoder);
+            opt_e.step(&mut self.encoder);
+            if step >= steps - steps / 4 - 1 {
+                tail += loss;
+                tail_n += 1;
+            }
+        }
+        tail / tail_n.max(1) as f32
+    }
+
+    /// Generates `n` candidate patterns by perturbing latents of random
+    /// seed layouts, then legalizing with the solver and checking the
+    /// sign-off deck.
+    pub fn generate(&mut self, seeds: &[Layout], n: usize, seed: u64) -> Vec<BaselineOutcome> {
+        let images: Vec<GrayImage> = seeds.iter().filter_map(layout_to_topo_image).collect();
+        assert!(!images.is_empty(), "no usable seed topologies");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let side = TOPO_SIDE as usize;
+        let solver = LegalizeSolver::with_config(
+            SolverSetting::ComplexDiscrete,
+            SolverConfig {
+                size_target_abs: Some((f64::from(self.clip), f64::from(self.clip))),
+                ..SolverConfig::default()
+            },
+        );
+        (0..n)
+            .map(|i| {
+                let start = std::time::Instant::now();
+                let img = &images[rng.gen_range(0..images.len())];
+                let mut x = Tensor::zeros([1, 1, side, side]);
+                x.plane_mut(0, 0).copy_from_slice(img.as_pixels());
+                let mut z = self.encoder.forward(x);
+                for v in z.data_mut() {
+                    *v += rng.gen_range(-1.0f32..1.0);
+                }
+                let y = self.decoder.forward(z);
+                let gen = GrayImage::from_pixels(TOPO_SIDE, TOPO_SIDE, y.into_vec());
+                let outcome = legalize_and_check(&gen, &solver, &self.deck, seed ^ i as u64);
+                BaselineOutcome {
+                    seconds: start.elapsed().as_secs_f64(),
+                    ..outcome
+                }
+            })
+            .collect()
+    }
+}
+
+/// Shared tail: topology image → solver → sign-off check.
+pub(crate) fn legalize_and_check(
+    gen: &GrayImage,
+    solver: &LegalizeSolver,
+    deck: &RuleDeck,
+    seed: u64,
+) -> BaselineOutcome {
+    let Some(topo) = topo_image_to_matrix(gen) else {
+        return BaselineOutcome {
+            layout: None,
+            legal: false,
+            seconds: 0.0,
+        };
+    };
+    let solved = solver.solve(&topo, seed);
+    match solved.pattern {
+        Some(pattern) => {
+            let layout = pattern.to_layout();
+            let legal = check_layout(&layout, deck).is_clean() && layout.metal_area() > 0;
+            BaselineOutcome {
+                layout: Some(layout),
+                legal,
+                seconds: 0.0,
+            }
+        }
+        None => BaselineOutcome {
+            layout: None,
+            legal: false,
+            seconds: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_pdk::{RuleBasedGenerator, SynthNode};
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let node = SynthNode::default();
+        let training = RuleBasedGenerator::new(node.clone(), 5).generate_batch(30);
+        let mut cup = CupBaseline::new(node.rules().clone(), 0);
+        let early = cup.train(&training, 5, 4, 2e-3, 0);
+        let late = cup.train(&training, 60, 4, 2e-3, 1);
+        assert!(late < early, "loss should drop: {early} -> {late}");
+    }
+
+    #[test]
+    fn generate_reports_outcomes() {
+        let node = SynthNode::default();
+        let training = RuleBasedGenerator::new(node.clone(), 6).generate_batch(20);
+        let mut cup = CupBaseline::new(node.rules().clone(), 1);
+        let _ = cup.train(&training, 20, 4, 2e-3, 2);
+        let out = cup.generate(&training, 5, 3);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|o| o.seconds >= 0.0));
+        // Legal implies a layout exists.
+        for o in &out {
+            if o.legal {
+                assert!(o.layout.is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Fixed-size topology rasters shared by both baselines.
+//!
+//! Squish-based generators operate on topology matrices of a fixed
+//! training size. Layout clips squish to matrices of varying small
+//! sizes, so they are padded onto a `TOPO_SIDE`×`TOPO_SIDE` canvas for
+//! training and trimmed back after generation.
+
+use pp_geometry::{GrayImage, SquishPattern, TopologyMatrix};
+
+/// The topology raster side used by the baselines (the paper trains CUP
+/// and DiffPattern at 128×128; scaled to our 32×32 clips).
+pub const TOPO_SIDE: u32 = 16;
+
+/// Squishes a layout and renders its topology matrix as a ±1 image,
+/// top-left anchored on the fixed canvas.
+///
+/// Returns `None` if the topology exceeds the canvas (does not happen
+/// for SynthNode clips, whose scan-line counts are bounded well below
+/// [`TOPO_SIDE`]).
+pub fn layout_to_topo_image(layout: &pp_geometry::Layout) -> Option<GrayImage> {
+    let squish = SquishPattern::from_layout(layout);
+    let topo = squish.topology();
+    if topo.rows() > TOPO_SIDE as usize || topo.cols() > TOPO_SIDE as usize {
+        return None;
+    }
+    let mut img = GrayImage::filled(TOPO_SIDE, TOPO_SIDE, -1.0);
+    for r in 0..topo.rows() {
+        for c in 0..topo.cols() {
+            if topo.get(r, c) {
+                img.set(c as u32, r as u32, 1.0);
+            }
+        }
+    }
+    Some(img)
+}
+
+/// Thresholds a generated topology image and trims empty border rows and
+/// columns, returning the topology matrix (or `None` when empty).
+pub fn topo_image_to_matrix(img: &GrayImage) -> Option<TopologyMatrix> {
+    let side = img.width() as usize;
+    let filled = |r: usize, c: usize| img.get(c as u32, r as u32) > 0.0;
+    let mut r0 = side;
+    let mut r1 = 0usize;
+    let mut c0 = side;
+    let mut c1 = 0usize;
+    for r in 0..side {
+        for c in 0..side {
+            if filled(r, c) {
+                r0 = r0.min(r);
+                r1 = r1.max(r + 1);
+                c0 = c0.min(c);
+                c1 = c1.max(c + 1);
+            }
+        }
+    }
+    if r0 >= r1 || c0 >= c1 {
+        return None;
+    }
+    let mut topo = TopologyMatrix::new(r1 - r0, c1 - c0);
+    for r in r0..r1 {
+        for c in c0..c1 {
+            topo.set(r - r0, c - c0, filled(r, c));
+        }
+    }
+    Some(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_geometry::{Layout, Rect};
+
+    #[test]
+    fn roundtrip_topology_modulo_margins() {
+        // Two wires -> squish topology has one filled row with cells at
+        // columns 1 and 3; trimming drops the empty margin rows/cols.
+        let mut l = Layout::new(32, 32);
+        l.fill_rect(Rect::new(4, 4, 3, 20));
+        l.fill_rect(Rect::new(12, 4, 3, 20));
+        let full = SquishPattern::from_layout(&l);
+        assert_eq!((full.topology().rows(), full.topology().cols()), (3, 5));
+        let img = layout_to_topo_image(&l).unwrap();
+        let topo = topo_image_to_matrix(&img).unwrap();
+        assert_eq!((topo.rows(), topo.cols()), (1, 3));
+        assert!(topo.get(0, 0) && !topo.get(0, 1) && topo.get(0, 2));
+    }
+
+    #[test]
+    fn empty_image_gives_none() {
+        let img = GrayImage::filled(TOPO_SIDE, TOPO_SIDE, -1.0);
+        assert!(topo_image_to_matrix(&img).is_none());
+    }
+
+    #[test]
+    fn trimming_removes_borders() {
+        let mut img = GrayImage::filled(TOPO_SIDE, TOPO_SIDE, -1.0);
+        img.set(5, 7, 1.0);
+        img.set(6, 7, 1.0);
+        let topo = topo_image_to_matrix(&img).unwrap();
+        assert_eq!((topo.rows(), topo.cols()), (1, 2));
+        assert!(topo.get(0, 0) && topo.get(0, 1));
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion benches for the design-choice ablations called out in
+//! DESIGN.md: denoiser threshold, selection strategy cost, and network
+//! width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_diffusion::{DiffusionConfig, DiffusionModel};
+use pp_geometry::GrayImage;
+use pp_inpaint::{Denoiser, MaskSet, NlmDenoiser, TemplateDenoiser, ThresholdDenoiser};
+use pp_pdk::SynthNode;
+use pp_selection::{select_representatives, PcaSelector};
+
+/// Template-matching threshold T (Algorithm 1): cost is flat in T; the
+/// quality impact is measured by `table3`-style runs.
+fn bench_denoise_threshold(c: &mut Criterion) {
+    let node = SynthNode::default();
+    let model = DiffusionModel::new(DiffusionConfig::standard(node.clip()), 0);
+    let starter = node.starter_patterns()[0].clone();
+    let raw = model.sample_inpaint(
+        &GrayImage::from_layout(&starter),
+        MaskSet::Default.masks(node.clip())[0].as_image(),
+        3,
+    );
+    let mut group = c.benchmark_group("denoise_threshold");
+    for t in [1u32, 2, 4] {
+        let d = TemplateDenoiser::new(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| d.denoise(&raw, &starter))
+        });
+    }
+    group.finish();
+}
+
+/// Denoiser scheme cost comparison (template vs nlm vs none).
+fn bench_denoiser_schemes(c: &mut Criterion) {
+    let node = SynthNode::default();
+    let model = DiffusionModel::new(DiffusionConfig::standard(node.clip()), 0);
+    let starter = node.starter_patterns()[0].clone();
+    let raw = model.sample_inpaint(
+        &GrayImage::from_layout(&starter),
+        MaskSet::Default.masks(node.clip())[0].as_image(),
+        3,
+    );
+    let mut group = c.benchmark_group("denoiser_scheme");
+    let schemes: [&dyn Denoiser; 3] = [
+        &TemplateDenoiser::new(2),
+        &NlmDenoiser::new(),
+        &ThresholdDenoiser::new(),
+    ];
+    for d in schemes {
+        group.bench_function(d.name(), |b| b.iter(|| d.denoise(&raw, &starter)));
+    }
+    group.finish();
+}
+
+/// PCA + farthest-point selection vs plain farthest-point on raw pixels
+/// (the paper's Algorithm 2 vs a no-PCA ablation).
+fn bench_selection(c: &mut Criterion) {
+    let node = SynthNode::default();
+    let library: Vec<_> = (0..8)
+        .flat_map(|_| node.starter_patterns())
+        .collect();
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    group.bench_function("pca_farthest_point", |b| {
+        let selector = PcaSelector::new(0.9, 0.4, 1);
+        b.iter(|| selector.select(&library, 10))
+    });
+    group.bench_function("raw_farthest_point", |b| {
+        let features: Vec<Vec<f32>> = library
+            .iter()
+            .map(|l| l.iter().map(|p| if p { 1.0 } else { -1.0 }).collect())
+            .collect();
+        b.iter(|| select_representatives(&features, 10, |_| true, 1))
+    });
+    group.finish();
+}
+
+/// U-Net width ablation: sampling cost vs base channel count.
+fn bench_model_width(c: &mut Criterion) {
+    let node = SynthNode::default();
+    let img = GrayImage::filled(node.clip(), node.clip(), -1.0);
+    let mask = GrayImage::filled(node.clip(), node.clip(), 1.0);
+    let mut group = c.benchmark_group("unet_width");
+    group.sample_size(10);
+    for base_ch in [8usize, 16, 24] {
+        let cfg = DiffusionConfig {
+            base_ch,
+            ..DiffusionConfig::standard(node.clip())
+        };
+        let model = DiffusionModel::new(cfg, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(base_ch), &base_ch, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                model.sample_inpaint(&img, &mask, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_denoise_threshold, bench_denoiser_schemes, bench_selection, bench_model_width
+}
+criterion_main!(benches);

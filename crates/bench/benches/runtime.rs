@@ -1,0 +1,75 @@
+//! Criterion benches backing Table II and Figure 9: the per-sample cost
+//! of each pipeline stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_diffusion::{DiffusionConfig, DiffusionModel};
+use pp_drc::check_layout;
+use pp_geometry::GrayImage;
+use pp_inpaint::{Denoiser, MaskSet, TemplateDenoiser};
+use pp_pdk::SynthNode;
+use pp_solver::{random_topology, LegalizeSolver, SolverSetting};
+
+/// One DDIM inpainting sample (untrained weights; runtime is
+/// architecture-bound, not weight-bound).
+fn bench_inpaint(c: &mut Criterion) {
+    let node = SynthNode::default();
+    let model = DiffusionModel::new(DiffusionConfig::standard(node.clip()), 0);
+    let starter = &node.starter_patterns()[0];
+    let img = GrayImage::from_layout(starter);
+    let mask = MaskSet::Default.masks(node.clip())[0].clone();
+    c.bench_function("inpaint_one_sample", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            model.sample_inpaint(&img, mask.as_image(), seed)
+        });
+    });
+}
+
+/// Template-based denoising of one raw sample.
+fn bench_denoise(c: &mut Criterion) {
+    let node = SynthNode::default();
+    let model = DiffusionModel::new(DiffusionConfig::standard(node.clip()), 0);
+    let starter = node.starter_patterns()[0].clone();
+    let img = GrayImage::from_layout(&starter);
+    let mask = MaskSet::Default.masks(node.clip())[0].clone();
+    let raw = model.sample_inpaint(&img, mask.as_image(), 7);
+    let denoiser = TemplateDenoiser::new(2);
+    c.bench_function("template_denoise_one_sample", |b| {
+        b.iter(|| denoiser.denoise(&raw, &starter));
+    });
+}
+
+/// Sign-off DRC of one clip.
+fn bench_drc(c: &mut Criterion) {
+    let node = SynthNode::default();
+    let starter = node.starter_patterns()[5].clone();
+    c.bench_function("drc_check_one_clip", |b| {
+        b.iter(|| check_layout(&starter, node.rules()));
+    });
+}
+
+/// Solver legalization across settings and sizes (the Figure 9 axes).
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_legalize");
+    group.sample_size(10);
+    for setting in SolverSetting::ALL {
+        for size in [10usize, 40] {
+            let solver = LegalizeSolver::new(setting);
+            let topo = random_topology(size, 1);
+            group.bench_with_input(
+                BenchmarkId::new(setting.to_string(), size),
+                &topo,
+                |b, topo| b.iter(|| solver.solve(topo, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inpaint, bench_denoise, bench_drc, bench_solver
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates Figure 8: a starter pattern and five generated
+//! variations, written as PGM images plus terminal ASCII art.
+//!
+//! Run: `cargo run -p pp-bench --release --bin fig8`
+//! Output: `bench_results/fig8/*.pgm`
+
+use patternpaint_core::PipelineConfig;
+use pp_bench::{cached_pipeline, Variant};
+use pp_drc::check_layout;
+use pp_geometry::render::{to_ascii, write_pgm};
+use pp_inpaint::{Denoiser, MaskSet, TemplateDenoiser};
+use pp_pdk::SynthNode;
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+fn main() {
+    let node = SynthNode::default();
+    let cfg = PipelineConfig::standard();
+    let pp = cached_pipeline(Variant { name: "sd1-ft", seed: 101, finetuned: true }, &cfg);
+
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/fig8");
+    let _ = fs::create_dir_all(&out_dir);
+
+    let starter = pp.starters()[8].clone(); // the H-pattern starter
+    println!("Figure 8 — starter pattern:");
+    println!("{}", to_ascii(&starter));
+    if let Ok(f) = File::create(out_dir.join("starter.pgm")) {
+        let _ = write_pgm(&starter, BufWriter::new(f));
+    }
+
+    // Generate variations until five DR-clean distinct ones are found.
+    let denoiser = TemplateDenoiser::new(2);
+    let masks: Vec<_> = MaskSet::ALL
+        .iter()
+        .flat_map(|s| s.masks(node.clip()))
+        .collect();
+    let mut found = 0usize;
+    let mut attempt = 0u64;
+    while found < 5 && attempt < 400 {
+        let mask = &masks[(attempt as usize) % masks.len()];
+        let raw = pp.generate_raw(&[(starter.clone(), mask.clone())], 0xf18 + attempt);
+        attempt += 1;
+        let candidate = denoiser.denoise(&raw[0].raw, &starter);
+        if candidate == starter || candidate.metal_area() == 0 {
+            continue;
+        }
+        if check_layout(&candidate, node.rules()).is_clean() {
+            found += 1;
+            println!("generated variation {found} (mask {:?}):", mask.region());
+            println!("{}", to_ascii(&candidate));
+            if let Ok(f) = File::create(out_dir.join(format!("variation{found}.pgm"))) {
+                let _ = write_pgm(&candidate, BufWriter::new(f));
+            }
+        }
+    }
+    println!("wrote {} variations to {}", found, out_dir.display());
+    if found < 5 {
+        println!("(fewer than 5 after {attempt} attempts — rerun or raise PP_SCALE)");
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerates Figure 9: nonlinear-solver runtime and success rate
+//! versus topology size under three rule settings, with PatternPaint's
+//! template-denoising runtime as the flat reference line.
+//!
+//! Run: `cargo run -p pp-bench --release --bin fig9`
+
+use pp_bench::dump_json;
+use pp_geometry::{GrayImage, Layout, Rect};
+use pp_inpaint::{Denoiser, TemplateDenoiser};
+use pp_solver::{random_topology, LegalizeSolver, SolverSetting};
+use serde_json::json;
+use std::time::Instant;
+
+/// Template-denoise runtime on a clip whose squish topology has roughly
+/// `size` scan lines per axis (the fair PatternPaint-side comparison).
+fn denoise_runtime(size: usize) -> f64 {
+    let side = (4 * size) as u32;
+    let mut template = Layout::new(side, side);
+    let mut x = 2u32;
+    while x + 3 < side {
+        template.fill_rect(Rect::new(x, 2, 3, side - 4));
+        x += 8;
+    }
+    let img = GrayImage::from_layout(&template);
+    let d = TemplateDenoiser::new(2);
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let _ = d.denoise(&img, &template);
+    }
+    t0.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn main() {
+    let sizes = [10usize, 20, 30, 40, 50, 60, 70, 80];
+    let trials = 10u64;
+    let mut jrows = Vec::new();
+
+    println!("Figure 9 — solver runtime (s) and success rate (%) vs topology size");
+    println!(
+        "{:>5} {:>18} {:>12} {:>10}",
+        "size", "setting", "runtime (s)", "success"
+    );
+    for &size in &sizes {
+        for setting in SolverSetting::ALL {
+            let solver = LegalizeSolver::new(setting);
+            let t0 = Instant::now();
+            let ok = (0..trials)
+                .filter(|&s| solver.solve(&random_topology(size, s), s).success)
+                .count();
+            let avg = t0.elapsed().as_secs_f64() / trials as f64;
+            let pct = 100.0 * ok as f64 / trials as f64;
+            println!(
+                "{:>5} {:>18} {:>12.5} {:>9.0}%",
+                size,
+                setting.to_string(),
+                avg,
+                pct
+            );
+            jrows.push(json!({
+                "size": size, "setting": setting.to_string(),
+                "runtime_s": avg, "success_pct": pct,
+            }));
+        }
+        let dn = denoise_runtime(size);
+        println!(
+            "{:>5} {:>18} {:>12.5} {:>10}",
+            size, "patternpaint-denoise", dn, "-"
+        );
+        jrows.push(json!({
+            "size": size, "setting": "patternpaint-denoise", "runtime_s": dn,
+        }));
+    }
+    println!();
+    println!("paper reference (Fig. 9): solver runtime grows steeply with size and");
+    println!("rule complexity; success <50% past 60x60 under complex settings, while");
+    println!("PatternPaint's denoising stays flat and orders of magnitude cheaper.");
+    dump_json("fig9", &json!({ "rows": jrows }));
+}

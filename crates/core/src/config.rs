@@ -1,0 +1,186 @@
+//! Pipeline configuration.
+
+use pp_diffusion::DiffusionConfig;
+use serde::{Deserialize, Serialize};
+
+/// Pretraining hyperparameters (the foundation-model stand-in).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PretrainConfig {
+    /// Foundation corpus size.
+    pub corpus: usize,
+    /// Optimiser steps.
+    pub steps: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+/// Few-shot finetuning hyperparameters (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneConfig {
+    /// Optimiser steps (the paper finetunes for ~10 minutes on an A100).
+    pub steps: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Learning rate (paper: 5e-6 for SD-scale models; scaled up for the
+    /// small substrate).
+    pub lr: f32,
+    /// Prior-preservation weight λ of Eq. 7.
+    pub lambda: f32,
+    /// Number of prior-class samples generated before finetuning.
+    pub prior_count: usize,
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Diffusion model architecture/sampling config.
+    pub model: DiffusionConfig,
+    /// Pretraining settings.
+    pub pretrain: PretrainConfig,
+    /// Finetuning settings.
+    pub finetune: FinetuneConfig,
+    /// Variations generated per (starter, mask) pair in the initial
+    /// round (the paper's `v`; it uses 100 at industrial scale).
+    pub variations: usize,
+    /// Template-denoiser threshold `T`.
+    pub denoise_threshold: u32,
+    /// Representative layouts selected per iteration (paper: 100).
+    pub select_k: usize,
+    /// Samples generated per iteration (paper: 5000).
+    pub samples_per_iteration: usize,
+    /// Density ceiling for selection (paper: 0.4).
+    pub max_density: f64,
+    /// PCA explained-variance target (paper: 0.9).
+    pub pca_explained: f64,
+    /// Worker threads for sampling.
+    pub threads: usize,
+}
+
+impl PipelineConfig {
+    /// The configuration used for the headline experiments (32×32 clips,
+    /// counts scaled ~20× down from the paper; see EXPERIMENTS.md).
+    pub fn standard() -> Self {
+        PipelineConfig {
+            model: DiffusionConfig::standard(32),
+            pretrain: PretrainConfig {
+                corpus: 512,
+                steps: 600,
+                batch: 4,
+                lr: 2e-3,
+            },
+            finetune: FinetuneConfig {
+                steps: 120,
+                batch: 4,
+                lr: 1e-3,
+                lambda: 1.0,
+                prior_count: 16,
+            },
+            variations: 2,
+            denoise_threshold: 2,
+            select_k: 40,
+            samples_per_iteration: 200,
+            max_density: 0.4,
+            pca_explained: 0.9,
+            threads: 2,
+        }
+    }
+
+    /// A fast configuration for examples and CI-style runs.
+    pub fn quick() -> Self {
+        PipelineConfig {
+            model: DiffusionConfig::standard(32),
+            pretrain: PretrainConfig {
+                corpus: 128,
+                steps: 120,
+                batch: 4,
+                lr: 2e-3,
+            },
+            finetune: FinetuneConfig {
+                steps: 40,
+                batch: 4,
+                lr: 1e-3,
+                lambda: 0.5,
+                prior_count: 8,
+            },
+            variations: 1,
+            denoise_threshold: 2,
+            select_k: 10,
+            samples_per_iteration: 30,
+            max_density: 0.4,
+            pca_explained: 0.9,
+            threads: 2,
+        }
+    }
+
+    /// A minimal configuration for unit tests (16×16 clips, tiny model).
+    pub fn tiny() -> Self {
+        PipelineConfig {
+            model: DiffusionConfig::tiny(16),
+            pretrain: PretrainConfig {
+                corpus: 16,
+                steps: 10,
+                batch: 2,
+                lr: 2e-3,
+            },
+            finetune: FinetuneConfig {
+                steps: 5,
+                batch: 2,
+                lr: 1e-3,
+                lambda: 0.5,
+                prior_count: 2,
+            },
+            variations: 1,
+            denoise_threshold: 2,
+            select_k: 4,
+            samples_per_iteration: 5,
+            max_density: 0.5,
+            pca_explained: 0.9,
+            threads: 2,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.variations == 0 {
+            return Err("variations must be positive".into());
+        }
+        if self.select_k == 0 {
+            return Err("select_k must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.max_density) {
+            return Err("max_density must be in [0, 1]".into());
+        }
+        if !(0.0 < self.pca_explained && self.pca_explained <= 1.0) {
+            return Err("pca_explained must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(PipelineConfig::standard().validate().is_ok());
+        assert!(PipelineConfig::quick().validate().is_ok());
+        assert!(PipelineConfig::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = PipelineConfig::tiny();
+        c.variations = 0;
+        assert!(c.validate().is_err());
+        let mut c = PipelineConfig::tiny();
+        c.max_density = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

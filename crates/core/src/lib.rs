@@ -1,0 +1,43 @@
+//! The PatternPaint pipeline (the paper's primary contribution).
+//!
+//! PatternPaint turns a handful of DR-clean starter patterns into a
+//! large, diverse, DR-clean pattern library using a pretrained image
+//! inpainting diffusion model — no rule-based generator and no nonlinear
+//! legalization solver. The pipeline (paper Figure 4):
+//!
+//! 1. **Few-shot finetuning** ([`PatternPaint::finetune`]) —
+//!    DreamBooth-style adaptation of the pretrained model on the ~20
+//!    starters, with prior-preservation samples drawn from the model
+//!    itself;
+//! 2. **Initial generation** ([`PatternPaint::initial_generation`]) —
+//!    every starter × every predefined mask × `v` variations;
+//! 3. **Template-based denoising + DRC** — each raw sample is snapped
+//!    back onto the scan-line grid (`pp-inpaint`) and validated with the
+//!    sign-off checker (`pp-drc`); clean, novel patterns enter the
+//!    [`PatternLibrary`];
+//! 4. **PCA-based selection + iterative generation**
+//!    ([`PatternPaint::iterative_generation`]) — representative,
+//!    low-density layouts are selected (`pp-selection`) and re-inpainted
+//!    under sequentially scheduled masks, growing diversity (H2) round
+//!    after round.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use patternpaint_core::{PatternPaint, PipelineConfig};
+//! use pp_pdk::SynthNode;
+//!
+//! let node = SynthNode::default();
+//! let mut pp = PatternPaint::pretrained(node, PipelineConfig::quick(), 0);
+//! pp.finetune();
+//! let round = pp.initial_generation();
+//! println!("legal {} / generated {}", round.legal, round.generated);
+//! ```
+
+pub mod config;
+pub mod library;
+pub mod pipeline;
+
+pub use config::{FinetuneConfig, PipelineConfig, PretrainConfig};
+pub use library::PatternLibrary;
+pub use pipeline::{GenerationRound, IterationStats, PatternPaint, RawSample};

@@ -1,0 +1,140 @@
+//! The growing pattern library.
+
+use pp_geometry::{Layout, Signature, SquishPattern};
+use pp_metrics::LibraryStats;
+use std::collections::HashSet;
+
+/// A deduplicated collection of DR-clean layout patterns.
+///
+/// Identity is the full squish signature (topology + Δx + Δy), matching
+/// the paper's "unique patterns" column.
+///
+/// # Example
+///
+/// ```
+/// use patternpaint_core::PatternLibrary;
+/// use pp_pdk::SynthNode;
+///
+/// let mut lib = PatternLibrary::new();
+/// for p in SynthNode::default().starter_patterns() {
+///     assert!(lib.insert(p));
+/// }
+/// assert_eq!(lib.len(), 20);
+/// let stats = lib.stats();
+/// assert_eq!(stats.unique, 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PatternLibrary {
+    patterns: Vec<Layout>,
+    signatures: HashSet<Signature>,
+}
+
+impl PatternLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds a library from existing patterns (duplicates dropped).
+    pub fn from_patterns<I: IntoIterator<Item = Layout>>(patterns: I) -> Self {
+        let mut lib = Self::new();
+        for p in patterns {
+            lib.insert(p);
+        }
+        lib
+    }
+
+    /// Inserts a pattern; returns `true` when it was new.
+    pub fn insert(&mut self, pattern: Layout) -> bool {
+        let sig = Signature::of_squish(&SquishPattern::from_layout(&pattern));
+        if self.signatures.insert(sig) {
+            self.patterns.push(pattern);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether an identical pattern is already present.
+    pub fn contains(&self, pattern: &Layout) -> bool {
+        let sig = Signature::of_squish(&SquishPattern::from_layout(pattern));
+        self.signatures.contains(&sig)
+    }
+
+    /// Number of unique patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The stored patterns, in insertion order.
+    pub fn patterns(&self) -> &[Layout] {
+        &self.patterns
+    }
+
+    /// Diversity statistics (H1, H2, uniqueness) of the library.
+    pub fn stats(&self) -> LibraryStats {
+        LibraryStats::from_layouts(&self.patterns)
+    }
+}
+
+impl Extend<Layout> for PatternLibrary {
+    fn extend<T: IntoIterator<Item = Layout>>(&mut self, iter: T) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl FromIterator<Layout> for PatternLibrary {
+    fn from_iter<T: IntoIterator<Item = Layout>>(iter: T) -> Self {
+        Self::from_patterns(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_geometry::Rect;
+
+    fn wire(x: u32) -> Layout {
+        let mut l = Layout::new(16, 16);
+        l.fill_rect(Rect::new(x, 2, 3, 10));
+        l
+    }
+
+    #[test]
+    fn deduplicates() {
+        let mut lib = PatternLibrary::new();
+        assert!(lib.insert(wire(2)));
+        assert!(!lib.insert(wire(2)));
+        assert!(lib.insert(wire(5)));
+        assert_eq!(lib.len(), 2);
+    }
+
+    #[test]
+    fn contains_query() {
+        let mut lib = PatternLibrary::new();
+        lib.insert(wire(2));
+        assert!(lib.contains(&wire(2)));
+        assert!(!lib.contains(&wire(7)));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let lib: PatternLibrary = (0..4).map(|i| wire(2 + i)).collect();
+        assert_eq!(lib.len(), 4);
+        assert_eq!(lib.stats().unique, 4);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut lib = PatternLibrary::from_patterns([wire(2)]);
+        lib.extend([wire(2), wire(3)]);
+        assert_eq!(lib.len(), 2);
+    }
+}

@@ -1,0 +1,369 @@
+//! The four-stage PatternPaint pipeline.
+
+use crate::config::PipelineConfig;
+use crate::library::PatternLibrary;
+use pp_diffusion::{DiffusionModel, TrainReport};
+use pp_drc::check_layout;
+use pp_geometry::{GrayImage, Layout};
+use pp_inpaint::{Denoiser, Mask, MaskSchedule, MaskSet, TemplateDenoiser};
+use pp_pdk::{foundation_corpus, SynthNode};
+use pp_selection::PcaSelector;
+use serde::{Deserialize, Serialize};
+
+/// One raw (pre-denoising) generated sample with its template.
+#[derive(Debug, Clone)]
+pub struct RawSample {
+    /// The starter/seed layout the mask was applied to.
+    pub template: Layout,
+    /// The raw diffusion output (continuous pixels).
+    pub raw: GrayImage,
+}
+
+/// The outcome of one generation round.
+#[derive(Debug, Clone)]
+pub struct GenerationRound {
+    /// Total samples generated.
+    pub generated: usize,
+    /// Samples that passed sign-off DRC (duplicates included).
+    pub legal: usize,
+    /// The unique legal patterns discovered this round.
+    pub library: PatternLibrary,
+}
+
+/// Per-iteration statistics (one x-position of the paper's Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration number (1 = the initial generation).
+    pub iteration: usize,
+    /// Samples generated in this iteration.
+    pub generated: usize,
+    /// Cumulative legal samples.
+    pub legal_total: usize,
+    /// Cumulative unique patterns (library size).
+    pub unique_total: usize,
+    /// Library H1 after this iteration.
+    pub h1: f64,
+    /// Library H2 after this iteration.
+    pub h2: f64,
+}
+
+/// The PatternPaint generator.
+///
+/// See the crate docs for the stage-by-stage description and
+/// `examples/quickstart.rs` for an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct PatternPaint {
+    node: SynthNode,
+    cfg: PipelineConfig,
+    model: DiffusionModel,
+    denoiser: TemplateDenoiser,
+    starters: Vec<Layout>,
+    seed: u64,
+    finetuned: bool,
+}
+
+impl PatternPaint {
+    /// Builds a pipeline around a freshly *pretrained* base model
+    /// (trains on the synthetic foundation corpus — the stand-in for a
+    /// public SD checkpoint; see DESIGN.md).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or the model image size differs
+    /// from the node clip.
+    pub fn pretrained(node: SynthNode, cfg: PipelineConfig, seed: u64) -> Self {
+        let mut pp = Self::untrained(node, cfg, seed);
+        let corpus: Vec<GrayImage> =
+            foundation_corpus(cfg.pretrain.corpus, cfg.model.image, seed ^ 0xf00d)
+                .iter()
+                .map(GrayImage::from_layout)
+                .collect();
+        let _ = pp.model.train(
+            &corpus,
+            cfg.pretrain.steps,
+            cfg.pretrain.batch,
+            cfg.pretrain.lr,
+            seed ^ 0xbeef,
+        );
+        pp
+    }
+
+    /// Builds a pipeline with an *untrained* model (for tests or for
+    /// loading saved weights with [`PatternPaint::model_mut`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PatternPaint::pretrained`].
+    pub fn untrained(node: SynthNode, cfg: PipelineConfig, seed: u64) -> Self {
+        cfg.validate().expect("pipeline config must be valid");
+        assert_eq!(
+            cfg.model.image,
+            node.clip(),
+            "model image size must equal the node clip"
+        );
+        let starters = node.starter_patterns();
+        PatternPaint {
+            model: DiffusionModel::new(cfg.model, seed),
+            denoiser: TemplateDenoiser::new(cfg.denoise_threshold),
+            node,
+            cfg,
+            starters,
+            seed,
+            finetuned: false,
+        }
+    }
+
+    /// The node this pipeline targets.
+    pub fn node(&self) -> &SynthNode {
+        &self.node
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The underlying diffusion model.
+    pub fn model(&self) -> &DiffusionModel {
+        &self.model
+    }
+
+    /// Mutable model access (weight loading, inspection).
+    pub fn model_mut(&mut self) -> &mut DiffusionModel {
+        &mut self.model
+    }
+
+    /// Whether [`PatternPaint::finetune`] has run.
+    pub fn is_finetuned(&self) -> bool {
+        self.finetuned
+    }
+
+    /// The starter patterns in use.
+    pub fn starters(&self) -> &[Layout] {
+        &self.starters
+    }
+
+    /// Stage 1: DreamBooth-style few-shot finetuning on the starters
+    /// with prior preservation (paper Eq. 7).
+    pub fn finetune(&mut self) -> TrainReport {
+        let ft = self.cfg.finetune;
+        let prior = self.model.sample_prior(ft.prior_count, self.seed ^ 0x9e37);
+        let starter_images: Vec<GrayImage> =
+            self.starters.iter().map(GrayImage::from_layout).collect();
+        let report = self.model.finetune(
+            &starter_images,
+            &prior,
+            ft.lambda,
+            ft.steps,
+            ft.batch,
+            ft.lr,
+            self.seed ^ 0x51ee,
+        );
+        self.finetuned = true;
+        report
+    }
+
+    /// Generates raw (pre-denoising) samples for explicit
+    /// (template, mask) jobs — the entry point Table III uses to compare
+    /// denoising schemes on identical raw batches.
+    pub fn generate_raw(&self, jobs: &[(Layout, Mask)], seed: u64) -> Vec<RawSample> {
+        let batch: Vec<(GrayImage, GrayImage)> = jobs
+            .iter()
+            .map(|(l, m)| (GrayImage::from_layout(l), m.as_image().clone()))
+            .collect();
+        let raws = self
+            .model
+            .sample_inpaint_batch(&batch, seed, self.cfg.threads);
+        jobs.iter()
+            .zip(raws)
+            .map(|((template, _), raw)| RawSample {
+                template: template.clone(),
+                raw,
+            })
+            .collect()
+    }
+
+    /// Denoises, DRC-checks and deduplicates raw samples into `library`;
+    /// returns `(generated, legal)` counts for the batch.
+    pub fn validate_into(
+        &self,
+        samples: &[RawSample],
+        library: &mut PatternLibrary,
+    ) -> (usize, usize) {
+        let mut legal = 0;
+        for s in samples {
+            let denoised = self.denoiser.denoise(&s.raw, &s.template);
+            if denoised.metal_area() == 0 {
+                continue;
+            }
+            if check_layout(&denoised, self.node.rules()).is_clean() {
+                legal += 1;
+                library.insert(denoised);
+            }
+        }
+        (samples.len(), legal)
+    }
+
+    /// Stage 2: initial generation — every starter × all ten predefined
+    /// masks × `v` variations (paper §IV-C).
+    pub fn initial_generation(&self) -> GenerationRound {
+        let side = self.node.clip();
+        let mut jobs = Vec::new();
+        for starter in &self.starters {
+            for set in MaskSet::ALL {
+                for mask in set.masks(side) {
+                    for _ in 0..self.cfg.variations {
+                        jobs.push((starter.clone(), mask.clone()));
+                    }
+                }
+            }
+        }
+        let raw = self.generate_raw(&jobs, self.seed ^ 0x1217);
+        let mut library = PatternLibrary::new();
+        let (generated, legal) = self.validate_into(&raw, &mut library);
+        GenerationRound {
+            generated,
+            legal,
+            library,
+        }
+    }
+
+    /// Stages 3-4: iterative generation. Each round selects `select_k`
+    /// representative low-density layouts by PCA + farthest point
+    /// (paper Alg. 2), re-inpaints them under their sequentially
+    /// scheduled masks, and adds new clean patterns to `library`.
+    ///
+    /// Returns one [`IterationStats`] per round (cumulative counts start
+    /// from `legal_so_far` and the current library).
+    pub fn iterative_generation(
+        &self,
+        library: &mut PatternLibrary,
+        iterations: usize,
+        mut legal_so_far: usize,
+    ) -> Vec<IterationStats> {
+        let side = self.node.clip();
+        let schedules = [
+            MaskSchedule::new(MaskSet::Default, side),
+            MaskSchedule::new(MaskSet::Horizontal, side),
+        ];
+        let selector = PcaSelector::new(
+            self.cfg.pca_explained,
+            self.cfg.max_density,
+            self.seed ^ 0x5e1e,
+        );
+        let mut stats = Vec::with_capacity(iterations);
+        for it in 0..iterations {
+            let k = self.cfg.select_k.min(library.len().max(1));
+            let picks = selector.select(library.patterns(), k);
+            let per_seed = (self.cfg.samples_per_iteration / picks.len().max(1)).max(1);
+            let mut jobs = Vec::new();
+            for (pi, &idx) in picks.iter().enumerate() {
+                let template = library.patterns()[idx].clone();
+                // Alternate mask sets per pattern; walk the set
+                // sequentially across iterations (paper §IV-E2).
+                let schedule = &schedules[pi % 2];
+                let mask = schedule.mask_for(it, pi).clone();
+                for _ in 0..per_seed {
+                    jobs.push((template.clone(), mask.clone()));
+                }
+            }
+            let raw = self.generate_raw(&jobs, self.seed ^ (0xabcd + it as u64));
+            let (generated, legal) = self.validate_into(&raw, library);
+            legal_so_far += legal;
+            let lib_stats = library.stats();
+            stats.push(IterationStats {
+                iteration: it + 2, // iteration 1 is the initial round
+                generated,
+                legal_total: legal_so_far,
+                unique_total: library.len(),
+                h1: lib_stats.h1,
+                h2: lib_stats.h2,
+            });
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use pp_inpaint::MaskSet;
+
+    fn tiny_pipeline() -> PatternPaint {
+        let node = SynthNode::small();
+        PatternPaint::pretrained(node, PipelineConfig::tiny(), 1)
+    }
+
+    #[test]
+    fn pretrain_and_finetune_run() {
+        let mut pp = tiny_pipeline();
+        assert!(!pp.is_finetuned());
+        let report = pp.finetune();
+        assert!(pp.is_finetuned());
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn initial_generation_produces_counts() {
+        let pp = tiny_pipeline();
+        let round = pp.initial_generation();
+        // 20 starters x 10 masks x 1 variation.
+        assert_eq!(round.generated, 200);
+        assert!(round.legal <= round.generated);
+        assert_eq!(round.library.len() <= round.legal, true);
+    }
+
+    #[test]
+    fn validated_patterns_are_clean_and_unique() {
+        let pp = tiny_pipeline();
+        let round = pp.initial_generation();
+        for p in round.library.patterns() {
+            assert!(check_layout(p, pp.node().rules()).is_clean());
+        }
+        let stats = round.library.stats();
+        assert_eq!(stats.unique, round.library.len());
+    }
+
+    #[test]
+    fn iterations_never_shrink_library() {
+        let pp = tiny_pipeline();
+        let round = pp.initial_generation();
+        let mut library = round.library;
+        // Seed with starters so selection has material even if initial
+        // generation found nothing on the tiny model.
+        library.extend(pp.starters().iter().cloned());
+        let before = library.len();
+        let stats = pp.iterative_generation(&mut library, 2, round.legal);
+        assert_eq!(stats.len(), 2);
+        assert!(library.len() >= before);
+        assert!(stats[1].unique_total >= stats[0].unique_total);
+        assert!(stats[1].legal_total >= stats[0].legal_total);
+    }
+
+    #[test]
+    fn generate_raw_keeps_known_region() {
+        let pp = tiny_pipeline();
+        let starter = pp.starters()[0].clone();
+        let mask = MaskSet::Default.masks(pp.node().clip())[0].clone();
+        let raw = pp.generate_raw(&[(starter.clone(), mask.clone())], 3);
+        assert_eq!(raw.len(), 1);
+        let r = &raw[0].raw;
+        for y in 0..pp.node().clip() {
+            for x in 0..pp.node().clip() {
+                if mask.as_image().get(x, y) < 0.5 {
+                    let expected = if starter.get(x, y) { 1.0 } else { -1.0 };
+                    assert_eq!(r.get(x, y), expected, "known pixel changed at {x},{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "model image size")]
+    fn mismatched_clip_rejected() {
+        let node = SynthNode::default(); // 32
+        let cfg = PipelineConfig::tiny(); // 16
+        let _ = PatternPaint::untrained(node, cfg, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Pixel-space diffusion and inpainting over layout rasters.
+//!
+//! This crate is the stand-in for the pretrained Stable Diffusion
+//! inpainting checkpoints of the PatternPaint paper (see DESIGN.md for the
+//! substitution argument). It implements, from scratch on `pp-nn`:
+//!
+//! * [`NoiseSchedule`] — DDPM forward process `q(x_t | x_0)` with linear
+//!   or cosine β schedules;
+//! * [`UNet`] — a small inpainting U-Net conditioned on the noisy image,
+//!   the mask and the masked image (the 3-channel analogue of SD-inpaint's
+//!   9-channel input), with sinusoidal time embeddings;
+//! * [`DiffusionModel`] — training (pretraining on a foundation corpus),
+//!   DreamBooth-style few-shot finetuning with prior preservation
+//!   (paper Eq. 7), and DDIM sampling with RePaint-style known-region
+//!   conditioning (paper Eq. 8).
+//!
+//! The denoiser is x0-parameterised (it predicts the clean image rather
+//! than the noise), which is markedly more stable at the few DDIM steps
+//! used on near-binary layout images; `pp-bench --bench ablations`
+//! quantifies that choice.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_diffusion::{DiffusionConfig, DiffusionModel};
+//! use pp_geometry::GrayImage;
+//!
+//! let config = DiffusionConfig::tiny(16);
+//! let mut model = DiffusionModel::new(config, 0);
+//! let corpus = vec![GrayImage::filled(16, 16, -1.0); 4];
+//! model.train(&corpus, 2, 2, 1e-3, 0); // 2 steps, batch 2
+//! ```
+
+pub mod model;
+pub mod schedule;
+pub mod unet;
+
+pub use model::{DiffusionConfig, DiffusionModel, Parameterization, TrainReport};
+pub use schedule::{BetaSchedule, NoiseSchedule};
+pub use unet::{UNet, UNetConfig};

@@ -1,0 +1,621 @@
+//! The design-rule checker proper.
+//!
+//! All checks run on the squish grid. Physical distances are recovered from
+//! the Δ vectors, so the checks are exact for Manhattan geometry.
+//!
+//! ## Measurement semantics
+//!
+//! * **Widths** are measured on *bars* — maximal runs of filled cells in a
+//!   topology row (x width) or column (y width). A bar is a *wire body*
+//!   when the identical run persists over a physical length of at least
+//!   [`RuleDeck::wire_min_len`] in the perpendicular direction; only wire
+//!   bodies are subject to the discrete-width and max-width rules (corner,
+//!   junction and strap rows are exempt, as in production decks).
+//! * **Side-to-side spacing** is the physical gap between consecutive bars
+//!   in a row; **end-to-end spacing** is the gap between consecutive runs
+//!   in a column.
+//! * **Area** is per 4-connected component of the grid.
+//!
+//! ## Border waivers
+//!
+//! Shapes may continue outside the clip, so: bars touching the clip border
+//! in the measured direction are exempt from discrete/max width, and
+//! components touching any border are exempt from the minimum-area rule.
+//! Minimum width and spacing are enforced everywhere.
+
+use crate::report::{DrcReport, RuleId, Violation};
+use crate::rules::RuleDeck;
+use pp_geometry::{Layout, Rect, SquishPattern, TopologyMatrix};
+
+/// Checks a raster layout against a rule deck.
+///
+/// Convenience wrapper that squishes the layout first; see [`check_squish`].
+pub fn check_layout(layout: &Layout, rules: &RuleDeck) -> DrcReport {
+    check_squish(&SquishPattern::from_layout(layout), rules)
+}
+
+/// Checks a squish pattern against a rule deck.
+///
+/// Returns every violation found; an empty report means the pattern is
+/// DR-clean ("legal" in the paper's terminology).
+pub fn check_squish(pattern: &SquishPattern, rules: &RuleDeck) -> DrcReport {
+    let mut report = DrcReport::new();
+    let ctx = Ctx::new(pattern);
+    check_row_widths(&ctx, rules, &mut report);
+    check_col_widths(&ctx, rules, &mut report);
+    check_row_spacing(&ctx, rules, &mut report);
+    check_col_end_to_end(&ctx, rules, &mut report);
+    check_areas(&ctx, rules, &mut report);
+    report
+}
+
+/// Pre-computed geometry shared by the individual checks.
+struct Ctx<'a> {
+    topo: &'a TopologyMatrix,
+    /// Cumulative x scan-line coordinates (len = cols + 1).
+    xs: Vec<u32>,
+    /// Cumulative y scan-line coordinates (len = rows + 1).
+    ys: Vec<u32>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(pattern: &'a SquishPattern) -> Self {
+        Ctx {
+            topo: pattern.topology(),
+            xs: pattern.x_lines(),
+            ys: pattern.y_lines(),
+        }
+    }
+
+    fn cols(&self) -> usize {
+        self.topo.cols()
+    }
+
+    fn rows(&self) -> usize {
+        self.topo.rows()
+    }
+
+    /// Physical width of the column range `[c0, c1)`.
+    fn width_of(&self, c0: usize, c1: usize) -> u32 {
+        self.xs[c1] - self.xs[c0]
+    }
+
+    /// Physical height of the row range `[r0, r1)`.
+    fn height_of(&self, r0: usize, r1: usize) -> u32 {
+        self.ys[r1] - self.ys[r0]
+    }
+
+    /// Physical rectangle of the cell block rows `[r0, r1)` × cols `[c0, c1)`.
+    fn rect_of(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Rect {
+        Rect::from_bounds(self.xs[c0], self.ys[r0], self.xs[c1], self.ys[r1])
+    }
+
+    /// Whether `[c0, c1)` is a *maximal* filled run in `row`.
+    fn is_maximal_row_run(&self, row: usize, c0: usize, c1: usize) -> bool {
+        (c0..c1).all(|c| self.topo.get(row, c))
+            && (c0 == 0 || !self.topo.get(row, c0 - 1))
+            && (c1 == self.cols() || !self.topo.get(row, c1))
+    }
+
+    /// Whether `[r0, r1)` is a maximal filled run in `col`.
+    fn is_maximal_col_run(&self, col: usize, r0: usize, r1: usize) -> bool {
+        (r0..r1).all(|r| self.topo.get(r, col))
+            && (r0 == 0 || !self.topo.get(r0 - 1, col))
+            && (r1 == self.rows() || !self.topo.get(r1, col))
+    }
+
+    /// The maximal row range `[r0, r1)` over which the identical maximal
+    /// run `[c0, c1)` persists, containing `row`.
+    fn row_bar_persistence(&self, row: usize, c0: usize, c1: usize) -> (usize, usize) {
+        let mut r0 = row;
+        while r0 > 0 && self.is_maximal_row_run(r0 - 1, c0, c1) {
+            r0 -= 1;
+        }
+        let mut r1 = row + 1;
+        while r1 < self.rows() && self.is_maximal_row_run(r1, c0, c1) {
+            r1 += 1;
+        }
+        (r0, r1)
+    }
+
+    /// The maximal column range over which the identical maximal run
+    /// `[r0, r1)` persists, containing `col`.
+    fn col_bar_persistence(&self, col: usize, r0: usize, r1: usize) -> (usize, usize) {
+        let mut c0 = col;
+        while c0 > 0 && self.is_maximal_col_run(c0 - 1, r0, r1) {
+            c0 -= 1;
+        }
+        let mut c1 = col + 1;
+        while c1 < self.cols() && self.is_maximal_col_run(c1, r0, r1) {
+            c1 += 1;
+        }
+        (c0, c1)
+    }
+}
+
+/// Horizontal (x-direction) width checks on row bars.
+fn check_row_widths(ctx: &Ctx, rules: &RuleDeck, report: &mut DrcReport) {
+    for bar in ctx.topo.horizontal_bars() {
+        let w = ctx.width_of(bar.c0, bar.c1);
+        let (p0, p1) = ctx.row_bar_persistence(bar.row, bar.c0, bar.c1);
+        // Report each persistent bar once, at its first row.
+        if bar.row != p0 {
+            continue;
+        }
+        let location = ctx.rect_of(p0, p1, bar.c0, bar.c1);
+        if w < rules.min_width {
+            report.push(Violation {
+                rule: RuleId::MinWidth,
+                location,
+                measured: u64::from(w),
+                expected: format!(">= {}", rules.min_width),
+            });
+            continue;
+        }
+        let touches_border = ctx.xs[bar.c0] == 0 || ctx.xs[bar.c1] == *ctx.xs.last().unwrap();
+        // A wire body must persist for at least `wire_min_len` and be
+        // longer than it is wide (otherwise the run is a cross-section of
+        // a shape oriented the other way, whose width the column pass
+        // measures).
+        let persist = ctx.height_of(p0, p1);
+        let is_wire_body = persist >= rules.wire_min_len && persist >= w;
+        if is_wire_body && !touches_border {
+            wire_body_width_checks(w, location, rules, report);
+        }
+    }
+}
+
+/// Vertical (y-direction) width checks on column bars.
+fn check_col_widths(ctx: &Ctx, rules: &RuleDeck, report: &mut DrcReport) {
+    for (col, r0, r1) in ctx.topo.vertical_bars() {
+        let h = ctx.height_of(r0, r1);
+        let (p0, p1) = ctx.col_bar_persistence(col, r0, r1);
+        if col != p0 {
+            continue;
+        }
+        let location = ctx.rect_of(r0, r1, p0, p1);
+        if h < rules.min_width {
+            report.push(Violation {
+                rule: RuleId::MinWidth,
+                location,
+                measured: u64::from(h),
+                expected: format!(">= {}", rules.min_width),
+            });
+            continue;
+        }
+        let touches_border = ctx.ys[r0] == 0 || ctx.ys[r1] == *ctx.ys.last().unwrap();
+        let persist = ctx.width_of(p0, p1);
+        let is_wire_body = persist >= rules.wire_min_len && persist >= h;
+        if is_wire_body && !touches_border {
+            wire_body_width_checks(h, location, rules, report);
+        }
+    }
+}
+
+fn wire_body_width_checks(w: u32, location: Rect, rules: &RuleDeck, report: &mut DrcReport) {
+    if let Some(max_w) = rules.max_width {
+        if w > max_w {
+            report.push(Violation {
+                rule: RuleId::MaxWidth,
+                location,
+                measured: u64::from(w),
+                expected: format!("<= {max_w}"),
+            });
+            return;
+        }
+    }
+    if let Some(set) = &rules.discrete_widths {
+        if !set.contains(&w) {
+            report.push(Violation {
+                rule: RuleId::DiscreteWidth,
+                location,
+                measured: u64::from(w),
+                expected: format!("in {set:?}"),
+            });
+        }
+    }
+}
+
+/// Side-to-side spacing (R1-S) and width-dependent windows (R1.1–R1.4).
+fn check_row_spacing(ctx: &Ctx, rules: &RuleDeck, report: &mut DrcReport) {
+    for row in 0..ctx.rows() {
+        let bars: Vec<(usize, usize)> = row_runs(ctx.topo, row);
+        for pair in bars.windows(2) {
+            let (a0, a1) = pair[0];
+            let (b0, b1) = pair[1];
+            // Deduplicate: skip when the previous row shows the identical
+            // left/right bar pair (the gap is the same physical gap).
+            if row > 0
+                && ctx.is_maximal_row_run(row - 1, a0, a1)
+                && ctx.is_maximal_row_run(row - 1, b0, b1)
+            {
+                continue;
+            }
+            let gap = ctx.width_of(a1, b0);
+            let location = ctx.rect_of(row, row + 1, a1, b0);
+            if gap < rules.min_spacing {
+                report.push(Violation {
+                    rule: RuleId::MinSpacing,
+                    location,
+                    measured: u64::from(gap),
+                    expected: format!(">= {}", rules.min_spacing),
+                });
+                continue;
+            }
+            if let Some(max_spacing) = rules.max_spacing {
+                if gap > max_spacing {
+                    report.push(Violation {
+                        rule: RuleId::MaxSpacing,
+                        location,
+                        measured: u64::from(gap),
+                        expected: format!("<= {max_spacing}"),
+                    });
+                    continue;
+                }
+            }
+            if let Some(table) = &rules.spacing_table {
+                let wl = ctx.width_of(a0, a1);
+                let wr = ctx.width_of(b0, b1);
+                if let (Some(cl), Some(cr)) = (table.classify(wl), table.classify(wr)) {
+                    let window = table.window(cl, cr);
+                    if !window.contains(gap) {
+                        report.push(Violation {
+                            rule: RuleId::SpacingWindow,
+                            location,
+                            measured: u64::from(gap),
+                            expected: format!(
+                                "in {}..={} for ({cl:?},{cr:?})",
+                                window.min, window.max
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// End-to-end spacing (R2-E): vertical gaps within each column.
+fn check_col_end_to_end(ctx: &Ctx, rules: &RuleDeck, report: &mut DrcReport) {
+    for col in 0..ctx.cols() {
+        let runs: Vec<(usize, usize)> = col_runs(ctx.topo, col);
+        for pair in runs.windows(2) {
+            let (_, a1) = pair[0];
+            let (b0, _) = pair[1];
+            if col > 0
+                && ctx.is_maximal_col_run(col - 1, pair[0].0, pair[0].1)
+                && ctx.is_maximal_col_run(col - 1, pair[1].0, pair[1].1)
+            {
+                continue;
+            }
+            let gap = ctx.height_of(a1, b0);
+            if gap < rules.min_end_to_end {
+                report.push(Violation {
+                    rule: RuleId::MinEndToEnd,
+                    location: ctx.rect_of(a1, b0, col, col + 1),
+                    measured: u64::from(gap),
+                    expected: format!(">= {}", rules.min_end_to_end),
+                });
+            }
+        }
+    }
+}
+
+/// Area checks (R4-A) on 4-connected components of the squish grid.
+fn check_areas(ctx: &Ctx, rules: &RuleDeck, report: &mut DrcReport) {
+    let rows = ctx.rows();
+    let cols = ctx.cols();
+    let mut visited = vec![false; rows * cols];
+    for start_r in 0..rows {
+        for start_c in 0..cols {
+            if visited[start_r * cols + start_c] || !ctx.topo.get(start_r, start_c) {
+                continue;
+            }
+            let mut stack = vec![(start_r, start_c)];
+            visited[start_r * cols + start_c] = true;
+            let mut area = 0u64;
+            let (mut r0, mut r1, mut c0, mut c1) = (start_r, start_r + 1, start_c, start_c + 1);
+            while let Some((r, c)) = stack.pop() {
+                area += u64::from(ctx.width_of(c, c + 1)) * u64::from(ctx.height_of(r, r + 1));
+                r0 = r0.min(r);
+                r1 = r1.max(r + 1);
+                c0 = c0.min(c);
+                c1 = c1.max(c + 1);
+                let mut try_push = |nr: usize, nc: usize, stack: &mut Vec<(usize, usize)>| {
+                    if !visited[nr * cols + nc] && ctx.topo.get(nr, nc) {
+                        visited[nr * cols + nc] = true;
+                        stack.push((nr, nc));
+                    }
+                };
+                if r > 0 {
+                    try_push(r - 1, c, &mut stack);
+                }
+                if r + 1 < rows {
+                    try_push(r + 1, c, &mut stack);
+                }
+                if c > 0 {
+                    try_push(r, c - 1, &mut stack);
+                }
+                if c + 1 < cols {
+                    try_push(r, c + 1, &mut stack);
+                }
+            }
+            let location = ctx.rect_of(r0, r1, c0, c1);
+            let touches_border = location.x == 0
+                || location.y == 0
+                || location.right() == *ctx.xs.last().unwrap()
+                || location.bottom() == *ctx.ys.last().unwrap();
+            if area < rules.min_area && !touches_border {
+                report.push(Violation {
+                    rule: RuleId::MinArea,
+                    location,
+                    measured: area,
+                    expected: format!(">= {}", rules.min_area),
+                });
+            }
+            if let Some(max_area) = rules.max_area {
+                if area > max_area {
+                    report.push(Violation {
+                        rule: RuleId::MaxArea,
+                        location,
+                        measured: area,
+                        expected: format!("<= {max_area}"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Maximal filled runs `[c0, c1)` in one topology row.
+fn row_runs(topo: &TopologyMatrix, row: usize) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut c = 0;
+    while c < topo.cols() {
+        if topo.get(row, c) {
+            let c0 = c;
+            while c < topo.cols() && topo.get(row, c) {
+                c += 1;
+            }
+            runs.push((c0, c));
+        } else {
+            c += 1;
+        }
+    }
+    runs
+}
+
+/// Maximal filled runs `[r0, r1)` in one topology column.
+fn col_runs(topo: &TopologyMatrix, col: usize) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut r = 0;
+    while r < topo.rows() {
+        if topo.get(r, col) {
+            let r0 = r;
+            while r < topo.rows() && topo.get(r, col) {
+                r += 1;
+            }
+            runs.push((r0, r));
+        } else {
+            r += 1;
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{SpacingTable, SpacingWindow};
+    use pp_geometry::{Layout, Rect};
+    use proptest::prelude::*;
+
+    fn basic() -> RuleDeck {
+        RuleDeck::basic("basic-test", 3, 3, 4, 12)
+    }
+
+    fn advanced() -> RuleDeck {
+        let mut d = RuleDeck::basic("advanced-test", 3, 3, 4, 12);
+        d.discrete_widths = Some(vec![3, 5]);
+        d.wire_min_len = 8;
+        d.max_area = Some(400);
+        d.spacing_table = Some(SpacingTable {
+            width_a: 3,
+            width_b: 5,
+            windows: [
+                [SpacingWindow::new(3, 24), SpacingWindow::new(4, 24)],
+                [SpacingWindow::new(4, 24), SpacingWindow::new(5, 24)],
+            ],
+        });
+        d
+    }
+
+    fn clip() -> Layout {
+        Layout::new(32, 32)
+    }
+
+    #[test]
+    fn empty_clip_is_clean() {
+        assert!(check_layout(&clip(), &basic()).is_clean());
+        assert!(check_layout(&clip(), &advanced()).is_clean());
+    }
+
+    #[test]
+    fn legal_wire_is_clean() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 3, 20));
+        assert!(check_layout(&l, &advanced()).is_clean());
+    }
+
+    #[test]
+    fn narrow_wire_flags_min_width_once() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 2, 20));
+        let r = check_layout(&l, &basic());
+        assert_eq!(r.count(RuleId::MinWidth), 1);
+    }
+
+    #[test]
+    fn thin_horizontal_sliver_flags_min_width() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 20, 2));
+        let r = check_layout(&l, &basic());
+        assert!(r.count(RuleId::MinWidth) >= 1);
+    }
+
+    #[test]
+    fn close_wires_flag_min_spacing() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 3, 20));
+        l.fill_rect(Rect::new(9, 4, 3, 20)); // gap of 2 < 3
+        let r = check_layout(&l, &basic());
+        assert_eq!(r.count(RuleId::MinSpacing), 1);
+    }
+
+    #[test]
+    fn stacked_wires_flag_end_to_end() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 3, 10));
+        l.fill_rect(Rect::new(4, 16, 3, 10)); // vertical gap 2 < 4
+        let r = check_layout(&l, &basic());
+        assert_eq!(r.count(RuleId::MinEndToEnd), 1);
+    }
+
+    #[test]
+    fn small_dot_flags_min_area() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(10, 10, 3, 3)); // area 9 < 12
+        let r = check_layout(&l, &basic());
+        assert_eq!(r.count(RuleId::MinArea), 1);
+    }
+
+    #[test]
+    fn border_shape_waives_min_area() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(0, 0, 3, 3));
+        let r = check_layout(&l, &basic());
+        assert_eq!(r.count(RuleId::MinArea), 0);
+    }
+
+    #[test]
+    fn huge_shape_flags_max_area() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(3, 3, 26, 26));
+        let r = check_layout(&l, &advanced());
+        assert_eq!(r.count(RuleId::MaxArea), 1);
+    }
+
+    #[test]
+    fn width_4_wire_flags_discrete_only_in_advanced() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 4, 20)); // width 4 not in {3,5}
+        assert!(check_layout(&l, &basic()).is_clean());
+        let r = check_layout(&l, &advanced());
+        assert_eq!(r.count(RuleId::DiscreteWidth), 1);
+    }
+
+    #[test]
+    fn short_stub_exempt_from_discrete_width() {
+        let mut l = clip();
+        // Legal wire with a short width-4 side stub (persistence < 8).
+        l.fill_rect(Rect::new(4, 4, 3, 20));
+        l.fill_rect(Rect::new(7, 10, 4, 4));
+        let r = check_layout(&l, &advanced());
+        assert_eq!(r.count(RuleId::DiscreteWidth), 0);
+    }
+
+    #[test]
+    fn spacing_window_violated_for_ab_pair() {
+        let mut l = clip();
+        // Width-3 (class A) next to width-5 (class B) at gap 3: window for
+        // (A,B) requires >= 4.
+        l.fill_rect(Rect::new(4, 4, 3, 20));
+        l.fill_rect(Rect::new(10, 4, 5, 20));
+        let r = check_layout(&l, &advanced());
+        assert_eq!(r.count(RuleId::SpacingWindow), 1);
+        assert_eq!(r.count(RuleId::MinSpacing), 0);
+    }
+
+    #[test]
+    fn spacing_window_satisfied_at_gap_4() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 3, 20));
+        l.fill_rect(Rect::new(11, 4, 5, 20));
+        assert!(check_layout(&l, &advanced()).is_clean());
+    }
+
+    #[test]
+    fn max_width_flags_wide_wire() {
+        let mut d = basic();
+        d.max_width = Some(6);
+        d.wire_min_len = 8;
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 8, 20));
+        let r = check_layout(&l, &d);
+        assert_eq!(r.count(RuleId::MaxWidth), 1);
+    }
+
+    #[test]
+    fn border_touching_wire_waives_discrete() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(0, 4, 4, 24)); // width 4 but touches x=0
+        let r = check_layout(&l, &advanced());
+        assert_eq!(r.count(RuleId::DiscreteWidth), 0);
+    }
+
+    #[test]
+    fn l_shape_is_clean_under_basic() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 3, 20));
+        l.fill_rect(Rect::new(4, 21, 16, 3));
+        assert!(check_layout(&l, &basic()).is_clean());
+    }
+
+    #[test]
+    fn violation_location_is_physical() {
+        let mut l = clip();
+        l.fill_rect(Rect::new(4, 4, 2, 20));
+        let r = check_layout(&l, &basic());
+        let v = &r.violations()[0];
+        assert_eq!(v.location, Rect::new(4, 4, 2, 20));
+    }
+
+    proptest! {
+        /// The checker is deterministic.
+        #[test]
+        fn prop_deterministic(rects in proptest::collection::vec(
+            (0u32..28, 0u32..28, 1u32..8, 1u32..8), 0..6)) {
+            let mut l = clip();
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            let a = check_layout(&l, &advanced());
+            let b = check_layout(&l, &advanced());
+            prop_assert_eq!(a, b);
+        }
+
+        /// Advanced violations are a superset of basic ones on the shared
+        /// rules (advanced adds rules, never relaxes them).
+        #[test]
+        fn prop_advanced_at_least_as_strict(rects in proptest::collection::vec(
+            (0u32..28, 0u32..28, 2u32..8, 2u32..8), 0..5)) {
+            let mut l = clip();
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            let basic_report = check_layout(&l, &basic());
+            let adv_report = check_layout(&l, &advanced());
+            prop_assert!(adv_report.len() >= basic_report.len());
+        }
+
+        /// A single sufficiently large rect away from borders is clean
+        /// under the basic deck when its dimensions obey min width/area.
+        #[test]
+        fn prop_fat_rect_clean(x in 3u32..12, y in 3u32..12, w in 3u32..8, h in 4u32..8) {
+            prop_assume!(u64::from(w) * u64::from(h) >= 12);
+            let mut l = clip();
+            l.fill_rect(Rect::new(x, y, w, h));
+            prop_assert!(check_layout(&l, &basic()).is_clean());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Exact Manhattan design-rule checking over squish grids.
+//!
+//! This crate plays the role of the industry-standard sign-off DRC tool in
+//! the PatternPaint paper: every generated pattern is validated here, and
+//! "legality" throughout the reproduction means a clean [`DrcReport`].
+//!
+//! The checker implements the two rule families of the paper's Figure 3:
+//!
+//! * **Basic rule set** — minimum width (R3-W), side-to-side spacing
+//!   (R1-S), end-to-end spacing (R2-E) and area bounds (R4-A);
+//! * **Advanced rule set** — a discrete set of allowed wire widths
+//!   (R3.1-W) and width-dependent spacing *windows* `C1 < S_ab < C2`
+//!   (R1.1–R1.4), the constraints that make nonlinear-solver legalization
+//!   intractable.
+//!
+//! All measurements are performed on the squish grid (scan-line intervals),
+//! which is exact for Manhattan geometry and fast: a clip is first squished
+//! ([`pp_geometry::SquishPattern`]), then bars, gaps and components are
+//! measured in topology space with physical sizes recovered from Δx/Δy.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_geometry::{Layout, Rect};
+//! use pp_drc::{check_layout, RuleDeck};
+//!
+//! let rules = RuleDeck::basic("demo", 3, 3, 4, 12);
+//! let mut l = Layout::new(32, 32);
+//! l.fill_rect(Rect::new(4, 4, 3, 20));  // legal wire
+//! assert!(check_layout(&l, &rules).is_clean());
+//!
+//! l.fill_rect(Rect::new(9, 4, 2, 20));  // too narrow AND too close
+//! let report = check_layout(&l, &rules);
+//! assert!(!report.is_clean());
+//! ```
+
+pub mod checker;
+pub mod report;
+pub mod rules;
+
+pub use checker::{check_layout, check_squish};
+pub use report::{DrcReport, RuleId, Violation};
+pub use rules::{RuleDeck, SpacingTable, SpacingWindow, WidthClass};

@@ -1,0 +1,228 @@
+//! Violation reports produced by the checker.
+
+use pp_geometry::Rect;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies which design rule a violation breaks.
+///
+/// The variants mirror the rule names of the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RuleId {
+    /// R3-W: feature narrower than the minimum width.
+    MinWidth,
+    /// Complex setting: wire body wider than the maximum width.
+    MaxWidth,
+    /// R3.1-W: wire-body width outside the discrete allowed set.
+    DiscreteWidth,
+    /// R1-S: side-to-side spacing below the minimum.
+    MinSpacing,
+    /// Complex setting: side-to-side spacing above the maximum.
+    MaxSpacing,
+    /// R1.1–R1.4: spacing outside the width-dependent window.
+    SpacingWindow,
+    /// R2-E: end-to-end spacing below the minimum.
+    MinEndToEnd,
+    /// R4-A: shape area below the minimum.
+    MinArea,
+    /// R4-A: shape area above the maximum.
+    MaxArea,
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RuleId::MinWidth => "R3-W.min",
+            RuleId::MaxWidth => "R3-W.max",
+            RuleId::DiscreteWidth => "R3.1-W",
+            RuleId::MinSpacing => "R1-S",
+            RuleId::MaxSpacing => "R1-S.max",
+            RuleId::SpacingWindow => "R1.x-S",
+            RuleId::MinEndToEnd => "R2-E",
+            RuleId::MinArea => "R4-A.min",
+            RuleId::MaxArea => "R4-A.max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One design-rule violation with its location and measured value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Physical location of the offending measurement (pixel coordinates).
+    pub location: Rect,
+    /// The measured value (width, spacing or area, per rule).
+    pub measured: u64,
+    /// A short human-readable description of the expectation.
+    pub expected: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at {}: measured {}, expected {}",
+            self.rule, self.location, self.measured, self.expected
+        )
+    }
+}
+
+/// The result of checking one layout clip.
+///
+/// # Example
+///
+/// ```
+/// use pp_drc::{DrcReport, RuleId};
+///
+/// let report = DrcReport::default();
+/// assert!(report.is_clean());
+/// assert_eq!(report.count(RuleId::MinWidth), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrcReport {
+    violations: Vec<Violation>,
+}
+
+impl DrcReport {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a violation.
+    pub fn push(&mut self, violation: Violation) {
+        self.violations.push(violation);
+    }
+
+    /// Whether the clip is DR-clean (the paper's legality criterion).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All violations in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total number of violations.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// Whether there are no violations (alias of [`DrcReport::is_clean`]).
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations of one rule.
+    pub fn count(&self, rule: RuleId) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// Violation counts grouped by rule, sorted by rule id.
+    pub fn histogram(&self) -> BTreeMap<RuleId, usize> {
+        let mut h = BTreeMap::new();
+        for v in &self.violations {
+            *h.entry(v.rule).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: DrcReport) {
+        self.violations.extend(other.violations);
+    }
+}
+
+impl std::fmt::Display for DrcReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "CLEAN");
+        }
+        writeln!(f, "{} violation(s):", self.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Violation> for DrcReport {
+    fn from_iter<I: IntoIterator<Item = Violation>>(iter: I) -> Self {
+        DrcReport {
+            violations: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Violation> for DrcReport {
+    fn extend<I: IntoIterator<Item = Violation>>(&mut self, iter: I) {
+        self.violations.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: RuleId, measured: u64) -> Violation {
+        Violation {
+            rule,
+            location: Rect::new(0, 0, 1, 1),
+            measured,
+            expected: ">= 3".into(),
+        }
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = DrcReport::new();
+        assert!(r.is_clean());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.to_string(), "CLEAN\n");
+    }
+
+    #[test]
+    fn push_and_count() {
+        let mut r = DrcReport::new();
+        r.push(v(RuleId::MinWidth, 2));
+        r.push(v(RuleId::MinWidth, 1));
+        r.push(v(RuleId::MinSpacing, 2));
+        assert!(!r.is_clean());
+        assert_eq!(r.count(RuleId::MinWidth), 2);
+        assert_eq!(r.count(RuleId::MinSpacing), 1);
+        assert_eq!(r.count(RuleId::MinArea), 0);
+    }
+
+    #[test]
+    fn histogram_groups() {
+        let r: DrcReport = vec![
+            v(RuleId::MinArea, 4),
+            v(RuleId::MinArea, 5),
+            v(RuleId::MinEndToEnd, 2),
+        ]
+        .into_iter()
+        .collect();
+        let h = r.histogram();
+        assert_eq!(h[&RuleId::MinArea], 2);
+        assert_eq!(h[&RuleId::MinEndToEnd], 1);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a: DrcReport = vec![v(RuleId::MinWidth, 1)].into_iter().collect();
+        let b: DrcReport = vec![v(RuleId::MaxArea, 900)].into_iter().collect();
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_rule_names() {
+        let r: DrcReport = vec![v(RuleId::DiscreteWidth, 4)].into_iter().collect();
+        let s = r.to_string();
+        assert!(s.contains("R3.1-W"));
+        assert!(s.contains("measured 4"));
+    }
+}

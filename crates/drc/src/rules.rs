@@ -1,0 +1,280 @@
+//! Design-rule decks: parameter sets the checker enforces.
+
+use serde::{Deserialize, Serialize};
+
+/// Width classification for the width-dependent spacing table.
+///
+/// The advanced rule set of the paper allows only two wire widths `Wa` and
+/// `Wb`; spacing windows depend on the classes of the two facing wires.
+/// Wires of any other width (e.g. wide straps exempt from the discrete
+/// rule) fall outside the table and only the global minimum applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WidthClass {
+    /// Narrow wire class (width == `Wa`).
+    A,
+    /// Wide wire class (width == `Wb`).
+    B,
+}
+
+/// An allowed spacing interval `min ..= max` (inclusive), in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpacingWindow {
+    /// Smallest legal spacing.
+    pub min: u32,
+    /// Largest legal spacing.
+    pub max: u32,
+}
+
+impl SpacingWindow {
+    /// Creates a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u32, max: u32) -> Self {
+        assert!(min <= max, "spacing window min must not exceed max");
+        SpacingWindow { min, max }
+    }
+
+    /// Whether `s` lies inside the window.
+    pub fn contains(&self, s: u32) -> bool {
+        s >= self.min && s <= self.max
+    }
+}
+
+/// Width-dependent spacing windows (paper rules R1.1–R1.4).
+///
+/// `windows[i][j]` constrains the gap between a left wire of class `i`
+/// (0 = A, 1 = B) and a right wire of class `j`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpacingTable {
+    /// Width defining class A (`Wa`).
+    pub width_a: u32,
+    /// Width defining class B (`Wb`).
+    pub width_b: u32,
+    /// `windows[left class][right class]`.
+    pub windows: [[SpacingWindow; 2]; 2],
+}
+
+impl SpacingTable {
+    /// Classifies a measured wire width, or `None` when it matches neither
+    /// class (exempt from the table).
+    pub fn classify(&self, width: u32) -> Option<WidthClass> {
+        if width == self.width_a {
+            Some(WidthClass::A)
+        } else if width == self.width_b {
+            Some(WidthClass::B)
+        } else {
+            None
+        }
+    }
+
+    /// The window for a `(left, right)` class pair.
+    pub fn window(&self, left: WidthClass, right: WidthClass) -> SpacingWindow {
+        let i = usize::from(left == WidthClass::B);
+        let j = usize::from(right == WidthClass::B);
+        self.windows[i][j]
+    }
+}
+
+/// A complete design-rule deck.
+///
+/// All lengths are in design-grid pixels, areas in pixels². `None` in an
+/// optional field disables that rule, so the same checker covers both the
+/// basic (academic) and advanced (industrial) settings of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleDeck {
+    /// Human-readable deck name (e.g. `"synthnode3-advanced"`).
+    pub name: String,
+    /// R3-W: minimum feature width, both axes.
+    pub min_width: u32,
+    /// Complex setting: maximum wire-body width, both axes.
+    pub max_width: Option<u32>,
+    /// R3.1-W: the discrete set of allowed wire-body widths (sorted).
+    pub discrete_widths: Option<Vec<u32>>,
+    /// Persistence threshold (physical length) above which a bar counts as
+    /// a *wire body* and the discrete-width rule applies.
+    pub wire_min_len: u32,
+    /// R1-S: minimum side-to-side spacing between facing edges in a row.
+    pub min_spacing: u32,
+    /// Complex setting: maximum side-to-side spacing between facing edges.
+    pub max_spacing: Option<u32>,
+    /// R2-E: minimum end-to-end (vertical) spacing between stacked shapes.
+    pub min_end_to_end: u32,
+    /// R4-A: minimum shape area.
+    pub min_area: u64,
+    /// R4-A: maximum shape area.
+    pub max_area: Option<u64>,
+    /// R1.1–R1.4: width-dependent spacing windows (advanced set).
+    pub spacing_table: Option<SpacingTable>,
+}
+
+impl RuleDeck {
+    /// A basic (academic-style) deck: min width/spacing/E2E and a minimum
+    /// area, with no discrete or width-dependent constraints — the setting
+    /// in which prior work (CUP, DiffPattern) was demonstrated.
+    pub fn basic(
+        name: &str,
+        min_width: u32,
+        min_spacing: u32,
+        min_end_to_end: u32,
+        min_area: u64,
+    ) -> Self {
+        RuleDeck {
+            name: name.to_owned(),
+            min_width,
+            max_width: None,
+            discrete_widths: None,
+            wire_min_len: u32::MAX, // discrete rule disabled anyway
+            min_spacing,
+            max_spacing: None,
+            min_end_to_end,
+            min_area,
+            max_area: None,
+            spacing_table: None,
+        }
+    }
+
+    /// Whether this deck has any advanced (discrete / table) constraint.
+    pub fn is_advanced(&self) -> bool {
+        self.discrete_widths.is_some() || self.spacing_table.is_some()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found: a zero
+    /// minimum width/spacing, an unsorted or sub-minimum discrete set, an
+    /// inverted area range, or a table window below the global minimum.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_width == 0 {
+            return Err("min_width must be positive".into());
+        }
+        if self.min_spacing == 0 {
+            return Err("min_spacing must be positive".into());
+        }
+        if let Some(ws) = &self.discrete_widths {
+            if ws.is_empty() {
+                return Err("discrete_widths must be non-empty when present".into());
+            }
+            if !ws.windows(2).all(|w| w[0] < w[1]) {
+                return Err("discrete_widths must be strictly increasing".into());
+            }
+            if ws[0] < self.min_width {
+                return Err("discrete widths must respect min_width".into());
+            }
+        }
+        if let Some(max_area) = self.max_area {
+            if max_area < self.min_area {
+                return Err("max_area must be >= min_area".into());
+            }
+        }
+        if let Some(t) = &self.spacing_table {
+            if t.width_a >= t.width_b {
+                return Err("spacing table requires width_a < width_b".into());
+            }
+            for row in &t.windows {
+                for w in row {
+                    if w.min < self.min_spacing {
+                        return Err("table windows must respect min_spacing".into());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for RuleDeck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (W>={}, S>={}, E2E>={}, A in {}..{}{})",
+            self.name,
+            self.min_width,
+            self.min_spacing,
+            self.min_end_to_end,
+            self.min_area,
+            self.max_area.map_or("inf".into(), |a| a.to_string()),
+            if self.is_advanced() { ", advanced" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SpacingTable {
+        SpacingTable {
+            width_a: 3,
+            width_b: 5,
+            windows: [
+                [SpacingWindow::new(3, 24), SpacingWindow::new(4, 24)],
+                [SpacingWindow::new(4, 24), SpacingWindow::new(5, 24)],
+            ],
+        }
+    }
+
+    #[test]
+    fn window_contains_bounds() {
+        let w = SpacingWindow::new(3, 7);
+        assert!(w.contains(3) && w.contains(7));
+        assert!(!w.contains(2) && !w.contains(8));
+    }
+
+    #[test]
+    fn classify_widths() {
+        let t = table();
+        assert_eq!(t.classify(3), Some(WidthClass::A));
+        assert_eq!(t.classify(5), Some(WidthClass::B));
+        assert_eq!(t.classify(4), None);
+    }
+
+    #[test]
+    fn window_lookup_is_asymmetric() {
+        let mut t = table();
+        t.windows[0][1] = SpacingWindow::new(6, 9);
+        assert_eq!(t.window(WidthClass::A, WidthClass::B).min, 6);
+        assert_eq!(t.window(WidthClass::B, WidthClass::A).min, 4);
+    }
+
+    #[test]
+    fn basic_deck_is_not_advanced() {
+        let d = RuleDeck::basic("t", 3, 3, 4, 12);
+        assert!(!d.is_advanced());
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_discrete_set() {
+        let mut d = RuleDeck::basic("t", 3, 3, 4, 12);
+        d.discrete_widths = Some(vec![5, 3]);
+        assert!(d.validate().is_err());
+        d.discrete_widths = Some(vec![2, 5]);
+        assert!(d.validate().is_err());
+        d.discrete_widths = Some(vec![3, 5]);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_area() {
+        let mut d = RuleDeck::basic("t", 3, 3, 4, 20);
+        d.max_area = Some(10);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_table_below_min_spacing() {
+        let mut d = RuleDeck::basic("t", 3, 5, 4, 12);
+        d.spacing_table = Some(table()); // windows start at 3 < min_spacing 5
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn window_rejects_inverted() {
+        let _ = SpacingWindow::new(5, 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Connected-component extraction on layouts.
+
+use crate::layout::Layout;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// One 4-connected metal component of a layout.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Component {
+    /// Number of metal pixels in the component.
+    pub area: u64,
+    /// Tight bounding box.
+    pub bbox: Rect,
+}
+
+/// Extracts all 4-connected metal components.
+///
+/// Components are returned in raster-scan order of their first pixel.
+/// Diagonal adjacency does **not** connect (matching how metal shapes merge
+/// physically only when they share an edge).
+///
+/// # Example
+///
+/// ```
+/// use pp_geometry::{connected_components, Layout, Rect};
+///
+/// let mut l = Layout::new(8, 8);
+/// l.fill_rect(Rect::new(0, 0, 2, 2));
+/// l.fill_rect(Rect::new(4, 4, 3, 2));
+/// let comps = connected_components(&l);
+/// assert_eq!(comps.len(), 2);
+/// assert_eq!(comps[0].area, 4);
+/// assert_eq!(comps[1].bbox, Rect::new(4, 4, 3, 2));
+/// ```
+pub fn connected_components(layout: &Layout) -> Vec<Component> {
+    let w = layout.width() as usize;
+    let h = layout.height() as usize;
+    let mut visited = vec![false; w * h];
+    let mut out = Vec::new();
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+
+    for y0 in 0..layout.height() {
+        for x0 in 0..layout.width() {
+            let i0 = (y0 as usize) * w + x0 as usize;
+            if visited[i0] || !layout.get(x0, y0) {
+                continue;
+            }
+            let mut area = 0u64;
+            let (mut minx, mut miny, mut maxx, mut maxy) = (x0, y0, x0, y0);
+            stack.push((x0, y0));
+            visited[i0] = true;
+            while let Some((x, y)) = stack.pop() {
+                area += 1;
+                minx = minx.min(x);
+                maxx = maxx.max(x);
+                miny = miny.min(y);
+                maxy = maxy.max(y);
+                let mut push = |nx: u32, ny: u32, stack: &mut Vec<(u32, u32)>| {
+                    let ni = (ny as usize) * w + nx as usize;
+                    if !visited[ni] && layout.get(nx, ny) {
+                        visited[ni] = true;
+                        stack.push((nx, ny));
+                    }
+                };
+                if x > 0 {
+                    push(x - 1, y, &mut stack);
+                }
+                if x + 1 < layout.width() {
+                    push(x + 1, y, &mut stack);
+                }
+                if y > 0 {
+                    push(x, y - 1, &mut stack);
+                }
+                if y + 1 < layout.height() {
+                    push(x, y + 1, &mut stack);
+                }
+            }
+            out.push(Component {
+                area,
+                bbox: Rect::from_bounds(minx, miny, maxx + 1, maxy + 1),
+            });
+        }
+        let _ = h; // silence unused in release
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_layout_has_no_components() {
+        assert!(connected_components(&Layout::new(4, 4)).is_empty());
+    }
+
+    #[test]
+    fn single_rect() {
+        let mut l = Layout::new(6, 6);
+        l.fill_rect(Rect::new(1, 2, 3, 2));
+        let comps = connected_components(&l);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 6);
+        assert_eq!(comps[0].bbox, Rect::new(1, 2, 3, 2));
+    }
+
+    #[test]
+    fn diagonal_touch_does_not_connect() {
+        let mut l = Layout::new(4, 4);
+        l.set(0, 0, true);
+        l.set(1, 1, true);
+        assert_eq!(connected_components(&l).len(), 2);
+    }
+
+    #[test]
+    fn l_shape_is_one_component() {
+        let mut l = Layout::new(8, 8);
+        l.fill_rect(Rect::new(1, 1, 2, 6));
+        l.fill_rect(Rect::new(1, 5, 6, 2));
+        let comps = connected_components(&l);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 2 * 6 + 6 * 2 - 2 * 2);
+    }
+
+    proptest! {
+        /// Total component area equals the layout's metal area.
+        #[test]
+        fn prop_total_area(rects in proptest::collection::vec(
+            (0u32..12, 0u32..12, 1u32..6, 1u32..6), 0..5)) {
+            let mut l = Layout::new(16, 16);
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            let total: u64 = connected_components(&l).iter().map(|c| c.area).sum();
+            prop_assert_eq!(total, l.metal_area());
+        }
+
+        /// Every component fits in its bounding box.
+        #[test]
+        fn prop_bbox_contains_area(rects in proptest::collection::vec(
+            (0u32..12, 0u32..12, 1u32..6, 1u32..6), 1..5)) {
+            let mut l = Layout::new(16, 16);
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            for c in connected_components(&l) {
+                prop_assert!(c.area <= c.bbox.area());
+            }
+        }
+    }
+}

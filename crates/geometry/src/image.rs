@@ -1,0 +1,210 @@
+//! Grayscale floating-point images bridging layouts and the diffusion model.
+//!
+//! The diffusion substrate works in continuous pixel space; [`GrayImage`]
+//! holds one f32 per pixel in nominal range `[-1, 1]` (metal = +1, empty =
+//! -1, the usual normalisation for image diffusion models).
+
+use crate::layout::Layout;
+use serde::{Deserialize, Serialize};
+
+/// A dense grayscale image with f32 pixels.
+///
+/// # Example
+///
+/// ```
+/// use pp_geometry::{GrayImage, Layout, Rect};
+///
+/// let mut l = Layout::new(4, 4);
+/// l.fill_rect(Rect::new(0, 0, 2, 4));
+/// let img = GrayImage::from_layout(&l);
+/// assert_eq!(img.get(0, 0), 1.0);
+/// assert_eq!(img.get(3, 0), -1.0);
+/// assert_eq!(img.to_layout(0.0), l);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    pixels: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates an image filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(width: u32, height: u32, value: f32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        GrayImage {
+            width,
+            height,
+            pixels: vec![value; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Creates an all-background (−1) image.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self::filled(width, height, -1.0)
+    }
+
+    /// Wraps a row-major pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height`.
+    pub fn from_pixels(width: u32, height: u32, pixels: Vec<f32>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        assert_eq!(
+            pixels.len(),
+            (width as usize) * (height as usize),
+            "pixel count must match dimensions"
+        );
+        GrayImage { width, height, pixels }
+    }
+
+    /// Encodes a binary layout as ±1 pixels.
+    pub fn from_layout(layout: &Layout) -> Self {
+        let pixels = layout.iter().map(|b| if b { 1.0 } else { -1.0 }).collect();
+        GrayImage {
+            width: layout.width(),
+            height: layout.height(),
+            pixels,
+        }
+    }
+
+    /// Thresholds back to a binary layout (`pixel > threshold` ⇒ metal).
+    pub fn to_layout(&self, threshold: f32) -> Layout {
+        let bits = self.pixels.iter().map(|&p| p > threshold).collect();
+        Layout::from_bits(self.width, self.height, bits)
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        (y as usize) * (self.width as usize) + (x as usize)
+    }
+
+    /// Reads pixel `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        self.pixels[self.idx(x, y)]
+    }
+
+    /// Writes pixel `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, value: f32) {
+        let i = self.idx(x, y);
+        self.pixels[i] = value;
+    }
+
+    /// Raw row-major pixels.
+    pub fn as_pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mutable raw pixels.
+    pub fn as_pixels_mut(&mut self) -> &mut [f32] {
+        &mut self.pixels
+    }
+
+    /// Consumes the image, returning its pixel buffer.
+    pub fn into_pixels(self) -> Vec<f32> {
+        self.pixels
+    }
+
+    /// Clamps every pixel into `[lo, hi]`.
+    pub fn clamp(&mut self, lo: f32, hi: f32) {
+        for p in &mut self.pixels {
+            *p = p.clamp(lo, hi);
+        }
+    }
+
+    /// Mean absolute difference against another image.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mean_abs_diff(&self, other: &GrayImage) -> f32 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image dimensions must match"
+        );
+        let sum: f32 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        sum / self.pixels.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+    use proptest::prelude::*;
+
+    #[test]
+    fn layout_roundtrip() {
+        let mut l = Layout::new(6, 5);
+        l.fill_rect(Rect::new(1, 1, 3, 3));
+        let img = GrayImage::from_layout(&l);
+        assert_eq!(img.to_layout(0.0), l);
+    }
+
+    #[test]
+    fn threshold_splits_pixels() {
+        let img = GrayImage::from_pixels(2, 1, vec![0.4, 0.6]);
+        let l = img.to_layout(0.5);
+        assert!(!l.get(0, 0));
+        assert!(l.get(1, 0));
+    }
+
+    #[test]
+    fn clamp_bounds_pixels() {
+        let mut img = GrayImage::from_pixels(3, 1, vec![-5.0, 0.2, 7.0]);
+        img.clamp(-1.0, 1.0);
+        assert_eq!(img.as_pixels(), &[-1.0, 0.2, 1.0]);
+    }
+
+    #[test]
+    fn mean_abs_diff_zero_for_self() {
+        let img = GrayImage::filled(4, 4, 0.3);
+        assert_eq!(img.mean_abs_diff(&img), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_diff_simple() {
+        let a = GrayImage::filled(2, 2, 1.0);
+        let b = GrayImage::filled(2, 2, 0.0);
+        assert!((a.mean_abs_diff(&b) - 1.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// from_layout always produces exactly ±1 pixels.
+        #[test]
+        fn prop_binary_pixels(rects in proptest::collection::vec(
+            (0u32..8, 0u32..8, 1u32..4, 1u32..4), 0..4)) {
+            let mut l = Layout::new(10, 10);
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            let img = GrayImage::from_layout(&l);
+            prop_assert!(img.as_pixels().iter().all(|&p| p == 1.0 || p == -1.0));
+            prop_assert_eq!(img.to_layout(0.0), l);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Binary single-layer layout rasters.
+
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A single-layer Manhattan layout clip as a binary raster.
+///
+/// Each pixel is one design-grid unit (nominally a few nanometres). `true`
+/// means metal is present. This is the "pixel-based representation" that
+/// PatternPaint operates on: Δx/Δy of the squish grid are pre-defined with a
+/// fixed physical width per pixel, so no nonlinear solver is needed to
+/// recover geometry.
+///
+/// # Example
+///
+/// ```
+/// use pp_geometry::{Layout, Rect};
+///
+/// let mut l = Layout::new(8, 8);
+/// l.fill_rect(Rect::new(1, 1, 2, 6));
+/// assert!(l.get(1, 3));
+/// assert!(!l.get(4, 4));
+/// assert_eq!(l.metal_area(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layout {
+    width: u32,
+    height: u32,
+    bits: Vec<bool>,
+}
+
+impl Layout {
+    /// Creates an empty (all-zero) layout clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "layout dimensions must be nonzero");
+        Layout {
+            width,
+            height,
+            bits: vec![false; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Builds a layout from a row-major bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != width * height` or a dimension is zero.
+    pub fn from_bits(width: u32, height: u32, bits: Vec<bool>) -> Self {
+        assert!(width > 0 && height > 0, "layout dimensions must be nonzero");
+        assert_eq!(
+            bits.len(),
+            (width as usize) * (height as usize),
+            "bit vector length must match dimensions"
+        );
+        Layout { width, height, bits }
+    }
+
+    /// Parses a layout from an ASCII art string where `#`/`1` are metal and
+    /// `.`/`0`/space are empty. Rows are newline-separated; all rows must
+    /// have equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows, unknown characters or an empty string.
+    pub fn from_ascii(art: &str) -> Self {
+        let rows: Vec<&str> = art
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        assert!(!rows.is_empty(), "empty ascii layout");
+        let width = rows[0].chars().count() as u32;
+        let height = rows.len() as u32;
+        let mut bits = Vec::with_capacity((width * height) as usize);
+        for row in &rows {
+            assert_eq!(row.chars().count() as u32, width, "ragged ascii layout");
+            for ch in row.chars() {
+                match ch {
+                    '#' | '1' => bits.push(true),
+                    '.' | '0' | ' ' => bits.push(false),
+                    other => panic!("unknown layout character {other:?}"),
+                }
+            }
+        }
+        Layout::from_bits(width, height, bits)
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The clip as a rectangle at the origin.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0, 0, self.width, self.height)
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        (y as usize) * (self.width as usize) + (x as usize)
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds (in debug builds; release builds may return
+    /// an arbitrary pixel via the flattened index).
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> bool {
+        self.bits[self.idx(x, y)]
+    }
+
+    /// Writes the pixel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, value: bool) {
+        let i = self.idx(x, y);
+        self.bits[i] = value;
+    }
+
+    /// Fills `rect ∩ bounds` with metal.
+    pub fn fill_rect(&mut self, rect: Rect) {
+        self.paint_rect(rect, true);
+    }
+
+    /// Clears `rect ∩ bounds`.
+    pub fn clear_rect(&mut self, rect: Rect) {
+        self.paint_rect(rect, false);
+    }
+
+    fn paint_rect(&mut self, rect: Rect, value: bool) {
+        if let Some(r) = rect.intersect(&self.bounds()) {
+            for y in r.y..r.bottom() {
+                for x in r.x..r.right() {
+                    let i = self.idx(x, y);
+                    self.bits[i] = value;
+                }
+            }
+        }
+    }
+
+    /// Number of metal pixels.
+    pub fn metal_area(&self) -> u64 {
+        self.bits.iter().filter(|&&b| b).count() as u64
+    }
+
+    /// Metal density in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.metal_area() as f64 / (self.width as f64 * self.height as f64)
+    }
+
+    /// Row-major iterator over pixels.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Raw row-major bits.
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// One row of pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= height`.
+    pub fn row(&self, y: u32) -> &[bool] {
+        assert!(y < self.height);
+        let start = (y as usize) * (self.width as usize);
+        &self.bits[start..start + self.width as usize]
+    }
+
+    /// Extracts the sub-clip `rect ∩ bounds` as a new layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intersection is empty.
+    pub fn crop(&self, rect: Rect) -> Layout {
+        let r = rect
+            .intersect(&self.bounds())
+            .expect("crop rect must intersect layout");
+        let mut out = Layout::new(r.w, r.h);
+        for y in 0..r.h {
+            for x in 0..r.w {
+                out.set(x, y, self.get(r.x + x, r.y + y));
+            }
+        }
+        out
+    }
+
+    /// Pastes `src` with its top-left corner at `(x, y)`, clipping at the
+    /// boundary.
+    pub fn paste(&mut self, src: &Layout, x: u32, y: u32) {
+        for sy in 0..src.height() {
+            let dy = y + sy;
+            if dy >= self.height {
+                break;
+            }
+            for sx in 0..src.width() {
+                let dx = x + sx;
+                if dx >= self.width {
+                    break;
+                }
+                self.set(dx, dy, src.get(sx, sy));
+            }
+        }
+    }
+
+    /// Mirrors the layout left-right.
+    pub fn flip_horizontal(&self) -> Layout {
+        let mut out = Layout::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.set(self.width - 1 - x, y, self.get(x, y));
+            }
+        }
+        out
+    }
+
+    /// Mirrors the layout top-bottom.
+    pub fn flip_vertical(&self) -> Layout {
+        let mut out = Layout::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.set(x, self.height - 1 - y, self.get(x, y));
+            }
+        }
+        out
+    }
+
+    /// Rotates the clip 90° clockwise (width and height swap).
+    pub fn rotate_cw(&self) -> Layout {
+        let mut out = Layout::new(self.height, self.width);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.set(self.height - 1 - y, x, self.get(x, y));
+            }
+        }
+        out
+    }
+
+    /// Per-pixel logical OR of two equally sized clips.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn or(&self, other: &Layout) -> Layout {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "layout dimensions must match"
+        );
+        let bits = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(&a, &b)| a || b)
+            .collect();
+        Layout::from_bits(self.width, self.height, bits)
+    }
+
+    /// Number of pixels whose value differs between the two clips.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn hamming_distance(&self, other: &Layout) -> u64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "layout dimensions must match"
+        );
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_query() {
+        let mut l = Layout::new(10, 10);
+        l.fill_rect(Rect::new(2, 2, 3, 4));
+        assert!(l.get(2, 2) && l.get(4, 5));
+        assert!(!l.get(5, 2) && !l.get(2, 6));
+        assert_eq!(l.metal_area(), 12);
+    }
+
+    #[test]
+    fn fill_clips_at_boundary() {
+        let mut l = Layout::new(4, 4);
+        l.fill_rect(Rect::new(2, 2, 10, 10));
+        assert_eq!(l.metal_area(), 4);
+    }
+
+    #[test]
+    fn clear_rect_removes_metal() {
+        let mut l = Layout::new(6, 6);
+        l.fill_rect(Rect::new(0, 0, 6, 6));
+        l.clear_rect(Rect::new(1, 1, 4, 4));
+        assert_eq!(l.metal_area(), 36 - 16);
+        assert!(!l.get(2, 2));
+        assert!(l.get(0, 0));
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let art = "\
+            ##..\n\
+            ##..\n\
+            ..##\n\
+            ..##";
+        let l = Layout::from_ascii(art);
+        assert_eq!(l.width(), 4);
+        assert_eq!(l.height(), 4);
+        assert!(l.get(0, 0) && l.get(3, 3));
+        assert!(!l.get(2, 0));
+    }
+
+    #[test]
+    fn crop_and_paste_roundtrip() {
+        let mut l = Layout::new(8, 8);
+        l.fill_rect(Rect::new(1, 1, 3, 3));
+        let sub = l.crop(Rect::new(0, 0, 4, 4));
+        let mut back = Layout::new(8, 8);
+        back.paste(&sub, 0, 0);
+        assert_eq!(back.crop(Rect::new(0, 0, 4, 4)), sub);
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let mut l = Layout::new(5, 7);
+        l.fill_rect(Rect::new(0, 1, 2, 3));
+        assert_eq!(l.flip_horizontal().flip_horizontal(), l);
+        assert_eq!(l.flip_vertical().flip_vertical(), l);
+    }
+
+    #[test]
+    fn rotate_four_times_is_identity() {
+        let mut l = Layout::new(4, 6);
+        l.fill_rect(Rect::new(1, 2, 2, 3));
+        let r = l.rotate_cw().rotate_cw().rotate_cw().rotate_cw();
+        assert_eq!(r, l);
+    }
+
+    #[test]
+    fn density_of_half_filled() {
+        let mut l = Layout::new(4, 4);
+        l.fill_rect(Rect::new(0, 0, 4, 2));
+        assert!((l.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let mut a = Layout::new(4, 4);
+        let mut b = Layout::new(4, 4);
+        a.fill_rect(Rect::new(0, 0, 2, 1));
+        b.fill_rect(Rect::new(1, 0, 2, 1));
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn or_unions_metal() {
+        let mut a = Layout::new(3, 1);
+        let mut b = Layout::new(3, 1);
+        a.set(0, 0, true);
+        b.set(2, 0, true);
+        let u = a.or(&b);
+        assert!(u.get(0, 0) && u.get(2, 0) && !u.get(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = Layout::new(0, 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Axis-aligned integer rectangles on the design grid.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle in pixel coordinates.
+///
+/// `x`/`y` are the top-left corner; `w`/`h` are the extent in pixels. A
+/// rectangle with zero width or height is *empty* and contains no pixels.
+///
+/// # Example
+///
+/// ```
+/// use pp_geometry::Rect;
+///
+/// let r = Rect::new(2, 3, 4, 5);
+/// assert_eq!(r.area(), 20);
+/// assert!(r.contains(2, 3));
+/// assert!(!r.contains(6, 3)); // exclusive right edge
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x: u32,
+    /// Top edge (inclusive).
+    pub y: u32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and extent.
+    pub fn new(x: u32, y: u32, w: u32, h: u32) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Creates a rectangle from inclusive-exclusive pixel bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 < x0` or `y1 < y0`.
+    pub fn from_bounds(x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        assert!(x1 >= x0 && y1 >= y0, "invalid rect bounds");
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// The number of pixels covered.
+    pub fn area(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.h)
+    }
+
+    /// Whether no pixels are covered.
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Exclusive right edge.
+    pub fn right(&self) -> u32 {
+        self.x + self.w
+    }
+
+    /// Exclusive bottom edge.
+    pub fn bottom(&self) -> u32 {
+        self.y + self.h
+    }
+
+    /// Whether the pixel `(px, py)` lies inside.
+    pub fn contains(&self, px: u32, py: u32) -> bool {
+        px >= self.x && px < self.right() && py >= self.y && py < self.bottom()
+    }
+
+    /// The intersection with `other`, or `None` when disjoint (or when the
+    /// intersection would be empty).
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x1 > x0 && y1 > y0 {
+            Some(Rect::from_bounds(x0, y0, x1, y1))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the two rectangles share at least one pixel.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// The smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = self.right().max(other.right());
+        let y1 = self.bottom().max(other.bottom());
+        Rect::from_bounds(x0, y0, x1, y1)
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{} {}x{}]", self.x, self.y, self.w, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_empty() {
+        assert_eq!(Rect::new(0, 0, 3, 4).area(), 12);
+        assert!(Rect::new(5, 5, 0, 4).is_empty());
+        assert!(!Rect::new(5, 5, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn contains_edges() {
+        let r = Rect::new(1, 1, 2, 2);
+        assert!(r.contains(1, 1));
+        assert!(r.contains(2, 2));
+        assert!(!r.contains(3, 2));
+        assert!(!r.contains(0, 1));
+    }
+
+    #[test]
+    fn intersect_disjoint() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(2, 0, 2, 2); // touching edge, no shared pixel
+        assert_eq!(a.intersect(&b), None);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 1, 4, 4);
+        assert_eq!(a.intersect(&b), Some(Rect::new(2, 1, 2, 3)));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(5, 5, 1, 1);
+        let u = a.union(&b);
+        assert!(u.contains(0, 0) && u.contains(5, 5));
+        assert_eq!(u, Rect::new(0, 0, 6, 6));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = Rect::new(3, 3, 2, 2);
+        let e = Rect::new(9, 9, 0, 0);
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.union(&a), a);
+    }
+
+    #[test]
+    fn from_bounds_roundtrip() {
+        let r = Rect::from_bounds(2, 3, 7, 9);
+        assert_eq!((r.x, r.y, r.right(), r.bottom()), (2, 3, 7, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rect bounds")]
+    fn from_bounds_rejects_inverted() {
+        let _ = Rect::from_bounds(5, 0, 2, 1);
+    }
+}

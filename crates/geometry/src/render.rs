@@ -1,0 +1,134 @@
+//! Rendering layouts and images for inspection (ASCII art, PGM files).
+//!
+//! The paper's Figure 8 is a gallery of generated variations; these helpers
+//! let the bench harness write the same gallery as portable graymaps plus
+//! terminal-friendly ASCII.
+
+use crate::image::GrayImage;
+use crate::layout::Layout;
+use std::io::{self, Write};
+
+/// Renders a layout as ASCII art (`#` = metal, `.` = empty).
+///
+/// # Example
+///
+/// ```
+/// use pp_geometry::{Layout, Rect};
+/// use pp_geometry::render::to_ascii;
+///
+/// let mut l = Layout::new(3, 2);
+/// l.fill_rect(Rect::new(0, 0, 1, 2));
+/// assert_eq!(to_ascii(&l), "#..\n#..\n");
+/// ```
+pub fn to_ascii(layout: &Layout) -> String {
+    let mut s = String::with_capacity(((layout.width() + 1) * layout.height()) as usize);
+    for y in 0..layout.height() {
+        for x in 0..layout.width() {
+            s.push(if layout.get(x, y) { '#' } else { '.' });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders two layouts side by side with a gutter, for diff-style viewing.
+///
+/// # Panics
+///
+/// Panics if heights differ.
+pub fn to_ascii_pair(left: &Layout, right: &Layout) -> String {
+    assert_eq!(left.height(), right.height(), "heights must match");
+    let mut s = String::new();
+    for y in 0..left.height() {
+        for x in 0..left.width() {
+            s.push(if left.get(x, y) { '#' } else { '.' });
+        }
+        s.push_str("  |  ");
+        for x in 0..right.width() {
+            s.push(if right.get(x, y) { '#' } else { '.' });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Writes a binary layout as an 8-bit PGM (P5) image.
+///
+/// Metal renders dark (0), background light (255), matching typical layout
+/// viewers.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`. A `&mut W` may be passed wherever a
+/// `W: Write` is expected.
+pub fn write_pgm<W: Write>(layout: &Layout, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "P5")?;
+    writeln!(writer, "{} {}", layout.width(), layout.height())?;
+    writeln!(writer, "255")?;
+    let bytes: Vec<u8> = layout.iter().map(|b| if b { 0 } else { 255 }).collect();
+    writer.write_all(&bytes)
+}
+
+/// Writes a grayscale image as an 8-bit PGM (P5), mapping `[-1, 1] → [255, 0]`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_gray_pgm<W: Write>(image: &GrayImage, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "P5")?;
+    writeln!(writer, "{} {}", image.width(), image.height())?;
+    writeln!(writer, "255")?;
+    let bytes: Vec<u8> = image
+        .as_pixels()
+        .iter()
+        .map(|&p| {
+            let v = (1.0 - (p.clamp(-1.0, 1.0) + 1.0) / 2.0) * 255.0;
+            v.round() as u8
+        })
+        .collect();
+    writer.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    #[test]
+    fn ascii_matches_from_ascii() {
+        let mut l = Layout::new(4, 3);
+        l.fill_rect(Rect::new(1, 0, 2, 3));
+        let art = to_ascii(&l);
+        assert_eq!(Layout::from_ascii(&art), l);
+    }
+
+    #[test]
+    fn pair_render_has_gutter() {
+        let l = Layout::new(2, 2);
+        let s = to_ascii_pair(&l, &l);
+        assert!(s.lines().all(|line| line.contains("  |  ")));
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let mut l = Layout::new(3, 2);
+        l.set(0, 0, true);
+        let mut buf = Vec::new();
+        write_pgm(&l, &mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf[..12]);
+        assert!(text.starts_with("P5\n3 2\n255\n"));
+        // 6 payload bytes follow the header.
+        assert_eq!(buf.len(), 11 + 6);
+        assert_eq!(buf[11], 0); // metal pixel is dark
+        assert_eq!(buf[12], 255);
+    }
+
+    #[test]
+    fn gray_pgm_maps_range() {
+        let img = GrayImage::from_pixels(2, 1, vec![-1.0, 1.0]);
+        let mut buf = Vec::new();
+        write_gray_pgm(&img, &mut buf).unwrap();
+        let n = buf.len();
+        assert_eq!(&buf[n - 2..], &[255, 0]);
+    }
+}

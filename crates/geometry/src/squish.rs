@@ -1,0 +1,353 @@
+//! The squish pattern representation (topology matrix + Δ vectors).
+//!
+//! A squish pattern compresses a Manhattan layout into a small binary
+//! *topology matrix* plus two vectors of physical interval widths (Δx, Δy).
+//! Scan lines are placed at every x (resp. y) coordinate where some polygon
+//! edge lies; the matrix cell `(i, j)` records whether the region between
+//! scan lines `j`/`j+1` (x) and `i`/`i+1` (y) is metal.
+
+use crate::layout::Layout;
+use crate::topology::TopologyMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Returns the x coordinates of vertical scan lines of `layout`.
+///
+/// A scan line exists at `x` iff some row changes value between columns
+/// `x-1` and `x` (plus the implicit clip borders 0 and `width`). The
+/// returned vector is sorted, starts with 0 and ends with `width`.
+///
+/// # Example
+///
+/// ```
+/// use pp_geometry::{scan_lines_x, Layout, Rect};
+/// let mut l = Layout::new(8, 4);
+/// l.fill_rect(Rect::new(2, 0, 3, 4));
+/// assert_eq!(scan_lines_x(&l), vec![0, 2, 5, 8]);
+/// ```
+pub fn scan_lines_x(layout: &Layout) -> Vec<u32> {
+    let mut lines = vec![0u32];
+    for x in 1..layout.width() {
+        let mut edge = false;
+        for y in 0..layout.height() {
+            if layout.get(x - 1, y) != layout.get(x, y) {
+                edge = true;
+                break;
+            }
+        }
+        if edge {
+            lines.push(x);
+        }
+    }
+    lines.push(layout.width());
+    lines
+}
+
+/// Returns the y coordinates of horizontal scan lines of `layout`.
+///
+/// Symmetric to [`scan_lines_x`].
+pub fn scan_lines_y(layout: &Layout) -> Vec<u32> {
+    let mut lines = vec![0u32];
+    for y in 1..layout.height() {
+        let mut edge = false;
+        for x in 0..layout.width() {
+            if layout.get(x, y - 1) != layout.get(x, y) {
+                edge = true;
+                break;
+            }
+        }
+        if edge {
+            lines.push(y);
+        }
+    }
+    lines.push(layout.height());
+    lines
+}
+
+/// A layout in squish form: binary topology matrix plus Δx/Δy widths.
+///
+/// Invariants (maintained by all constructors):
+/// * `topology.cols() == dx.len()` and `topology.rows() == dy.len()`;
+/// * every Δ entry is ≥ 1.
+///
+/// # Example
+///
+/// ```
+/// use pp_geometry::{Layout, Rect, SquishPattern};
+/// let mut l = Layout::new(8, 8);
+/// l.fill_rect(Rect::new(2, 1, 3, 6));
+/// let s = SquishPattern::from_layout(&l);
+/// assert_eq!(s.to_layout(), l);
+/// assert_eq!(s.dx().iter().sum::<u32>(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SquishPattern {
+    topology: TopologyMatrix,
+    dx: Vec<u32>,
+    dy: Vec<u32>,
+}
+
+impl SquishPattern {
+    /// Assembles a squish pattern from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Δ vector lengths do not match the topology dimensions
+    /// or any Δ is zero.
+    pub fn new(topology: TopologyMatrix, dx: Vec<u32>, dy: Vec<u32>) -> Self {
+        assert_eq!(topology.cols(), dx.len(), "dx length must equal topology cols");
+        assert_eq!(topology.rows(), dy.len(), "dy length must equal topology rows");
+        assert!(dx.iter().all(|&d| d > 0), "dx entries must be positive");
+        assert!(dy.iter().all(|&d| d > 0), "dy entries must be positive");
+        SquishPattern { topology, dx, dy }
+    }
+
+    /// Extracts the squish representation of a raster layout.
+    pub fn from_layout(layout: &Layout) -> Self {
+        let xs = scan_lines_x(layout);
+        let ys = scan_lines_y(layout);
+        Self::from_layout_with_lines(layout, &xs, &ys)
+    }
+
+    /// Builds a squish pattern from a raster using the *given* scan lines.
+    ///
+    /// The cell value is decided by majority vote of the raster pixels it
+    /// covers, which makes this robust to noisy rasters whose edges do not
+    /// exactly coincide with the provided lines (used by template-based
+    /// denoising).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either line set has fewer than two entries, is unsorted,
+    /// contains duplicates, or does not start at 0 / end at the clip size.
+    pub fn from_layout_with_lines(layout: &Layout, xs: &[u32], ys: &[u32]) -> Self {
+        validate_lines(xs, layout.width());
+        validate_lines(ys, layout.height());
+        let cols = xs.len() - 1;
+        let rows = ys.len() - 1;
+        let mut topology = TopologyMatrix::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let mut ones = 0u64;
+                let mut total = 0u64;
+                for y in ys[i]..ys[i + 1] {
+                    for x in xs[j]..xs[j + 1] {
+                        total += 1;
+                        if layout.get(x, y) {
+                            ones += 1;
+                        }
+                    }
+                }
+                topology.set(i, j, ones * 2 > total);
+            }
+        }
+        let dx = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let dy = ys.windows(2).map(|w| w[1] - w[0]).collect();
+        SquishPattern::new(topology, dx, dy)
+    }
+
+    /// Rasterises back to a layout of size `(Σdx, Σdy)`.
+    pub fn to_layout(&self) -> Layout {
+        let width: u32 = self.dx.iter().sum();
+        let height: u32 = self.dy.iter().sum();
+        let mut layout = Layout::new(width, height);
+        let mut y0 = 0u32;
+        for i in 0..self.topology.rows() {
+            let mut x0 = 0u32;
+            for j in 0..self.topology.cols() {
+                if self.topology.get(i, j) {
+                    for y in y0..y0 + self.dy[i] {
+                        for x in x0..x0 + self.dx[j] {
+                            layout.set(x, y, true);
+                        }
+                    }
+                }
+                x0 += self.dx[j];
+            }
+            y0 += self.dy[i];
+        }
+        layout
+    }
+
+    /// The binary topology matrix.
+    pub fn topology(&self) -> &TopologyMatrix {
+        &self.topology
+    }
+
+    /// Interval widths between consecutive x scan lines.
+    pub fn dx(&self) -> &[u32] {
+        &self.dx
+    }
+
+    /// Interval widths between consecutive y scan lines.
+    pub fn dy(&self) -> &[u32] {
+        &self.dy
+    }
+
+    /// Replaces the Δ vectors (e.g. with solver output), keeping topology.
+    ///
+    /// # Panics
+    ///
+    /// Same invariants as [`SquishPattern::new`].
+    pub fn with_deltas(&self, dx: Vec<u32>, dy: Vec<u32>) -> Self {
+        SquishPattern::new(self.topology.clone(), dx, dy)
+    }
+
+    /// Pattern complexity `(Cx, Cy)`: scan-line counts minus one per axis,
+    /// i.e. the numbers of Δ intervals minus one. This is the tuple whose
+    /// library-wide distribution defines the H1 entropy.
+    pub fn complexity(&self) -> (u32, u32) {
+        (self.dx.len() as u32 - 1, self.dy.len() as u32 - 1)
+    }
+
+    /// Cumulative x scan-line coordinates (starting at 0).
+    pub fn x_lines(&self) -> Vec<u32> {
+        cumsum(&self.dx)
+    }
+
+    /// Cumulative y scan-line coordinates (starting at 0).
+    pub fn y_lines(&self) -> Vec<u32> {
+        cumsum(&self.dy)
+    }
+}
+
+fn cumsum(deltas: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(deltas.len() + 1);
+    let mut acc = 0u32;
+    out.push(0);
+    for &d in deltas {
+        acc += d;
+        out.push(acc);
+    }
+    out
+}
+
+fn validate_lines(lines: &[u32], extent: u32) {
+    assert!(lines.len() >= 2, "need at least two scan lines");
+    assert_eq!(lines[0], 0, "scan lines must start at 0");
+    assert_eq!(*lines.last().unwrap(), extent, "scan lines must end at clip size");
+    assert!(
+        lines.windows(2).all(|w| w[0] < w[1]),
+        "scan lines must be strictly increasing"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+    use proptest::prelude::*;
+
+    fn wire_layout() -> Layout {
+        let mut l = Layout::new(12, 10);
+        l.fill_rect(Rect::new(2, 1, 3, 8));
+        l.fill_rect(Rect::new(7, 1, 3, 8));
+        l
+    }
+
+    #[test]
+    fn scan_lines_of_empty_clip() {
+        let l = Layout::new(5, 3);
+        assert_eq!(scan_lines_x(&l), vec![0, 5]);
+        assert_eq!(scan_lines_y(&l), vec![0, 3]);
+    }
+
+    #[test]
+    fn scan_lines_of_two_wires() {
+        let l = wire_layout();
+        assert_eq!(scan_lines_x(&l), vec![0, 2, 5, 7, 10, 12]);
+        assert_eq!(scan_lines_y(&l), vec![0, 1, 9, 10]);
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let l = wire_layout();
+        let s = SquishPattern::from_layout(&l);
+        assert_eq!(s.to_layout(), l);
+    }
+
+    #[test]
+    fn complexity_counts_intervals() {
+        let s = SquishPattern::from_layout(&wire_layout());
+        // 6 x-lines -> 5 intervals -> Cx = 4; 4 y-lines -> 3 intervals -> Cy = 2.
+        assert_eq!(s.complexity(), (4, 2));
+    }
+
+    #[test]
+    fn deltas_sum_to_extent() {
+        let l = wire_layout();
+        let s = SquishPattern::from_layout(&l);
+        assert_eq!(s.dx().iter().sum::<u32>(), l.width());
+        assert_eq!(s.dy().iter().sum::<u32>(), l.height());
+    }
+
+    #[test]
+    fn majority_vote_with_coarse_lines() {
+        // One 4-wide wire; force a single x interval over the full clip:
+        // the cell is mostly empty, so the result is empty.
+        let mut l = Layout::new(10, 4);
+        l.fill_rect(Rect::new(0, 0, 4, 4));
+        let s = SquishPattern::from_layout_with_lines(&l, &[0, 10], &[0, 4]);
+        assert_eq!(s.to_layout().metal_area(), 0);
+    }
+
+    #[test]
+    fn with_deltas_rescales_geometry() {
+        let s = SquishPattern::from_layout(&wire_layout());
+        let dx: Vec<u32> = s.dx().iter().map(|&d| d * 2).collect();
+        let dy = s.dy().to_vec();
+        let scaled = s.with_deltas(dx, dy);
+        assert_eq!(scaled.to_layout().width(), 24);
+        assert_eq!(scaled.topology(), s.topology());
+    }
+
+    #[test]
+    #[should_panic(expected = "dx entries must be positive")]
+    fn zero_delta_rejected() {
+        let s = SquishPattern::from_layout(&wire_layout());
+        let mut dx = s.dx().to_vec();
+        dx[0] = 0;
+        let _ = s.with_deltas(dx, s.dy().to_vec());
+    }
+
+    proptest! {
+        /// Squish roundtrip is the identity on arbitrary rect soups.
+        #[test]
+        fn prop_roundtrip(rects in proptest::collection::vec(
+            (0u32..20, 0u32..20, 1u32..8, 1u32..8), 0..6)) {
+            let mut l = Layout::new(24, 24);
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            let s = SquishPattern::from_layout(&l);
+            prop_assert_eq!(s.to_layout(), l);
+        }
+
+        /// Scan lines are strictly increasing and span the clip.
+        #[test]
+        fn prop_scan_lines_valid(rects in proptest::collection::vec(
+            (0u32..20, 0u32..20, 1u32..8, 1u32..8), 0..6)) {
+            let mut l = Layout::new(24, 24);
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            for lines in [scan_lines_x(&l), scan_lines_y(&l)] {
+                prop_assert_eq!(lines[0], 0);
+                prop_assert_eq!(*lines.last().unwrap(), 24);
+                prop_assert!(lines.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+
+        /// Topology size never exceeds the raster size.
+        #[test]
+        fn prop_compression(rects in proptest::collection::vec(
+            (0u32..20, 0u32..20, 1u32..8, 1u32..8), 0..6)) {
+            let mut l = Layout::new(24, 24);
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            let s = SquishPattern::from_layout(&l);
+            prop_assert!(s.dx().len() <= 24);
+            prop_assert!(s.dy().len() <= 24);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Binary topology matrices for the squish representation.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense binary matrix recording which squish-grid cells contain metal.
+///
+/// Rows index y intervals (top to bottom); columns index x intervals (left
+/// to right).
+///
+/// # Example
+///
+/// ```
+/// use pp_geometry::TopologyMatrix;
+///
+/// let mut t = TopologyMatrix::new(2, 3);
+/// t.set(0, 1, true);
+/// assert!(t.get(0, 1));
+/// assert_eq!(t.filled_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TopologyMatrix {
+    rows: usize,
+    cols: usize,
+    cells: Vec<bool>,
+}
+
+/// A maximal horizontal run of filled cells within one topology row.
+///
+/// `row` is the y-interval index; columns `[c0, c1)` are filled and the run
+/// cannot be extended left or right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bar {
+    /// Row (y-interval) index.
+    pub row: usize,
+    /// First filled column (inclusive).
+    pub c0: usize,
+    /// One past the last filled column.
+    pub c1: usize,
+}
+
+impl TopologyMatrix {
+    /// Creates an all-empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "topology dimensions must be nonzero");
+        TopologyMatrix {
+            rows,
+            cols,
+            cells: vec![false; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major cell vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != rows * cols`.
+    pub fn from_cells(rows: usize, cols: usize, cells: Vec<bool>) -> Self {
+        assert!(rows > 0 && cols > 0, "topology dimensions must be nonzero");
+        assert_eq!(cells.len(), rows * cols, "cell count must match dimensions");
+        TopologyMatrix { rows, cols, cells }
+    }
+
+    /// Number of rows (y intervals).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (x intervals).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads cell `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.cells[row * self.cols + col]
+    }
+
+    /// Writes cell `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.cells[row * self.cols + col] = value;
+    }
+
+    /// Number of filled cells.
+    pub fn filled_count(&self) -> usize {
+        self.cells.iter().filter(|&&c| c).count()
+    }
+
+    /// Raw row-major cells.
+    pub fn as_cells(&self) -> &[bool] {
+        &self.cells
+    }
+
+    /// All maximal horizontal runs of filled cells, row by row.
+    ///
+    /// These are the "bars" whose physical widths the design rules
+    /// constrain: the width of `Bar { c0, c1, .. }` under Δx is
+    /// `dx[c0] + … + dx[c1-1]`.
+    pub fn horizontal_bars(&self) -> Vec<Bar> {
+        let mut bars = Vec::new();
+        for row in 0..self.rows {
+            let mut col = 0;
+            while col < self.cols {
+                if self.get(row, col) {
+                    let c0 = col;
+                    while col < self.cols && self.get(row, col) {
+                        col += 1;
+                    }
+                    bars.push(Bar { row, c0, c1: col });
+                } else {
+                    col += 1;
+                }
+            }
+        }
+        bars
+    }
+
+    /// All maximal vertical runs of filled cells, column by column.
+    ///
+    /// Returned as `(col, r0, r1)` triples with rows `[r0, r1)` filled.
+    pub fn vertical_bars(&self) -> Vec<(usize, usize, usize)> {
+        let mut bars = Vec::new();
+        for col in 0..self.cols {
+            let mut row = 0;
+            while row < self.rows {
+                if self.get(row, col) {
+                    let r0 = row;
+                    while row < self.rows && self.get(row, col) {
+                        row += 1;
+                    }
+                    bars.push((col, r0, row));
+                } else {
+                    row += 1;
+                }
+            }
+        }
+        bars
+    }
+
+    /// The transposed matrix.
+    pub fn transpose(&self) -> TopologyMatrix {
+        let mut out = TopologyMatrix::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TopologyMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{}", if self.get(r, c) { '#' } else { '.' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TopologyMatrix {
+        // .##.
+        // .##.
+        // #..#
+        TopologyMatrix::from_cells(
+            3,
+            4,
+            vec![
+                false, true, true, false, //
+                false, true, true, false, //
+                true, false, false, true,
+            ],
+        )
+    }
+
+    #[test]
+    fn get_set() {
+        let mut t = TopologyMatrix::new(2, 2);
+        t.set(1, 0, true);
+        assert!(t.get(1, 0));
+        assert!(!t.get(0, 1));
+        assert_eq!(t.filled_count(), 1);
+    }
+
+    #[test]
+    fn horizontal_bars_found() {
+        let bars = sample().horizontal_bars();
+        assert_eq!(
+            bars,
+            vec![
+                Bar { row: 0, c0: 1, c1: 3 },
+                Bar { row: 1, c0: 1, c1: 3 },
+                Bar { row: 2, c0: 0, c1: 1 },
+                Bar { row: 2, c0: 3, c1: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn vertical_bars_found() {
+        let bars = sample().vertical_bars();
+        assert_eq!(bars, vec![(0, 2, 3), (1, 0, 2), (2, 0, 2), (3, 2, 3)]);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let t = sample();
+        assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn display_shows_cells() {
+        let s = sample().to_string();
+        assert_eq!(s, ".##.\n.##.\n#..#\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count must match")]
+    fn from_cells_validates_length() {
+        let _ = TopologyMatrix::from_cells(2, 2, vec![true; 3]);
+    }
+}

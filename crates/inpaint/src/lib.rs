@@ -1,0 +1,37 @@
+//! Masks and denoising for inpainting-based pattern generation.
+//!
+//! Two of PatternPaint's four components live here:
+//!
+//! * the **predefined mask sets** of the paper's Figure 6 — a default set
+//!   (corner + centre regions enabling wire modification and inter-track
+//!   connections) and a horizontal set (bands that exercise end-to-end
+//!   rules on vertical-track layouts), each selected *sequentially*
+//!   across iterations ([`MaskSchedule`]);
+//! * the **template-based denoising** of Algorithm 1
+//!   ([`TemplateDenoiser`]) — the step that turns the lossy diffusion
+//!   output back into an on-grid Manhattan layout by snapping noisy scan
+//!   lines to the starter pattern's scan lines, plus the two comparison
+//!   schemes of Table III: a from-scratch non-local-means filter
+//!   ([`NlmDenoiser`], the OpenCV stand-in) and no denoising at all
+//!   ([`ThresholdDenoiser`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pp_inpaint::{Denoiser, TemplateDenoiser, MaskSet};
+//! use pp_geometry::{GrayImage, Layout, Rect};
+//!
+//! let mut template = Layout::new(32, 32);
+//! template.fill_rect(Rect::new(4, 4, 3, 20));
+//! // A "noisy" image that is actually clean: denoising must be a no-op.
+//! let noisy = GrayImage::from_layout(&template);
+//! let denoised = TemplateDenoiser::new(2).denoise(&noisy, &template);
+//! assert_eq!(denoised, template);
+//! assert_eq!(MaskSet::Default.masks(32).len(), 5);
+//! ```
+
+pub mod denoise;
+pub mod masks;
+
+pub use denoise::{Denoiser, NlmDenoiser, TemplateDenoiser, ThresholdDenoiser};
+pub use masks::{Mask, MaskSchedule, MaskSet};

@@ -1,0 +1,213 @@
+//! Predefined inpainting mask sets (paper Figure 6).
+
+use pp_geometry::{GrayImage, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A binary inpainting mask: 1 marks the region to regenerate.
+///
+/// Masks follow the paper's inference guidance of covering roughly 25 %
+/// of the clip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mask {
+    region: Rect,
+    image: GrayImage,
+}
+
+impl Mask {
+    /// A rectangular mask inside a `side`×`side` clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rect does not fit inside the clip.
+    pub fn from_rect(side: u32, region: Rect) -> Self {
+        assert!(
+            region.right() <= side && region.bottom() <= side,
+            "mask region must fit in the clip"
+        );
+        let mut image = GrayImage::filled(side, side, 0.0);
+        for y in region.y..region.bottom() {
+            for x in region.x..region.right() {
+                image.set(x, y, 1.0);
+            }
+        }
+        Mask { region, image }
+    }
+
+    /// A full-clip mask (unconditional generation).
+    pub fn full(side: u32) -> Self {
+        Mask::from_rect(side, Rect::new(0, 0, side, side))
+    }
+
+    /// The masked rectangle.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// The mask as a 0/1 grayscale image (model input channel).
+    pub fn as_image(&self) -> &GrayImage {
+        &self.image
+    }
+
+    /// Fraction of the clip covered.
+    pub fn area_fraction(&self) -> f64 {
+        let side = f64::from(self.image.width());
+        self.region.area() as f64 / (side * side)
+    }
+}
+
+/// The two predefined mask sets of the paper's Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MaskSet {
+    /// General-purpose regions: four quadrant corners plus the centre,
+    /// enabling wire modification and inter-track connections.
+    Default,
+    /// Horizontal bands, customised for vertical-track layouts to
+    /// exercise end-to-end rules and inner-track interactions.
+    Horizontal,
+}
+
+impl MaskSet {
+    /// Both sets, in the paper's order.
+    pub const ALL: [MaskSet; 2] = [MaskSet::Default, MaskSet::Horizontal];
+
+    /// The five masks of this set for a `side`×`side` clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 8` (masks would degenerate).
+    pub fn masks(&self, side: u32) -> Vec<Mask> {
+        assert!(side >= 8, "clip too small for the predefined masks");
+        let h = side / 2;
+        match self {
+            MaskSet::Default => vec![
+                Mask::from_rect(side, Rect::new(0, 0, h, h)), // top-left
+                Mask::from_rect(side, Rect::new(side - h, 0, h, h)), // top-right
+                Mask::from_rect(side, Rect::new(0, side - h, h, h)), // bottom-left
+                Mask::from_rect(side, Rect::new(side - h, side - h, h, h)), // bottom-right
+                Mask::from_rect(side, Rect::new(side / 4, side / 4, h, h)), // centre
+            ],
+            MaskSet::Horizontal => {
+                let band = (side / 5).max(2);
+                (0..5)
+                    .map(|i| {
+                        let y = (i * side / 5).min(side - band);
+                        Mask::from_rect(side, Rect::new(0, y, side, band))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Sequential mask selection across iterations (paper §IV-E2).
+///
+/// When a pattern was modified with mask `k` of a set in one iteration,
+/// the next iteration uses mask `k+1` (wrapping), so consecutive edits
+/// target adjacent regions and preserve previously generated features.
+///
+/// # Example
+///
+/// ```
+/// use pp_inpaint::{MaskSchedule, MaskSet};
+///
+/// let schedule = MaskSchedule::new(MaskSet::Default, 32);
+/// let first = schedule.mask_for(0, 0);
+/// let second = schedule.mask_for(1, 0);
+/// assert_ne!(first.region(), second.region());
+/// // Wraps after five masks.
+/// assert_eq!(schedule.mask_for(0, 0).region(), schedule.mask_for(5, 0).region());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaskSchedule {
+    set: MaskSet,
+    masks: Vec<Mask>,
+}
+
+impl MaskSchedule {
+    /// Creates a schedule over one mask set.
+    pub fn new(set: MaskSet, side: u32) -> Self {
+        MaskSchedule {
+            set,
+            masks: set.masks(side),
+        }
+    }
+
+    /// The set this schedule walks.
+    pub fn set(&self) -> MaskSet {
+        self.set
+    }
+
+    /// Number of masks in the cycle.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether the schedule is empty (never by construction).
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// The mask for a pattern at a given `iteration`, where
+    /// `pattern_index` staggers the schedule so different patterns start
+    /// at different masks.
+    pub fn mask_for(&self, iteration: usize, pattern_index: usize) -> &Mask {
+        &self.masks[(iteration + pattern_index) % self.masks.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_masks_total() {
+        let n: usize = MaskSet::ALL.iter().map(|s| s.masks(32).len()).sum();
+        assert_eq!(n, 10, "paper defines 10 predefined masks");
+    }
+
+    #[test]
+    fn default_masks_cover_quarter() {
+        for m in MaskSet::Default.masks(32) {
+            assert!((m.area_fraction() - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn horizontal_masks_are_bands() {
+        for m in MaskSet::Horizontal.masks(32) {
+            assert_eq!(m.region().w, 32);
+            assert!(m.region().h <= 8);
+        }
+    }
+
+    #[test]
+    fn mask_image_matches_region() {
+        let m = Mask::from_rect(16, Rect::new(2, 3, 4, 5));
+        let img = m.as_image();
+        assert_eq!(img.get(2, 3), 1.0);
+        assert_eq!(img.get(5, 7), 1.0);
+        assert_eq!(img.get(6, 3), 0.0);
+        assert_eq!(img.get(1, 3), 0.0);
+    }
+
+    #[test]
+    fn schedule_is_sequential_and_staggered() {
+        let s = MaskSchedule::new(MaskSet::Horizontal, 32);
+        // Same pattern, consecutive iterations -> consecutive masks.
+        assert_ne!(s.mask_for(0, 0).region(), s.mask_for(1, 0).region());
+        // Stagger: pattern 1 starts where pattern 0's second step is.
+        assert_eq!(s.mask_for(0, 1).region(), s.mask_for(1, 0).region());
+    }
+
+    #[test]
+    fn full_mask_covers_everything() {
+        let m = Mask::full(16);
+        assert_eq!(m.area_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_region_rejected() {
+        let _ = Mask::from_rect(16, Rect::new(10, 10, 10, 10));
+    }
+}

@@ -1,0 +1,236 @@
+//! Pattern-library diversity metrics: H1/H2 entropies and uniqueness.
+//!
+//! The paper scores a generated pattern library with:
+//!
+//! * **Legality** — the fraction of DR-clean patterns (computed by
+//!   `pp-drc`, not here);
+//! * **H1** — the Shannon entropy (base 2) of the distribution of
+//!   *complexity tuples* `(Cx, Cy)` — scan-line counts minus one per axis.
+//!   H1 sees only topology complexity, not geometry;
+//! * **H2** — the entropy of the distribution over *geometry classes*:
+//!   patterns sharing identical `(Δx, Δy)` vectors fall into one class.
+//!   H2 is the paper's headline diversity metric because it captures
+//!   physical-width variation at fixed topology;
+//! * **Unique patterns** — the number of distinct full squish signatures
+//!   (topology + Δx + Δy).
+//!
+//! Base-2 logarithms reproduce the paper's scale: 20 all-distinct starter
+//! patterns give `H2 = log2(20) ≈ 4.32`, exactly Table I's starter row.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_metrics::LibraryStats;
+//! use pp_pdk::SynthNode;
+//!
+//! let starters = SynthNode::default().starter_patterns();
+//! let stats = LibraryStats::from_layouts(&starters);
+//! assert_eq!(stats.unique, 20);
+//! assert!((stats.h2 - 20f64.log2()).abs() < 1e-9);
+//! ```
+
+use pp_geometry::{Layout, Signature, SquishPattern};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+#[cfg(test)]
+use pp_pdk as _; // dev-only usage in doctests
+
+/// Shannon entropy (base 2) of a discrete distribution given by counts.
+///
+/// Zero-count entries are ignored; an empty or all-zero histogram has zero
+/// entropy.
+///
+/// # Example
+///
+/// ```
+/// use pp_metrics::entropy_base2;
+/// // A uniform distribution over 4 classes has 2 bits of entropy.
+/// assert!((entropy_base2(&[5, 5, 5, 5]) - 2.0).abs() < 1e-12);
+/// assert_eq!(entropy_base2(&[10]), 0.0);
+/// ```
+pub fn entropy_base2(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    -counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// H1: entropy of the complexity-tuple distribution `(Cx, Cy)`.
+pub fn h1_entropy(patterns: &[SquishPattern]) -> f64 {
+    let mut hist: HashMap<(u32, u32), usize> = HashMap::new();
+    for p in patterns {
+        *hist.entry(p.complexity()).or_insert(0) += 1;
+    }
+    let counts: Vec<usize> = hist.into_values().collect();
+    entropy_base2(&counts)
+}
+
+/// H2: entropy of the geometry-class distribution (identical `(Δx, Δy)`).
+pub fn h2_entropy(patterns: &[SquishPattern]) -> f64 {
+    let mut hist: HashMap<Signature, usize> = HashMap::new();
+    for p in patterns {
+        *hist.entry(Signature::of_deltas(p)).or_insert(0) += 1;
+    }
+    let counts: Vec<usize> = hist.into_values().collect();
+    entropy_base2(&counts)
+}
+
+/// Number of distinct patterns by full squish signature.
+pub fn unique_count(patterns: &[SquishPattern]) -> usize {
+    patterns
+        .iter()
+        .map(Signature::of_squish)
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
+/// Summary statistics of a pattern library (one row of the paper's
+/// Table I, minus the legality column which the caller supplies).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LibraryStats {
+    /// Number of patterns scored.
+    pub count: usize,
+    /// Distinct full squish signatures.
+    pub unique: usize,
+    /// Topology-complexity entropy.
+    pub h1: f64,
+    /// Geometry-class entropy (the headline metric).
+    pub h2: f64,
+}
+
+impl LibraryStats {
+    /// Scores a library given in squish form.
+    pub fn from_squish(patterns: &[SquishPattern]) -> Self {
+        LibraryStats {
+            count: patterns.len(),
+            unique: unique_count(patterns),
+            h1: h1_entropy(patterns),
+            h2: h2_entropy(patterns),
+        }
+    }
+
+    /// Scores a library of raster layouts (squishes them first).
+    pub fn from_layouts(layouts: &[Layout]) -> Self {
+        let patterns: Vec<SquishPattern> =
+            layouts.iter().map(SquishPattern::from_layout).collect();
+        Self::from_squish(&patterns)
+    }
+}
+
+impl std::fmt::Display for LibraryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} unique={} H1={:.2} H2={:.2}",
+            self.count, self.unique, self.h1, self.h2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_geometry::Rect;
+    use proptest::prelude::*;
+
+    fn wire(x: u32, w: u32, len: u32) -> Layout {
+        let mut l = Layout::new(32, 32);
+        l.fill_rect(Rect::new(x, 2, w, len));
+        l
+    }
+
+    #[test]
+    fn entropy_of_uniform() {
+        assert!((entropy_base2(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy_base2(&[2, 2, 2, 2, 2, 2, 2, 2]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_degenerate() {
+        assert_eq!(entropy_base2(&[]), 0.0);
+        assert_eq!(entropy_base2(&[0, 0]), 0.0);
+        assert_eq!(entropy_base2(&[42]), 0.0);
+    }
+
+    #[test]
+    fn entropy_handles_skew() {
+        let h = entropy_base2(&[9, 1]);
+        assert!(h > 0.0 && h < 1.0);
+    }
+
+    #[test]
+    fn all_distinct_library_has_log2_n_h2() {
+        // 8 wires at different x positions: distinct Δx classes.
+        let layouts: Vec<Layout> = (0..8).map(|i| wire(2 + i * 3, 2, 20)).collect();
+        let stats = LibraryStats::from_layouts(&layouts);
+        assert_eq!(stats.unique, 8);
+        assert!((stats.h2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h1_collapses_same_complexity() {
+        // All single wires share complexity (2, 2) -> H1 = 0 even though
+        // geometry differs.
+        let layouts: Vec<Layout> = (0..4).map(|i| wire(2 + i * 4, 2, 20)).collect();
+        let patterns: Vec<SquishPattern> =
+            layouts.iter().map(SquishPattern::from_layout).collect();
+        assert_eq!(h1_entropy(&patterns), 0.0);
+        assert!(h2_entropy(&patterns) > 1.9);
+    }
+
+    #[test]
+    fn duplicates_reduce_unique_not_count() {
+        let l = wire(4, 3, 20);
+        let layouts = vec![l.clone(), l.clone(), l];
+        let stats = LibraryStats::from_layouts(&layouts);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.unique, 1);
+        assert_eq!(stats.h2, 0.0);
+    }
+
+    #[test]
+    fn starter_row_matches_paper_shape() {
+        let starters = pp_pdk::SynthNode::default().starter_patterns();
+        let stats = LibraryStats::from_layouts(&starters);
+        assert_eq!(stats.count, 20);
+        assert_eq!(stats.unique, 20);
+        // H2 = log2(20) when all geometry classes are distinct; H1 <= H2
+        // because several starters share complexity tuples — exactly the
+        // relation in the paper's Table I starter row (3.68 vs 4.32).
+        assert!(stats.h2 <= 20f64.log2() + 1e-9);
+        assert!(stats.h1 < stats.h2);
+    }
+
+    proptest! {
+        /// Entropy is bounded by log2(number of classes).
+        #[test]
+        fn prop_entropy_bound(counts in proptest::collection::vec(0usize..50, 1..20)) {
+            let nonzero = counts.iter().filter(|&&c| c > 0).count();
+            let h = entropy_base2(&counts);
+            prop_assert!(h >= -1e-12);
+            if nonzero > 0 {
+                prop_assert!(h <= (nonzero as f64).log2() + 1e-9);
+            }
+        }
+
+        /// Adding a duplicate of an existing pattern never increases H2.
+        #[test]
+        fn prop_duplicate_decreases_entropy(n in 2usize..6) {
+            let mut layouts: Vec<Layout> = (0..n as u32).map(|i| wire(2 + i * 4, 2, 20)).collect();
+            let before = LibraryStats::from_layouts(&layouts);
+            layouts.push(layouts[0].clone());
+            let after = LibraryStats::from_layouts(&layouts);
+            prop_assert!(after.h2 <= before.h2 + 1e-12);
+        }
+    }
+}

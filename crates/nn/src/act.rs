@@ -1,0 +1,140 @@
+//! Activation functions.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// SiLU (swish): `x · σ(x)` — the standard diffusion-U-Net activation.
+///
+/// # Example
+///
+/// ```
+/// use pp_nn::{Layer, Silu, Tensor};
+///
+/// let mut act = Silu::new();
+/// let y = act.forward(Tensor::from_vec([1, 1, 1, 2], vec![0.0, 10.0]));
+/// assert_eq!(y.data()[0], 0.0);
+/// assert!((y.data()[1] - 10.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Silu {
+    cached_input: Option<Tensor>,
+}
+
+impl Silu {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Silu::default()
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Silu {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let mut y = x.clone();
+        for v in y.data_mut() {
+            *v = *v * sigmoid(*v);
+        }
+        self.cached_input = Some(x);
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called without forward");
+        let mut gx = grad;
+        for (g, &xv) in gx.data_mut().iter_mut().zip(x.data()) {
+            let s = sigmoid(xv);
+            *g *= s + xv * s * (1.0 - s);
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Hyperbolic tangent (used as the CUP decoder output squashing).
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let mut y = x;
+        for v in y.data_mut() {
+            *v = v.tanh();
+        }
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let y = self
+            .cached_output
+            .take()
+            .expect("backward called without forward");
+        let mut gx = grad;
+        for (g, &yv) in gx.data_mut().iter_mut().zip(y.data()) {
+            *g *= 1.0 - yv * yv;
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            [1, 2, 3, 3],
+            (0..18).map(|_| rng.gen_range(-2.0f32..2.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn silu_known_values() {
+        let mut act = Silu::new();
+        let y = act.forward(Tensor::from_vec([1, 1, 1, 3], vec![-20.0, 0.0, 20.0]));
+        assert!(y.data()[0].abs() < 1e-3);
+        assert_eq!(y.data()[1], 0.0);
+        assert!((y.data()[2] - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tanh_bounds() {
+        let mut act = Tanh::new();
+        let y = act.forward(Tensor::from_vec([1, 1, 1, 2], vec![-100.0, 100.0]));
+        assert!((y.data()[0] + 1.0).abs() < 1e-6);
+        assert!((y.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_silu() {
+        check_layer(&mut Silu::new(), random_tensor(1), 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_tanh() {
+        check_layer(&mut Tanh::new(), random_tensor(2), 1e-2);
+    }
+}

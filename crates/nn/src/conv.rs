@@ -1,0 +1,272 @@
+//! 2-D convolution (stride 1, "same" padding) via im2col.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// A stride-1 convolution with odd kernel size and same padding.
+///
+/// Weight layout is `[out_c][in_c][ky][kx]`; bias is per output channel.
+/// Forward lowers each sample to an im2col matrix and performs a GEMM;
+/// backward rebuilds the col matrix (recompute-over-store) and produces
+/// both parameter and input gradients.
+///
+/// # Example
+///
+/// ```
+/// use pp_nn::{Conv2d, Layer, Tensor};
+///
+/// let mut conv = Conv2d::new(1, 4, 3, 0);
+/// let y = conv.forward(Tensor::zeros([2, 1, 8, 8]));
+/// assert_eq!(y.shape(), [2, 4, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even (same padding needs odd kernels).
+    pub fn new(in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
+        assert!(k % 2 == 1, "kernel size must be odd");
+        let fan_in = in_c * k * k;
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            weight: Param::kaiming(out_c * fan_in, fan_in, seed),
+            bias: Param::zeros(out_c),
+            cached_input: None,
+        }
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Builds the im2col matrix `[in_c·k·k, h·w]` for one sample.
+    fn im2col(&self, x: &Tensor, n: usize, col: &mut [f32]) {
+        let (h, w) = (x.h(), x.w());
+        let k = self.k;
+        let pad = k / 2;
+        let hw = h * w;
+        for ic in 0..self.in_c {
+            let plane = x.plane(n, ic);
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((ic * k + ky) * k + kx) * hw;
+                    for oy in 0..h {
+                        let iy = oy + ky;
+                        let out_row = row + oy * w;
+                        if iy < pad || iy >= h + pad {
+                            col[out_row..out_row + w].fill(0.0);
+                            continue;
+                        }
+                        let sy = iy - pad;
+                        for ox in 0..w {
+                            let ix = ox + kx;
+                            col[out_row + ox] = if ix < pad || ix >= w + pad {
+                                0.0
+                            } else {
+                                plane[sy * w + (ix - pad)]
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatter-adds a col-gradient back to an input-gradient plane set.
+    fn col2im(&self, colg: &[f32], gx: &mut Tensor, n: usize) {
+        let (h, w) = (gx.h(), gx.w());
+        let k = self.k;
+        let pad = k / 2;
+        let hw = h * w;
+        for ic in 0..self.in_c {
+            let plane = gx.plane_mut(n, ic);
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((ic * k + ky) * k + kx) * hw;
+                    for oy in 0..h {
+                        let iy = oy + ky;
+                        if iy < pad || iy >= h + pad {
+                            continue;
+                        }
+                        let sy = iy - pad;
+                        for ox in 0..w {
+                            let ix = ox + kx;
+                            if ix >= pad && ix < w + pad {
+                                plane[sy * w + (ix - pad)] += colg[row + oy * w + ox];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        assert_eq!(x.c(), self.in_c, "input channel mismatch");
+        let (n, h, w) = (x.n(), x.h(), x.w());
+        let hw = h * w;
+        let ick = self.in_c * self.k * self.k;
+        let mut out = Tensor::zeros([n, self.out_c, h, w]);
+        let mut col = vec![0.0f32; ick * hw];
+        for b in 0..n {
+            self.im2col(&x, b, &mut col);
+            for oc in 0..self.out_c {
+                let wrow = &self.weight.value[oc * ick..(oc + 1) * ick];
+                let oplane = out.plane_mut(b, oc);
+                oplane.fill(self.bias.value[oc]);
+                for (p, &wv) in wrow.iter().enumerate() {
+                    if wv != 0.0 {
+                        let crow = &col[p * hw..(p + 1) * hw];
+                        for (o, &c) in oplane.iter_mut().zip(crow) {
+                            *o += wv * c;
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(x);
+        out
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called without forward");
+        let (n, h, w) = (x.n(), x.h(), x.w());
+        let hw = h * w;
+        let ick = self.in_c * self.k * self.k;
+        let mut gx = Tensor::zeros(x.shape());
+        let mut col = vec![0.0f32; ick * hw];
+        let mut colg = vec![0.0f32; ick * hw];
+        for b in 0..n {
+            self.im2col(&x, b, &mut col);
+            // Bias and weight gradients.
+            for oc in 0..self.out_c {
+                let go = grad.plane(b, oc);
+                self.bias.grad[oc] += go.iter().sum::<f32>();
+                let wg = &mut self.weight.grad[oc * ick..(oc + 1) * ick];
+                for p in 0..ick {
+                    let crow = &col[p * hw..(p + 1) * hw];
+                    let mut acc = 0.0f32;
+                    for (g, c) in go.iter().zip(crow) {
+                        acc += g * c;
+                    }
+                    wg[p] += acc;
+                }
+            }
+            // Input gradient via colᵍ = Wᵀ · gradOut.
+            colg.fill(0.0);
+            for oc in 0..self.out_c {
+                let go = grad.plane(b, oc);
+                let wrow = &self.weight.value[oc * ick..(oc + 1) * ick];
+                for (p, &wv) in wrow.iter().enumerate() {
+                    if wv != 0.0 {
+                        let crow = &mut colg[p * hw..(p + 1) * hw];
+                        for (cg, &g) in crow.iter_mut().zip(go) {
+                            *cg += wv * g;
+                        }
+                    }
+                }
+            }
+            self.col2im(&colg, &mut gx, b);
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: [usize; 4], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.iter().product())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        conv.weight.value.fill(0.0);
+        conv.weight.value[4] = 1.0; // centre tap
+        conv.bias.value[0] = 0.0;
+        let x = random_tensor([1, 1, 5, 5], 1);
+        let y = conv.forward(x.clone());
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn bias_offsets_output() {
+        let mut conv = Conv2d::new(1, 2, 1, 0);
+        conv.weight.value.fill(0.0);
+        conv.bias.value = vec![1.5, -2.0];
+        let y = conv.forward(Tensor::zeros([1, 1, 2, 2]));
+        assert!(y.plane(0, 0).iter().all(|&v| v == 1.5));
+        assert!(y.plane(0, 1).iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn padding_zeroes_outside() {
+        // All-ones 3x3 kernel over all-ones image: corners see 4 taps.
+        let mut conv = Conv2d::new(1, 1, 3, 0);
+        conv.weight.value.fill(1.0);
+        let x = Tensor::from_vec([1, 1, 3, 3], vec![1.0; 9]);
+        let y = conv.forward(x);
+        assert_eq!(y.get(0, 0, 0, 0), 4.0);
+        assert_eq!(y.get(0, 0, 1, 1), 9.0);
+        assert_eq!(y.get(0, 0, 0, 1), 6.0);
+    }
+
+    #[test]
+    fn gradcheck_3x3() {
+        let mut conv = Conv2d::new(2, 3, 3, 7);
+        check_layer(&mut conv, random_tensor([2, 2, 4, 4], 3), 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_1x1() {
+        let mut conv = Conv2d::new(3, 2, 1, 9);
+        check_layer(&mut conv, random_tensor([1, 3, 3, 3], 5), 2e-2);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut conv = Conv2d::new(2, 4, 3, 0);
+        assert_eq!(conv.param_count(), 4 * 2 * 9 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn rejects_wrong_channels() {
+        let mut conv = Conv2d::new(2, 2, 3, 0);
+        let _ = conv.forward(Tensor::zeros([1, 3, 4, 4]));
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal from-scratch neural-network substrate.
+//!
+//! The PatternPaint paper builds on pretrained Stable Diffusion inpainting
+//! models. No Rust diffusion ecosystem (or GPU) is available in this
+//! reproduction, so this crate provides the smallest NN stack that lets
+//! `pp-diffusion` train and run a pixel-space U-Net denoiser on CPU:
+//!
+//! * [`Tensor`] — dense NCHW f32 tensors;
+//! * layers with **hand-written backward passes** ([`Conv2d`],
+//!   [`Linear`], [`GroupNorm`], [`Silu`], [`Tanh`], [`AvgPool2`],
+//!   [`Upsample2`]), each verified against finite differences in tests;
+//! * [`Sequential`] composition for simple chains (used by the CUP
+//!   baseline's autoencoder);
+//! * the [`Adam`] optimiser.
+//!
+//! The design is deliberately cache-oriented rather than abstraction
+//! oriented: every layer owns its forward activations (call
+//! [`Layer::forward`] then [`Layer::backward`] in LIFO order), and
+//! networks with skip connections (the U-Net) wire layers explicitly
+//! instead of through a graph runtime.
+//!
+//! # Example
+//!
+//! ```
+//! use pp_nn::{Layer, Linear, Tensor};
+//!
+//! let mut layer = Linear::new(4, 2, 0);
+//! let x = Tensor::zeros([1, 4, 1, 1]);
+//! let y = layer.forward(x);
+//! assert_eq!(y.shape(), [1, 2, 1, 1]);
+//! ```
+
+pub mod act;
+pub mod conv;
+pub mod linear;
+pub mod norm;
+pub mod optim;
+pub mod param;
+pub mod pool;
+pub mod seq;
+pub mod tensor;
+
+pub use act::{Silu, Tanh};
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use norm::GroupNorm;
+pub use optim::Adam;
+pub use param::Param;
+pub use pool::{AvgPool2, Upsample2};
+pub use seq::Sequential;
+pub use tensor::Tensor;
+
+/// A differentiable module with owned parameters and cached activations.
+///
+/// Call [`Layer::forward`] exactly once before each [`Layer::backward`];
+/// backward consumes the cached activations of the matching forward and
+/// accumulates parameter gradients (zeroed via [`Layer::zero_grad`]).
+pub trait Layer {
+    /// Runs the layer, caching whatever backward will need.
+    fn forward(&mut self, x: Tensor) -> Tensor;
+
+    /// Propagates `grad` (∂loss/∂output) back, returning ∂loss/∂input and
+    /// accumulating parameter gradients.
+    fn backward(&mut self, grad: Tensor) -> Tensor;
+
+    /// Visits every parameter (stable order across calls).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.iter_mut().for_each(|g| *g = 0.0));
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by layer tests.
+
+    use crate::{Layer, Tensor};
+
+    /// Verifies `layer`'s input gradient and parameter gradients against
+    /// central finite differences of the scalar loss `0.5·Σ y²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any analytic gradient deviates beyond `tol`.
+    pub fn check_layer<L: Layer>(layer: &mut L, x: Tensor, tol: f32) {
+        let eps = 1e-3f32;
+        // Analytic gradients.
+        layer.zero_grad();
+        let y = layer.forward(x.clone());
+        let grad_out = y.clone(); // d(0.5 Σ y²)/dy = y
+        let grad_in = layer.backward(grad_out);
+
+        // Input gradient check.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp = half_sq(&layer.forward(xp));
+            let lm = half_sq(&layer.forward(xm));
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grad_in.data()[i];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                "input grad mismatch at {i}: numeric {num}, analytic {ana}"
+            );
+        }
+
+        // Parameter gradient check (sampled to keep tests fast).
+        let mut param_grads: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |p| param_grads.push(p.grad.clone()));
+        let mut pidx = 0;
+        let nparams = param_grads.len();
+        for pi in 0..nparams {
+            let plen = param_grads[pi].len();
+            let stride = (plen / 5).max(1);
+            for i in (0..plen).step_by(stride) {
+                let bump = |layer: &mut L, delta: f32| {
+                    let mut count = 0;
+                    layer.visit_params(&mut |p| {
+                        if count == pi {
+                            p.value[i] += delta;
+                        }
+                        count += 1;
+                    });
+                };
+                bump(layer, eps);
+                let lp = half_sq(&layer.forward(x.clone()));
+                bump(layer, -2.0 * eps);
+                let lm = half_sq(&layer.forward(x.clone()));
+                bump(layer, eps);
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = param_grads[pi][i];
+                assert!(
+                    (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                    "param {pi}[{i}] grad mismatch: numeric {num}, analytic {ana}"
+                );
+            }
+            pidx += 1;
+        }
+        let _ = pidx;
+    }
+
+    fn half_sq(y: &Tensor) -> f32 {
+        0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
+    }
+}

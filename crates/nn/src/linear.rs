@@ -1,0 +1,134 @@
+//! Fully connected layers over `[n, c, 1, 1]` feature vectors.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// A dense layer `y = Wx + b` acting on the channel dimension.
+///
+/// Inputs must have spatial size 1×1 (feature vectors); used for time
+/// embeddings and the CUP latent head.
+///
+/// # Example
+///
+/// ```
+/// use pp_nn::{Layer, Linear, Tensor};
+///
+/// let mut lin = Linear::new(3, 5, 0);
+/// let y = lin.forward(Tensor::zeros([2, 3, 1, 1]));
+/// assert_eq!(y.shape(), [2, 5, 1, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_c: usize,
+    out_c: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a dense layer with Kaiming-initialised weights.
+    pub fn new(in_c: usize, out_c: usize, seed: u64) -> Self {
+        Linear {
+            in_c,
+            out_c,
+            weight: Param::kaiming(out_c * in_c, in_c, seed),
+            bias: Param::zeros(out_c),
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        assert_eq!(x.c(), self.in_c, "input feature mismatch");
+        assert_eq!((x.h(), x.w()), (1, 1), "linear expects 1x1 spatial dims");
+        let n = x.n();
+        let mut out = Tensor::zeros([n, self.out_c, 1, 1]);
+        for b in 0..n {
+            let xi = &x.data()[b * self.in_c..(b + 1) * self.in_c];
+            let oi = &mut out.data_mut()[b * self.out_c..(b + 1) * self.out_c];
+            for (o, (orow, bias)) in oi
+                .iter_mut()
+                .zip(self.weight.value.chunks(self.in_c).zip(&self.bias.value))
+                .map(|(o, wb)| (o, wb))
+            {
+                *o = *bias + orow.iter().zip(xi).map(|(&w, &v)| w * v).sum::<f32>();
+            }
+        }
+        self.cached_input = Some(x);
+        out
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called without forward");
+        let n = x.n();
+        let mut gx = Tensor::zeros(x.shape());
+        for b in 0..n {
+            let xi = &x.data()[b * self.in_c..(b + 1) * self.in_c];
+            let gi = &grad.data()[b * self.out_c..(b + 1) * self.out_c];
+            for (oc, &g) in gi.iter().enumerate() {
+                self.bias.grad[oc] += g;
+                let wrow = &self.weight.value[oc * self.in_c..(oc + 1) * self.in_c];
+                let wgrow = &mut self.weight.grad[oc * self.in_c..(oc + 1) * self.in_c];
+                let gxi = &mut gx.data_mut()[b * self.in_c..(b + 1) * self.in_c];
+                for i in 0..self.in_c {
+                    wgrow[i] += g * xi[i];
+                    gxi[i] += g * wrow[i];
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn known_weights() {
+        let mut lin = Linear::new(2, 1, 0);
+        lin.weight.value = vec![2.0, -1.0];
+        lin.bias.value = vec![0.5];
+        let y = lin.forward(Tensor::from_vec([1, 2, 1, 1], vec![3.0, 4.0]));
+        assert_eq!(y.data(), &[2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    fn batch_independent() {
+        let mut lin = Linear::new(1, 1, 0);
+        lin.weight.value = vec![1.0];
+        let y = lin.forward(Tensor::from_vec([2, 1, 1, 1], vec![1.0, 5.0]));
+        assert_eq!(y.data(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn gradcheck() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::from_vec(
+            [2, 3, 1, 1],
+            (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        check_layer(&mut Linear::new(3, 4, 11), x, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "1x1 spatial")]
+    fn rejects_spatial_input() {
+        let mut lin = Linear::new(2, 2, 0);
+        let _ = lin.forward(Tensor::zeros([1, 2, 2, 2]));
+    }
+}

@@ -1,0 +1,212 @@
+//! Group normalisation.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// Group normalisation with per-channel affine parameters.
+///
+/// Each sample's channels are split into `groups`; every group is
+/// normalised to zero mean / unit variance over its channels and spatial
+/// extent, then scaled by γ and shifted by β per channel. GroupNorm is
+/// the standard normaliser in diffusion U-Nets because it works at batch
+/// size 1.
+///
+/// # Example
+///
+/// ```
+/// use pp_nn::{GroupNorm, Layer, Tensor};
+///
+/// let mut gn = GroupNorm::new(4, 2);
+/// let y = gn.forward(Tensor::zeros([1, 4, 3, 3]));
+/// assert_eq!(y.shape(), [1, 4, 3, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupNorm {
+    channels: usize,
+    groups: usize,
+    eps: f32,
+    gamma: Param,
+    beta: Param,
+    /// Cached (x̂, inverse σ per (n, group)) from forward.
+    cache: Option<(Tensor, Vec<f32>)>,
+}
+
+impl GroupNorm {
+    /// Creates a group norm over `channels` split into `groups`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `groups` divides `channels`.
+    pub fn new(channels: usize, groups: usize) -> Self {
+        assert!(groups > 0 && channels % groups == 0, "groups must divide channels");
+        GroupNorm {
+            channels,
+            groups,
+            eps: 1e-5,
+            gamma: Param::constant(channels, 1.0),
+            beta: Param::zeros(channels),
+            cache: None,
+        }
+    }
+}
+
+impl Layer for GroupNorm {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        assert_eq!(x.c(), self.channels, "channel mismatch");
+        let [n, c, h, w] = x.shape();
+        let cpg = c / self.groups;
+        let m = (cpg * h * w) as f32;
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut inv_sigma = Vec::with_capacity(n * self.groups);
+        for b in 0..n {
+            for g in 0..self.groups {
+                let mut mean = 0.0f32;
+                for ci in g * cpg..(g + 1) * cpg {
+                    mean += x.plane(b, ci).iter().sum::<f32>();
+                }
+                mean /= m;
+                let mut var = 0.0f32;
+                for ci in g * cpg..(g + 1) * cpg {
+                    var += x.plane(b, ci).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>();
+                }
+                var /= m;
+                let is = 1.0 / (var + self.eps).sqrt();
+                inv_sigma.push(is);
+                for ci in g * cpg..(g + 1) * cpg {
+                    let src = x.plane(b, ci).to_vec();
+                    let dst = xhat.plane_mut(b, ci);
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d = (s - mean) * is;
+                    }
+                }
+            }
+        }
+        // y = γ·x̂ + β.
+        let mut y = xhat.clone();
+        for b in 0..n {
+            for ci in 0..c {
+                let (gam, bet) = (self.gamma.value[ci], self.beta.value[ci]);
+                for v in y.plane_mut(b, ci) {
+                    *v = gam * *v + bet;
+                }
+            }
+        }
+        self.cache = Some((xhat, inv_sigma));
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let (xhat, inv_sigma) = self.cache.take().expect("backward called without forward");
+        let [n, c, h, w] = xhat.shape();
+        let cpg = c / self.groups;
+        let m = (cpg * h * w) as f32;
+        let mut gx = Tensor::zeros(xhat.shape());
+        for b in 0..n {
+            for g in 0..self.groups {
+                let is = inv_sigma[b * self.groups + g];
+                // Accumulate means of γ·dy and γ·dy·x̂ over the group.
+                let mut sum_gdy = 0.0f32;
+                let mut sum_gdy_xhat = 0.0f32;
+                for ci in g * cpg..(g + 1) * cpg {
+                    let gam = self.gamma.value[ci];
+                    let dyp = grad.plane(b, ci);
+                    let xp = xhat.plane(b, ci);
+                    // Parameter gradients while we're here.
+                    self.beta.grad[ci] += dyp.iter().sum::<f32>();
+                    self.gamma.grad[ci] += dyp.iter().zip(xp).map(|(&d, &xh)| d * xh).sum::<f32>();
+                    for (&d, &xh) in dyp.iter().zip(xp) {
+                        sum_gdy += gam * d;
+                        sum_gdy_xhat += gam * d * xh;
+                    }
+                }
+                let mean_gdy = sum_gdy / m;
+                let mean_gdy_xhat = sum_gdy_xhat / m;
+                for ci in g * cpg..(g + 1) * cpg {
+                    let gam = self.gamma.value[ci];
+                    let dyp = grad.plane(b, ci).to_vec();
+                    let xp = xhat.plane(b, ci).to_vec();
+                    let gxp = gx.plane_mut(b, ci);
+                    for ((gxv, d), xh) in gxp.iter_mut().zip(dyp).zip(xp) {
+                        *gxv = is * (gam * d - mean_gdy - xh * mean_gdy_xhat);
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: [usize; 4], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.iter().product())
+            .map(|_| rng.gen_range(-2.0f32..2.0))
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn output_is_normalised() {
+        let mut gn = GroupNorm::new(2, 1);
+        let y = gn.forward(random_tensor([1, 2, 4, 4], 1));
+        let mean = y.mean();
+        let var = y.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+            / y.len() as f32;
+        assert!(mean.abs() < 1e-5, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-3, "var {var}");
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut gn = GroupNorm::new(2, 2);
+        // Channel 0 large values, channel 1 small: per-group norm fixes both.
+        let mut x = Tensor::zeros([1, 2, 2, 2]);
+        x.plane_mut(0, 0).copy_from_slice(&[100.0, 101.0, 102.0, 103.0]);
+        x.plane_mut(0, 1).copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
+        let y = gn.forward(x);
+        for c in 0..2 {
+            let p = y.plane(0, c);
+            let mean: f32 = p.iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn affine_params_apply() {
+        let mut gn = GroupNorm::new(1, 1);
+        gn.gamma.value[0] = 0.0;
+        gn.beta.value[0] = 5.0;
+        let y = gn.forward(random_tensor([1, 1, 3, 3], 2));
+        assert!(y.data().iter().all(|&v| (v - 5.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn gradcheck_two_groups() {
+        let mut gn = GroupNorm::new(4, 2);
+        check_layer(&mut gn, random_tensor([2, 4, 3, 3], 3), 3e-2);
+    }
+
+    #[test]
+    fn gradcheck_single_group() {
+        let mut gn = GroupNorm::new(2, 1);
+        check_layer(&mut gn, random_tensor([1, 2, 4, 4], 4), 3e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide channels")]
+    fn rejects_bad_groups() {
+        let _ = GroupNorm::new(5, 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! The Adam optimiser.
+
+use crate::param::Param;
+use crate::Layer;
+
+/// Adam (Kingma & Ba) over the parameters of one network.
+///
+/// Moment buffers are allocated lazily on the first step and matched to
+/// parameters by visitation order, which [`Layer::visit_params`]
+/// guarantees to be stable.
+///
+/// # Example
+///
+/// ```
+/// use pp_nn::{Adam, Layer, Linear, Tensor};
+///
+/// let mut net = Linear::new(2, 1, 0);
+/// let mut opt = Adam::new(1e-2);
+/// // One dummy step: forward, backward, update.
+/// let y = net.forward(Tensor::from_vec([1, 2, 1, 1], vec![1.0, -1.0]));
+/// let _ = net.backward(y); // loss = 0.5 y²
+/// opt.step(&mut net);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Creates an optimiser with the given learning rate and standard
+    /// betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// Updates the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step from the accumulated gradients, then
+    /// leaves gradients untouched (call [`Layer::zero_grad`] yourself,
+    /// which allows gradient accumulation across micro-batches).
+    pub fn step<L: Layer + ?Sized>(&mut self, net: &mut L) {
+        self.t += 1;
+        let t = self.t as f32;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let lr = self.lr;
+        let eps = self.eps;
+        let moments = &mut self.moments;
+        let mut idx = 0usize;
+        net.visit_params(&mut |p: &mut Param| {
+            if moments.len() <= idx {
+                moments.push((vec![0.0; p.len()], vec![0.0; p.len()]));
+            }
+            let (m, v) = &mut moments[idx];
+            assert_eq!(m.len(), p.len(), "parameter shape changed between steps");
+            for i in 0..p.len() {
+                let g = p.grad[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let mh = m[i] / bc1;
+                let vh = v[i] / bc2;
+                p.value[i] -= lr * mh / (vh.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::tensor::Tensor;
+
+    /// Adam drives a linear model to fit y = 2x.
+    #[test]
+    fn fits_linear_function() {
+        let mut net = Linear::new(1, 1, 3);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..300 {
+            net.zero_grad();
+            let mut loss = 0.0;
+            for &(x, target) in &[(-1.0f32, -2.0f32), (0.5, 1.0), (2.0, 4.0)] {
+                let y = net.forward(Tensor::from_vec([1, 1, 1, 1], vec![x]));
+                let err = y.data()[0] - target;
+                loss += err * err;
+                let _ = net.backward(Tensor::from_vec([1, 1, 1, 1], vec![2.0 * err]));
+            }
+            opt.step(&mut net);
+            if loss < 1e-8 {
+                break;
+            }
+        }
+        let y = net.forward(Tensor::from_vec([1, 1, 1, 1], vec![3.0]));
+        assert!((y.data()[0] - 6.0).abs() < 0.05, "got {}", y.data()[0]);
+    }
+
+    #[test]
+    fn step_decreases_quadratic_loss() {
+        let mut net = Linear::new(2, 2, 5);
+        let mut opt = Adam::new(0.01);
+        let x = Tensor::from_vec([1, 2, 1, 1], vec![1.0, -0.5]);
+        let loss_of = |net: &mut Linear| {
+            let y = net.forward(x.clone());
+            0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
+        };
+        let before = loss_of(&mut net);
+        for _ in 0..50 {
+            net.zero_grad();
+            let y = net.forward(x.clone());
+            let _ = net.backward(y);
+            opt.step(&mut net);
+        }
+        let after = loss_of(&mut net);
+        assert!(after < before * 0.5, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn lr_accessor() {
+        let mut opt = Adam::new(0.1);
+        opt.set_lr(0.2);
+        assert_eq!(opt.lr(), 0.2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Learnable parameters and initialisation helpers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A learnable parameter: a value buffer and its gradient accumulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current values.
+    pub value: Vec<f32>,
+    /// Accumulated gradient (same length as `value`).
+    pub grad: Vec<f32>,
+}
+
+impl Param {
+    /// An all-zero parameter of the given length.
+    pub fn zeros(len: usize) -> Self {
+        Param {
+            value: vec![0.0; len],
+            grad: vec![0.0; len],
+        }
+    }
+
+    /// Kaiming-style uniform initialisation with fan-in `fan_in`.
+    ///
+    /// Deterministic in `seed`.
+    pub fn kaiming(len: usize, fan_in: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+        Param {
+            value: (0..len).map(|_| rng.gen_range(-bound..bound)).collect(),
+            grad: vec![0.0; len],
+        }
+    }
+
+    /// Constant-valued parameter (e.g. norm scales at 1).
+    pub fn constant(len: usize, v: f32) -> Self {
+        Param {
+            value: vec![v; len],
+            grad: vec![0.0; len],
+        }
+    }
+
+    /// Number of scalars.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter is empty (never by construction).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_is_bounded_and_seeded() {
+        let a = Param::kaiming(100, 64, 1);
+        let b = Param::kaiming(100, 64, 1);
+        let c = Param::kaiming(100, 64, 2);
+        assert_eq!(a.value, b.value);
+        assert_ne!(a.value, c.value);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(a.value.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn zeros_and_constant() {
+        assert!(Param::zeros(4).value.iter().all(|&v| v == 0.0));
+        assert!(Param::constant(4, 1.0).value.iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Spatial down/up-sampling.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// 2×2 average pooling (halves height and width).
+///
+/// # Example
+///
+/// ```
+/// use pp_nn::{AvgPool2, Layer, Tensor};
+///
+/// let mut pool = AvgPool2::new();
+/// let y = pool.forward(Tensor::zeros([1, 2, 8, 8]));
+/// assert_eq!(y.shape(), [1, 2, 4, 4]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AvgPool2 {
+    input_shape: Option<[usize; 4]>,
+}
+
+impl AvgPool2 {
+    /// Creates the pool.
+    pub fn new() -> Self {
+        AvgPool2::default()
+    }
+}
+
+impl Layer for AvgPool2 {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let [n, c, h, w] = x.shape();
+        assert!(h % 2 == 0 && w % 2 == 0, "spatial dims must be even");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut y = Tensor::zeros([n, c, oh, ow]);
+        for b in 0..n {
+            for ci in 0..c {
+                let src = x.plane(b, ci);
+                let dst = y.plane_mut(b, ci);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let s = src[(2 * oy) * w + 2 * ox]
+                            + src[(2 * oy) * w + 2 * ox + 1]
+                            + src[(2 * oy + 1) * w + 2 * ox]
+                            + src[(2 * oy + 1) * w + 2 * ox + 1];
+                        dst[oy * ow + ox] = 0.25 * s;
+                    }
+                }
+            }
+        }
+        self.input_shape = Some(x.shape());
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let shape = self.input_shape.take().expect("backward without forward");
+        let [n, c, h, w] = shape;
+        let (oh, ow) = (h / 2, w / 2);
+        let mut gx = Tensor::zeros(shape);
+        for b in 0..n {
+            for ci in 0..c {
+                let src = grad.plane(b, ci).to_vec();
+                let dst = gx.plane_mut(b, ci);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = 0.25 * src[oy * ow + ox];
+                        dst[(2 * oy) * w + 2 * ox] = g;
+                        dst[(2 * oy) * w + 2 * ox + 1] = g;
+                        dst[(2 * oy + 1) * w + 2 * ox] = g;
+                        dst[(2 * oy + 1) * w + 2 * ox + 1] = g;
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// 2× nearest-neighbour upsampling (doubles height and width).
+#[derive(Debug, Clone, Default)]
+pub struct Upsample2 {
+    input_shape: Option<[usize; 4]>,
+}
+
+impl Upsample2 {
+    /// Creates the upsampler.
+    pub fn new() -> Self {
+        Upsample2::default()
+    }
+}
+
+impl Layer for Upsample2 {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let [n, c, h, w] = x.shape();
+        let (oh, ow) = (h * 2, w * 2);
+        let mut y = Tensor::zeros([n, c, oh, ow]);
+        for b in 0..n {
+            for ci in 0..c {
+                let src = x.plane(b, ci);
+                let dst = y.plane_mut(b, ci);
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        dst[oy * ow + ox] = src[(oy / 2) * w + ox / 2];
+                    }
+                }
+            }
+        }
+        self.input_shape = Some(x.shape());
+        y
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        let shape = self.input_shape.take().expect("backward without forward");
+        let [n, c, h, w] = shape;
+        let ow = w * 2;
+        let mut gx = Tensor::zeros(shape);
+        for b in 0..n {
+            for ci in 0..c {
+                let src = grad.plane(b, ci).to_vec();
+                let dst = gx.plane_mut(b, ci);
+                for oy in 0..h * 2 {
+                    for ox in 0..ow {
+                        dst[(oy / 2) * w + ox / 2] += src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: [usize; 4], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            shape,
+            (0..shape.iter().product())
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let mut pool = AvgPool2::new();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = pool.forward(x);
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn upsample_replicates() {
+        let mut up = Upsample2::new();
+        let x = Tensor::from_vec([1, 1, 1, 2], vec![1.0, 2.0]);
+        let y = up.forward(x);
+        assert_eq!(y.shape(), [1, 1, 2, 4]);
+        assert_eq!(y.data(), &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_then_upsample_shape_roundtrip() {
+        let mut pool = AvgPool2::new();
+        let mut up = Upsample2::new();
+        let x = random_tensor([2, 3, 4, 4], 1);
+        let y = up.forward(pool.forward(x.clone()));
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn gradcheck_avgpool() {
+        check_layer(&mut AvgPool2::new(), random_tensor([1, 2, 4, 4], 2), 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_upsample() {
+        check_layer(&mut Upsample2::new(), random_tensor([1, 2, 3, 3], 3), 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn avgpool_rejects_odd() {
+        let _ = AvgPool2::new().forward(Tensor::zeros([1, 1, 3, 4]));
+    }
+}

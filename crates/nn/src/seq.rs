@@ -1,0 +1,104 @@
+//! Sequential layer composition.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use crate::Layer;
+
+/// A chain of layers applied in order (backward runs in reverse).
+///
+/// Used by the CUP baseline's encoder/decoder; the diffusion U-Net wires
+/// its skip connections explicitly instead.
+///
+/// # Example
+///
+/// ```
+/// use pp_nn::{Conv2d, Layer, Sequential, Silu, Tensor};
+///
+/// let mut net = Sequential::new(vec![
+///     Box::new(Conv2d::new(1, 4, 3, 0)),
+///     Box::new(Silu::new()),
+///     Box::new(Conv2d::new(4, 1, 3, 1)),
+/// ]);
+/// let y = net.forward(Tensor::zeros([1, 1, 8, 8]));
+/// assert_eq!(y.shape(), [1, 1, 8, 8]);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer + Send>>,
+}
+
+impl Sequential {
+    /// Composes the given layers.
+    pub fn new(layers: Vec<Box<dyn Layer + Send>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        self.layers.iter_mut().fold(x, |x, l| l.forward(x))
+    }
+
+    fn backward(&mut self, grad: Tensor) -> Tensor {
+        self.layers
+            .iter_mut()
+            .rev()
+            .fold(grad, |g, l| l.backward(g))
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2d;
+    use crate::gradcheck::check_layer;
+    use crate::act::Silu;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn gradcheck_small_chain() {
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 1)),
+            Box::new(Silu::new()),
+            Box::new(Conv2d::new(2, 1, 1, 2)),
+        ]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::from_vec(
+            [1, 1, 3, 3],
+            (0..9).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        check_layer(&mut net, x, 3e-2);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 0)),
+            Box::new(Conv2d::new(2, 1, 1, 1)),
+        ]);
+        assert_eq!(net.param_count(), (2 * 9 + 2) + (2 + 1));
+        assert_eq!(net.len(), 2);
+    }
+}

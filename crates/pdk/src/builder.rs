@@ -1,0 +1,140 @@
+//! A small builder for track-aligned layouts.
+
+use crate::node::SynthNode;
+use pp_geometry::{Layout, Rect};
+
+/// Builds layouts on a node's vertical track grid.
+///
+/// The builder knows the node geometry, so callers speak in track indices
+/// and width values instead of raw coordinates. It performs no legality
+/// checking itself — run the result through [`pp_drc::check_layout`].
+///
+/// # Example
+///
+/// ```
+/// use pp_pdk::{SynthNode, TrackBuilder, WIDTH_NARROW};
+///
+/// let node = SynthNode::default();
+/// let layout = TrackBuilder::new(&node)
+///     .segment(0, 0, 32, WIDTH_NARROW)
+///     .segment(1, 4, 20, WIDTH_NARROW)
+///     .build();
+/// assert!(layout.metal_area() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrackBuilder {
+    node: SynthNode,
+    layout: Layout,
+}
+
+impl TrackBuilder {
+    /// Starts an empty clip for `node`.
+    pub fn new(node: &SynthNode) -> Self {
+        TrackBuilder {
+            node: node.clone(),
+            layout: Layout::new(node.clip(), node.clip()),
+        }
+    }
+
+    /// Places a vertical wire segment of width `w` on track `t`, spanning
+    /// rows `[y0, y1)` (clipped to the clip extent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn segment(mut self, t: usize, y0: u32, y1: u32, w: u32) -> Self {
+        let x = self.node.wire_left_edge(t, w);
+        let y1 = y1.min(self.node.clip());
+        if y1 > y0 {
+            self.layout.fill_rect(Rect::new(x, y0, w, y1 - y0));
+        }
+        self
+    }
+
+    /// Places a horizontal strap of the given `thickness` at rows
+    /// `[y, y+thickness)`, spanning from the left edge of a width-`w0`
+    /// wire on track `t0` to the right edge of a width-`w1` wire on `t1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 >= t1` or either index is out of range.
+    pub fn strap(mut self, t0: usize, w0: u32, t1: usize, w1: u32, y: u32, thickness: u32) -> Self {
+        assert!(t0 < t1, "strap requires t0 < t1");
+        let x0 = self.node.wire_left_edge(t0, w0);
+        let x1 = self.node.wire_left_edge(t1, w1) + w1;
+        self.layout.fill_rect(Rect::new(x0, y, x1 - x0, thickness));
+        self
+    }
+
+    /// Finishes and returns the layout.
+    pub fn build(self) -> Layout {
+        self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{WIDTH_NARROW, WIDTH_WIDE};
+    use pp_drc::check_layout;
+
+    #[test]
+    fn segment_lands_on_track() {
+        let node = SynthNode::default();
+        let l = TrackBuilder::new(&node)
+            .segment(1, 0, 32, WIDTH_NARROW)
+            .build();
+        assert!(l.get(11, 0) && l.get(13, 31));
+        assert!(!l.get(10, 0) && !l.get(14, 0));
+    }
+
+    #[test]
+    fn segment_clips_to_clip_height() {
+        let node = SynthNode::default();
+        let l = TrackBuilder::new(&node)
+            .segment(0, 28, 99, WIDTH_NARROW)
+            .build();
+        assert_eq!(l.metal_area(), 3 * 4);
+    }
+
+    #[test]
+    fn strap_connects_tracks() {
+        let node = SynthNode::default();
+        let l = TrackBuilder::new(&node)
+            .segment(0, 0, 32, WIDTH_NARROW)
+            .segment(1, 0, 32, WIDTH_NARROW)
+            .strap(0, WIDTH_NARROW, 1, WIDTH_NARROW, 14, 3)
+            .build();
+        let comps = pp_geometry::connected_components(&l);
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn h_pattern_is_dr_clean() {
+        let node = SynthNode::default();
+        let l = TrackBuilder::new(&node)
+            .segment(0, 0, 32, WIDTH_NARROW)
+            .segment(1, 0, 32, WIDTH_NARROW)
+            .strap(0, WIDTH_NARROW, 1, WIDTH_NARROW, 14, 3)
+            .build();
+        assert!(check_layout(&l, node.rules()).is_clean());
+    }
+
+    #[test]
+    fn mixed_width_tracks_clean() {
+        let node = SynthNode::default();
+        let l = TrackBuilder::new(&node)
+            .segment(0, 0, 32, WIDTH_WIDE)
+            .segment(1, 0, 32, WIDTH_NARROW)
+            .segment(3, 0, 32, WIDTH_WIDE)
+            .build();
+        assert!(check_layout(&l, node.rules()).is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "t0 < t1")]
+    fn strap_order_enforced() {
+        let node = SynthNode::default();
+        let _ = TrackBuilder::new(&node).strap(1, 3, 1, 3, 4, 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! The foundation (pretraining) corpus generator.
+//!
+//! The paper starts from Stable Diffusion checkpoints pretrained on a
+//! web-scale image corpus. Our diffusion substrate is instead pretrained
+//! in-repo on this corpus: a large procedurally generated family of
+//! *generic* Manhattan patterns (varied pitches, widths, orientations,
+//! segmentation and the occasional rectangle soup). The corpus is
+//! intentionally **not** DR-clean for any particular node — it teaches the
+//! model Manhattan-ness and track structure, the way SD's pretraining
+//! teaches natural-image statistics, while the 20 node-specific starters
+//! are reserved for few-shot finetuning.
+
+use pp_geometry::{Layout, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` generic Manhattan layouts of size `clip`×`clip`.
+///
+/// Deterministic in `seed`. Roughly 45 % vertical track patterns, 45 %
+/// horizontal (rotated) ones and 10 % random rectangle soups.
+///
+/// # Example
+///
+/// ```
+/// use pp_pdk::foundation_corpus;
+///
+/// let corpus = foundation_corpus(8, 32, 123);
+/// assert_eq!(corpus.len(), 8);
+/// assert!(corpus.iter().all(|l| l.width() == 32));
+/// ```
+pub fn foundation_corpus(n: usize, clip: u32, seed: u64) -> Vec<Layout> {
+    assert!(clip >= 16, "foundation corpus needs clips of at least 16px");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| foundation_sample(clip, &mut rng)).collect()
+}
+
+fn foundation_sample(clip: u32, rng: &mut StdRng) -> Layout {
+    let style = rng.gen_range(0..10);
+    let base = match style {
+        0 => rect_soup(clip, rng),
+        _ => track_pattern(clip, rng),
+    };
+    if style >= 1 && style < 5 {
+        // Horizontal variants come from rotating vertical ones.
+        base.rotate_cw()
+    } else {
+        base
+    }
+}
+
+/// Vertical track pattern with random pitch, widths and segmentation.
+///
+/// Deliberately *generic*: pitches and widths span well beyond any one
+/// node's legal values (a node-agnostic image prior, like SD's natural
+/// image prior), so the pretrained model needs few-shot finetuning to
+/// hit a specific rule deck — the effect the paper measures.
+fn track_pattern(clip: u32, rng: &mut StdRng) -> Layout {
+    let mut l = Layout::new(clip, clip);
+    let pitch = rng.gen_range(5..=13u32);
+    let width_choices = [2u32, 3, 4, 5, 6, 7];
+    let mut x = rng.gen_range(1..=4u32);
+    while x + 2 <= clip {
+        if rng.gen_bool(0.7) {
+            let w = width_choices[rng.gen_range(0..width_choices.len())].min(clip - x);
+            // Random segmentation along the track.
+            let mut y = if rng.gen_bool(0.6) {
+                0
+            } else {
+                rng.gen_range(0..clip / 3)
+            };
+            while y + 3 < clip {
+                let len = rng.gen_range(5..=clip);
+                let y1 = (y + len).min(clip);
+                l.fill_rect(Rect::new(x, y, w, y1 - y));
+                y = y1 + rng.gen_range(3..8);
+                if rng.gen_bool(0.5) {
+                    break;
+                }
+            }
+        }
+        x += pitch + rng.gen_range(0..3);
+    }
+    // Occasional cross strap.
+    if rng.gen_bool(0.3) {
+        let y = rng.gen_range(0..clip - 3);
+        let x0 = rng.gen_range(0..clip / 2);
+        let span = rng.gen_range(clip / 4..clip - x0);
+        l.fill_rect(Rect::new(x0, y, span, rng.gen_range(2..=4)));
+    }
+    l
+}
+
+/// Sparse random rectangles (keeps the model honest about non-track shapes).
+fn rect_soup(clip: u32, rng: &mut StdRng) -> Layout {
+    let mut l = Layout::new(clip, clip);
+    for _ in 0..rng.gen_range(2..7) {
+        let w = rng.gen_range(2..clip / 2);
+        let h = rng.gen_range(2..clip / 2);
+        let x = rng.gen_range(0..clip - w);
+        let y = rng.gen_range(0..clip - h);
+        l.fill_rect(Rect::new(x, y, w, h));
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_geometry::Signature;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(foundation_corpus(10, 32, 5), foundation_corpus(10, 32, 5));
+    }
+
+    #[test]
+    fn seeds_differ() {
+        assert_ne!(foundation_corpus(10, 32, 5), foundation_corpus(10, 32, 6));
+    }
+
+    #[test]
+    fn diverse() {
+        let sigs: HashSet<Signature> = foundation_corpus(100, 32, 1)
+            .iter()
+            .map(Signature::of_layout)
+            .collect();
+        assert!(sigs.len() > 90);
+    }
+
+    #[test]
+    fn densities_are_plausible() {
+        let corpus = foundation_corpus(100, 32, 2);
+        let mean: f64 = corpus.iter().map(Layout::density).sum::<f64>() / 100.0;
+        assert!(mean > 0.05 && mean < 0.8, "mean density {mean}");
+    }
+
+    #[test]
+    fn contains_both_orientations() {
+        // Vertical patterns have more x scan lines than y, and vice versa.
+        let corpus = foundation_corpus(50, 32, 3);
+        let mut vertical = 0;
+        let mut horizontal = 0;
+        for l in &corpus {
+            let sx = pp_geometry::scan_lines_x(l).len();
+            let sy = pp_geometry::scan_lines_y(l).len();
+            if sx > sy {
+                vertical += 1;
+            } else if sy > sx {
+                horizontal += 1;
+            }
+        }
+        assert!(vertical > 5 && horizontal > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16px")]
+    fn tiny_clip_rejected() {
+        let _ = foundation_corpus(1, 8, 0);
+    }
+}

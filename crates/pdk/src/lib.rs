@@ -1,0 +1,52 @@
+//! SynthNode-3: a synthetic process design kit for the PatternPaint
+//! reproduction.
+//!
+//! The paper validates PatternPaint on the Intel 18A node with a full
+//! sign-off design-rule deck, 20 proprietary starter patterns, and a
+//! commercial layout generator used to create 1 000 training samples for
+//! the baselines. None of those artifacts are redistributable, so this
+//! crate provides a faithful synthetic stand-in:
+//!
+//! * [`SynthNode`] — the node definition: clip size, vertical track grid,
+//!   and both rule decks (basic + advanced with discrete widths and
+//!   width-dependent spacing windows, mirroring the paper's Figure 3);
+//! * [`SynthNode::starter_patterns`] — 20 deterministic DR-clean starter
+//!   clips on the track grid;
+//! * [`rulegen`] — the rule-based ("commercial tool") generator used to
+//!   produce arbitrarily many DR-clean samples for baseline training;
+//! * [`foundation`] — a generic Manhattan-pattern corpus generator used to
+//!   *pretrain* the diffusion substrate (the stand-in for the web-scale
+//!   image corpus behind Stable Diffusion).
+//!
+//! # Example
+//!
+//! ```
+//! use pp_pdk::SynthNode;
+//! use pp_drc::check_layout;
+//!
+//! let node = SynthNode::default();
+//! assert_eq!(node.starter_patterns().len(), 20);
+//! for s in node.starter_patterns() {
+//!     assert!(check_layout(&s, node.rules()).is_clean());
+//! }
+//! ```
+
+pub mod builder;
+pub mod foundation;
+pub mod node;
+pub mod rulegen;
+pub mod starters;
+
+pub use builder::TrackBuilder;
+pub use foundation::foundation_corpus;
+pub use node::{SynthNode, WIDTH_NARROW, WIDTH_WIDE};
+pub use rulegen::RuleBasedGenerator;
+
+impl SynthNode {
+    /// The 20 deterministic DR-clean starter patterns for this node.
+    ///
+    /// See [`starters::starter_patterns`].
+    pub fn starter_patterns(&self) -> Vec<pp_geometry::Layout> {
+        starters::starter_patterns(self)
+    }
+}

@@ -1,0 +1,312 @@
+//! The 20 DR-clean starter patterns.
+//!
+//! The paper's dataset consists of 20 starter patterns from the Intel 18A
+//! node. Here they are rebuilt deterministically on the SynthNode track
+//! grid: a spread of full tracks, split segments, mixed widths, mid
+//! segments, straps/ladders and L/Z shapes — the kind of hand-picked
+//! seeds an engineer would select to span the rule space.
+
+use crate::builder::TrackBuilder;
+use crate::node::{SynthNode, WIDTH_NARROW, WIDTH_WIDE};
+use pp_geometry::Layout;
+
+/// Builds the 20 starter patterns for `node`.
+///
+/// Patterns are deterministic. On the default node all 20 are DR-clean
+/// and mutually distinct (asserted by tests and integration tests); on
+/// very small nodes (fewer tracks) recipes that reference missing tracks
+/// re-use lower tracks, so distinctness may drop while cleanliness is
+/// preserved.
+pub fn starter_patterns(node: &SynthNode) -> Vec<Layout> {
+    let clip = node.clip();
+    let n = node.track_count();
+    // Clamp a recipe track index to the available tracks.
+    let t = |i: usize| i.min(n - 1);
+    // Segment split helper: two segments separated by an E2E-legal gap.
+    let mid = clip / 2;
+    let (s0_end, s1_start) = (mid - 2, mid + 2); // gap of 4 == min E2E
+    let quarter = clip / 4;
+
+    let mut patterns = Vec::with_capacity(20);
+
+    // 1: all tracks narrow, full height.
+    let mut b = TrackBuilder::new(node);
+    for i in 0..n {
+        b = b.segment(i, 0, clip, WIDTH_NARROW);
+    }
+    patterns.push(b.build());
+
+    // 2: alternating tracks narrow.
+    let mut b = TrackBuilder::new(node);
+    for i in (0..n).step_by(2) {
+        b = b.segment(i, 0, clip, WIDTH_NARROW);
+    }
+    patterns.push(b.build());
+
+    // 3: wide on track 0, narrow elsewhere.
+    let mut b = TrackBuilder::new(node).segment(0, 0, clip, WIDTH_WIDE);
+    for i in 1..n {
+        b = b.segment(i, 0, clip, WIDTH_NARROW);
+    }
+    patterns.push(b.build());
+
+    // 4: isolated wide on track 1, narrow on the last track.
+    patterns.push(
+        TrackBuilder::new(node)
+            .segment(t(1), 0, clip, WIDTH_WIDE)
+            .segment(t(3), 0, clip, WIDTH_NARROW)
+            .build(),
+    );
+
+    // 5: two narrow full tracks plus a split track.
+    patterns.push(
+        TrackBuilder::new(node)
+            .segment(0, 0, clip, WIDTH_NARROW)
+            .segment(t(1), 0, clip, WIDTH_NARROW)
+            .segment(t(2), 0, s0_end, WIDTH_NARROW)
+            .segment(t(2), s1_start, clip, WIDTH_NARROW)
+            .build(),
+    );
+
+    // 6: all narrow with two split tracks at different heights.
+    let mut b = TrackBuilder::new(node);
+    for i in 0..n {
+        b = b.segment(i, 0, clip, WIDTH_NARROW);
+    }
+    let l6 = {
+        let mut b = TrackBuilder::new(node).segment(0, 0, clip, WIDTH_NARROW);
+        b = b
+            .segment(t(1), 0, clip * 3 / 8, WIDTH_NARROW)
+            .segment(t(1), clip * 3 / 8 + 4, clip, WIDTH_NARROW);
+        if n > 2 {
+            b = b.segment(2, 0, clip, WIDTH_NARROW);
+        }
+        if n > 3 {
+            b = b
+                .segment(3, 0, clip * 5 / 8, WIDTH_NARROW)
+                .segment(3, clip * 5 / 8 + 4, clip, WIDTH_NARROW);
+        }
+        b.build()
+    };
+    patterns.push(l6);
+
+    // 7: narrow tracks with one floating mid segment.
+    let mut b = TrackBuilder::new(node).segment(0, 0, clip, WIDTH_NARROW);
+    b = b.segment(t(1), quarter, clip - quarter, WIDTH_NARROW);
+    if n > 2 {
+        b = b.segment(2, 0, clip, WIDTH_NARROW);
+    }
+    if n > 3 {
+        b = b.segment(3, 0, clip, WIDTH_NARROW);
+    }
+    patterns.push(b.build());
+
+    // 8: wide-empty-wide with a narrow in between (w0, n1, w2).
+    let mut b = TrackBuilder::new(node).segment(0, 0, clip, WIDTH_WIDE);
+    if n > 2 {
+        b = b
+            .segment(1, 0, clip, WIDTH_NARROW)
+            .segment(2, 0, clip, WIDTH_WIDE);
+    } else {
+        b = b.segment(1, 0, clip, WIDTH_NARROW);
+    }
+    patterns.push(b.build());
+
+    // 9: H pattern — two narrow tracks bridged mid-clip.
+    patterns.push(
+        TrackBuilder::new(node)
+            .segment(0, 0, clip, WIDTH_NARROW)
+            .segment(1, 0, clip, WIDTH_NARROW)
+            .strap(0, WIDTH_NARROW, 1, WIDTH_NARROW, mid - 2, 3)
+            .build(),
+    );
+
+    // 10: narrow track plus an H on the upper tracks.
+    let mut b = TrackBuilder::new(node).segment(0, 0, clip, WIDTH_NARROW);
+    if n > 3 {
+        b = b
+            .segment(2, 0, clip, WIDTH_NARROW)
+            .segment(3, 0, clip, WIDTH_NARROW)
+            .strap(2, WIDTH_NARROW, 3, WIDTH_NARROW, clip / 4, 3);
+    } else {
+        b = b
+            .segment(t(1), 0, clip, WIDTH_NARROW)
+            .strap(0, WIDTH_NARROW, t(1), WIDTH_NARROW, clip / 4, 3);
+    }
+    patterns.push(b.build());
+
+    // 11: split, wide, narrow, mid-segment across the four tracks.
+    let mut b = TrackBuilder::new(node)
+        .segment(0, 0, clip / 4 + 2, WIDTH_NARROW)
+        .segment(0, clip / 4 + 6, clip, WIDTH_NARROW)
+        .segment(t(1), 0, clip, WIDTH_WIDE);
+    if n > 2 {
+        b = b.segment(2, 0, clip, WIDTH_NARROW);
+    }
+    if n > 3 {
+        b = b.segment(3, quarter, clip - quarter, WIDTH_NARROW);
+    }
+    patterns.push(b.build());
+
+    // 12: ladder — two narrow tracks with two straps.
+    patterns.push(
+        TrackBuilder::new(node)
+            .segment(0, 0, clip, WIDTH_NARROW)
+            .segment(1, 0, clip, WIDTH_NARROW)
+            .strap(0, WIDTH_NARROW, 1, WIDTH_NARROW, clip / 8, 3)
+            .strap(0, WIDTH_NARROW, 1, WIDTH_NARROW, clip - clip / 8 - 3, 3)
+            .build(),
+    );
+
+    // 13: narrow, wide, empty, wide.
+    let mut b = TrackBuilder::new(node)
+        .segment(0, 0, clip, WIDTH_NARROW)
+        .segment(t(1), 0, clip, WIDTH_WIDE);
+    if n > 3 {
+        b = b.segment(3, 0, clip, WIDTH_WIDE);
+    }
+    patterns.push(b.build());
+
+    // 14: narrow full plus a three-segment track (two segments when the
+    // clip is too short for three legal ones).
+    let seg = (clip - 8) / 3;
+    let p14 = if seg >= 6 {
+        TrackBuilder::new(node)
+            .segment(0, 0, clip, WIDTH_NARROW)
+            .segment(t(2), 0, seg, WIDTH_NARROW)
+            .segment(t(2), seg + 4, 2 * seg + 4, WIDTH_NARROW)
+            .segment(t(2), 2 * seg + 8, clip, WIDTH_NARROW)
+            .build()
+    } else {
+        TrackBuilder::new(node)
+            .segment(0, 0, clip, WIDTH_NARROW)
+            .segment(t(2), 0, s0_end, WIDTH_NARROW)
+            .segment(t(2), s1_start + 2, clip, WIDTH_NARROW)
+            .build()
+    };
+    patterns.push(p14);
+
+    // 15: wide mid segment framed by narrow full tracks.
+    let mut b = TrackBuilder::new(node)
+        .segment(0, 0, clip, WIDTH_NARROW)
+        .segment(t(1), clip / 5, clip - clip / 5, WIDTH_WIDE);
+    if n > 2 {
+        b = b.segment(2, 0, clip, WIDTH_NARROW);
+    }
+    patterns.push(b.build());
+
+    // 16: Z shape — upper-left wire, strap, lower-right wire.
+    patterns.push(
+        TrackBuilder::new(node)
+            .segment(0, 0, mid + 4, WIDTH_NARROW)
+            .segment(1, mid + 1, clip, WIDTH_NARROW)
+            .strap(0, WIDTH_NARROW, 1, WIDTH_NARROW, mid + 1, 3)
+            .build(),
+    );
+
+    // 17: two centre tracks narrow.
+    patterns.push(
+        TrackBuilder::new(node)
+            .segment(t(1), 0, clip, WIDTH_NARROW)
+            .segment(t(2), 0, clip, WIDTH_NARROW)
+            .build(),
+    );
+
+    // 18: single wide wire.
+    patterns.push(
+        TrackBuilder::new(node)
+            .segment(t(2), 0, clip, WIDTH_WIDE)
+            .build(),
+    );
+
+    // 19: split narrow, narrow, empty, wide.
+    let mut b = TrackBuilder::new(node)
+        .segment(0, 0, s0_end, WIDTH_NARROW)
+        .segment(0, s1_start, clip, WIDTH_NARROW)
+        .segment(t(1), 0, clip, WIDTH_NARROW);
+    if n > 3 {
+        b = b.segment(3, 0, clip, WIDTH_WIDE);
+    }
+    patterns.push(b.build());
+
+    // 20: strap plus split on the far track.
+    let mut b = TrackBuilder::new(node);
+    for i in 0..n.min(3) {
+        b = b.segment(i, 0, clip, WIDTH_NARROW);
+    }
+    if n >= 3 {
+        b = b.strap(1, WIDTH_NARROW, 2, WIDTH_NARROW, clip / 3, 3);
+    } else {
+        b = b.strap(0, WIDTH_NARROW, 1, WIDTH_NARROW, clip / 3, 3);
+    }
+    if n > 3 {
+        b = b
+            .segment(3, 0, clip / 2 - 2, WIDTH_NARROW)
+            .segment(3, clip / 2 + 2, clip, WIDTH_NARROW);
+    }
+    patterns.push(b.build());
+
+    patterns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_drc::check_layout;
+    use pp_geometry::Signature;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_node_starters_are_clean() {
+        let node = SynthNode::default();
+        for (i, p) in starter_patterns(&node).iter().enumerate() {
+            let report = check_layout(p, node.rules());
+            assert!(
+                report.is_clean(),
+                "starter {} is dirty:\n{}\n{}",
+                i + 1,
+                report,
+                pp_geometry::render::to_ascii(p),
+            );
+        }
+    }
+
+    #[test]
+    fn default_node_starters_are_unique() {
+        let node = SynthNode::default();
+        let sigs: HashSet<Signature> = starter_patterns(&node)
+            .iter()
+            .map(Signature::of_layout)
+            .collect();
+        assert_eq!(sigs.len(), 20, "starters must be mutually distinct");
+    }
+
+    #[test]
+    fn exactly_twenty_starters() {
+        assert_eq!(starter_patterns(&SynthNode::default()).len(), 20);
+    }
+
+    #[test]
+    fn small_node_starters_are_clean() {
+        let node = SynthNode::small();
+        for (i, p) in starter_patterns(&node).iter().enumerate() {
+            let report = check_layout(p, node.rules());
+            assert!(
+                report.is_clean(),
+                "small starter {} dirty:\n{}\n{}",
+                i + 1,
+                report,
+                pp_geometry::render::to_ascii(p),
+            );
+        }
+    }
+
+    #[test]
+    fn starters_have_varied_density() {
+        let node = SynthNode::default();
+        let densities: Vec<f64> = starter_patterns(&node).iter().map(Layout::density).collect();
+        let min = densities.iter().cloned().fold(f64::MAX, f64::min);
+        let max = densities.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 2.0 * min, "starters should span a density range");
+    }
+}

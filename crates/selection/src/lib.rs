@@ -1,0 +1,149 @@
+//! PCA-based representative layout selection (paper Algorithm 2).
+//!
+//! Between PatternPaint iterations, a handful of *representative* layouts
+//! is picked from the growing library to seed the next round of
+//! inpainting. The paper does this with PCA (keeping 90 % explained
+//! variance) followed by constrained farthest-point selection.
+//!
+//! * [`Pca`] — principal component analysis from scratch (subspace
+//!   iteration on the implicit covariance; no external linear algebra);
+//! * [`select_representatives`] — greedy farthest-point selection with an
+//!   arbitrary per-sample constraint;
+//! * [`PcaSelector`] — the glue used by the pipeline: flatten layouts,
+//!   fit PCA to a target explained variance, select under a density
+//!   ceiling (the paper uses 40 %).
+//!
+//! # Example
+//!
+//! ```
+//! use pp_selection::PcaSelector;
+//! use pp_pdk::SynthNode;
+//!
+//! let library = SynthNode::default().starter_patterns();
+//! let selector = PcaSelector::new(0.9, 0.4, 7);
+//! let picks = selector.select(&library, 5);
+//! assert_eq!(picks.len(), 5);
+//! ```
+
+pub mod pca;
+pub mod select;
+
+pub use pca::Pca;
+pub use select::select_representatives;
+
+use pp_geometry::Layout;
+
+/// Pipeline-facing selector: PCA reduction + constrained farthest-point.
+///
+/// See the crate docs for the role this plays in iterative generation.
+#[derive(Debug, Clone)]
+pub struct PcaSelector {
+    target_explained: f64,
+    max_density: f64,
+    seed: u64,
+}
+
+impl PcaSelector {
+    /// Creates a selector.
+    ///
+    /// * `target_explained` — keep principal components until this
+    ///   fraction of variance is explained (paper: 0.9);
+    /// * `max_density` — only layouts with metal density at most this are
+    ///   eligible (paper: 0.4), keeping room for inpainting to add shapes;
+    /// * `seed` — seeds the initial random pick and PCA iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target_explained <= 1` and `0 < max_density <= 1`.
+    pub fn new(target_explained: f64, max_density: f64, seed: u64) -> Self {
+        assert!(
+            target_explained > 0.0 && target_explained <= 1.0,
+            "target_explained must be in (0, 1]"
+        );
+        assert!(
+            max_density > 0.0 && max_density <= 1.0,
+            "max_density must be in (0, 1]"
+        );
+        PcaSelector {
+            target_explained,
+            max_density,
+            seed,
+        }
+    }
+
+    /// Picks `k` representative indices from `library`.
+    ///
+    /// If fewer than `k` layouts satisfy the density constraint, the
+    /// constraint is relaxed for the remainder (the paper's constraint
+    /// `C` is a filter, not a hard failure). Returns fewer than `k`
+    /// indices only when the library itself is smaller than `k`.
+    pub fn select(&self, library: &[Layout], k: usize) -> Vec<usize> {
+        if library.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let data: Vec<Vec<f32>> = library.iter().map(flatten).collect();
+        let pca = Pca::fit(&data, self.target_explained, 32, self.seed);
+        let features: Vec<Vec<f32>> = data.iter().map(|d| pca.transform(d)).collect();
+        let densities: Vec<f64> = library.iter().map(Layout::density).collect();
+        let max_density = self.max_density;
+        let eligible = |i: usize| densities[i] <= max_density;
+        let mut picks = select_representatives(&features, k, eligible, self.seed);
+        if picks.len() < k.min(library.len()) {
+            // Relax the constraint for the remainder.
+            let mut more = select_representatives(&features, k, |_| true, self.seed ^ 0x9e37);
+            more.retain(|i| !picks.contains(i));
+            picks.extend(more.into_iter().take(k - picks.len()));
+        }
+        picks
+    }
+}
+
+/// Flattens a layout into a ±1 feature vector.
+fn flatten(layout: &Layout) -> Vec<f32> {
+    layout.iter().map(|b| if b { 1.0 } else { -1.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_pdk::SynthNode;
+
+    #[test]
+    fn selects_requested_count() {
+        let library = SynthNode::default().starter_patterns();
+        let picks = PcaSelector::new(0.9, 0.4, 1).select(&library, 6);
+        assert_eq!(picks.len(), 6);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 6, "picks must be distinct");
+    }
+
+    #[test]
+    fn respects_density_when_possible() {
+        let library = SynthNode::default().starter_patterns();
+        let picks = PcaSelector::new(0.9, 0.25, 2).select(&library, 3);
+        for &i in &picks {
+            assert!(library[i].density() <= 0.25 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn relaxes_constraint_when_starved() {
+        let library = SynthNode::default().starter_patterns();
+        // Impossible density ceiling: everything violates; still returns k.
+        let picks = PcaSelector::new(0.9, 0.0001, 3).select(&library, 4);
+        assert_eq!(picks.len(), 4);
+    }
+
+    #[test]
+    fn empty_library_gives_empty() {
+        assert!(PcaSelector::new(0.9, 0.4, 0).select(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let library = SynthNode::default().starter_patterns();
+        let a = PcaSelector::new(0.9, 0.4, 5).select(&library, 5);
+        let b = PcaSelector::new(0.9, 0.4, 5).select(&library, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,308 @@
+//! Principal component analysis from scratch.
+//!
+//! PCA here runs on flattened layout clips (dimension = clip², up to a few
+//! thousand) over libraries of up to tens of thousands of samples, so an
+//! explicit covariance eigendecomposition is out of the question. Instead
+//! we use **subspace iteration** on the *implicit* covariance
+//! `C = Xᶜᵀ Xᶜ / n` (where `Xᶜ` is the centred data): repeatedly apply
+//! `V ← orth(Xᶜᵀ (Xᶜ V) / n)`, which converges to the dominant
+//! eigenvectors without ever materialising `C`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted PCA model.
+///
+/// # Example
+///
+/// ```
+/// use pp_selection::Pca;
+///
+/// // Points on a line in 3D: one component explains everything.
+/// let data: Vec<Vec<f32>> = (0..20)
+///     .map(|i| vec![i as f32, 2.0 * i as f32, -i as f32])
+///     .collect();
+/// let pca = Pca::fit(&data, 0.9, 4, 0);
+/// assert_eq!(pca.n_components(), 1);
+/// assert!(pca.explained_ratio() > 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f32>,
+    /// Row-major components, each of length `dim`.
+    components: Vec<Vec<f32>>,
+    /// Variance captured by each component.
+    eigenvalues: Vec<f32>,
+    /// Total variance of the (centred) data.
+    total_variance: f32,
+}
+
+impl Pca {
+    /// Fits PCA keeping the smallest number of components whose explained
+    /// variance reaches `target_explained` (capped at `max_components`).
+    ///
+    /// Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows have inconsistent lengths.
+    pub fn fit(data: &[Vec<f32>], target_explained: f64, max_components: usize, seed: u64) -> Pca {
+        assert!(!data.is_empty(), "pca needs at least one sample");
+        let dim = data[0].len();
+        assert!(
+            data.iter().all(|d| d.len() == dim),
+            "all samples must share one dimension"
+        );
+        let n = data.len();
+        let k_max = max_components.min(dim).min(n).max(1);
+
+        // Centre the data.
+        let mut mean = vec![0.0f32; dim];
+        for row in data {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        let centred: Vec<Vec<f32>> = data
+            .iter()
+            .map(|row| row.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+            .collect();
+        let total_variance: f32 = centred
+            .iter()
+            .flat_map(|r| r.iter().map(|&v| v * v))
+            .sum::<f32>()
+            / n as f32;
+
+        if total_variance <= f32::EPSILON {
+            // Degenerate: all samples identical.
+            return Pca {
+                mean,
+                components: vec![unit_vector(dim, 0)],
+                eigenvalues: vec![0.0],
+                total_variance: 0.0,
+            };
+        }
+
+        // Subspace iteration with k_max vectors.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut basis: Vec<Vec<f32>> = (0..k_max)
+            .map(|_| {
+                let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                v
+            })
+            .collect();
+        orthonormalise(&mut basis);
+        for _ in 0..30 {
+            // W = Xᶜ V  (n × k), then V ← Xᶜᵀ W / n (d × k).
+            let mut next: Vec<Vec<f32>> = vec![vec![0.0; dim]; basis.len()];
+            for row in &centred {
+                for (b, nx) in basis.iter().zip(next.iter_mut()) {
+                    let proj: f32 = row.iter().zip(b).map(|(&r, &v)| r * v).sum();
+                    for (nv, &r) in nx.iter_mut().zip(row) {
+                        *nv += proj * r;
+                    }
+                }
+            }
+            for nx in &mut next {
+                for v in nx.iter_mut() {
+                    *v /= n as f32;
+                }
+            }
+            basis = next;
+            orthonormalise(&mut basis);
+        }
+
+        // Eigenvalues = variance along each basis vector.
+        let mut eig: Vec<(f32, Vec<f32>)> = basis
+            .into_iter()
+            .map(|b| {
+                let var: f32 = centred
+                    .iter()
+                    .map(|row| {
+                        let p: f32 = row.iter().zip(&b).map(|(&r, &v)| r * v).sum();
+                        p * p
+                    })
+                    .sum::<f32>()
+                    / n as f32;
+                (var, b)
+            })
+            .collect();
+        eig.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+        // Keep components until the target explained variance is reached.
+        let mut kept = Vec::new();
+        let mut eigenvalues = Vec::new();
+        let mut acc = 0.0f64;
+        for (val, vec) in eig {
+            kept.push(vec);
+            eigenvalues.push(val);
+            acc += f64::from(val);
+            if acc / f64::from(total_variance) >= target_explained {
+                break;
+            }
+        }
+        Pca {
+            mean,
+            components: kept,
+            eigenvalues,
+            total_variance,
+        }
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Fraction of total variance explained by the retained components.
+    pub fn explained_ratio(&self) -> f64 {
+        if self.total_variance <= f32::EPSILON {
+            return 1.0;
+        }
+        f64::from(self.eigenvalues.iter().sum::<f32>()) / f64::from(self.total_variance)
+    }
+
+    /// Variance captured per component, descending.
+    pub fn eigenvalues(&self) -> &[f32] {
+        &self.eigenvalues
+    }
+
+    /// Projects a sample onto the retained components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn transform(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|c| {
+                x.iter()
+                    .zip(&self.mean)
+                    .zip(c)
+                    .map(|((&v, &m), &cv)| (v - m) * cv)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Modified Gram-Schmidt; drops near-zero vectors by re-randomising them
+/// deterministically from their index.
+fn orthonormalise(basis: &mut [Vec<f32>]) {
+    let dim = basis[0].len();
+    for i in 0..basis.len() {
+        for j in 0..i {
+            let dot: f32 = basis[i].iter().zip(&basis[j]).map(|(&a, &b)| a * b).sum();
+            let (head, tail) = basis.split_at_mut(i);
+            for (v, &w) in tail[0].iter_mut().zip(&head[j]) {
+                *v -= dot * w;
+            }
+        }
+        let norm: f32 = basis[i].iter().map(|&v| v * v).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for v in &mut basis[i] {
+                *v /= norm;
+            }
+        } else {
+            basis[i] = unit_vector(dim, i % dim);
+        }
+    }
+}
+
+fn unit_vector(dim: usize, axis: usize) -> Vec<f32> {
+    let mut v = vec![0.0; dim];
+    v[axis] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Data spread along (1, 1)/√2 with small noise on (1, -1)/√2.
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<Vec<f32>> = (0..200)
+            .map(|_| {
+                let t: f32 = rng.gen_range(-10.0..10.0);
+                let n: f32 = rng.gen_range(-0.1..0.1);
+                vec![t + n, t - n]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 0.9, 2, 0);
+        assert_eq!(pca.n_components(), 1);
+        // Component ≈ ±(0.707, 0.707).
+        let c = &pca.transform(&[1.0, 1.0]);
+        assert!(c[0].abs() > 1.3, "projection {c:?}");
+    }
+
+    #[test]
+    fn explained_ratio_reaches_target() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<Vec<f32>> = (0..100)
+            .map(|_| (0..10).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let pca = Pca::fit(&data, 0.9, 10, 0);
+        assert!(pca.explained_ratio() >= 0.9 - 1e-6);
+    }
+
+    #[test]
+    fn identical_samples_degenerate_gracefully() {
+        let data = vec![vec![3.0f32, 4.0]; 5];
+        let pca = Pca::fit(&data, 0.9, 2, 0);
+        assert_eq!(pca.n_components(), 1);
+        assert_eq!(pca.transform(&[3.0, 4.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn transform_centres_data() {
+        let data = vec![vec![1.0f32, 0.0], vec![3.0, 0.0]];
+        let pca = Pca::fit(&data, 0.99, 2, 0);
+        let a = pca.transform(&[1.0, 0.0]);
+        let b = pca.transform(&[3.0, 0.0]);
+        // Projections are symmetric about the mean.
+        assert!((a[0] + b[0]).abs() < 1e-4, "{a:?} {b:?}");
+    }
+
+    #[test]
+    fn eigenvalues_descend() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<Vec<f32>> = (0..80)
+            .map(|_| {
+                let a: f32 = rng.gen_range(-5.0..5.0);
+                let b: f32 = rng.gen_range(-1.0..1.0);
+                let c: f32 = rng.gen_range(-0.2..0.2);
+                vec![a, b, c]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 0.999, 3, 0);
+        let e = pca.eigenvalues();
+        assert!(e.windows(2).all(|w| w[0] >= w[1] - 1e-6));
+    }
+
+    proptest! {
+        /// Projections of training points are finite and bounded by the
+        /// data scale.
+        #[test]
+        fn prop_transform_finite(seed in 0u64..32) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<Vec<f32>> = (0..30)
+                .map(|_| (0..6).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+                .collect();
+            let pca = Pca::fit(&data, 0.9, 6, seed);
+            for row in &data {
+                for v in pca.transform(row) {
+                    prop_assert!(v.is_finite());
+                    prop_assert!(v.abs() < 20.0);
+                }
+            }
+        }
+    }
+}

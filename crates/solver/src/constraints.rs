@@ -1,0 +1,253 @@
+//! Constraint extraction from topology matrices.
+//!
+//! Each constraint is a linear form over the Δ variables (a contiguous
+//! span of Δx or Δy entries) with bounds, plus bilinear area constraints
+//! per connected component. The counts grow roughly quadratically with
+//! topology size, which is what drives the solver-runtime curve of the
+//! paper's Figure 9.
+
+use pp_geometry::TopologyMatrix;
+use std::collections::HashSet;
+
+/// A contiguous index span `[lo, hi)` over one Δ vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First index (inclusive).
+    pub lo: usize,
+    /// One past the last index.
+    pub hi: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo < hi, "span must be non-empty");
+        Span { lo, hi }
+    }
+
+    /// Number of Δ entries covered.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Spans are never empty; provided for clippy-friendliness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// All geometric constraints implied by a topology matrix.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    /// Unique x-width spans (row bars): Σ Δx over the span is a wire width.
+    pub x_widths: Vec<Span>,
+    /// Unique y-height spans (column runs): Σ Δy is a wire length.
+    pub y_heights: Vec<Span>,
+    /// Unique x-gap spans (between bars in a row): Σ Δx is a spacing.
+    pub x_gaps: Vec<Span>,
+    /// Unique y-gap spans (between runs in a column): Σ Δy is an E2E gap.
+    pub y_gaps: Vec<Span>,
+    /// Connected components as cell lists `(row, col)` for area terms.
+    pub components: Vec<Vec<(usize, usize)>>,
+}
+
+impl ConstraintSet {
+    /// Extracts the constraint set of `topo`.
+    pub fn from_topology(topo: &TopologyMatrix) -> Self {
+        let mut x_widths = HashSet::new();
+        let mut x_gaps = HashSet::new();
+        for row in 0..topo.rows() {
+            let runs = runs_in_row(topo, row);
+            for &(c0, c1) in &runs {
+                x_widths.insert(Span::new(c0, c1));
+            }
+            for pair in runs.windows(2) {
+                x_gaps.insert(Span::new(pair[0].1, pair[1].0));
+            }
+        }
+        let mut y_heights = HashSet::new();
+        let mut y_gaps = HashSet::new();
+        for col in 0..topo.cols() {
+            let runs = runs_in_col(topo, col);
+            for &(r0, r1) in &runs {
+                y_heights.insert(Span::new(r0, r1));
+            }
+            for pair in runs.windows(2) {
+                y_gaps.insert(Span::new(pair[0].1, pair[1].0));
+            }
+        }
+        let sort = |set: HashSet<Span>| {
+            let mut v: Vec<Span> = set.into_iter().collect();
+            v.sort_by_key(|s| (s.lo, s.hi));
+            v
+        };
+        ConstraintSet {
+            x_widths: sort(x_widths),
+            y_heights: sort(y_heights),
+            x_gaps: sort(x_gaps),
+            y_gaps: sort(y_gaps),
+            components: components(topo),
+        }
+    }
+
+    /// Total number of constraint terms (used for instrumentation).
+    pub fn len(&self) -> usize {
+        self.x_widths.len()
+            + self.y_heights.len()
+            + self.x_gaps.len()
+            + self.y_gaps.len()
+            + self.components.len()
+    }
+
+    /// Whether the topology implied no constraints at all (empty matrix).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn runs_in_row(topo: &TopologyMatrix, row: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut c = 0;
+    while c < topo.cols() {
+        if topo.get(row, c) {
+            let c0 = c;
+            while c < topo.cols() && topo.get(row, c) {
+                c += 1;
+            }
+            out.push((c0, c));
+        } else {
+            c += 1;
+        }
+    }
+    out
+}
+
+fn runs_in_col(topo: &TopologyMatrix, col: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut r = 0;
+    while r < topo.rows() {
+        if topo.get(r, col) {
+            let r0 = r;
+            while r < topo.rows() && topo.get(r, col) {
+                r += 1;
+            }
+            out.push((r0, r));
+        } else {
+            r += 1;
+        }
+    }
+    out
+}
+
+fn components(topo: &TopologyMatrix) -> Vec<Vec<(usize, usize)>> {
+    let rows = topo.rows();
+    let cols = topo.cols();
+    let mut seen = vec![false; rows * cols];
+    let mut out = Vec::new();
+    for r0 in 0..rows {
+        for c0 in 0..cols {
+            if seen[r0 * cols + c0] || !topo.get(r0, c0) {
+                continue;
+            }
+            let mut cells = Vec::new();
+            let mut stack = vec![(r0, c0)];
+            seen[r0 * cols + c0] = true;
+            while let Some((r, c)) = stack.pop() {
+                cells.push((r, c));
+                let mut push = |nr: usize, nc: usize, stack: &mut Vec<(usize, usize)>| {
+                    if !seen[nr * cols + nc] && topo.get(nr, nc) {
+                        seen[nr * cols + nc] = true;
+                        stack.push((nr, nc));
+                    }
+                };
+                if r > 0 {
+                    push(r - 1, c, &mut stack);
+                }
+                if r + 1 < rows {
+                    push(r + 1, c, &mut stack);
+                }
+                if c > 0 {
+                    push(r, c - 1, &mut stack);
+                }
+                if c + 1 < cols {
+                    push(r, c + 1, &mut stack);
+                }
+            }
+            out.push(cells);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t_shape() -> TopologyMatrix {
+        // ###
+        // .#.
+        // .#.
+        TopologyMatrix::from_cells(
+            3,
+            3,
+            vec![true, true, true, false, true, false, false, true, false],
+        )
+    }
+
+    #[test]
+    fn extracts_t_shape() {
+        let cs = ConstraintSet::from_topology(&t_shape());
+        assert!(cs.x_widths.contains(&Span::new(0, 3))); // top bar
+        assert!(cs.x_widths.contains(&Span::new(1, 2))); // stem
+        assert!(cs.x_gaps.is_empty()); // single bar per row
+        assert_eq!(cs.components.len(), 1);
+        assert_eq!(cs.components[0].len(), 5);
+    }
+
+    #[test]
+    fn gap_between_two_wires() {
+        // #.#
+        let topo = TopologyMatrix::from_cells(1, 3, vec![true, false, true]);
+        let cs = ConstraintSet::from_topology(&topo);
+        assert_eq!(cs.x_gaps, vec![Span::new(1, 2)]);
+        assert_eq!(cs.x_widths.len(), 2);
+        assert_eq!(cs.components.len(), 2);
+    }
+
+    #[test]
+    fn vertical_gap_detected() {
+        // #
+        // .
+        // #
+        let topo = TopologyMatrix::from_cells(3, 1, vec![true, false, true]);
+        let cs = ConstraintSet::from_topology(&topo);
+        assert_eq!(cs.y_gaps, vec![Span::new(1, 2)]);
+        assert_eq!(cs.y_heights.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_spans_deduped() {
+        // Two identical rows produce one width span.
+        let topo = TopologyMatrix::from_cells(2, 3, vec![false, true, false, false, true, false]);
+        let cs = ConstraintSet::from_topology(&topo);
+        assert_eq!(cs.x_widths.len(), 1);
+        assert_eq!(cs.y_heights.len(), 1);
+    }
+
+    #[test]
+    fn empty_topology_has_no_constraints() {
+        let topo = TopologyMatrix::new(4, 4);
+        let cs = ConstraintSet::from_topology(&topo);
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn span_rejects_empty() {
+        let _ = Span::new(3, 3);
+    }
+}

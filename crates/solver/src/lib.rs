@@ -1,0 +1,41 @@
+//! Nonlinear squish-geometry legalization (the baseline path PatternPaint
+//! replaces).
+//!
+//! Squish-based generators (DeePattern, CUP, DiffPattern) emit only a
+//! binary *topology matrix*; recovering a legal layout requires solving for
+//! the Δx/Δy interval widths under the design rules — the "nonlinear
+//! solver-based legalization" step. The paper shows this step is the
+//! scalability bottleneck: runtime grows steeply with topology size, and
+//! success collapses once the rule set gains maxima and discrete width
+//! sets (its Figure 9, reproduced by `pp-bench --bin fig9`).
+//!
+//! This crate reimplements that solver from scratch (the paper used
+//! `scipy`): a penalty-method Adam descent over the positive Δ variables,
+//! with an alternating snap-to-nearest loop for discrete widths (the
+//! mixed-integer flavour that defeats continuous solvers). Success is
+//! judged honestly: the rounded solution is rasterised and run through the
+//! `pp-drc` checker with a deck matching the [`SolverSetting`].
+//!
+//! # Example
+//!
+//! ```
+//! use pp_solver::{LegalizeSolver, SolverSetting, random_topology};
+//!
+//! let topo = random_topology(10, 1);
+//! let solver = LegalizeSolver::new(SolverSetting::Default);
+//! let outcome = solver.solve(&topo, 0);
+//! assert!(outcome.iterations > 0);
+//! if outcome.success {
+//!     assert!(outcome.pattern.is_some());
+//! }
+//! ```
+
+pub mod constraints;
+pub mod settings;
+pub mod solver;
+pub mod workload;
+
+pub use constraints::ConstraintSet;
+pub use settings::SolverSetting;
+pub use solver::{LegalizeSolver, SolveOutcome, SolverConfig};
+pub use workload::random_topology;

@@ -1,0 +1,140 @@
+//! The three rule settings of the paper's solver ablation (Figure 9).
+
+use pp_drc::RuleDeck;
+use serde::{Deserialize, Serialize};
+
+/// Progressive design-rule settings for the legalization ablation.
+///
+/// * [`SolverSetting::Default`] — the academic rule set of the DiffPattern
+///   paper: minimum width, spacing and area only;
+/// * [`SolverSetting::Complex`] — adds direction-specific maxima (max
+///   width, max spacing in x), turning one-sided constraints into windows;
+/// * [`SolverSetting::ComplexDiscrete`] — further restricts x wire widths
+///   to a discrete set, making the problem mixed-integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverSetting {
+    /// Minimum width/spacing/area only.
+    Default,
+    /// Adds max width and max spacing in the x direction.
+    Complex,
+    /// Adds the discrete width set {3, 5}.
+    ComplexDiscrete,
+}
+
+/// Numeric rule parameters shared by the solver and its success checker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SettingParams {
+    /// Minimum width (x) and height (y) of any bar.
+    pub min_width: u32,
+    /// Maximum x width of a bar (Complex and up).
+    pub max_width: Option<u32>,
+    /// Minimum x spacing between bars in a row.
+    pub min_spacing: u32,
+    /// Maximum x spacing between bars in a row (Complex and up).
+    pub max_spacing: Option<u32>,
+    /// Minimum y (end-to-end) spacing between runs in a column.
+    pub min_end_to_end: u32,
+    /// Minimum component area.
+    pub min_area: u64,
+    /// Discrete width set for x bars (ComplexDiscrete).
+    pub discrete_widths: Option<[u32; 2]>,
+}
+
+impl SolverSetting {
+    /// All settings in ascending difficulty (the Figure 9 sweep order).
+    pub const ALL: [SolverSetting; 3] = [
+        SolverSetting::Default,
+        SolverSetting::Complex,
+        SolverSetting::ComplexDiscrete,
+    ];
+
+    /// The numeric parameters of this setting.
+    pub fn params(&self) -> SettingParams {
+        let base = SettingParams {
+            min_width: 3,
+            max_width: None,
+            min_spacing: 3,
+            max_spacing: None,
+            min_end_to_end: 4,
+            min_area: 12,
+            discrete_widths: None,
+        };
+        match self {
+            SolverSetting::Default => base,
+            SolverSetting::Complex => SettingParams {
+                max_width: Some(6),
+                max_spacing: Some(16),
+                ..base
+            },
+            SolverSetting::ComplexDiscrete => SettingParams {
+                max_width: Some(6),
+                max_spacing: Some(16),
+                discrete_widths: Some([3, 5]),
+                ..base
+            },
+        }
+    }
+
+    /// The DRC deck used to judge whether a solved layout is legal.
+    pub fn check_deck(&self) -> RuleDeck {
+        let p = self.params();
+        let mut deck = RuleDeck::basic(
+            match self {
+                SolverSetting::Default => "solver-default",
+                SolverSetting::Complex => "solver-complex",
+                SolverSetting::ComplexDiscrete => "solver-complex-discrete",
+            },
+            p.min_width,
+            p.min_spacing,
+            p.min_end_to_end,
+            p.min_area,
+        );
+        deck.max_width = p.max_width;
+        deck.max_spacing = p.max_spacing;
+        if let Some([a, b]) = p.discrete_widths {
+            deck.discrete_widths = Some(vec![a, b]);
+        }
+        if p.max_width.is_some() || p.discrete_widths.is_some() {
+            deck.wire_min_len = 4;
+        }
+        deck
+    }
+}
+
+impl std::fmt::Display for SolverSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SolverSetting::Default => "default",
+            SolverSetting::Complex => "complex",
+            SolverSetting::ComplexDiscrete => "complex-discrete",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_are_progressively_constrained() {
+        let d = SolverSetting::Default.params();
+        let c = SolverSetting::Complex.params();
+        let cd = SolverSetting::ComplexDiscrete.params();
+        assert!(d.max_width.is_none() && d.discrete_widths.is_none());
+        assert!(c.max_width.is_some() && c.discrete_widths.is_none());
+        assert!(cd.max_width.is_some() && cd.discrete_widths.is_some());
+    }
+
+    #[test]
+    fn check_decks_validate() {
+        for s in SolverSetting::ALL {
+            assert!(s.check_deck().validate().is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SolverSetting::ComplexDiscrete.to_string(), "complex-discrete");
+    }
+}

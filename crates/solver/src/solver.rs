@@ -1,0 +1,424 @@
+//! The penalty-method legalization solver.
+
+use crate::constraints::{ConstraintSet, Span};
+use crate::settings::{SettingParams, SolverSetting};
+use pp_drc::check_layout;
+use pp_geometry::{SquishPattern, TopologyMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Tunables of the legalization solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Base gradient iterations per snap round (scaled up by instance
+    /// size, see [`SolverConfig::constraint_iteration_scale`]).
+    pub iters_per_round: u64,
+    /// Extra iterations per constraint term per round (larger instances
+    /// get a larger budget, like a `maxiter`-bounded NLP solver).
+    pub constraint_iteration_scale: f64,
+    /// Snap rounds (only >1 matters for discrete settings).
+    pub rounds: u64,
+    /// Penalty weight for constraint violations.
+    pub penalty: f64,
+    /// Weight pulling Δ entries towards a nominal size (regulariser).
+    pub regulariser: f64,
+    /// Target clip size per topology cell: when `Some(t)`, the solved
+    /// pattern must satisfy `Σ Δx ≈ t·cols` and `Σ Δy ≈ t·rows` (within
+    /// [`SolverConfig::size_tolerance`]). This mirrors DiffPattern's
+    /// fixed-size clips and is the global coupling that makes the
+    /// discrete problem mixed-integer hard.
+    pub size_target_per_cell: Option<f64>,
+    /// Relative tolerance on the size target after rounding.
+    pub size_tolerance: f64,
+    /// Absolute `(width, height)` targets; overrides
+    /// [`SolverConfig::size_target_per_cell`] when set (used when the
+    /// emitted clip must match a fixed size, e.g. 32×32 comparisons).
+    pub size_target_abs: Option<(f64, f64)>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            learning_rate: 0.08,
+            iters_per_round: 300,
+            constraint_iteration_scale: 3.0,
+            rounds: 6,
+            penalty: 4.0,
+            regulariser: 1e-4,
+            size_target_per_cell: Some(4.0),
+            size_tolerance: 0.02,
+            size_target_abs: None,
+        }
+    }
+}
+
+/// The result of one legalization attempt.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The legalized pattern, when successful.
+    pub pattern: Option<SquishPattern>,
+    /// Whether the rounded solution passed the setting's DRC deck.
+    pub success: bool,
+    /// Total gradient iterations executed.
+    pub iterations: u64,
+    /// Wall-clock time spent.
+    pub runtime: Duration,
+    /// Final penalty residual (0 when all soft constraints were met).
+    pub residual: f64,
+    /// Number of constraint terms in the instance.
+    pub constraint_count: usize,
+}
+
+/// Nonlinear legalization solver for squish topologies.
+///
+/// See the crate docs for background. Construct with a
+/// [`SolverSetting`]; call [`LegalizeSolver::solve`] per topology.
+#[derive(Debug, Clone)]
+pub struct LegalizeSolver {
+    setting: SolverSetting,
+    config: SolverConfig,
+}
+
+impl LegalizeSolver {
+    /// Creates a solver with default tuning for `setting`.
+    pub fn new(setting: SolverSetting) -> Self {
+        LegalizeSolver {
+            setting,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Creates a solver with explicit tuning.
+    pub fn with_config(setting: SolverSetting, config: SolverConfig) -> Self {
+        LegalizeSolver { setting, config }
+    }
+
+    /// The setting this solver targets.
+    pub fn setting(&self) -> SolverSetting {
+        self.setting
+    }
+
+    /// Resolved `(Σdx, Σdy)` targets for an `n`×`m` topology, if any.
+    fn size_targets(&self, m: usize, n: usize) -> Option<(f64, f64)> {
+        if let Some(abs) = self.config.size_target_abs {
+            return Some(abs);
+        }
+        self.config
+            .size_target_per_cell
+            .map(|t| (t * m as f64, t * n as f64))
+    }
+
+    /// Attempts to legalize `topo`, returning the full outcome.
+    ///
+    /// Deterministic in `seed` (used for the initial Δ jitter).
+    pub fn solve(&self, topo: &TopologyMatrix, seed: u64) -> SolveOutcome {
+        let start = Instant::now();
+        let params = self.setting.params();
+        let cs = ConstraintSet::from_topology(topo);
+        let n = topo.rows();
+        let m = topo.cols();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Variables: dx (m) then dy (n); init near the nominal 4px with
+        // jitter to break symmetry.
+        let mut v: Vec<f64> = (0..m + n).map(|_| 4.0 + rng.gen_range(-0.5..0.5)).collect();
+        let mut grad = vec![0.0f64; v.len()];
+        // Adam state.
+        let mut m1 = vec![0.0f64; v.len()];
+        let mut m2 = vec![0.0f64; v.len()];
+        let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+
+        // Discrete snap targets per x-width span (None = no snap yet).
+        let mut snap: Vec<Option<f64>> = vec![None; cs.x_widths.len()];
+
+        let mut iterations = 0u64;
+        let mut residual = 0.0f64;
+        let rounds = if params.discrete_widths.is_some() {
+            self.config.rounds
+        } else {
+            2 // one unconstrained round plus one polish round
+        };
+        let iters_this = self.config.iters_per_round
+            + (self.config.constraint_iteration_scale * cs.len() as f64) as u64;
+
+        for round in 0..rounds {
+            // (Re-)assign snap targets from current widths.
+            if let Some([wa, wb]) = params.discrete_widths {
+                if round > 0 {
+                    for (i, span) in cs.x_widths.iter().enumerate() {
+                        let w = sum_span(&v[..m], span);
+                        let da = (w - f64::from(wa)).abs();
+                        let db = (w - f64::from(wb)).abs();
+                        snap[i] = Some(if da <= db { f64::from(wa) } else { f64::from(wb) });
+                    }
+                }
+            }
+            for step in 0..iters_this {
+                residual = self.penalty_grad(&cs, &params, &snap, &mut v, &mut grad, m, n);
+                let t = (round * iters_this + step + 1) as f64;
+                for i in 0..v.len() {
+                    m1[i] = b1 * m1[i] + (1.0 - b1) * grad[i];
+                    m2[i] = b2 * m2[i] + (1.0 - b2) * grad[i] * grad[i];
+                    let mh = m1[i] / (1.0 - b1.powf(t));
+                    let vh = m2[i] / (1.0 - b2.powf(t));
+                    v[i] -= self.config.learning_rate * mh / (vh.sqrt() + eps);
+                    v[i] = v[i].clamp(1.0, 64.0);
+                }
+                iterations += 1;
+                if residual < 1e-7 && (round > 0 || params.discrete_widths.is_none()) {
+                    break;
+                }
+            }
+        }
+
+        // Round and verify.
+        let dx: Vec<u32> = v[..m].iter().map(|&d| d.round().max(1.0) as u32).collect();
+        let dy: Vec<u32> = v[m..].iter().map(|&d| d.round().max(1.0) as u32).collect();
+        let pattern = SquishPattern::new(topo.clone(), dx, dy);
+        let layout = pattern.to_layout();
+        let deck = self.setting.check_deck();
+        let mut success = check_layout(&layout, &deck).is_clean();
+        // The clip-size target must also be met (DiffPattern emits
+        // fixed-size clips; a pattern of the wrong size is not usable).
+        if let Some((tx, ty)) = self.size_targets(m, n) {
+            // Sub-pixel relative tolerances are unreachable after integer
+            // rounding on small clips; allow at least 3px either way.
+            let tol_x = (self.config.size_tolerance * tx).max(3.0);
+            let tol_y = (self.config.size_tolerance * ty).max(3.0);
+            let sx: u32 = pattern.dx().iter().sum();
+            let sy: u32 = pattern.dy().iter().sum();
+            if (f64::from(sx) - tx).abs() > tol_x || (f64::from(sy) - ty).abs() > tol_y {
+                success = false;
+            }
+        }
+        SolveOutcome {
+            pattern: success.then_some(pattern),
+            success,
+            iterations,
+            runtime: start.elapsed(),
+            residual,
+            constraint_count: cs.len(),
+        }
+    }
+
+    /// Computes the penalty and its gradient; returns the *constraint*
+    /// residual (regulariser excluded, so convergence can be detected).
+    #[allow(clippy::too_many_arguments)]
+    fn penalty_grad(
+        &self,
+        cs: &ConstraintSet,
+        params: &SettingParams,
+        snap: &[Option<f64>],
+        v: &mut [f64],
+        grad: &mut [f64],
+        m: usize,
+        n: usize,
+    ) -> f64 {
+        let w = self.config.penalty;
+        grad.fill(0.0);
+        let mut total = 0.0;
+
+        // Regulariser towards nominal 4px keeps free variables bounded
+        // (not counted in the returned residual).
+        for i in 0..v.len() {
+            let d = v[i] - 4.0;
+            grad[i] += 2.0 * self.config.regulariser * d;
+        }
+
+        // Global clip-size targets couple every variable.
+        if let Some((tx, ty)) = self.size_targets(m, n) {
+            let wt = 0.05 * w;
+            let sx: f64 = v[..m].iter().sum();
+            let dxs = sx - tx;
+            total += wt * dxs * dxs / m as f64;
+            for g in &mut grad[..m] {
+                *g += 2.0 * wt * dxs / m as f64;
+            }
+            let sy: f64 = v[m..].iter().sum();
+            let dys = sy - ty;
+            total += wt * dys * dys / n as f64;
+            for g in &mut grad[m..] {
+                *g += 2.0 * wt * dys / n as f64;
+            }
+        }
+
+        // x widths: min/max plus optional snap targets.
+        for (i, span) in cs.x_widths.iter().enumerate() {
+            let width = sum_span(&v[..m], span);
+            total += bound_penalty(
+                width,
+                f64::from(params.min_width),
+                params.max_width.map(f64::from),
+                w,
+                &mut grad[span.lo..span.hi],
+            );
+            if let Some(target) = snap[i] {
+                let d = width - target;
+                total += 2.0 * w * d * d;
+                for g in &mut grad[span.lo..span.hi] {
+                    *g += 4.0 * w * d;
+                }
+            }
+        }
+        // y heights: minimum only (length direction).
+        for span in &cs.y_heights {
+            let h = sum_span(&v[m..], span);
+            total += bound_penalty(
+                h,
+                f64::from(params.min_width),
+                None,
+                w,
+                &mut grad[m + span.lo..m + span.hi],
+            );
+        }
+        // x gaps: spacing window.
+        for span in &cs.x_gaps {
+            let s = sum_span(&v[..m], span);
+            total += bound_penalty(
+                s,
+                f64::from(params.min_spacing),
+                params.max_spacing.map(f64::from),
+                w,
+                &mut grad[span.lo..span.hi],
+            );
+        }
+        // y gaps: end-to-end minimum.
+        for span in &cs.y_gaps {
+            let s = sum_span(&v[m..], span);
+            total += bound_penalty(
+                s,
+                f64::from(params.min_end_to_end),
+                None,
+                w,
+                &mut grad[m + span.lo..m + span.hi],
+            );
+        }
+        // Component areas: bilinear minimum-area terms.
+        for cells in &cs.components {
+            let area: f64 = cells.iter().map(|&(r, c)| v[m + r] * v[c]).sum();
+            let short = f64::from(params.min_area as u32) - area;
+            if short > 0.0 {
+                total += w * short * short;
+                for &(r, c) in cells {
+                    grad[c] += -2.0 * w * short * v[m + r];
+                    grad[m + r] += -2.0 * w * short * v[c];
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Σ of `v` over a span.
+fn sum_span(v: &[f64], span: &Span) -> f64 {
+    v[span.lo..span.hi].iter().sum()
+}
+
+/// Quadratic penalty for `lo <= x <= hi?`; accumulates d/dx into `grad`
+/// (the same value for every Δ in the span, since x is their sum).
+fn bound_penalty(x: f64, lo: f64, hi: Option<f64>, w: f64, grad: &mut [f64]) -> f64 {
+    if x < lo {
+        let d = lo - x;
+        for g in grad.iter_mut() {
+            *g += -2.0 * w * d;
+        }
+        return w * d * d;
+    }
+    if let Some(hi) = hi {
+        if x > hi {
+            let d = x - hi;
+            for g in grad.iter_mut() {
+                *g += 2.0 * w * d;
+            }
+            return w * d * d;
+        }
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::random_topology;
+    use pp_geometry::TopologyMatrix;
+
+    fn two_wires() -> TopologyMatrix {
+        // #.#  (tall)
+        TopologyMatrix::from_cells(2, 3, vec![true, false, true, true, false, true])
+    }
+
+    #[test]
+    fn solves_two_wires_default() {
+        let out = LegalizeSolver::new(SolverSetting::Default).solve(&two_wires(), 0);
+        assert!(out.success, "residual {}", out.residual);
+        let p = out.pattern.unwrap();
+        assert!(p.dx()[0] >= 3 && p.dx()[2] >= 3);
+        assert!(p.dx()[1] >= 3);
+    }
+
+    #[test]
+    fn solves_two_wires_discrete() {
+        let out = LegalizeSolver::new(SolverSetting::ComplexDiscrete).solve(&two_wires(), 0);
+        assert!(out.success, "residual {}", out.residual);
+        let p = out.pattern.unwrap();
+        // Wire widths snapped into the discrete set.
+        assert!([3, 5].contains(&p.dx()[0]), "dx {:?}", p.dx());
+        assert!([3, 5].contains(&p.dx()[2]), "dx {:?}", p.dx());
+    }
+
+    #[test]
+    fn empty_topology_succeeds_trivially() {
+        let topo = TopologyMatrix::new(3, 3);
+        let out = LegalizeSolver::new(SolverSetting::Default).solve(&topo, 0);
+        assert!(out.success);
+        assert_eq!(out.constraint_count, 0);
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let topo = random_topology(8, 3);
+        let s = LegalizeSolver::new(SolverSetting::Complex);
+        let a = s.solve(&topo, 5);
+        let b = s.solve(&topo, 5);
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.pattern.map(|p| p.dx().to_vec()), b.pattern.map(|p| p.dx().to_vec()));
+    }
+
+    #[test]
+    fn default_setting_mostly_succeeds_on_small_instances() {
+        let solver = LegalizeSolver::new(SolverSetting::Default);
+        let ok = (0..10)
+            .filter(|&i| solver.solve(&random_topology(8, i), i).success)
+            .count();
+        assert!(ok >= 7, "only {ok}/10 small default instances solved");
+    }
+
+    #[test]
+    fn discrete_setting_is_harder() {
+        let easy = LegalizeSolver::new(SolverSetting::Default);
+        let hard = LegalizeSolver::new(SolverSetting::ComplexDiscrete);
+        let n = 12u64;
+        let easy_ok = (0..n).filter(|&i| easy.solve(&random_topology(14, i), i).success).count();
+        let hard_ok = (0..n).filter(|&i| hard.solve(&random_topology(14, i), i).success).count();
+        assert!(
+            hard_ok <= easy_ok,
+            "discrete ({hard_ok}) should not beat default ({easy_ok})"
+        );
+    }
+
+    #[test]
+    fn success_implies_clean_pattern() {
+        for seed in 0..6 {
+            let topo = random_topology(10, seed);
+            let out = LegalizeSolver::new(SolverSetting::Complex).solve(&topo, seed);
+            if out.success {
+                let layout = out.pattern.unwrap().to_layout();
+                let deck = SolverSetting::Complex.check_deck();
+                assert!(pp_drc::check_layout(&layout, &deck).is_clean());
+            }
+        }
+    }
+}

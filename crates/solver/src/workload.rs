@@ -1,0 +1,119 @@
+//! Random topology workloads for the solver ablation (Figure 9).
+
+use pp_geometry::TopologyMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random `size`×`size` topology resembling those emitted by
+/// squish-based generators.
+///
+/// Columns behave like routing tracks: each active column (or 2-column
+/// pair, to exercise multi-interval widths) carries vertical runs of 2-5
+/// cells separated by 1-3 cell gaps. Run/gap cell counts are bounded so
+/// that legal Δ assignments exist for the solver settings (filled runs of
+/// 1-2 columns fit width windows; bounded empty runs fit spacing windows).
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `size < 4`.
+pub fn random_topology(size: usize, seed: u64) -> TopologyMatrix {
+    assert!(size >= 4, "topology size must be at least 4");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ size as u64);
+    let mut topo = TopologyMatrix::new(size, size);
+    let mut col = 0usize;
+    let mut track_index = 0usize;
+    while col < size {
+        // Every other track is a full-height "rail": it bounds the row
+        // gaps its neighbours can form, which keeps instances feasible
+        // under the max-spacing windows (the paper's premise is that
+        // legal solutions exist and the solver fails to find them).
+        let rail = track_index % 2 == 0;
+        track_index += 1;
+        if !rail && rng.gen_bool(0.3) {
+            col += 1; // skip track
+            continue;
+        }
+        // A two-column track mixes narrow runs (first column only) with
+        // wide runs (both columns). The narrow/wide alternation couples
+        // the discrete-width constraints of overlapping spans — the
+        // mixed-integer structure that defeats continuous solvers. A
+        // feasible assignment always exists (e.g. 3px + 2px columns).
+        let two_col = col + 1 < size && rng.gen_bool(0.4);
+        let width = if two_col { 2 } else { 1 };
+        if rail {
+            for r in 0..size {
+                for c in col..col + width {
+                    topo.set(r, c, true);
+                }
+            }
+        } else {
+            let mut row = rng.gen_range(0..3usize);
+            while row < size {
+                let run = rng.gen_range(2..=5usize).min(size - row);
+                let run_width = if two_col && rng.gen_bool(0.4) { 1 } else { width };
+                for r in row..row + run {
+                    for c in col..col + run_width {
+                        topo.set(r, c, true);
+                    }
+                }
+                row += run + rng.gen_range(1..=3usize);
+                if rng.gen_bool(0.25) {
+                    break;
+                }
+            }
+        }
+        // Gap of 1-3 empty columns keeps x spacings bounded.
+        col += width + rng.gen_range(1..=3usize);
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_topology(12, 7), random_topology(12, 7));
+        assert_ne!(random_topology(12, 7), random_topology(12, 8));
+    }
+
+    #[test]
+    fn nonempty_generally() {
+        let filled = (0..10)
+            .filter(|&s| random_topology(16, s).filled_count() > 0)
+            .count();
+        assert!(filled >= 9);
+    }
+
+    proptest! {
+        /// Filled and empty horizontal runs stay bounded, keeping the
+        /// instances feasible for the solver's spacing/width windows.
+        #[test]
+        fn prop_bounded_runs(size in 6usize..24, seed in 0u64..32) {
+            let topo = random_topology(size, seed);
+            for row in 0..topo.rows() {
+                let mut run = 0usize;
+                for col in 0..topo.cols() {
+                    if topo.get(row, col) {
+                        run += 1;
+                        prop_assert!(run <= 4, "filled run too long");
+                    } else {
+                        run = 0;
+                    }
+                }
+            }
+        }
+
+        /// Density lands in a plausible band for track patterns.
+        #[test]
+        fn prop_density(seed in 0u64..16) {
+            let topo = random_topology(20, seed);
+            let d = topo.filled_count() as f64 / 400.0;
+            prop_assert!(d < 0.7);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Mini version of the paper's Figure 7: iterative generation with
+//! PCA-based representative selection, tracking legal/unique counts and
+//! the H1/H2 entropies per iteration.
+//!
+//! Run with: `cargo run --release --example iterative_generation`
+
+use patternpaint::core::{PatternPaint, PipelineConfig};
+use patternpaint::pdk::SynthNode;
+
+fn main() {
+    let node = SynthNode::default();
+    let cfg = PipelineConfig::quick();
+    println!("pretraining + finetuning...");
+    let mut pp = PatternPaint::pretrained(node.clone(), cfg, 5);
+    pp.finetune();
+
+    println!("initial generation...");
+    let round = pp.initial_generation();
+    let mut library = round.library.clone();
+    // Starters seed the library so early iterations always have
+    // representative material to select from.
+    library.extend(pp.starters().iter().cloned());
+    let s = library.stats();
+    println!(
+        "{:>5} {:>10} {:>12} {:>13} {:>7} {:>7}",
+        "iter", "generated", "legal_total", "unique_total", "H1", "H2"
+    );
+    println!(
+        "{:>5} {:>10} {:>12} {:>13} {:>7.2} {:>7.2}",
+        1, round.generated, round.legal, library.len(), s.h1, s.h2
+    );
+
+    let stats = pp.iterative_generation(&mut library, 4, round.legal);
+    for st in &stats {
+        println!(
+            "{:>5} {:>10} {:>12} {:>13} {:>7.2} {:>7.2}",
+            st.iteration, st.generated, st.legal_total, st.unique_total, st.h1, st.h2
+        );
+    }
+    println!("\nExpected shape (paper Fig. 7): unique count and H2 grow with");
+    println!("iterations; H1 drifts down as sub-region edits replicate topologies.");
+}

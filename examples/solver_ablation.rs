@@ -1,0 +1,33 @@
+//! Mini version of the paper's Figure 9: nonlinear-solver runtime and
+//! success rate versus topology size under three rule settings.
+//!
+//! Run with: `cargo run --release --example solver_ablation`
+
+use patternpaint::solver::{random_topology, LegalizeSolver, SolverSetting};
+use std::time::Instant;
+
+fn main() {
+    let sizes = [10usize, 20, 40, 60];
+    let trials = 6u64;
+    println!("{:>6} {:>18} {:>10} {:>12}", "size", "setting", "success", "avg runtime");
+    for &size in &sizes {
+        for setting in SolverSetting::ALL {
+            let solver = LegalizeSolver::new(setting);
+            let start = Instant::now();
+            let ok = (0..trials)
+                .filter(|&seed| solver.solve(&random_topology(size, seed), seed).success)
+                .count();
+            let avg = start.elapsed().as_secs_f64() / trials as f64;
+            println!(
+                "{:>6} {:>18} {:>7}/{} {:>11.4}s",
+                size,
+                setting.to_string(),
+                ok,
+                trials,
+                avg,
+            );
+        }
+    }
+    println!("\nThe takeaway (paper §VI.1): runtime climbs and success collapses as");
+    println!("rules harden — while PatternPaint's denoising path is flat and fast.");
+}

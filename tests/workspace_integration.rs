@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: the contracts the pipeline relies on
+//! when the crates are composed, exercised end to end on small configs.
+
+use patternpaint::core::{PatternLibrary, PatternPaint, PipelineConfig};
+use patternpaint::drc::{check_layout, RuleId};
+use patternpaint::geometry::{GrayImage, Layout, Rect, Signature, SquishPattern};
+use patternpaint::inpaint::{Denoiser, MaskSet, TemplateDenoiser};
+use patternpaint::metrics::LibraryStats;
+use patternpaint::pdk::{RuleBasedGenerator, SynthNode};
+use patternpaint::selection::PcaSelector;
+use patternpaint::solver::{random_topology, LegalizeSolver, SolverSetting};
+
+/// The starter set satisfies every property Table I's first row needs:
+/// 20 patterns, all DR-clean, all unique, H2 = log2(20).
+#[test]
+fn starter_row_contract() {
+    let node = SynthNode::default();
+    let starters = node.starter_patterns();
+    assert_eq!(starters.len(), 20);
+    for s in &starters {
+        assert!(check_layout(s, node.rules()).is_clean());
+    }
+    let stats = LibraryStats::from_layouts(&starters);
+    assert_eq!(stats.unique, 20);
+    assert!((stats.h2 - 20f64.log2()).abs() < 1e-9);
+    assert!(stats.h1 < stats.h2);
+}
+
+/// Rule-based generation → squish → reconstruction → DRC is a closed
+/// loop: geometry survives every representation change.
+#[test]
+fn squish_roundtrip_preserves_legality() {
+    let node = SynthNode::default();
+    let mut generator = RuleBasedGenerator::new(node.clone(), 99);
+    for layout in generator.generate_batch(20) {
+        let squish = SquishPattern::from_layout(&layout);
+        let back = squish.to_layout();
+        assert_eq!(back, layout);
+        assert!(check_layout(&back, node.rules()).is_clean());
+    }
+}
+
+/// Template denoising of a *clean* generated layout image is exactly
+/// idempotent, so the denoiser never corrupts good samples.
+#[test]
+fn denoiser_is_idempotent_on_clean_samples() {
+    let node = SynthNode::default();
+    let denoiser = TemplateDenoiser::new(2);
+    for (i, starter) in node.starter_patterns().iter().enumerate().take(8) {
+        let img = GrayImage::from_layout(starter);
+        let once = denoiser.denoise(&img, starter);
+        assert_eq!(&once, starter, "starter {i} changed by denoising");
+    }
+}
+
+/// The end-to-end tiny pipeline produces only DR-clean unique patterns,
+/// and iteration statistics are monotone where the paper says they are.
+#[test]
+fn pipeline_end_to_end_tiny() {
+    let node = SynthNode::small();
+    let mut pp = PatternPaint::pretrained(node.clone(), PipelineConfig::tiny(), 3);
+    pp.finetune();
+    let round = pp.initial_generation();
+    assert_eq!(round.generated, 20 * 10);
+    for p in round.library.patterns() {
+        assert!(check_layout(p, node.rules()).is_clean());
+    }
+    let mut library = round.library.clone();
+    library.extend(pp.starters().iter().cloned());
+    let stats = pp.iterative_generation(&mut library, 2, round.legal);
+    assert!(stats[1].unique_total >= stats[0].unique_total);
+    assert!(stats[1].legal_total >= stats[0].legal_total);
+    // Every iteration's H2 is consistent with its own library size bound.
+    for s in &stats {
+        assert!(s.h2 <= (s.unique_total.max(1) as f64).log2() + 1e-9);
+    }
+}
+
+/// PCA selection always returns distinct valid indices into the library.
+#[test]
+fn selection_indices_are_valid() {
+    let node = SynthNode::default();
+    let library: PatternLibrary = node.starter_patterns().into_iter().collect();
+    let picks = PcaSelector::new(0.9, 0.4, 1).select(library.patterns(), 7);
+    assert_eq!(picks.len(), 7);
+    let mut sorted = picks.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 7);
+    assert!(picks.iter().all(|&i| i < library.len()));
+}
+
+/// A solver success under a setting implies sign-off cleanliness under
+/// that setting's deck — the contract the baselines rely on.
+#[test]
+fn solver_success_is_checker_clean() {
+    for setting in SolverSetting::ALL {
+        let solver = LegalizeSolver::new(setting);
+        let deck = setting.check_deck();
+        let mut successes = 0;
+        for seed in 0..10 {
+            let topo = random_topology(12, seed);
+            let out = solver.solve(&topo, seed);
+            if let Some(p) = out.pattern {
+                assert!(out.success);
+                assert!(check_layout(&p.to_layout(), &deck).is_clean());
+                successes += 1;
+            }
+        }
+        assert!(successes > 0, "{setting}: no successes on small instances");
+    }
+}
+
+/// Inpainting masks and DRC agree about coordinates: regenerating a
+/// masked corner cannot introduce violations outside that corner when
+/// the raw output is the template itself.
+#[test]
+fn mask_region_localises_changes() {
+    let node = SynthNode::default();
+    let starter = &node.starter_patterns()[0];
+    for mask in MaskSet::Default.masks(node.clip()) {
+        let mut img = GrayImage::from_layout(starter);
+        // Scribble inside the mask only.
+        let r = mask.region();
+        for y in r.y..r.bottom() {
+            for x in r.x..r.right() {
+                img.set(x, y, -1.0);
+            }
+        }
+        let out = TemplateDenoiser::new(2).denoise(&img, starter);
+        // Outside the mask, the pattern must match the starter.
+        let outside_changed = (0..node.clip()).any(|y| {
+            (0..node.clip()).any(|x| !mask.region().contains(x, y) && out.get(x, y) != starter.get(x, y))
+        });
+        assert!(!outside_changed, "changes leaked outside {:?}", mask.region());
+    }
+}
+
+/// Signatures discriminate the pattern library at every level used by
+/// the metrics: raster, full squish, Δ-classes.
+#[test]
+fn signature_levels_are_consistent() {
+    let mut a = Layout::new(32, 32);
+    a.fill_rect(Rect::new(4, 4, 3, 20));
+    let mut b = a.clone();
+    b.fill_rect(Rect::new(12, 4, 3, 20));
+    assert_ne!(Signature::of_layout(&a), Signature::of_layout(&b));
+    let (sa, sb) = (SquishPattern::from_layout(&a), SquishPattern::from_layout(&b));
+    assert_ne!(Signature::of_squish(&sa), Signature::of_squish(&sb));
+    assert_ne!(Signature::of_deltas(&sa), Signature::of_deltas(&sb));
+}
+
+/// Violations carry physically meaningful locations: the reported rect
+/// always lies inside the clip.
+#[test]
+fn violation_locations_are_in_bounds() {
+    let node = SynthNode::default();
+    let mut bad = Layout::new(32, 32);
+    bad.fill_rect(Rect::new(4, 4, 2, 20));
+    bad.fill_rect(Rect::new(8, 4, 4, 20));
+    let report = check_layout(&bad, node.rules());
+    assert!(!report.is_clean());
+    for v in report.violations() {
+        assert!(v.location.right() <= 32 && v.location.bottom() <= 32);
+    }
+    assert!(report.count(RuleId::MinWidth) >= 1);
+}
