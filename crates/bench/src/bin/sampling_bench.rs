@@ -1,0 +1,166 @@
+//! The sampling-throughput trajectory benchmark.
+//!
+//! Times the two training/inference hot paths that every scaling PR
+//! must not regress:
+//!
+//! 1. **pretrain-tiny** — a short training run of the tiny model
+//!    (exercises forward + backward + Adam through the GEMM kernels);
+//! 2. **64-job inpaint batch** on the standard 32×32 model, in three
+//!    modes:
+//!    * `per_sample_naive` — batch size 1 through the scalar reference
+//!      kernels (the pre-GEMM per-sample path this repository shipped
+//!      before the batching rework);
+//!    * `per_sample_gemm` — batch size 1 through the blocked kernels
+//!      (isolates the GEMM win);
+//!    * `batched_gemm` — micro-batched through the blocked kernels (the
+//!      production path; adds the batching win).
+//!
+//! All modes run the same worker-thread count, so the reported speedup
+//! is purely kernels + batching. Results go to `BENCH_sampling.json` at
+//! the repository root (schema in PERF.md) and stdout.
+//!
+//! Run: `cargo run --release -p pp-bench --bin sampling_bench`
+
+use patternpaint_core::PipelineConfig;
+use pp_diffusion::{DiffusionConfig, DiffusionModel};
+use pp_geometry::GrayImage;
+use pp_inpaint::MaskSet;
+use pp_nn::gemm;
+use pp_pdk::{foundation_corpus, SynthNode};
+use serde_json::json;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const JOBS: usize = 64;
+
+struct ModeResult {
+    name: &'static str,
+    seconds: f64,
+    samples_per_sec: f64,
+    ns_per_step: f64,
+}
+
+fn run_mode(
+    name: &'static str,
+    model: &DiffusionModel,
+    jobs: &[(GrayImage, GrayImage)],
+    threads: usize,
+    batch_size: usize,
+    naive: bool,
+) -> ModeResult {
+    gemm::set_force_naive(naive);
+    // Warm up allocator pools and caches on a small prefix.
+    let _ = model.sample_inpaint_batch_sized(&jobs[..threads.min(jobs.len())], 1, threads, batch_size);
+    let t0 = Instant::now();
+    let out = model.sample_inpaint_batch_sized(jobs, 42, threads, batch_size);
+    let seconds = t0.elapsed().as_secs_f64();
+    gemm::set_force_naive(false);
+    assert_eq!(out.len(), jobs.len());
+    let steps = (jobs.len() * model.config().ddim_steps) as f64;
+    ModeResult {
+        name,
+        seconds,
+        samples_per_sec: jobs.len() as f64 / seconds,
+        ns_per_step: seconds * 1e9 / steps,
+    }
+}
+
+fn main() {
+    let node = SynthNode::default();
+    let cfg = PipelineConfig::standard();
+    let threads = cfg.threads;
+
+    // 1. pretrain-tiny: training throughput through the GEMM kernels.
+    let tiny_steps = 200usize;
+    let corpus: Vec<GrayImage> = foundation_corpus(32, 16, 0xf00d)
+        .iter()
+        .map(GrayImage::from_layout)
+        .collect();
+    let mut tiny = DiffusionModel::new(DiffusionConfig::tiny(16), 7);
+    let t0 = Instant::now();
+    let report = tiny.train(&corpus, tiny_steps, 4, 2e-3, 3);
+    let pretrain_s = t0.elapsed().as_secs_f64();
+    println!(
+        "pretrain-tiny: {tiny_steps} steps in {pretrain_s:.3}s ({:.1} steps/s, final loss {:.4})",
+        tiny_steps as f64 / pretrain_s,
+        report.final_loss
+    );
+
+    // 2. 64-job inpaint batch on the standard model (untrained weights:
+    // runtime is architecture-bound, not weight-bound).
+    let model = DiffusionModel::new(cfg.model, 0);
+    let starters = node.starter_patterns();
+    let masks = MaskSet::Default.masks(node.clip());
+    let jobs: Vec<(GrayImage, GrayImage)> = (0..JOBS)
+        .map(|i| {
+            (
+                GrayImage::from_layout(&starters[i % starters.len()]),
+                masks[i % masks.len()].as_image().clone(),
+            )
+        })
+        .collect();
+
+    let modes = [
+        run_mode("per_sample_naive", &model, &jobs, threads, 1, true),
+        run_mode("per_sample_gemm", &model, &jobs, threads, 1, false),
+        run_mode("batched_gemm", &model, &jobs, threads, cfg.batch_size, false),
+    ];
+
+    println!();
+    println!(
+        "{:<18} {:>10} {:>14} {:>14}",
+        "mode", "total (s)", "samples/sec", "ns/step"
+    );
+    for m in &modes {
+        println!(
+            "{:<18} {:>10.3} {:>14.2} {:>14.0}",
+            m.name, m.seconds, m.samples_per_sec, m.ns_per_step
+        );
+    }
+    let speedup = modes[2].samples_per_sec / modes[0].samples_per_sec;
+    println!();
+    println!("batched_gemm vs per_sample_naive (pre-rework path): {speedup:.2}x");
+
+    let mode_rows: Vec<serde_json::Value> = modes
+        .iter()
+        .map(|m| {
+            json!({
+                "name": m.name,
+                "seconds": m.seconds,
+                "samples_per_sec": m.samples_per_sec,
+                "ns_per_step": m.ns_per_step,
+            })
+        })
+        .collect();
+    let config = json!({
+        "image": cfg.model.image as usize,
+        "base_ch": cfg.model.base_ch,
+        "ddim_steps": cfg.model.ddim_steps,
+        "jobs": JOBS,
+        "threads": threads,
+        "batch_size": cfg.batch_size,
+    });
+    let pretrain = json!({
+        "steps": tiny_steps,
+        "seconds": pretrain_s,
+        "steps_per_sec": tiny_steps as f64 / pretrain_s,
+    });
+    let out = json!({
+        "benchmark": "sampling",
+        "config": config,
+        "pretrain_tiny": pretrain,
+        "modes": mode_rows,
+        "speedup_batched_vs_per_sample_naive": speedup,
+    });
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sampling.json");
+    match serde_json::to_string_pretty(&out) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("failed to write {}: {e}", path.display());
+            } else {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("failed to serialise: {e}"),
+    }
+}

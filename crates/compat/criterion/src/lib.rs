@@ -1,0 +1,203 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Benches compile and run as plain timing loops: each benchmark runs a
+//! short warmup plus `sample_size` timed iterations and prints the mean
+//! wall-clock time. No statistics, plots, or baselines — for rigorous
+//! numbers use `pp-bench`'s dedicated binaries (e.g. `sampling_bench`),
+//! which this workspace treats as the source of truth.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimiser from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one closure repeatedly.
+pub struct Bencher {
+    iters: usize,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of iterations and reports the
+    /// mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup iteration keeps cold-start noise out of the mean.
+        black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let mean = t0.elapsed().as_secs_f64() / self.iters as f64;
+        println!("    mean {:>12.6} s over {} iters", mean, self.iters);
+    }
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("bench {name}");
+        f(&mut Bencher {
+            iters: self.sample_size,
+        });
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the group's iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        println!("  {id}");
+        f(&mut Bencher {
+            iters: self.sample_size,
+        });
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {id}");
+        f(
+            &mut Bencher {
+                iters: self.sample_size,
+            },
+            input,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0usize;
+        c.bench_function("counter", |b| b.iter(|| count += 1));
+        // 1 warmup + 3 timed iterations.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn group_with_input_passes_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &v| {
+            b.iter(|| seen = v)
+        });
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

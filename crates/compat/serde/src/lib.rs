@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but
+//! never invokes serde-based (de)serialization at runtime — weights use
+//! a hand-rolled binary format and reports go through the local
+//! `serde_json` stand-in's `Value` type, which needs no trait bounds.
+//! With no registry access in the build container, these no-op derives
+//! keep the annotations compiling at zero cost.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

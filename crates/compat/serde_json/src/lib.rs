@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! the [`Value`] tree, the [`json!`] macro over flat key/expression
+//! objects, and [`to_string_pretty`].
+//!
+//! Object keys keep insertion order (the real crate's `preserve_order`
+//! behaviour), which keeps report files diffable across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as f64, printed without a fraction when whole).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+macro_rules! value_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+    )*};
+}
+
+value_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax.
+///
+/// Supports object literals with string-literal keys and Rust
+/// expressions as values, array literals of expressions, `null`, and
+/// bare expressions convertible via `Into<Value>` — the forms this
+/// workspace's report writers use. Unlike the real crate, values cannot
+/// be *nested* object/array literals; bind them to a variable with their
+/// own `json!` call first.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($value) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; serde_json refuses them, we print null.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints a value with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real crate's signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, std::fmt::Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_roundtrip_shape() {
+        let rows = vec![json!({ "a": 1, "b": 2.5 })];
+        let v = json!({ "rows": rows, "name": "x\"y", "flag": true });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\"b\": 2.5"));
+        assert!(s.contains("\\\"y"));
+        assert!(s.contains("\"flag\": true"));
+    }
+
+    #[test]
+    fn whole_floats_print_as_integers() {
+        let s = to_string_pretty(&json!({ "n": 3.0f64 })).unwrap();
+        assert!(s.contains("\"n\": 3"), "{s}");
+    }
+
+    #[test]
+    fn arrays_from_fixed_size() {
+        let avg = [1.0f64, 2.0, 3.5];
+        let s = to_string_pretty(&json!({ "avg": avg })).unwrap();
+        assert!(s.contains("3.5"));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&json!([])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&json!({})).unwrap(), "{}");
+        assert_eq!(to_string_pretty(&json!(null)).unwrap(), "null");
+    }
+}

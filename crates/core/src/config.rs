@@ -56,6 +56,11 @@ pub struct PipelineConfig {
     pub pca_explained: f64,
     /// Worker threads for sampling.
     pub threads: usize,
+    /// Micro-batch cap per sampling worker: each network pass runs at
+    /// most this many jobs together (`0` = a worker's whole chunk).
+    /// Larger batches amortise im2col/GEMM overhead at the cost of peak
+    /// activation memory.
+    pub batch_size: usize,
 }
 
 impl PipelineConfig {
@@ -84,6 +89,7 @@ impl PipelineConfig {
             max_density: 0.4,
             pca_explained: 0.9,
             threads: 2,
+            batch_size: 16,
         }
     }
 
@@ -111,6 +117,7 @@ impl PipelineConfig {
             max_density: 0.4,
             pca_explained: 0.9,
             threads: 2,
+            batch_size: 8,
         }
     }
 
@@ -138,6 +145,7 @@ impl PipelineConfig {
             max_density: 0.5,
             pca_explained: 0.9,
             threads: 2,
+            batch_size: 4,
         }
     }
 

@@ -9,12 +9,18 @@ use pp_inpaint::{Denoiser, Mask, MaskSchedule, MaskSet, TemplateDenoiser};
 use pp_pdk::{foundation_corpus, SynthNode};
 use pp_selection::PcaSelector;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One raw (pre-denoising) generated sample with its template.
+///
+/// The template is shared (`Arc`) because generation rounds fan a
+/// handful of starters out into thousands of variations; cloning the
+/// full `Layout` per variation was measurable allocator traffic in the
+/// sampling hot path.
 #[derive(Debug, Clone)]
 pub struct RawSample {
     /// The starter/seed layout the mask was applied to.
-    pub template: Layout,
+    pub template: Arc<Layout>,
     /// The raw diffusion output (continuous pixels).
     pub raw: GrayImage,
 }
@@ -167,17 +173,37 @@ impl PatternPaint {
     /// (template, mask) jobs — the entry point Table III uses to compare
     /// denoising schemes on identical raw batches.
     pub fn generate_raw(&self, jobs: &[(Layout, Mask)], seed: u64) -> Vec<RawSample> {
+        let shared: Vec<(Arc<Layout>, Arc<Mask>)> = jobs
+            .iter()
+            .map(|(l, m)| (Arc::new(l.clone()), Arc::new(m.clone())))
+            .collect();
+        self.generate_raw_shared(&shared, seed)
+    }
+
+    /// [`PatternPaint::generate_raw`] over pre-shared jobs: callers that
+    /// fan one template/mask out into many variations pass `Arc` clones
+    /// (pointer bumps) instead of deep copies. Sampling runs through
+    /// [`DiffusionModel::sample_inpaint_batch_sized`] with the
+    /// configured worker and micro-batch counts.
+    pub fn generate_raw_shared(
+        &self,
+        jobs: &[(Arc<Layout>, Arc<Mask>)],
+        seed: u64,
+    ) -> Vec<RawSample> {
         let batch: Vec<(GrayImage, GrayImage)> = jobs
             .iter()
             .map(|(l, m)| (GrayImage::from_layout(l), m.as_image().clone()))
             .collect();
-        let raws = self
-            .model
-            .sample_inpaint_batch(&batch, seed, self.cfg.threads);
+        let raws = self.model.sample_inpaint_batch_sized(
+            &batch,
+            seed,
+            self.cfg.threads,
+            self.cfg.batch_size,
+        );
         jobs.iter()
             .zip(raws)
             .map(|((template, _), raw)| RawSample {
-                template: template.clone(),
+                template: Arc::clone(template),
                 raw,
             })
             .collect()
@@ -210,15 +236,17 @@ impl PatternPaint {
         let side = self.node.clip();
         let mut jobs = Vec::new();
         for starter in &self.starters {
+            let starter = Arc::new(starter.clone());
             for set in MaskSet::ALL {
                 for mask in set.masks(side) {
+                    let mask = Arc::new(mask);
                     for _ in 0..self.cfg.variations {
-                        jobs.push((starter.clone(), mask.clone()));
+                        jobs.push((Arc::clone(&starter), Arc::clone(&mask)));
                     }
                 }
             }
         }
-        let raw = self.generate_raw(&jobs, self.seed ^ 0x1217);
+        let raw = self.generate_raw_shared(&jobs, self.seed ^ 0x1217);
         let mut library = PatternLibrary::new();
         let (generated, legal) = self.validate_into(&raw, &mut library);
         GenerationRound {
@@ -258,16 +286,17 @@ impl PatternPaint {
             let per_seed = (self.cfg.samples_per_iteration / picks.len().max(1)).max(1);
             let mut jobs = Vec::new();
             for (pi, &idx) in picks.iter().enumerate() {
-                let template = library.patterns()[idx].clone();
+                // One deep copy per pick; the per_seed variations share it.
+                let template = Arc::new(library.patterns()[idx].clone());
                 // Alternate mask sets per pattern; walk the set
                 // sequentially across iterations (paper §IV-E2).
                 let schedule = &schedules[pi % 2];
-                let mask = schedule.mask_for(it, pi).clone();
+                let mask = Arc::new(schedule.mask_for(it, pi).clone());
                 for _ in 0..per_seed {
-                    jobs.push((template.clone(), mask.clone()));
+                    jobs.push((Arc::clone(&template), Arc::clone(&mask)));
                 }
             }
-            let raw = self.generate_raw(&jobs, self.seed ^ (0xabcd + it as u64));
+            let raw = self.generate_raw_shared(&jobs, self.seed ^ (0xabcd + it as u64));
             let (generated, legal) = self.validate_into(&raw, library);
             legal_so_far += legal;
             let lib_stats = library.stats();

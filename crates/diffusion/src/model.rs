@@ -337,30 +337,68 @@ impl DiffusionModel {
     /// design-rule context.
     pub fn sample_inpaint(&self, image: &GrayImage, mask: &GrayImage, seed: u64) -> GrayImage {
         let mut unet = self.unet.clone();
-        self.sample_with(&mut unet, image, mask, seed)
+        self.sample_chunk(&mut unet, &[(image, mask)], &[seed])
+            .pop()
+            .expect("one job in, one sample out")
     }
 
-    /// Batch inpainting across worker threads (the model is cloned per
-    /// worker; results keep job order).
+    /// Batch inpainting across worker threads: each worker packs its
+    /// whole chunk of jobs into one `[B, 3, H, W]` tensor and runs every
+    /// DDIM step over the micro-batch, amortising im2col + GEMM across
+    /// jobs. Results keep job order and are bit-identical to calling
+    /// [`DiffusionModel::sample_inpaint`] per job with seed
+    /// `seed ^ job_index`.
     pub fn sample_inpaint_batch(
         &self,
         jobs: &[(GrayImage, GrayImage)],
         seed: u64,
         threads: usize,
     ) -> Vec<GrayImage> {
-        let threads = threads.max(1).min(jobs.len().max(1));
+        self.sample_inpaint_batch_sized(jobs, seed, threads, 0)
+    }
+
+    /// [`DiffusionModel::sample_inpaint_batch`] with an explicit
+    /// micro-batch cap: each worker splits its chunk into groups of at
+    /// most `batch_size` jobs per network pass (`0` = the whole chunk),
+    /// trading peak activation memory against per-pass overhead.
+    pub fn sample_inpaint_batch_sized(
+        &self,
+        jobs: &[(GrayImage, GrayImage)],
+        seed: u64,
+        threads: usize,
+        batch_size: usize,
+    ) -> Vec<GrayImage> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(jobs.len());
+        let per_worker = jobs.len().div_ceil(threads);
+        let micro = if batch_size == 0 { per_worker } else { batch_size };
         let mut results: Vec<Option<GrayImage>> = vec![None; jobs.len()];
         std::thread::scope(|scope| {
-            let chunks = results.chunks_mut(jobs.len().div_ceil(threads));
+            let chunks = results.chunks_mut(per_worker);
             for (w, chunk) in chunks.enumerate() {
-                let start = w * jobs.len().div_ceil(threads);
+                let start = w * per_worker;
                 let model = &*self;
                 scope.spawn(move || {
                     let mut unet = model.unet.clone();
-                    for (i, slot) in chunk.iter_mut().enumerate() {
-                        let (img, mask) = &jobs[start + i];
-                        *slot =
-                            Some(model.sample_with(&mut unet, img, mask, seed ^ (start + i) as u64));
+                    let mut done = 0;
+                    while done < chunk.len() {
+                        let take = micro.min(chunk.len() - done);
+                        let refs: Vec<(&GrayImage, &GrayImage)> = (0..take)
+                            .map(|i| {
+                                let (img, mask) = &jobs[start + done + i];
+                                (img, mask)
+                            })
+                            .collect();
+                        let seeds: Vec<u64> = (0..take)
+                            .map(|i| seed ^ (start + done + i) as u64)
+                            .collect();
+                        let outs = model.sample_chunk(&mut unet, &refs, &seeds);
+                        for (slot, out) in chunk[done..done + take].iter_mut().zip(outs) {
+                            *slot = Some(out);
+                        }
+                        done += take;
                     }
                 });
             }
@@ -378,57 +416,85 @@ impl DiffusionModel {
         self.sample_inpaint_batch(&jobs, seed ^ 0x9e3779b9, 2)
     }
 
-    fn sample_with(
+    /// The batched DDIM core: runs `jobs` (image, mask pairs) through
+    /// the reverse process together, one network pass per step for the
+    /// whole micro-batch.
+    ///
+    /// Per-job noise comes from an RNG stream seeded by `seeds[i]`, and
+    /// every per-pixel operation is sample-local, so each job's output
+    /// is bit-identical to running it alone with the same seed. The
+    /// input tensor is built once and only its noisy-image planes are
+    /// rewritten per step; combined with the U-Net's pooled inference
+    /// path, a warmed-up loop allocates nothing per step.
+    fn sample_chunk(
         &self,
         unet: &mut UNet,
-        image: &GrayImage,
-        mask: &GrayImage,
-        seed: u64,
-    ) -> GrayImage {
-        assert_eq!(image.width(), self.cfg.image, "image size mismatch");
-        assert_eq!(mask.width(), self.cfg.image, "mask size mismatch");
+        jobs: &[(&GrayImage, &GrayImage)],
+        seeds: &[u64],
+    ) -> Vec<GrayImage> {
+        assert_eq!(jobs.len(), seeds.len(), "one seed per job");
+        let b = jobs.len();
         let side = self.cfg.image as usize;
         let hw = side * side;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let x0_known = image.as_pixels();
-        let m = mask.as_pixels();
-        let masked: Vec<f32> = x0_known
-            .iter()
-            .zip(m)
-            .map(|(&v, &mm)| if mm > 0.5 { 0.0 } else { v })
-            .collect();
+
+        // Static conditioning planes (mask, masked image) are written
+        // once; plane 0 (x_t) is refreshed every step.
+        let mut input = Tensor::zeros([b, 3, side, side]);
+        let mut xs: Vec<Vec<f32>> = Vec::with_capacity(b);
+        for (bi, ((image, mask), &job_seed)) in jobs.iter().zip(seeds).enumerate() {
+            assert_eq!(image.width(), self.cfg.image, "image size mismatch");
+            assert_eq!(mask.width(), self.cfg.image, "mask size mismatch");
+            let m = mask.as_pixels();
+            input.plane_mut(bi, 1).copy_from_slice(m);
+            let masked = input.plane_mut(bi, 2);
+            for (dst, (&v, &mm)) in masked.iter_mut().zip(image.as_pixels().iter().zip(m)) {
+                *dst = if mm > 0.5 { 0.0 } else { v };
+            }
+            let mut rng = StdRng::seed_from_u64(job_seed);
+            xs.push((0..hw).map(|_| randn(&mut rng)).collect());
+        }
 
         let ts = self.schedule.ddim_timesteps(self.cfg.ddim_steps);
-        let mut x: Vec<f32> = (0..hw).map(|_| randn(&mut rng)).collect();
+        let mut tvec = vec![0usize; b];
         let mut x0_hat = vec![0.0f32; hw];
         for (i, &t) in ts.iter().enumerate() {
-            let mut input = Tensor::zeros([1, 3, side, side]);
-            input.plane_mut(0, 0).copy_from_slice(&x);
-            input.plane_mut(0, 1).copy_from_slice(m);
-            input.plane_mut(0, 2).copy_from_slice(&masked);
-            let pred = unet.forward(input, &[t]);
+            for (bi, x) in xs.iter().enumerate() {
+                input.plane_mut(bi, 0).copy_from_slice(x);
+            }
+            tvec.fill(t);
+            let pred = unet.forward_infer(&input, &tvec);
             // Recover x̂0 from the network output (ε-models via
             // x̂0 = (x_t − √(1−ᾱ)·ε̂)/√ᾱ), then composite the known
             // region into the prediction (Eq. 8).
             let ab = self.schedule.alpha_bar(t);
             let (sa, sn) = (ab.sqrt().max(1e-4), (1.0 - ab).sqrt());
-            for (j, xh) in x0_hat.iter_mut().enumerate() {
-                let x0_model = match self.cfg.parameterization {
-                    Parameterization::X0 => pred.data()[j],
-                    Parameterization::Epsilon => (x[j] - sn * pred.data()[j]) / sa,
-                };
-                *xh = if m[j] > 0.5 {
-                    x0_model.clamp(-1.0, 1.0)
-                } else {
-                    x0_known[j]
-                };
-            }
             let s = if i + 1 < ts.len() { ts[i + 1] } else { usize::MAX };
-            x = self.schedule.ddim_step(&x, &x0_hat, t, s);
+            for (bi, ((image, mask), x)) in jobs.iter().zip(&mut xs).enumerate() {
+                let x0_known = image.as_pixels();
+                let m = mask.as_pixels();
+                let pp = pred.plane(bi, 0);
+                for (j, xh) in x0_hat.iter_mut().enumerate() {
+                    let x0_model = match self.cfg.parameterization {
+                        Parameterization::X0 => pp[j],
+                        Parameterization::Epsilon => (x[j] - sn * pp[j]) / sa,
+                    };
+                    *xh = if m[j] > 0.5 {
+                        x0_model.clamp(-1.0, 1.0)
+                    } else {
+                        x0_known[j]
+                    };
+                }
+                self.schedule.ddim_step_in_place(x, &x0_hat, t, s);
+            }
+            unet.recycle(pred);
         }
-        let mut out = GrayImage::from_pixels(self.cfg.image, self.cfg.image, x);
-        out.clamp(-1.0, 1.0);
-        out
+        xs.into_iter()
+            .map(|x| {
+                let mut out = GrayImage::from_pixels(self.cfg.image, self.cfg.image, x);
+                out.clamp(-1.0, 1.0);
+                out
+            })
+            .collect()
     }
 }
 
@@ -539,6 +605,60 @@ mod tests {
         let solo1 = model.sample_inpaint(&image, &mask, 9 ^ 1);
         assert_eq!(batch[0], solo0);
         assert_eq!(batch[1], solo1);
+    }
+
+    /// A job set with per-job distinct images, masks and RNG streams.
+    fn mixed_jobs(n: usize) -> Vec<(GrayImage, GrayImage)> {
+        (0..n)
+            .map(|i| {
+                let mut image = GrayImage::filled(16, 16, -1.0);
+                for y in 0..16 {
+                    image.set((i as u32) % 16, y, 1.0);
+                }
+                let mut mask = GrayImage::filled(16, 16, 0.0);
+                // Different region per job; always non-empty.
+                for y in 0..16 {
+                    for x in (i as u32 % 8)..16 {
+                        mask.set(x, y, 1.0);
+                    }
+                }
+                (image, mask)
+            })
+            .collect()
+    }
+
+    /// Batched sampling must be bit-identical to the solo path for every
+    /// batch width — including widths that split unevenly across
+    /// workers (7 jobs over 2 threads → chunks of 4 and 3) and
+    /// micro-batch caps that leave ragged tails (batch_size 3 over a
+    /// 4-job chunk → passes of 3 and 1).
+    #[test]
+    fn batch_bit_identical_for_all_widths_and_chunkings() {
+        let model = DiffusionModel::new(DiffusionConfig::tiny(16), 8);
+        for &b in &[1usize, 3, 7] {
+            let jobs = mixed_jobs(b);
+            let solo: Vec<GrayImage> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, (img, mask))| model.sample_inpaint(img, mask, 0x5a ^ i as u64))
+                .collect();
+            for &threads in &[1usize, 2, 3] {
+                for &batch_size in &[0usize, 1, 3] {
+                    let batched =
+                        model.sample_inpaint_batch_sized(&jobs, 0x5a, threads, batch_size);
+                    assert_eq!(
+                        batched, solo,
+                        "divergence at B={b} threads={threads} batch_size={batch_size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let model = DiffusionModel::new(DiffusionConfig::tiny(16), 4);
+        assert!(model.sample_inpaint_batch(&[], 1, 4).is_empty());
     }
 
     #[test]

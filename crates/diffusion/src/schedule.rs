@@ -114,20 +114,27 @@ impl NoiseSchedule {
     /// `x_s = √ᾱ_s·x̂0 + √(1−ᾱ_s)·ε̂`. Passing `s = usize::MAX` (no
     /// further step) returns `x̂0` directly.
     pub fn ddim_step(&self, x_t: &[f32], x0_hat: &[f32], t: usize, s: usize) -> Vec<f32> {
+        let mut x = x_t.to_vec();
+        self.ddim_step_in_place(&mut x, x0_hat, t, s);
+        x
+    }
+
+    /// [`NoiseSchedule::ddim_step`] writing `x_{t-1}` over `x_t` in
+    /// place — each element depends only on its own position, so the
+    /// sampling loop needs no second state buffer.
+    pub fn ddim_step_in_place(&self, x_t: &mut [f32], x0_hat: &[f32], t: usize, s: usize) {
         if s == usize::MAX {
-            return x0_hat.to_vec();
+            x_t.copy_from_slice(x0_hat);
+            return;
         }
         let ab_t = self.alpha_bar(t);
         let ab_s = self.alpha_bar(s);
         let (sa_t, sn_t) = (ab_t.sqrt(), (1.0 - ab_t).sqrt());
         let (sa_s, sn_s) = (ab_s.sqrt(), (1.0 - ab_s).sqrt());
-        x_t.iter()
-            .zip(x0_hat)
-            .map(|(&xt, &x0)| {
-                let eps = (xt - sa_t * x0) / sn_t.max(1e-6);
-                sa_s * x0 + sn_s * eps
-            })
-            .collect()
+        for (xt, &x0) in x_t.iter_mut().zip(x0_hat) {
+            let eps = (*xt - sa_t * x0) / sn_t.max(1e-6);
+            *xt = sa_s * x0 + sn_s * eps;
+        }
     }
 
     /// The decreasing sequence of timesteps for `n`-step DDIM sampling.

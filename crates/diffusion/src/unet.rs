@@ -10,7 +10,7 @@
 //! Backward passes are wired by hand in exact reverse topological order;
 //! a finite-difference test validates the whole graph.
 
-use pp_nn::{AvgPool2, Conv2d, GroupNorm, Layer, Linear, Param, Silu, Tensor, Upsample2};
+use pp_nn::{AvgPool2, Conv2d, GroupNorm, Layer, Linear, Param, Silu, Tensor, Upsample2, Workspace};
 use serde::{Deserialize, Serialize};
 
 /// Architecture hyperparameters.
@@ -126,6 +126,41 @@ impl ResBlock {
         (gx, g_emb)
     }
 
+    /// Inference-only forward: borrows inputs, caches nothing, and
+    /// recycles every intermediate through `ws`.
+    fn forward_infer(&mut self, x: &Tensor, emb: &Tensor, ws: &mut Workspace) -> Tensor {
+        let a = self.gn1.forward_infer(x, ws);
+        let b = self.silu1.forward_infer(&a, ws);
+        ws.give(a.into_vec());
+        let mut h = self.conv1.forward_infer(&b, ws);
+        ws.give(b.into_vec());
+        let tb = self.time_proj.forward_infer(emb, ws);
+        for b in 0..h.n() {
+            for c in 0..self.out_c {
+                let bias = tb.get(b, c, 0, 0);
+                for v in h.plane_mut(b, c) {
+                    *v += bias;
+                }
+            }
+        }
+        ws.give(tb.into_vec());
+        let a = self.gn2.forward_infer(&h, ws);
+        ws.give(h.into_vec());
+        let b = self.silu2.forward_infer(&a, ws);
+        ws.give(a.into_vec());
+        let mut out = self.conv2.forward_infer(&b, ws);
+        ws.give(b.into_vec());
+        match &mut self.skip {
+            Some(c) => {
+                let s = c.forward_infer(x, ws);
+                out.add_assign(&s);
+                ws.give(s.into_vec());
+            }
+            None => out.add_assign(x),
+        }
+        out
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.gn1.visit_params(f);
         self.conv1.visit_params(f);
@@ -162,6 +197,9 @@ pub struct UNet {
     gn_out: GroupNorm,
     silu_out: Silu,
     conv_out: Conv2d,
+    /// Buffer pool for the inference path (empty on clone; warms up on
+    /// the first [`UNet::forward_infer`] call).
+    ws: Workspace,
 }
 
 impl UNet {
@@ -193,6 +231,7 @@ impl UNet {
             gn_out: GroupNorm::new(c, groups_for(c)),
             silu_out: Silu::new(),
             conv_out: Conv2d::new(c, 1, 3, seed ^ 8),
+            ws: Workspace::new(),
         }
     }
 
@@ -204,8 +243,18 @@ impl UNet {
     /// Sinusoidal embedding of a batch of timesteps.
     fn embed(&self, ts: &[usize]) -> Tensor {
         let td = self.cfg.time_dim;
-        let half = td / 2;
         let mut out = Tensor::zeros([ts.len(), td, 1, 1]);
+        self.embed_into(ts, &mut out);
+        out
+    }
+
+    /// Writes the sinusoidal embedding into a preallocated `[n, td]`
+    /// tensor. Indices `0..2·(td/2)` are overwritten; with an odd
+    /// `time_dim` the last element is left as-is, so callers must pass
+    /// a zeroed tensor.
+    fn embed_into(&self, ts: &[usize], out: &mut Tensor) {
+        let td = self.cfg.time_dim;
+        let half = td / 2;
         for (b, &t) in ts.iter().enumerate() {
             // Scale t into [0, 1000) like standard DDPM embeddings.
             let tv = t as f32 / self.t_max as f32 * 1000.0;
@@ -215,7 +264,6 @@ impl UNet {
                 out.set(b, half + i, 0, 0, (tv / freq).cos());
             }
         }
-        out
     }
 
     /// Predicts `x̂0` for a batch.
@@ -238,6 +286,88 @@ impl UNet {
         let h5 = self.rb5.forward(c1, &emb);
         self.conv_out
             .forward(self.silu_out.forward(self.gn_out.forward(h5)))
+    }
+
+    /// Inference-only prediction of `x̂0` for a batch.
+    ///
+    /// Bit-identical to [`UNet::forward`] (same kernels, same per-sample
+    /// arithmetic) but borrows the input, caches nothing for backward,
+    /// and recycles every intermediate through an internal buffer pool —
+    /// after the first call a DDIM loop performs no heap allocation
+    /// inside the network. Hand the returned tensor back via
+    /// [`UNet::recycle`] once consumed to keep the pool closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, 3, image, image]` or `ts.len() != n`.
+    pub fn forward_infer(&mut self, x: &Tensor, ts: &[usize]) -> Tensor {
+        assert_eq!(x.c(), 3, "expected 3 input channels");
+        assert_eq!(x.n(), ts.len(), "batch size mismatch");
+        let mut ws = std::mem::take(&mut self.ws);
+        let td = self.cfg.time_dim;
+        // Zeroed, not raw: embed_into leaves index td-1 untouched when
+        // time_dim is odd, and forward() reads 0.0 there via
+        // Tensor::zeros — stale pool contents would diverge from it.
+        let mut emb_raw = Tensor::from_vec([ts.len(), td, 1, 1], ws.take_zeroed(ts.len() * td));
+        self.embed_into(ts, &mut emb_raw);
+        let emb_lin = self.emb_lin.forward_infer(&emb_raw, &mut ws);
+        let emb = self.emb_silu.forward_infer(&emb_lin, &mut ws);
+        ws.give(emb_raw.into_vec());
+        ws.give(emb_lin.into_vec());
+
+        let h0 = self.conv_in.forward_infer(x, &mut ws);
+        let h1 = self.rb1.forward_infer(&h0, &emb, &mut ws);
+        ws.give(h0.into_vec());
+        let d1 = self.down1.forward_infer(&h1, &mut ws);
+        let h2 = self.rb2.forward_infer(&d1, &emb, &mut ws);
+        ws.give(d1.into_vec());
+        let d2 = self.down2.forward_infer(&h2, &mut ws);
+        let h3 = self.rb3.forward_infer(&d2, &emb, &mut ws);
+        ws.give(d2.into_vec());
+        let hm = self.mid.forward_infer(&h3, &emb, &mut ws);
+        ws.give(h3.into_vec());
+
+        let u2 = self.up2.forward_infer(&hm, &mut ws);
+        ws.give(hm.into_vec());
+        let [n, cu, h, w] = u2.shape();
+        let mut c2 = Tensor::from_vec(
+            [n, cu + h2.c(), h, w],
+            ws.take(n * (cu + h2.c()) * h * w),
+        );
+        u2.concat_channels_into(&h2, &mut c2);
+        ws.give(u2.into_vec());
+        ws.give(h2.into_vec());
+        let h4 = self.rb4.forward_infer(&c2, &emb, &mut ws);
+        ws.give(c2.into_vec());
+
+        let u1 = self.up1.forward_infer(&h4, &mut ws);
+        ws.give(h4.into_vec());
+        let [n, cu, h, w] = u1.shape();
+        let mut c1 = Tensor::from_vec(
+            [n, cu + h1.c(), h, w],
+            ws.take(n * (cu + h1.c()) * h * w),
+        );
+        u1.concat_channels_into(&h1, &mut c1);
+        ws.give(u1.into_vec());
+        ws.give(h1.into_vec());
+        let h5 = self.rb5.forward_infer(&c1, &emb, &mut ws);
+        ws.give(c1.into_vec());
+        ws.give(emb.into_vec());
+
+        let g = self.gn_out.forward_infer(&h5, &mut ws);
+        ws.give(h5.into_vec());
+        let s = self.silu_out.forward_infer(&g, &mut ws);
+        ws.give(g.into_vec());
+        let y = self.conv_out.forward_infer(&s, &mut ws);
+        ws.give(s.into_vec());
+        self.ws = ws;
+        y
+    }
+
+    /// Returns a tensor produced by [`UNet::forward_infer`] to the
+    /// internal pool so the next step reuses its allocation.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.ws.give(t.into_vec());
     }
 
     /// Backpropagates ∂loss/∂output, accumulating parameter gradients.
@@ -326,6 +456,40 @@ mod tests {
         let a = net.forward(x.clone(), &[0]);
         let b = net.forward(x, &[9]);
         assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut net = UNet::new(UNetConfig::tiny(8), 10, 11);
+        let x = random_input(2, 8, 12);
+        let ts = [3usize, 8];
+        let trained = net.forward(x.clone(), &ts);
+        let inferred = net.forward_infer(&x, &ts);
+        assert_eq!(trained.data(), inferred.data());
+        // A second inference pass reuses pooled buffers and must still
+        // be bit-identical.
+        net.recycle(inferred);
+        let again = net.forward_infer(&x, &ts);
+        assert_eq!(trained.data(), again.data());
+    }
+
+    /// Each sample of a batched inference pass computes exactly what it
+    /// computes alone — the invariant batched DDIM sampling relies on.
+    #[test]
+    fn infer_batch_rows_match_solo() {
+        let mut net = UNet::new(UNetConfig::tiny(8), 10, 13);
+        let xb = random_input(3, 8, 14);
+        let ts = [1usize, 5, 9];
+        let yb = net.forward_infer(&xb, &ts);
+        for b in 0..3 {
+            let mut xs = Tensor::zeros([1, 3, 8, 8]);
+            for c in 0..3 {
+                xs.plane_mut(0, c).copy_from_slice(xb.plane(b, c));
+            }
+            let ys = net.forward_infer(&xs, &ts[b..b + 1]);
+            assert_eq!(ys.plane(0, 0), yb.plane(b, 0), "sample {b} diverged");
+            net.recycle(ys);
+        }
     }
 
     #[test]

@@ -1,15 +1,21 @@
-//! 2-D convolution (stride 1, "same" padding) via im2col.
+//! 2-D convolution (stride 1, "same" padding) via im2col + GEMM.
 
+use crate::gemm::{sgemm, sgemm_nt, sgemm_tn};
 use crate::param::Param;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use crate::Layer;
 
 /// A stride-1 convolution with odd kernel size and same padding.
 ///
 /// Weight layout is `[out_c][in_c][ky][kx]`; bias is per output channel.
-/// Forward lowers each sample to an im2col matrix and performs a GEMM;
-/// backward rebuilds the col matrix (recompute-over-store) and produces
-/// both parameter and input gradients.
+/// Forward lowers each sample to an im2col matrix and multiplies it with
+/// the weight matrix through the register-blocked [`crate::gemm`]
+/// kernels; backward rebuilds the col matrix (recompute-over-store) and
+/// produces both parameter and input gradients through the transposed
+/// GEMM variants. The im2col scratch persists across calls (training) or
+/// comes from a caller [`Workspace`] (inference), so steady-state passes
+/// perform no scratch allocation.
 ///
 /// # Example
 ///
@@ -28,6 +34,7 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    scratch: Workspace,
 }
 
 impl Conv2d {
@@ -46,6 +53,7 @@ impl Conv2d {
             weight: Param::kaiming(out_c * fan_in, fan_in, seed),
             bias: Param::zeros(out_c),
             cached_input: None,
+            scratch: Workspace::new(),
         }
     }
 
@@ -55,7 +63,50 @@ impl Conv2d {
     }
 
     /// Builds the im2col matrix `[in_c·k·k, h·w]` for one sample.
+    ///
+    /// Each (channel, tap, row) strip is one contiguous copy of
+    /// `w − |shift|` pixels plus zeroed edges, instead of a per-pixel
+    /// branch; the per-pixel reference below is kept for the
+    /// [`crate::gemm::set_force_naive`] baseline and the tests.
     fn im2col(&self, x: &Tensor, n: usize, col: &mut [f32]) {
+        if crate::gemm::force_naive() {
+            return self.im2col_reference(x, n, col);
+        }
+        let (h, w) = (x.h(), x.w());
+        let k = self.k;
+        let pad = k / 2;
+        let hw = h * w;
+        for ic in 0..self.in_c {
+            let plane = x.plane(n, ic);
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((ic * k + ky) * k + kx) * hw;
+                    // Source x = out x + shift; valid out x range is
+                    // [d0, d0 + len) copied from source offset s0.
+                    let shift = kx as isize - pad as isize;
+                    let d0 = shift.unsigned_abs().min(w) * usize::from(shift < 0);
+                    let s0 = (shift.max(0) as usize).min(w);
+                    let len = w - shift.unsigned_abs().min(w);
+                    for oy in 0..h {
+                        let iy = oy + ky;
+                        let dst = &mut col[row + oy * w..row + (oy + 1) * w];
+                        if iy < pad || iy >= h + pad {
+                            dst.fill(0.0);
+                            continue;
+                        }
+                        let sy = iy - pad;
+                        dst[..d0].fill(0.0);
+                        dst[d0 + len..].fill(0.0);
+                        dst[d0..d0 + len]
+                            .copy_from_slice(&plane[sy * w + s0..sy * w + s0 + len]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-pixel reference im2col (the pre-rework implementation).
+    fn im2col_reference(&self, x: &Tensor, n: usize, col: &mut [f32]) {
         let (h, w) = (x.h(), x.w());
         let k = self.k;
         let pad = k / 2;
@@ -115,34 +166,64 @@ impl Conv2d {
             }
         }
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, x: Tensor) -> Tensor {
+    /// Whether the sample's input planes can feed the GEMM directly: a
+    /// 1×1 same-padding conv's im2col matrix *is* the input.
+    fn direct_input(&self) -> bool {
+        self.k == 1 && !crate::gemm::force_naive()
+    }
+
+    /// The shared forward body: `out[b] = W · col(x[b]) + bias` per
+    /// sample, with scratch and the output buffer drawn from `ws`.
+    fn run_forward(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(x.c(), self.in_c, "input channel mismatch");
         let (n, h, w) = (x.n(), x.h(), x.w());
         let hw = h * w;
         let ick = self.in_c * self.k * self.k;
-        let mut out = Tensor::zeros([n, self.out_c, h, w]);
-        let mut col = vec![0.0f32; ick * hw];
+        // Take the col scratch first: in the training path (layer-owned
+        // pool) it is the buffer `give`n back last call, so it gets
+        // reused while the returned output draws a fresh allocation.
+        let mut col = if self.direct_input() {
+            Vec::new()
+        } else {
+            ws.take(ick * hw)
+        };
+        let mut out = Tensor::from_vec([n, self.out_c, h, w], ws.take(n * self.out_c * hw));
         for b in 0..n {
-            self.im2col(&x, b, &mut col);
+            // out rows for sample b are contiguous: one GEMM per sample.
+            let c = &mut out.data_mut()[b * self.out_c * hw..(b + 1) * self.out_c * hw];
+            if self.direct_input() {
+                let xb = &x.data()[b * ick * hw..(b + 1) * ick * hw];
+                sgemm(self.out_c, ick, hw, &self.weight.value, xb, c, 0.0);
+            } else {
+                self.im2col(x, b, &mut col);
+                sgemm(self.out_c, ick, hw, &self.weight.value, &col, c, 0.0);
+            }
             for oc in 0..self.out_c {
-                let wrow = &self.weight.value[oc * ick..(oc + 1) * ick];
-                let oplane = out.plane_mut(b, oc);
-                oplane.fill(self.bias.value[oc]);
-                for (p, &wv) in wrow.iter().enumerate() {
-                    if wv != 0.0 {
-                        let crow = &col[p * hw..(p + 1) * hw];
-                        for (o, &c) in oplane.iter_mut().zip(crow) {
-                            *o += wv * c;
-                        }
+                let bias = self.bias.value[oc];
+                if bias != 0.0 {
+                    for v in &mut c[oc * hw..(oc + 1) * hw] {
+                        *v += bias;
                     }
                 }
             }
         }
+        ws.give(col);
+        out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: Tensor) -> Tensor {
+        let mut ws = std::mem::take(&mut self.scratch);
+        let out = self.run_forward(&x, &mut ws);
+        self.scratch = ws;
         self.cached_input = Some(x);
         out
+    }
+
+    fn forward_infer(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.run_forward(x, ws)
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
@@ -153,41 +234,36 @@ impl Layer for Conv2d {
         let (n, h, w) = (x.n(), x.h(), x.w());
         let hw = h * w;
         let ick = self.in_c * self.k * self.k;
+        let mut ws = std::mem::take(&mut self.scratch);
         let mut gx = Tensor::zeros(x.shape());
-        let mut col = vec![0.0f32; ick * hw];
-        let mut colg = vec![0.0f32; ick * hw];
+        let direct = self.direct_input();
+        let mut col = if direct { Vec::new() } else { ws.take(ick * hw) };
+        let mut colg = if direct { Vec::new() } else { ws.take(ick * hw) };
         for b in 0..n {
-            self.im2col(&x, b, &mut col);
-            // Bias and weight gradients.
+            let go = &grad.data()[b * self.out_c * hw..(b + 1) * self.out_c * hw];
+            // Bias gradient: per-channel sums of the output gradient.
             for oc in 0..self.out_c {
-                let go = grad.plane(b, oc);
-                self.bias.grad[oc] += go.iter().sum::<f32>();
-                let wg = &mut self.weight.grad[oc * ick..(oc + 1) * ick];
-                for p in 0..ick {
-                    let crow = &col[p * hw..(p + 1) * hw];
-                    let mut acc = 0.0f32;
-                    for (g, c) in go.iter().zip(crow) {
-                        acc += g * c;
-                    }
-                    wg[p] += acc;
-                }
+                self.bias.grad[oc] += go[oc * hw..(oc + 1) * hw].iter().sum::<f32>();
             }
-            // Input gradient via colᵍ = Wᵀ · gradOut.
-            colg.fill(0.0);
-            for oc in 0..self.out_c {
-                let go = grad.plane(b, oc);
-                let wrow = &self.weight.value[oc * ick..(oc + 1) * ick];
-                for (p, &wv) in wrow.iter().enumerate() {
-                    if wv != 0.0 {
-                        let crow = &mut colg[p * hw..(p + 1) * hw];
-                        for (cg, &g) in crow.iter_mut().zip(go) {
-                            *cg += wv * g;
-                        }
-                    }
-                }
+            if direct {
+                // 1×1: the col matrix is the input and col2im is the
+                // identity, so both GEMMs run on the tensors in place.
+                let xb = &x.data()[b * ick * hw..(b + 1) * ick * hw];
+                sgemm_nt(self.out_c, hw, ick, go, xb, &mut self.weight.grad, 1.0);
+                let gxb = &mut gx.data_mut()[b * ick * hw..(b + 1) * ick * hw];
+                sgemm_tn(ick, self.out_c, hw, &self.weight.value, go, gxb, 0.0);
+            } else {
+                self.im2col(&x, b, &mut col);
+                // Weight gradient: Wg += gradOut · colᵀ.
+                sgemm_nt(self.out_c, hw, ick, go, &col, &mut self.weight.grad, 1.0);
+                // Input gradient via colᵍ = Wᵀ · gradOut, scattered back.
+                sgemm_tn(ick, self.out_c, hw, &self.weight.value, go, &mut colg, 0.0);
+                self.col2im(&colg, &mut gx, b);
             }
-            self.col2im(&colg, &mut gx, b);
         }
+        ws.give(col);
+        ws.give(colg);
+        self.scratch = ws;
         gx
     }
 
@@ -255,6 +331,55 @@ mod tests {
     fn gradcheck_1x1() {
         let mut conv = Conv2d::new(3, 2, 1, 9);
         check_layer(&mut conv, random_tensor([1, 3, 3, 3], 5), 2e-2);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut conv = Conv2d::new(3, 5, 3, 13);
+        let x = random_tensor([2, 3, 6, 6], 21);
+        let y_train = conv.forward(x.clone());
+        let mut ws = Workspace::new();
+        let y_infer = conv.forward_infer(&x, &mut ws);
+        assert_eq!(y_train.data(), y_infer.data());
+        // Second call reuses pooled buffers and still matches.
+        ws.give(y_infer.into_vec());
+        let y_again = conv.forward_infer(&x, &mut ws);
+        assert_eq!(y_train.data(), y_again.data());
+    }
+
+    /// Each sample in a batch must compute exactly what it computes
+    /// alone — the invariant batched DDIM sampling relies on.
+    #[test]
+    fn batch_rows_match_solo_bitwise() {
+        let mut conv = Conv2d::new(2, 4, 3, 17);
+        let xb = random_tensor([3, 2, 5, 5], 31);
+        let yb = conv.forward(xb.clone());
+        for b in 0..3 {
+            let mut xs = Tensor::zeros([1, 2, 5, 5]);
+            for c in 0..2 {
+                xs.plane_mut(0, c).copy_from_slice(xb.plane(b, c));
+            }
+            let ys = conv.forward(xs);
+            for c in 0..4 {
+                assert_eq!(ys.plane(0, c), yb.plane(b, c), "sample {b} channel {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_fast_matches_reference() {
+        for &(ic, k, h, w) in &[(2usize, 3usize, 5usize, 5usize), (1, 1, 4, 6), (3, 5, 4, 4), (2, 3, 6, 3)] {
+            let conv = Conv2d::new(ic, 2, k, 3);
+            let x = random_tensor([2, ic, h, w], (ic + k + h + w) as u64);
+            let len = ic * k * k * h * w;
+            let mut fast = vec![7.0f32; len];
+            let mut reference = vec![-7.0f32; len];
+            for b in 0..2 {
+                conv.im2col(&x, b, &mut fast);
+                conv.im2col_reference(&x, b, &mut reference);
+                assert_eq!(fast, reference, "ic={ic} k={k} {h}x{w} sample {b}");
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod act;
 pub mod conv;
+pub mod gemm;
 pub mod linear;
 pub mod norm;
 pub mod optim;
@@ -39,6 +40,7 @@ pub mod param;
 pub mod pool;
 pub mod seq;
 pub mod tensor;
+pub mod workspace;
 
 pub use act::{Silu, Tanh};
 pub use conv::Conv2d;
@@ -49,6 +51,7 @@ pub use param::Param;
 pub use pool::{AvgPool2, Upsample2};
 pub use seq::Sequential;
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 
 /// A differentiable module with owned parameters and cached activations.
 ///
@@ -62,6 +65,17 @@ pub trait Layer {
     /// Propagates `grad` (∂loss/∂output) back, returning ∂loss/∂input and
     /// accumulating parameter gradients.
     fn backward(&mut self, grad: Tensor) -> Tensor;
+
+    /// Inference-only forward: borrows the input, caches nothing for
+    /// backward, and draws every scratch/output buffer from `ws` so a
+    /// warmed-up sampling loop allocates nothing.
+    ///
+    /// The arithmetic is bit-identical to [`Layer::forward`]; the
+    /// default falls back to it for layers without a dedicated path.
+    fn forward_infer(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let _ = &ws;
+        self.forward(x.clone())
+    }
 
     /// Visits every parameter (stable order across calls).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));

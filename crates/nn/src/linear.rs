@@ -1,13 +1,17 @@
 //! Fully connected layers over `[n, c, 1, 1]` feature vectors.
 
+use crate::gemm::{sgemm, sgemm_nt, sgemm_tn};
 use crate::param::Param;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use crate::Layer;
 
 /// A dense layer `y = Wx + b` acting on the channel dimension.
 ///
 /// Inputs must have spatial size 1×1 (feature vectors); used for time
-/// embeddings and the CUP latent head.
+/// embeddings and the CUP latent head. Forward is one `X·Wᵀ` GEMM over
+/// the whole batch; backward accumulates `Gᵀ·X` (weights) and `G·W`
+/// (inputs) through the transposed GEMM variants.
 ///
 /// # Example
 ///
@@ -38,27 +42,42 @@ impl Linear {
             cached_input: None,
         }
     }
+    /// The shared forward body: `out = X·Wᵀ + b` in one GEMM, with the
+    /// output buffer drawn from `ws`.
+    fn run_forward(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.c(), self.in_c, "input feature mismatch");
+        assert_eq!((x.h(), x.w()), (1, 1), "linear expects 1x1 spatial dims");
+        let n = x.n();
+        let mut out = Tensor::from_vec([n, self.out_c, 1, 1], ws.take(n * self.out_c));
+        sgemm_nt(
+            n,
+            self.in_c,
+            self.out_c,
+            x.data(),
+            &self.weight.value,
+            out.data_mut(),
+            0.0,
+        );
+        for b in 0..n {
+            let oi = &mut out.data_mut()[b * self.out_c..(b + 1) * self.out_c];
+            for (o, &bias) in oi.iter_mut().zip(&self.bias.value) {
+                *o += bias;
+            }
+        }
+        out
+    }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, x: Tensor) -> Tensor {
-        assert_eq!(x.c(), self.in_c, "input feature mismatch");
-        assert_eq!((x.h(), x.w()), (1, 1), "linear expects 1x1 spatial dims");
-        let n = x.n();
-        let mut out = Tensor::zeros([n, self.out_c, 1, 1]);
-        for b in 0..n {
-            let xi = &x.data()[b * self.in_c..(b + 1) * self.in_c];
-            let oi = &mut out.data_mut()[b * self.out_c..(b + 1) * self.out_c];
-            for (o, (orow, bias)) in oi
-                .iter_mut()
-                .zip(self.weight.value.chunks(self.in_c).zip(&self.bias.value))
-                .map(|(o, wb)| (o, wb))
-            {
-                *o = *bias + orow.iter().zip(xi).map(|(&w, &v)| w * v).sum::<f32>();
-            }
-        }
+        let mut ws = Workspace::new();
+        let out = self.run_forward(&x, &mut ws);
         self.cached_input = Some(x);
         out
+    }
+
+    fn forward_infer(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.run_forward(x, ws)
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {
@@ -68,20 +87,33 @@ impl Layer for Linear {
             .expect("backward called without forward");
         let n = x.n();
         let mut gx = Tensor::zeros(x.shape());
+        // Bias gradient: column sums of G.
         for b in 0..n {
-            let xi = &x.data()[b * self.in_c..(b + 1) * self.in_c];
             let gi = &grad.data()[b * self.out_c..(b + 1) * self.out_c];
-            for (oc, &g) in gi.iter().enumerate() {
-                self.bias.grad[oc] += g;
-                let wrow = &self.weight.value[oc * self.in_c..(oc + 1) * self.in_c];
-                let wgrow = &mut self.weight.grad[oc * self.in_c..(oc + 1) * self.in_c];
-                let gxi = &mut gx.data_mut()[b * self.in_c..(b + 1) * self.in_c];
-                for i in 0..self.in_c {
-                    wgrow[i] += g * xi[i];
-                    gxi[i] += g * wrow[i];
-                }
+            for (bg, &g) in self.bias.grad.iter_mut().zip(gi) {
+                *bg += g;
             }
         }
+        // Weight gradient: Wg += Gᵀ·X (G stored n×out_c, i.e. k×m).
+        sgemm_tn(
+            self.out_c,
+            n,
+            self.in_c,
+            grad.data(),
+            x.data(),
+            &mut self.weight.grad,
+            1.0,
+        );
+        // Input gradient: Gx = G·W.
+        sgemm(
+            n,
+            self.out_c,
+            self.in_c,
+            grad.data(),
+            &self.weight.value,
+            gx.data_mut(),
+            0.0,
+        );
         gx
     }
 
@@ -123,6 +155,20 @@ mod tests {
             (0..6).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
         );
         check_layer(&mut Linear::new(3, 4, 11), x, 1e-2);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::from_vec(
+            [3, 4, 1, 1],
+            (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let mut lin = Linear::new(4, 6, 3);
+        let y = lin.forward(x.clone());
+        let mut ws = Workspace::new();
+        let yi = lin.forward_infer(&x, &mut ws);
+        assert_eq!(y.data(), yi.data());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::param::Param;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use crate::Layer;
 
 /// Group normalisation with per-channel affine parameters.
@@ -49,29 +50,38 @@ impl GroupNorm {
             cache: None,
         }
     }
+
+    /// Mean and inverse σ of group `g` in sample `b` (the exact
+    /// summation order of the training forward, for bit-stable
+    /// inference).
+    fn group_stats(&self, x: &Tensor, b: usize, g: usize) -> (f32, f32) {
+        let [_, c, h, w] = x.shape();
+        let cpg = c / self.groups;
+        let m = (cpg * h * w) as f32;
+        let mut mean = 0.0f32;
+        for ci in g * cpg..(g + 1) * cpg {
+            mean += x.plane(b, ci).iter().sum::<f32>();
+        }
+        mean /= m;
+        let mut var = 0.0f32;
+        for ci in g * cpg..(g + 1) * cpg {
+            var += x.plane(b, ci).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>();
+        }
+        var /= m;
+        (mean, 1.0 / (var + self.eps).sqrt())
+    }
 }
 
 impl Layer for GroupNorm {
     fn forward(&mut self, x: Tensor) -> Tensor {
         assert_eq!(x.c(), self.channels, "channel mismatch");
-        let [n, c, h, w] = x.shape();
+        let [n, c, _h, _w] = x.shape();
         let cpg = c / self.groups;
-        let m = (cpg * h * w) as f32;
         let mut xhat = Tensor::zeros(x.shape());
         let mut inv_sigma = Vec::with_capacity(n * self.groups);
         for b in 0..n {
             for g in 0..self.groups {
-                let mut mean = 0.0f32;
-                for ci in g * cpg..(g + 1) * cpg {
-                    mean += x.plane(b, ci).iter().sum::<f32>();
-                }
-                mean /= m;
-                let mut var = 0.0f32;
-                for ci in g * cpg..(g + 1) * cpg {
-                    var += x.plane(b, ci).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>();
-                }
-                var /= m;
-                let is = 1.0 / (var + self.eps).sqrt();
+                let (mean, is) = self.group_stats(&x, b, g);
                 inv_sigma.push(is);
                 for ci in g * cpg..(g + 1) * cpg {
                     let src = x.plane(b, ci).to_vec();
@@ -93,6 +103,30 @@ impl Layer for GroupNorm {
             }
         }
         self.cache = Some((xhat, inv_sigma));
+        y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.c(), self.channels, "channel mismatch");
+        let [n, c, _h, _w] = x.shape();
+        let cpg = c / self.groups;
+        let mut y = Tensor::from_vec(x.shape(), ws.take(x.len()));
+        for b in 0..n {
+            for g in 0..self.groups {
+                let (mean, is) = self.group_stats(x, b, g);
+                for ci in g * cpg..(g + 1) * cpg {
+                    let (gam, bet) = (self.gamma.value[ci], self.beta.value[ci]);
+                    let src = x.plane(b, ci);
+                    let dst = y.plane_mut(b, ci);
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        // Same two rounding steps as the training path:
+                        // x̂ first, then the affine map.
+                        let xh = (s - mean) * is;
+                        *d = gam * xh + bet;
+                    }
+                }
+            }
+        }
         y
     }
 

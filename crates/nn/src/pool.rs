@@ -2,7 +2,47 @@
 
 use crate::param::Param;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use crate::Layer;
+
+/// 2×2 average pooling of `x` into `y` (shared by train/infer paths).
+fn avgpool_into(x: &Tensor, y: &mut Tensor) {
+    let [n, c, h, w] = x.shape();
+    let (oh, ow) = (h / 2, w / 2);
+    for b in 0..n {
+        for ci in 0..c {
+            let src = x.plane(b, ci);
+            let dst = y.plane_mut(b, ci);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let s = src[(2 * oy) * w + 2 * ox]
+                        + src[(2 * oy) * w + 2 * ox + 1]
+                        + src[(2 * oy + 1) * w + 2 * ox]
+                        + src[(2 * oy + 1) * w + 2 * ox + 1];
+                    dst[oy * ow + ox] = 0.25 * s;
+                }
+            }
+        }
+    }
+}
+
+/// 2× nearest-neighbour upsampling of `x` into `y`.
+fn upsample_into(x: &Tensor, y: &mut Tensor) {
+    let [n, c, h, _w] = x.shape();
+    let w = x.w();
+    let (oh, ow) = (h * 2, w * 2);
+    for b in 0..n {
+        for ci in 0..c {
+            let src = x.plane(b, ci);
+            let dst = y.plane_mut(b, ci);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    dst[oy * ow + ox] = src[(oy / 2) * w + ox / 2];
+                }
+            }
+        }
+    }
+}
 
 /// 2×2 average pooling (halves height and width).
 ///
@@ -31,24 +71,17 @@ impl Layer for AvgPool2 {
     fn forward(&mut self, x: Tensor) -> Tensor {
         let [n, c, h, w] = x.shape();
         assert!(h % 2 == 0 && w % 2 == 0, "spatial dims must be even");
-        let (oh, ow) = (h / 2, w / 2);
-        let mut y = Tensor::zeros([n, c, oh, ow]);
-        for b in 0..n {
-            for ci in 0..c {
-                let src = x.plane(b, ci);
-                let dst = y.plane_mut(b, ci);
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let s = src[(2 * oy) * w + 2 * ox]
-                            + src[(2 * oy) * w + 2 * ox + 1]
-                            + src[(2 * oy + 1) * w + 2 * ox]
-                            + src[(2 * oy + 1) * w + 2 * ox + 1];
-                        dst[oy * ow + ox] = 0.25 * s;
-                    }
-                }
-            }
-        }
+        let mut y = Tensor::zeros([n, c, h / 2, w / 2]);
+        avgpool_into(&x, &mut y);
         self.input_shape = Some(x.shape());
+        y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let [n, c, h, w] = x.shape();
+        assert!(h % 2 == 0 && w % 2 == 0, "spatial dims must be even");
+        let mut y = Tensor::from_vec([n, c, h / 2, w / 2], ws.take(n * c * (h / 2) * (w / 2)));
+        avgpool_into(x, &mut y);
         y
     }
 
@@ -94,20 +127,16 @@ impl Upsample2 {
 impl Layer for Upsample2 {
     fn forward(&mut self, x: Tensor) -> Tensor {
         let [n, c, h, w] = x.shape();
-        let (oh, ow) = (h * 2, w * 2);
-        let mut y = Tensor::zeros([n, c, oh, ow]);
-        for b in 0..n {
-            for ci in 0..c {
-                let src = x.plane(b, ci);
-                let dst = y.plane_mut(b, ci);
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        dst[oy * ow + ox] = src[(oy / 2) * w + ox / 2];
-                    }
-                }
-            }
-        }
+        let mut y = Tensor::zeros([n, c, h * 2, w * 2]);
+        upsample_into(&x, &mut y);
         self.input_shape = Some(x.shape());
+        y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let [n, c, h, w] = x.shape();
+        let mut y = Tensor::from_vec([n, c, h * 2, w * 2], ws.take(n * c * h * 2 * w * 2));
+        upsample_into(x, &mut y);
         y
     }
 

@@ -2,6 +2,7 @@
 
 use crate::param::Param;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use crate::Layer;
 
 /// A chain of layers applied in order (backward runs in reverse).
@@ -52,6 +53,20 @@ impl std::fmt::Debug for Sequential {
 impl Layer for Sequential {
     fn forward(&mut self, x: Tensor) -> Tensor {
         self.layers.iter_mut().fold(x, |x, l| l.forward(x))
+    }
+
+    fn forward_infer(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut layers = self.layers.iter_mut();
+        let mut h = match layers.next() {
+            Some(l) => l.forward_infer(x, ws),
+            None => x.clone(),
+        };
+        for l in layers {
+            let next = l.forward_infer(&h, ws);
+            ws.give(h.into_vec());
+            h = next;
+        }
+        h
     }
 
     fn backward(&mut self, grad: Tensor) -> Tensor {

@@ -1,0 +1,51 @@
+//! Routing test for [`pp_nn::gemm::set_force_naive`].
+//!
+//! The switch is process-global, so this lives in its own integration
+//! binary (one process, one test): toggling it inside the `pp-nn` lib
+//! tests would race the parallel bitwise-equality tests, which read the
+//! flag on every kernel call.
+
+use pp_nn::gemm::{force_naive, set_force_naive, sgemm};
+use pp_nn::{Conv2d, Layer, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+#[test]
+fn force_naive_switch_routes_gemm_and_conv() {
+    let (m, k, n) = (3usize, 5usize, 4usize);
+    let a = random_vec(m * k, 11);
+    let b = random_vec(k * n, 12);
+    let mut c_blocked = vec![0.0; m * n];
+    sgemm(m, k, n, &a, &b, &mut c_blocked, 0.0);
+
+    set_force_naive(true);
+    assert!(force_naive());
+    let mut c_naive = vec![0.0; m * n];
+    sgemm(m, k, n, &a, &b, &mut c_naive, 0.0);
+
+    // Conv2d under the reference path must still agree with the blocked
+    // path within float tolerance.
+    let mut conv = Conv2d::new(2, 3, 3, 7);
+    let x = Tensor::from_vec([1, 2, 6, 6], random_vec(72, 21));
+    let y_naive = conv.forward(x.clone());
+    set_force_naive(false);
+    let y_blocked = conv.forward(x);
+
+    for (i, (&p, &q)) in c_blocked.iter().zip(&c_naive).enumerate() {
+        assert!(
+            (p - q).abs() <= 1e-5 * (1.0 + p.abs().max(q.abs())),
+            "gemm mismatch at {i}: {p} vs {q}"
+        );
+    }
+    for (i, (&p, &q)) in y_blocked.data().iter().zip(y_naive.data()).enumerate() {
+        assert!(
+            (p - q).abs() <= 1e-4 * (1.0 + p.abs().max(q.abs())),
+            "conv mismatch at {i}: {p} vs {q}"
+        );
+    }
+}

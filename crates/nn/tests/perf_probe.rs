@@ -1,0 +1,42 @@
+//! Kernel-throughput diagnostics (not part of tier-1: run with
+//! `cargo test --release -p pp-nn --test perf_probe -- --ignored --nocapture`).
+//!
+//! Prints GF/s for the blocked and reference GEMM at the shapes the
+//! standard 32×32 U-Net actually runs, so kernel regressions show up as
+//! numbers rather than as a mysteriously slower `sampling_bench`.
+
+use pp_nn::gemm::{sgemm, sgemm_naive};
+use std::time::Instant;
+
+fn gflops(m: usize, k: usize, n: usize, iters: usize, f: impl Fn(&[f32], &[f32], &mut [f32])) -> f64 {
+    let a = vec![0.5f32; m * k];
+    let b = vec![0.25f32; k * n];
+    let mut c = vec![0.0f32; m * n];
+    f(&a, &b, &mut c); // warmup
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f(&a, &b, &mut c);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (2.0 * m as f64 * k as f64 * n as f64 * iters as f64) / secs / 1e9
+}
+
+#[test]
+#[ignore = "perf diagnostic, not a correctness test"]
+fn probe_gemm_rates() {
+    // (m, k, n) = (out_c, in_c·k², h·w) for the U-Net's heaviest convs,
+    // plus two wide-n shapes approximating a 16-job micro-batch.
+    for &(m, k, n) in &[
+        (16usize, 144usize, 1024usize),
+        (32, 288, 256),
+        (64, 576, 64),
+        (32, 864, 256),
+        (16, 432, 1024),
+        (32, 288, 4096),
+        (16, 432, 16384),
+    ] {
+        let blocked = gflops(m, k, n, 200, |a, b, c| sgemm(m, k, n, a, b, c, 0.0));
+        let naive = gflops(m, k, n, 50, |a, b, c| sgemm_naive(m, k, n, a, b, c, 0.0));
+        println!("{m}x{k}x{n}: blocked {blocked:.2} GF/s, reference {naive:.2} GF/s");
+    }
+}
