@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# The tier-1 gate: everything a PR must keep green.
+# Run from the repository root: ./ci.sh
+set -euo pipefail
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all checks passed"

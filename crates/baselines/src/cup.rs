@@ -3,7 +3,9 @@
 use crate::topo::{layout_to_topo_image, topo_image_to_matrix, TOPO_SIDE};
 use pp_drc::{check_layout, RuleDeck};
 use pp_geometry::{GrayImage, Layout};
-use pp_nn::{Adam, AvgPool2, Conv2d, Layer, Linear, Param, Sequential, Silu, Tanh, Tensor, Upsample2};
+use pp_nn::{
+    Adam, AvgPool2, Conv2d, Layer, Linear, Param, Sequential, Silu, Tanh, Tensor, Upsample2,
+};
 use pp_solver::{LegalizeSolver, SolverConfig, SolverSetting};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,6 +76,11 @@ pub struct BaselineOutcome {
 }
 
 impl CupBaseline {
+    /// The clip side length generated layouts target.
+    pub fn clip(&self) -> u32 {
+        self.clip
+    }
+
     /// Creates an untrained baseline targeting 32×32 clips judged by
     /// `deck`.
     pub fn new(deck: RuleDeck, seed: u64) -> Self {
@@ -118,10 +125,7 @@ impl CupBaseline {
         lr: f32,
         seed: u64,
     ) -> f32 {
-        let images: Vec<GrayImage> = training
-            .iter()
-            .filter_map(layout_to_topo_image)
-            .collect();
+        let images: Vec<GrayImage> = training.iter().filter_map(layout_to_topo_image).collect();
         assert!(!images.is_empty(), "no usable training topologies");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut opt_e = Adam::new(lr);

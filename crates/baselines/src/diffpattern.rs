@@ -35,6 +35,11 @@ pub struct DiffPatternBaseline {
 }
 
 impl DiffPatternBaseline {
+    /// The clip side length generated layouts target.
+    pub fn clip(&self) -> u32 {
+        self.clip
+    }
+
     /// Creates an untrained baseline judged by `deck`.
     pub fn new(deck: RuleDeck, seed: u64) -> Self {
         let cfg = DiffusionConfig {
@@ -55,12 +60,12 @@ impl DiffPatternBaseline {
 
     /// Trains the topology diffusion model on DR-clean layouts.
     pub fn train(&mut self, training: &[Layout], steps: usize, batch: usize, lr: f32, seed: u64) {
-        let images: Vec<GrayImage> = training
-            .iter()
-            .filter_map(layout_to_topo_image)
-            .collect();
+        let images: Vec<GrayImage> = training.iter().filter_map(layout_to_topo_image).collect();
         assert!(!images.is_empty(), "no usable training topologies");
-        let _ = self.model.train(&images, steps, batch, lr, seed);
+        let _ = self
+            .model
+            .train(&images, steps, batch, lr, seed)
+            .expect("topology images match the model size by construction");
     }
 
     /// Samples `n` topologies unconditionally, legalizes each with the
@@ -80,7 +85,8 @@ impl DiffPatternBaseline {
                 let start = std::time::Instant::now();
                 let sample = self
                     .model
-                    .sample_inpaint(&blank, &full, seed.wrapping_add(i as u64));
+                    .sample_inpaint(&blank, &full, seed.wrapping_add(i as u64))
+                    .expect("topology canvases match the model size by construction");
                 let outcome = legalize_and_check(&sample, &solver, &self.deck, seed ^ i as u64);
                 BaselineOutcome {
                     seconds: start.elapsed().as_secs_f64(),

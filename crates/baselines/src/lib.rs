@@ -24,8 +24,10 @@
 
 pub mod cup;
 pub mod diffpattern;
+pub mod sampler;
 pub mod topo;
 
 pub use cup::CupBaseline;
 pub use diffpattern::DiffPatternBaseline;
+pub use sampler::{CupSampler, DiffPatternSampler};
 pub use topo::{layout_to_topo_image, topo_image_to_matrix, TOPO_SIDE};

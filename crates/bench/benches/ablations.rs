@@ -15,11 +15,13 @@ fn bench_denoise_threshold(c: &mut Criterion) {
     let node = SynthNode::default();
     let model = DiffusionModel::new(DiffusionConfig::standard(node.clip()), 0);
     let starter = node.starter_patterns()[0].clone();
-    let raw = model.sample_inpaint(
-        &GrayImage::from_layout(&starter),
-        MaskSet::Default.masks(node.clip())[0].as_image(),
-        3,
-    );
+    let raw = model
+        .sample_inpaint(
+            &GrayImage::from_layout(&starter),
+            MaskSet::Default.masks(node.clip())[0].as_image(),
+            3,
+        )
+        .unwrap();
     let mut group = c.benchmark_group("denoise_threshold");
     for t in [1u32, 2, 4] {
         let d = TemplateDenoiser::new(t);
@@ -35,11 +37,13 @@ fn bench_denoiser_schemes(c: &mut Criterion) {
     let node = SynthNode::default();
     let model = DiffusionModel::new(DiffusionConfig::standard(node.clip()), 0);
     let starter = node.starter_patterns()[0].clone();
-    let raw = model.sample_inpaint(
-        &GrayImage::from_layout(&starter),
-        MaskSet::Default.masks(node.clip())[0].as_image(),
-        3,
-    );
+    let raw = model
+        .sample_inpaint(
+            &GrayImage::from_layout(&starter),
+            MaskSet::Default.masks(node.clip())[0].as_image(),
+            3,
+        )
+        .unwrap();
     let mut group = c.benchmark_group("denoiser_scheme");
     let schemes: [&dyn Denoiser; 3] = [
         &TemplateDenoiser::new(2),
@@ -56,9 +60,7 @@ fn bench_denoiser_schemes(c: &mut Criterion) {
 /// (the paper's Algorithm 2 vs a no-PCA ablation).
 fn bench_selection(c: &mut Criterion) {
     let node = SynthNode::default();
-    let library: Vec<_> = (0..8)
-        .flat_map(|_| node.starter_patterns())
-        .collect();
+    let library: Vec<_> = (0..8).flat_map(|_| node.starter_patterns()).collect();
     let mut group = c.benchmark_group("selection");
     group.sample_size(10);
     group.bench_function("pca_farthest_point", |b| {
@@ -92,7 +94,7 @@ fn bench_model_width(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                model.sample_inpaint(&img, &mask, seed)
+                model.sample_inpaint(&img, &mask, seed).unwrap()
             })
         });
     }

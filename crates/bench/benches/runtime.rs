@@ -21,7 +21,7 @@ fn bench_inpaint(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            model.sample_inpaint(&img, mask.as_image(), seed)
+            model.sample_inpaint(&img, mask.as_image(), seed).unwrap()
         });
     });
 }
@@ -33,7 +33,7 @@ fn bench_denoise(c: &mut Criterion) {
     let starter = node.starter_patterns()[0].clone();
     let img = GrayImage::from_layout(&starter);
     let mask = MaskSet::Default.masks(node.clip())[0].clone();
-    let raw = model.sample_inpaint(&img, mask.as_image(), 7);
+    let raw = model.sample_inpaint(&img, mask.as_image(), 7).unwrap();
     let denoiser = TemplateDenoiser::new(2);
     c.bench_function("template_denoise_one_sample", |b| {
         b.iter(|| denoiser.denoise(&raw, &starter));

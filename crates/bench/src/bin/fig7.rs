@@ -12,14 +12,17 @@ fn main() {
     let iterations = 5usize;
     let mut jall = Vec::new();
 
-    println!("Figure 7 — iterative generation metrics (iterations 1..{})", iterations + 1);
+    println!(
+        "Figure 7 — iterative generation metrics (iterations 1..{})",
+        iterations + 1
+    );
     for variant in VARIANTS {
         let mut cfg_v = cfg;
         cfg_v.variations = scale();
         cfg_v.samples_per_iteration = 150 * scale();
         let pp = cached_pipeline(variant, &cfg_v);
         eprintln!("[fig7] {}: initial generation...", variant.name);
-        let round = pp.initial_generation();
+        let round = pp.initial_generation().expect("round runs");
         let mut library = round.library.clone();
         library.extend(pp.starters().iter().cloned());
         let s0 = library.stats();
@@ -30,13 +33,19 @@ fn main() {
         );
         println!(
             "{:>5} {:>12} {:>13} {:>7.2} {:>7.2}",
-            1, round.legal, library.len(), s0.h1, s0.h2
+            1,
+            round.legal,
+            library.len(),
+            s0.h1,
+            s0.h2
         );
         let mut jser = vec![json!({
             "iter": 1, "legal": round.legal, "unique": library.len(),
             "h1": s0.h1, "h2": s0.h2,
         })];
-        let stats = pp.iterative_generation(&mut library, iterations, round.legal);
+        let stats = pp
+            .iterative_generation(&mut library, iterations, round.legal)
+            .expect("iterations run");
         for st in &stats {
             println!(
                 "{:>5} {:>12} {:>13} {:>7.2} {:>7.2}",

@@ -17,7 +17,14 @@ use std::path::PathBuf;
 fn main() {
     let node = SynthNode::default();
     let cfg = PipelineConfig::standard();
-    let pp = cached_pipeline(Variant { name: "sd1-ft", seed: 101, finetuned: true }, &cfg);
+    let pp = cached_pipeline(
+        Variant {
+            name: "sd1-ft",
+            seed: 101,
+            finetuned: true,
+        },
+        &cfg,
+    );
 
     let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results/fig8");
     let _ = fs::create_dir_all(&out_dir);
@@ -39,7 +46,9 @@ fn main() {
     let mut attempt = 0u64;
     while found < 5 && attempt < 400 {
         let mask = &masks[(attempt as usize) % masks.len()];
-        let raw = pp.generate_raw(&[(starter.clone(), mask.clone())], 0xf18 + attempt);
+        let raw = pp
+            .generate_raw(&[(starter.clone(), mask.clone())], 0xf18 + attempt)
+            .expect("job is well-formed");
         attempt += 1;
         let candidate = denoiser.denoise(&raw[0].raw, &starter);
         if candidate == starter || candidate.metal_area() == 0 {

@@ -13,7 +13,11 @@
 //!    * `per_sample_gemm` — batch size 1 through the blocked kernels
 //!      (isolates the GEMM win);
 //!    * `batched_gemm` — micro-batched through the blocked kernels (the
-//!      production path; adds the batching win).
+//!      production path; adds the batching win);
+//!    * `streamed_gemm` — the same micro-batched workers delivering
+//!      through the bounded-channel stream that backs
+//!      `generate_stream` and the round entry points (guards the
+//!      streaming redesign against regressing the batch path).
 //!
 //! All modes run the same worker-thread count, so the reported speedup
 //! is purely kernels + batching. Results go to `BENCH_sampling.json` at
@@ -22,7 +26,7 @@
 //! Run: `cargo run --release -p pp-bench --bin sampling_bench`
 
 use patternpaint_core::PipelineConfig;
-use pp_diffusion::{DiffusionConfig, DiffusionModel};
+use pp_diffusion::{CancelToken, DiffusionConfig, DiffusionModel};
 use pp_geometry::GrayImage;
 use pp_inpaint::MaskSet;
 use pp_nn::gemm;
@@ -42,17 +46,42 @@ struct ModeResult {
 
 fn run_mode(
     name: &'static str,
-    model: &DiffusionModel,
+    model: &std::sync::Arc<DiffusionModel>,
     jobs: &[(GrayImage, GrayImage)],
     threads: usize,
     batch_size: usize,
     naive: bool,
+    streamed: bool,
 ) -> ModeResult {
     gemm::set_force_naive(naive);
     // Warm up allocator pools and caches on a small prefix.
-    let _ = model.sample_inpaint_batch_sized(&jobs[..threads.min(jobs.len())], 1, threads, batch_size);
+    let _ = model
+        .sample_inpaint_batch_sized(&jobs[..threads.min(jobs.len())], 1, threads, batch_size)
+        .expect("warmup jobs are well-formed");
     let t0 = Instant::now();
-    let out = model.sample_inpaint_batch_sized(jobs, 42, threads, batch_size);
+    let out = if streamed {
+        // The bounded-channel delivery path behind generate_stream,
+        // consumed with a small per-worker buffer (real backpressure).
+        let stream = model
+            .sample_inpaint_stream(
+                jobs.to_vec(),
+                42,
+                threads,
+                batch_size,
+                2,
+                CancelToken::new(),
+            )
+            .expect("jobs are well-formed");
+        let mut out = Vec::with_capacity(jobs.len());
+        for mb in stream {
+            out.extend(mb.samples);
+        }
+        out
+    } else {
+        model
+            .sample_inpaint_batch_sized(jobs, 42, threads, batch_size)
+            .expect("jobs are well-formed")
+    };
     let seconds = t0.elapsed().as_secs_f64();
     gemm::set_force_naive(false);
     assert_eq!(out.len(), jobs.len());
@@ -78,7 +107,9 @@ fn main() {
         .collect();
     let mut tiny = DiffusionModel::new(DiffusionConfig::tiny(16), 7);
     let t0 = Instant::now();
-    let report = tiny.train(&corpus, tiny_steps, 4, 2e-3, 3);
+    let report = tiny
+        .train(&corpus, tiny_steps, 4, 2e-3, 3)
+        .expect("corpus is well-formed");
     let pretrain_s = t0.elapsed().as_secs_f64();
     println!(
         "pretrain-tiny: {tiny_steps} steps in {pretrain_s:.3}s ({:.1} steps/s, final loss {:.4})",
@@ -88,7 +119,7 @@ fn main() {
 
     // 2. 64-job inpaint batch on the standard model (untrained weights:
     // runtime is architecture-bound, not weight-bound).
-    let model = DiffusionModel::new(cfg.model, 0);
+    let model = std::sync::Arc::new(DiffusionModel::new(cfg.model, 0));
     let starters = node.starter_patterns();
     let masks = MaskSet::Default.masks(node.clip());
     let jobs: Vec<(GrayImage, GrayImage)> = (0..JOBS)
@@ -101,9 +132,26 @@ fn main() {
         .collect();
 
     let modes = [
-        run_mode("per_sample_naive", &model, &jobs, threads, 1, true),
-        run_mode("per_sample_gemm", &model, &jobs, threads, 1, false),
-        run_mode("batched_gemm", &model, &jobs, threads, cfg.batch_size, false),
+        run_mode("per_sample_naive", &model, &jobs, threads, 1, true, false),
+        run_mode("per_sample_gemm", &model, &jobs, threads, 1, false, false),
+        run_mode(
+            "batched_gemm",
+            &model,
+            &jobs,
+            threads,
+            cfg.batch_size,
+            false,
+            false,
+        ),
+        run_mode(
+            "streamed_gemm",
+            &model,
+            &jobs,
+            threads,
+            cfg.batch_size,
+            false,
+            true,
+        ),
     ];
 
     println!();
@@ -118,8 +166,10 @@ fn main() {
         );
     }
     let speedup = modes[2].samples_per_sec / modes[0].samples_per_sec;
+    let stream_ratio = modes[3].samples_per_sec / modes[2].samples_per_sec;
     println!();
     println!("batched_gemm vs per_sample_naive (pre-rework path): {speedup:.2}x");
+    println!("streamed_gemm vs batched_gemm (stream delivery overhead): {stream_ratio:.2}x");
 
     let mode_rows: Vec<serde_json::Value> = modes
         .iter()
@@ -151,6 +201,7 @@ fn main() {
         "pretrain_tiny": pretrain,
         "modes": mode_rows,
         "speedup_batched_vs_per_sample_naive": speedup,
+        "streamed_vs_batched": stream_ratio,
     });
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sampling.json");
     match serde_json::to_string_pretty(&out) {

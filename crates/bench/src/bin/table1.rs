@@ -1,18 +1,32 @@
 //! Regenerates Table I: performance comparison for layout pattern
 //! generation (starters, CUP, DiffPattern, PatternPaint ×4, init+iter).
 //!
+//! Every method runs through the one `run_round` stage harness: the
+//! baselines behind their `Sampler` adapters with a pass-through
+//! denoiser, PatternPaint through its own (stream-backed) round entry
+//! points.
+//!
 //! Run: `cargo run -p pp-bench --release --bin table1`
 //! Scale up with `PP_SCALE=5` (multiplies sample counts).
 
-use patternpaint_core::{PatternLibrary, PipelineConfig};
-use pp_baselines::{CupBaseline, DiffPatternBaseline};
+use patternpaint_core::{
+    run_round, DrcValidator, GenerationRequest, JobSet, PatternLibrary, PipelineConfig, Sampler,
+    StreamOptions,
+};
+use pp_baselines::{CupBaseline, CupSampler, DiffPatternBaseline, DiffPatternSampler};
 use pp_bench::{cached_pipeline, dump_json, fmt_header, fmt_row, scale, VARIANTS};
 use pp_geometry::Layout;
+use pp_inpaint::{Mask, ThresholdDenoiser};
 use pp_metrics::LibraryStats;
 use pp_pdk::{RuleBasedGenerator, SynthNode};
 use serde_json::json;
 
-fn stats_row(name: &str, generated: usize, legal: usize, patterns: &[Layout]) -> (String, serde_json::Value) {
+fn stats_row(
+    name: &str,
+    generated: usize,
+    legal: usize,
+    patterns: &[Layout],
+) -> (String, serde_json::Value) {
     let stats = LibraryStats::from_layouts(patterns);
     let row = fmt_row(name, generated, legal, stats.unique, stats.h1, stats.h2);
     let j = json!({
@@ -20,6 +34,49 @@ fn stats_row(name: &str, generated: usize, legal: usize, patterns: &[Layout]) ->
         "unique": stats.unique, "h1": stats.h1, "h2": stats.h2,
     });
     (row, j)
+}
+
+/// A fixed-count request for whole-pattern samplers: the mask is unused
+/// by the baselines, the templates cycle through the training pool.
+fn baseline_request(
+    node: &SynthNode,
+    templates: &[Layout],
+    n: usize,
+    seed: u64,
+) -> GenerationRequest {
+    let jobs = JobSet::cycle(templates, &[Mask::full(node.clip())], n);
+    GenerationRequest::new(jobs, seed)
+}
+
+/// One harness pass for a baseline sampler: sample → threshold →
+/// sign-off deck, identical plumbing to the PatternPaint rounds.
+///
+/// Note a deliberate semantics change vs the pre-harness bench: H1/H2
+/// for baseline rows are now computed over the *deduplicated* library
+/// (as the PatternPaint rows always were), not the multiset of legal
+/// samples, so every row of the table reads the same way.
+fn run_baseline(
+    sampler: &dyn Sampler,
+    node: &SynthNode,
+    templates: &[Layout],
+    n: usize,
+    seed: u64,
+) -> (String, serde_json::Value) {
+    let request = baseline_request(node, templates, n, seed);
+    let round = run_round(
+        sampler,
+        &ThresholdDenoiser::new(),
+        &DrcValidator::new(node.rules().clone()),
+        &request,
+        &StreamOptions::default(),
+    )
+    .expect("baseline harness runs");
+    stats_row(
+        sampler.name(),
+        round.generated,
+        round.legal,
+        round.library.patterns(),
+    )
 }
 
 fn main() {
@@ -46,9 +103,8 @@ fn main() {
     eprintln!("[table1] training CUP on 1000 samples...");
     let mut cup = CupBaseline::new(node.rules().clone(), 5);
     cup.train(&training, 400, 8, 2e-3, 5);
-    let outcomes = cup.generate(&training, n_baseline, 5);
-    let legal: Vec<Layout> = outcomes.iter().filter(|o| o.legal).filter_map(|o| o.layout.clone()).collect();
-    let (row, j) = stats_row("CUP", n_baseline, legal.len(), &legal);
+    let cup_sampler = CupSampler::new(cup, training.clone());
+    let (row, j) = run_baseline(&cup_sampler, &node, &training, n_baseline, 5);
     println!("{row}");
     rows.push(row);
     jsons.push(j);
@@ -56,22 +112,22 @@ fn main() {
     eprintln!("[table1] training DiffPattern on 1000 samples...");
     let mut dp = DiffPatternBaseline::new(node.rules().clone(), 6);
     dp.train(&training, 400, 8, 2e-3, 6);
+    let dp_sampler = DiffPatternSampler::new(dp);
     let n_dp = 150 * scale;
-    let outcomes = dp.generate(n_dp, 6);
-    let legal: Vec<Layout> = outcomes.iter().filter(|o| o.legal).filter_map(|o| o.layout.clone()).collect();
-    let (row, j) = stats_row("DiffPattern", n_dp, legal.len(), &legal);
+    let (row, j) = run_baseline(&dp_sampler, &node, &training, n_dp, 6);
     println!("{row}");
     rows.push(row);
     jsons.push(j);
 
-    // PatternPaint variants: init then iter.
+    // PatternPaint variants: init then iter (the same harness, via the
+    // pipeline's stream-backed round entry points).
     let mut iter_rows = Vec::new();
     for variant in VARIANTS {
         let mut cfg_v = cfg;
         cfg_v.variations = scale.max(1);
         let pp = cached_pipeline(variant, &cfg_v);
         eprintln!("[table1] {} initial generation...", variant.name);
-        let round = pp.initial_generation();
+        let round = pp.initial_generation().expect("round runs");
         let (row, j) = stats_row(
             &format!("PatternPaint-{}-init", variant.name),
             round.generated,
@@ -85,7 +141,9 @@ fn main() {
         eprintln!("[table1] {} iterative generation...", variant.name);
         let mut library = round.library.clone();
         library.extend(pp.starters().iter().cloned());
-        let stats = pp.iterative_generation(&mut library, 3, round.legal);
+        let stats = pp
+            .iterative_generation(&mut library, 3, round.legal)
+            .expect("iterations run");
         let last = stats.last().expect("at least one iteration");
         let total_generated = round.generated + stats.iter().map(|s| s.generated).sum::<usize>();
         let (row, j) = stats_row(

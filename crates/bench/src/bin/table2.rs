@@ -1,68 +1,84 @@
 //! Regenerates Table II: average per-sample runtime of PatternPaint's
 //! inpainting and denoising versus DiffPattern's sample+legalize path.
 //!
+//! Both generation paths run through the `Sampler` trait (a
+//! single-worker `DiffusionSampler` for PatternPaint, the
+//! `DiffPatternSampler` adapter for the baseline), so the timings cover
+//! the same harness the other benches drive.
+//!
 //! Run: `cargo run -p pp-bench --release --bin table2`
 
-use patternpaint_core::PipelineConfig;
-use pp_baselines::DiffPatternBaseline;
+use patternpaint_core::{
+    DiffusionSampler, GenerationRequest, JobSet, PatternDenoiser, PipelineConfig, Sampler,
+};
+use pp_baselines::{DiffPatternBaseline, DiffPatternSampler};
 use pp_bench::{cached_pipeline, dump_json, Variant};
-use pp_geometry::GrayImage;
-use pp_inpaint::{Denoiser, MaskSet, TemplateDenoiser};
+use pp_inpaint::{Mask, MaskSet, TemplateDenoiser};
 use pp_pdk::{RuleBasedGenerator, SynthNode};
 use serde_json::json;
 use std::time::Instant;
 
+/// n jobs cycling starters × default masks.
+fn inpaint_jobs(node: &SynthNode, n: usize) -> JobSet {
+    let masks = MaskSet::Default.masks(node.clip());
+    JobSet::cycle(&node.starter_patterns(), &masks, n)
+}
+
 fn main() {
     let node = SynthNode::default();
     let cfg = PipelineConfig::standard();
-    let variant = Variant { name: "sd1-ft", seed: 101, finetuned: true };
+    let variant = Variant {
+        name: "sd1-ft",
+        seed: 101,
+        finetuned: true,
+    };
     let pp = cached_pipeline(variant, &cfg);
 
     let n = 40usize;
-    let starters = pp.starters().to_vec();
-    let masks = MaskSet::Default.masks(node.clip());
 
-    // PatternPaint inpainting runtime (single-threaded, per sample).
+    // PatternPaint inpainting runtime (single worker, batch size 1:
+    // per-sample semantics through the Sampler trait).
+    let sampler = DiffusionSampler::new(pp.model().clone(), 1, 1);
+    let jobs = inpaint_jobs(&node, n);
     let t0 = Instant::now();
-    for i in 0..n {
-        let s = &starters[i % starters.len()];
-        let m = &masks[i % masks.len()];
-        let _ = pp
-            .model()
-            .sample_inpaint(&GrayImage::from_layout(s), m.as_image(), i as u64);
-    }
+    let raws = sampler.sample(&jobs, 0).expect("jobs are well-formed");
     let inpaint_avg = t0.elapsed().as_secs_f64() / n as f64;
 
-    // Template denoising runtime.
-    let raws: Vec<(GrayImage, &pp_geometry::Layout)> = (0..n)
-        .map(|i| {
-            let s = &starters[i % starters.len()];
-            let m = &masks[i % masks.len()];
-            (
-                pp.model()
-                    .sample_inpaint(&GrayImage::from_layout(s), m.as_image(), 1000 + i as u64),
-                s,
-            )
-        })
-        .collect();
+    // Template denoising runtime over the same raw batch.
     let denoiser = TemplateDenoiser::new(2);
     let t0 = Instant::now();
-    for (raw, template) in &raws {
-        let _ = denoiser.denoise(raw, template);
+    for raw in &raws {
+        let _ = denoiser.denoise_sample(raw);
     }
     let denoise_avg = t0.elapsed().as_secs_f64() / n as f64;
 
-    // DiffPattern: sample a topology and legalize it with the solver.
+    // DiffPattern: sample a topology and legalize it with the solver,
+    // through the same Sampler trait.
     let training = RuleBasedGenerator::new(node.clone(), 77).generate_batch(200);
     let mut dp = DiffPatternBaseline::new(node.rules().clone(), 6);
     dp.train(&training, 200, 8, 2e-3, 6);
-    let outcomes = dp.generate(n, 9);
-    let dp_avg = outcomes.iter().map(|o| o.seconds).sum::<f64>() / n as f64;
+    let dp_sampler = DiffPatternSampler::new(dp);
+    let dp_jobs = JobSet::cycle(&training, &[Mask::full(node.clip())], n);
+    let request = GenerationRequest::new(dp_jobs, 9);
+    let t0 = Instant::now();
+    let _ = dp_sampler
+        .sample(request.jobs(), request.seed())
+        .expect("baseline jobs run");
+    let dp_avg = t0.elapsed().as_secs_f64() / n as f64;
 
     println!("Table II — average runtime per sample (seconds)");
-    println!("{:<28} {:>12} {:>14}", "method", "measured (s)", "paper (s)");
-    println!("{:<28} {:>12.4} {:>14}", "PatternPaint (inpainting)", inpaint_avg, "0.81");
-    println!("{:<28} {:>12.4} {:>14}", "PatternPaint (denoising)", denoise_avg, "0.21");
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "method", "measured (s)", "paper (s)"
+    );
+    println!(
+        "{:<28} {:>12.4} {:>14}",
+        "PatternPaint (inpainting)", inpaint_avg, "0.81"
+    );
+    println!(
+        "{:<28} {:>12.4} {:>14}",
+        "PatternPaint (denoising)", denoise_avg, "0.21"
+    );
     println!("{:<28} {:>12.4} {:>14}", "DiffPattern", dp_avg, "38.04");
     println!();
     println!(

@@ -41,7 +41,9 @@ fn main() {
                 }
             }
         }
-        let raw = pp.generate_raw(&jobs, 0x7ab1e3);
+        let raw = pp
+            .generate_raw(&jobs, 0x7ab1e3)
+            .expect("jobs are well-formed");
         let rate = |d: &dyn Denoiser| {
             let legal = raw
                 .iter()

@@ -41,10 +41,26 @@ pub struct Variant {
 
 /// All four variants in the paper's row order.
 pub const VARIANTS: [Variant; 4] = [
-    Variant { name: "sd1-base", seed: 101, finetuned: false },
-    Variant { name: "sd2-base", seed: 202, finetuned: false },
-    Variant { name: "sd1-ft", seed: 101, finetuned: true },
-    Variant { name: "sd2-ft", seed: 202, finetuned: true },
+    Variant {
+        name: "sd1-base",
+        seed: 101,
+        finetuned: false,
+    },
+    Variant {
+        name: "sd2-base",
+        seed: 202,
+        finetuned: false,
+    },
+    Variant {
+        name: "sd1-ft",
+        seed: 101,
+        finetuned: true,
+    },
+    Variant {
+        name: "sd2-ft",
+        seed: 202,
+        finetuned: true,
+    },
 ];
 
 /// Sample-count multiplier from the `PP_SCALE` environment variable.
@@ -57,38 +73,50 @@ pub fn scale() -> usize {
 }
 
 fn cache_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/pp-model-cache");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/pp-model-cache");
     let _ = fs::create_dir_all(&dir);
     dir
 }
 
 /// Returns a pipeline for `variant`, pretraining (and finetuning when
 /// requested) only on cache miss; weights are cached on disk.
+///
+/// # Panics
+///
+/// Panics if the (preset) configuration fails pipeline validation —
+/// a bench-harness bug, not a runtime condition.
 pub fn cached_pipeline(variant: Variant, cfg: &PipelineConfig) -> PatternPaint {
     let node = SynthNode::default();
     let stage = if variant.finetuned { "ft" } else { "base" };
     let path = cache_dir().join(format!("{}-{}.weights", variant.name, stage));
 
-    let mut pp = PatternPaint::untrained(node.clone(), *cfg, variant.seed);
+    let mut pp =
+        PatternPaint::untrained(node.clone(), *cfg, variant.seed).expect("bench presets are valid");
     if let Ok(f) = fs::File::open(&path) {
-        if pp.model_mut().load_weights(BufReader::new(f)).is_ok() {
+        if pp.load_weights(BufReader::new(f)).is_ok() {
             eprintln!("[cache] loaded {}", path.display());
             return pp;
         }
     }
-    eprintln!("[cache] training {} (miss at {})", variant.name, path.display());
+    eprintln!(
+        "[cache] training {} (miss at {})",
+        variant.name,
+        path.display()
+    );
     // Base weights may themselves be cached.
     let mut pp = if variant.finetuned {
-        let base = Variant { finetuned: false, ..variant };
+        let base = Variant {
+            finetuned: false,
+            ..variant
+        };
         let mut pp = cached_pipeline(base, cfg);
-        pp.finetune();
+        pp.finetune().expect("starters are well-formed");
         pp
     } else {
-        PatternPaint::pretrained(node, *cfg, variant.seed)
+        PatternPaint::pretrained(node, *cfg, variant.seed).expect("bench presets are valid")
     };
     if let Ok(f) = fs::File::create(&path) {
-        let _ = pp.model_mut().save_weights(BufWriter::new(f));
+        let _ = pp.save_weights(BufWriter::new(f));
     }
     pp
 }
@@ -105,10 +133,15 @@ pub fn dump_json(name: &str, value: &serde_json::Value) {
 }
 
 /// Formats one Table I-style row.
-pub fn fmt_row(name: &str, generated: usize, legal: usize, unique: usize, h1: f64, h2: f64) -> String {
-    format!(
-        "{name:<24} {generated:>9} {legal:>7} {unique:>7} {h1:>6.2} {h2:>6.2}",
-    )
+pub fn fmt_row(
+    name: &str,
+    generated: usize,
+    legal: usize,
+    unique: usize,
+    h1: f64,
+    h2: f64,
+) -> String {
+    format!("{name:<24} {generated:>9} {legal:>7} {unique:>7} {h1:>6.2} {h2:>6.2}",)
 }
 
 /// The Table I-style header matching [`fmt_row`].

@@ -113,7 +113,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         println!("  {id}");
         f(&mut Bencher {
             iters: self.sample_size,

@@ -34,8 +34,12 @@ pub trait SeedableRng: Sized {
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform sample from `[lo, hi)` (`inclusive = false`) or
     /// `[lo, hi]` (`inclusive = true`).
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! uniform_int {
@@ -59,7 +63,12 @@ macro_rules! uniform_int {
 uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for f32 {
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut R) -> Self {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
         assert!(lo < hi, "cannot sample empty range");
         // 24 uniform bits, exact in f32: unit ∈ [0, 1 − 2⁻²⁴], so the
         // excluded upper bound cannot be produced by cast rounding
@@ -71,7 +80,12 @@ impl SampleUniform for f32 {
 }
 
 impl SampleUniform for f64 {
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut R) -> Self {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
         assert!(lo < hi, "cannot sample empty range");
         // 53 uniform bits, exact in f64: unit ∈ [0, 1 − 2⁻⁵³].
         let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);

@@ -1,0 +1,234 @@
+//! Pipeline assembly.
+
+use crate::config::PipelineConfig;
+use crate::error::PpError;
+use crate::pipeline::PatternPaint;
+use crate::stages::{DrcValidator, PatternDenoiser, Sampler, Selector, Validator};
+use pp_geometry::GrayImage;
+use pp_inpaint::TemplateDenoiser;
+use pp_pdk::{foundation_corpus, SynthNode};
+use std::sync::Arc;
+
+/// Assembles a [`PatternPaint`] pipeline, stage by stage.
+///
+/// Every stage defaults to the paper's implementation; override any of
+/// them to swap in a different backbone (the `pp-baselines` samplers),
+/// denoising scheme, rule deck, or selection policy while keeping the
+/// rest of the harness:
+///
+/// ```no_run
+/// use patternpaint_core::{PatternPaint, PipelineConfig};
+/// use pp_pdk::SynthNode;
+///
+/// let pp = PatternPaint::builder(SynthNode::default(), PipelineConfig::quick())
+///     .seed(42)
+///     .pretrained()?;
+/// # Ok::<(), patternpaint_core::PpError>(())
+/// ```
+pub struct PipelineBuilder {
+    node: SynthNode,
+    cfg: PipelineConfig,
+    seed: u64,
+    sampler: Option<Arc<dyn Sampler>>,
+    denoiser: Option<Arc<dyn PatternDenoiser>>,
+    validator: Option<Arc<dyn Validator>>,
+    selector: Option<Arc<dyn Selector>>,
+}
+
+impl PipelineBuilder {
+    /// Starts a builder targeting `node` under `cfg`.
+    pub fn new(node: SynthNode, cfg: PipelineConfig) -> Self {
+        PipelineBuilder {
+            node,
+            cfg,
+            seed: 0,
+            sampler: None,
+            denoiser: None,
+            validator: None,
+            selector: None,
+        }
+    }
+
+    /// Sets the base RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the sampling stage (default: DDIM inpainting through
+    /// the pipeline's own diffusion model).
+    pub fn sampler(mut self, sampler: impl Sampler + 'static) -> Self {
+        self.sampler = Some(Arc::new(sampler));
+        self
+    }
+
+    /// Replaces the denoising stage (default:
+    /// `TemplateDenoiser::new(cfg.denoise_threshold)`).
+    pub fn denoiser(mut self, denoiser: impl PatternDenoiser + 'static) -> Self {
+        self.denoiser = Some(Arc::new(denoiser));
+        self
+    }
+
+    /// Replaces the validation stage (default: the node's full sign-off
+    /// deck via [`DrcValidator`]).
+    pub fn validator(mut self, validator: impl Validator + 'static) -> Self {
+        self.validator = Some(Arc::new(validator));
+        self
+    }
+
+    /// Replaces the selection stage (default: PCA + constrained
+    /// farthest-point under `cfg`'s parameters).
+    pub fn selector(mut self, selector: impl Selector + 'static) -> Self {
+        self.selector = Some(Arc::new(selector));
+        self
+    }
+
+    /// Builds the pipeline with an *untrained* model.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Config`] when the configuration fails validation,
+    /// [`PpError::Shape`] when the model image size differs from the
+    /// node clip.
+    pub fn untrained(self) -> Result<PatternPaint, PpError> {
+        self.cfg.validate()?;
+        if self.cfg.model.image != self.node.clip() {
+            return Err(PpError::Shape {
+                what: "model image vs node clip".into(),
+                expected: self.node.clip(),
+                actual: self.cfg.model.image,
+            });
+        }
+        let denoiser = self
+            .denoiser
+            .unwrap_or_else(|| Arc::new(TemplateDenoiser::new(self.cfg.denoise_threshold)));
+        let validator = self
+            .validator
+            .unwrap_or_else(|| Arc::new(DrcValidator::new(self.node.rules().clone())));
+        Ok(PatternPaint::assemble(
+            self.node,
+            self.cfg,
+            self.seed,
+            self.sampler,
+            denoiser,
+            validator,
+            self.selector,
+        ))
+    }
+
+    /// Builds the pipeline and pretrains its model on the synthetic
+    /// foundation corpus.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PipelineBuilder::untrained`], plus
+    /// [`PpError::Model`] if the model rejects the corpus.
+    pub fn pretrained(self) -> Result<PatternPaint, PpError> {
+        let mut pp = self.untrained()?;
+        let cfg = *pp.config();
+        let seed = pp.seed();
+        let corpus: Vec<GrayImage> =
+            foundation_corpus(cfg.pretrain.corpus, cfg.model.image, seed ^ 0xf00d)
+                .iter()
+                .map(GrayImage::from_layout)
+                .collect();
+        pp.model_mut().train(
+            &corpus,
+            cfg.pretrain.steps,
+            cfg.pretrain.batch,
+            cfg.pretrain.lr,
+            seed ^ 0xbeef,
+        )?;
+        Ok(pp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobSet;
+    use crate::library::PatternLibrary;
+    use crate::pipeline::RawSample;
+    use crate::stream::GenerationRequest;
+    use pp_geometry::Layout;
+
+    /// A sampler that echoes each template back as its "raw" output.
+    struct EchoSampler;
+
+    impl Sampler for EchoSampler {
+        fn name(&self) -> &str {
+            "echo"
+        }
+
+        fn sample(&self, jobs: &JobSet, _seed: u64) -> Result<Vec<RawSample>, PpError> {
+            Ok(jobs
+                .iter()
+                .map(|(template, _)| RawSample {
+                    template: Arc::clone(template),
+                    raw: GrayImage::from_layout(template),
+                })
+                .collect())
+        }
+    }
+
+    /// A selector that always picks the first k layouts.
+    struct FirstK;
+
+    impl Selector for FirstK {
+        fn select(&self, library: &[Layout], k: usize) -> Vec<usize> {
+            (0..k.min(library.len())).collect()
+        }
+    }
+
+    #[test]
+    fn custom_stages_drive_the_round() {
+        let node = SynthNode::small();
+        let pp = PatternPaint::builder(node, PipelineConfig::tiny())
+            .seed(3)
+            .sampler(EchoSampler)
+            .selector(FirstK)
+            .untrained()
+            .expect("valid config");
+        // Echoed starters are DR-clean by construction, so every sample
+        // is legal and the library dedups to the starter set.
+        let round = pp.initial_generation().expect("round runs");
+        assert_eq!(round.generated, 200);
+        assert_eq!(round.legal, 200);
+        let unique_starters = PatternLibrary::from_patterns(pp.starters().iter().cloned()).len();
+        assert_eq!(round.library.len(), unique_starters);
+
+        let mut library = PatternLibrary::new();
+        library.extend(pp.starters().iter().cloned());
+        let stats = pp
+            .iterative_generation(&mut library, 1, 0)
+            .expect("iteration runs");
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].legal_total > 0, "echoed picks stay legal");
+    }
+
+    #[test]
+    fn custom_sampler_streams_via_fallback() {
+        let node = SynthNode::small();
+        let pp = PatternPaint::builder(node, PipelineConfig::tiny())
+            .sampler(EchoSampler)
+            .untrained()
+            .expect("valid config");
+        let request = GenerationRequest::new(
+            {
+                let mut jobs = JobSet::new();
+                let starter = Arc::new(pp.starters()[0].clone());
+                let mask =
+                    Arc::new(pp_inpaint::MaskSet::Default.masks(pp.node().clip())[0].clone());
+                jobs.push_fan_out(&starter, &mask, 3);
+                jobs
+            },
+            9,
+        );
+        let samples: Vec<_> = pp
+            .generate_stream(&request, &Default::default())
+            .expect("stream starts")
+            .collect::<Result<_, _>>()
+            .expect("no errors");
+        assert_eq!(samples.len(), 3);
+    }
+}

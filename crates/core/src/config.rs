@@ -1,5 +1,6 @@
 //! Pipeline configuration.
 
+use crate::error::PpError;
 use pp_diffusion::DiffusionConfig;
 use serde::{Deserialize, Serialize};
 
@@ -153,19 +154,19 @@ impl PipelineConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// [`PpError::Config`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), PpError> {
         if self.variations == 0 {
-            return Err("variations must be positive".into());
+            return Err(PpError::Config("variations must be positive".into()));
         }
         if self.select_k == 0 {
-            return Err("select_k must be positive".into());
+            return Err(PpError::Config("select_k must be positive".into()));
         }
         if !(0.0..=1.0).contains(&self.max_density) {
-            return Err("max_density must be in [0, 1]".into());
+            return Err(PpError::Config("max_density must be in [0, 1]".into()));
         }
         if !(0.0 < self.pca_explained && self.pca_explained <= 1.0) {
-            return Err("pca_explained must be in (0, 1]".into());
+            return Err(PpError::Config("pca_explained must be in (0, 1]".into()));
         }
         Ok(())
     }

@@ -1,0 +1,136 @@
+//! The pipeline's typed error surface.
+
+use pp_diffusion::ModelError;
+use pp_inpaint::MaskError;
+use pp_selection::SelectionError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong constructing or driving a pipeline.
+///
+/// The generation surface returns these instead of panicking so a
+/// service wrapping the pipeline can map bad requests to client errors
+/// and infrastructure failures to retries, without crashing the worker.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PpError {
+    /// An invalid [`crate::PipelineConfig`] or stage parameter.
+    Config(String),
+    /// An image/clip dimension disagrees with what the pipeline expects.
+    Shape {
+        /// Which dimension is wrong (e.g. `"model image vs node clip"`).
+        what: String,
+        /// The expected side length.
+        expected: u32,
+        /// The side length received.
+        actual: u32,
+    },
+    /// The diffusion model rejected a training or sampling call.
+    Model(String),
+    /// An I/O failure (weight files, reports).
+    Io(io::Error),
+    /// A generation request contained no jobs.
+    EmptyRequest,
+}
+
+impl fmt::Display for PpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PpError::Shape {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch ({what}): expected {expected}, got {actual}"
+            ),
+            PpError::Model(msg) => write!(f, "model error: {msg}"),
+            PpError::Io(e) => write!(f, "i/o error: {e}"),
+            PpError::EmptyRequest => write!(f, "generation request contains no jobs"),
+        }
+    }
+}
+
+impl std::error::Error for PpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PpError {
+    fn from(e: io::Error) -> Self {
+        PpError::Io(e)
+    }
+}
+
+impl From<ModelError> for PpError {
+    fn from(e: ModelError) -> Self {
+        match e {
+            ModelError::Shape {
+                what,
+                expected,
+                actual,
+            } => PpError::Shape {
+                what: what.to_string(),
+                expected,
+                actual,
+            },
+            ModelError::Empty(_) => PpError::Model(e.to_string()),
+        }
+    }
+}
+
+impl From<SelectionError> for PpError {
+    fn from(e: SelectionError) -> Self {
+        PpError::Config(e.to_string())
+    }
+}
+
+impl From<MaskError> for PpError {
+    fn from(e: MaskError) -> Self {
+        PpError::Config(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PpError::Shape {
+            what: "model image vs node clip".into(),
+            expected: 32,
+            actual: 16,
+        };
+        assert!(e.to_string().contains("expected 32"));
+        assert!(PpError::EmptyRequest.to_string().contains("no jobs"));
+        assert!(PpError::Config("variations must be positive".into())
+            .to_string()
+            .contains("variations"));
+    }
+
+    #[test]
+    fn model_errors_convert() {
+        let e: PpError = ModelError::Shape {
+            what: "inpainting image",
+            expected: 32,
+            actual: 8,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            PpError::Shape {
+                expected: 32,
+                actual: 8,
+                ..
+            }
+        ));
+        let e: PpError = ModelError::Empty("training corpus").into();
+        assert!(matches!(e, PpError::Model(_)));
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared `(template, mask)` job preparation.
+
+use pp_geometry::Layout;
+use pp_inpaint::Mask;
+use std::sync::Arc;
+
+/// An ordered set of `(template, mask)` inpainting jobs.
+///
+/// Templates and masks are `Arc`-shared: generation rounds fan a
+/// handful of starters out into thousands of variations, and cloning
+/// the full `Layout` per variation was measurable allocator traffic in
+/// the sampling hot path. Fan-out costs pointer bumps; only the first
+/// reference of each template/mask pays a deep copy.
+#[derive(Debug, Clone, Default)]
+pub struct JobSet {
+    jobs: Vec<(Arc<Layout>, Arc<Mask>)>,
+}
+
+impl JobSet {
+    /// An empty job set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One shared job per `(template, mask)` pair.
+    pub fn from_pairs(pairs: &[(Layout, Mask)]) -> Self {
+        let mut set = Self::new();
+        for (template, mask) in pairs {
+            set.push(Arc::new(template.clone()), Arc::new(mask.clone()));
+        }
+        set
+    }
+
+    /// `n` jobs cycling independently through `templates` and `masks`
+    /// (job `i` pairs `templates[i % ..]` with `masks[i % ..]`) — the
+    /// shape whole-pattern samplers and fixed-count benches use. Each
+    /// template/mask is shared, not cloned per job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 0` and either list is empty.
+    pub fn cycle(templates: &[Layout], masks: &[Mask], n: usize) -> Self {
+        let templates: Vec<Arc<Layout>> = templates.iter().cloned().map(Arc::new).collect();
+        let masks: Vec<Arc<Mask>> = masks.iter().cloned().map(Arc::new).collect();
+        let mut set = Self::new();
+        for i in 0..n {
+            set.push(
+                Arc::clone(&templates[i % templates.len()]),
+                Arc::clone(&masks[i % masks.len()]),
+            );
+        }
+        set
+    }
+
+    /// Appends one job.
+    pub fn push(&mut self, template: Arc<Layout>, mask: Arc<Mask>) {
+        self.jobs.push((template, mask));
+    }
+
+    /// Appends `variations` jobs sharing one template and mask
+    /// (`Arc` clones only).
+    pub fn push_fan_out(&mut self, template: &Arc<Layout>, mask: &Arc<Mask>, variations: usize) {
+        self.jobs.reserve(variations);
+        for _ in 0..variations {
+            self.jobs.push((Arc::clone(template), Arc::clone(mask)));
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the set holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, in submission order.
+    pub fn jobs(&self) -> &[(Arc<Layout>, Arc<Mask>)] {
+        &self.jobs
+    }
+
+    /// Iterates over the jobs in submission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Arc<Layout>, Arc<Mask>)> {
+        self.jobs.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a JobSet {
+    type Item = &'a (Arc<Layout>, Arc<Mask>);
+    type IntoIter = std::slice::Iter<'a, (Arc<Layout>, Arc<Mask>)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_geometry::Rect;
+    use pp_inpaint::MaskSet;
+
+    #[test]
+    fn fan_out_shares_allocations() {
+        let mut layout = Layout::new(16, 16);
+        layout.fill_rect(Rect::new(2, 2, 3, 10));
+        let template = Arc::new(layout);
+        let mask = Arc::new(MaskSet::Default.masks(16)[0].clone());
+        let mut set = JobSet::new();
+        set.push_fan_out(&template, &mask, 5);
+        assert_eq!(set.len(), 5);
+        for (t, m) in &set {
+            assert!(Arc::ptr_eq(t, &template));
+            assert!(Arc::ptr_eq(m, &mask));
+        }
+    }
+
+    #[test]
+    fn from_pairs_preserves_order() {
+        let a = Layout::new(16, 16);
+        let mut b = Layout::new(16, 16);
+        b.fill_rect(Rect::new(4, 4, 3, 8));
+        let mask = MaskSet::Default.masks(16)[0].clone();
+        let set = JobSet::from_pairs(&[(a.clone(), mask.clone()), (b.clone(), mask)]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(*set.jobs()[0].0, a);
+        assert_eq!(*set.jobs()[1].0, b);
+        assert!(!set.is_empty());
+        assert!(JobSet::new().is_empty());
+    }
+}

@@ -1,4 +1,5 @@
-//! The PatternPaint pipeline (the paper's primary contribution).
+//! The PatternPaint pipeline (the paper's primary contribution), as a
+//! service-grade generation API.
 //!
 //! PatternPaint turns a handful of DR-clean starter patterns into a
 //! large, diverse, DR-clean pattern library using a pretrained image
@@ -21,23 +22,77 @@
 //!    under sequentially scheduled masks, growing diversity (H2) round
 //!    after round.
 //!
+//! # The API, in three layers
+//!
+//! **Jobs and errors.** Work is described as [`JobSet`]s of shared
+//! `(template, mask)` pairs, and everything that can fail returns
+//! [`PpError`] (config, shape-mismatch, model, io, empty-request
+//! variants) instead of panicking — construction included:
+//! [`PatternPaint::pretrained`] / [`PatternPaint::untrained`] are
+//! fallible.
+//!
+//! **Stages.** Each pipeline stage is a trait ([`Sampler`],
+//! [`PatternDenoiser`], [`Validator`], [`Selector`] — see
+//! [`stages`]) with the paper's implementation as the default;
+//! [`PipelineBuilder`] assembles them. Prior-work baselines implement
+//! [`Sampler`] in `pp-baselines`, so the Table I/II benches drive every
+//! method through the one [`stages::run_round`] harness.
+//!
+//! **Streams.** [`PatternPaint::generate_stream`] turns a
+//! [`GenerationRequest`] into an iterator of raw samples backed by the
+//! model's batched workers through bounded channels, with a
+//! [`ProgressHook`] per micro-batch and a cooperative [`CancelToken`]
+//! checked between micro-batches. The round-level entry points are
+//! consumers of this stream, so blocking and streaming callers see
+//! bit-identical results.
+//!
 //! # Example
 //!
 //! ```no_run
-//! use patternpaint_core::{PatternPaint, PipelineConfig};
+//! use patternpaint_core::{PatternPaint, PipelineConfig, StreamOptions};
 //! use pp_pdk::SynthNode;
 //!
+//! # fn main() -> Result<(), patternpaint_core::PpError> {
 //! let node = SynthNode::default();
-//! let mut pp = PatternPaint::pretrained(node, PipelineConfig::quick(), 0);
-//! pp.finetune();
-//! let round = pp.initial_generation();
+//! let mut pp = PatternPaint::builder(node, PipelineConfig::quick())
+//!     .seed(0)
+//!     .pretrained()?;
+//! pp.finetune()?;
+//!
+//! // Blocking round...
+//! let round = pp.initial_generation()?;
 //! println!("legal {} / generated {}", round.legal, round.generated);
+//!
+//! // ...or the same samples, streamed with progress metering.
+//! let opts = StreamOptions::default()
+//!     .with_progress(|p| eprintln!("{}/{}", p.completed, p.total));
+//! for sample in pp.generate_stream(&pp.initial_request(), &opts)? {
+//!     let _raw = sample?;
+//! }
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end run and the README
+//! migration table for the pre-stream API mapping.
 
+pub mod builder;
 pub mod config;
+pub mod error;
+pub mod jobs;
 pub mod library;
 pub mod pipeline;
+pub mod stages;
+pub mod stream;
 
+pub use builder::PipelineBuilder;
 pub use config::{FinetuneConfig, PipelineConfig, PretrainConfig};
+pub use error::PpError;
+pub use jobs::JobSet;
 pub use library::PatternLibrary;
 pub use pipeline::{GenerationRound, IterationStats, PatternPaint, RawSample};
+pub use stages::{
+    denoise_and_admit, run_round, run_round_into, DiffusionSampler, DrcValidator, PatternDenoiser,
+    SampleStream, Sampler, Selector, Validator,
+};
+pub use stream::{CancelToken, GenerationRequest, Progress, ProgressHook, StreamOptions};

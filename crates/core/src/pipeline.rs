@@ -1,12 +1,18 @@
 //! The four-stage PatternPaint pipeline.
 
+use crate::builder::PipelineBuilder;
 use crate::config::PipelineConfig;
+use crate::error::PpError;
+use crate::jobs::JobSet;
 use crate::library::PatternLibrary;
+use crate::stages::{
+    run_round_into, DiffusionSampler, PatternDenoiser, SampleStream, Sampler, Selector, Validator,
+};
+use crate::stream::{GenerationRequest, StreamOptions};
 use pp_diffusion::{DiffusionModel, TrainReport};
-use pp_drc::check_layout;
 use pp_geometry::{GrayImage, Layout};
-use pp_inpaint::{Denoiser, Mask, MaskSchedule, MaskSet, TemplateDenoiser};
-use pp_pdk::{foundation_corpus, SynthNode};
+use pp_inpaint::{Mask, MaskSchedule, MaskSet};
+use pp_pdk::SynthNode;
 use pp_selection::PcaSelector;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -55,64 +61,87 @@ pub struct IterationStats {
 
 /// The PatternPaint generator.
 ///
-/// See the crate docs for the stage-by-stage description and
-/// `examples/quickstart.rs` for an end-to-end run.
-#[derive(Debug, Clone)]
+/// Assembled by [`PipelineBuilder`] (or the [`PatternPaint::pretrained`]
+/// / [`PatternPaint::untrained`] shortcuts); every stage is a trait
+/// with the paper's implementation as the default — see the
+/// [`crate::stages`] docs. Generation runs through
+/// [`PatternPaint::generate_stream`]; the round-level entry points are
+/// thin consumers of that stream.
+#[derive(Clone)]
 pub struct PatternPaint {
     node: SynthNode,
     cfg: PipelineConfig,
-    model: DiffusionModel,
-    denoiser: TemplateDenoiser,
+    model: Arc<DiffusionModel>,
+    sampler_override: Option<Arc<dyn Sampler>>,
+    denoiser: Arc<dyn PatternDenoiser>,
+    validator: Arc<dyn Validator>,
+    selector_override: Option<Arc<dyn Selector>>,
     starters: Vec<Layout>,
     seed: u64,
     finetuned: bool,
 }
 
+impl std::fmt::Debug for PatternPaint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatternPaint")
+            .field("node", &self.node)
+            .field("cfg", &self.cfg)
+            .field("seed", &self.seed)
+            .field("finetuned", &self.finetuned)
+            .field("custom_sampler", &self.sampler_override.is_some())
+            .field("custom_selector", &self.selector_override.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl PatternPaint {
-    /// Builds a pipeline around a freshly *pretrained* base model
-    /// (trains on the synthetic foundation corpus — the stand-in for a
-    /// public SD checkpoint; see DESIGN.md).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg` fails validation or the model image size differs
-    /// from the node clip.
-    pub fn pretrained(node: SynthNode, cfg: PipelineConfig, seed: u64) -> Self {
-        let mut pp = Self::untrained(node, cfg, seed);
-        let corpus: Vec<GrayImage> =
-            foundation_corpus(cfg.pretrain.corpus, cfg.model.image, seed ^ 0xf00d)
-                .iter()
-                .map(GrayImage::from_layout)
-                .collect();
-        let _ = pp.model.train(
-            &corpus,
-            cfg.pretrain.steps,
-            cfg.pretrain.batch,
-            cfg.pretrain.lr,
-            seed ^ 0xbeef,
-        );
-        pp
+    /// Starts assembling a pipeline; see [`PipelineBuilder`].
+    pub fn builder(node: SynthNode, cfg: PipelineConfig) -> PipelineBuilder {
+        PipelineBuilder::new(node, cfg)
     }
 
-    /// Builds a pipeline with an *untrained* model (for tests or for
-    /// loading saved weights with [`PatternPaint::model_mut`]).
+    /// Builds a default-stage pipeline around a freshly *pretrained*
+    /// base model (trains on the synthetic foundation corpus — the
+    /// stand-in for a public SD checkpoint; see DESIGN.md).
     ///
-    /// # Panics
+    /// # Errors
+    ///
+    /// [`PpError::Config`] when `cfg` fails validation,
+    /// [`PpError::Shape`] when the model image size differs from the
+    /// node clip.
+    pub fn pretrained(node: SynthNode, cfg: PipelineConfig, seed: u64) -> Result<Self, PpError> {
+        Self::builder(node, cfg).seed(seed).pretrained()
+    }
+
+    /// Builds a default-stage pipeline with an *untrained* model (for
+    /// tests or for loading saved weights with
+    /// [`PatternPaint::model_mut`]).
+    ///
+    /// # Errors
     ///
     /// Same conditions as [`PatternPaint::pretrained`].
-    pub fn untrained(node: SynthNode, cfg: PipelineConfig, seed: u64) -> Self {
-        cfg.validate().expect("pipeline config must be valid");
-        assert_eq!(
-            cfg.model.image,
-            node.clip(),
-            "model image size must equal the node clip"
-        );
+    pub fn untrained(node: SynthNode, cfg: PipelineConfig, seed: u64) -> Result<Self, PpError> {
+        Self::builder(node, cfg).seed(seed).untrained()
+    }
+
+    pub(crate) fn assemble(
+        node: SynthNode,
+        cfg: PipelineConfig,
+        seed: u64,
+        sampler_override: Option<Arc<dyn Sampler>>,
+        denoiser: Arc<dyn PatternDenoiser>,
+        validator: Arc<dyn Validator>,
+        selector_override: Option<Arc<dyn Selector>>,
+    ) -> Self {
         let starters = node.starter_patterns();
         PatternPaint {
-            model: DiffusionModel::new(cfg.model, seed),
-            denoiser: TemplateDenoiser::new(cfg.denoise_threshold),
+            model: Arc::new(DiffusionModel::new(cfg.model, seed)),
             node,
             cfg,
+            sampler_override,
+            denoiser,
+            validator,
+            selector_override,
             starters,
             seed,
             finetuned: false,
@@ -129,14 +158,44 @@ impl PatternPaint {
         &self.cfg
     }
 
+    /// The base RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The underlying diffusion model.
     pub fn model(&self) -> &DiffusionModel {
         &self.model
     }
 
-    /// Mutable model access (weight loading, inspection).
+    /// Mutable model access (weight loading, inspection). Clones the
+    /// weights only if a sampler or stream still shares them
+    /// (copy-on-write via [`Arc::make_mut`]).
     pub fn model_mut(&mut self) -> &mut DiffusionModel {
-        &mut self.model
+        Arc::make_mut(&mut self.model)
+    }
+
+    /// Serialises the model weights through the pipeline's error
+    /// surface.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Io`] on any writer failure.
+    pub fn save_weights<W: std::io::Write>(&mut self, writer: W) -> Result<(), PpError> {
+        self.model_mut().save_weights(writer)?;
+        Ok(())
+    }
+
+    /// Loads weights saved by [`PatternPaint::save_weights`]
+    /// (architectures must match).
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Io`] on reader failures, bad magic, or a weight-shape
+    /// mismatch.
+    pub fn load_weights<R: std::io::Read>(&mut self, reader: R) -> Result<(), PpError> {
+        self.model_mut().load_weights(reader)?;
+        Ok(())
     }
 
     /// Whether [`PatternPaint::finetune`] has run.
@@ -149,14 +208,42 @@ impl PatternPaint {
         &self.starters
     }
 
+    /// The sampler generation runs through: the configured override, or
+    /// a [`DiffusionSampler`] over a snapshot of the current model
+    /// weights (built per call so it always sees finetuned weights).
+    pub fn sampler(&self) -> Arc<dyn Sampler> {
+        match &self.sampler_override {
+            Some(s) => Arc::clone(s),
+            None => Arc::new(DiffusionSampler::from_arc(
+                Arc::clone(&self.model),
+                self.cfg.threads,
+                self.cfg.batch_size,
+            )),
+        }
+    }
+
+    /// The denoising stage.
+    pub fn denoiser(&self) -> &dyn PatternDenoiser {
+        self.denoiser.as_ref()
+    }
+
+    /// The validation stage.
+    pub fn validator(&self) -> &dyn Validator {
+        self.validator.as_ref()
+    }
+
     /// Stage 1: DreamBooth-style few-shot finetuning on the starters
     /// with prior preservation (paper Eq. 7).
-    pub fn finetune(&mut self) -> TrainReport {
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Model`] when the model rejects the finetuning inputs.
+    pub fn finetune(&mut self) -> Result<TrainReport, PpError> {
         let ft = self.cfg.finetune;
         let prior = self.model.sample_prior(ft.prior_count, self.seed ^ 0x9e37);
         let starter_images: Vec<GrayImage> =
             self.starters.iter().map(GrayImage::from_layout).collect();
-        let report = self.model.finetune(
+        let report = Arc::make_mut(&mut self.model).finetune(
             &starter_images,
             &prior,
             ft.lambda,
@@ -164,49 +251,67 @@ impl PatternPaint {
             ft.batch,
             ft.lr,
             self.seed ^ 0x51ee,
-        );
+        )?;
         self.finetuned = true;
-        report
+        Ok(report)
     }
 
     /// Generates raw (pre-denoising) samples for explicit
     /// (template, mask) jobs — the entry point Table III uses to compare
     /// denoising schemes on identical raw batches.
-    pub fn generate_raw(&self, jobs: &[(Layout, Mask)], seed: u64) -> Vec<RawSample> {
-        let shared: Vec<(Arc<Layout>, Arc<Mask>)> = jobs
-            .iter()
-            .map(|(l, m)| (Arc::new(l.clone()), Arc::new(m.clone())))
-            .collect();
-        self.generate_raw_shared(&shared, seed)
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::EmptyRequest`] when `jobs` is empty, plus anything
+    /// the sampler reports.
+    pub fn generate_raw(
+        &self,
+        jobs: &[(Layout, Mask)],
+        seed: u64,
+    ) -> Result<Vec<RawSample>, PpError> {
+        self.generate_jobs(&JobSet::from_pairs(jobs), seed)
     }
 
-    /// [`PatternPaint::generate_raw`] over pre-shared jobs: callers that
-    /// fan one template/mask out into many variations pass `Arc` clones
-    /// (pointer bumps) instead of deep copies. Sampling runs through
-    /// [`DiffusionModel::sample_inpaint_batch_sized`] with the
-    /// configured worker and micro-batch counts.
-    pub fn generate_raw_shared(
+    /// [`PatternPaint::generate_raw`] over pre-shared jobs: callers
+    /// that fan one template/mask out into many variations push `Arc`
+    /// clones (pointer bumps) instead of deep copies.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::EmptyRequest`] when `jobs` is empty, plus anything
+    /// the sampler reports.
+    pub fn generate_jobs(&self, jobs: &JobSet, seed: u64) -> Result<Vec<RawSample>, PpError> {
+        if jobs.is_empty() {
+            return Err(PpError::EmptyRequest);
+        }
+        self.sampler().sample(jobs, seed)
+    }
+
+    /// Streams raw samples for a request as they finish, in job order.
+    ///
+    /// The stream is fed by the model's batched sampling workers
+    /// through bounded channels; `opts` wires in a progress hook, a
+    /// cancellation token (checked between micro-batches — cancelling
+    /// ends the stream early with the samples already finished), and a
+    /// backpressure bound. The round-level entry points
+    /// ([`PatternPaint::initial_generation`],
+    /// [`PatternPaint::iterative_generation`]) consume exactly this
+    /// stream, so their outputs match streaming consumers bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::EmptyRequest`] when the request has no jobs, plus
+    /// anything the sampler reports.
+    pub fn generate_stream(
         &self,
-        jobs: &[(Arc<Layout>, Arc<Mask>)],
-        seed: u64,
-    ) -> Vec<RawSample> {
-        let batch: Vec<(GrayImage, GrayImage)> = jobs
-            .iter()
-            .map(|(l, m)| (GrayImage::from_layout(l), m.as_image().clone()))
-            .collect();
-        let raws = self.model.sample_inpaint_batch_sized(
-            &batch,
-            seed,
-            self.cfg.threads,
-            self.cfg.batch_size,
-        );
-        jobs.iter()
-            .zip(raws)
-            .map(|((template, _), raw)| RawSample {
-                template: Arc::clone(template),
-                raw,
-            })
-            .collect()
+        request: &GenerationRequest,
+        opts: &StreamOptions,
+    ) -> Result<SampleStream, PpError> {
+        if request.jobs().is_empty() {
+            return Err(PpError::EmptyRequest);
+        }
+        self.sampler()
+            .sample_stream(request.jobs(), request.seed(), opts)
     }
 
     /// Denoises, DRC-checks and deduplicates raw samples into `library`;
@@ -218,73 +323,153 @@ impl PatternPaint {
     ) -> (usize, usize) {
         let mut legal = 0;
         for s in samples {
-            let denoised = self.denoiser.denoise(&s.raw, &s.template);
-            if denoised.metal_area() == 0 {
-                continue;
-            }
-            if check_layout(&denoised, self.node.rules()).is_clean() {
+            if crate::stages::denoise_and_admit(
+                self.denoiser.as_ref(),
+                self.validator.as_ref(),
+                s,
+                library,
+            ) {
                 legal += 1;
-                library.insert(denoised);
             }
         }
         (samples.len(), legal)
     }
 
-    /// Stage 2: initial generation — every starter × all ten predefined
-    /// masks × `v` variations (paper §IV-C).
-    pub fn initial_generation(&self) -> GenerationRound {
-        let side = self.node.clip();
-        let mut jobs = Vec::new();
-        for starter in &self.starters {
-            let starter = Arc::new(starter.clone());
-            for set in MaskSet::ALL {
-                for mask in set.masks(side) {
-                    let mask = Arc::new(mask);
-                    for _ in 0..self.cfg.variations {
-                        jobs.push((Arc::clone(&starter), Arc::clone(&mask)));
-                    }
-                }
-            }
-        }
-        let raw = self.generate_raw_shared(&jobs, self.seed ^ 0x1217);
+    /// The initial-generation request: every starter × all ten
+    /// predefined masks × `v` variations (paper §IV-C).
+    pub fn initial_request(&self) -> GenerationRequest {
+        let masks: Vec<Mask> = MaskSet::ALL
+            .iter()
+            .flat_map(|s| s.masks(self.node.clip()))
+            .collect();
+        GenerationRequest::fan_out(
+            &self.starters,
+            &masks,
+            self.cfg.variations,
+            self.seed ^ 0x1217,
+        )
+    }
+
+    /// Stage 2: initial generation, consuming
+    /// [`PatternPaint::generate_stream`] over
+    /// [`PatternPaint::initial_request`].
+    ///
+    /// # Errors
+    ///
+    /// Anything [`PatternPaint::generate_stream`] reports.
+    pub fn initial_generation(&self) -> Result<GenerationRound, PpError> {
+        self.run_request(&self.initial_request(), &StreamOptions::default())
+    }
+
+    /// Runs one full round (sample → denoise → validate) for an
+    /// arbitrary request into a fresh library, streaming under `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`PatternPaint::generate_stream`] reports.
+    pub fn run_request(
+        &self,
+        request: &GenerationRequest,
+        opts: &StreamOptions,
+    ) -> Result<GenerationRound, PpError> {
         let mut library = PatternLibrary::new();
-        let (generated, legal) = self.validate_into(&raw, &mut library);
-        GenerationRound {
+        let (generated, legal) = self.run_request_into(request, opts, &mut library)?;
+        Ok(GenerationRound {
             generated,
             legal,
             library,
-        }
+        })
+    }
+
+    /// [`PatternPaint::run_request`] into an existing library.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`PatternPaint::generate_stream`] reports.
+    pub fn run_request_into(
+        &self,
+        request: &GenerationRequest,
+        opts: &StreamOptions,
+        library: &mut PatternLibrary,
+    ) -> Result<(usize, usize), PpError> {
+        run_round_into(
+            self.sampler().as_ref(),
+            self.denoiser.as_ref(),
+            self.validator.as_ref(),
+            request,
+            opts,
+            library,
+        )
     }
 
     /// Stages 3-4: iterative generation. Each round selects `select_k`
     /// representative low-density layouts by PCA + farthest point
-    /// (paper Alg. 2), re-inpaints them under their sequentially
-    /// scheduled masks, and adds new clean patterns to `library`.
+    /// (paper Alg. 2) — or the configured [`Selector`] override —
+    /// re-inpaints them under their sequentially scheduled masks, and
+    /// adds new clean patterns to `library`.
     ///
     /// Returns one [`IterationStats`] per round (cumulative counts start
     /// from `legal_so_far` and the current library).
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Config`] when the selection parameters are invalid,
+    /// plus anything [`PatternPaint::generate_stream`] reports.
     pub fn iterative_generation(
         &self,
         library: &mut PatternLibrary,
         iterations: usize,
+        legal_so_far: usize,
+    ) -> Result<Vec<IterationStats>, PpError> {
+        self.iterative_generation_streamed(
+            library,
+            iterations,
+            legal_so_far,
+            &StreamOptions::default(),
+        )
+    }
+
+    /// [`PatternPaint::iterative_generation`] with explicit stream
+    /// options: the progress hook and cancellation token apply to every
+    /// round's stream (a cancelled round keeps its partial counts, and
+    /// no further round starts).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PatternPaint::iterative_generation`].
+    pub fn iterative_generation_streamed(
+        &self,
+        library: &mut PatternLibrary,
+        iterations: usize,
         mut legal_so_far: usize,
-    ) -> Vec<IterationStats> {
+        opts: &StreamOptions,
+    ) -> Result<Vec<IterationStats>, PpError> {
         let side = self.node.clip();
         let schedules = [
             MaskSchedule::new(MaskSet::Default, side),
             MaskSchedule::new(MaskSet::Horizontal, side),
         ];
-        let selector = PcaSelector::new(
-            self.cfg.pca_explained,
-            self.cfg.max_density,
-            self.seed ^ 0x5e1e,
-        );
+        let default_selector;
+        let selector: &dyn Selector = match &self.selector_override {
+            Some(s) => s.as_ref(),
+            None => {
+                default_selector = PcaSelector::try_new(
+                    self.cfg.pca_explained,
+                    self.cfg.max_density,
+                    self.seed ^ 0x5e1e,
+                )?;
+                &default_selector
+            }
+        };
         let mut stats = Vec::with_capacity(iterations);
         for it in 0..iterations {
+            if opts.cancel.is_cancelled() {
+                break;
+            }
             let k = self.cfg.select_k.min(library.len().max(1));
             let picks = selector.select(library.patterns(), k);
             let per_seed = (self.cfg.samples_per_iteration / picks.len().max(1)).max(1);
-            let mut jobs = Vec::new();
+            let mut jobs = JobSet::new();
             for (pi, &idx) in picks.iter().enumerate() {
                 // One deep copy per pick; the per_seed variations share it.
                 let template = Arc::new(library.patterns()[idx].clone());
@@ -292,12 +477,10 @@ impl PatternPaint {
                 // sequentially across iterations (paper §IV-E2).
                 let schedule = &schedules[pi % 2];
                 let mask = Arc::new(schedule.mask_for(it, pi).clone());
-                for _ in 0..per_seed {
-                    jobs.push((Arc::clone(&template), Arc::clone(&mask)));
-                }
+                jobs.push_fan_out(&template, &mask, per_seed);
             }
-            let raw = self.generate_raw_shared(&jobs, self.seed ^ (0xabcd + it as u64));
-            let (generated, legal) = self.validate_into(&raw, library);
+            let request = GenerationRequest::new(jobs, self.seed ^ (0xabcd + it as u64));
+            let (generated, legal) = self.run_request_into(&request, opts, library)?;
             legal_so_far += legal;
             let lib_stats = library.stats();
             stats.push(IterationStats {
@@ -309,7 +492,7 @@ impl PatternPaint {
                 h2: lib_stats.h2,
             });
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -317,18 +500,19 @@ impl PatternPaint {
 mod tests {
     use super::*;
     use crate::config::PipelineConfig;
-    use pp_inpaint::MaskSet;
+    use crate::stream::CancelToken;
+    use pp_drc::check_layout;
 
     fn tiny_pipeline() -> PatternPaint {
         let node = SynthNode::small();
-        PatternPaint::pretrained(node, PipelineConfig::tiny(), 1)
+        PatternPaint::pretrained(node, PipelineConfig::tiny(), 1).expect("tiny config is valid")
     }
 
     #[test]
     fn pretrain_and_finetune_run() {
         let mut pp = tiny_pipeline();
         assert!(!pp.is_finetuned());
-        let report = pp.finetune();
+        let report = pp.finetune().expect("starters are well-formed");
         assert!(pp.is_finetuned());
         assert!(report.final_loss.is_finite());
     }
@@ -336,17 +520,17 @@ mod tests {
     #[test]
     fn initial_generation_produces_counts() {
         let pp = tiny_pipeline();
-        let round = pp.initial_generation();
+        let round = pp.initial_generation().expect("round runs");
         // 20 starters x 10 masks x 1 variation.
         assert_eq!(round.generated, 200);
         assert!(round.legal <= round.generated);
-        assert_eq!(round.library.len() <= round.legal, true);
+        assert!(round.library.len() <= round.legal);
     }
 
     #[test]
     fn validated_patterns_are_clean_and_unique() {
         let pp = tiny_pipeline();
-        let round = pp.initial_generation();
+        let round = pp.initial_generation().expect("round runs");
         for p in round.library.patterns() {
             assert!(check_layout(p, pp.node().rules()).is_clean());
         }
@@ -357,13 +541,15 @@ mod tests {
     #[test]
     fn iterations_never_shrink_library() {
         let pp = tiny_pipeline();
-        let round = pp.initial_generation();
+        let round = pp.initial_generation().expect("round runs");
         let mut library = round.library;
         // Seed with starters so selection has material even if initial
         // generation found nothing on the tiny model.
         library.extend(pp.starters().iter().cloned());
         let before = library.len();
-        let stats = pp.iterative_generation(&mut library, 2, round.legal);
+        let stats = pp
+            .iterative_generation(&mut library, 2, round.legal)
+            .expect("iterations run");
         assert_eq!(stats.len(), 2);
         assert!(library.len() >= before);
         assert!(stats[1].unique_total >= stats[0].unique_total);
@@ -375,7 +561,9 @@ mod tests {
         let pp = tiny_pipeline();
         let starter = pp.starters()[0].clone();
         let mask = MaskSet::Default.masks(pp.node().clip())[0].clone();
-        let raw = pp.generate_raw(&[(starter.clone(), mask.clone())], 3);
+        let raw = pp
+            .generate_raw(&[(starter.clone(), mask.clone())], 3)
+            .expect("well-formed job");
         assert_eq!(raw.len(), 1);
         let r = &raw[0].raw;
         for y in 0..pp.node().clip() {
@@ -389,10 +577,138 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "model image size")]
     fn mismatched_clip_rejected() {
         let node = SynthNode::default(); // 32
         let cfg = PipelineConfig::tiny(); // 16
-        let _ = PatternPaint::untrained(node, cfg, 0);
+        let err = PatternPaint::untrained(node, cfg, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PpError::Shape {
+                    expected: 32,
+                    actual: 16,
+                    ..
+                }
+            ),
+            "wrong error: {err}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let node = SynthNode::small();
+        let mut cfg = PipelineConfig::tiny();
+        cfg.variations = 0;
+        let err = PatternPaint::untrained(node, cfg, 0).unwrap_err();
+        assert!(matches!(err, PpError::Config(_)), "wrong error: {err}");
+    }
+
+    #[test]
+    fn empty_requests_rejected() {
+        let pp = tiny_pipeline();
+        assert!(matches!(
+            pp.generate_raw(&[], 0).unwrap_err(),
+            PpError::EmptyRequest
+        ));
+        let empty = GenerationRequest::new(JobSet::new(), 0);
+        let err = pp
+            .generate_stream(&empty, &StreamOptions::default())
+            .err()
+            .expect("empty request must be rejected");
+        assert!(matches!(err, PpError::EmptyRequest));
+        assert!(matches!(
+            pp.run_request(&empty, &StreamOptions::default())
+                .unwrap_err(),
+            PpError::EmptyRequest
+        ));
+    }
+
+    #[test]
+    fn validate_into_matches_streamed_round() {
+        let pp = tiny_pipeline();
+        let request = pp.initial_request();
+        let raw = pp
+            .generate_jobs(request.jobs(), request.seed())
+            .expect("jobs run");
+        let mut library = PatternLibrary::new();
+        let (generated, legal) = pp.validate_into(&raw, &mut library);
+        let round = pp.initial_generation().expect("round runs");
+        assert_eq!(generated, round.generated);
+        assert_eq!(legal, round.legal);
+        assert_eq!(library.patterns(), round.library.patterns());
+    }
+
+    #[test]
+    fn weights_roundtrip_and_io_errors_surface() {
+        let node = SynthNode::small();
+        let mut a = PatternPaint::untrained(node.clone(), PipelineConfig::tiny(), 1)
+            .expect("tiny config is valid");
+        let mut bytes = Vec::new();
+        a.save_weights(&mut bytes).expect("vec writer cannot fail");
+        let mut b = PatternPaint::untrained(node, PipelineConfig::tiny(), 999)
+            .expect("tiny config is valid");
+        b.load_weights(bytes.as_slice()).expect("same architecture");
+        // A truncated stream surfaces as the Io variant.
+        let err = b.load_weights(&bytes[..3]).unwrap_err();
+        assert!(matches!(err, PpError::Io(_)), "wrong error: {err}");
+    }
+
+    #[test]
+    fn stream_matches_blocking_generation() {
+        let pp = tiny_pipeline();
+        let request = pp.initial_request();
+        let blocking = pp
+            .generate_jobs(request.jobs(), request.seed())
+            .expect("jobs run");
+        let streamed: Vec<RawSample> = pp
+            .generate_stream(&request, &StreamOptions::default())
+            .expect("stream starts")
+            .collect::<Result<_, _>>()
+            .expect("stream yields no errors");
+        assert_eq!(streamed.len(), blocking.len());
+        for (s, b) in streamed.iter().zip(&blocking) {
+            assert_eq!(s.raw, b.raw);
+            assert_eq!(*s.template, *b.template);
+        }
+    }
+
+    #[test]
+    fn progress_hook_reaches_total() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pp = tiny_pipeline();
+        let request = pp.initial_request();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen_in_hook = Arc::clone(&seen);
+        let opts = StreamOptions::default().with_progress(move |p: crate::stream::Progress| {
+            seen_in_hook.store(p.completed, Ordering::SeqCst);
+            assert_eq!(p.total, 200);
+        });
+        let round = pp.run_request(&request, &opts).expect("round runs");
+        assert_eq!(round.generated, 200);
+        assert_eq!(seen.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn cancellation_stops_stream_with_partial_results() {
+        let pp = tiny_pipeline();
+        let request = pp.initial_request(); // 200 jobs
+        let cancel = CancelToken::new();
+        // capacity 1 + the tiny batch size bound how far workers run
+        // ahead of the consumer after cancellation.
+        let opts = StreamOptions::default()
+            .with_cancel(cancel.clone())
+            .with_capacity(1);
+        let stream = pp.generate_stream(&request, &opts).expect("stream starts");
+        let mut yielded = 0;
+        for sample in stream {
+            sample.expect("samples are well-formed");
+            yielded += 1;
+            cancel.cancel();
+        }
+        assert!(yielded >= 1, "cancellation must deliver partial results");
+        assert!(
+            yielded < request.jobs().len(),
+            "cancellation failed to stop the stream early ({yielded}/200)"
+        );
     }
 }

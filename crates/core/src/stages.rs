@@ -1,0 +1,342 @@
+//! The pipeline's pluggable stage boundary.
+//!
+//! PatternPaint is four stages — sample, denoise, validate, select —
+//! and each is a trait here, with the paper's implementations as the
+//! defaults:
+//!
+//! | stage | trait | default |
+//! |---|---|---|
+//! | raw inpainting over `(template, mask)` jobs | [`Sampler`] | [`DiffusionSampler`] |
+//! | raster → Manhattan layout | [`PatternDenoiser`] | `pp_inpaint::TemplateDenoiser` |
+//! | DRC + dedup into the library | [`Validator`] | [`DrcValidator`] |
+//! | representative picks between rounds | [`Selector`] | `pp_selection::PcaSelector` |
+//!
+//! Swapping the sampler is how prior-work baselines (CUP, DiffPattern in
+//! `pp-baselines`) run through the same harness as the diffusion model —
+//! see [`run_round`] — mirroring how DiffPattern swaps the generation
+//! backbone while keeping legalization fixed.
+
+use crate::error::PpError;
+use crate::jobs::JobSet;
+use crate::library::PatternLibrary;
+use crate::pipeline::{GenerationRound, RawSample};
+use crate::stream::{GenerationRequest, Progress, StreamOptions};
+use pp_diffusion::DiffusionModel;
+use pp_drc::{check_layout, RuleDeck};
+use pp_geometry::{GrayImage, Layout};
+use pp_selection::PcaSelector;
+use std::sync::Arc;
+
+/// A stream of raw samples, delivered in job order (possibly cut short
+/// by cancellation).
+pub type SampleStream = Box<dyn Iterator<Item = Result<RawSample, PpError>> + Send>;
+
+/// Stage 2's extension point: raw generation over `(template, mask)`
+/// jobs.
+///
+/// Implementations must be deterministic in `(jobs, seed)` so rounds
+/// are reproducible, and must deliver results in job order. The
+/// default [`DiffusionSampler`] additionally answers each job `i` from
+/// the RNG stream `seed ^ i`, so a single job can be replayed alone;
+/// whole-pattern samplers (the baseline adapters) only promise
+/// batch-level determinism.
+pub trait Sampler: Send + Sync {
+    /// A short name for reports.
+    fn name(&self) -> &str {
+        "sampler"
+    }
+
+    /// Samples every job, blocking until all are done.
+    fn sample(&self, jobs: &JobSet, seed: u64) -> Result<Vec<RawSample>, PpError>;
+
+    /// Streams samples as they finish.
+    ///
+    /// The default computes everything up front and then iterates — a
+    /// correct but unmetered fallback for samplers without incremental
+    /// delivery. [`DiffusionSampler`] overrides it with true
+    /// bounded-channel streaming.
+    fn sample_stream(
+        &self,
+        jobs: &JobSet,
+        seed: u64,
+        opts: &StreamOptions,
+    ) -> Result<SampleStream, PpError> {
+        if opts.cancel.is_cancelled() {
+            return Ok(Box::new(std::iter::empty()));
+        }
+        let samples = self.sample(jobs, seed)?;
+        if let Some(hook) = &opts.progress {
+            hook(Progress {
+                completed: samples.len(),
+                total: samples.len(),
+            });
+        }
+        Ok(Box::new(samples.into_iter().map(Ok)))
+    }
+}
+
+/// The default sampler: mask-conditioned DDIM inpainting through the
+/// model's micro-batched worker pool.
+#[derive(Debug, Clone)]
+pub struct DiffusionSampler {
+    model: Arc<DiffusionModel>,
+    threads: usize,
+    batch_size: usize,
+}
+
+impl DiffusionSampler {
+    /// Wraps a model with the worker/micro-batch counts the jobs will
+    /// run under.
+    pub fn new(model: DiffusionModel, threads: usize, batch_size: usize) -> Self {
+        Self::from_arc(Arc::new(model), threads, batch_size)
+    }
+
+    /// [`DiffusionSampler::new`] over an already-shared model.
+    pub fn from_arc(model: Arc<DiffusionModel>, threads: usize, batch_size: usize) -> Self {
+        DiffusionSampler {
+            model,
+            threads,
+            batch_size,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DiffusionModel {
+        &self.model
+    }
+
+    fn job_images(jobs: &JobSet) -> Vec<(GrayImage, GrayImage)> {
+        jobs.iter()
+            .map(|(l, m)| (GrayImage::from_layout(l), m.as_image().clone()))
+            .collect()
+    }
+}
+
+impl Sampler for DiffusionSampler {
+    fn name(&self) -> &str {
+        "diffusion-inpaint"
+    }
+
+    fn sample(&self, jobs: &JobSet, seed: u64) -> Result<Vec<RawSample>, PpError> {
+        // Collect our own stream rather than going through the model's
+        // blocking wrapper: the workers then share `self.model`'s
+        // allocation instead of cloning the weights per call.
+        let stream = self.model.sample_inpaint_stream(
+            Self::job_images(jobs),
+            seed,
+            self.threads,
+            self.batch_size,
+            0,
+            pp_diffusion::CancelToken::new(),
+        )?;
+        let mut raws = Vec::with_capacity(jobs.len());
+        for mb in stream {
+            raws.extend(mb.samples);
+        }
+        if raws.len() != jobs.len() {
+            return Err(PpError::Model(format!(
+                "sampler returned {} of {} samples",
+                raws.len(),
+                jobs.len()
+            )));
+        }
+        Ok(jobs
+            .iter()
+            .zip(raws)
+            .map(|((template, _), raw)| RawSample {
+                template: Arc::clone(template),
+                raw,
+            })
+            .collect())
+    }
+
+    fn sample_stream(
+        &self,
+        jobs: &JobSet,
+        seed: u64,
+        opts: &StreamOptions,
+    ) -> Result<SampleStream, PpError> {
+        let total = jobs.len();
+        let inner = self.model.sample_inpaint_stream(
+            Self::job_images(jobs),
+            seed,
+            self.threads,
+            self.batch_size,
+            opts.capacity.unwrap_or(0),
+            opts.cancel.clone(),
+        )?;
+        let templates: Vec<Arc<Layout>> = jobs.iter().map(|(t, _)| Arc::clone(t)).collect();
+        let hook = opts.progress.clone();
+        let mut completed = 0usize;
+        let iter = inner.flat_map(move |mb| {
+            completed += mb.samples.len();
+            if let Some(hook) = &hook {
+                hook(Progress { completed, total });
+            }
+            let batch_templates = templates[mb.start..mb.start + mb.samples.len()].to_vec();
+            mb.samples
+                .into_iter()
+                .zip(batch_templates)
+                .map(|(raw, template)| Ok(RawSample { template, raw }))
+                .collect::<Vec<_>>()
+        });
+        Ok(Box::new(iter))
+    }
+}
+
+/// Stage 3a's extension point: turning a raw (continuous, edge-noisy)
+/// sample into a binary Manhattan layout.
+///
+/// Every `pp_inpaint::Denoiser` (template, NLM, threshold) implements
+/// this via the blanket impl below.
+pub trait PatternDenoiser: Send + Sync {
+    /// Denoises one raw sample.
+    fn denoise_sample(&self, sample: &RawSample) -> Layout;
+
+    /// A short name for reports.
+    fn denoiser_name(&self) -> &str {
+        "denoiser"
+    }
+}
+
+impl<D> PatternDenoiser for D
+where
+    D: pp_inpaint::Denoiser + Send + Sync,
+{
+    fn denoise_sample(&self, sample: &RawSample) -> Layout {
+        self.denoise(&sample.raw, &sample.template)
+    }
+
+    fn denoiser_name(&self) -> &str {
+        pp_inpaint::Denoiser::name(self)
+    }
+}
+
+/// Stage 3b's extension point: legality plus library admission.
+pub trait Validator: Send + Sync {
+    /// Whether a denoised layout is legal (sign-off clean and
+    /// non-empty, for the default deck-backed implementation).
+    fn is_legal(&self, layout: &Layout) -> bool;
+
+    /// Runs the legality check and, on success, inserts into `library`
+    /// (which deduplicates by squish signature). Returns legality —
+    /// duplicates still count as legal, matching the paper's Table I
+    /// accounting.
+    fn admit(&self, layout: Layout, library: &mut PatternLibrary) -> bool {
+        let legal = self.is_legal(&layout);
+        if legal {
+            library.insert(layout);
+        }
+        legal
+    }
+}
+
+/// The default validator: the node's full sign-off [`RuleDeck`], with
+/// empty layouts rejected.
+#[derive(Debug, Clone)]
+pub struct DrcValidator {
+    deck: RuleDeck,
+}
+
+impl DrcValidator {
+    /// Validates against `deck`.
+    pub fn new(deck: RuleDeck) -> Self {
+        DrcValidator { deck }
+    }
+
+    /// The deck in use.
+    pub fn deck(&self) -> &RuleDeck {
+        &self.deck
+    }
+}
+
+impl Validator for DrcValidator {
+    fn is_legal(&self, layout: &Layout) -> bool {
+        layout.metal_area() > 0 && check_layout(layout, &self.deck).is_clean()
+    }
+}
+
+/// Stage 4's extension point: picking representative layouts to
+/// re-inpaint between rounds.
+pub trait Selector: Send + Sync {
+    /// Picks up to `k` indices into `library`.
+    fn select(&self, library: &[Layout], k: usize) -> Vec<usize>;
+}
+
+impl Selector for PcaSelector {
+    fn select(&self, library: &[Layout], k: usize) -> Vec<usize> {
+        PcaSelector::select(self, library, k)
+    }
+}
+
+/// Drives any sampler through denoise → validate into a fresh library —
+/// the one harness the Table I/II benches run every method through
+/// (PatternPaint variants and the `pp-baselines` samplers alike).
+///
+/// Samples are consumed as they stream, so a `ProgressHook` meters the
+/// round and a `CancelToken` aborts it with partial counts.
+///
+/// # Errors
+///
+/// [`PpError::EmptyRequest`] on an empty job set, plus anything the
+/// sampler reports.
+pub fn run_round(
+    sampler: &dyn Sampler,
+    denoiser: &dyn PatternDenoiser,
+    validator: &dyn Validator,
+    request: &GenerationRequest,
+    opts: &StreamOptions,
+) -> Result<GenerationRound, PpError> {
+    let mut library = PatternLibrary::new();
+    let (generated, legal) =
+        run_round_into(sampler, denoiser, validator, request, opts, &mut library)?;
+    Ok(GenerationRound {
+        generated,
+        legal,
+        library,
+    })
+}
+
+/// [`run_round`] into an existing library; returns `(generated, legal)`
+/// counts for the round.
+///
+/// # Errors
+///
+/// [`PpError::EmptyRequest`] on an empty job set, plus anything the
+/// sampler reports.
+pub fn run_round_into(
+    sampler: &dyn Sampler,
+    denoiser: &dyn PatternDenoiser,
+    validator: &dyn Validator,
+    request: &GenerationRequest,
+    opts: &StreamOptions,
+    library: &mut PatternLibrary,
+) -> Result<(usize, usize), PpError> {
+    if request.jobs().is_empty() {
+        return Err(PpError::EmptyRequest);
+    }
+    let stream = sampler.sample_stream(request.jobs(), request.seed(), opts)?;
+    let mut generated = 0;
+    let mut legal = 0;
+    for sample in stream {
+        let sample = sample?;
+        generated += 1;
+        if denoise_and_admit(denoiser, validator, &sample, library) {
+            legal += 1;
+        }
+    }
+    Ok((generated, legal))
+}
+
+/// The per-sample tail of every round: denoise, then validate into the
+/// library. One definition so `run_round_into` and
+/// [`crate::PatternPaint::validate_into`] cannot drift apart.
+pub fn denoise_and_admit(
+    denoiser: &dyn PatternDenoiser,
+    validator: &dyn Validator,
+    sample: &RawSample,
+    library: &mut PatternLibrary,
+) -> bool {
+    let denoised = denoiser.denoise_sample(sample);
+    validator.admit(denoised, library)
+}

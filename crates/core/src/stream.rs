@@ -1,0 +1,136 @@
+//! Streaming generation requests: what to sample and how to observe it.
+
+use crate::jobs::JobSet;
+use pp_geometry::Layout;
+use pp_inpaint::Mask;
+use std::sync::Arc;
+
+pub use pp_diffusion::CancelToken;
+
+/// Progress of a running generation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Samples finished so far.
+    pub completed: usize,
+    /// Samples requested.
+    pub total: usize,
+}
+
+/// Callback invoked after every finished micro-batch (from the thread
+/// consuming the stream, never concurrently).
+pub type ProgressHook = Arc<dyn Fn(Progress) + Send + Sync>;
+
+/// How a stream is delivered: metering, cancellation, backpressure.
+#[derive(Clone, Default)]
+pub struct StreamOptions {
+    /// Cooperative cancellation, checked between micro-batches; after
+    /// [`CancelToken::cancel`] the stream ends early with whatever
+    /// samples were already finished.
+    pub cancel: CancelToken,
+    /// Invoked after each finished micro-batch.
+    pub progress: Option<ProgressHook>,
+    /// Micro-batches buffered per sampling worker before sampling
+    /// blocks (backpressure for slow consumers); `None` buffers a
+    /// worker's whole chunk so sampling never waits on the consumer.
+    pub capacity: Option<usize>,
+}
+
+impl std::fmt::Debug for StreamOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamOptions")
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "<hook>"))
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl StreamOptions {
+    /// Options with a progress hook.
+    pub fn with_progress(mut self, hook: impl Fn(Progress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(hook));
+        self
+    }
+
+    /// Options with a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Options with a per-worker buffer bound (in micro-batches).
+    /// Clamped to at least 1: the delivery channels cannot be
+    /// rendezvous-only, and `0` must not silently mean "unbounded"
+    /// (that is what leaving the field `None` does).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+}
+
+/// What to generate: a job set plus the base seed deriving every
+/// per-job RNG stream (`seed ^ job_index`, matching the batch path).
+#[derive(Debug, Clone)]
+pub struct GenerationRequest {
+    jobs: JobSet,
+    seed: u64,
+}
+
+impl GenerationRequest {
+    /// A request over explicit jobs.
+    pub fn new(jobs: JobSet, seed: u64) -> Self {
+        GenerationRequest { jobs, seed }
+    }
+
+    /// The initial-generation fan-out: every starter × every mask ×
+    /// `variations` (paper §IV-C), in that nesting order.
+    pub fn fan_out(starters: &[Layout], masks: &[Mask], variations: usize, seed: u64) -> Self {
+        let mut jobs = JobSet::new();
+        for starter in starters {
+            let template = Arc::new(starter.clone());
+            for mask in masks {
+                let mask = Arc::new(mask.clone());
+                jobs.push_fan_out(&template, &mask, variations);
+            }
+        }
+        GenerationRequest { jobs, seed }
+    }
+
+    /// The jobs to run.
+    pub fn jobs(&self) -> &JobSet {
+        &self.jobs
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_inpaint::MaskSet;
+    use pp_pdk::SynthNode;
+
+    #[test]
+    fn fan_out_matches_nested_order() {
+        let node = SynthNode::small();
+        let starters = node.starter_patterns();
+        let masks: Vec<Mask> = MaskSet::ALL
+            .iter()
+            .flat_map(|s| s.masks(node.clip()))
+            .collect();
+        let req = GenerationRequest::fan_out(&starters, &masks, 2, 7);
+        assert_eq!(req.jobs().len(), starters.len() * masks.len() * 2);
+        assert_eq!(req.seed(), 7);
+        // First two jobs share starter 0 and mask 0.
+        let jobs = req.jobs().jobs();
+        assert_eq!(*jobs[0].0, starters[0]);
+        assert!(Arc::ptr_eq(&jobs[0].0, &jobs[1].0));
+        assert!(Arc::ptr_eq(&jobs[0].1, &jobs[1].1));
+        // Job `variations` moves to mask 1, same starter.
+        assert!(Arc::ptr_eq(&jobs[0].0, &jobs[2].0));
+        assert!(!Arc::ptr_eq(&jobs[0].1, &jobs[2].1));
+    }
+}

@@ -1,0 +1,38 @@
+//! Typed errors for the model's training and sampling surface.
+
+use std::fmt;
+
+/// What went wrong inside a [`crate::DiffusionModel`] call.
+///
+/// Every public training/sampling entry point validates its inputs up
+/// front and returns one of these instead of panicking, so service-style
+/// callers can surface bad requests without tearing the process down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A call received an empty input set (`what` names it).
+    Empty(&'static str),
+    /// An image dimension disagrees with the configured model size.
+    Shape {
+        /// Which input was mis-shaped (e.g. `"inpainting image"`).
+        what: &'static str,
+        /// The side length the model expects.
+        expected: u32,
+        /// The side length it received.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Empty(what) => write!(f, "{what} must be non-empty"),
+            ModelError::Shape {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} must be {expected}x{expected}, got {actual}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -28,13 +28,23 @@
 //! let config = DiffusionConfig::tiny(16);
 //! let mut model = DiffusionModel::new(config, 0);
 //! let corpus = vec![GrayImage::filled(16, 16, -1.0); 4];
-//! model.train(&corpus, 2, 2, 1e-3, 0); // 2 steps, batch 2
+//! model.train(&corpus, 2, 2, 1e-3, 0).unwrap(); // 2 steps, batch 2
 //! ```
+//!
+//! Sampling is available blocking ([`DiffusionModel::sample_inpaint_batch`])
+//! or streaming ([`DiffusionModel::sample_inpaint_stream`], micro-batches
+//! delivered in job order through bounded channels, cancellable via
+//! [`CancelToken`]); both share one worker implementation and are
+//! bit-identical per job.
 
+pub mod error;
 pub mod model;
 pub mod schedule;
+pub mod stream;
 pub mod unet;
 
+pub use error::ModelError;
 pub use model::{DiffusionConfig, DiffusionModel, Parameterization, TrainReport};
 pub use schedule::{BetaSchedule, NoiseSchedule};
+pub use stream::{CancelToken, InpaintStream, MicroBatch};
 pub use unet::{UNet, UNetConfig};

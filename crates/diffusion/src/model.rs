@@ -1,12 +1,15 @@
 //! Training, finetuning and sampling.
 
+use crate::error::ModelError;
 use crate::schedule::{BetaSchedule, NoiseSchedule};
+use crate::stream::{CancelToken, InpaintStream, MicroBatch};
 use crate::unet::{UNet, UNetConfig};
 use pp_geometry::GrayImage;
 use pp_nn::{Adam, Layer, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::{mpsc, Arc};
 
 /// What the denoiser network predicts.
 ///
@@ -198,15 +201,30 @@ impl DiffusionModel {
         Ok(())
     }
 
+    /// Checks one input image against the configured model size.
+    fn check_image(&self, what: &'static str, img: &GrayImage) -> Result<(), ModelError> {
+        for side in [img.width(), img.height()] {
+            if side != self.cfg.image {
+                return Err(ModelError::Shape {
+                    what,
+                    expected: self.cfg.image,
+                    actual: side,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Pretrains (or continues training) on a corpus with random masks.
     ///
     /// This is the stand-in for the web-scale pretraining behind the
     /// paper's `stablediffusion-inpaint` checkpoints: the corpus comes
     /// from `pp-pdk::foundation_corpus`. Returns a [`TrainReport`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the corpus is empty or image sizes mismatch the config.
+    /// [`ModelError::Empty`] on an empty corpus, [`ModelError::Shape`]
+    /// when a corpus image does not match the configured size.
     pub fn train(
         &mut self,
         corpus: &[GrayImage],
@@ -214,8 +232,13 @@ impl DiffusionModel {
         batch: usize,
         lr: f32,
         seed: u64,
-    ) -> TrainReport {
-        assert!(!corpus.is_empty(), "training corpus must be non-empty");
+    ) -> Result<TrainReport, ModelError> {
+        if corpus.is_empty() {
+            return Err(ModelError::Empty("training corpus"));
+        }
+        for img in corpus {
+            self.check_image("training image", img)?;
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut opt = Adam::new(lr);
         let mut losses = Vec::with_capacity(steps);
@@ -227,7 +250,7 @@ impl DiffusionModel {
             let loss = self.train_step(&refs, &weights, &mut opt, &mut rng);
             losses.push(loss);
         }
-        report_from(&losses)
+        Ok(report_from(&losses))
     }
 
     /// DreamBooth-style few-shot finetuning with prior preservation
@@ -235,9 +258,12 @@ impl DiffusionModel {
     /// prior-class samples (weight λ) generated by the model *before*
     /// finetuning.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `starters` is empty.
+    /// [`ModelError::Empty`] when `starters` is empty,
+    /// [`ModelError::Shape`] when a starter or prior image does not
+    /// match the configured size.
+    #[allow(clippy::too_many_arguments)]
     pub fn finetune(
         &mut self,
         starters: &[GrayImage],
@@ -247,12 +273,21 @@ impl DiffusionModel {
         batch: usize,
         lr: f32,
         seed: u64,
-    ) -> TrainReport {
-        assert!(!starters.is_empty(), "need at least one starter");
+    ) -> Result<TrainReport, ModelError> {
+        if starters.is_empty() {
+            return Err(ModelError::Empty("starter set"));
+        }
+        for img in starters.iter().chain(prior) {
+            self.check_image("finetuning image", img)?;
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut opt = Adam::new(lr);
         let mut losses = Vec::with_capacity(steps);
-        let n_prior = if prior.is_empty() { 0 } else { (batch / 2).max(1) };
+        let n_prior = if prior.is_empty() {
+            0
+        } else {
+            (batch / 2).max(1)
+        };
         let n_start = batch.saturating_sub(n_prior).max(1);
         for _ in 0..steps {
             let mut refs: Vec<&GrayImage> = Vec::with_capacity(batch);
@@ -268,7 +303,7 @@ impl DiffusionModel {
             let loss = self.train_step(&refs, &weights, &mut opt, &mut rng);
             losses.push(loss);
         }
-        report_from(&losses)
+        Ok(report_from(&losses))
     }
 
     /// One optimiser step on a weighted batch; returns the batch loss.
@@ -286,7 +321,11 @@ impl DiffusionModel {
         let mut target = Tensor::zeros([n, 1, side, side]);
         let mut ts = Vec::with_capacity(n);
         for (b, img) in images.iter().enumerate() {
-            assert_eq!(img.width(), self.cfg.image, "image size mismatch");
+            debug_assert_eq!(
+                img.width(),
+                self.cfg.image,
+                "validated by the public entry points"
+            );
             let x0 = img.as_pixels();
             let t = rng.gen_range(0..self.cfg.t_max);
             ts.push(t);
@@ -311,8 +350,8 @@ impl DiffusionModel {
         // Weighted MSE on x̂0.
         let mut loss = 0.0f32;
         let mut grad = Tensor::zeros(pred.shape());
-        for b in 0..n {
-            let w = weights[b] / (n * hw) as f32;
+        for (b, &weight) in weights.iter().enumerate() {
+            let w = weight / (n * hw) as f32;
             let pp = pred.plane(b, 0);
             let tp = target.plane(b, 0);
             let gp = grad.plane_mut(b, 0);
@@ -335,11 +374,24 @@ impl DiffusionModel {
     /// model's `x̂0` is composited with the known pixels before the
     /// update, so the reverse process is steered by the surrounding
     /// design-rule context.
-    pub fn sample_inpaint(&self, image: &GrayImage, mask: &GrayImage, seed: u64) -> GrayImage {
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Shape`] when the image or mask does not match the
+    /// configured size.
+    pub fn sample_inpaint(
+        &self,
+        image: &GrayImage,
+        mask: &GrayImage,
+        seed: u64,
+    ) -> Result<GrayImage, ModelError> {
+        self.check_image("inpainting image", image)?;
+        self.check_image("inpainting mask", mask)?;
         let mut unet = self.unet.clone();
-        self.sample_chunk(&mut unet, &[(image, mask)], &[seed])
+        Ok(self
+            .sample_chunk(&mut unet, &[(image, mask)], &[seed])
             .pop()
-            .expect("one job in, one sample out")
+            .expect("one job in, one sample out"))
     }
 
     /// Batch inpainting across worker threads: each worker packs its
@@ -348,12 +400,17 @@ impl DiffusionModel {
     /// jobs. Results keep job order and are bit-identical to calling
     /// [`DiffusionModel::sample_inpaint`] per job with seed
     /// `seed ^ job_index`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Shape`] when any job image or mask does not match
+    /// the configured size.
     pub fn sample_inpaint_batch(
         &self,
         jobs: &[(GrayImage, GrayImage)],
         seed: u64,
         threads: usize,
-    ) -> Vec<GrayImage> {
+    ) -> Result<Vec<GrayImage>, ModelError> {
         self.sample_inpaint_batch_sized(jobs, seed, threads, 0)
     }
 
@@ -361,49 +418,136 @@ impl DiffusionModel {
     /// micro-batch cap: each worker splits its chunk into groups of at
     /// most `batch_size` jobs per network pass (`0` = the whole chunk),
     /// trading peak activation memory against per-pass overhead.
+    ///
+    /// Implemented as a full collect of
+    /// [`DiffusionModel::sample_inpaint_stream`], so the blocking and
+    /// streaming paths cannot drift apart. The convenience costs one
+    /// weight + job-image copy per call (the workers need owned data);
+    /// callers on a hot path should hold the model in an `Arc` and use
+    /// the stream directly, as `pp-core`'s sampler does.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Shape`] when any job image or mask does not match
+    /// the configured size.
     pub fn sample_inpaint_batch_sized(
         &self,
         jobs: &[(GrayImage, GrayImage)],
         seed: u64,
         threads: usize,
         batch_size: usize,
-    ) -> Vec<GrayImage> {
-        if jobs.is_empty() {
-            return Vec::new();
+    ) -> Result<Vec<GrayImage>, ModelError> {
+        let stream = Arc::new(self.clone()).sample_inpaint_stream(
+            jobs.to_vec(),
+            seed,
+            threads,
+            batch_size,
+            0,
+            CancelToken::new(),
+        )?;
+        let mut out = Vec::with_capacity(jobs.len());
+        for mb in stream {
+            debug_assert_eq!(mb.start, out.len(), "stream must deliver in job order");
+            out.extend(mb.samples);
         }
-        let threads = threads.max(1).min(jobs.len());
-        let per_worker = jobs.len().div_ceil(threads);
-        let micro = if batch_size == 0 { per_worker } else { batch_size };
-        let mut results: Vec<Option<GrayImage>> = vec![None; jobs.len()];
-        std::thread::scope(|scope| {
-            let chunks = results.chunks_mut(per_worker);
-            for (w, chunk) in chunks.enumerate() {
-                let start = w * per_worker;
-                let model = &*self;
-                scope.spawn(move || {
-                    let mut unet = model.unet.clone();
-                    let mut done = 0;
-                    while done < chunk.len() {
-                        let take = micro.min(chunk.len() - done);
-                        let refs: Vec<(&GrayImage, &GrayImage)> = (0..take)
-                            .map(|i| {
-                                let (img, mask) = &jobs[start + done + i];
-                                (img, mask)
-                            })
-                            .collect();
-                        let seeds: Vec<u64> = (0..take)
-                            .map(|i| seed ^ (start + done + i) as u64)
-                            .collect();
-                        let outs = model.sample_chunk(&mut unet, &refs, &seeds);
-                        for (slot, out) in chunk[done..done + take].iter_mut().zip(outs) {
-                            *slot = Some(out);
-                        }
-                        done += take;
-                    }
-                });
+        Ok(out)
+    }
+
+    /// Streams batched inpainting results as they complete.
+    ///
+    /// The worker layout, micro-batching and per-job seed derivation
+    /// (`seed ^ job_index`) are identical to
+    /// [`DiffusionModel::sample_inpaint_batch_sized`], so every job's
+    /// output is bit-identical to the blocking path; only the delivery
+    /// differs. Micro-batches arrive strictly in job order.
+    ///
+    /// `capacity` bounds each worker's channel in micro-batches
+    /// (backpressure for slow consumers); `0` sizes the channel to the
+    /// worker's whole chunk so sampling never blocks on delivery.
+    /// `cancel` is checked between micro-batches: after cancellation no
+    /// new micro-batch starts, but finished ones still reach the
+    /// consumer (partial results).
+    ///
+    /// Takes `&Arc<Self>` so the workers share the caller's allocation
+    /// — a stream costs no weight copy beyond each worker's private
+    /// U-Net workspace clone.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Shape`] when any job image or mask does not match
+    /// the configured size.
+    pub fn sample_inpaint_stream(
+        self: &Arc<Self>,
+        jobs: Vec<(GrayImage, GrayImage)>,
+        seed: u64,
+        threads: usize,
+        batch_size: usize,
+        capacity: usize,
+        cancel: CancelToken,
+    ) -> Result<InpaintStream, ModelError> {
+        for (img, mask) in &jobs {
+            self.check_image("inpainting image", img)?;
+            self.check_image("inpainting mask", mask)?;
+        }
+        let total = jobs.len();
+        if total == 0 {
+            return Ok(InpaintStream::new(Vec::new(), Vec::new(), 0));
+        }
+        let threads = threads.max(1).min(total);
+        let per_worker = total.div_ceil(threads);
+        let micro = if batch_size == 0 {
+            per_worker
+        } else {
+            batch_size
+        };
+        let model = Arc::clone(self);
+        let jobs = Arc::new(jobs);
+        let mut rxs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let start = w * per_worker;
+            let end = ((w + 1) * per_worker).min(total);
+            let chunk_batches = (end - start).div_ceil(micro);
+            let cap = if capacity == 0 {
+                chunk_batches
+            } else {
+                capacity
             }
-        });
-        results.into_iter().map(|r| r.expect("worker filled slot")).collect()
+            .max(1);
+            let (tx, rx) = mpsc::sync_channel(cap);
+            rxs.push(rx);
+            let model = Arc::clone(&model);
+            let jobs = Arc::clone(&jobs);
+            let cancel = cancel.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut unet = model.unet.clone();
+                let mut done = start;
+                while done < end {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let take = micro.min(end - done);
+                    let refs: Vec<(&GrayImage, &GrayImage)> = jobs[done..done + take]
+                        .iter()
+                        .map(|(i, m)| (i, m))
+                        .collect();
+                    let seeds: Vec<u64> = (done..done + take).map(|i| seed ^ i as u64).collect();
+                    let samples = model.sample_chunk(&mut unet, &refs, &seeds);
+                    // A send error means the consumer dropped the stream.
+                    if tx
+                        .send(MicroBatch {
+                            start: done,
+                            samples,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                    done += take;
+                }
+            }));
+        }
+        Ok(InpaintStream::new(rxs, handles, total))
     }
 
     /// Unconditional samples (full mask over a blank canvas) — used to
@@ -414,6 +558,7 @@ impl DiffusionModel {
         let jobs: Vec<(GrayImage, GrayImage)> =
             (0..n).map(|_| (blank.clone(), full.clone())).collect();
         self.sample_inpaint_batch(&jobs, seed ^ 0x9e3779b9, 2)
+            .expect("prior jobs are well-formed by construction")
     }
 
     /// The batched DDIM core: runs `jobs` (image, mask pairs) through
@@ -442,8 +587,16 @@ impl DiffusionModel {
         let mut input = Tensor::zeros([b, 3, side, side]);
         let mut xs: Vec<Vec<f32>> = Vec::with_capacity(b);
         for (bi, ((image, mask), &job_seed)) in jobs.iter().zip(seeds).enumerate() {
-            assert_eq!(image.width(), self.cfg.image, "image size mismatch");
-            assert_eq!(mask.width(), self.cfg.image, "mask size mismatch");
+            debug_assert_eq!(
+                image.width(),
+                self.cfg.image,
+                "validated by the public entry points"
+            );
+            debug_assert_eq!(
+                mask.width(),
+                self.cfg.image,
+                "validated by the public entry points"
+            );
             let m = mask.as_pixels();
             input.plane_mut(bi, 1).copy_from_slice(m);
             let masked = input.plane_mut(bi, 2);
@@ -468,7 +621,11 @@ impl DiffusionModel {
             // region into the prediction (Eq. 8).
             let ab = self.schedule.alpha_bar(t);
             let (sa, sn) = (ab.sqrt().max(1e-4), (1.0 - ab).sqrt());
-            let s = if i + 1 < ts.len() { ts[i + 1] } else { usize::MAX };
+            let s = if i + 1 < ts.len() {
+                ts[i + 1]
+            } else {
+                usize::MAX
+            };
             for (bi, ((image, mask), x)) in jobs.iter().zip(&mut xs).enumerate() {
                 let x0_known = image.as_pixels();
                 let m = mask.as_pixels();
@@ -552,7 +709,7 @@ mod tests {
     fn training_reduces_loss() {
         let mut model = DiffusionModel::new(DiffusionConfig::tiny(16), 1);
         let corpus = tiny_corpus(16);
-        let report = model.train(&corpus, 60, 2, 3e-3, 0);
+        let report = model.train(&corpus, 60, 2, 3e-3, 0).unwrap();
         assert_eq!(report.steps, 60);
         assert!(
             report.tail_loss < 0.5,
@@ -565,7 +722,7 @@ mod tests {
     fn inpainting_preserves_known_region() {
         let mut model = DiffusionModel::new(DiffusionConfig::tiny(16), 2);
         let corpus = tiny_corpus(16);
-        let _ = model.train(&corpus, 30, 2, 3e-3, 1);
+        let _ = model.train(&corpus, 30, 2, 3e-3, 1).unwrap();
         let image = corpus[0].clone();
         // Mask only the right half.
         let mut mask = GrayImage::filled(16, 16, 0.0);
@@ -574,7 +731,7 @@ mod tests {
                 mask.set(x, y, 1.0);
             }
         }
-        let out = model.sample_inpaint(&image, &mask, 7);
+        let out = model.sample_inpaint(&image, &mask, 7).unwrap();
         for y in 0..16 {
             for x in 0..8 {
                 assert_eq!(out.get(x, y), image.get(x, y), "known pixel changed");
@@ -587,9 +744,9 @@ mod tests {
         let model = DiffusionModel::new(DiffusionConfig::tiny(16), 3);
         let image = GrayImage::filled(16, 16, -1.0);
         let mask = GrayImage::filled(16, 16, 1.0);
-        let a = model.sample_inpaint(&image, &mask, 42);
-        let b = model.sample_inpaint(&image, &mask, 42);
-        let c = model.sample_inpaint(&image, &mask, 43);
+        let a = model.sample_inpaint(&image, &mask, 42).unwrap();
+        let b = model.sample_inpaint(&image, &mask, 42).unwrap();
+        let c = model.sample_inpaint(&image, &mask, 43).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -600,9 +757,9 @@ mod tests {
         let image = GrayImage::filled(16, 16, -1.0);
         let mask = GrayImage::filled(16, 16, 1.0);
         let jobs = vec![(image.clone(), mask.clone()), (image.clone(), mask.clone())];
-        let batch = model.sample_inpaint_batch(&jobs, 9, 2);
-        let solo0 = model.sample_inpaint(&image, &mask, 9 ^ 0);
-        let solo1 = model.sample_inpaint(&image, &mask, 9 ^ 1);
+        let batch = model.sample_inpaint_batch(&jobs, 9, 2).unwrap();
+        let solo0 = model.sample_inpaint(&image, &mask, 9).unwrap();
+        let solo1 = model.sample_inpaint(&image, &mask, 9 ^ 1).unwrap();
         assert_eq!(batch[0], solo0);
         assert_eq!(batch[1], solo1);
     }
@@ -640,12 +797,13 @@ mod tests {
             let solo: Vec<GrayImage> = jobs
                 .iter()
                 .enumerate()
-                .map(|(i, (img, mask))| model.sample_inpaint(img, mask, 0x5a ^ i as u64))
+                .map(|(i, (img, mask))| model.sample_inpaint(img, mask, 0x5a ^ i as u64).unwrap())
                 .collect();
             for &threads in &[1usize, 2, 3] {
                 for &batch_size in &[0usize, 1, 3] {
-                    let batched =
-                        model.sample_inpaint_batch_sized(&jobs, 0x5a, threads, batch_size);
+                    let batched = model
+                        .sample_inpaint_batch_sized(&jobs, 0x5a, threads, batch_size)
+                        .unwrap();
                     assert_eq!(
                         batched, solo,
                         "divergence at B={b} threads={threads} batch_size={batch_size}"
@@ -658,7 +816,105 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let model = DiffusionModel::new(DiffusionConfig::tiny(16), 4);
-        assert!(model.sample_inpaint_batch(&[], 1, 4).is_empty());
+        assert!(model.sample_inpaint_batch(&[], 1, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stream_delivers_in_order_and_matches_batch() {
+        let model = Arc::new(DiffusionModel::new(DiffusionConfig::tiny(16), 8));
+        let jobs = mixed_jobs(7);
+        let batch = model.sample_inpaint_batch_sized(&jobs, 0x77, 2, 2).unwrap();
+        let stream = model
+            .sample_inpaint_stream(jobs.clone(), 0x77, 2, 2, 1, CancelToken::new())
+            .unwrap();
+        assert_eq!(stream.total_jobs(), 7);
+        let mut streamed = Vec::new();
+        for mb in stream {
+            assert_eq!(mb.start, streamed.len(), "out-of-order micro-batch");
+            streamed.extend(mb.samples);
+        }
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn pre_cancelled_stream_yields_nothing() {
+        let model = Arc::new(DiffusionModel::new(DiffusionConfig::tiny(16), 8));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let stream = model
+            .sample_inpaint_stream(mixed_jobs(6), 3, 2, 1, 1, cancel)
+            .unwrap();
+        assert_eq!(stream.count(), 0);
+    }
+
+    #[test]
+    fn mid_stream_cancel_stops_early_with_partial_results() {
+        let model = Arc::new(DiffusionModel::new(DiffusionConfig::tiny(16), 8));
+        let cancel = CancelToken::new();
+        // batch_size 1 and capacity 1 bound how far workers run ahead:
+        // at most (1 buffered + 1 in flight) per worker after cancel.
+        let stream = model
+            .sample_inpaint_stream(mixed_jobs(24), 5, 2, 1, 1, cancel.clone())
+            .unwrap();
+        let mut seen = 0;
+        for mb in stream {
+            seen += mb.samples.len();
+            cancel.cancel();
+        }
+        assert!(seen >= 1, "cancellation must still deliver partial results");
+        assert!(seen < 24, "cancellation failed to stop the stream early");
+    }
+
+    #[test]
+    fn dropping_a_stream_stops_workers() {
+        let model = Arc::new(DiffusionModel::new(DiffusionConfig::tiny(16), 8));
+        let mut stream = model
+            .sample_inpaint_stream(mixed_jobs(12), 9, 2, 1, 1, CancelToken::new())
+            .unwrap();
+        let first = stream.next().expect("at least one micro-batch");
+        assert_eq!(first.start, 0);
+        drop(stream); // must disconnect and join without deadlock
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let mut model = DiffusionModel::new(DiffusionConfig::tiny(16), 1);
+        let bad = GrayImage::filled(8, 8, -1.0);
+        let mask = GrayImage::filled(16, 16, 1.0);
+        let err = model.sample_inpaint(&bad, &mask, 0).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::Shape {
+                what: "inpainting image",
+                expected: 16,
+                actual: 8
+            }
+        );
+        let err = model
+            .sample_inpaint_batch(&[(mask.clone(), bad.clone())], 0, 1)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::Shape {
+                what: "inpainting mask",
+                ..
+            }
+        ));
+        let err = model.train(&[bad], 1, 1, 1e-3, 0).unwrap_err();
+        assert!(matches!(err, ModelError::Shape { .. }));
+    }
+
+    #[test]
+    fn empty_corpus_is_reported() {
+        let mut model = DiffusionModel::new(DiffusionConfig::tiny(16), 1);
+        assert_eq!(
+            model.train(&[], 1, 1, 1e-3, 0).unwrap_err(),
+            ModelError::Empty("training corpus")
+        );
+        assert_eq!(
+            model.finetune(&[], &[], 0.5, 1, 1, 1e-3, 0).unwrap_err(),
+            ModelError::Empty("starter set")
+        );
     }
 
     #[test]
@@ -675,7 +931,7 @@ mod tests {
         cfg.parameterization = Parameterization::Epsilon;
         let mut model = DiffusionModel::new(cfg, 9);
         let corpus = tiny_corpus(16);
-        let report = model.train(&corpus, 40, 2, 3e-3, 4);
+        let report = model.train(&corpus, 40, 2, 3e-3, 4).unwrap();
         assert!(report.tail_loss.is_finite());
         // Known region is still preserved exactly under ε-prediction.
         let mut mask = GrayImage::filled(16, 16, 0.0);
@@ -684,7 +940,7 @@ mod tests {
                 mask.set(x, y, 1.0);
             }
         }
-        let out = model.sample_inpaint(&corpus[0], &mask, 5);
+        let out = model.sample_inpaint(&corpus[0], &mask, 5).unwrap();
         for y in 0..16 {
             for x in 0..8 {
                 assert_eq!(out.get(x, y), corpus[0].get(x, y));
@@ -696,14 +952,17 @@ mod tests {
     fn weights_roundtrip_through_serialization() {
         let mut a = DiffusionModel::new(DiffusionConfig::tiny(16), 10);
         let corpus = tiny_corpus(16);
-        let _ = a.train(&corpus, 5, 2, 1e-3, 0);
+        let _ = a.train(&corpus, 5, 2, 1e-3, 0).unwrap();
         let mut bytes = Vec::new();
         a.save_weights(&mut bytes).unwrap();
         let mut b = DiffusionModel::new(DiffusionConfig::tiny(16), 999);
         b.load_weights(bytes.as_slice()).unwrap();
         let img = GrayImage::filled(16, 16, -1.0);
         let mask = GrayImage::filled(16, 16, 1.0);
-        assert_eq!(a.sample_inpaint(&img, &mask, 3), b.sample_inpaint(&img, &mask, 3));
+        assert_eq!(
+            a.sample_inpaint(&img, &mask, 3).unwrap(),
+            b.sample_inpaint(&img, &mask, 3).unwrap()
+        );
     }
 
     #[test]
@@ -720,7 +979,9 @@ mod tests {
         let mut model = DiffusionModel::new(DiffusionConfig::tiny(16), 6);
         let corpus = tiny_corpus(16);
         let prior = model.sample_prior(2, 1);
-        let report = model.finetune(&corpus, &prior, 0.5, 10, 2, 1e-3, 2);
+        let report = model
+            .finetune(&corpus, &prior, 0.5, 10, 2, 1e-3, 2)
+            .unwrap();
         assert_eq!(report.steps, 10);
         assert!(report.final_loss.is_finite());
     }

@@ -10,7 +10,9 @@
 //! Backward passes are wired by hand in exact reverse topological order;
 //! a finite-difference test validates the whole graph.
 
-use pp_nn::{AvgPool2, Conv2d, GroupNorm, Layer, Linear, Param, Silu, Tensor, Upsample2, Workspace};
+use pp_nn::{
+    AvgPool2, Conv2d, GroupNorm, Layer, Linear, Param, Silu, Tensor, Upsample2, Workspace,
+};
 use serde::{Deserialize, Serialize};
 
 /// Architecture hyperparameters.
@@ -45,9 +47,9 @@ impl UNetConfig {
 }
 
 fn groups_for(c: usize) -> usize {
-    if c % 4 == 0 && c >= 8 {
+    if c.is_multiple_of(4) && c >= 8 {
         4
-    } else if c % 2 == 0 {
+    } else if c.is_multiple_of(2) {
         2
     } else {
         1
@@ -107,7 +109,9 @@ impl ResBlock {
     /// Returns (∂loss/∂x, ∂loss/∂emb).
     fn backward(&mut self, grad: Tensor) -> (Tensor, Tensor) {
         let g_skip = grad.clone();
-        let g = self.gn2.backward(self.silu2.backward(self.conv2.backward(grad)));
+        let g = self
+            .gn2
+            .backward(self.silu2.backward(self.conv2.backward(grad)));
         // Time-bias gradient: sum over spatial positions per channel.
         let n = g.n();
         let mut gtb = Tensor::zeros([n, self.out_c, 1, 1]);
@@ -117,7 +121,9 @@ impl ResBlock {
             }
         }
         let g_emb = self.time_proj.backward(gtb);
-        let mut gx = self.gn1.backward(self.silu1.backward(self.conv1.backward(g)));
+        let mut gx = self
+            .gn1
+            .backward(self.silu1.backward(self.conv1.backward(g)));
         let gx_skip = match &mut self.skip {
             Some(c) => c.backward(g_skip),
             None => g_skip,
@@ -209,7 +215,10 @@ impl UNet {
     ///
     /// Panics unless the image side is divisible by 4.
     pub fn new(cfg: UNetConfig, t_max: usize, seed: u64) -> Self {
-        assert!(cfg.image % 4 == 0, "image side must be divisible by 4");
+        assert!(
+            cfg.image.is_multiple_of(4),
+            "image side must be divisible by 4"
+        );
         let c = cfg.base_ch;
         let td = cfg.time_dim;
         UNet {
@@ -330,10 +339,7 @@ impl UNet {
         let u2 = self.up2.forward_infer(&hm, &mut ws);
         ws.give(hm.into_vec());
         let [n, cu, h, w] = u2.shape();
-        let mut c2 = Tensor::from_vec(
-            [n, cu + h2.c(), h, w],
-            ws.take(n * (cu + h2.c()) * h * w),
-        );
+        let mut c2 = Tensor::from_vec([n, cu + h2.c(), h, w], ws.take(n * (cu + h2.c()) * h * w));
         u2.concat_channels_into(&h2, &mut c2);
         ws.give(u2.into_vec());
         ws.give(h2.into_vec());
@@ -343,10 +349,7 @@ impl UNet {
         let u1 = self.up1.forward_infer(&h4, &mut ws);
         ws.give(h4.into_vec());
         let [n, cu, h, w] = u1.shape();
-        let mut c1 = Tensor::from_vec(
-            [n, cu + h1.c(), h, w],
-            ws.take(n * (cu + h1.c()) * h * w),
-        );
+        let mut c1 = Tensor::from_vec([n, cu + h1.c(), h, w], ws.take(n * (cu + h1.c()) * h * w));
         u1.concat_channels_into(&h1, &mut c1);
         ws.give(u1.into_vec());
         ws.give(h1.into_vec());

@@ -60,7 +60,11 @@ impl GrayImage {
             (width as usize) * (height as usize),
             "pixel count must match dimensions"
         );
-        GrayImage { width, height, pixels }
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Encodes a binary layout as ±1 pixels.

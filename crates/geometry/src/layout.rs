@@ -56,7 +56,11 @@ impl Layout {
             (width as usize) * (height as usize),
             "bit vector length must match dimensions"
         );
-        Layout { width, height, bits }
+        Layout {
+            width,
+            height,
+            bits,
+        }
     }
 
     /// Parses a layout from an ASCII art string where `#`/`1` are metal and

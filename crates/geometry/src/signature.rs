@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn distinguishes_layouts() {
-        assert_ne!(Signature::of_layout(&wire(2)), Signature::of_layout(&wire(3)));
+        assert_ne!(
+            Signature::of_layout(&wire(2)),
+            Signature::of_layout(&wire(3))
+        );
     }
 
     #[test]

@@ -94,8 +94,16 @@ impl SquishPattern {
     /// Panics if the Δ vector lengths do not match the topology dimensions
     /// or any Δ is zero.
     pub fn new(topology: TopologyMatrix, dx: Vec<u32>, dy: Vec<u32>) -> Self {
-        assert_eq!(topology.cols(), dx.len(), "dx length must equal topology cols");
-        assert_eq!(topology.rows(), dy.len(), "dy length must equal topology rows");
+        assert_eq!(
+            topology.cols(),
+            dx.len(),
+            "dx length must equal topology cols"
+        );
+        assert_eq!(
+            topology.rows(),
+            dy.len(),
+            "dy length must equal topology rows"
+        );
         assert!(dx.iter().all(|&d| d > 0), "dx entries must be positive");
         assert!(dy.iter().all(|&d| d > 0), "dy entries must be positive");
         SquishPattern { topology, dx, dy }
@@ -224,7 +232,11 @@ fn cumsum(deltas: &[u32]) -> Vec<u32> {
 fn validate_lines(lines: &[u32], extent: u32) {
     assert!(lines.len() >= 2, "need at least two scan lines");
     assert_eq!(lines[0], 0, "scan lines must start at 0");
-    assert_eq!(*lines.last().unwrap(), extent, "scan lines must end at clip size");
+    assert_eq!(
+        *lines.last().unwrap(),
+        extent,
+        "scan lines must end at clip size"
+    );
     assert!(
         lines.windows(2).all(|w| w[0] < w[1]),
         "scan lines must be strictly increasing"

@@ -202,10 +202,26 @@ mod tests {
         assert_eq!(
             bars,
             vec![
-                Bar { row: 0, c0: 1, c1: 3 },
-                Bar { row: 1, c0: 1, c1: 3 },
-                Bar { row: 2, c0: 0, c1: 1 },
-                Bar { row: 2, c0: 3, c1: 4 },
+                Bar {
+                    row: 0,
+                    c0: 1,
+                    c1: 3
+                },
+                Bar {
+                    row: 1,
+                    c0: 1,
+                    c1: 3
+                },
+                Bar {
+                    row: 2,
+                    c0: 0,
+                    c1: 1
+                },
+                Bar {
+                    row: 2,
+                    c0: 3,
+                    c1: 4
+                },
             ]
         );
     }

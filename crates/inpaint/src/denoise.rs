@@ -134,7 +134,13 @@ impl NlmDenoiser {
         for dy in -r..=r {
             for dx in -r..=r {
                 let (p, q) = ((ax + dx, ay + dy), (bx + dx, by + dy));
-                if p.0 >= 0 && p.0 < w && p.1 >= 0 && p.1 < h && q.0 >= 0 && q.0 < w && q.1 >= 0
+                if p.0 >= 0
+                    && p.0 < w
+                    && p.1 >= 0
+                    && p.1 < h
+                    && q.0 >= 0
+                    && q.0 < w
+                    && q.1 >= 0
                     && q.1 < h
                 {
                     let a = img.get(p.0 as u32, p.1 as u32);
@@ -174,14 +180,7 @@ impl Denoiser for NlmDenoiser {
                         if nx < 0 || ny < 0 || nx >= i64::from(w) || ny >= i64::from(h) {
                             continue;
                         }
-                        let d = Self::patch_distance(
-                            noisy,
-                            i64::from(x),
-                            i64::from(y),
-                            nx,
-                            ny,
-                            r,
-                        );
+                        let d = Self::patch_distance(noisy, i64::from(x), i64::from(y), nx, ny, r);
                         let wgt = (-d / h2).exp();
                         acc += wgt * noisy.get(nx as u32, ny as u32);
                         norm += wgt;

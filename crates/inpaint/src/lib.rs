@@ -34,4 +34,4 @@ pub mod denoise;
 pub mod masks;
 
 pub use denoise::{Denoiser, NlmDenoiser, TemplateDenoiser, ThresholdDenoiser};
-pub use masks::{Mask, MaskSchedule, MaskSet};
+pub use masks::{Mask, MaskError, MaskSchedule, MaskSet};

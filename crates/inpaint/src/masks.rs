@@ -2,6 +2,47 @@
 
 use pp_geometry::{GrayImage, Rect};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a mask (set) could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaskError {
+    /// The requested region does not fit inside the clip.
+    RegionOutOfBounds {
+        /// Clip side length.
+        side: u32,
+        /// The offending region.
+        region: Rect,
+    },
+    /// The clip is too small for the predefined mask sets.
+    ClipTooSmall {
+        /// Clip side length.
+        side: u32,
+        /// Minimum supported side length.
+        min: u32,
+    },
+}
+
+impl fmt::Display for MaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaskError::RegionOutOfBounds { side, region } => {
+                write!(
+                    f,
+                    "mask region {region:?} must fit in the {side}x{side} clip"
+                )
+            }
+            MaskError::ClipTooSmall { side, min } => {
+                write!(
+                    f,
+                    "clip side {side} too small for the predefined masks (min {min})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaskError {}
 
 /// A binary inpainting mask: 1 marks the region to regenerate.
 ///
@@ -16,21 +57,30 @@ pub struct Mask {
 impl Mask {
     /// A rectangular mask inside a `side`×`side` clip.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the rect does not fit inside the clip.
-    pub fn from_rect(side: u32, region: Rect) -> Self {
-        assert!(
-            region.right() <= side && region.bottom() <= side,
-            "mask region must fit in the clip"
-        );
+    /// [`MaskError::RegionOutOfBounds`] if the rect does not fit inside
+    /// the clip.
+    pub fn try_from_rect(side: u32, region: Rect) -> Result<Self, MaskError> {
+        if region.right() > side || region.bottom() > side {
+            return Err(MaskError::RegionOutOfBounds { side, region });
+        }
         let mut image = GrayImage::filled(side, side, 0.0);
         for y in region.y..region.bottom() {
             for x in region.x..region.right() {
                 image.set(x, y, 1.0);
             }
         }
-        Mask { region, image }
+        Ok(Mask { region, image })
+    }
+
+    /// [`Mask::try_from_rect`] for known-good regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rect does not fit inside the clip.
+    pub fn from_rect(side: u32, region: Rect) -> Self {
+        Self::try_from_rect(side, region).expect("mask region must fit in the clip")
     }
 
     /// A full-clip mask (unconditional generation).
@@ -71,6 +121,19 @@ impl MaskSet {
     pub const ALL: [MaskSet; 2] = [MaskSet::Default, MaskSet::Horizontal];
 
     /// The five masks of this set for a `side`×`side` clip.
+    ///
+    /// # Errors
+    ///
+    /// [`MaskError::ClipTooSmall`] if `side < 8` (masks would
+    /// degenerate).
+    pub fn try_masks(&self, side: u32) -> Result<Vec<Mask>, MaskError> {
+        if side < 8 {
+            return Err(MaskError::ClipTooSmall { side, min: 8 });
+        }
+        Ok(self.masks(side))
+    }
+
+    /// [`MaskSet::try_masks`] for known-good clips.
     ///
     /// # Panics
     ///
@@ -125,11 +188,24 @@ pub struct MaskSchedule {
 
 impl MaskSchedule {
     /// Creates a schedule over one mask set.
-    pub fn new(set: MaskSet, side: u32) -> Self {
-        MaskSchedule {
+    ///
+    /// # Errors
+    ///
+    /// [`MaskError::ClipTooSmall`] if `side < 8`.
+    pub fn try_new(set: MaskSet, side: u32) -> Result<Self, MaskError> {
+        Ok(MaskSchedule {
             set,
-            masks: set.masks(side),
-        }
+            masks: set.try_masks(side)?,
+        })
+    }
+
+    /// [`MaskSchedule::try_new`] for known-good clips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 8`.
+    pub fn new(set: MaskSet, side: u32) -> Self {
+        Self::try_new(set, side).expect("clip too small for the predefined masks")
     }
 
     /// The set this schedule walks.
@@ -209,5 +285,20 @@ mod tests {
     #[should_panic(expected = "must fit")]
     fn oversized_region_rejected() {
         let _ = Mask::from_rect(16, Rect::new(10, 10, 10, 10));
+    }
+
+    #[test]
+    fn try_constructors_report_errors() {
+        let region = Rect::new(10, 10, 10, 10);
+        assert_eq!(
+            Mask::try_from_rect(16, region).unwrap_err(),
+            MaskError::RegionOutOfBounds { side: 16, region }
+        );
+        assert_eq!(
+            MaskSet::Default.try_masks(4).unwrap_err(),
+            MaskError::ClipTooSmall { side: 4, min: 8 }
+        );
+        assert!(MaskSchedule::try_new(MaskSet::Horizontal, 4).is_err());
+        assert_eq!(MaskSet::Default.try_masks(32).unwrap().len(), 5);
     }
 }

@@ -121,8 +121,7 @@ impl LibraryStats {
 
     /// Scores a library of raster layouts (squishes them first).
     pub fn from_layouts(layouts: &[Layout]) -> Self {
-        let patterns: Vec<SquishPattern> =
-            layouts.iter().map(SquishPattern::from_layout).collect();
+        let patterns: Vec<SquishPattern> = layouts.iter().map(SquishPattern::from_layout).collect();
         Self::from_squish(&patterns)
     }
 }
@@ -182,8 +181,7 @@ mod tests {
         // All single wires share complexity (2, 2) -> H1 = 0 even though
         // geometry differs.
         let layouts: Vec<Layout> = (0..4).map(|i| wire(2 + i * 4, 2, 20)).collect();
-        let patterns: Vec<SquishPattern> =
-            layouts.iter().map(SquishPattern::from_layout).collect();
+        let patterns: Vec<SquishPattern> = layouts.iter().map(SquishPattern::from_layout).collect();
         assert_eq!(h1_entropy(&patterns), 0.0);
         assert!(h2_entropy(&patterns) > 1.9);
     }

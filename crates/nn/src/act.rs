@@ -268,7 +268,8 @@ mod tests {
             let mut sub_out = vec![0.0f32; sub.len()];
             silu_slice(&mut sub_out, sub);
             assert_eq!(
-                &sub_out[..], &out[offset..],
+                &sub_out[..],
+                &out[offset..],
                 "lane split changed bits at offset {offset}"
             );
         }

@@ -97,8 +97,7 @@ impl Conv2d {
                         let sy = iy - pad;
                         dst[..d0].fill(0.0);
                         dst[d0 + len..].fill(0.0);
-                        dst[d0..d0 + len]
-                            .copy_from_slice(&plane[sy * w + s0..sy * w + s0 + len]);
+                        dst[d0..d0 + len].copy_from_slice(&plane[sy * w + s0..sy * w + s0 + len]);
                     }
                 }
             }
@@ -237,8 +236,16 @@ impl Layer for Conv2d {
         let mut ws = std::mem::take(&mut self.scratch);
         let mut gx = Tensor::zeros(x.shape());
         let direct = self.direct_input();
-        let mut col = if direct { Vec::new() } else { ws.take(ick * hw) };
-        let mut colg = if direct { Vec::new() } else { ws.take(ick * hw) };
+        let mut col = if direct {
+            Vec::new()
+        } else {
+            ws.take(ick * hw)
+        };
+        let mut colg = if direct {
+            Vec::new()
+        } else {
+            ws.take(ick * hw)
+        };
         for b in 0..n {
             let go = &grad.data()[b * self.out_c * hw..(b + 1) * self.out_c * hw];
             // Bias gradient: per-channel sums of the output gradient.
@@ -368,7 +375,12 @@ mod tests {
 
     #[test]
     fn im2col_fast_matches_reference() {
-        for &(ic, k, h, w) in &[(2usize, 3usize, 5usize, 5usize), (1, 1, 4, 6), (3, 5, 4, 4), (2, 3, 6, 3)] {
+        for &(ic, k, h, w) in &[
+            (2usize, 3usize, 5usize, 5usize),
+            (1, 1, 4, 6),
+            (3, 5, 4, 4),
+            (2, 3, 6, 3),
+        ] {
             let conv = Conv2d::new(ic, 2, k, 3);
             let x = random_tensor([2, ic, h, w], (ic + k + h + w) as u64);
             let len = ic * k * k * h * w;

@@ -40,7 +40,10 @@ impl GroupNorm {
     ///
     /// Panics unless `groups` divides `channels`.
     pub fn new(channels: usize, groups: usize) -> Self {
-        assert!(groups > 0 && channels % groups == 0, "groups must divide channels");
+        assert!(
+            groups > 0 && channels.is_multiple_of(groups),
+            "groups must divide channels"
+        );
         GroupNorm {
             channels,
             groups,
@@ -65,7 +68,11 @@ impl GroupNorm {
         mean /= m;
         let mut var = 0.0f32;
         for ci in g * cpg..(g + 1) * cpg {
-            var += x.plane(b, ci).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>();
+            var += x
+                .plane(b, ci)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>();
         }
         var /= m;
         (mean, 1.0 / (var + self.eps).sqrt())
@@ -196,7 +203,11 @@ mod tests {
         let mut gn = GroupNorm::new(2, 1);
         let y = gn.forward(random_tensor([1, 2, 4, 4], 1));
         let mean = y.mean();
-        let var = y.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = y
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / y.len() as f32;
         assert!(mean.abs() < 1e-5, "mean {mean}");
         assert!((var - 1.0).abs() < 1e-3, "var {var}");
@@ -207,7 +218,8 @@ mod tests {
         let mut gn = GroupNorm::new(2, 2);
         // Channel 0 large values, channel 1 small: per-group norm fixes both.
         let mut x = Tensor::zeros([1, 2, 2, 2]);
-        x.plane_mut(0, 0).copy_from_slice(&[100.0, 101.0, 102.0, 103.0]);
+        x.plane_mut(0, 0)
+            .copy_from_slice(&[100.0, 101.0, 102.0, 103.0]);
         x.plane_mut(0, 1).copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
         let y = gn.forward(x);
         for c in 0..2 {

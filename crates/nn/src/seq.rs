@@ -86,9 +86,9 @@ impl Layer for Sequential {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::act::Silu;
     use crate::conv::Conv2d;
     use crate::gradcheck::check_layer;
-    use crate::act::Silu;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -8,7 +8,13 @@
 use pp_nn::gemm::{sgemm, sgemm_naive};
 use std::time::Instant;
 
-fn gflops(m: usize, k: usize, n: usize, iters: usize, f: impl Fn(&[f32], &[f32], &mut [f32])) -> f64 {
+fn gflops(
+    m: usize,
+    k: usize,
+    n: usize,
+    iters: usize,
+    f: impl Fn(&[f32], &[f32], &mut [f32]),
+) -> f64 {
     let a = vec![0.5f32; m * k];
     let b = vec![0.25f32; k * n];
     let mut c = vec![0.0f32; m * n];

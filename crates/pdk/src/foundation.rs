@@ -40,7 +40,7 @@ fn foundation_sample(clip: u32, rng: &mut StdRng) -> Layout {
         0 => rect_soup(clip, rng),
         _ => track_pattern(clip, rng),
     };
-    if style >= 1 && style < 5 {
+    if (1..5).contains(&style) {
         // Horizontal variants come from rotating vertical ones.
         base.rotate_cw()
     } else {

@@ -136,7 +136,7 @@ impl SynthNode {
     /// Panics if `t` is out of range.
     pub fn wire_left_edge(&self, t: usize, w: u32) -> u32 {
         let c = self.track_centers()[t];
-        c - (w + 1) / 2 + 1
+        c - w.div_ceil(2) + 1
     }
 }
 

@@ -74,8 +74,7 @@ impl RuleBasedGenerator {
         for _ in 0..64 {
             self.attempts += 1;
             let candidate = self.candidate();
-            if check_layout(&candidate, self.node.rules()).is_clean()
-                && candidate.metal_area() > 0
+            if check_layout(&candidate, self.node.rules()).is_clean() && candidate.metal_area() > 0
             {
                 self.emitted += 1;
                 return candidate;
@@ -116,7 +115,8 @@ impl RuleBasedGenerator {
             };
             widths[t] = Some(w);
             // 1..=3 segments with E2E-legal gaps.
-            let nsegs = 1 + usize::from(self.rng.gen_bool(0.4)) + usize::from(self.rng.gen_bool(0.15));
+            let nsegs =
+                1 + usize::from(self.rng.gen_bool(0.4)) + usize::from(self.rng.gen_bool(0.15));
             let mut y = if self.rng.gen_bool(0.7) {
                 0
             } else {
@@ -152,9 +152,8 @@ impl RuleBasedGenerator {
                     continue;
                 }
                 let y = self.rng.gen_range(2..clip.saturating_sub(6).max(3));
-                let covered = |spans: &[(u32, u32)]| {
-                    spans.iter().any(|&(a, bb)| a <= y && y + 3 <= bb)
-                };
+                let covered =
+                    |spans: &[(u32, u32)]| spans.iter().any(|&(a, bb)| a <= y && y + 3 <= bb);
                 if covered(&occupied_spans[t]) && covered(&occupied_spans[t + 1]) {
                     b = b.strap(t, WIDTH_NARROW, t + 1, WIDTH_NARROW, y, 3);
                     break; // one strap per candidate keeps area in bounds
@@ -215,7 +214,7 @@ mod tests {
         let mut gen = RuleBasedGenerator::new(node, 13);
         let _ = gen.generate_batch(40);
         let f = gen.rejection_factor();
-        assert!(f >= 1.0 && f < 32.0, "rejection factor {f}");
+        assert!((1.0..32.0).contains(&f), "rejection factor {f}");
     }
 
     #[test]

@@ -75,16 +75,22 @@ pub fn starter_patterns(node: &SynthNode) -> Vec<Layout> {
     }
     let l6 = {
         let mut b = TrackBuilder::new(node).segment(0, 0, clip, WIDTH_NARROW);
-        b = b
-            .segment(t(1), 0, clip * 3 / 8, WIDTH_NARROW)
-            .segment(t(1), clip * 3 / 8 + 4, clip, WIDTH_NARROW);
+        b = b.segment(t(1), 0, clip * 3 / 8, WIDTH_NARROW).segment(
+            t(1),
+            clip * 3 / 8 + 4,
+            clip,
+            WIDTH_NARROW,
+        );
         if n > 2 {
             b = b.segment(2, 0, clip, WIDTH_NARROW);
         }
         if n > 3 {
-            b = b
-                .segment(3, 0, clip * 5 / 8, WIDTH_NARROW)
-                .segment(3, clip * 5 / 8 + 4, clip, WIDTH_NARROW);
+            b = b.segment(3, 0, clip * 5 / 8, WIDTH_NARROW).segment(
+                3,
+                clip * 5 / 8 + 4,
+                clip,
+                WIDTH_NARROW,
+            );
         }
         b.build()
     };
@@ -129,9 +135,14 @@ pub fn starter_patterns(node: &SynthNode) -> Vec<Layout> {
             .segment(3, 0, clip, WIDTH_NARROW)
             .strap(2, WIDTH_NARROW, 3, WIDTH_NARROW, clip / 4, 3);
     } else {
-        b = b
-            .segment(t(1), 0, clip, WIDTH_NARROW)
-            .strap(0, WIDTH_NARROW, t(1), WIDTH_NARROW, clip / 4, 3);
+        b = b.segment(t(1), 0, clip, WIDTH_NARROW).strap(
+            0,
+            WIDTH_NARROW,
+            t(1),
+            WIDTH_NARROW,
+            clip / 4,
+            3,
+        );
     }
     patterns.push(b.build());
 
@@ -240,9 +251,12 @@ pub fn starter_patterns(node: &SynthNode) -> Vec<Layout> {
         b = b.strap(0, WIDTH_NARROW, 1, WIDTH_NARROW, clip / 3, 3);
     }
     if n > 3 {
-        b = b
-            .segment(3, 0, clip / 2 - 2, WIDTH_NARROW)
-            .segment(3, clip / 2 + 2, clip, WIDTH_NARROW);
+        b = b.segment(3, 0, clip / 2 - 2, WIDTH_NARROW).segment(
+            3,
+            clip / 2 + 2,
+            clip,
+            WIDTH_NARROW,
+        );
     }
     patterns.push(b.build());
 
@@ -304,7 +318,10 @@ mod tests {
     #[test]
     fn starters_have_varied_density() {
         let node = SynthNode::default();
-        let densities: Vec<f64> = starter_patterns(&node).iter().map(Layout::density).collect();
+        let densities: Vec<f64> = starter_patterns(&node)
+            .iter()
+            .map(Layout::density)
+            .collect();
         let min = densities.iter().cloned().fold(f64::MAX, f64::min);
         let max = densities.iter().cloned().fold(f64::MIN, f64::max);
         assert!(max > 2.0 * min, "starters should span a density range");

@@ -1,0 +1,46 @@
+//! Typed errors for selector construction and fitting.
+
+use std::fmt;
+
+/// Why a selector or PCA fit could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionError {
+    /// A parameter was outside its valid range (`what` names it, with
+    /// the range it must lie in).
+    InvalidParam {
+        /// Parameter name.
+        what: &'static str,
+        /// Human-readable valid range, e.g. `"(0, 1]"`.
+        range: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fit received no samples (`what` names the input).
+    EmptyInput(&'static str),
+    /// Samples disagree about their feature dimension.
+    DimensionMismatch {
+        /// Dimension of the first sample.
+        expected: usize,
+        /// Dimension of the offending sample.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectionError::InvalidParam { what, range, value } => {
+                write!(f, "{what} must be in {range}, got {value}")
+            }
+            SelectionError::EmptyInput(what) => write!(f, "{what} must be non-empty"),
+            SelectionError::DimensionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "samples must share one dimension, got {actual} after {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}

@@ -25,9 +25,11 @@
 //! assert_eq!(picks.len(), 5);
 //! ```
 
+pub mod error;
 pub mod pca;
 pub mod select;
 
+pub use error::SelectionError;
 pub use pca::Pca;
 pub use select::select_representatives;
 
@@ -52,23 +54,44 @@ impl PcaSelector {
     ///   eligible (paper: 0.4), keeping room for inpainting to add shapes;
     /// * `seed` — seeds the initial random pick and PCA iteration.
     ///
+    /// # Errors
+    ///
+    /// [`SelectionError::InvalidParam`] unless `0 < target_explained <= 1`
+    /// and `0 < max_density <= 1`.
+    pub fn try_new(
+        target_explained: f64,
+        max_density: f64,
+        seed: u64,
+    ) -> Result<Self, SelectionError> {
+        if !(target_explained > 0.0 && target_explained <= 1.0) {
+            return Err(SelectionError::InvalidParam {
+                what: "target_explained",
+                range: "(0, 1]",
+                value: target_explained,
+            });
+        }
+        if !(max_density > 0.0 && max_density <= 1.0) {
+            return Err(SelectionError::InvalidParam {
+                what: "max_density",
+                range: "(0, 1]",
+                value: max_density,
+            });
+        }
+        Ok(PcaSelector {
+            target_explained,
+            max_density,
+            seed,
+        })
+    }
+
+    /// [`PcaSelector::try_new`] for known-good parameters.
+    ///
     /// # Panics
     ///
     /// Panics unless `0 < target_explained <= 1` and `0 < max_density <= 1`.
     pub fn new(target_explained: f64, max_density: f64, seed: u64) -> Self {
-        assert!(
-            target_explained > 0.0 && target_explained <= 1.0,
-            "target_explained must be in (0, 1]"
-        );
-        assert!(
-            max_density > 0.0 && max_density <= 1.0,
-            "max_density must be in (0, 1]"
-        );
-        PcaSelector {
-            target_explained,
-            max_density,
-            seed,
-        }
+        Self::try_new(target_explained, max_density, seed)
+            .expect("selector parameters must be in (0, 1]")
     }
 
     /// Picks `k` representative indices from `library`.
@@ -137,6 +160,36 @@ mod tests {
     #[test]
     fn empty_library_gives_empty() {
         assert!(PcaSelector::new(0.9, 0.4, 0).select(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn try_new_reports_bad_params() {
+        assert!(matches!(
+            PcaSelector::try_new(0.0, 0.4, 0).unwrap_err(),
+            SelectionError::InvalidParam {
+                what: "target_explained",
+                ..
+            }
+        ));
+        assert!(matches!(
+            PcaSelector::try_new(0.9, 1.5, 0).unwrap_err(),
+            SelectionError::InvalidParam {
+                what: "max_density",
+                ..
+            }
+        ));
+        assert!(PcaSelector::try_new(0.9, 0.4, 0).is_ok());
+        assert_eq!(
+            Pca::try_fit(&[], 0.9, 4, 0).unwrap_err(),
+            SelectionError::EmptyInput("pca sample set")
+        );
+        assert!(matches!(
+            Pca::try_fit(&[vec![1.0, 2.0], vec![1.0]], 0.9, 4, 0).unwrap_err(),
+            SelectionError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! `V ← orth(Xᶜᵀ (Xᶜ V) / n)`, which converges to the dominant
 //! eigenvectors without ever materialising `C`.
 
+use crate::error::SelectionError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,16 +44,53 @@ impl Pca {
     ///
     /// Deterministic in `seed`.
     ///
+    /// # Errors
+    ///
+    /// [`SelectionError::EmptyInput`] if `data` is empty,
+    /// [`SelectionError::DimensionMismatch`] if rows have inconsistent
+    /// lengths.
+    pub fn try_fit(
+        data: &[Vec<f32>],
+        target_explained: f64,
+        max_components: usize,
+        seed: u64,
+    ) -> Result<Pca, SelectionError> {
+        if data.is_empty() {
+            return Err(SelectionError::EmptyInput("pca sample set"));
+        }
+        let dim = data[0].len();
+        if let Some(bad) = data.iter().find(|d| d.len() != dim) {
+            return Err(SelectionError::DimensionMismatch {
+                expected: dim,
+                actual: bad.len(),
+            });
+        }
+        Ok(Self::fit_checked(
+            data,
+            target_explained,
+            max_components,
+            seed,
+        ))
+    }
+
+    /// [`Pca::try_fit`] for known-good data.
+    ///
     /// # Panics
     ///
     /// Panics if `data` is empty or rows have inconsistent lengths.
     pub fn fit(data: &[Vec<f32>], target_explained: f64, max_components: usize, seed: u64) -> Pca {
-        assert!(!data.is_empty(), "pca needs at least one sample");
+        Self::try_fit(data, target_explained, max_components, seed)
+            .expect("pca needs non-empty samples of one dimension")
+    }
+
+    /// The fit itself, after input validation.
+    fn fit_checked(
+        data: &[Vec<f32>],
+        target_explained: f64,
+        max_components: usize,
+        seed: u64,
+    ) -> Pca {
         let dim = data[0].len();
-        assert!(
-            data.iter().all(|d| d.len() == dim),
-            "all samples must share one dimension"
-        );
         let n = data.len();
         let k_max = max_components.min(dim).min(n).max(1);
 

@@ -135,6 +135,9 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(SolverSetting::ComplexDiscrete.to_string(), "complex-discrete");
+        assert_eq!(
+            SolverSetting::ComplexDiscrete.to_string(),
+            "complex-discrete"
+        );
     }
 }

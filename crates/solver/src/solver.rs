@@ -152,7 +152,11 @@ impl LegalizeSolver {
                         let w = sum_span(&v[..m], span);
                         let da = (w - f64::from(wa)).abs();
                         let db = (w - f64::from(wb)).abs();
-                        snap[i] = Some(if da <= db { f64::from(wa) } else { f64::from(wb) });
+                        snap[i] = Some(if da <= db {
+                            f64::from(wa)
+                        } else {
+                            f64::from(wb)
+                        });
                     }
                 }
             }
@@ -384,7 +388,10 @@ mod tests {
         let a = s.solve(&topo, 5);
         let b = s.solve(&topo, 5);
         assert_eq!(a.success, b.success);
-        assert_eq!(a.pattern.map(|p| p.dx().to_vec()), b.pattern.map(|p| p.dx().to_vec()));
+        assert_eq!(
+            a.pattern.map(|p| p.dx().to_vec()),
+            b.pattern.map(|p| p.dx().to_vec())
+        );
     }
 
     #[test]
@@ -401,8 +408,12 @@ mod tests {
         let easy = LegalizeSolver::new(SolverSetting::Default);
         let hard = LegalizeSolver::new(SolverSetting::ComplexDiscrete);
         let n = 12u64;
-        let easy_ok = (0..n).filter(|&i| easy.solve(&random_topology(14, i), i).success).count();
-        let hard_ok = (0..n).filter(|&i| hard.solve(&random_topology(14, i), i).success).count();
+        let easy_ok = (0..n)
+            .filter(|&i| easy.solve(&random_topology(14, i), i).success)
+            .count();
+        let hard_ok = (0..n)
+            .filter(|&i| hard.solve(&random_topology(14, i), i).success)
+            .count();
         assert!(
             hard_ok <= easy_ok,
             "discrete ({hard_ok}) should not beat default ({easy_ok})"

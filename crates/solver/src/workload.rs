@@ -29,7 +29,7 @@ pub fn random_topology(size: usize, seed: u64) -> TopologyMatrix {
         // gaps its neighbours can form, which keeps instances feasible
         // under the max-spacing windows (the paper's premise is that
         // legal solutions exist and the solver fails to find them).
-        let rail = track_index % 2 == 0;
+        let rail = track_index.is_multiple_of(2);
         track_index += 1;
         if !rail && rng.gen_bool(0.3) {
             col += 1; // skip track
@@ -52,7 +52,11 @@ pub fn random_topology(size: usize, seed: u64) -> TopologyMatrix {
             let mut row = rng.gen_range(0..3usize);
             while row < size {
                 let run = rng.gen_range(2..=5usize).min(size - row);
-                let run_width = if two_col && rng.gen_bool(0.4) { 1 } else { width };
+                let run_width = if two_col && rng.gen_bool(0.4) {
+                    1
+                } else {
+                    width
+                };
                 for r in row..row + run {
                     for c in col..col + run_width {
                         topo.set(r, c, true);

@@ -4,17 +4,19 @@
 //!
 //! Run with: `cargo run --release --example denoise_comparison`
 
-use patternpaint::core::{PatternPaint, PipelineConfig};
+use patternpaint::core::{PatternPaint, PipelineConfig, PpError};
 use patternpaint::drc::check_layout;
 use patternpaint::inpaint::{Denoiser, MaskSet, NlmDenoiser, TemplateDenoiser, ThresholdDenoiser};
 use patternpaint::pdk::SynthNode;
 
-fn main() {
+fn main() -> Result<(), PpError> {
     let node = SynthNode::default();
     let cfg = PipelineConfig::quick();
     println!("pretraining + finetuning a small model...");
-    let mut pp = PatternPaint::pretrained(node.clone(), cfg, 11);
-    pp.finetune();
+    let mut pp = PatternPaint::builder(node.clone(), cfg)
+        .seed(11)
+        .pretrained()?;
+    pp.finetune()?;
 
     // One raw batch: every starter with one default and one horizontal mask.
     let side = node.clip();
@@ -24,7 +26,7 @@ fn main() {
         jobs.push((s.clone(), MaskSet::Horizontal.masks(side)[i % 5].clone()));
     }
     println!("generating {} raw samples...", jobs.len());
-    let raw = pp.generate_raw(&jobs, 3);
+    let raw = pp.generate_raw(&jobs, 3)?;
 
     let denoisers: [&dyn Denoiser; 3] = [
         &TemplateDenoiser::new(2),
@@ -48,4 +50,5 @@ fn main() {
         );
     }
     println!("\nExpected shape (paper Table III): template >> nlm >> none (~0).");
+    Ok(())
 }

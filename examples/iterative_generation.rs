@@ -4,18 +4,20 @@
 //!
 //! Run with: `cargo run --release --example iterative_generation`
 
-use patternpaint::core::{PatternPaint, PipelineConfig};
+use patternpaint::core::{PatternPaint, PipelineConfig, PpError};
 use patternpaint::pdk::SynthNode;
 
-fn main() {
+fn main() -> Result<(), PpError> {
     let node = SynthNode::default();
     let cfg = PipelineConfig::quick();
     println!("pretraining + finetuning...");
-    let mut pp = PatternPaint::pretrained(node.clone(), cfg, 5);
-    pp.finetune();
+    let mut pp = PatternPaint::builder(node.clone(), cfg)
+        .seed(5)
+        .pretrained()?;
+    pp.finetune()?;
 
     println!("initial generation...");
-    let round = pp.initial_generation();
+    let round = pp.initial_generation()?;
     let mut library = round.library.clone();
     // Starters seed the library so early iterations always have
     // representative material to select from.
@@ -27,10 +29,15 @@ fn main() {
     );
     println!(
         "{:>5} {:>10} {:>12} {:>13} {:>7.2} {:>7.2}",
-        1, round.generated, round.legal, library.len(), s.h1, s.h2
+        1,
+        round.generated,
+        round.legal,
+        library.len(),
+        s.h1,
+        s.h2
     );
 
-    let stats = pp.iterative_generation(&mut library, 4, round.legal);
+    let stats = pp.iterative_generation(&mut library, 4, round.legal)?;
     for st in &stats {
         println!(
             "{:>5} {:>10} {:>12} {:>13} {:>7.2} {:>7.2}",
@@ -39,4 +46,5 @@ fn main() {
     }
     println!("\nExpected shape (paper Fig. 7): unique count and H2 grow with");
     println!("iterations; H1 drifts down as sub-region edits replicate topologies.");
+    Ok(())
 }

@@ -1,30 +1,48 @@
 //! Quickstart: generate DR-clean layout patterns from 20 starters.
 //!
-//! Pretrains the small diffusion substrate on the synthetic foundation
-//! corpus, finetunes on the 20 starter patterns, runs one initial
-//! generation round, and prints the library statistics plus a sample
+//! Assembles the pipeline with `PipelineBuilder`, pretrains the small
+//! diffusion substrate on the synthetic foundation corpus, finetunes on
+//! the 20 starter patterns, streams one initial generation round with
+//! live progress, and prints the library statistics plus a sample
 //! pattern.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use patternpaint::core::{PatternPaint, PipelineConfig};
+use patternpaint::core::{PatternPaint, PipelineConfig, PpError, StreamOptions};
 use patternpaint::geometry::render::to_ascii_pair;
 use patternpaint::pdk::SynthNode;
 
-fn main() {
+fn main() -> Result<(), PpError> {
     let node = SynthNode::default();
-    println!("node: {} ({} tracks, clip {}px)", node.rules(), node.track_count(), node.clip());
+    println!(
+        "node: {} ({} tracks, clip {}px)",
+        node.rules(),
+        node.track_count(),
+        node.clip()
+    );
 
     let cfg = PipelineConfig::quick();
     println!("pretraining the base inpainting model (stand-in for a public checkpoint)...");
-    let mut pp = PatternPaint::pretrained(node.clone(), cfg, 42);
+    let mut pp = PatternPaint::builder(node.clone(), cfg)
+        .seed(42)
+        .pretrained()?;
 
-    println!("few-shot finetuning on {} starters (DreamBooth-style)...", pp.starters().len());
-    let report = pp.finetune();
+    println!(
+        "few-shot finetuning on {} starters (DreamBooth-style)...",
+        pp.starters().len()
+    );
+    let report = pp.finetune()?;
     println!("  finetune tail loss: {:.4}", report.tail_loss);
 
     println!("initial generation: starters x 10 masks x v variations...");
-    let round = pp.initial_generation();
+    // The round consumes the generation stream; a progress hook meters
+    // it micro-batch by micro-batch.
+    let opts = StreamOptions::default().with_progress(|p| {
+        if p.completed % 50 == 0 || p.completed == p.total {
+            eprintln!("  sampled {}/{}", p.completed, p.total);
+        }
+    });
+    let round = pp.run_request(&pp.initial_request(), &opts)?;
     let stats = round.library.stats();
     println!(
         "  generated {} | legal {} ({:.1}%) | unique {} | H1 {:.2} | H2 {:.2}",
@@ -40,6 +58,9 @@ fn main() {
         println!("\nstarter (left) vs generated DR-clean variation (right):");
         println!("{}", to_ascii_pair(&pp.starters()[0], first));
     } else {
-        println!("no legal patterns this run — try more pretraining steps (PipelineConfig::standard)");
+        println!(
+            "no legal patterns this run — try more pretraining steps (PipelineConfig::standard)"
+        );
     }
+    Ok(())
 }

@@ -9,7 +9,10 @@ use std::time::Instant;
 fn main() {
     let sizes = [10usize, 20, 40, 60];
     let trials = 6u64;
-    println!("{:>6} {:>18} {:>10} {:>12}", "size", "setting", "success", "avg runtime");
+    println!(
+        "{:>6} {:>18} {:>10} {:>12}",
+        "size", "setting", "success", "avg runtime"
+    );
     for &size in &sizes {
         for setting in SolverSetting::ALL {
             let solver = LegalizeSolver::new(setting);

@@ -58,16 +58,19 @@ fn denoiser_is_idempotent_on_clean_samples() {
 #[test]
 fn pipeline_end_to_end_tiny() {
     let node = SynthNode::small();
-    let mut pp = PatternPaint::pretrained(node.clone(), PipelineConfig::tiny(), 3);
-    pp.finetune();
-    let round = pp.initial_generation();
+    let mut pp = PatternPaint::pretrained(node.clone(), PipelineConfig::tiny(), 3)
+        .expect("tiny config is valid");
+    pp.finetune().expect("starters are well-formed");
+    let round = pp.initial_generation().expect("round runs");
     assert_eq!(round.generated, 20 * 10);
     for p in round.library.patterns() {
         assert!(check_layout(p, node.rules()).is_clean());
     }
     let mut library = round.library.clone();
     library.extend(pp.starters().iter().cloned());
-    let stats = pp.iterative_generation(&mut library, 2, round.legal);
+    let stats = pp
+        .iterative_generation(&mut library, 2, round.legal)
+        .expect("iterations run");
     assert!(stats[1].unique_total >= stats[0].unique_total);
     assert!(stats[1].legal_total >= stats[0].legal_total);
     // Every iteration's H2 is consistent with its own library size bound.
@@ -130,9 +133,14 @@ fn mask_region_localises_changes() {
         let out = TemplateDenoiser::new(2).denoise(&img, starter);
         // Outside the mask, the pattern must match the starter.
         let outside_changed = (0..node.clip()).any(|y| {
-            (0..node.clip()).any(|x| !mask.region().contains(x, y) && out.get(x, y) != starter.get(x, y))
+            (0..node.clip())
+                .any(|x| !mask.region().contains(x, y) && out.get(x, y) != starter.get(x, y))
         });
-        assert!(!outside_changed, "changes leaked outside {:?}", mask.region());
+        assert!(
+            !outside_changed,
+            "changes leaked outside {:?}",
+            mask.region()
+        );
     }
 }
 
@@ -145,7 +153,10 @@ fn signature_levels_are_consistent() {
     let mut b = a.clone();
     b.fill_rect(Rect::new(12, 4, 3, 20));
     assert_ne!(Signature::of_layout(&a), Signature::of_layout(&b));
-    let (sa, sb) = (SquishPattern::from_layout(&a), SquishPattern::from_layout(&b));
+    let (sa, sb) = (
+        SquishPattern::from_layout(&a),
+        SquishPattern::from_layout(&b),
+    );
     assert_ne!(Signature::of_squish(&sa), Signature::of_squish(&sb));
     assert_ne!(Signature::of_deltas(&sa), Signature::of_deltas(&sb));
 }
