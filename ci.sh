@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # The tier-1 gate: everything a PR must keep green.
 # Run from the repository root: ./ci.sh
+# Pass --bench-smoke to also exercise the benchmark binaries at reduced
+# job counts (no BENCH_*.json is written) so they cannot silently rot.
 set -euo pipefail
 
 echo "==> cargo build --release"
@@ -14,5 +16,12 @@ cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    echo "==> bench smoke: sampling_bench (8 jobs)"
+    PP_BENCH_SMOKE=1 PP_BENCH_JOBS=8 cargo run --release -q -p pp-bench --bin sampling_bench
+    echo "==> bench smoke: round_bench (200 jobs)"
+    PP_BENCH_SMOKE=1 PP_BENCH_JOBS=200 cargo run --release -q -p pp-bench --bin round_bench
+fi
 
 echo "ci.sh: all checks passed"

@@ -24,6 +24,9 @@
 //! the repository root (schema in PERF.md) and stdout.
 //!
 //! Run: `cargo run --release -p pp-bench --bin sampling_bench`
+//! (`PP_BENCH_JOBS=n` shrinks the batch; `PP_BENCH_SMOKE=1` also skips
+//! the JSON write and shortens the pretrain probe — the ci.sh
+//! bench-smoke step uses both so the binary cannot silently rot.)
 
 use patternpaint_core::PipelineConfig;
 use pp_diffusion::{CancelToken, DiffusionConfig, DiffusionModel};
@@ -95,12 +98,17 @@ fn run_mode(
 }
 
 fn main() {
+    let smoke = std::env::var("PP_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let jobs: usize = std::env::var("PP_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(JOBS);
     let node = SynthNode::default();
     let cfg = PipelineConfig::standard();
     let threads = cfg.threads;
 
     // 1. pretrain-tiny: training throughput through the GEMM kernels.
-    let tiny_steps = 200usize;
+    let tiny_steps = if smoke { 20usize } else { 200 };
     let corpus: Vec<GrayImage> = foundation_corpus(32, 16, 0xf00d)
         .iter()
         .map(GrayImage::from_layout)
@@ -122,7 +130,7 @@ fn main() {
     let model = std::sync::Arc::new(DiffusionModel::new(cfg.model, 0));
     let starters = node.starter_patterns();
     let masks = MaskSet::Default.masks(node.clip());
-    let jobs: Vec<(GrayImage, GrayImage)> = (0..JOBS)
+    let jobs: Vec<(GrayImage, GrayImage)> = (0..jobs)
         .map(|i| {
             (
                 GrayImage::from_layout(&starters[i % starters.len()]),
@@ -186,7 +194,7 @@ fn main() {
         "image": cfg.model.image as usize,
         "base_ch": cfg.model.base_ch,
         "ddim_steps": cfg.model.ddim_steps,
-        "jobs": JOBS,
+        "jobs": jobs.len(),
         "threads": threads,
         "batch_size": cfg.batch_size,
     });
@@ -203,6 +211,10 @@ fn main() {
         "speedup_batched_vs_per_sample_naive": speedup,
         "streamed_vs_batched": stream_ratio,
     });
+    if smoke {
+        println!("smoke mode: skipping BENCH_sampling.json");
+        return;
+    }
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sampling.json");
     match serde_json::to_string_pretty(&out) {
         Ok(s) => {

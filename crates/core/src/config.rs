@@ -62,6 +62,12 @@ pub struct PipelineConfig {
     /// Larger batches amortise im2col/GEMM overhead at the cost of peak
     /// activation memory.
     pub batch_size: usize,
+    /// Worker threads for the round tail (denoise → DRC → dedupe);
+    /// `0` keeps the tail on the consuming thread. Any value yields
+    /// bit-identical libraries — verdicts are admitted in job order —
+    /// so this is purely a throughput knob for multi-core hosts where
+    /// validation would otherwise stall the sampler stream.
+    pub tail_threads: usize,
 }
 
 impl PipelineConfig {
@@ -91,6 +97,7 @@ impl PipelineConfig {
             pca_explained: 0.9,
             threads: 2,
             batch_size: 16,
+            tail_threads: 0,
         }
     }
 
@@ -119,6 +126,7 @@ impl PipelineConfig {
             pca_explained: 0.9,
             threads: 2,
             batch_size: 8,
+            tail_threads: 0,
         }
     }
 
@@ -147,6 +155,7 @@ impl PipelineConfig {
             pca_explained: 0.9,
             threads: 2,
             batch_size: 4,
+            tail_threads: 0,
         }
     }
 

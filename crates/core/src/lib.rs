@@ -84,6 +84,7 @@ pub mod library;
 pub mod pipeline;
 pub mod stages;
 pub mod stream;
+mod tail;
 
 pub use builder::PipelineBuilder;
 pub use config::{FinetuneConfig, PipelineConfig, PretrainConfig};

@@ -1,8 +1,8 @@
 //! The growing pattern library.
 
 use pp_geometry::{Layout, Signature, SquishPattern};
-use pp_metrics::LibraryStats;
-use std::collections::HashSet;
+use pp_metrics::{entropy_base2, LibraryStats};
+use std::collections::{HashMap, HashSet};
 
 /// A deduplicated collection of DR-clean layout patterns.
 ///
@@ -27,6 +27,13 @@ use std::collections::HashSet;
 pub struct PatternLibrary {
     patterns: Vec<Layout>,
     signatures: HashSet<Signature>,
+    /// Histogram of complexity tuples `(Cx, Cy)` over stored patterns —
+    /// the H1 distribution, maintained incrementally on insert so
+    /// [`PatternLibrary::stats`] never re-squishes the library.
+    complexity_hist: HashMap<(u32, u32), usize>,
+    /// Histogram of geometry classes (delta signatures) — the H2
+    /// distribution, maintained incrementally like the above.
+    geometry_hist: HashMap<Signature, usize>,
 }
 
 impl PatternLibrary {
@@ -46,13 +53,44 @@ impl PatternLibrary {
 
     /// Inserts a pattern; returns `true` when it was new.
     pub fn insert(&mut self, pattern: Layout) -> bool {
-        let sig = Signature::of_squish(&SquishPattern::from_layout(&pattern));
-        if self.signatures.insert(sig) {
-            self.patterns.push(pattern);
+        let squish = SquishPattern::from_layout(&pattern);
+        let sig = Signature::of_squish(&squish);
+        self.insert_squished(sig, &squish, move || pattern)
+    }
+
+    /// Inserts a pattern whose squish form and full signature the caller
+    /// already computed (the round tail computes both for DRC and
+    /// deduplication, so re-deriving them here was pure waste).
+    ///
+    /// `layout` is only invoked when the pattern is new — duplicate
+    /// admissions never rasterise. Returns `true` when it was new.
+    ///
+    /// The caller must uphold `signature == Signature::of_squish(squish)`
+    /// and `squish == SquishPattern::from_layout(&layout())`; the library
+    /// trusts them, and a mismatch corrupts deduplication and the
+    /// incremental H1/H2 statistics.
+    pub fn insert_squished(
+        &mut self,
+        signature: Signature,
+        squish: &SquishPattern,
+        layout: impl FnOnce() -> Layout,
+    ) -> bool {
+        if self.signatures.insert(signature) {
+            *self.complexity_hist.entry(squish.complexity()).or_insert(0) += 1;
+            *self
+                .geometry_hist
+                .entry(Signature::of_deltas(squish))
+                .or_insert(0) += 1;
+            self.patterns.push(layout());
             true
         } else {
             false
         }
+    }
+
+    /// Whether a pattern with this full squish signature is present.
+    pub fn contains_signature(&self, signature: Signature) -> bool {
+        self.signatures.contains(&signature)
     }
 
     /// Whether an identical pattern is already present.
@@ -77,8 +115,25 @@ impl PatternLibrary {
     }
 
     /// Diversity statistics (H1, H2, uniqueness) of the library.
+    ///
+    /// Computed from the histograms maintained on insert — O(classes),
+    /// not O(patterns × clip²) — so per-iteration stats reporting costs
+    /// nothing even on large libraries. Entropy terms are summed in
+    /// sorted-count order, making the floats deterministic run to run
+    /// (hash-map iteration order is not); values agree with
+    /// `LibraryStats::from_layouts` to float rounding.
     pub fn stats(&self) -> LibraryStats {
-        LibraryStats::from_layouts(&self.patterns)
+        let mut complexity: Vec<usize> = self.complexity_hist.values().copied().collect();
+        complexity.sort_unstable();
+        let mut geometry: Vec<usize> = self.geometry_hist.values().copied().collect();
+        geometry.sort_unstable();
+        LibraryStats {
+            count: self.patterns.len(),
+            // Stored patterns are deduplicated by full signature.
+            unique: self.patterns.len(),
+            h1: entropy_base2(&complexity),
+            h2: entropy_base2(&geometry),
+        }
     }
 }
 
@@ -136,5 +191,35 @@ mod tests {
         let mut lib = PatternLibrary::from_patterns([wire(2)]);
         lib.extend([wire(2), wire(3)]);
         assert_eq!(lib.len(), 2);
+    }
+
+    #[test]
+    fn incremental_stats_match_full_recompute() {
+        let mut lib = PatternLibrary::new();
+        for p in pp_pdk::SynthNode::default().starter_patterns() {
+            lib.insert(p);
+        }
+        lib.insert(wire(2));
+        lib.insert(wire(2)); // duplicate: must not touch the histograms
+        let inc = lib.stats();
+        let full = pp_metrics::LibraryStats::from_layouts(lib.patterns());
+        assert_eq!(inc.count, full.count);
+        assert_eq!(inc.unique, full.unique);
+        assert!((inc.h1 - full.h1).abs() < 1e-9, "{} vs {}", inc.h1, full.h1);
+        assert!((inc.h2 - full.h2).abs() < 1e-9, "{} vs {}", inc.h2, full.h2);
+    }
+
+    #[test]
+    fn insert_squished_skips_rasterise_on_duplicates() {
+        let mut lib = PatternLibrary::new();
+        let l = wire(4);
+        let squish = SquishPattern::from_layout(&l);
+        let sig = Signature::of_squish(&squish);
+        assert!(lib.insert_squished(sig, &squish, || l.clone()));
+        assert!(lib.contains_signature(sig));
+        // The duplicate path must never invoke the layout closure.
+        assert!(!lib.insert_squished(sig, &squish, || panic!("rasterised a duplicate")));
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.patterns()[0], l);
     }
 }

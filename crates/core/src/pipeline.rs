@@ -316,23 +316,21 @@ impl PatternPaint {
 
     /// Denoises, DRC-checks and deduplicates raw samples into `library`;
     /// returns `(generated, legal)` counts for the batch.
+    ///
+    /// Runs on `cfg.tail_threads` tail workers (serial when `0`);
+    /// results are bit-identical either way.
     pub fn validate_into(
         &self,
         samples: &[RawSample],
         library: &mut PatternLibrary,
     ) -> (usize, usize) {
-        let mut legal = 0;
-        for s in samples {
-            if crate::stages::denoise_and_admit(
-                self.denoiser.as_ref(),
-                self.validator.as_ref(),
-                s,
-                library,
-            ) {
-                legal += 1;
-            }
-        }
-        (samples.len(), legal)
+        crate::tail::consume_batch(
+            samples,
+            self.denoiser.as_ref(),
+            self.validator.as_ref(),
+            self.cfg.tail_threads,
+            library,
+        )
     }
 
     /// The initial-generation request: every starter × all ten
@@ -383,6 +381,9 @@ impl PatternPaint {
 
     /// [`PatternPaint::run_request`] into an existing library.
     ///
+    /// The round tail runs on `opts.tail_threads` workers when set,
+    /// falling back to the pipeline's `cfg.tail_threads`.
+    ///
     /// # Errors
     ///
     /// Anything [`PatternPaint::generate_stream`] reports.
@@ -392,12 +393,14 @@ impl PatternPaint {
         opts: &StreamOptions,
         library: &mut PatternLibrary,
     ) -> Result<(usize, usize), PpError> {
+        let mut opts = opts.clone();
+        opts.tail_threads = Some(opts.tail_threads.unwrap_or(self.cfg.tail_threads));
         run_round_into(
             self.sampler().as_ref(),
             self.denoiser.as_ref(),
             self.validator.as_ref(),
             request,
-            opts,
+            &opts,
             library,
         )
     }

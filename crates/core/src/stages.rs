@@ -21,9 +21,10 @@ use crate::jobs::JobSet;
 use crate::library::PatternLibrary;
 use crate::pipeline::{GenerationRound, RawSample};
 use crate::stream::{GenerationRequest, Progress, StreamOptions};
+use crate::tail;
 use pp_diffusion::DiffusionModel;
-use pp_drc::{check_layout, RuleDeck};
-use pp_geometry::{GrayImage, Layout};
+use pp_drc::{check_layout, check_squish, RuleDeck};
+use pp_geometry::{GrayImage, Layout, SquishPattern};
 use pp_selection::PcaSelector;
 use std::sync::Arc;
 
@@ -193,6 +194,31 @@ pub trait PatternDenoiser: Send + Sync {
     /// Denoises one raw sample.
     fn denoise_sample(&self, sample: &RawSample) -> Layout;
 
+    /// Denoises one raw sample straight to the canonical squish form of
+    /// the layout [`PatternDenoiser::denoise_sample`] would produce.
+    ///
+    /// The round tail runs DRC, deduplication and the diversity metrics
+    /// on the squish form, so denoisers that build one internally can
+    /// override this (and the `_with_lines` variant) to skip a
+    /// rasterise + rescan round trip; results must stay identical to
+    /// `SquishPattern::from_layout(&self.denoise_sample(sample))`.
+    fn denoise_squish_sample(&self, sample: &RawSample) -> SquishPattern {
+        SquishPattern::from_layout(&self.denoise_sample(sample))
+    }
+
+    /// [`PatternDenoiser::denoise_squish_sample`] with the template's
+    /// scan lines precomputed by the caller (the tail caches them per
+    /// template `Arc`, since rounds fan each template out into many
+    /// variations). The default ignores the hint.
+    fn denoise_squish_sample_with_lines(
+        &self,
+        sample: &RawSample,
+        _lt_x: &[u32],
+        _lt_y: &[u32],
+    ) -> SquishPattern {
+        self.denoise_squish_sample(sample)
+    }
+
     /// A short name for reports.
     fn denoiser_name(&self) -> &str {
         "denoiser"
@@ -207,6 +233,19 @@ where
         self.denoise(&sample.raw, &sample.template)
     }
 
+    fn denoise_squish_sample(&self, sample: &RawSample) -> SquishPattern {
+        self.denoise_squish(&sample.raw, &sample.template)
+    }
+
+    fn denoise_squish_sample_with_lines(
+        &self,
+        sample: &RawSample,
+        lt_x: &[u32],
+        lt_y: &[u32],
+    ) -> SquishPattern {
+        self.denoise_squish_with_template_lines(&sample.raw, &sample.template, lt_x, lt_y)
+    }
+
     fn denoiser_name(&self) -> &str {
         pp_inpaint::Denoiser::name(self)
     }
@@ -218,10 +257,31 @@ pub trait Validator: Send + Sync {
     /// non-empty, for the default deck-backed implementation).
     fn is_legal(&self, layout: &Layout) -> bool;
 
+    /// Legality judged directly on the canonical squish form, when the
+    /// validator can (`None` = "I need the raster; call
+    /// [`Validator::is_legal`]").
+    ///
+    /// The round tail denoises to squish form and asks this first, so
+    /// validators that measure on the squish grid (the default
+    /// [`DrcValidator`] does — all its rules are scan-line exact) never
+    /// force a rasterisation for samples that end up illegal or
+    /// duplicate. An implementation must agree with `is_legal` on
+    /// `squish.to_layout()`.
+    fn is_legal_squish(&self, _squish: &SquishPattern) -> Option<bool> {
+        None
+    }
+
     /// Runs the legality check and, on success, inserts into `library`
     /// (which deduplicates by squish signature). Returns legality —
     /// duplicates still count as legal, matching the paper's Table I
     /// accounting.
+    ///
+    /// A convenience for external drivers only: the pipeline's round
+    /// entry points never call it. They run the fused tail — `is_legal`
+    /// / [`Validator::is_legal_squish`] plus
+    /// [`PatternLibrary::insert_squished`] — whose admission semantics
+    /// are fixed to the default body below, so overriding `admit` does
+    /// not change what a round admits.
     fn admit(&self, layout: Layout, library: &mut PatternLibrary) -> bool {
         let legal = self.is_legal(&layout);
         if legal {
@@ -253,6 +313,10 @@ impl DrcValidator {
 impl Validator for DrcValidator {
     fn is_legal(&self, layout: &Layout) -> bool {
         layout.metal_area() > 0 && check_layout(layout, &self.deck).is_clean()
+    }
+
+    fn is_legal_squish(&self, squish: &SquishPattern) -> Option<bool> {
+        Some(squish.metal_area() > 0 && check_squish(squish, &self.deck).is_clean())
     }
 }
 
@@ -316,27 +380,41 @@ pub fn run_round_into(
         return Err(PpError::EmptyRequest);
     }
     let stream = sampler.sample_stream(request.jobs(), request.seed(), opts)?;
-    let mut generated = 0;
-    let mut legal = 0;
-    for sample in stream {
-        let sample = sample?;
-        generated += 1;
-        if denoise_and_admit(denoiser, validator, &sample, library) {
-            legal += 1;
-        }
-    }
-    Ok((generated, legal))
+    tail::consume(
+        stream,
+        denoiser,
+        validator,
+        opts.tail_threads.unwrap_or(0),
+        library,
+    )
 }
 
 /// The per-sample tail of every round: denoise, then validate into the
 /// library. One definition so `run_round_into` and
 /// [`crate::PatternPaint::validate_into`] cannot drift apart.
+///
+/// Runs the fused single-squish tail (denoise to canonical squish form,
+/// judge legality on it, reuse squish + signature for admission) unless
+/// `pp_nn::gemm::force_naive` is active, in which case the pre-rework
+/// rasterise / re-squish / re-squish sequence runs instead so benchmark
+/// baselines keep measuring the shipped pre-optimisation path. Both
+/// paths produce bit-identical libraries and counts, and neither calls
+/// [`Validator::admit`] — admission semantics are the same `is_legal` +
+/// dedup-insert regardless of kernel flags.
 pub fn denoise_and_admit(
     denoiser: &dyn PatternDenoiser,
     validator: &dyn Validator,
     sample: &RawSample,
     library: &mut PatternLibrary,
 ) -> bool {
-    let denoised = denoiser.denoise_sample(sample);
-    validator.admit(denoised, library)
+    if pp_nn::gemm::force_naive() {
+        let denoised = denoiser.denoise_sample(sample);
+        let legal = validator.is_legal(&denoised);
+        if legal {
+            library.insert(denoised);
+        }
+        return legal;
+    }
+    let verdict = tail::prepare(denoiser, validator, sample, None);
+    tail::admit(verdict, library)
 }

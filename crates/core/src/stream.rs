@@ -33,6 +33,12 @@ pub struct StreamOptions {
     /// blocks (backpressure for slow consumers); `None` buffers a
     /// worker's whole chunk so sampling never waits on the consumer.
     pub capacity: Option<usize>,
+    /// Worker threads for the round tail (denoise → DRC → dedupe).
+    /// `Some(0)` forces the serial tail; `None` defers to the
+    /// pipeline's [`crate::PipelineConfig::tail_threads`] (or serial,
+    /// for the bare `run_round` harness). Any value produces
+    /// bit-identical libraries — admission is reassembled in job order.
+    pub tail_threads: Option<usize>,
 }
 
 impl std::fmt::Debug for StreamOptions {
@@ -41,6 +47,7 @@ impl std::fmt::Debug for StreamOptions {
             .field("cancel", &self.cancel)
             .field("progress", &self.progress.as_ref().map(|_| "<hook>"))
             .field("capacity", &self.capacity)
+            .field("tail_threads", &self.tail_threads)
             .finish()
     }
 }
@@ -64,6 +71,13 @@ impl StreamOptions {
     /// (that is what leaving the field `None` does).
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Options with an explicit tail worker count (`0` = serial),
+    /// overriding the pipeline configuration's default.
+    pub fn with_tail_threads(mut self, tail_threads: usize) -> Self {
+        self.tail_threads = Some(tail_threads);
         self
     }
 }

@@ -200,6 +200,68 @@ impl SquishPattern {
         SquishPattern::new(self.topology.clone(), dx, dy)
     }
 
+    /// Total metal area: the sum of `Δx·Δy` over filled topology cells.
+    ///
+    /// Equals `self.to_layout().metal_area()` without rasterising.
+    pub fn metal_area(&self) -> u64 {
+        let mut area = 0u64;
+        for i in 0..self.topology.rows() {
+            for j in 0..self.topology.cols() {
+                if self.topology.get(i, j) {
+                    area += u64::from(self.dx[j]) * u64::from(self.dy[i]);
+                }
+            }
+        }
+        area
+    }
+
+    /// The canonical (minimal-scan-line) form of this pattern: adjacent
+    /// identical columns and rows are merged, their Δs summed.
+    ///
+    /// For any pattern `s`, `s.canonicalize()` equals
+    /// `SquishPattern::from_layout(&s.to_layout())` — the scan lines of
+    /// the rasterisation are exactly the group boundaries where adjacent
+    /// topology columns (rows) differ — so callers holding a squish built
+    /// over non-minimal lines (e.g. template-denoiser output) can reach
+    /// the canonical form without a rasterise + rescan round trip.
+    pub fn canonicalize(&self) -> SquishPattern {
+        let rows = self.topology.rows();
+        let cols = self.topology.cols();
+        // Representative index of each maximal run of identical columns.
+        let mut col_reps: Vec<usize> = vec![0];
+        for j in 1..cols {
+            if (0..rows).any(|r| self.topology.get(r, j) != self.topology.get(r, j - 1)) {
+                col_reps.push(j);
+            }
+        }
+        let mut row_reps: Vec<usize> = vec![0];
+        for i in 1..rows {
+            if (0..cols).any(|c| self.topology.get(i, c) != self.topology.get(i - 1, c)) {
+                row_reps.push(i);
+            }
+        }
+        if col_reps.len() == cols && row_reps.len() == rows {
+            return self.clone();
+        }
+        let mut dx = Vec::with_capacity(col_reps.len());
+        for (gi, &j0) in col_reps.iter().enumerate() {
+            let j1 = col_reps.get(gi + 1).copied().unwrap_or(cols);
+            dx.push(self.dx[j0..j1].iter().sum());
+        }
+        let mut dy = Vec::with_capacity(row_reps.len());
+        for (gi, &i0) in row_reps.iter().enumerate() {
+            let i1 = row_reps.get(gi + 1).copied().unwrap_or(rows);
+            dy.push(self.dy[i0..i1].iter().sum());
+        }
+        let mut topology = TopologyMatrix::new(row_reps.len(), col_reps.len());
+        for (gi, &i) in row_reps.iter().enumerate() {
+            for (gj, &j) in col_reps.iter().enumerate() {
+                topology.set(gi, gj, self.topology.get(i, j));
+            }
+        }
+        SquishPattern::new(topology, dx, dy)
+    }
+
     /// Pattern complexity `(Cx, Cy)`: scan-line counts minus one per axis,
     /// i.e. the numbers of Δ intervals minus one. This is the tuple whose
     /// library-wide distribution defines the H1 entropy.
@@ -321,7 +383,52 @@ mod tests {
         let _ = s.with_deltas(dx, s.dy().to_vec());
     }
 
+    #[test]
+    fn metal_area_matches_raster() {
+        let l = wire_layout();
+        let s = SquishPattern::from_layout(&l);
+        assert_eq!(s.metal_area(), l.metal_area());
+        assert_eq!(
+            SquishPattern::from_layout(&Layout::new(6, 6)).metal_area(),
+            0
+        );
+    }
+
+    #[test]
+    fn canonicalize_merges_redundant_lines() {
+        let l = wire_layout();
+        // Build over every unit line: maximally redundant.
+        let xs: Vec<u32> = (0..=l.width()).collect();
+        let ys: Vec<u32> = (0..=l.height()).collect();
+        let fine = SquishPattern::from_layout_with_lines(&l, &xs, &ys);
+        let canon = fine.canonicalize();
+        assert_eq!(canon, SquishPattern::from_layout(&l));
+        // Canonical form is a fixed point.
+        assert_eq!(canon.canonicalize(), canon);
+    }
+
     proptest! {
+        /// canonicalize() == rasterise-then-resquish on arbitrary squish
+        /// patterns built over arbitrary (valid) line subsets.
+        #[test]
+        fn prop_canonicalize_matches_resquish(rects in proptest::collection::vec(
+            (0u32..20, 0u32..20, 1u32..8, 1u32..8), 0..6),
+            keep in proptest::collection::vec(0u32..2, 23..24)) {
+            let mut l = Layout::new(24, 24);
+            for (x, y, w, h) in rects {
+                l.fill_rect(Rect::new(x, y, w, h));
+            }
+            // Arbitrary line set: borders plus any subset of interior lines.
+            let mut xs = vec![0u32];
+            xs.extend((1..24).filter(|&x| keep[(x - 1) as usize] > 0));
+            xs.push(24);
+            let s = SquishPattern::from_layout_with_lines(&l, &xs, &xs);
+            prop_assert_eq!(
+                s.canonicalize(),
+                SquishPattern::from_layout(&s.to_layout())
+            );
+        }
+
         /// Squish roundtrip is the identity on arbitrary rect soups.
         #[test]
         fn prop_roundtrip(rects in proptest::collection::vec(

@@ -9,6 +9,36 @@ pub trait Denoiser {
     /// Denoises `noisy` given the pre-inpainting `template` layout.
     fn denoise(&self, noisy: &GrayImage, template: &Layout) -> Layout;
 
+    /// Denoises straight to the *canonical* squish form of the layout
+    /// [`Denoiser::denoise`] would produce, i.e. this must always equal
+    /// `SquishPattern::from_layout(&self.denoise(noisy, template))`.
+    ///
+    /// The round tail runs DRC, deduplication and diversity metrics on
+    /// the squish form, so denoisers that build a squish internally
+    /// (notably [`TemplateDenoiser`]) override this to skip the
+    /// rasterise + rescan round trip the default performs.
+    fn denoise_squish(&self, noisy: &GrayImage, template: &Layout) -> SquishPattern {
+        SquishPattern::from_layout(&self.denoise(noisy, template))
+    }
+
+    /// [`Denoiser::denoise_squish`] with the template's scan lines
+    /// precomputed by the caller.
+    ///
+    /// Generation rounds fan one template out into thousands of
+    /// variations; callers that cache `scan_lines_x/y(template)` per
+    /// template hand them in here so line extraction is not repeated
+    /// per sample. `lt_x`/`lt_y` must equal the template's scan lines —
+    /// the default ignores them and recomputes whatever it needs.
+    fn denoise_squish_with_template_lines(
+        &self,
+        noisy: &GrayImage,
+        template: &Layout,
+        _lt_x: &[u32],
+        _lt_y: &[u32],
+    ) -> SquishPattern {
+        self.denoise_squish(noisy, template)
+    }
+
     /// A short name for reports.
     fn name(&self) -> &'static str;
 }
@@ -83,6 +113,18 @@ impl TemplateDenoiser {
         out.dedup();
         out
     }
+
+    /// The fused snap-to-squish core: threshold, extract generated
+    /// lines, snap to the given template lines, majority-vote the
+    /// topology, and canonicalise — no full-raster reconstruction.
+    fn squish_from_lines(&self, noisy: &GrayImage, lt_x: &[u32], lt_y: &[u32]) -> SquishPattern {
+        let binary = noisy.to_layout(0.0);
+        let lg_x = scan_lines_x(&binary);
+        let lg_y = scan_lines_y(&binary);
+        let xs = self.snap_lines(&lg_x, lt_x, binary.width());
+        let ys = self.snap_lines(&lg_y, lt_y, binary.height());
+        SquishPattern::from_layout_with_lines(&binary, &xs, &ys).canonicalize()
+    }
 }
 
 impl Denoiser for TemplateDenoiser {
@@ -97,6 +139,22 @@ impl Denoiser for TemplateDenoiser {
         // Rebuild the topology matrix over the snapped lines (lines
         // 10-11 of Algorithm 1): majority vote absorbs the edge noise.
         SquishPattern::from_layout_with_lines(&binary, &xs, &ys).to_layout()
+    }
+
+    fn denoise_squish(&self, noisy: &GrayImage, template: &Layout) -> SquishPattern {
+        let lt_x = scan_lines_x(template);
+        let lt_y = scan_lines_y(template);
+        self.squish_from_lines(noisy, &lt_x, &lt_y)
+    }
+
+    fn denoise_squish_with_template_lines(
+        &self,
+        noisy: &GrayImage,
+        _template: &Layout,
+        lt_x: &[u32],
+        lt_y: &[u32],
+    ) -> SquishPattern {
+        self.squish_from_lines(noisy, lt_x, lt_y)
     }
 
     fn name(&self) -> &'static str {
@@ -320,6 +378,32 @@ mod tests {
         assert!(wins[0] >= 9, "template denoiser too weak: {wins:?}");
         assert!(wins[0] > wins[1], "template should beat nlm: {wins:?}");
         assert!(wins[1] >= wins[2], "nlm should beat nothing: {wins:?}");
+    }
+
+    #[test]
+    fn denoise_squish_matches_denoise_then_squish() {
+        // The fused squish path must be indistinguishable from rasterise
+        // + rescan for every denoiser, over clean and noisy inputs alike.
+        let t = template();
+        let td = TemplateDenoiser::new(2);
+        let lt_x = pp_geometry::scan_lines_x(&t);
+        let lt_y = pp_geometry::scan_lines_y(&t);
+        for seed in 0..16 {
+            let noisy = noisy_version(&t, seed);
+            let reference = SquishPattern::from_layout(&td.denoise(&noisy, &t));
+            assert_eq!(td.denoise_squish(&noisy, &t), reference, "seed {seed}");
+            assert_eq!(
+                td.denoise_squish_with_template_lines(&noisy, &t, &lt_x, &lt_y),
+                reference,
+                "seed {seed} (cached template lines)"
+            );
+        }
+        let nlm = NlmDenoiser::new();
+        let noisy = noisy_version(&t, 3);
+        assert_eq!(
+            nlm.denoise_squish(&noisy, &t),
+            SquishPattern::from_layout(&nlm.denoise(&noisy, &t))
+        );
     }
 
     #[test]

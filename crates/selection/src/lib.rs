@@ -106,7 +106,7 @@ impl PcaSelector {
         }
         let data: Vec<Vec<f32>> = library.iter().map(flatten).collect();
         let pca = Pca::fit(&data, self.target_explained, 32, self.seed);
-        let features: Vec<Vec<f32>> = data.iter().map(|d| pca.transform(d)).collect();
+        let features = pca.transform_batch(&data);
         let densities: Vec<f64> = library.iter().map(Layout::density).collect();
         let max_density = self.max_density;
         let eligible = |i: usize| densities[i] <= max_density;

@@ -7,8 +7,19 @@
 //! `C = Xᶜᵀ Xᶜ / n` (where `Xᶜ` is the centred data): repeatedly apply
 //! `V ← orth(Xᶜᵀ (Xᶜ V) / n)`, which converges to the dominant
 //! eigenvectors without ever materialising `C`.
+//!
+//! The centred data is flattened into one row-major `[n, d]` matrix and
+//! each subspace iteration runs as two `pp_nn::gemm` calls — `W = XᶜBᵀ`
+//! (`sgemm_nt`) then `B ← WᵀXᶜ / n` (`sgemm_tn`) with the basis stored
+//! as component rows `[k, d]` — so the fit rides the same blocked
+//! AVX-512/AVX2 kernels as the sampler. Under
+//! `pp_nn::gemm::set_force_naive` the scalar reference kernels run
+//! instead, reproducing the pre-rework nested-loop arithmetic exactly
+//! (same reduction order), which is what the benchmark baseline and the
+//! `pca_gemm_matches_reference` pin test rely on.
 
 use crate::error::SelectionError;
+use pp_nn::gemm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -94,7 +105,114 @@ impl Pca {
         let n = data.len();
         let k_max = max_components.min(dim).min(n).max(1);
 
-        // Centre the data.
+        // Centre the data into one flat row-major [n, d] matrix.
+        let mut mean = vec![0.0f32; dim];
+        for row in data {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        let mut centred = vec![0.0f32; n * dim];
+        for (flat, row) in centred.chunks_exact_mut(dim).zip(data) {
+            for ((c, &v), &m) in flat.iter_mut().zip(row).zip(&mean) {
+                *c = v - m;
+            }
+        }
+        let total_variance: f32 = centred
+            .chunks_exact(dim)
+            .flat_map(|r| r.iter().map(|&v| v * v))
+            .sum::<f32>()
+            / n as f32;
+
+        if total_variance <= f32::EPSILON {
+            // Degenerate: all samples identical.
+            return Pca {
+                mean,
+                components: vec![unit_vector(dim, 0)],
+                eigenvalues: vec![0.0],
+                total_variance: 0.0,
+            };
+        }
+
+        // Subspace iteration: basis stored as component rows [k, d].
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut basis: Vec<f32> = (0..k_max * dim)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        orthonormalise(&mut basis, dim);
+        let mut proj = vec![0.0f32; n * k_max];
+        let mut next = vec![0.0f32; k_max * dim];
+        for _ in 0..30 {
+            // W = Xᶜ Bᵀ (n × k): every element is a row·component dot.
+            gemm::sgemm_nt(n, dim, k_max, &centred, &basis, &mut proj, 0.0);
+            // B ← Wᵀ Xᶜ / n (k × d): accumulates sample by sample in
+            // index order, matching the reference loop bit for bit
+            // under the naive kernels.
+            gemm::sgemm_tn(k_max, n, dim, &proj, &centred, &mut next, 0.0);
+            for v in &mut next {
+                *v /= n as f32;
+            }
+            std::mem::swap(&mut basis, &mut next);
+            orthonormalise(&mut basis, dim);
+        }
+
+        // Eigenvalues = variance along each basis vector, read off one
+        // final projection pass.
+        gemm::sgemm_nt(n, dim, k_max, &centred, &basis, &mut proj, 0.0);
+        let mut eig: Vec<(f32, Vec<f32>)> = basis
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(c, b)| {
+                let var: f32 = proj
+                    .chunks_exact(k_max)
+                    .map(|row| row[c] * row[c])
+                    .sum::<f32>()
+                    / n as f32;
+                (var, b.to_vec())
+            })
+            .collect();
+        // total_cmp: a NaN variance (degenerate or poisoned input) must
+        // sort deterministically, not panic the round.
+        eig.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        // Keep components until the target explained variance is reached.
+        let mut kept = Vec::new();
+        let mut eigenvalues = Vec::new();
+        let mut acc = 0.0f64;
+        for (val, vec) in eig {
+            kept.push(vec);
+            eigenvalues.push(val);
+            acc += f64::from(val);
+            if acc / f64::from(total_variance) >= target_explained {
+                break;
+            }
+        }
+        Pca {
+            mean,
+            components: kept,
+            eigenvalues,
+            total_variance,
+        }
+    }
+
+    /// The pre-GEMM nested-loop fit, kept verbatim as the arithmetic
+    /// reference: `fit_checked` under `gemm::set_force_naive` must
+    /// reproduce it bit for bit (enforced by the `pca_gemm` integration
+    /// test). Not part of the public API.
+    #[doc(hidden)]
+    pub fn fit_reference(
+        data: &[Vec<f32>],
+        target_explained: f64,
+        max_components: usize,
+        seed: u64,
+    ) -> Pca {
+        let dim = data[0].len();
+        let n = data.len();
+        let k_max = max_components.min(dim).min(n).max(1);
+
         let mut mean = vec![0.0f32; dim];
         for row in data {
             for (m, &v) in mean.iter_mut().zip(row) {
@@ -115,7 +233,6 @@ impl Pca {
             / n as f32;
 
         if total_variance <= f32::EPSILON {
-            // Degenerate: all samples identical.
             return Pca {
                 mean,
                 components: vec![unit_vector(dim, 0)],
@@ -124,20 +241,16 @@ impl Pca {
             };
         }
 
-        // Subspace iteration with k_max vectors.
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut basis: Vec<Vec<f32>> = (0..k_max)
-            .map(|_| {
-                let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-                v
-            })
+        let mut basis: Vec<f32> = (0..k_max * dim)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
             .collect();
-        orthonormalise(&mut basis);
+        orthonormalise(&mut basis, dim);
+        let mut rows: Vec<Vec<f32>> = basis.chunks_exact(dim).map(<[f32]>::to_vec).collect();
         for _ in 0..30 {
-            // W = Xᶜ V  (n × k), then V ← Xᶜᵀ W / n (d × k).
-            let mut next: Vec<Vec<f32>> = vec![vec![0.0; dim]; basis.len()];
+            let mut next: Vec<Vec<f32>> = vec![vec![0.0; dim]; rows.len()];
             for row in &centred {
-                for (b, nx) in basis.iter().zip(next.iter_mut()) {
+                for (b, nx) in rows.iter().zip(next.iter_mut()) {
                     let proj: f32 = row.iter().zip(b).map(|(&r, &v)| r * v).sum();
                     for (nv, &r) in nx.iter_mut().zip(row) {
                         *nv += proj * r;
@@ -149,12 +262,13 @@ impl Pca {
                     *v /= n as f32;
                 }
             }
-            basis = next;
-            orthonormalise(&mut basis);
+            rows = next;
+            let mut flat: Vec<f32> = rows.concat();
+            orthonormalise(&mut flat, dim);
+            rows = flat.chunks_exact(dim).map(<[f32]>::to_vec).collect();
         }
 
-        // Eigenvalues = variance along each basis vector.
-        let mut eig: Vec<(f32, Vec<f32>)> = basis
+        let mut eig: Vec<(f32, Vec<f32>)> = rows
             .into_iter()
             .map(|b| {
                 let var: f32 = centred
@@ -168,9 +282,8 @@ impl Pca {
                 (var, b)
             })
             .collect();
-        eig.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        eig.sort_by(|a, b| b.0.total_cmp(&a.0));
 
-        // Keep components until the target explained variance is reached.
         let mut kept = Vec::new();
         let mut eigenvalues = Vec::new();
         let mut acc = 0.0f64;
@@ -226,27 +339,61 @@ impl Pca {
             })
             .collect()
     }
+
+    /// Projects many samples at once: one `[n, d]·[d, k]` GEMM instead
+    /// of `n·k` scalar dot products. Agrees with mapping
+    /// [`Pca::transform`] to float rounding (the blocked kernels split
+    /// dot products across several accumulators); under
+    /// `gemm::set_force_naive` the two are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the training dimension.
+    pub fn transform_batch(&self, data: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let dim = self.mean.len();
+        let n = data.len();
+        let k = self.components.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut centred = vec![0.0f32; n * dim];
+        for (flat, row) in centred.chunks_exact_mut(dim).zip(data) {
+            assert_eq!(row.len(), dim, "dimension mismatch");
+            for ((c, &v), &m) in flat.iter_mut().zip(row).zip(&self.mean) {
+                *c = v - m;
+            }
+        }
+        let flat_components: Vec<f32> = self.components.concat();
+        let mut proj = vec![0.0f32; n * k];
+        gemm::sgemm_nt(n, dim, k, &centred, &flat_components, &mut proj, 0.0);
+        proj.chunks_exact(k).map(<[f32]>::to_vec).collect()
+    }
 }
 
-/// Modified Gram-Schmidt; drops near-zero vectors by re-randomising them
-/// deterministically from their index.
-fn orthonormalise(basis: &mut [Vec<f32>]) {
-    let dim = basis[0].len();
-    for i in 0..basis.len() {
+/// Modified Gram-Schmidt over component rows of a flat `[k, d]` matrix;
+/// drops near-zero vectors by replacing them with a deterministic axis
+/// vector chosen from their index.
+fn orthonormalise(basis: &mut [f32], dim: usize) {
+    let k = basis.len() / dim;
+    for i in 0..k {
         for j in 0..i {
-            let dot: f32 = basis[i].iter().zip(&basis[j]).map(|(&a, &b)| a * b).sum();
-            let (head, tail) = basis.split_at_mut(i);
-            for (v, &w) in tail[0].iter_mut().zip(&head[j]) {
+            let (head, tail) = basis.split_at_mut(i * dim);
+            let bi = &mut tail[..dim];
+            let bj = &head[j * dim..(j + 1) * dim];
+            let dot: f32 = bi.iter().zip(bj).map(|(&a, &b)| a * b).sum();
+            for (v, &w) in bi.iter_mut().zip(bj) {
                 *v -= dot * w;
             }
         }
-        let norm: f32 = basis[i].iter().map(|&v| v * v).sum::<f32>().sqrt();
+        let bi = &mut basis[i * dim..(i + 1) * dim];
+        let norm: f32 = bi.iter().map(|&v| v * v).sum::<f32>().sqrt();
         if norm > 1e-12 {
-            for v in &mut basis[i] {
+            for v in bi {
                 *v /= norm;
             }
         } else {
-            basis[i] = unit_vector(dim, i % dim);
+            bi.fill(0.0);
+            bi[i % dim] = 1.0;
         }
     }
 }
@@ -307,6 +454,42 @@ mod tests {
         let b = pca.transform(&[3.0, 0.0]);
         // Projections are symmetric about the mean.
         assert!((a[0] + b[0]).abs() < 1e-4, "{a:?} {b:?}");
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        // Regression: the eigenvalue sort used partial_cmp().unwrap(),
+        // which panicked the whole round when a poisoned feature slipped
+        // in. total_cmp must order NaNs deterministically instead.
+        let mut data: Vec<Vec<f32>> = (0..10)
+            .map(|i| vec![i as f32, f32::NAN, -(i as f32)])
+            .collect();
+        let pca = Pca::fit(&data, 0.9, 3, 0);
+        assert!(pca.n_components() >= 1);
+        // A fully degenerate (constant) clean column alongside the NaN
+        // column must also survive.
+        for row in &mut data {
+            row[1] = 7.0;
+            row[2] = f32::NAN;
+        }
+        let pca = Pca::fit(&data, 0.9, 3, 1);
+        assert!(pca.n_components() >= 1);
+    }
+
+    #[test]
+    fn transform_batch_matches_transform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<Vec<f32>> = (0..40)
+            .map(|_| (0..12).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
+        let pca = Pca::fit(&data, 0.95, 8, 4);
+        let batch = pca.transform_batch(&data);
+        for (row, projected) in data.iter().zip(&batch) {
+            for (a, b) in pca.transform(row).iter().zip(projected) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+        assert!(pca.transform_batch(&[]).is_empty());
     }
 
     #[test]

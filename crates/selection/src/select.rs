@@ -1,7 +1,75 @@
 //! Constrained farthest-point selection (paper Algorithm 2, lines 2-10).
+//!
+//! Distances run through `pp_nn::gemm`: each greedy step computes the
+//! dot products of the newly chosen sample against the whole feature
+//! matrix as one skinny `[n, d]·[d, 1]` GEMM and recovers Euclidean
+//! distances from precomputed row norms
+//! (`‖a − b‖² = ‖a‖² + ‖b‖² − 2·a·b`). Under
+//! `pp_nn::gemm::set_force_naive` the original per-pair difference loop
+//! runs instead, preserving the pre-rework arithmetic for benchmark
+//! baselines. Both paths are deterministic in `seed`; picks can differ
+//! between them only by float rounding on near-ties.
 
+use pp_nn::gemm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Distance backend for one selection run.
+enum Distances<'a> {
+    /// The pre-rework per-pair loop (the `force_naive` baseline).
+    Reference(&'a [Vec<f32>]),
+    /// GEMM dots + row norms.
+    Gemm {
+        flat: Vec<f32>,
+        norms: Vec<f32>,
+        dim: usize,
+        /// Dot products of the last prepared sample against all rows.
+        dots: Vec<f32>,
+    },
+}
+
+impl<'a> Distances<'a> {
+    fn new(features: &'a [Vec<f32>]) -> Self {
+        if gemm::force_naive() {
+            return Distances::Reference(features);
+        }
+        let dim = features.first().map_or(0, Vec::len);
+        let flat: Vec<f32> = features.concat();
+        let norms: Vec<f32> = features
+            .iter()
+            .map(|f| f.iter().map(|&v| v * v).sum())
+            .collect();
+        Distances::Gemm {
+            flat,
+            norms,
+            dim,
+            dots: vec![0.0; features.len()],
+        }
+    }
+
+    /// Makes `chosen` the reference point for subsequent [`Self::to`]
+    /// calls (one GEMM over the whole matrix on the fast path).
+    fn prepare(&mut self, chosen: usize) {
+        if let Distances::Gemm {
+            flat, dim, dots, ..
+        } = self
+        {
+            let n = dots.len();
+            let b = &flat[chosen * *dim..(chosen + 1) * *dim];
+            gemm::sgemm_nt(n, *dim, 1, flat, b, dots, 0.0);
+        }
+    }
+
+    /// Euclidean distance from the prepared sample to row `i`.
+    fn to(&self, chosen: usize, i: usize) -> f32 {
+        match self {
+            Distances::Reference(features) => euclidean(&features[i], &features[chosen]),
+            Distances::Gemm { norms, dots, .. } => {
+                (norms[i] + norms[chosen] - 2.0 * dots[i]).max(0.0).sqrt()
+            }
+        }
+    }
+}
 
 /// Greedily selects up to `k` diverse samples from `features`.
 ///
@@ -40,6 +108,7 @@ where
     let mut rng = StdRng::seed_from_u64(seed);
     let mut selected: Vec<usize> = Vec::with_capacity(k);
     let mut remaining: Vec<usize> = candidates.clone();
+    let mut distances = Distances::new(features);
 
     // Line 3: initial random sample.
     let first = remaining.swap_remove(rng.gen_range(0..remaining.len()));
@@ -47,22 +116,21 @@ where
 
     // Running sum of distances from each remaining sample to the selected
     // set, updated incrementally (O(n·k) total instead of O(n·k²)).
-    let mut dist_sum: Vec<f32> = remaining
-        .iter()
-        .map(|&i| euclidean(&features[i], &features[first]))
-        .collect();
+    distances.prepare(first);
+    let mut dist_sum: Vec<f32> = remaining.iter().map(|&i| distances.to(first, i)).collect();
 
     while selected.len() < k && !remaining.is_empty() {
         // Line 8: farthest point subject to constraints.
         let (best_pos, _) = dist_sum
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("remaining is non-empty");
         let chosen = remaining.swap_remove(best_pos);
         dist_sum.swap_remove(best_pos);
+        distances.prepare(chosen);
         for (pos, &i) in remaining.iter().enumerate() {
-            dist_sum[pos] += euclidean(&features[i], &features[chosen]);
+            dist_sum[pos] += distances.to(chosen, i);
         }
         selected.push(chosen);
     }
