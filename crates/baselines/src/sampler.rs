@@ -109,7 +109,9 @@ impl Sampler for DiffPatternSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use patternpaint_core::{run_round, DrcValidator, GenerationRequest, StreamOptions};
+    use patternpaint_core::{
+        run_round, DrcValidator, Engine, GenerationRequest, PipelineConfig, StreamOptions,
+    };
     use pp_inpaint::{Mask, ThresholdDenoiser};
     use pp_pdk::{RuleBasedGenerator, SynthNode};
 
@@ -136,6 +138,41 @@ mod tests {
         assert_eq!(round.generated, 5);
         assert!(round.legal <= round.generated);
         assert!(round.library.len() <= round.legal);
+    }
+
+    /// The baseline adapters ride the engine/session surface like any
+    /// other sampler override: a session driving CUP produces exactly
+    /// what the bare `run_round` harness produces for the same request.
+    #[test]
+    fn cup_runs_as_an_engine_session() {
+        let node = SynthNode::default();
+        let training = RuleBasedGenerator::new(node.clone(), 6).generate_batch(12);
+        let train_baseline = || {
+            let mut cup = CupBaseline::new(node.rules().clone(), 1);
+            let _ = cup.train(&training, 10, 4, 2e-3, 2);
+            CupSampler::new(cup, training.clone())
+        };
+        let request = baseline_request(&node, &training, 5);
+
+        let reference = run_round(
+            &train_baseline(),
+            &ThresholdDenoiser::new(),
+            &DrcValidator::new(node.rules().clone()),
+            &request,
+            &StreamOptions::default(),
+        )
+        .expect("harness runs");
+
+        let engine = Engine::builder(node.clone(), PipelineConfig::standard())
+            .sampler(train_baseline())
+            .denoiser(ThresholdDenoiser::new())
+            .untrained_engine()
+            .expect("standard config is valid");
+        let mut session = engine.session();
+        let (generated, legal) = session.run_request(&request).expect("session runs");
+        assert_eq!(generated, reference.generated);
+        assert_eq!(legal, reference.legal);
+        assert_eq!(session.library().patterns(), reference.library.patterns());
     }
 
     #[test]

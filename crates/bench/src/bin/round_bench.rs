@@ -20,6 +20,11 @@
 //! * `parallel_tail_2` / `parallel_tail_4` — the same fused tail fanned
 //!   out over 2/4 tail workers with in-order admission.
 //!
+//! Since the engine redesign every mode runs as an `Engine` session
+//! (sampler override = the replay sampler), i.e. through the same code
+//! path a multi-tenant service drives; the harness internals are
+//! unchanged, so trajectories stay comparable with pre-engine runs.
+//!
 //! Every mode must produce bit-identical libraries (asserted here).
 //! The headline ratio `parallel_tail_vs_serial_tail` compares
 //! `parallel_tail_4` against `serial_tail_naive` — per PERF.md, compare
@@ -31,9 +36,10 @@
 //! (`PP_BENCH_JOBS=n` scales the round; `PP_BENCH_SMOKE=1` skips the
 //! JSON write — the ci.sh bench-smoke step uses both.)
 
-use patternpaint_core::stages::{run_round, DrcValidator, SampleStream, Sampler};
+use patternpaint_core::stages::{DrcValidator, SampleStream, Sampler};
 use patternpaint_core::{
-    GenerationRequest, JobSet, PatternLibrary, PipelineConfig, PpError, RawSample, StreamOptions,
+    Engine, GenerationRequest, JobSet, PatternLibrary, PipelineConfig, PpError, RawSample,
+    StreamOptions,
 };
 use pp_geometry::{GrayImage, Layout, Rect};
 use pp_inpaint::{MaskSet, TemplateDenoiser};
@@ -144,21 +150,25 @@ struct ModeResult {
     counts: (usize, usize),
 }
 
+/// Runs one timed round through an engine `Session` (the
+/// engine-backed service path); internally this is the same
+/// `run_round_into` harness the bare functions drive, so numbers stay
+/// comparable with pre-engine trajectories.
 fn run_mode(
     name: &'static str,
-    sampler: &ReplaySampler,
+    engine: &Engine,
     request: &GenerationRequest,
-    denoiser: &TemplateDenoiser,
-    validator: &DrcValidator,
     tail_threads: usize,
     naive: bool,
 ) -> ModeResult {
     gemm::set_force_naive(naive);
     let opts = StreamOptions::default().with_tail_threads(tail_threads);
     // Warm-up pass (allocator pools, page faults), then the timed run.
-    let _ = run_round(sampler, denoiser, validator, request, &opts);
+    let mut warm = engine.session().with_options(opts.clone());
+    let _ = warm.run_request(request);
+    let mut session = engine.session().with_options(opts);
     let t0 = Instant::now();
-    let round = run_round(sampler, denoiser, validator, request, &opts).expect("round runs");
+    let counts = session.run_request(request).expect("round runs");
     let seconds = t0.elapsed().as_secs_f64();
     gemm::set_force_naive(false);
     let jobs = request.jobs().len() as f64;
@@ -167,8 +177,8 @@ fn run_mode(
         seconds,
         samples_per_sec: jobs / seconds,
         ns_per_sample: seconds * 1e9 / jobs,
-        library: round.library,
-        counts: (round.generated, round.legal),
+        library: session.into_library(),
+        counts,
     }
 }
 
@@ -233,8 +243,6 @@ fn main() {
 
     let node = SynthNode::default();
     let cfg = PipelineConfig::standard();
-    let denoiser = TemplateDenoiser::new(cfg.denoise_threshold);
-    let validator = DrcValidator::new(node.rules().clone());
 
     // Starters × all ten masks × as many variations as it takes.
     let starters = node.starter_patterns();
@@ -250,13 +258,21 @@ fn main() {
             .sample(request.jobs(), request.seed())
             .expect("jitter sampler cannot fail"),
     };
+    // One shared engine snapshot serves every mode, with the replay
+    // sampler standing in for the diffusion stage.
+    let engine = Engine::builder(node.clone(), cfg)
+        .sampler(replay)
+        .denoiser(TemplateDenoiser::new(cfg.denoise_threshold))
+        .validator(DrcValidator::new(node.rules().clone()))
+        .untrained_engine()
+        .expect("standard config is valid");
 
     #[rustfmt::skip]
     let modes = [
-        run_mode("serial_tail_naive", &replay, &request, &denoiser, &validator, 0, true),
-        run_mode("serial_tail_fused", &replay, &request, &denoiser, &validator, 0, false),
-        run_mode("parallel_tail_2", &replay, &request, &denoiser, &validator, 2, false),
-        run_mode("parallel_tail_4", &replay, &request, &denoiser, &validator, 4, false),
+        run_mode("serial_tail_naive", &engine, &request, 0, true),
+        run_mode("serial_tail_fused", &engine, &request, 0, false),
+        run_mode("parallel_tail_2", &engine, &request, 2, false),
+        run_mode("parallel_tail_4", &engine, &request, 4, false),
     ];
 
     // The whole point of the in-order admitter: every mode's library is

@@ -28,7 +28,9 @@
 //! the JSON write and shortens the pretrain probe — the ci.sh
 //! bench-smoke step uses both so the binary cannot silently rot.)
 
-use patternpaint_core::PipelineConfig;
+use patternpaint_core::{
+    Engine, JobSet, PipelineConfig, RawSample, Sampler, ScheduledSampler, StreamOptions,
+};
 use pp_diffusion::{CancelToken, DiffusionConfig, DiffusionModel};
 use pp_geometry::GrayImage;
 use pp_inpaint::MaskSet;
@@ -160,6 +162,48 @@ fn main() {
             false,
             true,
         ),
+        // The engine-backed path: the same jobs through a shared
+        // Engine scheduler (the pool that serves concurrent sessions)
+        // instead of a per-request worker pool. Same weights (seed 0),
+        // same per-job RNG streams, so outputs are bit-identical —
+        // asserted below against the blocking batch path.
+        {
+            let engine = Engine::builder(node.clone(), cfg)
+                .seed(0)
+                .untrained_engine()
+                .expect("standard config is valid");
+            let scheduler = engine.scheduler(threads);
+            let sampler = ScheduledSampler::new(scheduler.handle(), cfg.batch_size);
+            let jobset = JobSet::cycle(&starters, &masks, jobs.len());
+            let opts = StreamOptions::default();
+            // Warm up worker U-Net pools like the other modes.
+            let warm = JobSet::cycle(&starters, &masks, threads.min(jobs.len()));
+            let _ = sampler.sample(&warm, 1).expect("warmup jobs run");
+            let t0 = Instant::now();
+            let out: Vec<RawSample> = sampler
+                .sample_stream(&jobset, 42, &opts)
+                .expect("jobs are well-formed")
+                .collect::<Result<_, _>>()
+                .expect("scheduler stream yields no errors");
+            let seconds = t0.elapsed().as_secs_f64();
+            assert_eq!(out.len(), jobs.len());
+            let reference = model
+                .sample_inpaint_batch_sized(&jobs, 42, threads, cfg.batch_size)
+                .expect("jobs are well-formed");
+            for (r, b) in out.iter().zip(&reference) {
+                assert_eq!(
+                    &r.raw, b,
+                    "engine-scheduled output diverged from batch path"
+                );
+            }
+            let steps = (jobs.len() * cfg.model.ddim_steps) as f64;
+            ModeResult {
+                name: "engine_sched",
+                seconds,
+                samples_per_sec: jobs.len() as f64 / seconds,
+                ns_per_step: seconds * 1e9 / steps,
+            }
+        },
     ];
 
     println!();
@@ -175,9 +219,11 @@ fn main() {
     }
     let speedup = modes[2].samples_per_sec / modes[0].samples_per_sec;
     let stream_ratio = modes[3].samples_per_sec / modes[2].samples_per_sec;
+    let engine_ratio = modes[4].samples_per_sec / modes[2].samples_per_sec;
     println!();
     println!("batched_gemm vs per_sample_naive (pre-rework path): {speedup:.2}x");
     println!("streamed_gemm vs batched_gemm (stream delivery overhead): {stream_ratio:.2}x");
+    println!("engine_sched vs batched_gemm (shared-scheduler overhead): {engine_ratio:.2}x");
 
     let mode_rows: Vec<serde_json::Value> = modes
         .iter()
@@ -210,6 +256,7 @@ fn main() {
         "modes": mode_rows,
         "speedup_batched_vs_per_sample_naive": speedup,
         "streamed_vs_batched": stream_ratio,
+        "engine_sched_vs_batched": engine_ratio,
     });
     if smoke {
         println!("smoke mode: skipping BENCH_sampling.json");

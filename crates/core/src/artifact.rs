@@ -1,0 +1,540 @@
+//! Versioned, durable artifacts: the persistence layer under
+//! [`crate::Engine`] and [`crate::Session`].
+//!
+//! PatternPaint runs produce two artifacts worth keeping across
+//! processes: the trained model (expensive to reproduce) and the
+//! pattern libraries (the product). An [`ArtifactStore`] is a small
+//! key/value abstraction over wherever those bytes live —
+//! [`DirStore`] maps keys to files in a directory, [`MemStore`] keeps
+//! them in memory for tests — and the engine/session save/resume
+//! methods read and write through it:
+//!
+//! | key | contents |
+//! |---|---|
+//! | `engine.meta` | `PPEG` manifest: node, config, seed, finetune flag |
+//! | `model.ppck` | versioned model checkpoint (`pp_diffusion::checkpoint`) |
+//! | `session-<name>.meta` | `PPSS` manifest: session config, seed, progress counters |
+//! | `session-<name>.ppsq` | the session library in squish form (`PPSQ v1`) |
+//!
+//! Failures surface as [`ArtifactError`] (wrapped in
+//! [`crate::PpError::Artifact`] at the pipeline surface), whose
+//! [`std::error::Error::source`] chain reaches the underlying
+//! `io::Error` so operators can tell a full disk from a corrupt file.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// What went wrong talking to an [`ArtifactStore`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// Reading or writing the backing storage failed.
+    Io {
+        /// The file (or store location) involved.
+        path: PathBuf,
+        /// The underlying failure (also exposed via
+        /// [`std::error::Error::source`]).
+        source: io::Error,
+    },
+    /// The requested key does not exist in the store.
+    Missing {
+        /// The absent key.
+        key: String,
+    },
+    /// A key contains characters the store cannot represent safely.
+    InvalidKey {
+        /// The offending key.
+        key: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// Stored bytes parsed as none of the expected formats.
+    Corrupt {
+        /// The artifact key holding the bad bytes.
+        key: String,
+        /// What failed to parse or validate.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io { path, source } => {
+                write!(f, "artifact i/o failed at {}: {source}", path.display())
+            }
+            ArtifactError::Missing { key } => write!(f, "artifact {key:?} not found"),
+            ArtifactError::InvalidKey { key, reason } => {
+                write!(f, "invalid artifact key {key:?}: {reason}")
+            }
+            ArtifactError::Corrupt { key, detail } => {
+                write!(f, "corrupt artifact {key:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl ArtifactError {
+    pub(crate) fn corrupt(key: &str, detail: impl Into<String>) -> ArtifactError {
+        ArtifactError::Corrupt {
+            key: key.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Rejects keys that could escape a directory store or collide with
+/// its temp files: only `[A-Za-z0-9._-]`, non-empty, no leading dot.
+pub(crate) fn validate_key(key: &str) -> Result<(), ArtifactError> {
+    let invalid = |reason| {
+        Err(ArtifactError::InvalidKey {
+            key: key.to_string(),
+            reason,
+        })
+    };
+    if key.is_empty() {
+        return invalid("empty key");
+    }
+    if key.starts_with('.') {
+        return invalid("keys must not start with '.'");
+    }
+    if !key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    {
+        return invalid("keys may only contain [A-Za-z0-9._-]");
+    }
+    Ok(())
+}
+
+/// Durable storage for engine and session artifacts.
+///
+/// Implementations must make `put` atomic at the key level: a reader
+/// never observes a half-written value (the directory store writes to
+/// a temp file and renames). Keys are flat strings validated by the
+/// store; the engine uses the fixed names listed in the module docs.
+pub trait ArtifactStore: Send + Sync {
+    /// Stores `bytes` under `key`, replacing any previous value.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::InvalidKey`] for malformed keys,
+    /// [`ArtifactError::Io`] when the backing storage fails.
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), ArtifactError>;
+
+    /// Retrieves the value stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Missing`] when the key does not exist, plus the
+    /// same conditions as [`ArtifactStore::put`].
+    fn get(&self, key: &str) -> Result<Vec<u8>, ArtifactError>;
+
+    /// Whether `key` currently holds a value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ArtifactStore::put`].
+    fn contains(&self, key: &str) -> Result<bool, ArtifactError>;
+
+    /// All keys currently stored, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] when the backing storage fails.
+    fn list(&self) -> Result<Vec<String>, ArtifactError>;
+}
+
+/// An [`ArtifactStore`] mapping each key to a file in one directory.
+///
+/// Writes go to a dot-prefixed temp file first and are renamed into
+/// place, so concurrent readers (or a crash mid-save) never see a
+/// truncated artifact.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<DirStore, ArtifactError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|source| ArtifactError::Io {
+            path: root.clone(),
+            source,
+        })?;
+        Ok(DirStore { root })
+    }
+
+    /// The directory backing this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.root.join(key)
+    }
+}
+
+impl ArtifactStore for DirStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), ArtifactError> {
+        validate_key(key)?;
+        // Unique temp name per put: a fixed `.tmp-<key>` would let two
+        // concurrent puts of the same key truncate each other's temp
+        // file and rename half-written bytes into place, breaking the
+        // trait's key-level atomicity guarantee.
+        static PUT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = PUT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self
+            .root
+            .join(format!(".tmp-{}-{seq}-{key}", std::process::id()));
+        let io_err = |path: &Path| {
+            let path = path.to_path_buf();
+            move |source| ArtifactError::Io { path, source }
+        };
+        std::fs::write(&tmp, bytes).map_err(io_err(&tmp))?;
+        let dst = self.path_for(key);
+        std::fs::rename(&tmp, &dst).map_err(io_err(&dst))
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, ArtifactError> {
+        validate_key(key)?;
+        let path = self.path_for(key);
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(ArtifactError::Missing {
+                key: key.to_string(),
+            }),
+            Err(source) => Err(ArtifactError::Io { path, source }),
+        }
+    }
+
+    fn contains(&self, key: &str) -> Result<bool, ArtifactError> {
+        validate_key(key)?;
+        Ok(self.path_for(key).is_file())
+    }
+
+    fn list(&self) -> Result<Vec<String>, ArtifactError> {
+        let entries = std::fs::read_dir(&self.root).map_err(|source| ArtifactError::Io {
+            path: self.root.clone(),
+            source,
+        })?;
+        let mut keys = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|source| ArtifactError::Io {
+                path: self.root.clone(),
+                source,
+            })?;
+            if let Some(name) = entry.file_name().to_str() {
+                if validate_key(name).is_ok() && entry.path().is_file() {
+                    keys.push(name.to_string());
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+/// An in-memory [`ArtifactStore`] for tests and ephemeral runs.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl ArtifactStore for MemStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<(), ArtifactError> {
+        validate_key(key)?;
+        self.map
+            .lock()
+            .expect("mem store poisoned")
+            .insert(key.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, ArtifactError> {
+        validate_key(key)?;
+        self.map
+            .lock()
+            .expect("mem store poisoned")
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ArtifactError::Missing {
+                key: key.to_string(),
+            })
+    }
+
+    fn contains(&self, key: &str) -> Result<bool, ArtifactError> {
+        validate_key(key)?;
+        Ok(self
+            .map
+            .lock()
+            .expect("mem store poisoned")
+            .contains_key(key))
+    }
+
+    fn list(&self) -> Result<Vec<String>, ArtifactError> {
+        Ok(self
+            .map
+            .lock()
+            .expect("mem store poisoned")
+            .keys()
+            .cloned()
+            .collect())
+    }
+}
+
+/// Little-endian manifest encoder (the engine/session `.meta` blobs).
+#[derive(Debug, Default)]
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Infallible `io::Write`, so codecs defined against `io::Write`
+/// (e.g. `pp_diffusion::checkpoint::write_config`) can target a
+/// manifest blob directly.
+impl io::Write for ByteWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// `io::Read` over the unconsumed tail, so codecs defined against
+/// `io::Read` (e.g. `pp_diffusion::checkpoint::read_config`) can parse
+/// out of a manifest blob in place.
+impl io::Read for ByteReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.remaining().len());
+        buf[..n].copy_from_slice(&self.remaining()[..n]);
+        self.advance(n);
+        Ok(n)
+    }
+}
+
+/// Little-endian manifest decoder; every read reports truncation as a
+/// `String` detail the caller wraps into [`ArtifactError::Corrupt`].
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated at {what} (offset {}, need {n} bytes, have {})",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        self.take(n, what)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("took 8 bytes")))
+    }
+
+    pub(crate) fn f32(&mut self, what: &str) -> Result<f32, String> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, String> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("took 8 bytes")))
+    }
+
+    pub(crate) fn remaining(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    pub(crate) fn advance(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.buf.len());
+    }
+
+    pub(crate) fn expect_end(&self, what: &str) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn mem_store_roundtrip_and_missing() {
+        let store = MemStore::new();
+        assert!(!store.contains("a.bin").unwrap());
+        store.put("a.bin", b"hello").unwrap();
+        assert_eq!(store.get("a.bin").unwrap(), b"hello");
+        assert!(store.contains("a.bin").unwrap());
+        assert_eq!(store.list().unwrap(), vec!["a.bin".to_string()]);
+        assert!(matches!(
+            store.get("b.bin").unwrap_err(),
+            ArtifactError::Missing { .. }
+        ));
+    }
+
+    #[test]
+    fn keys_are_validated() {
+        let store = MemStore::new();
+        for bad in ["", "..", "a/b", "a\\b", ".hidden", "sp ace"] {
+            assert!(
+                matches!(
+                    store.put(bad, b"x").unwrap_err(),
+                    ArtifactError::InvalidKey { .. }
+                ),
+                "key {bad:?} should be rejected"
+            );
+        }
+        store.put("ok-key_1.bin", b"x").unwrap();
+    }
+
+    #[test]
+    fn dir_store_roundtrip_and_atomicity_markers() {
+        let root = std::env::temp_dir().join(format!("pp-artifact-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = DirStore::open(&root).unwrap();
+        store.put("m.bin", b"abc").unwrap();
+        store.put("m.bin", b"abcd").unwrap(); // overwrite
+        assert_eq!(store.get("m.bin").unwrap(), b"abcd");
+        assert_eq!(store.list().unwrap(), vec!["m.bin".to_string()]);
+        // No temp residue after successful puts.
+        let residue = std::fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with('.'))
+            .count();
+        assert_eq!(residue, 0);
+        let err = store.get("absent").unwrap_err();
+        assert!(matches!(err, ArtifactError::Missing { .. }));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn io_errors_chain_to_source() {
+        // Opening a store under a path that is a *file* must fail with
+        // an Io variant whose source is the root io::Error.
+        let root = std::env::temp_dir().join(format!("pp-artifact-file-{}", std::process::id()));
+        std::fs::write(&root, b"not a dir").unwrap();
+        let err = DirStore::open(&root).unwrap_err();
+        assert!(matches!(err, ArtifactError::Io { .. }));
+        assert!(err.source().is_some(), "Io must expose its source");
+        let _ = std::fs::remove_file(&root);
+    }
+
+    #[test]
+    fn byte_cursor_roundtrip_and_truncation() {
+        let mut w = ByteWriter::new();
+        w.bytes(b"HDR");
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(1 << 40);
+        w.f32(1.5);
+        w.f64(-2.25);
+        let buf = w.into_vec();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.bytes(3, "hdr").unwrap(), b"HDR");
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(r.u64("c").unwrap(), 1 << 40);
+        assert_eq!(r.f32("d").unwrap(), 1.5);
+        assert_eq!(r.f64("e").unwrap(), -2.25);
+        r.expect_end("manifest").unwrap();
+        let mut r = ByteReader::new(&buf[..5]);
+        let _ = r.bytes(3, "hdr").unwrap();
+        let _ = r.u8("a").unwrap();
+        let err = r.u32("b").unwrap_err();
+        assert!(err.contains("truncated at b"), "got: {err}");
+    }
+}

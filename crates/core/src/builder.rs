@@ -1,6 +1,7 @@
 //! Pipeline assembly.
 
 use crate::config::PipelineConfig;
+use crate::engine::{Engine, EngineCore};
 use crate::error::PpError;
 use crate::pipeline::PatternPaint;
 use crate::stages::{DrcValidator, PatternDenoiser, Sampler, Selector, Validator};
@@ -105,15 +106,38 @@ impl PipelineBuilder {
         let validator = self
             .validator
             .unwrap_or_else(|| Arc::new(DrcValidator::new(self.node.rules().clone())));
-        Ok(PatternPaint::assemble(
-            self.node,
-            self.cfg,
-            self.seed,
-            self.sampler,
-            denoiser,
-            validator,
-            self.selector,
-        ))
+        Ok(PatternPaint {
+            core: Arc::new(EngineCore::assemble(
+                self.node,
+                self.cfg,
+                self.seed,
+                self.sampler,
+                denoiser,
+                validator,
+                self.selector,
+            )),
+        })
+    }
+
+    /// Builds an [`Engine`] snapshot around an *untrained* model
+    /// (usually followed by [`Engine::open`]-style weight loading via
+    /// the facade, or used directly in tests).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PipelineBuilder::untrained`].
+    pub fn untrained_engine(self) -> Result<Engine, PpError> {
+        Ok(self.untrained()?.into_engine())
+    }
+
+    /// Builds an [`Engine`] snapshot, pretraining its model on the
+    /// synthetic foundation corpus first.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PipelineBuilder::pretrained`].
+    pub fn pretrained_engine(self) -> Result<Engine, PpError> {
+        Ok(self.pretrained()?.into_engine())
     }
 
     /// Builds the pipeline and pretrains its model on the synthetic

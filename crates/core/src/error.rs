@@ -1,5 +1,6 @@
 //! The pipeline's typed error surface.
 
+use crate::artifact::ArtifactError;
 use pp_diffusion::ModelError;
 use pp_inpaint::MaskError;
 use pp_selection::SelectionError;
@@ -11,6 +12,21 @@ use std::io;
 /// The generation surface returns these instead of panicking so a
 /// service wrapping the pipeline can map bad requests to client errors
 /// and infrastructure failures to retries, without crashing the worker.
+///
+/// Failures that wrap a lower layer ([`PpError::Io`],
+/// [`PpError::Checkpoint`], [`PpError::Artifact`]) expose it through
+/// [`std::error::Error::source`], so an engine-level failure chains all
+/// the way down to the root `io::Error`:
+///
+/// ```
+/// use patternpaint_core::{ArtifactError, PpError};
+/// use std::error::Error as _;
+///
+/// let root = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+/// let e = PpError::from(ArtifactError::Io { path: "model.ppck".into(), source: root });
+/// let chained = e.source().and_then(|a| a.source()).expect("two hops");
+/// assert!(chained.to_string().contains("disk on fire"));
+/// ```
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum PpError {
@@ -31,6 +47,12 @@ pub enum PpError {
     Io(io::Error),
     /// A generation request contained no jobs.
     EmptyRequest,
+    /// A model checkpoint failed to serialise, parse or validate
+    /// (truncation, bad magic/version, shape or checksum mismatch).
+    Checkpoint(ModelError),
+    /// The artifact store under an engine/session save or resume
+    /// failed.
+    Artifact(ArtifactError),
 }
 
 impl fmt::Display for PpError {
@@ -48,6 +70,8 @@ impl fmt::Display for PpError {
             PpError::Model(msg) => write!(f, "model error: {msg}"),
             PpError::Io(e) => write!(f, "i/o error: {e}"),
             PpError::EmptyRequest => write!(f, "generation request contains no jobs"),
+            PpError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            PpError::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -56,6 +80,8 @@ impl std::error::Error for PpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PpError::Io(e) => Some(e),
+            PpError::Checkpoint(e) => Some(e),
+            PpError::Artifact(e) => Some(e),
             _ => None,
         }
     }
@@ -80,7 +106,17 @@ impl From<ModelError> for PpError {
                 actual,
             },
             ModelError::Empty(_) => PpError::Model(e.to_string()),
+            // Checkpoint-surface failures keep their typed form so the
+            // source() chain reaches the io root cause.
+            ModelError::Io { .. } | ModelError::Corrupt { .. } => PpError::Checkpoint(e),
+            _ => PpError::Model(e.to_string()),
         }
+    }
+}
+
+impl From<ArtifactError> for PpError {
+    fn from(e: ArtifactError) -> Self {
+        PpError::Artifact(e)
     }
 }
 
@@ -112,6 +148,40 @@ mod tests {
         assert!(PpError::Config("variations must be positive".into())
             .to_string()
             .contains("variations"));
+    }
+
+    #[test]
+    fn source_chains_reach_the_io_root() {
+        use std::error::Error as _;
+        // Engine-level artifact failure → ArtifactError → io::Error.
+        let e: PpError = ArtifactError::Io {
+            path: "store/model.ppck".into(),
+            source: io::Error::new(io::ErrorKind::PermissionDenied, "read-only volume"),
+        }
+        .into();
+        let artifact = e.source().expect("PpError::Artifact has a source");
+        let root = artifact.source().expect("ArtifactError::Io has a source");
+        assert!(root.to_string().contains("read-only volume"));
+
+        // Checkpoint failure → ModelError → io::Error.
+        let e: PpError = ModelError::Io {
+            section: "weights: tensor 3 of 42".into(),
+            source: io::Error::new(io::ErrorKind::UnexpectedEof, "stream ran dry"),
+        }
+        .into();
+        assert!(matches!(e, PpError::Checkpoint(_)));
+        let model = e.source().expect("PpError::Checkpoint has a source");
+        assert!(model.to_string().contains("tensor 3 of 42"));
+        let root = model.source().expect("ModelError::Io has a source");
+        assert!(root.to_string().contains("stream ran dry"));
+
+        // Corrupt checkpoints are typed but have no io root.
+        let e: PpError = ModelError::Corrupt {
+            section: "checkpoint: checksum".into(),
+            detail: "mismatch".into(),
+        }
+        .into();
+        assert!(e.source().expect("checkpoint source").source().is_none());
     }
 
     #[test]

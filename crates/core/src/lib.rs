@@ -22,7 +22,7 @@
 //!    under sequentially scheduled masks, growing diversity (H2) round
 //!    after round.
 //!
-//! # The API, in three layers
+//! # The API, in four layers
 //!
 //! **Jobs and errors.** Work is described as [`JobSet`]s of shared
 //! `(template, mask)` pairs, and everything that can fail returns
@@ -45,6 +45,18 @@
 //! checked between micro-batches. The round-level entry points are
 //! consumers of this stream, so blocking and streaming callers see
 //! bit-identical results.
+//!
+//! **Engine + sessions.** [`Engine`] freezes a trained stack into an
+//! immutable, `Sync` snapshot shared behind `Arc`; [`Session`] handles
+//! carry per-workload state (library, seed, config overrides,
+//! iteration cursor), and [`Engine::scheduler`] spawns one worker pool
+//! that interleaves all sessions' sampling round-robin — N concurrent
+//! sessions reproduce N solo pipelines bit for bit. The artifact layer
+//! ([`artifact`]: [`ArtifactStore`], [`DirStore`], [`MemStore`])
+//! persists versioned model checkpoints and squish-form libraries, so
+//! [`Engine::open`] / [`Session::resume`] continue a run exactly where
+//! it stopped. [`PatternPaint`] itself is a facade over one engine +
+//! one implicit session.
 //!
 //! # Example
 //!
@@ -76,22 +88,28 @@
 //! See `examples/quickstart.rs` for an end-to-end run and the README
 //! migration table for the pre-stream API mapping.
 
+pub mod artifact;
 pub mod builder;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod jobs;
 pub mod library;
 pub mod pipeline;
+pub mod scheduler;
 pub mod stages;
 pub mod stream;
 mod tail;
 
+pub use artifact::{ArtifactError, ArtifactStore, DirStore, MemStore};
 pub use builder::PipelineBuilder;
 pub use config::{FinetuneConfig, PipelineConfig, PretrainConfig};
+pub use engine::{Engine, Session, ENGINE_META_KEY, ENGINE_MODEL_KEY};
 pub use error::PpError;
 pub use jobs::JobSet;
 pub use library::PatternLibrary;
 pub use pipeline::{GenerationRound, IterationStats, PatternPaint, RawSample};
+pub use scheduler::{ScheduledSampler, Scheduler, SchedulerHandle};
 pub use stages::{
     denoise_and_admit, run_round, run_round_into, DiffusionSampler, DrcValidator, PatternDenoiser,
     SampleStream, Sampler, Selector, Validator,

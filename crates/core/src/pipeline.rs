@@ -1,19 +1,24 @@
-//! The four-stage PatternPaint pipeline.
+//! The four-stage PatternPaint pipeline, as a facade over the engine.
+//!
+//! [`PatternPaint`] is the single-workload convenience surface: one
+//! model, one implicit session, the entry points the paper's workflow
+//! names. Since the engine redesign it is a thin wrapper around an
+//! [`Engine`] snapshot — [`PatternPaint::engine`] exposes it, and
+//! multi-workload callers go through [`Engine::session`] /
+//! [`crate::Session`] directly. Both surfaces run the same core code,
+//! so their outputs are bit-identical.
 
 use crate::builder::PipelineBuilder;
 use crate::config::PipelineConfig;
+use crate::engine::{Engine, EngineCore};
 use crate::error::PpError;
 use crate::jobs::JobSet;
 use crate::library::PatternLibrary;
-use crate::stages::{
-    run_round_into, DiffusionSampler, PatternDenoiser, SampleStream, Sampler, Selector, Validator,
-};
+use crate::stages::{PatternDenoiser, SampleStream, Sampler, Validator};
 use crate::stream::{GenerationRequest, StreamOptions};
 use pp_diffusion::{DiffusionModel, TrainReport};
 use pp_geometry::{GrayImage, Layout};
-use pp_inpaint::{Mask, MaskSchedule, MaskSet};
 use pp_pdk::SynthNode;
-use pp_selection::PcaSelector;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -59,7 +64,7 @@ pub struct IterationStats {
     pub h2: f64,
 }
 
-/// The PatternPaint generator.
+/// The PatternPaint generator: one engine snapshot, one workload.
 ///
 /// Assembled by [`PipelineBuilder`] (or the [`PatternPaint::pretrained`]
 /// / [`PatternPaint::untrained`] shortcuts); every stage is a trait
@@ -67,29 +72,26 @@ pub struct IterationStats {
 /// [`crate::stages`] docs. Generation runs through
 /// [`PatternPaint::generate_stream`]; the round-level entry points are
 /// thin consumers of that stream.
+///
+/// Internally this is a compatibility facade over one [`Engine`]
+/// snapshot. Mutating calls ([`PatternPaint::finetune`],
+/// [`PatternPaint::model_mut`], [`PatternPaint::load_weights`]) use
+/// copy-on-write: engines previously obtained from
+/// [`PatternPaint::engine`] keep the old snapshot.
 #[derive(Clone)]
 pub struct PatternPaint {
-    node: SynthNode,
-    cfg: PipelineConfig,
-    model: Arc<DiffusionModel>,
-    sampler_override: Option<Arc<dyn Sampler>>,
-    denoiser: Arc<dyn PatternDenoiser>,
-    validator: Arc<dyn Validator>,
-    selector_override: Option<Arc<dyn Selector>>,
-    starters: Vec<Layout>,
-    seed: u64,
-    finetuned: bool,
+    pub(crate) core: Arc<EngineCore>,
 }
 
 impl std::fmt::Debug for PatternPaint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PatternPaint")
-            .field("node", &self.node)
-            .field("cfg", &self.cfg)
-            .field("seed", &self.seed)
-            .field("finetuned", &self.finetuned)
-            .field("custom_sampler", &self.sampler_override.is_some())
-            .field("custom_selector", &self.selector_override.is_some())
+            .field("node", &self.core.node)
+            .field("cfg", &self.core.cfg)
+            .field("seed", &self.core.seed)
+            .field("finetuned", &self.core.finetuned)
+            .field("custom_sampler", &self.core.sampler_override.is_some())
+            .field("custom_selector", &self.core.selector_override.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -124,63 +126,67 @@ impl PatternPaint {
         Self::builder(node, cfg).seed(seed).untrained()
     }
 
-    pub(crate) fn assemble(
-        node: SynthNode,
-        cfg: PipelineConfig,
-        seed: u64,
-        sampler_override: Option<Arc<dyn Sampler>>,
-        denoiser: Arc<dyn PatternDenoiser>,
-        validator: Arc<dyn Validator>,
-        selector_override: Option<Arc<dyn Selector>>,
-    ) -> Self {
-        let starters = node.starter_patterns();
-        PatternPaint {
-            model: Arc::new(DiffusionModel::new(cfg.model, seed)),
-            node,
-            cfg,
-            sampler_override,
-            denoiser,
-            validator,
-            selector_override,
-            starters,
-            seed,
-            finetuned: false,
+    /// The engine snapshot this facade currently wraps (a cheap `Arc`
+    /// clone). Later mutations of the facade copy-on-write, leaving the
+    /// returned engine on the old snapshot.
+    pub fn engine(&self) -> Engine {
+        Engine {
+            core: Arc::clone(&self.core),
         }
+    }
+
+    /// Wraps an existing engine snapshot in the facade surface.
+    pub fn from_engine(engine: Engine) -> Self {
+        PatternPaint { core: engine.core }
+    }
+
+    /// Consumes the facade, yielding its engine snapshot.
+    pub fn into_engine(self) -> Engine {
+        Engine { core: self.core }
+    }
+
+    fn core_mut(&mut self) -> &mut EngineCore {
+        Arc::make_mut(&mut self.core)
     }
 
     /// The node this pipeline targets.
     pub fn node(&self) -> &SynthNode {
-        &self.node
+        &self.core.node
     }
 
     /// The pipeline configuration.
     pub fn config(&self) -> &PipelineConfig {
-        &self.cfg
+        &self.core.cfg
     }
 
     /// The base RNG seed.
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.core.seed
     }
 
     /// The underlying diffusion model.
     pub fn model(&self) -> &DiffusionModel {
-        &self.model
+        &self.core.model
     }
 
     /// Mutable model access (weight loading, inspection). Clones the
-    /// weights only if a sampler or stream still shares them
-    /// (copy-on-write via [`Arc::make_mut`]).
+    /// weights only if a sampler, stream, engine or session still
+    /// shares them (copy-on-write via [`Arc::make_mut`]).
     pub fn model_mut(&mut self) -> &mut DiffusionModel {
-        Arc::make_mut(&mut self.model)
+        Arc::make_mut(&mut self.core_mut().model)
     }
 
     /// Serialises the model weights through the pipeline's error
     /// surface.
     ///
+    /// For durable, self-describing artifacts prefer
+    /// [`Engine::save`], which wraps the same payload in a versioned,
+    /// checksummed checkpoint.
+    ///
     /// # Errors
     ///
-    /// [`PpError::Io`] on any writer failure.
+    /// [`PpError::Checkpoint`] on any writer failure (its source chain
+    /// reaches the `io::Error`).
     pub fn save_weights<W: std::io::Write>(&mut self, writer: W) -> Result<(), PpError> {
         self.model_mut().save_weights(writer)?;
         Ok(())
@@ -191,8 +197,8 @@ impl PatternPaint {
     ///
     /// # Errors
     ///
-    /// [`PpError::Io`] on reader failures, bad magic, or a weight-shape
-    /// mismatch.
+    /// [`PpError::Checkpoint`] on reader failures, bad magic, or a
+    /// weight-shape mismatch; the model is untouched on error.
     pub fn load_weights<R: std::io::Read>(&mut self, reader: R) -> Result<(), PpError> {
         self.model_mut().load_weights(reader)?;
         Ok(())
@@ -200,36 +206,30 @@ impl PatternPaint {
 
     /// Whether [`PatternPaint::finetune`] has run.
     pub fn is_finetuned(&self) -> bool {
-        self.finetuned
+        self.core.finetuned
     }
 
     /// The starter patterns in use.
     pub fn starters(&self) -> &[Layout] {
-        &self.starters
+        &self.core.starters
     }
 
     /// The sampler generation runs through: the configured override, or
-    /// a [`DiffusionSampler`] over a snapshot of the current model
-    /// weights (built per call so it always sees finetuned weights).
+    /// a [`crate::DiffusionSampler`] over a snapshot of the current
+    /// model weights (built per call so it always sees finetuned
+    /// weights).
     pub fn sampler(&self) -> Arc<dyn Sampler> {
-        match &self.sampler_override {
-            Some(s) => Arc::clone(s),
-            None => Arc::new(DiffusionSampler::from_arc(
-                Arc::clone(&self.model),
-                self.cfg.threads,
-                self.cfg.batch_size,
-            )),
-        }
+        self.core.sampler(&self.core.cfg, None)
     }
 
     /// The denoising stage.
     pub fn denoiser(&self) -> &dyn PatternDenoiser {
-        self.denoiser.as_ref()
+        self.core.denoiser.as_ref()
     }
 
     /// The validation stage.
     pub fn validator(&self) -> &dyn Validator {
-        self.validator.as_ref()
+        self.core.validator.as_ref()
     }
 
     /// Stage 1: DreamBooth-style few-shot finetuning on the starters
@@ -239,20 +239,26 @@ impl PatternPaint {
     ///
     /// [`PpError::Model`] when the model rejects the finetuning inputs.
     pub fn finetune(&mut self) -> Result<TrainReport, PpError> {
-        let ft = self.cfg.finetune;
-        let prior = self.model.sample_prior(ft.prior_count, self.seed ^ 0x9e37);
-        let starter_images: Vec<GrayImage> =
-            self.starters.iter().map(GrayImage::from_layout).collect();
-        let report = Arc::make_mut(&mut self.model).finetune(
+        let ft = self.core.cfg.finetune;
+        let seed = self.core.seed;
+        let prior = self.core.model.sample_prior(ft.prior_count, seed ^ 0x9e37);
+        let starter_images: Vec<GrayImage> = self
+            .core
+            .starters
+            .iter()
+            .map(GrayImage::from_layout)
+            .collect();
+        let core = self.core_mut();
+        let report = Arc::make_mut(&mut core.model).finetune(
             &starter_images,
             &prior,
             ft.lambda,
             ft.steps,
             ft.batch,
             ft.lr,
-            self.seed ^ 0x51ee,
+            seed ^ 0x51ee,
         )?;
-        self.finetuned = true;
+        core.finetuned = true;
         Ok(report)
     }
 
@@ -266,7 +272,7 @@ impl PatternPaint {
     /// the sampler reports.
     pub fn generate_raw(
         &self,
-        jobs: &[(Layout, Mask)],
+        jobs: &[(Layout, pp_inpaint::Mask)],
         seed: u64,
     ) -> Result<Vec<RawSample>, PpError> {
         self.generate_jobs(&JobSet::from_pairs(jobs), seed)
@@ -307,11 +313,8 @@ impl PatternPaint {
         request: &GenerationRequest,
         opts: &StreamOptions,
     ) -> Result<SampleStream, PpError> {
-        if request.jobs().is_empty() {
-            return Err(PpError::EmptyRequest);
-        }
-        self.sampler()
-            .sample_stream(request.jobs(), request.seed(), opts)
+        self.core
+            .generate_stream(&self.core.cfg, None, request, opts)
     }
 
     /// Denoises, DRC-checks and deduplicates raw samples into `library`;
@@ -326,9 +329,9 @@ impl PatternPaint {
     ) -> (usize, usize) {
         crate::tail::consume_batch(
             samples,
-            self.denoiser.as_ref(),
-            self.validator.as_ref(),
-            self.cfg.tail_threads,
+            self.core.denoiser.as_ref(),
+            self.core.validator.as_ref(),
+            self.core.cfg.tail_threads,
             library,
         )
     }
@@ -336,16 +339,7 @@ impl PatternPaint {
     /// The initial-generation request: every starter × all ten
     /// predefined masks × `v` variations (paper §IV-C).
     pub fn initial_request(&self) -> GenerationRequest {
-        let masks: Vec<Mask> = MaskSet::ALL
-            .iter()
-            .flat_map(|s| s.masks(self.node.clip()))
-            .collect();
-        GenerationRequest::fan_out(
-            &self.starters,
-            &masks,
-            self.cfg.variations,
-            self.seed ^ 0x1217,
-        )
+        self.core.initial_request(&self.core.cfg, self.core.seed)
     }
 
     /// Stage 2: initial generation, consuming
@@ -393,26 +387,20 @@ impl PatternPaint {
         opts: &StreamOptions,
         library: &mut PatternLibrary,
     ) -> Result<(usize, usize), PpError> {
-        let mut opts = opts.clone();
-        opts.tail_threads = Some(opts.tail_threads.unwrap_or(self.cfg.tail_threads));
-        run_round_into(
-            self.sampler().as_ref(),
-            self.denoiser.as_ref(),
-            self.validator.as_ref(),
-            request,
-            &opts,
-            library,
-        )
+        self.core
+            .run_request_into(&self.core.cfg, None, request, opts, library)
     }
 
     /// Stages 3-4: iterative generation. Each round selects `select_k`
     /// representative low-density layouts by PCA + farthest point
-    /// (paper Alg. 2) — or the configured [`Selector`] override —
+    /// (paper Alg. 2) — or the configured [`crate::Selector`] override —
     /// re-inpaints them under their sequentially scheduled masks, and
     /// adds new clean patterns to `library`.
     ///
     /// Returns one [`IterationStats`] per round (cumulative counts start
-    /// from `legal_so_far` and the current library).
+    /// from `legal_so_far` and the current library). Every call starts
+    /// the mask schedule at round 0; use a [`crate::Session`] when the
+    /// iteration cursor must survive across calls or processes.
     ///
     /// # Errors
     ///
@@ -444,58 +432,19 @@ impl PatternPaint {
         &self,
         library: &mut PatternLibrary,
         iterations: usize,
-        mut legal_so_far: usize,
+        legal_so_far: usize,
         opts: &StreamOptions,
     ) -> Result<Vec<IterationStats>, PpError> {
-        let side = self.node.clip();
-        let schedules = [
-            MaskSchedule::new(MaskSet::Default, side),
-            MaskSchedule::new(MaskSet::Horizontal, side),
-        ];
-        let default_selector;
-        let selector: &dyn Selector = match &self.selector_override {
-            Some(s) => s.as_ref(),
-            None => {
-                default_selector = PcaSelector::try_new(
-                    self.cfg.pca_explained,
-                    self.cfg.max_density,
-                    self.seed ^ 0x5e1e,
-                )?;
-                &default_selector
-            }
-        };
-        let mut stats = Vec::with_capacity(iterations);
-        for it in 0..iterations {
-            if opts.cancel.is_cancelled() {
-                break;
-            }
-            let k = self.cfg.select_k.min(library.len().max(1));
-            let picks = selector.select(library.patterns(), k);
-            let per_seed = (self.cfg.samples_per_iteration / picks.len().max(1)).max(1);
-            let mut jobs = JobSet::new();
-            for (pi, &idx) in picks.iter().enumerate() {
-                // One deep copy per pick; the per_seed variations share it.
-                let template = Arc::new(library.patterns()[idx].clone());
-                // Alternate mask sets per pattern; walk the set
-                // sequentially across iterations (paper §IV-E2).
-                let schedule = &schedules[pi % 2];
-                let mask = Arc::new(schedule.mask_for(it, pi).clone());
-                jobs.push_fan_out(&template, &mask, per_seed);
-            }
-            let request = GenerationRequest::new(jobs, self.seed ^ (0xabcd + it as u64));
-            let (generated, legal) = self.run_request_into(&request, opts, library)?;
-            legal_so_far += legal;
-            let lib_stats = library.stats();
-            stats.push(IterationStats {
-                iteration: it + 2, // iteration 1 is the initial round
-                generated,
-                legal_total: legal_so_far,
-                unique_total: library.len(),
-                h1: lib_stats.h1,
-                h2: lib_stats.h2,
-            });
-        }
-        Ok(stats)
+        self.core.iterate(
+            &self.core.cfg,
+            None,
+            self.core.seed,
+            library,
+            iterations,
+            0,
+            legal_so_far,
+            opts,
+        )
     }
 }
 
@@ -505,6 +454,7 @@ mod tests {
     use crate::config::PipelineConfig;
     use crate::stream::CancelToken;
     use pp_drc::check_layout;
+    use pp_inpaint::MaskSet;
 
     fn tiny_pipeline() -> PatternPaint {
         let node = SynthNode::small();
@@ -651,9 +601,23 @@ mod tests {
         let mut b = PatternPaint::untrained(node, PipelineConfig::tiny(), 999)
             .expect("tiny config is valid");
         b.load_weights(bytes.as_slice()).expect("same architecture");
-        // A truncated stream surfaces as the Io variant.
+        // A truncated stream surfaces as the Checkpoint variant whose
+        // source chain reaches the io root.
         let err = b.load_weights(&bytes[..3]).unwrap_err();
-        assert!(matches!(err, PpError::Io(_)), "wrong error: {err}");
+        assert!(matches!(err, PpError::Checkpoint(_)), "wrong error: {err}");
+        use std::error::Error as _;
+        assert!(err.source().and_then(|m| m.source()).is_some());
+    }
+
+    #[test]
+    fn facade_mutations_copy_on_write_from_engines() {
+        let mut pp = tiny_pipeline();
+        let engine = pp.engine();
+        let before = engine.is_finetuned();
+        pp.finetune().expect("finetune runs");
+        assert!(pp.is_finetuned());
+        // The previously-taken engine snapshot is unaffected.
+        assert_eq!(engine.is_finetuned(), before);
     }
 
     #[test]

@@ -1,0 +1,580 @@
+//! The engine scheduler: many sessions' requests, one model, fair
+//! round-robin micro-batching.
+//!
+//! A solo pipeline gives each generation round a private pool of
+//! sampling workers ([`crate::DiffusionSampler`] spawns them per
+//! request). When one [`crate::Engine`] serves many [`crate::Session`]s
+//! that is the wrong shape: N concurrent rounds would fight over cores
+//! with N×`threads` workers, and a long round would starve a short one.
+//! The [`Scheduler`] instead owns a fixed pool of
+//! [`pp_diffusion::InpaintWorker`]s bound to the engine's shared model
+//! and *interleaves* submissions at micro-batch granularity: each
+//! worker repeatedly takes the next micro-batch from the submission at
+//! the front of a round-robin queue, so every active session advances
+//! at the same micro-batch rate no matter how large its request is.
+//!
+//! Determinism: a job's output depends only on `(template, mask,
+//! seed ^ job_index)` — never on which worker ran it or how jobs were
+//! grouped into network passes (`pp-diffusion` pins this with
+//! `infer_batch_rows_match_solo`). Delivery is reassembled per
+//! submission in job order before it reaches the round tail, whose
+//! admission is order-exact. Scheduled sessions therefore produce
+//! libraries bit-identical to solo pipelines, which
+//! `tests/engine_sessions.rs` asserts.
+//!
+//! Cancellation is cooperative, as elsewhere: a cancelled submission is
+//! retired at its next dispatch opportunity, finished micro-batches
+//! still reach the consumer, and the stream ends early without error.
+//! Dropping the [`Scheduler`] aborts still-queued submissions with an
+//! explicit error (never a silently short stream) and joins the pool.
+
+use crate::error::PpError;
+use crate::jobs::JobSet;
+use crate::pipeline::RawSample;
+use crate::stages::{SampleStream, Sampler};
+use crate::stream::{CancelToken, Progress, StreamOptions};
+use pp_diffusion::DiffusionModel;
+use pp_geometry::{GrayImage, Layout};
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One delivery from a worker to a submission's consumer.
+enum SchedMsg {
+    /// `samples[i]` answers job `start + i` of the submission.
+    Batch {
+        start: usize,
+        samples: Vec<GrayImage>,
+    },
+    /// The scheduler shut down (or a worker failed) before this
+    /// submission finished; the stream surfaces an error.
+    Aborted(String),
+}
+
+/// A queued request: shared job images plus a dispatch cursor.
+struct Submission {
+    jobs: Arc<Vec<(GrayImage, GrayImage)>>,
+    seed: u64,
+    batch: usize,
+    cursor: usize,
+    cancel: CancelToken,
+    /// Internal retire flag, distinct from the caller's `cancel`
+    /// token (which may be shared across rounds): set by workers when
+    /// delivery fails or the submission is poisoned, so the dispatcher
+    /// stops feeding a request nobody is listening to.
+    retired: Arc<std::sync::atomic::AtomicBool>,
+    tx: Sender<SchedMsg>,
+}
+
+/// One unit of worker work: a contiguous micro-batch of a submission.
+struct Task {
+    jobs: Arc<Vec<(GrayImage, GrayImage)>>,
+    range: Range<usize>,
+    seed: u64,
+    tx: Sender<SchedMsg>,
+    /// The submission's retire flag: workers set it when delivery
+    /// fails (consumer dropped the stream) or after sending
+    /// `Aborted`, so the dispatcher retires the submission instead of
+    /// burning the shared pool on micro-batches nobody will receive.
+    retired: Arc<std::sync::atomic::AtomicBool>,
+}
+
+struct SchedState {
+    queue: VecDeque<Submission>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    image: u32,
+}
+
+impl Shared {
+    /// Pops the next micro-batch in round-robin order; retires
+    /// exhausted and cancelled submissions (dropping their sender ends
+    /// the stream — cleanly for cancellation, which is not an error).
+    fn take_task(state: &mut SchedState) -> Option<Task> {
+        use std::sync::atomic::Ordering;
+        while let Some(mut sub) = state.queue.pop_front() {
+            if sub.cancel.is_cancelled() || sub.retired.load(Ordering::Relaxed) {
+                continue;
+            }
+            let start = sub.cursor;
+            let end = (start + sub.batch).min(sub.jobs.len());
+            sub.cursor = end;
+            let task = Task {
+                jobs: Arc::clone(&sub.jobs),
+                range: start..end,
+                seed: sub.seed,
+                tx: sub.tx.clone(),
+                retired: Arc::clone(&sub.retired),
+            };
+            if end < sub.jobs.len() {
+                state.queue.push_back(sub);
+            }
+            return Some(task);
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
+    let mut worker = model.worker();
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(task) = Shared::take_task(&mut st) {
+                    break task;
+                }
+                st = shared.cv.wait(st).expect("scheduler state poisoned");
+            }
+        };
+        let refs: Vec<(&GrayImage, &GrayImage)> = task.jobs[task.range.clone()]
+            .iter()
+            .map(|(i, m)| (i, m))
+            .collect();
+        let seeds: Vec<u64> = task.range.clone().map(|i| task.seed ^ i as u64).collect();
+        let (msg, poisoned) = match worker.run(&refs, &seeds) {
+            Ok(samples) => (
+                SchedMsg::Batch {
+                    start: task.range.start,
+                    samples,
+                },
+                false,
+            ),
+            // Shapes are validated at submit time, so this is a
+            // defensive path; the consumer still sees a hard error
+            // rather than a silently short stream.
+            Err(e) => (
+                SchedMsg::Aborted(format!("scheduler worker failed: {e}")),
+                true,
+            ),
+        };
+        // A send error means the consumer dropped the stream, and a
+        // poisoned submission will never deliver anything useful
+        // again: retire either way so the dispatcher stops sampling
+        // micro-batches nobody will receive (each one is full DDIM
+        // inference stolen from live submissions). The caller's
+        // cancel token is left alone — it may be shared across
+        // rounds.
+        if task.tx.send(msg).is_err() || poisoned {
+            task.retired
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+/// A shared pool of sampling workers serving many sessions fairly.
+///
+/// Created by [`crate::Engine::scheduler`]. Keep it alive while
+/// attached sessions run: dropping it joins the workers and aborts
+/// still-queued submissions with an error. Cheap handles
+/// ([`Scheduler::handle`]) are what sessions hold.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.workers.len())
+            .field("image", &self.shared.image)
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Spawns `threads` workers bound to `model` (at least one).
+    pub(crate) fn new(model: Arc<DiffusionModel>, threads: usize) -> Scheduler {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            image: model.config().image,
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || worker_loop(shared, model))
+            })
+            .collect();
+        Scheduler { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A cheap, cloneable handle sessions submit through.
+    pub fn handle(&self) -> SchedulerHandle {
+        SchedulerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("scheduler state poisoned");
+            st.shutdown = true;
+            // Still-queued submissions must not end as silently short
+            // streams: abort them explicitly.
+            for sub in st.queue.drain(..) {
+                let _ = sub
+                    .tx
+                    .send(SchedMsg::Aborted("scheduler shut down mid-request".into()));
+            }
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A cloneable submission handle onto a [`Scheduler`]'s worker pool.
+#[derive(Clone)]
+pub struct SchedulerHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for SchedulerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerHandle")
+            .field("image", &self.shared.image)
+            .finish()
+    }
+}
+
+impl SchedulerHandle {
+    /// Queues `jobs` for sampling with per-job seeds `seed ^ index`,
+    /// micro-batched `batch` jobs at a time; returns the in-order
+    /// receiver.
+    fn submit(
+        &self,
+        jobs: Vec<(GrayImage, GrayImage)>,
+        seed: u64,
+        batch: usize,
+        cancel: CancelToken,
+    ) -> Result<ScheduledRx, PpError> {
+        for (img, mask) in &jobs {
+            for (what, side) in [("image", img), ("mask", mask)].map(|(w, i)| (w, i.width())) {
+                if side != self.shared.image {
+                    return Err(PpError::Shape {
+                        what: format!("scheduled job {what} vs model image"),
+                        expected: self.shared.image,
+                        actual: side,
+                    });
+                }
+            }
+        }
+        let total = jobs.len();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().expect("scheduler state poisoned");
+            if st.shutdown {
+                return Err(PpError::Model("scheduler is shut down".into()));
+            }
+            st.queue.push_back(Submission {
+                jobs: Arc::new(jobs),
+                seed,
+                batch: batch.max(1),
+                cursor: 0,
+                cancel,
+                retired: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+                tx,
+            });
+        }
+        self.shared.cv.notify_all();
+        Ok(ScheduledRx {
+            rx,
+            pending: BTreeMap::new(),
+            next: 0,
+            total,
+        })
+    }
+}
+
+/// In-order micro-batch delivery for one submission: workers may finish
+/// out of order, so batches are buffered until their predecessor
+/// arrived (dispatch is sequential per submission, so the dispatched
+/// set is always a prefix and the reorder buffer always drains).
+#[derive(Debug)]
+struct ScheduledRx {
+    rx: Receiver<SchedMsg>,
+    pending: BTreeMap<usize, Vec<GrayImage>>,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for ScheduledRx {
+    type Item = Result<(usize, Vec<GrayImage>), PpError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(samples) = self.pending.remove(&self.next) {
+                let start = self.next;
+                self.next += samples.len();
+                return Some(Ok((start, samples)));
+            }
+            if self.next >= self.total {
+                return None;
+            }
+            match self.rx.recv() {
+                Ok(SchedMsg::Batch { start, samples }) => {
+                    self.pending.insert(start, samples);
+                }
+                Ok(SchedMsg::Aborted(reason)) => {
+                    // Poison: no further batches will be delivered.
+                    self.total = self.next;
+                    return Some(Err(PpError::Model(reason)));
+                }
+                // All senders gone: cancellation retired the
+                // submission (clean early end) — or a worker died
+                // mid-batch, which would leave a gap; report that.
+                Err(_) => {
+                    if self.pending.is_empty() {
+                        return None;
+                    }
+                    self.total = self.next;
+                    return Some(Err(PpError::Model(
+                        "scheduler worker lost a dispatched micro-batch".into(),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// A [`Sampler`] that routes requests through a shared [`Scheduler`]
+/// instead of spawning a private worker pool.
+///
+/// This is what a [`crate::Session`] with an attached scheduler runs
+/// its rounds through; outputs are bit-identical to
+/// [`crate::DiffusionSampler`] over the same model because per-job RNG
+/// streams (`seed ^ index`) and in-order delivery are preserved and
+/// micro-batch grouping never affects a job's arithmetic.
+#[derive(Debug, Clone)]
+pub struct ScheduledSampler {
+    handle: SchedulerHandle,
+    batch_size: usize,
+}
+
+impl ScheduledSampler {
+    /// Wraps a scheduler handle; `batch_size` is the micro-batch
+    /// granularity submissions are interleaved at (`0` = the whole
+    /// request as one batch, which forfeits fairness).
+    pub fn new(handle: SchedulerHandle, batch_size: usize) -> ScheduledSampler {
+        ScheduledSampler { handle, batch_size }
+    }
+}
+
+impl Sampler for ScheduledSampler {
+    fn name(&self) -> &str {
+        "diffusion-inpaint-scheduled"
+    }
+
+    fn sample(&self, jobs: &JobSet, seed: u64) -> Result<Vec<RawSample>, PpError> {
+        let stream = self.sample_stream(jobs, seed, &StreamOptions::default())?;
+        let samples: Vec<RawSample> = stream.collect::<Result<_, _>>()?;
+        if samples.len() != jobs.len() {
+            return Err(PpError::Model(format!(
+                "scheduler returned {} of {} samples",
+                samples.len(),
+                jobs.len()
+            )));
+        }
+        Ok(samples)
+    }
+
+    fn sample_stream(
+        &self,
+        jobs: &JobSet,
+        seed: u64,
+        opts: &StreamOptions,
+    ) -> Result<SampleStream, PpError> {
+        if opts.cancel.is_cancelled() {
+            return Ok(Box::new(std::iter::empty()));
+        }
+        let images: Vec<(GrayImage, GrayImage)> = jobs
+            .iter()
+            .map(|(l, m)| (GrayImage::from_layout(l), m.as_image().clone()))
+            .collect();
+        let micro = if self.batch_size == 0 {
+            jobs.len().max(1)
+        } else {
+            self.batch_size
+        };
+        let rx = self
+            .handle
+            .submit(images, seed, micro, opts.cancel.clone())?;
+        let templates: Vec<Arc<Layout>> = jobs.iter().map(|(t, _)| Arc::clone(t)).collect();
+        let hook = opts.progress.clone();
+        let total = jobs.len();
+        let mut completed = 0usize;
+        let iter = rx.flat_map(move |item| match item {
+            Ok((start, samples)) => {
+                completed += samples.len();
+                if let Some(hook) = &hook {
+                    hook(Progress { completed, total });
+                }
+                let batch_templates = templates[start..start + samples.len()].to_vec();
+                samples
+                    .into_iter()
+                    .zip(batch_templates)
+                    .map(|(raw, template)| Ok(RawSample { template, raw }))
+                    .collect::<Vec<_>>()
+            }
+            Err(e) => vec![Err(e)],
+        });
+        Ok(Box::new(iter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_diffusion::DiffusionConfig;
+
+    fn tiny_model() -> Arc<DiffusionModel> {
+        Arc::new(DiffusionModel::new(DiffusionConfig::tiny(16), 3))
+    }
+
+    fn jobs(n: usize) -> Vec<(GrayImage, GrayImage)> {
+        (0..n)
+            .map(|i| {
+                let mut image = GrayImage::filled(16, 16, -1.0);
+                for y in 0..16 {
+                    image.set(i as u32 % 16, y, 1.0);
+                }
+                (image, GrayImage::filled(16, 16, 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_submissions_match_solo_batches() {
+        let model = tiny_model();
+        let solo_a = model.sample_inpaint_batch_sized(&jobs(7), 5, 1, 0).unwrap();
+        let solo_b = model.sample_inpaint_batch_sized(&jobs(5), 9, 1, 0).unwrap();
+        let sched = Scheduler::new(Arc::clone(&model), 3);
+        let rx_a = sched
+            .handle()
+            .submit(jobs(7), 5, 2, CancelToken::new())
+            .unwrap();
+        let rx_b = sched
+            .handle()
+            .submit(jobs(5), 9, 3, CancelToken::new())
+            .unwrap();
+        let collect = |rx: ScheduledRx| {
+            let mut out = Vec::new();
+            for item in rx {
+                let (start, samples) = item.unwrap();
+                assert_eq!(start, out.len(), "delivery out of job order");
+                out.extend(samples);
+            }
+            out
+        };
+        // Consume on two threads so both streams drain while workers
+        // interleave the submissions.
+        let (got_a, got_b) = std::thread::scope(|s| {
+            let ha = s.spawn(|| collect(rx_a));
+            let got_b = collect(rx_b);
+            (ha.join().unwrap(), got_b)
+        });
+        assert_eq!(got_a, solo_a);
+        assert_eq!(got_b, solo_b);
+    }
+
+    #[test]
+    fn cancellation_retires_a_submission_cleanly() {
+        let model = tiny_model();
+        let sched = Scheduler::new(model, 1);
+        let cancel = CancelToken::new();
+        let rx = sched
+            .handle()
+            .submit(jobs(32), 1, 1, cancel.clone())
+            .unwrap();
+        let mut seen = 0;
+        for item in rx {
+            let _ = item.expect("cancellation is not an error");
+            seen += 1;
+            cancel.cancel();
+        }
+        assert!(seen >= 1, "partial results must still be delivered");
+        assert!(seen < 32, "cancellation failed to stop the submission");
+    }
+
+    #[test]
+    fn shutdown_aborts_queued_submissions_with_an_error() {
+        let model = tiny_model();
+        let sched = Scheduler::new(model, 1);
+        let rx = sched
+            .handle()
+            .submit(jobs(64), 1, 1, CancelToken::new())
+            .unwrap();
+        let handle = sched.handle();
+        drop(sched);
+        // Whatever was in flight may arrive; the tail must be a hard
+        // error, never a silent truncation.
+        let mut err = None;
+        for item in rx {
+            if let Err(e) = item {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(err.is_some(), "shutdown must surface an error");
+        // New submissions are rejected.
+        assert!(handle.submit(jobs(1), 0, 1, CancelToken::new()).is_err());
+    }
+
+    /// Dropping a submission's stream must retire it: the pool moves
+    /// on to later submissions instead of sampling into the void.
+    #[test]
+    fn dropped_stream_retires_its_submission() {
+        let model = tiny_model();
+        let sched = Scheduler::new(model, 1);
+        let rx = sched
+            .handle()
+            .submit(jobs(64), 1, 1, CancelToken::new())
+            .unwrap();
+        drop(rx);
+        // A fresh submission drains promptly because the abandoned one
+        // is retired after at most one failed delivery.
+        let rx2 = sched
+            .handle()
+            .submit(jobs(2), 3, 1, CancelToken::new())
+            .unwrap();
+        let delivered: usize = rx2.map(|item| item.unwrap().1.len()).sum();
+        assert_eq!(delivered, 2);
+    }
+
+    #[test]
+    fn submit_validates_shapes() {
+        let model = tiny_model();
+        let sched = Scheduler::new(model, 1);
+        let bad = vec![(
+            GrayImage::filled(8, 8, -1.0),
+            GrayImage::filled(16, 16, 1.0),
+        )];
+        let err = sched
+            .handle()
+            .submit(bad, 0, 1, CancelToken::new())
+            .unwrap_err();
+        assert!(matches!(err, PpError::Shape { .. }), "wrong error: {err}");
+    }
+}

@@ -1,13 +1,23 @@
-//! Typed errors for the model's training and sampling surface.
+//! Typed errors for the model's training, sampling and checkpoint
+//! surface.
 
 use std::fmt;
+use std::io;
 
 /// What went wrong inside a [`crate::DiffusionModel`] call.
 ///
 /// Every public training/sampling entry point validates its inputs up
 /// front and returns one of these instead of panicking, so service-style
 /// callers can surface bad requests without tearing the process down.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The checkpoint surface ([`crate::DiffusionModel::save_weights`],
+/// [`crate::DiffusionModel::load_weights`], [`crate::save_checkpoint`],
+/// [`crate::load_checkpoint`]) uses the [`ModelError::Io`] and
+/// [`ModelError::Corrupt`] variants, which name the offending section so
+/// a truncated or mismatched stream is diagnosable from the message
+/// alone. [`std::error::Error::source`] on [`ModelError::Io`] exposes
+/// the underlying I/O failure, so error chains reach the root cause.
+#[derive(Debug)]
+#[non_exhaustive]
 pub enum ModelError {
     /// A call received an empty input set (`what` names it).
     Empty(&'static str),
@@ -20,6 +30,43 @@ pub enum ModelError {
         /// The side length it received.
         actual: u32,
     },
+    /// Reading or writing a checkpoint stream failed.
+    Io {
+        /// The checkpoint section being transferred (e.g.
+        /// `"weights: parameter tensor 3 of 42"`), so a truncated
+        /// stream points at where it ran dry.
+        section: String,
+        /// The underlying I/O failure (also returned by
+        /// [`std::error::Error::source`]).
+        source: io::Error,
+    },
+    /// A checkpoint stream parsed but its contents are invalid: bad
+    /// magic, unsupported version, a shape manifest that disagrees with
+    /// this architecture, or a checksum mismatch. Nothing is applied to
+    /// the model when this is returned — a corrupt stream never leaves
+    /// garbage weights behind.
+    Corrupt {
+        /// The checkpoint section that failed validation.
+        section: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl ModelError {
+    /// Builds an [`ModelError::Io`] tagged with `section`.
+    pub(crate) fn io(section: impl Into<String>) -> impl FnOnce(io::Error) -> ModelError {
+        let section = section.into();
+        move |source| ModelError::Io { section, source }
+    }
+
+    /// Builds a [`ModelError::Corrupt`] for `section`.
+    pub(crate) fn corrupt(section: impl Into<String>, detail: impl Into<String>) -> ModelError {
+        ModelError::Corrupt {
+            section: section.into(),
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for ModelError {
@@ -31,8 +78,45 @@ impl fmt::Display for ModelError {
                 expected,
                 actual,
             } => write!(f, "{what} must be {expected}x{expected}, got {actual}"),
+            ModelError::Io { section, source } => {
+                write!(f, "checkpoint i/o failed at {section}: {source}")
+            }
+            ModelError::Corrupt { section, detail } => {
+                write!(f, "corrupt checkpoint ({section}): {detail}")
+            }
         }
     }
 }
 
-impl std::error::Error for ModelError {}
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn io_variant_chains_to_source() {
+        let e = ModelError::io("weights: header")(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ran dry",
+        ));
+        assert!(e.to_string().contains("weights: header"));
+        let root = e.source().expect("io variant must expose its source");
+        assert!(root.to_string().contains("stream ran dry"));
+    }
+
+    #[test]
+    fn corrupt_variant_names_section() {
+        let e = ModelError::corrupt("magic", "expected PPCK");
+        assert!(e.to_string().contains("magic"));
+        assert!(e.source().is_none());
+    }
+}

@@ -37,14 +37,19 @@
 //! [`CancelToken`]); both share one worker implementation and are
 //! bit-identical per job.
 
+pub mod checkpoint;
 pub mod error;
 pub mod model;
 pub mod schedule;
 pub mod stream;
 pub mod unet;
 
+pub use checkpoint::{
+    load_checkpoint, read_config, save_checkpoint, write_config, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+};
 pub use error::ModelError;
-pub use model::{DiffusionConfig, DiffusionModel, Parameterization, TrainReport};
+pub use model::{DiffusionConfig, DiffusionModel, InpaintWorker, Parameterization, TrainReport};
 pub use schedule::{BetaSchedule, NoiseSchedule};
 pub use stream::{CancelToken, InpaintStream, MicroBatch};
 pub use unet::{UNet, UNetConfig};

@@ -138,19 +138,33 @@ impl DiffusionModel {
     /// Serialises the denoiser weights (little-endian f32 stream with a
     /// small header).
     ///
+    /// This is the raw weight payload; [`crate::save_checkpoint`] wraps
+    /// it in a versioned header (format version, shape manifest,
+    /// checksum) for durable artifact stores.
+    ///
     /// # Errors
     ///
-    /// Propagates I/O errors from `writer`; `&mut W` works wherever
-    /// `W: Write` is expected.
-    pub fn save_weights<W: std::io::Write>(&mut self, mut writer: W) -> std::io::Result<()> {
-        writer.write_all(b"PPDM")?;
+    /// [`ModelError::Io`] naming the section whose write failed; `&mut
+    /// W` works wherever `W: Write` is expected.
+    pub fn save_weights<W: std::io::Write>(&mut self, mut writer: W) -> Result<(), ModelError> {
+        writer
+            .write_all(b"PPDM")
+            .map_err(ModelError::io("weights: magic"))?;
         let mut bufs: Vec<Vec<f32>> = Vec::new();
         self.unet.visit_params(&mut |p| bufs.push(p.value.clone()));
-        writer.write_all(&(bufs.len() as u32).to_le_bytes())?;
-        for b in bufs {
-            writer.write_all(&(b.len() as u32).to_le_bytes())?;
+        writer
+            .write_all(&(bufs.len() as u32).to_le_bytes())
+            .map_err(ModelError::io("weights: tensor count"))?;
+        let total = bufs.len();
+        for (i, b) in bufs.into_iter().enumerate() {
+            let section = || format!("weights: tensor {i} of {total}");
+            writer
+                .write_all(&(b.len() as u32).to_le_bytes())
+                .map_err(ModelError::io(section()))?;
             for v in b {
-                writer.write_all(&v.to_le_bytes())?;
+                writer
+                    .write_all(&v.to_le_bytes())
+                    .map_err(ModelError::io(section()))?;
             }
         }
         Ok(())
@@ -159,45 +173,73 @@ impl DiffusionModel {
     /// Loads weights saved by [`DiffusionModel::save_weights`] into this
     /// model (architectures must match).
     ///
+    /// The whole stream is read and validated against this model's
+    /// parameter shapes *before* anything is applied: a truncated,
+    /// mis-sized or wrong-architecture stream leaves the current
+    /// weights untouched rather than half-overwritten.
+    ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on a bad magic or shape mismatch, plus any
-    /// I/O error from `reader`.
-    pub fn load_weights<R: std::io::Read>(&mut self, mut reader: R) -> std::io::Result<()> {
-        use std::io::{Error, ErrorKind, Read};
+    /// [`ModelError::Corrupt`] on a bad magic or a tensor count/length
+    /// that disagrees with this architecture; [`ModelError::Io`]
+    /// (naming the section) when the reader fails or runs dry.
+    pub fn load_weights<R: std::io::Read>(&mut self, mut reader: R) -> Result<(), ModelError> {
+        let mut expected: Vec<usize> = Vec::new();
+        self.unet
+            .visit_params(&mut |p| expected.push(p.value.len()));
         let mut magic = [0u8; 4];
-        reader.read_exact(&mut magic)?;
+        reader
+            .read_exact(&mut magic)
+            .map_err(ModelError::io("weights: magic"))?;
         if &magic != b"PPDM" {
-            return Err(Error::new(ErrorKind::InvalidData, "bad weight file magic"));
+            return Err(ModelError::corrupt(
+                "weights: magic",
+                format!("expected \"PPDM\", got {magic:?}"),
+            ));
         }
         let mut u32buf = [0u8; 4];
-        reader.read_exact(&mut u32buf)?;
+        reader
+            .read_exact(&mut u32buf)
+            .map_err(ModelError::io("weights: tensor count"))?;
         let count = u32::from_le_bytes(u32buf) as usize;
+        if count != expected.len() {
+            return Err(ModelError::corrupt(
+                "weights: tensor count",
+                format!(
+                    "stream has {count} tensors, architecture has {}",
+                    expected.len()
+                ),
+            ));
+        }
         let mut bufs = Vec::with_capacity(count);
-        for _ in 0..count {
-            reader.read_exact(&mut u32buf)?;
+        for (i, &want) in expected.iter().enumerate() {
+            let section = || format!("weights: tensor {i} of {count}");
+            reader
+                .read_exact(&mut u32buf)
+                .map_err(ModelError::io(section()))?;
             let len = u32::from_le_bytes(u32buf) as usize;
+            if len != want {
+                return Err(ModelError::corrupt(
+                    section(),
+                    format!("stream tensor holds {len} values, architecture expects {want}"),
+                ));
+            }
             let mut bytes = vec![0u8; len * 4];
-            Read::read_exact(&mut reader, &mut bytes)?;
+            reader
+                .read_exact(&mut bytes)
+                .map_err(ModelError::io(section()))?;
             let vals: Vec<f32> = bytes
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect();
             bufs.push(vals);
         }
+        // Everything validated: applying cannot fail halfway.
         let mut i = 0;
-        let mut mismatch = false;
         self.unet.visit_params(&mut |p| {
-            if i >= bufs.len() || bufs[i].len() != p.value.len() {
-                mismatch = true;
-            } else {
-                p.value.copy_from_slice(&bufs[i]);
-            }
+            p.value.copy_from_slice(&bufs[i]);
             i += 1;
         });
-        if mismatch || i != bufs.len() {
-            return Err(Error::new(ErrorKind::InvalidData, "weight shape mismatch"));
-        }
         Ok(())
     }
 
@@ -550,6 +592,22 @@ impl DiffusionModel {
         Ok(InpaintStream::new(rxs, handles, total))
     }
 
+    /// Binds a sampling worker to this shared model snapshot.
+    ///
+    /// An [`InpaintWorker`] owns a private U-Net clone (its own
+    /// workspace buffers), so many workers can run micro-batches against
+    /// one model concurrently without locking — this is the primitive
+    /// the engine scheduler in `pp-core` fans multiple sessions'
+    /// requests onto. Job outputs depend only on `(image, mask, seed)`,
+    /// never on how jobs are grouped into micro-batches, so any
+    /// scheduling of the same jobs yields bit-identical samples.
+    pub fn worker(self: &Arc<Self>) -> InpaintWorker {
+        InpaintWorker {
+            unet: self.unet.clone(),
+            model: Arc::clone(self),
+        }
+    }
+
     /// Unconditional samples (full mask over a blank canvas) — used to
     /// build the prior-preservation set before finetuning.
     pub fn sample_prior(&self, n: usize, seed: u64) -> Vec<GrayImage> {
@@ -652,6 +710,52 @@ impl DiffusionModel {
                 out
             })
             .collect()
+    }
+}
+
+/// A sampling worker bound to a shared [`DiffusionModel`] snapshot.
+///
+/// Holds the model behind `Arc` plus a private U-Net clone whose
+/// workspace buffers warm up across calls, exactly like the workers
+/// behind [`DiffusionModel::sample_inpaint_stream`]. Obtained from
+/// [`DiffusionModel::worker`]; external schedulers drive one worker per
+/// thread and hand each call whatever micro-batch they chose — results
+/// are bit-identical to any other grouping of the same `(job, seed)`
+/// pairs.
+#[derive(Debug)]
+pub struct InpaintWorker {
+    model: Arc<DiffusionModel>,
+    unet: UNet,
+}
+
+impl InpaintWorker {
+    /// The model this worker samples from.
+    pub fn model(&self) -> &DiffusionModel {
+        &self.model
+    }
+
+    /// Runs one micro-batch: job `i` is inpainted with RNG stream
+    /// `seeds[i]`, and outputs keep job order.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Shape`] when a job image or mask does not match
+    /// the configured size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `jobs.len() != seeds.len()`.
+    pub fn run(
+        &mut self,
+        jobs: &[(&GrayImage, &GrayImage)],
+        seeds: &[u64],
+    ) -> Result<Vec<GrayImage>, ModelError> {
+        assert_eq!(jobs.len(), seeds.len(), "one seed per job");
+        for (img, mask) in jobs {
+            self.model.check_image("inpainting image", img)?;
+            self.model.check_image("inpainting mask", mask)?;
+        }
+        Ok(self.model.sample_chunk(&mut self.unet, jobs, seeds))
     }
 }
 
@@ -882,14 +986,14 @@ mod tests {
         let bad = GrayImage::filled(8, 8, -1.0);
         let mask = GrayImage::filled(16, 16, 1.0);
         let err = model.sample_inpaint(&bad, &mask, 0).unwrap_err();
-        assert_eq!(
+        assert!(matches!(
             err,
             ModelError::Shape {
                 what: "inpainting image",
                 expected: 16,
                 actual: 8
             }
-        );
+        ));
         let err = model
             .sample_inpaint_batch(&[(mask.clone(), bad.clone())], 0, 1)
             .unwrap_err();
@@ -907,14 +1011,14 @@ mod tests {
     #[test]
     fn empty_corpus_is_reported() {
         let mut model = DiffusionModel::new(DiffusionConfig::tiny(16), 1);
-        assert_eq!(
+        assert!(matches!(
             model.train(&[], 1, 1, 1e-3, 0).unwrap_err(),
             ModelError::Empty("training corpus")
-        );
-        assert_eq!(
+        ));
+        assert!(matches!(
             model.finetune(&[], &[], 0.5, 1, 1, 1e-3, 0).unwrap_err(),
             ModelError::Empty("starter set")
-        );
+        ));
     }
 
     #[test]
@@ -971,7 +1075,109 @@ mod tests {
         let mut bytes = Vec::new();
         a.save_weights(&mut bytes).unwrap();
         let mut b = DiffusionModel::new(DiffusionConfig::standard(32), 0);
-        assert!(b.load_weights(bytes.as_slice()).is_err());
+        let err = b.load_weights(bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ModelError::Corrupt { .. }),
+            "wrong error: {err}"
+        );
+    }
+
+    /// Corrupted streams must fail loudly *and* leave the target model's
+    /// weights exactly as they were — never garbage, never half-applied.
+    #[test]
+    fn corrupted_streams_are_rejected_without_touching_weights() {
+        let mut src = DiffusionModel::new(DiffusionConfig::tiny(16), 10);
+        let _ = src.train(&tiny_corpus(16), 3, 2, 1e-3, 0).unwrap();
+        let mut bytes = Vec::new();
+        src.save_weights(&mut bytes).unwrap();
+
+        let pristine = |m: &mut DiffusionModel| {
+            let mut out = Vec::new();
+            m.save_weights(&mut out).unwrap();
+            out
+        };
+        let mut target = DiffusionModel::new(DiffusionConfig::tiny(16), 999);
+        let before = pristine(&mut target);
+
+        // Truncation at several depths: inside the magic, the count,
+        // a tensor length, and a tensor payload.
+        for cut in [2usize, 6, 10, bytes.len() - 3] {
+            let err = target.load_weights(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ModelError::Io { .. }),
+                "cut at {cut}: wrong error {err}"
+            );
+            assert!(
+                err.to_string().contains("weights:"),
+                "cut at {cut}: section missing from {err}"
+            );
+            assert_eq!(
+                before,
+                pristine(&mut target),
+                "cut at {cut} left partial weights"
+            );
+        }
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        let err = target.load_weights(bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ModelError::Corrupt { .. }),
+            "wrong error: {err}"
+        );
+        assert_eq!(before, pristine(&mut target));
+
+        // Lying tensor count.
+        let mut bad = bytes.clone();
+        bad[4] = bad[4].wrapping_add(1);
+        let err = target.load_weights(bad.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("tensor count"),
+            "wrong error: {err}"
+        );
+        assert_eq!(before, pristine(&mut target));
+
+        // Lying first tensor length (first length field sits at byte 8).
+        let mut bad = bytes.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        let err = target.load_weights(bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ModelError::Corrupt { .. }),
+            "wrong error: {err}"
+        );
+        assert_eq!(before, pristine(&mut target));
+
+        // The intact stream still loads.
+        target.load_weights(bytes.as_slice()).unwrap();
+        assert_eq!(bytes, pristine(&mut target));
+    }
+
+    /// A detached worker computes exactly what the model's own batch
+    /// path computes for the same `(job, seed)` pairs, regardless of
+    /// how the jobs are grouped into `run` calls.
+    #[test]
+    fn worker_matches_batch_path() {
+        let model = Arc::new(DiffusionModel::new(DiffusionConfig::tiny(16), 21));
+        let jobs = mixed_jobs(5);
+        let batch = model.sample_inpaint_batch_sized(&jobs, 0x33, 1, 0).unwrap();
+        let mut worker = model.worker();
+        let mut out = Vec::new();
+        // Deliberately ragged grouping: 2 + 1 + 2.
+        for range in [0..2usize, 2..3, 3..5] {
+            let refs: Vec<(&GrayImage, &GrayImage)> =
+                jobs[range.clone()].iter().map(|(i, m)| (i, m)).collect();
+            let seeds: Vec<u64> = range.map(|i| 0x33 ^ i as u64).collect();
+            out.extend(worker.run(&refs, &seeds).unwrap());
+        }
+        assert_eq!(out, batch);
+        // Shape validation still guards the worker path.
+        let bad = GrayImage::filled(8, 8, -1.0);
+        let mask = GrayImage::filled(16, 16, 1.0);
+        assert!(matches!(
+            worker.run(&[(&bad, &mask)], &[0]).unwrap_err(),
+            ModelError::Shape { .. }
+        ));
     }
 
     #[test]

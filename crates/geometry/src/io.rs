@@ -1,20 +1,31 @@
-//! Plain-text pattern-library serialisation.
+//! Pattern-library serialisation.
 //!
 //! Pattern libraries outlive a process: DFM teams hand generated
 //! libraries to OPC/hotspot flows as files. Real flows use GDSII/OASIS;
-//! this reproduction uses a minimal line-oriented text format (`PPLIB`)
-//! that round-trips exactly and diffs cleanly in review tools:
+//! this reproduction ships two formats:
 //!
-//! ```text
-//! PPLIB v1
-//! pattern 32 32
-//! <one '#'/'.' row per line>
-//! ...
-//! end
-//! ```
+//! * `PPLIB v1` — a minimal line-oriented text raster format that
+//!   round-trips exactly and diffs cleanly in review tools:
+//!
+//!   ```text
+//!   PPLIB v1
+//!   pattern 32 32
+//!   <one '#'/'.' row per line>
+//!   ...
+//!   end
+//!   ```
+//!
+//! * `PPSQ v1` ([`write_squish_library`] / [`read_squish_library`]) —
+//!   a compact little-endian binary format over *squish* patterns
+//!   (topology bits packed 8-per-byte plus the Δx/Δy width vectors),
+//!   the durable representation the engine's artifact layer persists:
+//!   squish → raster → squish is lossless, so libraries resume with
+//!   identical signatures and statistics.
 
 use crate::layout::Layout;
-use std::io::{self, BufRead, Write};
+use crate::squish::SquishPattern;
+use crate::topology::TopologyMatrix;
+use std::io::{self, BufRead, Read, Write};
 
 /// Writes a library of layouts in `PPLIB v1` text format.
 ///
@@ -97,10 +108,119 @@ pub fn read_library<R: BufRead>(reader: R) -> io::Result<Vec<Layout>> {
     }
 }
 
+/// Magic line opening every `PPSQ v1` stream.
+const PPSQ_MAGIC: &[u8; 8] = b"PPSQ v1\n";
+
+/// Upper bound on topology cells per stored pattern (2¹² per axis,
+/// 2²⁴ cells — far beyond any clip this system rasterises). Corrupt
+/// dimension fields must produce `InvalidData`, never an allocation
+/// sized by attacker-controlled bytes.
+const PPSQ_MAX_DIM: usize = 1 << 12;
+
+fn write_u32_seq<W: Write>(writer: &mut W, values: &[u32]) -> io::Result<()> {
+    for &v in values {
+        writer.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes squish patterns in the binary `PPSQ v1` format.
+///
+/// Layout per pattern: `rows: u32`, `cols: u32`, topology cells in
+/// row-major order packed 8-per-byte (zero-padded), then `cols` Δx and
+/// `rows` Δy entries as `u32`. A `count: u32` follows the magic.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer` (a `&mut W` may be passed).
+pub fn write_squish_library<W: Write>(patterns: &[SquishPattern], mut writer: W) -> io::Result<()> {
+    writer.write_all(PPSQ_MAGIC)?;
+    writer.write_all(&(patterns.len() as u32).to_le_bytes())?;
+    for p in patterns {
+        let t = p.topology();
+        writer.write_all(&(t.rows() as u32).to_le_bytes())?;
+        writer.write_all(&(t.cols() as u32).to_le_bytes())?;
+        let mut byte = 0u8;
+        let mut nbits = 0;
+        for &cell in t.as_cells() {
+            byte = (byte << 1) | u8::from(cell);
+            nbits += 1;
+            if nbits == 8 {
+                writer.write_all(&[byte])?;
+                byte = 0;
+                nbits = 0;
+            }
+        }
+        if nbits > 0 {
+            writer.write_all(&[byte << (8 - nbits)])?;
+        }
+        write_u32_seq(&mut writer, p.dx())?;
+        write_u32_seq(&mut writer, p.dy())?;
+    }
+    Ok(())
+}
+
+/// Reads a library written by [`write_squish_library`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic, truncated stream, zero
+/// dimensions or zero Δ entries, and propagates I/O errors from
+/// `reader`. Degenerate-but-valid patterns (a single row or column)
+/// round-trip like any other.
+pub fn read_squish_library<R: Read>(mut reader: R) -> io::Result<Vec<SquishPattern>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != PPSQ_MAGIC {
+        return Err(bad("missing PPSQ v1 magic"));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut read_u32 = |reader: &mut R| -> io::Result<u32> {
+        reader.read_exact(&mut u32buf)?;
+        Ok(u32::from_le_bytes(u32buf))
+    };
+    let count = read_u32(&mut reader)? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let rows = read_u32(&mut reader)? as usize;
+        let cols = read_u32(&mut reader)? as usize;
+        if rows == 0 || cols == 0 {
+            return Err(bad("zero topology dimension"));
+        }
+        if rows > PPSQ_MAX_DIM || cols > PPSQ_MAX_DIM {
+            return Err(bad("topology dimension exceeds format bound"));
+        }
+        let nbytes = (rows * cols).div_ceil(8);
+        let mut packed = vec![0u8; nbytes];
+        reader.read_exact(&mut packed)?;
+        let mut cells = Vec::with_capacity(rows * cols);
+        for i in 0..rows * cols {
+            let byte = packed[i / 8];
+            cells.push((byte >> (7 - i % 8)) & 1 == 1);
+        }
+        let topology = TopologyMatrix::from_cells(rows, cols, cells);
+        let mut dx = Vec::with_capacity(cols);
+        for _ in 0..cols {
+            dx.push(read_u32(&mut reader)?);
+        }
+        let mut dy = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            dy.push(read_u32(&mut reader)?);
+        }
+        if dx.iter().chain(&dy).any(|&d| d == 0) {
+            return Err(bad("zero delta entry"));
+        }
+        out.push(SquishPattern::new(topology, dx, dy));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rect::Rect;
+    use crate::signature::Signature;
 
     fn sample_lib() -> Vec<Layout> {
         let mut a = Layout::new(8, 6);
@@ -149,5 +269,74 @@ mod tests {
     fn rejects_bad_characters() {
         let text = "PPLIB v1\npattern 2 1\n#x\nend\n";
         assert!(read_library(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn squish_roundtrip_preserves_signatures() {
+        let patterns: Vec<SquishPattern> = sample_lib()
+            .iter()
+            .map(SquishPattern::from_layout)
+            .collect();
+        let mut buf = Vec::new();
+        write_squish_library(&patterns, &mut buf).unwrap();
+        let back = read_squish_library(buf.as_slice()).unwrap();
+        assert_eq!(back, patterns);
+        for (a, b) in patterns.iter().zip(&back) {
+            assert_eq!(Signature::of_squish(a), Signature::of_squish(b));
+            assert_eq!(Signature::of_deltas(a), Signature::of_deltas(b));
+            assert_eq!(a.to_layout(), b.to_layout());
+        }
+    }
+
+    #[test]
+    fn squish_roundtrip_handles_degenerate_patterns() {
+        // 1-row, 1-col, 1x1 empty and 1x1 full: the smallest squish
+        // forms a layout can canonicalise to.
+        let one_row = SquishPattern::new(
+            TopologyMatrix::from_cells(1, 3, vec![true, false, true]),
+            vec![2, 5, 1],
+            vec![7],
+        );
+        let one_col = SquishPattern::new(
+            TopologyMatrix::from_cells(3, 1, vec![false, true, false]),
+            vec![4],
+            vec![1, 2, 3],
+        );
+        let empty = SquishPattern::new(TopologyMatrix::new(1, 1), vec![9], vec![9]);
+        let mut full_t = TopologyMatrix::new(1, 1);
+        full_t.set(0, 0, true);
+        let full = SquishPattern::new(full_t, vec![3], vec![3]);
+        let patterns = vec![one_row, one_col, empty, full];
+        let mut buf = Vec::new();
+        write_squish_library(&patterns, &mut buf).unwrap();
+        assert_eq!(read_squish_library(buf.as_slice()).unwrap(), patterns);
+    }
+
+    #[test]
+    fn squish_reader_rejects_corruption() {
+        let patterns = vec![SquishPattern::from_layout(&sample_lib()[0])];
+        let mut buf = Vec::new();
+        write_squish_library(&patterns, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_squish_library(bad.as_slice()).is_err());
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..buf.len() {
+            assert!(read_squish_library(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        // Absurd dimension fields must be rejected *before* any
+        // dimension-sized allocation happens (a corrupt artifact must
+        // surface InvalidData, not abort the process).
+        let mut huge = Vec::new();
+        huge.extend_from_slice(b"PPSQ v1\n");
+        huge.extend_from_slice(&1u32.to_le_bytes()); // count
+        huge.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        huge.extend_from_slice(&u32::MAX.to_le_bytes()); // cols
+        assert!(read_squish_library(huge.as_slice()).is_err());
+        // Empty library round-trips.
+        let mut empty = Vec::new();
+        write_squish_library(&[], &mut empty).unwrap();
+        assert!(read_squish_library(empty.as_slice()).unwrap().is_empty());
     }
 }

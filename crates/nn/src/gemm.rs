@@ -11,8 +11,8 @@
 //! * [`sgemm_nt`] — `C = A·Bᵀ + β·C` with `B` stored `n×k`.
 //!
 //! All matrices are dense row-major `f32` slices. The kernels tile the
-//! k-dimension into L1/L2-sized panels ([`KC`]) and accumulate
-//! [`MR`]`×`[`NR`] micro-tiles — in AVX2+FMA registers when the CPU has
+//! k-dimension into L1/L2-sized panels (`KC`) and accumulate
+//! `MR`×`NR` micro-tiles — in AVX2+FMA registers when the CPU has
 //! them (runtime-detected), else in portable local arrays the compiler
 //! vectorises. The reduction order over `k` for an output element is a
 //! pure function of the call shape `(m, k, n)` and the element's

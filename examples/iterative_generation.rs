@@ -1,6 +1,8 @@
 //! Mini version of the paper's Figure 7: iterative generation with
 //! PCA-based representative selection, tracking legal/unique counts and
-//! the H1/H2 entropies per iteration.
+//! the H1/H2 entropies per iteration — run through an engine `Session`,
+//! whose iteration cursor makes the loop resumable (see
+//! `examples/engine_service.rs` for the save/resume half).
 //!
 //! Run with: `cargo run --release --example iterative_generation`
 
@@ -15,14 +17,15 @@ fn main() -> Result<(), PpError> {
         .seed(5)
         .pretrained()?;
     pp.finetune()?;
+    let engine = pp.into_engine();
 
     println!("initial generation...");
-    let round = pp.initial_generation()?;
-    let mut library = round.library.clone();
+    let mut session = engine.session();
+    let (generated, legal) = session.initial_generation()?;
     // Starters seed the library so early iterations always have
     // representative material to select from.
-    library.extend(pp.starters().iter().cloned());
-    let s = library.stats();
+    session.seed_starters();
+    let s = session.library().stats();
     println!(
         "{:>5} {:>10} {:>12} {:>13} {:>7} {:>7}",
         "iter", "generated", "legal_total", "unique_total", "H1", "H2"
@@ -30,14 +33,14 @@ fn main() -> Result<(), PpError> {
     println!(
         "{:>5} {:>10} {:>12} {:>13} {:>7.2} {:>7.2}",
         1,
-        round.generated,
-        round.legal,
-        library.len(),
+        generated,
+        legal,
+        session.library().len(),
         s.h1,
         s.h2
     );
 
-    let stats = pp.iterative_generation(&mut library, 4, round.legal)?;
+    let stats = session.iterate(4)?;
     for st in &stats {
         println!(
             "{:>5} {:>10} {:>12} {:>13} {:>7.2} {:>7.2}",

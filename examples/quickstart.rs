@@ -2,9 +2,10 @@
 //!
 //! Assembles the pipeline with `PipelineBuilder`, pretrains the small
 //! diffusion substrate on the synthetic foundation corpus, finetunes on
-//! the 20 starter patterns, streams one initial generation round with
-//! live progress, and prints the library statistics plus a sample
-//! pattern.
+//! the 20 starter patterns, freezes the trained stack into an `Engine`
+//! snapshot, and streams one initial generation round through a
+//! `Session` with live progress before printing the library statistics
+//! plus a sample pattern.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -34,29 +35,36 @@ fn main() -> Result<(), PpError> {
     let report = pp.finetune()?;
     println!("  finetune tail loss: {:.4}", report.tail_loss);
 
+    // Freeze the trained stack: the engine snapshot is immutable and
+    // shareable; this single-workload run uses one session of it (see
+    // examples/engine_service.rs for many sessions on one engine).
+    let engine = pp.into_engine();
+
     println!("initial generation: starters x 10 masks x v variations...");
     // The round consumes the generation stream; a progress hook meters
     // it micro-batch by micro-batch.
-    let opts = StreamOptions::default().with_progress(|p| {
-        if p.completed % 50 == 0 || p.completed == p.total {
-            eprintln!("  sampled {}/{}", p.completed, p.total);
-        }
-    });
-    let round = pp.run_request(&pp.initial_request(), &opts)?;
-    let stats = round.library.stats();
+    let mut session = engine
+        .session()
+        .with_options(StreamOptions::default().with_progress(|p| {
+            if p.completed % 50 == 0 || p.completed == p.total {
+                eprintln!("  sampled {}/{}", p.completed, p.total);
+            }
+        }));
+    let (generated, legal) = session.initial_generation()?;
+    let stats = session.library().stats();
     println!(
         "  generated {} | legal {} ({:.1}%) | unique {} | H1 {:.2} | H2 {:.2}",
-        round.generated,
-        round.legal,
-        100.0 * round.legal as f64 / round.generated.max(1) as f64,
+        generated,
+        legal,
+        100.0 * legal as f64 / generated.max(1) as f64,
         stats.unique,
         stats.h1,
         stats.h2,
     );
 
-    if let Some(first) = round.library.patterns().first() {
+    if let Some(first) = session.library().patterns().first() {
         println!("\nstarter (left) vs generated DR-clean variation (right):");
-        println!("{}", to_ascii_pair(&pp.starters()[0], first));
+        println!("{}", to_ascii_pair(&engine.starters()[0], first));
     } else {
         println!(
             "no legal patterns this run — try more pretraining steps (PipelineConfig::standard)"

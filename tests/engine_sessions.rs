@@ -1,0 +1,255 @@
+//! The engine redesign's headline guarantees, asserted end to end:
+//!
+//! * **Determinism under sharing** — two sessions with different
+//!   configs, interleaved on one engine's scheduler and consumed
+//!   concurrently, produce libraries bit-identical (contents, insertion
+//!   order, `(generated, legal)` counts) to two solo `PatternPaint`
+//!   pipelines.
+//! * **Cancellation isolation** — cancelling one session mid-stream
+//!   leaves the other's results untouched.
+//! * **Resumability** — a checkpoint + library save/load cycle through
+//!   an `ArtifactStore` resumes `iterative_generation` with output
+//!   identical to an uninterrupted run.
+//! * **Error transparency** — an engine-level persistence failure
+//!   chains through `source()` down to the io root cause.
+
+use patternpaint::core::{
+    ArtifactError, ArtifactStore, CancelToken, DirStore, Engine, MemStore, PatternPaint,
+    PipelineConfig, PpError, Session, StreamOptions,
+};
+use patternpaint::pdk::SynthNode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Two deliberately different request shapes over one model
+/// architecture (which must stay the engine's).
+fn config_a() -> PipelineConfig {
+    PipelineConfig::tiny()
+}
+
+fn config_b() -> PipelineConfig {
+    let mut cfg = PipelineConfig::tiny();
+    cfg.variations = 2;
+    cfg.batch_size = 1;
+    cfg.tail_threads = 2;
+    cfg.select_k = 2;
+    cfg.samples_per_iteration = 8;
+    cfg
+}
+
+/// A solo pipeline with `cfg`/`seed` whose weights are replaced by the
+/// shared engine's — the reference a session must match bit for bit.
+fn solo_with_engine_weights(engine: &Engine, cfg: PipelineConfig, seed: u64) -> PatternPaint {
+    let mut weights = Vec::new();
+    let mut donor = PatternPaint::from_engine(engine.clone());
+    donor
+        .save_weights(&mut weights)
+        .expect("vec writer cannot fail");
+    let mut solo =
+        PatternPaint::untrained(engine.node().clone(), cfg, seed).expect("config is valid");
+    solo.load_weights(weights.as_slice())
+        .expect("same architecture");
+    solo
+}
+
+#[test]
+fn concurrent_sessions_match_solo_pipelines_bit_for_bit() {
+    let engine = Engine::builder(SynthNode::small(), PipelineConfig::tiny())
+        .seed(11)
+        .untrained_engine()
+        .expect("tiny config is valid");
+    let (cfg_a, cfg_b) = (config_a(), config_b());
+    let (seed_a, seed_b) = (101u64, 202u64);
+
+    // Reference: two solo pipelines over the same weights.
+    let solo_a = solo_with_engine_weights(&engine, cfg_a, seed_a);
+    let solo_b = solo_with_engine_weights(&engine, cfg_b, seed_b);
+    let round_a = solo_a.initial_generation().expect("solo A runs");
+    let round_b = solo_b.initial_generation().expect("solo B runs");
+    let mut lib_a = round_a.library.clone();
+    lib_a.extend(solo_a.starters().iter().cloned());
+    let stats_a = solo_a
+        .iterative_generation(&mut lib_a, 2, round_a.legal)
+        .expect("solo A iterates");
+    let mut lib_b = round_b.library.clone();
+    lib_b.extend(solo_b.starters().iter().cloned());
+    let stats_b = solo_b
+        .iterative_generation(&mut lib_b, 2, round_b.legal)
+        .expect("solo B iterates");
+
+    // Two sessions, one scheduler, run on concurrent threads so their
+    // micro-batches genuinely interleave on the shared worker pool.
+    let scheduler = engine.scheduler(3);
+    let mut sess_a = engine
+        .session_seeded(seed_a)
+        .with_config(cfg_a)
+        .expect("config A fits the engine")
+        .attach(&scheduler);
+    let mut sess_b = engine
+        .session_seeded(seed_b)
+        .with_config(cfg_b)
+        .expect("config B fits the engine")
+        .attach(&scheduler);
+    fn run(sess: &mut Session) -> ((usize, usize), Vec<patternpaint::core::IterationStats>) {
+        let counts = sess.initial_generation().expect("session round runs");
+        sess.seed_starters();
+        let stats = sess.iterate(2).expect("session iterates");
+        (counts, stats)
+    }
+    let ((counts_a, sstats_a), (counts_b, sstats_b)) = std::thread::scope(|s| {
+        let ha = s.spawn(|| run(&mut sess_a));
+        let rb = run(&mut sess_b);
+        (ha.join().expect("session A thread"), rb)
+    });
+
+    assert_eq!(counts_a, (round_a.generated, round_a.legal));
+    assert_eq!(counts_b, (round_b.generated, round_b.legal));
+    assert_eq!(sstats_a, stats_a, "session A iteration stats diverged");
+    assert_eq!(sstats_b, stats_b, "session B iteration stats diverged");
+    // Full library equality covers contents *and* insertion order.
+    assert_eq!(sess_a.library().patterns(), lib_a.patterns());
+    assert_eq!(sess_b.library().patterns(), lib_b.patterns());
+}
+
+#[test]
+fn cancelling_one_session_leaves_the_other_intact() {
+    let engine = Engine::builder(SynthNode::small(), PipelineConfig::tiny())
+        .seed(5)
+        .untrained_engine()
+        .expect("tiny config is valid");
+    // Reference result for the surviving session.
+    let solo_b = solo_with_engine_weights(&engine, config_b(), 7);
+    let round_b = solo_b.initial_generation().expect("solo B runs");
+
+    let scheduler = engine.scheduler(2);
+    let cancel = CancelToken::new();
+    let seen = Arc::new(AtomicUsize::new(0));
+    let cancel_in_hook = cancel.clone();
+    let seen_in_hook = Arc::clone(&seen);
+    let opts = StreamOptions::default()
+        .with_cancel(cancel.clone())
+        .with_progress(move |p: patternpaint::core::Progress| {
+            seen_in_hook.store(p.completed, Ordering::SeqCst);
+            // Cancel session A as soon as its first micro-batch lands.
+            cancel_in_hook.cancel();
+        });
+    let mut sess_a = engine
+        .session_seeded(1)
+        .with_options(opts)
+        .attach(&scheduler);
+    let mut sess_b = engine
+        .session_seeded(7)
+        .with_config(config_b())
+        .expect("config B fits the engine")
+        .attach(&scheduler);
+
+    let (res_a, res_b) = std::thread::scope(|s| {
+        let ha = s.spawn(|| sess_a.initial_generation());
+        let rb = sess_b.initial_generation();
+        (ha.join().expect("session A thread"), rb)
+    });
+    let (gen_a, _) = res_a.expect("cancellation is not an error");
+    let total_a = 200; // 20 starters x 10 masks x 1 variation
+    assert!(gen_a >= 1, "cancelled session must keep partial results");
+    assert!(
+        gen_a < total_a,
+        "cancellation failed to stop session A early ({gen_a}/{total_a})"
+    );
+    let (gen_b, legal_b) = res_b.expect("session B completes");
+    assert_eq!((gen_b, legal_b), (round_b.generated, round_b.legal));
+    assert_eq!(sess_b.library().patterns(), round_b.library.patterns());
+}
+
+#[test]
+fn checkpointed_run_resumes_identically_to_uninterrupted() {
+    let engine = Engine::builder(SynthNode::small(), PipelineConfig::tiny())
+        .seed(21)
+        .untrained_engine()
+        .expect("tiny config is valid");
+
+    // Uninterrupted: initial round + starters + two iterations.
+    let mut uninterrupted = engine.session_seeded(33);
+    uninterrupted.initial_generation().expect("round runs");
+    uninterrupted.seed_starters();
+    let full_stats = uninterrupted.iterate(2).expect("iterations run");
+
+    // Interrupted twin: stop after one iteration, persist everything
+    // (engine checkpoint + session library) to a directory store, then
+    // reload both in a "new process" and finish.
+    let root = std::env::temp_dir().join(format!("pp-engine-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = DirStore::open(&root).expect("temp store opens");
+    let mut half = engine.session_seeded(33);
+    half.initial_generation().expect("round runs");
+    half.seed_starters();
+    let first_half = half.iterate(1).expect("first iteration runs");
+    engine.save(&store).expect("engine checkpoint saves");
+    half.save(&store, "resume-test").expect("session saves");
+    drop(half);
+    drop(engine);
+
+    let engine2 = Engine::open(&store).expect("engine reopens");
+    let mut resumed = Session::resume(&engine2, &store, "resume-test").expect("session resumes");
+    assert_eq!(resumed.next_iteration(), 1);
+    let second_half = resumed.iterate(1).expect("second iteration runs");
+
+    let stitched: Vec<_> = first_half.iter().chain(&second_half).copied().collect();
+    assert_eq!(stitched, full_stats, "resumed stats diverged");
+    assert_eq!(
+        resumed.library().patterns(),
+        uninterrupted.library().patterns(),
+        "resumed library diverged"
+    );
+    assert_eq!(resumed.legal_total(), uninterrupted.legal_total());
+    assert_eq!(resumed.generated_total(), uninterrupted.generated_total());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// An artifact store whose writes always fail, for exercising the
+/// engine-level error chain.
+struct BrokenStore;
+
+impl ArtifactStore for BrokenStore {
+    fn put(&self, key: &str, _bytes: &[u8]) -> Result<(), ArtifactError> {
+        Err(ArtifactError::Io {
+            path: key.into(),
+            source: std::io::Error::new(std::io::ErrorKind::StorageFull, "disk full"),
+        })
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>, ArtifactError> {
+        self.put(key, &[]).map(|_| Vec::new())
+    }
+
+    fn contains(&self, _key: &str) -> Result<bool, ArtifactError> {
+        Ok(false)
+    }
+
+    fn list(&self) -> Result<Vec<String>, ArtifactError> {
+        Ok(Vec::new())
+    }
+}
+
+#[test]
+fn engine_save_failure_chains_to_the_io_root() {
+    use std::error::Error as _;
+    let engine = Engine::builder(SynthNode::small(), PipelineConfig::tiny())
+        .seed(2)
+        .untrained_engine()
+        .expect("tiny config is valid");
+    let err = engine.save(&BrokenStore).expect_err("save must fail");
+    assert!(matches!(err, PpError::Artifact(_)), "wrong error: {err}");
+    // PpError -> ArtifactError -> io::Error: the full chain.
+    let artifact = err.source().expect("artifact layer in the chain");
+    let root = artifact.source().expect("io root in the chain");
+    assert!(root.to_string().contains("disk full"), "root was: {root}");
+    // And the session side: resuming from an empty store is Missing.
+    let err = Session::resume(&engine, &MemStore::new(), "ghost").expect_err("must fail");
+    assert!(
+        matches!(
+            &err,
+            PpError::Artifact(ArtifactError::Missing { key }) if key.contains("ghost")
+        ),
+        "wrong error: {err}"
+    );
+}
