@@ -8,6 +8,9 @@ set -euo pipefail
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
 echo "==> cargo test -q"
 cargo test -q
 

@@ -17,7 +17,15 @@
 //!    * `streamed_gemm` — the same micro-batched workers delivering
 //!      through the bounded-channel stream that backs
 //!      `generate_stream` and the round entry points (guards the
-//!      streaming redesign against regressing the batch path).
+//!      streaming redesign against regressing the batch path);
+//!    * `engine_sched` — the same jobs through a shared Engine
+//!      scheduler (bit-identity with the batch path asserted);
+//!    * `qos_sched` — the QoS front door: the jobs split across two
+//!      tenants in different QoS classes, submitted as `JobSpec`s to a
+//!      `Service` over a `WeightedFair` scheduler, timed to the last
+//!      `JobOutcome` and followed by a `SchedulerStats` snapshot
+//!      (queue depths, per-session micro-batch shares, wait /
+//!      turnaround counters).
 //!
 //! All modes run the same worker-thread count, so the reported speedup
 //! is purely kernels + batching. Results go to `BENCH_sampling.json` at
@@ -29,7 +37,8 @@
 //! bench-smoke step uses both so the binary cannot silently rot.)
 
 use patternpaint_core::{
-    Engine, JobSet, PipelineConfig, RawSample, Sampler, ScheduledSampler, StreamOptions,
+    Engine, JobSet, JobSpec, PipelineConfig, QosClass, RawSample, Sampler, ScheduledSampler,
+    SchedulerOptions, Service, ServiceOptions, StreamOptions, WeightedFair,
 };
 use pp_diffusion::{CancelToken, DiffusionConfig, DiffusionModel};
 use pp_geometry::GrayImage;
@@ -141,6 +150,13 @@ fn main() {
         })
         .collect();
 
+    // One engine snapshot (same weights: seed 0) serves both the
+    // engine_sched and qos_sched modes.
+    let engine = Engine::builder(node.clone(), cfg)
+        .seed(0)
+        .untrained_engine()
+        .expect("standard config is valid");
+
     let modes = [
         run_mode("per_sample_naive", &model, &jobs, threads, 1, true, false),
         run_mode("per_sample_gemm", &model, &jobs, threads, 1, false, false),
@@ -168,10 +184,6 @@ fn main() {
         // same per-job RNG streams, so outputs are bit-identical —
         // asserted below against the blocking batch path.
         {
-            let engine = Engine::builder(node.clone(), cfg)
-                .seed(0)
-                .untrained_engine()
-                .expect("standard config is valid");
             let scheduler = engine.scheduler(threads);
             let sampler = ScheduledSampler::new(scheduler.handle(), cfg.batch_size);
             let jobset = JobSet::cycle(&starters, &masks, jobs.len());
@@ -206,6 +218,60 @@ fn main() {
         },
     ];
 
+    // The QoS front door: the same job count split across two tenants
+    // in different classes, submitted declaratively and interleaved by
+    // the WeightedFair policy. Timed to the last terminal JobOutcome
+    // (this path includes the round tail — denoise + DRC + admission —
+    // which is orders of magnitude faster than sampling).
+    let (qos_mode, qos_stats) = {
+        let service = Service::new(
+            &engine,
+            ServiceOptions {
+                threads,
+                scheduler: SchedulerOptions::new().policy(WeightedFair),
+                ..Default::default()
+            },
+        );
+        let request = |n: usize, seed: u64| {
+            patternpaint_core::GenerationRequest::new(JobSet::cycle(&starters, &masks, n), seed)
+        };
+        // Warm up worker U-Net pools like the other modes.
+        service
+            .submit(JobSpec::raw(request(threads.min(jobs.len()), 1)))
+            .expect("warmup job admitted")
+            .wait()
+            .into_report()
+            .expect("warmup job completes");
+        let interactive_jobs = jobs.len() / 2;
+        let batch_jobs = jobs.len() - interactive_jobs;
+        let t0 = Instant::now();
+        let a = service
+            .submit(JobSpec::raw(request(interactive_jobs, 42)).with_class(QosClass::Interactive))
+            .expect("interactive tenant admitted");
+        let b = service
+            .submit(JobSpec::raw(request(batch_jobs, 43)).with_class(QosClass::Batch))
+            .expect("batch tenant admitted");
+        let (ra, rb) = (a.wait(), b.wait());
+        let seconds = t0.elapsed().as_secs_f64();
+        let generated = [&ra, &rb]
+            .iter()
+            .map(|o| o.report().expect("tenant completes").generated)
+            .sum::<usize>();
+        assert_eq!(generated, jobs.len(), "every tenant sample must arrive");
+        let stats = service.scheduler_stats();
+        let steps = (jobs.len() * cfg.model.ddim_steps) as f64;
+        (
+            ModeResult {
+                name: "qos_sched",
+                seconds,
+                samples_per_sec: jobs.len() as f64 / seconds,
+                ns_per_step: seconds * 1e9 / steps,
+            },
+            stats,
+        )
+    };
+    let modes: Vec<ModeResult> = modes.into_iter().chain([qos_mode]).collect();
+
     println!();
     println!(
         "{:<18} {:>10} {:>14} {:>14}",
@@ -220,10 +286,26 @@ fn main() {
     let speedup = modes[2].samples_per_sec / modes[0].samples_per_sec;
     let stream_ratio = modes[3].samples_per_sec / modes[2].samples_per_sec;
     let engine_ratio = modes[4].samples_per_sec / modes[2].samples_per_sec;
+    let qos_ratio = modes[5].samples_per_sec / modes[2].samples_per_sec;
     println!();
     println!("batched_gemm vs per_sample_naive (pre-rework path): {speedup:.2}x");
     println!("streamed_gemm vs batched_gemm (stream delivery overhead): {stream_ratio:.2}x");
     println!("engine_sched vs batched_gemm (shared-scheduler overhead): {engine_ratio:.2}x");
+    println!("qos_sched vs batched_gemm (front door + policy + tail overhead): {qos_ratio:.2}x");
+    println!();
+    println!(
+        "qos_sched scheduler stats: policy={} micro_batches={} wait={:.1}ms turnaround={:.1}ms",
+        qos_stats.policy,
+        qos_stats.micro_batches,
+        qos_stats.wait_micros as f64 / 1e3,
+        qos_stats.turnaround_micros as f64 / 1e3,
+    );
+    for s in &qos_stats.per_session {
+        println!(
+            "  session {} [{}]: {} micro-batches, {} samples",
+            s.session, s.class, s.micro_batches, s.samples
+        );
+    }
 
     let mode_rows: Vec<serde_json::Value> = modes
         .iter()
@@ -249,6 +331,26 @@ fn main() {
         "seconds": pretrain_s,
         "steps_per_sec": tiny_steps as f64 / pretrain_s,
     });
+    let qos_sessions: Vec<serde_json::Value> = qos_stats
+        .per_session
+        .iter()
+        .map(|s| {
+            json!({
+                "session": s.session,
+                "class": s.class.to_string(),
+                "micro_batches": s.micro_batches,
+                "samples": s.samples,
+            })
+        })
+        .collect();
+    let qos_stats_row = json!({
+        "policy": qos_stats.policy,
+        "micro_batches": qos_stats.micro_batches,
+        "samples": qos_stats.samples,
+        "wait_micros": qos_stats.wait_micros,
+        "turnaround_micros": qos_stats.turnaround_micros,
+        "per_session": qos_sessions,
+    });
     let out = json!({
         "benchmark": "sampling",
         "config": config,
@@ -257,6 +359,8 @@ fn main() {
         "speedup_batched_vs_per_sample_naive": speedup,
         "streamed_vs_batched": stream_ratio,
         "engine_sched_vs_batched": engine_ratio,
+        "qos_sched_vs_batched": qos_ratio,
+        "qos_sched_stats": qos_stats_row,
     });
     if smoke {
         println!("smoke mode: skipping BENCH_sampling.json");

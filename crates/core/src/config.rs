@@ -177,6 +177,44 @@ impl PipelineConfig {
         if !(0.0 < self.pca_explained && self.pca_explained <= 1.0) {
             return Err(PpError::Config("pca_explained must be in (0, 1]".into()));
         }
+        if self.samples_per_iteration == 0 {
+            return Err(PpError::Config(
+                "samples_per_iteration must be positive (an iteration that samples \
+                 nothing can never grow the library)"
+                    .into(),
+            ));
+        }
+        if self.threads == 0 {
+            return Err(PpError::Config(
+                "threads must be positive (sampling needs at least one worker)".into(),
+            ));
+        }
+        // Degenerate parallelism knobs: thread counts and micro-batch
+        // caps far beyond any host are almost always a unit mix-up
+        // (e.g. a byte count landing in a thread field), and they would
+        // otherwise "work" by spawning thousands of threads or
+        // allocating batch-sized activation buffers.
+        const MAX_WORKERS: usize = 4096;
+        if self.threads > MAX_WORKERS {
+            return Err(PpError::Config(format!(
+                "threads = {} exceeds the {MAX_WORKERS} sampling-worker cap (likely a unit mix-up)",
+                self.threads
+            )));
+        }
+        if self.tail_threads > MAX_WORKERS {
+            return Err(PpError::Config(format!(
+                "tail_threads = {} exceeds the {MAX_WORKERS} tail-worker cap (likely a unit mix-up)",
+                self.tail_threads
+            )));
+        }
+        const MAX_BATCH: usize = 65_536;
+        if self.batch_size > MAX_BATCH {
+            return Err(PpError::Config(format!(
+                "batch_size = {} exceeds the {MAX_BATCH} micro-batch cap; activation \
+                 memory scales linearly with it (0 means a worker's whole chunk)",
+                self.batch_size
+            )));
+        }
         Ok(())
     }
 }
@@ -200,5 +238,34 @@ mod tests {
         let mut c = PipelineConfig::tiny();
         c.max_density = 1.5;
         assert!(c.validate().is_err());
+    }
+
+    /// Every degenerate knob is rejected at construction with a message
+    /// naming the offending field.
+    #[test]
+    fn degenerate_knobs_are_rejected_by_name() {
+        type Poison = fn(&mut PipelineConfig);
+        let cases: [(&str, Poison); 5] = [
+            ("samples_per_iteration", |c| c.samples_per_iteration = 0),
+            ("threads", |c| c.threads = 0),
+            ("threads", |c| c.threads = 5000),
+            ("tail_threads", |c| c.tail_threads = 1 << 20),
+            ("batch_size", |c| c.batch_size = 1 << 20),
+        ];
+        for (field, poison) in cases {
+            let mut c = PipelineConfig::tiny();
+            poison(&mut c);
+            let err = c.validate().expect_err("degenerate value must be rejected");
+            assert!(
+                matches!(&err, PpError::Config(msg) if msg.contains(field)),
+                "error for {field} did not name it: {err}"
+            );
+        }
+        // The documented sentinels stay valid: batch_size 0 is "whole
+        // chunk", tail_threads 0 is the serial tail.
+        let mut c = PipelineConfig::tiny();
+        c.batch_size = 0;
+        c.tail_threads = 0;
+        assert!(c.validate().is_ok());
     }
 }

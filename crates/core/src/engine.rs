@@ -58,9 +58,10 @@ use crate::artifact::{ArtifactError, ArtifactStore, ByteReader, ByteWriter};
 use crate::config::{FinetuneConfig, PipelineConfig, PretrainConfig};
 use crate::error::PpError;
 use crate::jobs::JobSet;
+use crate::jobspec::QosClass;
 use crate::library::PatternLibrary;
 use crate::pipeline::{GenerationRound, IterationStats};
-use crate::scheduler::{ScheduledSampler, Scheduler, SchedulerHandle};
+use crate::scheduler::{ScheduledSampler, Scheduler, SchedulerHandle, SchedulerOptions};
 use crate::stages::{
     run_round_into, DiffusionSampler, PatternDenoiser, SampleStream, Sampler, Selector, Validator,
 };
@@ -352,6 +353,28 @@ impl Engine {
         Scheduler::new(Arc::clone(&self.core.model), threads)
     }
 
+    /// [`Engine::scheduler`] with an explicit [`crate::SchedPolicy`]
+    /// and per-class admission bounds:
+    ///
+    /// ```no_run
+    /// # use patternpaint_core::{Engine, PipelineConfig, QueueLimits, SchedulerOptions, WeightedFair};
+    /// # use pp_pdk::SynthNode;
+    /// # fn main() -> Result<(), patternpaint_core::PpError> {
+    /// # let engine = Engine::builder(SynthNode::default(), PipelineConfig::quick()).untrained_engine()?;
+    /// let scheduler = engine.scheduler_with(
+    ///     4,
+    ///     SchedulerOptions::new()
+    ///         .policy(WeightedFair)
+    ///         .limits(QueueLimits::uniform(32)),
+    /// );
+    /// # let _ = scheduler;
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn scheduler_with(&self, threads: usize, options: SchedulerOptions) -> Scheduler {
+        Scheduler::new_with(Arc::clone(&self.core.model), threads, options)
+    }
+
     /// Persists the engine snapshot: a versioned model checkpoint under
     /// [`ENGINE_MODEL_KEY`] and a manifest (node, config, seed,
     /// finetune flag) under [`ENGINE_META_KEY`].
@@ -509,10 +532,26 @@ impl Session {
     }
 
     /// Replaces the stream options (progress hook, cancellation token,
-    /// backpressure, tail threads) applied to every round this session
-    /// runs.
+    /// backpressure, tail threads, QoS class/deadline) applied to every
+    /// round this session runs.
     pub fn with_options(mut self, opts: StreamOptions) -> Session {
         self.opts = opts;
+        self
+    }
+
+    /// Sets the QoS class this session's scheduler submissions carry
+    /// (admission queue + share weight under class-aware policies).
+    /// Shorthand for adjusting [`Session::with_options`].
+    pub fn with_class(mut self, class: QosClass) -> Session {
+        self.opts.class = class;
+        self
+    }
+
+    /// Sets the soft deadline (from each submission) this session's
+    /// scheduler submissions carry, ordering them under
+    /// [`crate::DeadlineFirst`].
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Session {
+        self.opts.deadline = Some(deadline);
         self
     }
 

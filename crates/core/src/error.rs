@@ -47,6 +47,14 @@ pub enum PpError {
     Io(io::Error),
     /// A generation request contained no jobs.
     EmptyRequest,
+    /// Admission control refused the work: a per-class queue (scheduler
+    /// submissions or service jobs) was already at its bound. The
+    /// request was not enqueued; retrying after in-flight work drains
+    /// is the expected recovery.
+    Rejected {
+        /// Which bound overflowed and at what occupancy.
+        reason: String,
+    },
     /// A model checkpoint failed to serialise, parse or validate
     /// (truncation, bad magic/version, shape or checksum mismatch).
     Checkpoint(ModelError),
@@ -70,6 +78,7 @@ impl fmt::Display for PpError {
             PpError::Model(msg) => write!(f, "model error: {msg}"),
             PpError::Io(e) => write!(f, "i/o error: {e}"),
             PpError::EmptyRequest => write!(f, "generation request contains no jobs"),
+            PpError::Rejected { reason } => write!(f, "admission rejected: {reason}"),
             PpError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             PpError::Artifact(e) => write!(f, "artifact error: {e}"),
         }

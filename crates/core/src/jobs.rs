@@ -66,6 +66,12 @@ impl JobSet {
         }
     }
 
+    /// Keeps only the first `n` jobs (no-op when `n >= len`); how
+    /// sample budgets shrink a request without re-deriving it.
+    pub fn truncate(&mut self, n: usize) {
+        self.jobs.truncate(n);
+    }
+
     /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()

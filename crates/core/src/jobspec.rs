@@ -1,0 +1,382 @@
+//! Declarative job specifications: what a workload *is*, separate from
+//! how the service runs it.
+//!
+//! A [`JobSpec`] names the workload kind (the paper's initial round,
+//! the full iterative pipeline, or an explicit raw request), its
+//! quality-of-service class, and the per-job intent that used to be
+//! smuggled through config overrides: an optional soft deadline, an
+//! optional sample budget, a seed, and request-shaping configuration.
+//! Specs are plain data — build one anywhere, submit it to
+//! [`crate::Service::submit`], persist it with [`JobSpec::encode`].
+//!
+//! The QoS class feeds two mechanisms downstream:
+//!
+//! * **admission control** — each class has its own bounded queue at
+//!   the scheduler and the service front door
+//!   ([`crate::QueueLimits`]); overflow returns
+//!   [`crate::PpError::Rejected`] instead of growing without bound;
+//! * **scheduling policy** — [`crate::WeightedFair`] shares sampling
+//!   micro-batches by class weight ([`QosClass::weight`]), and
+//!   [`crate::DeadlineFirst`] orders by the spec's soft deadline.
+
+use crate::config::PipelineConfig;
+use crate::error::PpError;
+use crate::stream::GenerationRequest;
+use std::fmt;
+use std::time::Duration;
+
+/// Quality-of-service class of a workload.
+///
+/// The class is advisory under the default [`crate::RoundRobin`] policy
+/// (every submission gets an equal micro-batch share) and load-bearing
+/// under [`crate::WeightedFair`], which shares the sampling pool
+/// proportionally to [`QosClass::weight`]. Admission control is always
+/// per class: each class has its own bounded queue, so a flood of
+/// best-effort work can never push interactive work into rejection.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosClass {
+    /// Latency-sensitive work (a designer waiting at a prompt).
+    Interactive,
+    /// Normal throughput work (the default).
+    #[default]
+    Batch,
+    /// Scavenger work that only runs when nothing better is queued
+    /// for its share.
+    BestEffort,
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QosClass::Interactive => "interactive",
+            QosClass::Batch => "batch",
+            QosClass::BestEffort => "best-effort",
+        })
+    }
+}
+
+impl QosClass {
+    /// Every class, in priority order.
+    pub const ALL: [QosClass; 3] = [QosClass::Interactive, QosClass::Batch, QosClass::BestEffort];
+
+    /// The class's [`crate::WeightedFair`] share weight
+    /// (interactive 4 : batch 2 : best-effort 1).
+    pub fn weight(self) -> u32 {
+        match self {
+            QosClass::Interactive => 4,
+            QosClass::Batch => 2,
+            QosClass::BestEffort => 1,
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            QosClass::Interactive => 0,
+            QosClass::Batch => 1,
+            QosClass::BestEffort => 2,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        self.index() as u8
+    }
+
+    fn from_tag(tag: u8) -> Result<QosClass, PpError> {
+        QosClass::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or_else(|| PpError::Config(format!("job spec: unknown QoS class tag {tag}")))
+    }
+}
+
+/// What kind of workload a [`JobSpec`] describes.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// The paper's stage-2 initial round: every starter × every
+    /// predefined mask × `variations`.
+    Initial,
+    /// The full pipeline: the initial round, starter seeding, then
+    /// `iterations` rounds of PCA selection + re-inpainting (paper
+    /// stages 2–4). The per-round seeds and mask schedule key off
+    /// absolute iteration indices, exactly as [`crate::Session::iterate`]
+    /// does.
+    Iterative {
+        /// Refinement rounds after the initial round.
+        iterations: usize,
+    },
+    /// An explicit request: sample these `(template, mask)` jobs and
+    /// run the round tail over them. Raw requests carry in-memory job
+    /// sets and are the one kind [`JobSpec::encode`] cannot serialise.
+    Raw(GenerationRequest),
+}
+
+/// A declarative, serializable description of one workload.
+///
+/// Build with the kind constructors and chain the intent:
+///
+/// ```
+/// use patternpaint_core::{JobSpec, QosClass};
+/// use std::time::Duration;
+///
+/// let spec = JobSpec::iterative(2)
+///     .with_class(QosClass::Interactive)
+///     .with_deadline(Duration::from_secs(30))
+///     .with_budget(500)
+///     .with_seed(7);
+/// assert_eq!(spec.class, QosClass::Interactive);
+/// let bytes = spec.encode().unwrap();
+/// let back = JobSpec::decode(&bytes).unwrap();
+/// assert_eq!(back.budget, Some(500));
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The workload kind.
+    pub kind: JobKind,
+    /// QoS class for admission control and policy-weighted scheduling.
+    pub class: QosClass,
+    /// Soft deadline, measured from submission. Purely advisory: it
+    /// orders dispatch under [`crate::DeadlineFirst`] and never causes
+    /// a rejection or abort on its own.
+    pub deadline: Option<Duration>,
+    /// Sample budget: single-round kinds truncate their request to at
+    /// most this many samples; [`JobKind::Iterative`] stops scheduling
+    /// further rounds once the generated total reaches it. `None` is
+    /// unlimited.
+    pub budget: Option<usize>,
+    /// Session seed; `None` uses the engine's.
+    pub seed: Option<u64>,
+    /// Request-shaping configuration override, validated at submission
+    /// exactly like [`crate::Session::with_config`] (the model
+    /// architecture must stay the engine's).
+    pub config: Option<PipelineConfig>,
+}
+
+impl JobSpec {
+    fn new(kind: JobKind) -> JobSpec {
+        JobSpec {
+            kind,
+            class: QosClass::default(),
+            deadline: None,
+            budget: None,
+            seed: None,
+            config: None,
+        }
+    }
+
+    /// An initial-generation workload.
+    pub fn initial() -> JobSpec {
+        JobSpec::new(JobKind::Initial)
+    }
+
+    /// The full pipeline with `iterations` refinement rounds after the
+    /// initial one.
+    pub fn iterative(iterations: usize) -> JobSpec {
+        JobSpec::new(JobKind::Iterative { iterations })
+    }
+
+    /// An explicit raw request.
+    pub fn raw(request: GenerationRequest) -> JobSpec {
+        JobSpec::new(JobKind::Raw(request))
+    }
+
+    /// Sets the QoS class.
+    pub fn with_class(mut self, class: QosClass) -> JobSpec {
+        self.class = class;
+        self
+    }
+
+    /// Sets the soft deadline (from submission).
+    pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the sample budget.
+    pub fn with_budget(mut self, budget: usize) -> JobSpec {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the session seed.
+    pub fn with_seed(mut self, seed: u64) -> JobSpec {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the request-shaping configuration override.
+    pub fn with_config(mut self, config: PipelineConfig) -> JobSpec {
+        self.config = Some(config);
+        self
+    }
+
+    /// Serialises the spec to a self-describing binary blob
+    /// ([`JobSpec::decode`] reverses it), so specs can sit in work
+    /// queues or artifact stores next to the sessions they produced.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Config`] for [`JobKind::Raw`], whose job set is an
+    /// in-memory value with no serial form.
+    pub fn encode(&self) -> Result<Vec<u8>, PpError> {
+        use crate::artifact::ByteWriter;
+        let mut w = ByteWriter::new();
+        w.bytes(b"PPJS");
+        w.u32(1); // spec version
+        match &self.kind {
+            JobKind::Initial => w.u8(0),
+            JobKind::Iterative { iterations } => {
+                w.u8(1);
+                w.u64(*iterations as u64);
+            }
+            JobKind::Raw(_) => {
+                return Err(PpError::Config(
+                    "job spec: raw requests carry in-memory job sets and cannot be encoded".into(),
+                ))
+            }
+        }
+        w.u8(self.class.tag());
+        opt_u64(&mut w, self.deadline.map(|d| d.as_micros() as u64));
+        opt_u64(&mut w, self.budget.map(|b| b as u64));
+        opt_u64(&mut w, self.seed);
+        match &self.config {
+            None => w.u8(0),
+            Some(cfg) => {
+                w.u8(1);
+                crate::engine::encode_config(&mut w, cfg);
+            }
+        }
+        Ok(w.into_vec())
+    }
+
+    /// Deserialises a blob written by [`JobSpec::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Config`] naming the corrupt or truncated field.
+    pub fn decode(bytes: &[u8]) -> Result<JobSpec, PpError> {
+        use crate::artifact::ByteReader;
+        let corrupt = |detail: String| PpError::Config(format!("job spec: {detail}"));
+        let mut r = ByteReader::new(bytes);
+        if r.bytes(4, "magic").map_err(corrupt)? != b"PPJS" {
+            return Err(corrupt("missing PPJS magic".into()));
+        }
+        let version = r.u32("version").map_err(corrupt)?;
+        if version != 1 {
+            return Err(corrupt(format!("unsupported spec version {version}")));
+        }
+        let kind = match r.u8("kind").map_err(corrupt)? {
+            0 => JobKind::Initial,
+            1 => JobKind::Iterative {
+                iterations: r.u64("iterations").map_err(corrupt)? as usize,
+            },
+            k => return Err(corrupt(format!("unknown kind tag {k}"))),
+        };
+        let class = QosClass::from_tag(r.u8("class").map_err(corrupt)?)?;
+        let deadline = opt_read(&mut r, "deadline")?.map(Duration::from_micros);
+        let budget = opt_read(&mut r, "budget")?.map(|b| b as usize);
+        let seed = opt_read(&mut r, "seed")?;
+        let config = match r.u8("config flag").map_err(corrupt)? {
+            0 => None,
+            1 => Some(crate::engine::decode_config(&mut r).map_err(corrupt)?),
+            f => return Err(corrupt(format!("unknown config flag {f}"))),
+        };
+        r.expect_end("job spec").map_err(corrupt)?;
+        Ok(JobSpec {
+            kind,
+            class,
+            deadline,
+            budget,
+            seed,
+            config,
+        })
+    }
+}
+
+fn opt_u64(w: &mut crate::artifact::ByteWriter, v: Option<u64>) {
+    match v {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            w.u64(v);
+        }
+    }
+}
+
+fn opt_read(r: &mut crate::artifact::ByteReader<'_>, what: &str) -> Result<Option<u64>, PpError> {
+    let corrupt = |detail: String| PpError::Config(format!("job spec: {detail}"));
+    match r.u8(what).map_err(corrupt)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64(what).map_err(corrupt)?)),
+        f => Err(corrupt(format!("unknown {what} flag {f}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobSet;
+
+    #[test]
+    fn class_weights_and_order() {
+        assert!(QosClass::Interactive.weight() > QosClass::Batch.weight());
+        assert!(QosClass::Batch.weight() > QosClass::BestEffort.weight());
+        assert_eq!(QosClass::default(), QosClass::Batch);
+        for (i, class) in QosClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(QosClass::from_tag(class.tag()).unwrap(), *class);
+        }
+        assert!(QosClass::from_tag(9).is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_encode_decode() {
+        let specs = [
+            JobSpec::initial(),
+            JobSpec::iterative(3)
+                .with_class(QosClass::Interactive)
+                .with_deadline(Duration::from_millis(250))
+                .with_budget(1000)
+                .with_seed(42)
+                .with_config(PipelineConfig::tiny()),
+            JobSpec::initial().with_class(QosClass::BestEffort),
+        ];
+        for spec in specs {
+            let bytes = spec.encode().expect("non-raw specs encode");
+            let back = JobSpec::decode(&bytes).expect("blob decodes");
+            assert_eq!(back.class, spec.class);
+            assert_eq!(back.deadline, spec.deadline);
+            assert_eq!(back.budget, spec.budget);
+            assert_eq!(back.seed, spec.seed);
+            assert_eq!(back.config, spec.config);
+            match (&back.kind, &spec.kind) {
+                (JobKind::Initial, JobKind::Initial) => {}
+                (JobKind::Iterative { iterations: a }, JobKind::Iterative { iterations: b }) => {
+                    assert_eq!(a, b)
+                }
+                (a, b) => panic!("kind mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn raw_specs_refuse_to_encode_and_corrupt_blobs_are_named() {
+        let raw = JobSpec::raw(GenerationRequest::new(JobSet::new(), 0));
+        let err = raw.encode().unwrap_err();
+        assert!(matches!(err, PpError::Config(_)), "wrong error: {err}");
+        assert!(err.to_string().contains("raw"), "message was: {err}");
+
+        let good = JobSpec::iterative(1).encode().unwrap();
+        let err = JobSpec::decode(&good[..good.len() - 1]).unwrap_err();
+        assert!(err.to_string().contains("job spec"), "message was: {err}");
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(JobSpec::decode(&bad_magic).is_err());
+        let mut bad_class = good;
+        // kind tag (1) + iterations (8) follow the 8-byte header.
+        bad_class[17] = 9;
+        let err = JobSpec::decode(&bad_class).unwrap_err();
+        assert!(err.to_string().contains("class"), "message was: {err}");
+    }
+}

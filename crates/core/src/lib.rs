@@ -58,6 +58,17 @@
 //! it stopped. [`PatternPaint`] itself is a facade over one engine +
 //! one implicit session.
 //!
+//! **QoS front door.** [`Service`] sits on top for multi-tenant
+//! serving: tenants submit declarative [`JobSpec`]s (kind, QoS class,
+//! soft deadline, sample budget, config shaping) and hold
+//! [`JobHandle`]s (poll / wait / progress / cancel) resolving to a
+//! terminal [`JobOutcome`]. Underneath, the scheduler's dispatch
+//! decision is a pluggable [`SchedPolicy`] ([`RoundRobin`] default,
+//! [`WeightedFair`], [`DeadlineFirst`]), per-class queues are bounded
+//! ([`QueueLimits`], overflow → [`PpError::Rejected`]), and
+//! [`Scheduler::stats`] snapshots queue depths and dispatch counters
+//! ([`SchedulerStats`]).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -94,9 +105,11 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod jobs;
+pub mod jobspec;
 pub mod library;
 pub mod pipeline;
 pub mod scheduler;
+pub mod service;
 pub mod stages;
 pub mod stream;
 mod tail;
@@ -107,9 +120,16 @@ pub use config::{FinetuneConfig, PipelineConfig, PretrainConfig};
 pub use engine::{Engine, Session, ENGINE_META_KEY, ENGINE_MODEL_KEY};
 pub use error::PpError;
 pub use jobs::JobSet;
+pub use jobspec::{JobKind, JobSpec, QosClass};
 pub use library::PatternLibrary;
 pub use pipeline::{GenerationRound, IterationStats, PatternPaint, RawSample};
-pub use scheduler::{ScheduledSampler, Scheduler, SchedulerHandle};
+pub use scheduler::{
+    ClassCounts, DeadlineFirst, QueueLimits, RoundRobin, SchedPolicy, SchedView, ScheduledSampler,
+    Scheduler, SchedulerHandle, SchedulerOptions, SchedulerStats, SessionSched, WeightedFair,
+};
+pub use service::{
+    JobHandle, JobOutcome, JobReport, JobStatus, Service, ServiceOptions, ServiceStats,
+};
 pub use stages::{
     denoise_and_admit, run_round, run_round_into, DiffusionSampler, DrcValidator, PatternDenoiser,
     SampleStream, Sampler, Selector, Validator,

@@ -664,7 +664,8 @@ mod tests {
         // ahead of the consumer after cancellation.
         let opts = StreamOptions::default()
             .with_cancel(cancel.clone())
-            .with_capacity(1);
+            .with_capacity(1)
+            .expect("positive capacity is valid");
         let stream = pp.generate_stream(&request, &opts).expect("stream starts");
         let mut yielded = 0;
         for sample in stream {

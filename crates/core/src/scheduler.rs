@@ -1,5 +1,5 @@
-//! The engine scheduler: many sessions' requests, one model, fair
-//! round-robin micro-batching.
+//! The engine scheduler: many sessions' requests, one model, pluggable
+//! QoS policies over micro-batch dispatch.
 //!
 //! A solo pipeline gives each generation round a private pool of
 //! sampling workers ([`crate::DiffusionSampler`] spawns them per
@@ -8,10 +8,35 @@
 //! with N×`threads` workers, and a long round would starve a short one.
 //! The [`Scheduler`] instead owns a fixed pool of
 //! [`pp_diffusion::InpaintWorker`]s bound to the engine's shared model
-//! and *interleaves* submissions at micro-batch granularity: each
-//! worker repeatedly takes the next micro-batch from the submission at
-//! the front of a round-robin queue, so every active session advances
-//! at the same micro-batch rate no matter how large its request is.
+//! and *interleaves* submissions at micro-batch granularity.
+//!
+//! **Which** submission supplies the next micro-batch is a
+//! [`SchedPolicy`] decision, pluggable at build time
+//! ([`crate::Engine::scheduler_with`]):
+//!
+//! * [`RoundRobin`] (default) — strict rotation, every submission gets
+//!   an equal micro-batch share; bit-identical to the pre-policy
+//!   scheduler (a regression test in `tests/qos_scheduler.rs` pins it);
+//! * [`WeightedFair`] — shares proportional to the submission's
+//!   [`QosClass::weight`] (interactive 4 : batch 2 : best-effort 1);
+//! * [`DeadlineFirst`] — earliest soft deadline first; submissions
+//!   without deadlines fall back to the fair-share order among
+//!   themselves.
+//!
+//! Every policy dispatches whole micro-batches and the per-submission
+//! reassembly below is unchanged, so per-session in-order delivery —
+//! and therefore bit-identical libraries — holds under all of them.
+//!
+//! **Admission control**: each [`QosClass`] has its own bounded
+//! submission queue ([`QueueLimits`]). An overflowing submit returns
+//! [`PpError::Rejected`] immediately instead of growing the queue
+//! without bound, so a flood in one class can neither exhaust memory
+//! nor push other classes into unbounded waiting.
+//!
+//! **Observability**: [`Scheduler::stats`] snapshots queue depths per
+//! class, admission/rejection/completion counters, micro-batches and
+//! samples dispatched per session, and cumulative wait/turnaround
+//! times ([`SchedulerStats`]; schema documented in PERF.md).
 //!
 //! Determinism: a job's output depends only on `(template, mask,
 //! seed ^ job_index)` — never on which worker ran it or how jobs were
@@ -30,6 +55,7 @@
 
 use crate::error::PpError;
 use crate::jobs::JobSet;
+use crate::jobspec::QosClass;
 use crate::pipeline::RawSample;
 use crate::stages::{SampleStream, Sampler};
 use crate::stream::{CancelToken, Progress, StreamOptions};
@@ -37,9 +63,312 @@ use pp_diffusion::DiffusionModel;
 use pp_geometry::{GrayImage, Layout};
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Scheduling policies
+// ---------------------------------------------------------------------
+
+/// What a [`SchedPolicy`] sees of one queued submission when picking
+/// the next micro-batch.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedView {
+    /// The submission's QoS class.
+    pub class: QosClass,
+    /// Soft deadline, if the submitter set one.
+    pub deadline: Option<Instant>,
+    /// Micro-batches already dispatched for this submission.
+    pub dispatched: u64,
+    /// Class-weight-normalised virtual time: advanced by
+    /// `4 / class weight` per dispatched micro-batch, and initialised
+    /// to the queue's minimum pass at submit so a newcomer continues
+    /// from the current share frontier instead of bursting until it
+    /// "catches up" from zero (stride scheduling's virtual-time
+    /// baseline).
+    pub pass: u64,
+    /// Jobs not yet dispatched.
+    pub remaining: usize,
+    /// The submitting session (one id per [`Scheduler::handle`]).
+    pub session: u64,
+}
+
+/// The scheduling decision, extracted from the dispatch loop: given the
+/// queue (oldest first), pick the submission the next micro-batch comes
+/// from.
+///
+/// The scheduler owns everything else — micro-batch sizing, worker
+/// assignment, in-order reassembly — so a policy can only change
+/// *interleaving*, never per-session results. After a dispatch the
+/// picked submission moves to the back of the queue (which is what
+/// makes [`RoundRobin`]'s constant `0` a strict rotation).
+///
+/// Implementations must be deterministic in the queue contents: tests
+/// replay schedules and assert bit-identical libraries.
+pub trait SchedPolicy: Send {
+    /// A short name for stats and reports.
+    fn name(&self) -> &str;
+
+    /// Index into `queue` (non-empty) of the submission to dispatch
+    /// from next.
+    fn pick(&mut self, queue: &[SchedView]) -> usize;
+}
+
+/// Strict rotation: every active submission gets an equal micro-batch
+/// share, regardless of class. The default policy, bit-identical to the
+/// pre-policy scheduler's hardcoded rotation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl SchedPolicy for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, _queue: &[SchedView]) -> usize {
+        0
+    }
+}
+
+/// Class-weighted fair shares: the submission with the smallest
+/// [`SchedView::pass`] runs next (stride scheduling over the
+/// scheduler-maintained virtual time, which advances by `4 / weight`
+/// per dispatch and starts at the queue's current frontier). Over any
+/// window, classes receive micro-batches proportional to
+/// interactive 4 : batch 2 : best-effort 1; within a class, equal
+/// shares. Ties break toward the oldest submission, so single-class
+/// workloads degrade to exact round-robin, and a late arrival joins at
+/// the frontier instead of monopolising the pool until its pass
+/// catches up.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedFair;
+
+impl SchedPolicy for WeightedFair {
+    fn name(&self) -> &str {
+        "weighted-fair"
+    }
+
+    fn pick(&mut self, queue: &[SchedView]) -> usize {
+        let mut best = 0;
+        for (i, view) in queue.iter().enumerate().skip(1) {
+            if view.pass < queue[best].pass {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Earliest-deadline-first over soft deadlines: while any queued
+/// submission carries a deadline, the earliest one runs next (ties
+/// toward the oldest); when none do, dispatch falls back to
+/// [`WeightedFair`]'s class shares. Deadlines are advisory — a missed
+/// one reorders nothing retroactively and aborts nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineFirst;
+
+impl SchedPolicy for DeadlineFirst {
+    fn name(&self) -> &str {
+        "deadline-first"
+    }
+
+    fn pick(&mut self, queue: &[SchedView]) -> usize {
+        let mut best: Option<(Instant, usize)> = None;
+        for (i, view) in queue.iter().enumerate() {
+            if let Some(d) = view.deadline {
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, i));
+                }
+            }
+        }
+        match best {
+            Some((_, i)) => i,
+            None => WeightedFair.pick(queue),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control and observability
+// ---------------------------------------------------------------------
+
+/// Per-class bounds on queued submissions (scheduler) or concurrent
+/// jobs (service front door). Deeper queues for lower classes: batch
+/// and best-effort work is expected to wait, interactive work should be
+/// rejected early rather than queued behind a backlog it cannot jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLimits {
+    /// Bound for [`QosClass::Interactive`].
+    pub interactive: usize,
+    /// Bound for [`QosClass::Batch`].
+    pub batch: usize,
+    /// Bound for [`QosClass::BestEffort`].
+    pub best_effort: usize,
+}
+
+impl Default for QueueLimits {
+    fn default() -> Self {
+        QueueLimits {
+            interactive: 16,
+            batch: 64,
+            best_effort: 256,
+        }
+    }
+}
+
+impl QueueLimits {
+    /// The same bound for every class.
+    pub fn uniform(limit: usize) -> QueueLimits {
+        QueueLimits {
+            interactive: limit,
+            batch: limit,
+            best_effort: limit,
+        }
+    }
+
+    /// The bound for `class`.
+    pub fn limit(&self, class: QosClass) -> usize {
+        match class {
+            QosClass::Interactive => self.interactive,
+            QosClass::Batch => self.batch,
+            QosClass::BestEffort => self.best_effort,
+        }
+    }
+}
+
+/// One counter per QoS class (a [`SchedulerStats`] building block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// [`QosClass::Interactive`] count.
+    pub interactive: u64,
+    /// [`QosClass::Batch`] count.
+    pub batch: u64,
+    /// [`QosClass::BestEffort`] count.
+    pub best_effort: u64,
+}
+
+impl ClassCounts {
+    fn from_raw(raw: [u64; 3]) -> ClassCounts {
+        ClassCounts {
+            interactive: raw[0],
+            batch: raw[1],
+            best_effort: raw[2],
+        }
+    }
+
+    /// The count for `class`.
+    pub fn get(&self, class: QosClass) -> u64 {
+        match class {
+            QosClass::Interactive => self.interactive,
+            QosClass::Batch => self.batch,
+            QosClass::BestEffort => self.best_effort,
+        }
+    }
+
+    /// Sum over all classes.
+    pub fn total(&self) -> u64 {
+        self.interactive + self.batch + self.best_effort
+    }
+}
+
+/// Dispatch counters for one session (one id per
+/// [`Scheduler::handle`]; a session accumulates across its
+/// submissions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSched {
+    /// The session id.
+    pub session: u64,
+    /// The class of the session's most recent submission.
+    pub class: QosClass,
+    /// Micro-batches dispatched for this session.
+    pub micro_batches: u64,
+    /// Jobs (samples) dispatched for this session.
+    pub samples: u64,
+}
+
+/// A point-in-time snapshot of scheduler state and cumulative dispatch
+/// counters (see PERF.md "Scheduling policies and admission control"
+/// for the schema as it appears in `qos_sched` bench output).
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerStats {
+    /// The active [`SchedPolicy`]'s name.
+    pub policy: String,
+    /// Worker threads in the pool.
+    pub threads: usize,
+    /// Submissions currently queued, per class.
+    pub queued: ClassCounts,
+    /// Submissions accepted since the scheduler started.
+    pub admitted: ClassCounts,
+    /// Submissions refused by admission control.
+    pub rejected: ClassCounts,
+    /// Submissions fully dispatched.
+    pub completed: ClassCounts,
+    /// Submissions retired early (cancellation or a dropped stream).
+    pub abandoned: ClassCounts,
+    /// Micro-batches dispatched in total.
+    pub micro_batches: u64,
+    /// Jobs (samples) dispatched in total.
+    pub samples: u64,
+    /// Cumulative submit → first-dispatch latency, microseconds.
+    pub wait_micros: u64,
+    /// Cumulative submit → final-dispatch latency over completed
+    /// submissions, microseconds.
+    pub turnaround_micros: u64,
+    /// Per-session dispatch counters, ordered by session id.
+    pub per_session: Vec<SessionSched>,
+}
+
+/// Build-time scheduler configuration: the [`SchedPolicy`] and the
+/// per-class admission bounds. `Default` is [`RoundRobin`] with
+/// [`QueueLimits::default`] — exactly the pre-policy scheduler.
+pub struct SchedulerOptions {
+    policy: Box<dyn SchedPolicy>,
+    limits: QueueLimits,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            policy: Box::new(RoundRobin),
+            limits: QueueLimits::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SchedulerOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerOptions")
+            .field("policy", &self.policy.name())
+            .field("limits", &self.limits)
+            .finish()
+    }
+}
+
+impl SchedulerOptions {
+    /// Default options ([`RoundRobin`], default limits).
+    pub fn new() -> SchedulerOptions {
+        SchedulerOptions::default()
+    }
+
+    /// Replaces the scheduling policy.
+    pub fn policy(mut self, policy: impl SchedPolicy + 'static) -> SchedulerOptions {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Replaces the per-class admission bounds.
+    pub fn limits(mut self, limits: QueueLimits) -> SchedulerOptions {
+        self.limits = limits;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queue plumbing
+// ---------------------------------------------------------------------
 
 /// One delivery from a worker to a submission's consumer.
 enum SchedMsg {
@@ -59,6 +388,13 @@ struct Submission {
     seed: u64,
     batch: usize,
     cursor: usize,
+    dispatched: u64,
+    /// Stride-scheduling virtual time (see [`SchedView::pass`]).
+    pass: u64,
+    session: u64,
+    class: QosClass,
+    deadline: Option<Instant>,
+    submitted_at: Instant,
     cancel: CancelToken,
     /// Internal retire flag, distinct from the caller's `cancel`
     /// token (which may be shared across rounds): set by workers when
@@ -81,8 +417,24 @@ struct Task {
     retired: Arc<std::sync::atomic::AtomicBool>,
 }
 
+/// Cumulative dispatch counters, updated under the state lock.
+#[derive(Default)]
+struct StatsInner {
+    admitted: [u64; 3],
+    rejected: [u64; 3],
+    completed: [u64; 3],
+    abandoned: [u64; 3],
+    micro_batches: u64,
+    samples: u64,
+    wait_micros: u64,
+    turnaround_micros: u64,
+    per_session: BTreeMap<u64, (QosClass, u64, u64)>,
+}
+
 struct SchedState {
     queue: VecDeque<Submission>,
+    policy: Box<dyn SchedPolicy>,
+    stats: StatsInner,
     shutdown: bool,
 }
 
@@ -90,35 +442,83 @@ struct Shared {
     state: Mutex<SchedState>,
     cv: Condvar,
     image: u32,
+    threads: usize,
+    limits: QueueLimits,
+    next_session: AtomicU64,
 }
 
-impl Shared {
-    /// Pops the next micro-batch in round-robin order; retires
-    /// exhausted and cancelled submissions (dropping their sender ends
-    /// the stream — cleanly for cancellation, which is not an error).
-    fn take_task(state: &mut SchedState) -> Option<Task> {
-        use std::sync::atomic::Ordering;
-        while let Some(mut sub) = state.queue.pop_front() {
-            if sub.cancel.is_cancelled() || sub.retired.load(Ordering::Relaxed) {
-                continue;
-            }
-            let start = sub.cursor;
-            let end = (start + sub.batch).min(sub.jobs.len());
-            sub.cursor = end;
-            let task = Task {
-                jobs: Arc::clone(&sub.jobs),
-                range: start..end,
-                seed: sub.seed,
-                tx: sub.tx.clone(),
-                retired: Arc::clone(&sub.retired),
-            };
-            if end < sub.jobs.len() {
-                state.queue.push_back(sub);
-            }
-            return Some(task);
+/// Pops the next micro-batch in policy order; retires exhausted and
+/// cancelled submissions (dropping their sender ends the stream —
+/// cleanly for cancellation, which is not an error).
+fn take_task(st: &mut SchedState) -> Option<Task> {
+    use std::sync::atomic::Ordering;
+    // Purge cancelled and retired submissions before the policy looks
+    // at the queue (the pre-policy scheduler purged lazily at the
+    // front; purging up front is observationally identical and keeps
+    // dead submissions out of policy decisions).
+    let mut i = 0;
+    while i < st.queue.len() {
+        let sub = &st.queue[i];
+        if sub.cancel.is_cancelled() || sub.retired.load(Ordering::Relaxed) {
+            st.stats.abandoned[sub.class.index()] += 1;
+            st.queue.remove(i);
+        } else {
+            i += 1;
         }
-        None
     }
+    if st.queue.is_empty() {
+        return None;
+    }
+    let views: Vec<SchedView> = st
+        .queue
+        .iter()
+        .map(|sub| SchedView {
+            class: sub.class,
+            deadline: sub.deadline,
+            dispatched: sub.dispatched,
+            pass: sub.pass,
+            remaining: sub.jobs.len() - sub.cursor,
+            session: sub.session,
+        })
+        .collect();
+    // A policy returning an out-of-range index is a bug, but clamping
+    // keeps it a fairness bug rather than a worker panic.
+    let pick = st.policy.pick(&views).min(st.queue.len() - 1);
+    let mut sub = st.queue.remove(pick).expect("pick is clamped in range");
+    let start = sub.cursor;
+    let end = (start + sub.batch).min(sub.jobs.len());
+    sub.cursor = end;
+    if sub.dispatched == 0 {
+        st.stats.wait_micros += sub.submitted_at.elapsed().as_micros() as u64;
+    }
+    sub.dispatched += 1;
+    // Advance virtual time by the class stride: 4 / weight, so heavier
+    // classes accumulate pass more slowly and earn more dispatches.
+    sub.pass += u64::from(QosClass::Interactive.weight() / sub.class.weight());
+    st.stats.micro_batches += 1;
+    st.stats.samples += (end - start) as u64;
+    let entry = st
+        .stats
+        .per_session
+        .entry(sub.session)
+        .or_insert((sub.class, 0, 0));
+    entry.0 = sub.class;
+    entry.1 += 1;
+    entry.2 += (end - start) as u64;
+    let task = Task {
+        jobs: Arc::clone(&sub.jobs),
+        range: start..end,
+        seed: sub.seed,
+        tx: sub.tx.clone(),
+        retired: Arc::clone(&sub.retired),
+    };
+    if end < sub.jobs.len() {
+        st.queue.push_back(sub);
+    } else {
+        st.stats.completed[sub.class.index()] += 1;
+        st.stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
+    }
+    Some(task)
 }
 
 fn worker_loop(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
@@ -130,7 +530,7 @@ fn worker_loop(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
                 if st.shutdown {
                     return;
                 }
-                if let Some(task) = Shared::take_task(&mut st) {
+                if let Some(task) = take_task(&mut st) {
                     break task;
                 }
                 st = shared.cv.wait(st).expect("scheduler state poisoned");
@@ -171,12 +571,16 @@ fn worker_loop(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
     }
 }
 
-/// A shared pool of sampling workers serving many sessions fairly.
+/// A shared pool of sampling workers serving many sessions under a
+/// pluggable [`SchedPolicy`].
 ///
-/// Created by [`crate::Engine::scheduler`]. Keep it alive while
-/// attached sessions run: dropping it joins the workers and aborts
-/// still-queued submissions with an error. Cheap handles
-/// ([`Scheduler::handle`]) are what sessions hold.
+/// Created by [`crate::Engine::scheduler`] (default round-robin) or
+/// [`crate::Engine::scheduler_with`] (explicit policy + admission
+/// bounds). Keep it alive while attached sessions run: dropping it
+/// joins the workers and aborts still-queued submissions with an
+/// error. Cheap handles ([`Scheduler::handle`]) are what sessions
+/// hold; [`Scheduler::stats`] snapshots queue depths and dispatch
+/// counters.
 pub struct Scheduler {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -187,22 +591,40 @@ impl std::fmt::Debug for Scheduler {
         f.debug_struct("Scheduler")
             .field("workers", &self.workers.len())
             .field("image", &self.shared.image)
+            .field("limits", &self.shared.limits)
             .finish()
     }
 }
 
 impl Scheduler {
-    /// Spawns `threads` workers bound to `model` (at least one).
+    /// Spawns `threads` workers bound to `model` (at least one) under
+    /// the default options.
     pub(crate) fn new(model: Arc<DiffusionModel>, threads: usize) -> Scheduler {
+        Scheduler::new_with(model, threads, SchedulerOptions::default())
+    }
+
+    /// Spawns `threads` workers under an explicit policy and admission
+    /// bounds.
+    pub(crate) fn new_with(
+        model: Arc<DiffusionModel>,
+        threads: usize,
+        options: SchedulerOptions,
+    ) -> Scheduler {
+        let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
                 queue: VecDeque::new(),
+                policy: options.policy,
+                stats: StatsInner::default(),
                 shutdown: false,
             }),
             cv: Condvar::new(),
             image: model.config().image,
+            threads,
+            limits: options.limits,
+            next_session: AtomicU64::new(1),
         });
-        let workers = (0..threads.max(1))
+        let workers = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let model = Arc::clone(&model);
@@ -217,11 +639,59 @@ impl Scheduler {
         self.workers.len()
     }
 
-    /// A cheap, cloneable handle sessions submit through.
+    /// The per-class admission bounds.
+    pub fn limits(&self) -> QueueLimits {
+        self.shared.limits
+    }
+
+    /// A cheap, cloneable handle sessions submit through. Each call
+    /// allocates a fresh session id for [`SchedulerStats::per_session`]
+    /// attribution; clones of one handle share its id.
     pub fn handle(&self) -> SchedulerHandle {
         SchedulerHandle {
+            session: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
             shared: Arc::clone(&self.shared),
         }
+    }
+
+    /// A snapshot of queue depths, admission counters and dispatch
+    /// accounting.
+    pub fn stats(&self) -> SchedulerStats {
+        snapshot(&self.shared)
+    }
+}
+
+fn snapshot(shared: &Shared) -> SchedulerStats {
+    let st = shared.state.lock().expect("scheduler state poisoned");
+    let mut queued = [0u64; 3];
+    for sub in &st.queue {
+        queued[sub.class.index()] += 1;
+    }
+    SchedulerStats {
+        policy: st.policy.name().to_string(),
+        threads: shared.threads,
+        queued: ClassCounts::from_raw(queued),
+        admitted: ClassCounts::from_raw(st.stats.admitted),
+        rejected: ClassCounts::from_raw(st.stats.rejected),
+        completed: ClassCounts::from_raw(st.stats.completed),
+        abandoned: ClassCounts::from_raw(st.stats.abandoned),
+        micro_batches: st.stats.micro_batches,
+        samples: st.stats.samples,
+        wait_micros: st.stats.wait_micros,
+        turnaround_micros: st.stats.turnaround_micros,
+        per_session: st
+            .stats
+            .per_session
+            .iter()
+            .map(
+                |(&session, &(class, micro_batches, samples))| SessionSched {
+                    session,
+                    class,
+                    micro_batches,
+                    samples,
+                },
+            )
+            .collect(),
     }
 }
 
@@ -249,19 +719,22 @@ impl Drop for Scheduler {
 #[derive(Clone)]
 pub struct SchedulerHandle {
     shared: Arc<Shared>,
+    session: u64,
 }
 
 impl std::fmt::Debug for SchedulerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SchedulerHandle")
             .field("image", &self.shared.image)
+            .field("session", &self.session)
             .finish()
     }
 }
 
 impl SchedulerHandle {
     /// Queues `jobs` for sampling with per-job seeds `seed ^ index`,
-    /// micro-batched `batch` jobs at a time; returns the in-order
+    /// micro-batched `batch` jobs at a time under `class` (and an
+    /// optional soft `deadline` from now); returns the in-order
     /// receiver.
     fn submit(
         &self,
@@ -269,6 +742,8 @@ impl SchedulerHandle {
         seed: u64,
         batch: usize,
         cancel: CancelToken,
+        class: QosClass,
+        deadline: Option<Duration>,
     ) -> Result<ScheduledRx, PpError> {
         for (img, mask) in &jobs {
             for (what, side) in [("image", img), ("mask", mask)].map(|(w, i)| (w, i.width())) {
@@ -288,11 +763,35 @@ impl SchedulerHandle {
             if st.shutdown {
                 return Err(PpError::Model("scheduler is shut down".into()));
             }
+            let depth = st.queue.iter().filter(|s| s.class == class).count();
+            let limit = self.shared.limits.limit(class);
+            if depth >= limit {
+                st.stats.rejected[class.index()] += 1;
+                return Err(PpError::Rejected {
+                    reason: format!(
+                        "{class} submission queue is full ({depth} queued, limit {limit})"
+                    ),
+                });
+            }
+            st.stats.admitted[class.index()] += 1;
+            // Join the stride-scheduling frontier: starting at the
+            // queue's minimum pass (not 0) keeps a newcomer from
+            // monopolising dispatch until it "catches up" with
+            // long-running submissions.
+            let pass = st.queue.iter().map(|s| s.pass).min().unwrap_or(0);
             st.queue.push_back(Submission {
                 jobs: Arc::new(jobs),
                 seed,
                 batch: batch.max(1),
                 cursor: 0,
+                dispatched: 0,
+                pass,
+                session: self.session,
+                class,
+                // checked_add: a deadline too far to represent is the
+                // same as no deadline, never a panic.
+                deadline: deadline.and_then(|d| Instant::now().checked_add(d)),
+                submitted_at: Instant::now(),
                 cancel,
                 retired: Arc::new(std::sync::atomic::AtomicBool::new(false)),
                 tx,
@@ -305,6 +804,12 @@ impl SchedulerHandle {
             next: 0,
             total,
         })
+    }
+
+    /// A snapshot of the owning scheduler's stats (see
+    /// [`Scheduler::stats`]).
+    pub fn stats(&self) -> SchedulerStats {
+        snapshot(&self.shared)
     }
 }
 
@@ -366,7 +871,10 @@ impl Iterator for ScheduledRx {
 /// its rounds through; outputs are bit-identical to
 /// [`crate::DiffusionSampler`] over the same model because per-job RNG
 /// streams (`seed ^ index`) and in-order delivery are preserved and
-/// micro-batch grouping never affects a job's arithmetic.
+/// micro-batch grouping never affects a job's arithmetic. The QoS
+/// class and soft deadline of each submission come from the
+/// [`StreamOptions`] the round runs under
+/// ([`StreamOptions::with_class`] / [`StreamOptions::with_deadline`]).
 #[derive(Debug, Clone)]
 pub struct ScheduledSampler {
     handle: SchedulerHandle,
@@ -418,9 +926,14 @@ impl Sampler for ScheduledSampler {
         } else {
             self.batch_size
         };
-        let rx = self
-            .handle
-            .submit(images, seed, micro, opts.cancel.clone())?;
+        let rx = self.handle.submit(
+            images,
+            seed,
+            micro,
+            opts.cancel.clone(),
+            opts.class,
+            opts.deadline,
+        )?;
         let templates: Vec<Arc<Layout>> = jobs.iter().map(|(t, _)| Arc::clone(t)).collect();
         let hook = opts.progress.clone();
         let total = jobs.len();
@@ -465,20 +978,131 @@ mod tests {
             .collect()
     }
 
+    fn submit_default(
+        sched: &Scheduler,
+        jobs: Vec<(GrayImage, GrayImage)>,
+        seed: u64,
+        batch: usize,
+        cancel: CancelToken,
+    ) -> Result<ScheduledRx, PpError> {
+        sched
+            .handle()
+            .submit(jobs, seed, batch, cancel, QosClass::Batch, None)
+    }
+
+    /// A view with the pass the scheduler would maintain for a
+    /// submission that joined at frontier 0 and dispatched this many
+    /// micro-batches (`pass = dispatched × 4 / weight`).
+    fn view(class: QosClass, deadline_in: Option<u64>, dispatched: u64) -> SchedView {
+        let stride = u64::from(QosClass::Interactive.weight() / class.weight());
+        view_at(class, deadline_in, dispatched, dispatched * stride)
+    }
+
+    fn view_at(class: QosClass, deadline_in: Option<u64>, dispatched: u64, pass: u64) -> SchedView {
+        SchedView {
+            class,
+            deadline: deadline_in.map(|ms| Instant::now() + Duration::from_secs(ms)),
+            dispatched,
+            pass,
+            remaining: 1,
+            session: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_always_rotates_the_front() {
+        let q = [
+            view(QosClass::BestEffort, None, 9),
+            view(QosClass::Interactive, Some(1), 0),
+        ];
+        assert_eq!(RoundRobin.pick(&q), 0);
+    }
+
+    #[test]
+    fn weighted_fair_shares_by_class_weight() {
+        // An interactive submission's pass advances 4x slower than a
+        // best-effort one's: after 3 interactive dispatches (pass 3)
+        // and 1 best-effort dispatch (pass 4), interactive still runs.
+        let q = [
+            view(QosClass::BestEffort, None, 1),
+            view(QosClass::Interactive, None, 3),
+        ];
+        assert_eq!(WeightedFair.pick(&q), 1);
+        // At pass parity the oldest submission wins (index 0).
+        let q = [
+            view(QosClass::BestEffort, None, 1),
+            view(QosClass::Interactive, None, 4),
+        ];
+        assert_eq!(WeightedFair.pick(&q), 0);
+        // Single-class queues degrade to exact round-robin: equal
+        // counts pick the front.
+        let q = [
+            view(QosClass::Batch, None, 2),
+            view(QosClass::Batch, None, 2),
+        ];
+        assert_eq!(WeightedFair.pick(&q), 0);
+        // A newcomer joins at the frontier (submit initialises its
+        // pass to the queue minimum), so an old submission with many
+        // dispatches is not starved while the newcomer "catches up":
+        // at the shared frontier the heavier class simply wins ties by
+        // accumulating pass more slowly.
+        let q = [
+            view_at(QosClass::Batch, None, 300, 600),
+            view_at(QosClass::BestEffort, None, 0, 600),
+        ];
+        assert_eq!(
+            WeightedFair.pick(&q),
+            0,
+            "frontier newcomer must not preempt the established share"
+        );
+    }
+
+    /// The stride frontier is what `submit` hands a newcomer: the
+    /// minimum pass over the live queue, never 0.
+    #[test]
+    fn newcomers_join_at_the_pass_frontier() {
+        let model = tiny_model();
+        let sched = Scheduler::new_with(
+            Arc::clone(&model),
+            1,
+            SchedulerOptions::new().policy(WeightedFair),
+        );
+        // Drain a first submission completely so its pass advanced,
+        // then check a second one still gets served promptly (its pass
+        // starts at the frontier, but more importantly the queue-min
+        // rule means an empty queue resets to 0 without underflow).
+        let rx = submit_default(&sched, jobs(6), 1, 2, CancelToken::new()).unwrap();
+        assert_eq!(rx.map(|r| r.unwrap().1.len()).sum::<usize>(), 6);
+        let rx = submit_default(&sched, jobs(4), 2, 2, CancelToken::new()).unwrap();
+        assert_eq!(rx.map(|r| r.unwrap().1.len()).sum::<usize>(), 4);
+        assert_eq!(sched.stats().completed.get(QosClass::Batch), 2);
+    }
+
+    #[test]
+    fn deadline_first_orders_by_deadline_then_falls_back() {
+        let q = [
+            view(QosClass::Interactive, None, 0),
+            view(QosClass::BestEffort, Some(60), 5),
+            view(QosClass::Batch, Some(10), 5),
+        ];
+        // The tightest deadline wins regardless of class or position.
+        assert_eq!(DeadlineFirst.pick(&q), 2);
+        // No deadlines anywhere: weighted-fair order.
+        let q = [
+            view(QosClass::BestEffort, None, 1),
+            view(QosClass::Interactive, None, 3),
+        ];
+        assert_eq!(DeadlineFirst.pick(&q), 1);
+    }
+
     #[test]
     fn interleaved_submissions_match_solo_batches() {
         let model = tiny_model();
         let solo_a = model.sample_inpaint_batch_sized(&jobs(7), 5, 1, 0).unwrap();
         let solo_b = model.sample_inpaint_batch_sized(&jobs(5), 9, 1, 0).unwrap();
         let sched = Scheduler::new(Arc::clone(&model), 3);
-        let rx_a = sched
-            .handle()
-            .submit(jobs(7), 5, 2, CancelToken::new())
-            .unwrap();
-        let rx_b = sched
-            .handle()
-            .submit(jobs(5), 9, 3, CancelToken::new())
-            .unwrap();
+        let rx_a = submit_default(&sched, jobs(7), 5, 2, CancelToken::new()).unwrap();
+        let rx_b = submit_default(&sched, jobs(5), 9, 3, CancelToken::new()).unwrap();
         let collect = |rx: ScheduledRx| {
             let mut out = Vec::new();
             for item in rx {
@@ -497,6 +1121,58 @@ mod tests {
         });
         assert_eq!(got_a, solo_a);
         assert_eq!(got_b, solo_b);
+        // Observability: both submissions were admitted, dispatched
+        // and completed under distinct session ids.
+        let stats = sched.stats();
+        assert_eq!(stats.policy, "round-robin");
+        assert_eq!(stats.admitted.get(QosClass::Batch), 2);
+        assert_eq!(stats.completed.get(QosClass::Batch), 2);
+        assert_eq!(stats.samples, 12);
+        assert_eq!(stats.per_session.len(), 2);
+        assert!(stats.micro_batches >= 4 + 2, "micro-batch accounting");
+    }
+
+    #[test]
+    fn admission_control_rejects_at_the_class_bound() {
+        let model = tiny_model();
+        // One worker, zero-capacity interactive queue: the very first
+        // interactive submit must be refused while batch still fits.
+        let sched = Scheduler::new_with(
+            model,
+            1,
+            SchedulerOptions::new().limits(QueueLimits {
+                interactive: 0,
+                batch: 8,
+                best_effort: 8,
+            }),
+        );
+        let handle = sched.handle();
+        let err = handle
+            .submit(
+                jobs(4),
+                1,
+                1,
+                CancelToken::new(),
+                QosClass::Interactive,
+                None,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, PpError::Rejected { .. }),
+            "wrong error: {err}"
+        );
+        assert!(
+            err.to_string().contains("interactive"),
+            "reason must name the class: {err}"
+        );
+        // The batch class is unaffected by the interactive bound.
+        let rx = handle
+            .submit(jobs(2), 1, 1, CancelToken::new(), QosClass::Batch, None)
+            .unwrap();
+        assert_eq!(rx.map(|r| r.unwrap().1.len()).sum::<usize>(), 2);
+        let stats = sched.stats();
+        assert_eq!(stats.rejected.get(QosClass::Interactive), 1);
+        assert_eq!(stats.admitted.get(QosClass::Batch), 1);
     }
 
     #[test]
@@ -504,10 +1180,7 @@ mod tests {
         let model = tiny_model();
         let sched = Scheduler::new(model, 1);
         let cancel = CancelToken::new();
-        let rx = sched
-            .handle()
-            .submit(jobs(32), 1, 1, cancel.clone())
-            .unwrap();
+        let rx = submit_default(&sched, jobs(32), 1, 1, cancel.clone()).unwrap();
         let mut seen = 0;
         for item in rx {
             let _ = item.expect("cancellation is not an error");
@@ -522,10 +1195,7 @@ mod tests {
     fn shutdown_aborts_queued_submissions_with_an_error() {
         let model = tiny_model();
         let sched = Scheduler::new(model, 1);
-        let rx = sched
-            .handle()
-            .submit(jobs(64), 1, 1, CancelToken::new())
-            .unwrap();
+        let rx = submit_default(&sched, jobs(64), 1, 1, CancelToken::new()).unwrap();
         let handle = sched.handle();
         drop(sched);
         // Whatever was in flight may arrive; the tail must be a hard
@@ -539,7 +1209,9 @@ mod tests {
         }
         assert!(err.is_some(), "shutdown must surface an error");
         // New submissions are rejected.
-        assert!(handle.submit(jobs(1), 0, 1, CancelToken::new()).is_err());
+        assert!(handle
+            .submit(jobs(1), 0, 1, CancelToken::new(), QosClass::Batch, None)
+            .is_err());
     }
 
     /// Dropping a submission's stream must retire it: the pool moves
@@ -548,17 +1220,11 @@ mod tests {
     fn dropped_stream_retires_its_submission() {
         let model = tiny_model();
         let sched = Scheduler::new(model, 1);
-        let rx = sched
-            .handle()
-            .submit(jobs(64), 1, 1, CancelToken::new())
-            .unwrap();
+        let rx = submit_default(&sched, jobs(64), 1, 1, CancelToken::new()).unwrap();
         drop(rx);
         // A fresh submission drains promptly because the abandoned one
         // is retired after at most one failed delivery.
-        let rx2 = sched
-            .handle()
-            .submit(jobs(2), 3, 1, CancelToken::new())
-            .unwrap();
+        let rx2 = submit_default(&sched, jobs(2), 3, 1, CancelToken::new()).unwrap();
         let delivered: usize = rx2.map(|item| item.unwrap().1.len()).sum();
         assert_eq!(delivered, 2);
     }
@@ -571,10 +1237,7 @@ mod tests {
             GrayImage::filled(8, 8, -1.0),
             GrayImage::filled(16, 16, 1.0),
         )];
-        let err = sched
-            .handle()
-            .submit(bad, 0, 1, CancelToken::new())
-            .unwrap_err();
+        let err = submit_default(&sched, bad, 0, 1, CancelToken::new()).unwrap_err();
         assert!(matches!(err, PpError::Shape { .. }), "wrong error: {err}");
     }
 }

@@ -1,0 +1,779 @@
+//! The QoS front door: declarative job submission over an engine.
+//!
+//! [`Service`] is the top of the stack for multi-tenant serving: it
+//! owns one [`Engine`], one policy-driven [`Scheduler`], and a
+//! per-class admission gate for whole jobs. Tenants describe work as
+//! [`JobSpec`]s (kind, QoS class, soft deadline, sample budget, config
+//! shaping) and get back a [`JobHandle`] they can poll, block on,
+//! meter, or cancel; every job ends in exactly one terminal
+//! [`JobOutcome`].
+//!
+//! ```no_run
+//! use patternpaint_core::{Engine, JobOutcome, JobSpec, PipelineConfig, QosClass, Service};
+//! use pp_pdk::SynthNode;
+//!
+//! # fn main() -> Result<(), patternpaint_core::PpError> {
+//! let engine = Engine::builder(SynthNode::default(), PipelineConfig::quick())
+//!     .pretrained_engine()?;
+//! let service = Service::new(&engine, Default::default());
+//!
+//! let handle = service.submit(
+//!     JobSpec::iterative(2)
+//!         .with_class(QosClass::Interactive)
+//!         .with_budget(500),
+//! )?;
+//! match handle.wait() {
+//!     JobOutcome::Completed(report) => println!("library: {}", report.library.len()),
+//!     other => eprintln!("{other}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Admission is two-layered and both layers reject with
+//! [`PpError::Rejected`] instead of queueing without bound: the
+//! service bounds *concurrent jobs* per class
+//! ([`ServiceOptions::job_limits`]), and the scheduler underneath
+//! bounds *sampling submissions* per class
+//! ([`crate::SchedulerOptions::limits`]). A rejected submit leaves no
+//! trace; retrying after an existing handle resolves is the expected
+//! recovery (see `examples/engine_service.rs`).
+
+use crate::engine::{Engine, Session};
+use crate::error::PpError;
+use crate::jobspec::{JobKind, JobSpec, QosClass};
+use crate::library::PatternLibrary;
+use crate::pipeline::IterationStats;
+use crate::scheduler::{ClassCounts, QueueLimits, Scheduler, SchedulerOptions, SchedulerStats};
+use crate::stream::{CancelToken, GenerationRequest, Progress, StreamOptions};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Build-time service configuration.
+#[derive(Debug, Default)]
+pub struct ServiceOptions {
+    /// Sampling worker threads in the shared pool (`0` = the engine
+    /// configuration's `threads`).
+    pub threads: usize,
+    /// Scheduler policy and per-class sampling-submission bounds.
+    pub scheduler: SchedulerOptions,
+    /// Per-class bounds on *concurrent jobs* (queued or running).
+    /// Overflow rejects at [`Service::submit`].
+    pub job_limits: QueueLimits,
+}
+
+/// Job-level admission counters (the scheduler's own dispatch counters
+/// live in [`SchedulerStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs currently admitted and not yet terminal, per class.
+    pub active: ClassCounts,
+    /// Jobs admitted since the service started.
+    pub submitted: ClassCounts,
+    /// Jobs refused by admission control.
+    pub rejected: ClassCounts,
+    /// Jobs that reached a terminal outcome.
+    pub finished: ClassCounts,
+}
+
+#[derive(Default)]
+struct ServiceCounters {
+    active: [u64; 3],
+    submitted: [u64; 3],
+    rejected: [u64; 3],
+    finished: [u64; 3],
+}
+
+struct ServiceShared {
+    counters: Mutex<ServiceCounters>,
+    job_limits: QueueLimits,
+    next_job: AtomicU64,
+}
+
+/// The multi-tenant front door: one engine, one scheduler, declarative
+/// [`JobSpec`] submission with per-class admission control.
+///
+/// Dropping the service cancels outstanding jobs (cooperatively — each
+/// resolves to [`JobOutcome::Cancelled`] with its partial results),
+/// joins their threads, and shuts the scheduler pool down. Handles
+/// held by callers stay valid: a [`JobHandle::wait`] after the drop
+/// returns the terminal outcome that was reached.
+pub struct Service {
+    engine: Engine,
+    scheduler: Scheduler,
+    shared: Arc<ServiceShared>,
+    jobs: Mutex<Vec<(CancelToken, JoinHandle<()>)>>,
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("scheduler", &self.scheduler)
+            .field("job_limits", &self.shared.job_limits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Opens a front door over `engine`: spawns the shared sampling
+    /// pool under `options.scheduler` and starts admitting jobs.
+    pub fn new(engine: &Engine, options: ServiceOptions) -> Service {
+        let threads = if options.threads == 0 {
+            engine.config().threads
+        } else {
+            options.threads
+        };
+        let scheduler = engine.scheduler_with(threads, options.scheduler);
+        Service {
+            engine: engine.clone(),
+            scheduler,
+            shared: Arc::new(ServiceShared {
+                counters: Mutex::new(ServiceCounters::default()),
+                job_limits: options.job_limits,
+                next_job: AtomicU64::new(1),
+            }),
+            jobs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine this service fronts.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// A snapshot of the scheduler's queue depths and dispatch
+    /// counters.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// A snapshot of job-level admission counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = self
+            .shared
+            .counters
+            .lock()
+            .expect("service counters poisoned");
+        ServiceStats {
+            active: counts(&c.active),
+            submitted: counts(&c.submitted),
+            rejected: counts(&c.rejected),
+            finished: counts(&c.finished),
+        }
+    }
+
+    /// Submits a job described by `spec`; returns immediately with a
+    /// [`JobHandle`].
+    ///
+    /// Admission and validation are synchronous: a handle is returned
+    /// only for work that was actually accepted, so a caller can treat
+    /// `Err` as "nothing happened" and retry.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Rejected`] when the spec's class already has
+    /// [`ServiceOptions::job_limits`] jobs in flight;
+    /// [`PpError::Config`] when the spec's config shaping fails
+    /// validation or tries to change the engine's model architecture.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, PpError> {
+        let class = spec.class;
+        // Validate the shaping before taking an admission slot, so a
+        // bad spec never occupies capacity.
+        let mut session = self
+            .engine
+            .session_seeded(spec.seed.unwrap_or(self.engine.seed()));
+        if let Some(cfg) = spec.config {
+            session = session.with_config(cfg)?;
+        }
+        {
+            let mut c = self
+                .shared
+                .counters
+                .lock()
+                .expect("service counters poisoned");
+            let depth = c.active[class.index()];
+            let limit = self.shared.job_limits.limit(class) as u64;
+            if depth >= limit {
+                c.rejected[class.index()] += 1;
+                return Err(PpError::Rejected {
+                    reason: format!("{class} job queue is full ({depth} in flight, limit {limit})"),
+                });
+            }
+            c.active[class.index()] += 1;
+            c.submitted[class.index()] += 1;
+        }
+        let state = Arc::new(JobState {
+            id: self.shared.next_job.fetch_add(1, Ordering::Relaxed),
+            class,
+            cancel: CancelToken::new(),
+            completed: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let hook_state = Arc::clone(&state);
+        let mut opts = StreamOptions::default()
+            .with_cancel(state.cancel.clone())
+            .with_class(class)
+            .with_progress(move |p: Progress| {
+                hook_state.completed.store(p.completed, Ordering::Relaxed);
+                hook_state.total.store(p.total, Ordering::Relaxed);
+            });
+        opts.deadline = spec.deadline;
+        session = session.with_options(opts).attach(&self.scheduler);
+
+        let thread_state = Arc::clone(&state);
+        let shared = Arc::clone(&self.shared);
+        let kind = spec.kind;
+        let budget = spec.budget;
+        let worker = std::thread::spawn(move || {
+            // The guard settles the job no matter how this thread
+            // exits: a panic inside a round must still free the
+            // admission slot and wake waiters (with a Failed outcome),
+            // never leave `wait()` blocked forever.
+            let mut guard = JobGuard {
+                state: thread_state,
+                shared,
+                outcome: None,
+            };
+            let cancel = guard.state.cancel.clone();
+            let (result, report) = run_job(session, kind, budget);
+            guard.outcome = Some(match result {
+                Ok(()) if cancel.is_cancelled() => JobOutcome::Cancelled(report),
+                Ok(()) => JobOutcome::Completed(report),
+                Err(PpError::Rejected { reason }) => JobOutcome::Rejected {
+                    reason,
+                    partial: report,
+                },
+                Err(e) => JobOutcome::Failed(e),
+            });
+        });
+        let mut jobs = self.jobs.lock().expect("service jobs poisoned");
+        // Reap terminal jobs so a long-lived service doesn't accumulate
+        // one join handle per job ever submitted (dropping a finished
+        // handle just releases it; active jobs stay tracked for Drop).
+        jobs.retain(|(_, worker)| !worker.is_finished());
+        jobs.push((state.cancel.clone(), worker));
+        drop(jobs);
+        Ok(JobHandle { state })
+    }
+}
+
+/// Settles a job on every exit path of its thread — including panics,
+/// where the stored outcome is still `None` and a `Failed` terminal is
+/// synthesised so the admission slot frees and `wait()` returns.
+struct JobGuard {
+    state: Arc<JobState>,
+    shared: Arc<ServiceShared>,
+    outcome: Option<JobOutcome>,
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        let outcome = self.outcome.take().unwrap_or_else(|| {
+            JobOutcome::Failed(PpError::Model(
+                "job thread panicked before reaching a terminal outcome".into(),
+            ))
+        });
+        // `unwrap_or_else(into_inner)`: these locks must settle the job
+        // even when a panic elsewhere poisoned them — panicking here
+        // would abort the process mid-unwind.
+        {
+            let mut c = self
+                .shared
+                .counters
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            c.active[self.state.class.index()] -= 1;
+            c.finished[self.state.class.index()] += 1;
+        }
+        *self
+            .state
+            .outcome
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(outcome);
+        self.state.done.notify_all();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        let mut jobs = std::mem::take(&mut *self.jobs.lock().expect("service jobs poisoned"));
+        for (cancel, _) in &jobs {
+            cancel.cancel();
+        }
+        for (_, worker) in jobs.drain(..) {
+            let _ = worker.join();
+        }
+        // The scheduler field drops after this, joining its pool.
+    }
+}
+
+fn counts(raw: &[u64; 3]) -> ClassCounts {
+    ClassCounts {
+        interactive: raw[0],
+        batch: raw[1],
+        best_effort: raw[2],
+    }
+}
+
+/// Truncates `request` to at most `budget` jobs (sample budgets are
+/// per-job intent: the front door enforces them by shrinking the
+/// request, never by guessing inside the round).
+fn truncated(request: GenerationRequest, budget: Option<usize>) -> GenerationRequest {
+    match budget {
+        Some(b) if request.jobs().len() > b => {
+            let mut jobs = request.jobs().clone();
+            jobs.truncate(b);
+            GenerationRequest::new(jobs, request.seed())
+        }
+        _ => request,
+    }
+}
+
+/// Runs the job's rounds. The report is built from the session on
+/// every path — success *and* failure — so mid-run errors (a scheduler
+/// rejection after eight good rounds, say) never discard the work that
+/// already landed in the library.
+fn run_job(
+    mut session: Session,
+    kind: JobKind,
+    budget: Option<usize>,
+) -> (Result<(), PpError>, JobReport) {
+    let mut iterations = Vec::new();
+    let result = (|| -> Result<(), PpError> {
+        match kind {
+            JobKind::Initial => {
+                let request = truncated(session.initial_request(), budget);
+                session.run_request(&request)?;
+            }
+            JobKind::Raw(request) => {
+                let request = truncated(request, budget);
+                session.run_request(&request)?;
+            }
+            JobKind::Iterative { iterations: n } => {
+                let request = truncated(session.initial_request(), budget);
+                session.run_request(&request)?;
+                session.seed_starters();
+                for _ in 0..n {
+                    if session.options().cancel.is_cancelled() {
+                        break;
+                    }
+                    if budget.is_some_and(|b| session.generated_total() >= b) {
+                        break;
+                    }
+                    iterations.extend(session.iterate(1)?);
+                }
+            }
+        }
+        Ok(())
+    })();
+    let report = JobReport {
+        generated: session.generated_total(),
+        legal: session.legal_total(),
+        iterations,
+        library: session.into_library(),
+    };
+    (result, report)
+}
+
+struct JobState {
+    id: u64,
+    class: QosClass,
+    cancel: CancelToken,
+    completed: AtomicUsize,
+    total: AtomicUsize,
+    outcome: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+/// Where a submitted job currently stands.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted; rounds are running (or queued at the scheduler).
+    Running,
+    /// A terminal [`JobOutcome`] is ready ([`JobHandle::wait`] returns
+    /// it without blocking).
+    Done,
+}
+
+/// The caller's side of one submitted job: poll, block, meter, cancel.
+///
+/// The handle is detachable — dropping it neither cancels nor leaks
+/// the job (the service still runs and accounts it).
+pub struct JobHandle {
+    state: Arc<JobState>,
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.state.id)
+            .field("class", &self.state.class)
+            .field("status", &self.poll())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The service-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// The job's QoS class.
+    pub fn class(&self) -> QosClass {
+        self.state.class
+    }
+
+    /// Non-blocking status check.
+    pub fn poll(&self) -> JobStatus {
+        if self
+            .state
+            .outcome
+            .lock()
+            .expect("job outcome poisoned")
+            .is_some()
+        {
+            JobStatus::Done
+        } else {
+            JobStatus::Running
+        }
+    }
+
+    /// Sampling progress of the job's active round (multi-round jobs
+    /// report the round in flight).
+    pub fn progress(&self) -> Progress {
+        Progress {
+            completed: self.state.completed.load(Ordering::Relaxed),
+            total: self.state.total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests cooperative cancellation: the job stops at its next
+    /// micro-batch boundary and resolves to [`JobOutcome::Cancelled`]
+    /// with whatever it finished.
+    pub fn cancel(&self) {
+        self.state.cancel.cancel();
+    }
+
+    /// Blocks until the job reaches its terminal outcome and returns
+    /// it.
+    pub fn wait(self) -> JobOutcome {
+        let mut outcome = self.state.outcome.lock().expect("job outcome poisoned");
+        while outcome.is_none() {
+            outcome = self.state.done.wait(outcome).expect("job outcome poisoned");
+        }
+        outcome.take().expect("checked Some above")
+    }
+}
+
+/// What a completed (or cancelled-with-partial-results) job produced.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Samples generated across all rounds.
+    pub generated: usize,
+    /// Samples that passed validation (duplicates included, matching
+    /// the paper's Table I accounting).
+    pub legal: usize,
+    /// Per-iteration statistics for [`JobKind::Iterative`] jobs.
+    pub iterations: Vec<IterationStats>,
+    /// The library the job grew.
+    pub library: PatternLibrary,
+}
+
+/// The single terminal state of a submitted job.
+///
+/// Exactly one of these is produced per [`JobHandle`]; `Failed` wraps
+/// the typed [`PpError`], whose `source()` chain reaches the root
+/// cause (down to `io::Error` for persistence failures).
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// Every round ran; the report carries the full results.
+    Completed(JobReport),
+    /// Cancelled cooperatively; the report carries the partial
+    /// results that were already admitted.
+    Cancelled(JobReport),
+    /// Admitted by the service but refused downstream (the scheduler's
+    /// per-class sampling queue was at its bound when a round
+    /// submitted). Rounds that completed before the refusal are not
+    /// thrown away: `partial` carries them, so a caller resubmitting
+    /// can keep the work already paid for.
+    Rejected {
+        /// Which bound overflowed, as reported by admission control.
+        reason: String,
+        /// Results of the rounds that completed before the refusal
+        /// (empty when the very first round was refused).
+        partial: JobReport,
+    },
+    /// A round failed; the wrapped error's `source()` chain names the
+    /// root cause.
+    Failed(PpError),
+}
+
+impl fmt::Display for JobOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobOutcome::Completed(r) => write!(
+                f,
+                "completed: {} generated, {} legal, {} in library",
+                r.generated,
+                r.legal,
+                r.library.len()
+            ),
+            JobOutcome::Cancelled(r) => write!(
+                f,
+                "cancelled: {} generated, {} legal before the stop",
+                r.generated, r.legal
+            ),
+            JobOutcome::Rejected { reason, partial } => write!(
+                f,
+                "rejected: {reason} ({} generated, {} legal kept from earlier rounds)",
+                partial.generated, partial.legal
+            ),
+            JobOutcome::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+impl JobOutcome {
+    /// Whether the job ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+
+    /// The report, for outcomes that carry one (`Completed`,
+    /// `Cancelled`, and `Rejected`'s partial rounds).
+    pub fn report(&self) -> Option<&JobReport> {
+        match self {
+            JobOutcome::Completed(r)
+            | JobOutcome::Cancelled(r)
+            | JobOutcome::Rejected { partial: r, .. } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its report, if it carries one.
+    pub fn into_report(self) -> Option<JobReport> {
+        match self {
+            JobOutcome::Completed(r)
+            | JobOutcome::Cancelled(r)
+            | JobOutcome::Rejected { partial: r, .. } => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The failure, for `Failed` outcomes (its `source()` chain
+    /// reaches the root cause).
+    pub fn error(&self) -> Option<&PpError> {
+        match self {
+            JobOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::jobs::JobSet;
+    use pp_pdk::SynthNode;
+    use std::time::Duration;
+
+    fn tiny_service(job_limits: QueueLimits) -> Service {
+        let engine = Engine::builder(SynthNode::small(), PipelineConfig::tiny())
+            .seed(3)
+            .untrained_engine()
+            .expect("tiny config is valid");
+        Service::new(
+            &engine,
+            ServiceOptions {
+                threads: 2,
+                job_limits,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn initial_job_matches_a_solo_session() {
+        let service = tiny_service(QueueLimits::default());
+        let mut solo = service.engine().session_seeded(7);
+        let (generated, legal) = solo.initial_generation().expect("solo runs");
+        let handle = service
+            .submit(JobSpec::initial().with_seed(7))
+            .expect("admitted");
+        let outcome = handle.wait();
+        assert!(outcome.is_completed(), "outcome was: {outcome}");
+        let report = outcome.into_report().expect("completed carries a report");
+        assert_eq!((report.generated, report.legal), (generated, legal));
+        assert_eq!(report.library.patterns(), solo.library().patterns());
+        assert!(report.iterations.is_empty());
+        let stats = service.stats();
+        assert_eq!(stats.finished.get(QosClass::Batch), 1);
+        assert_eq!(stats.active.total(), 0);
+    }
+
+    #[test]
+    fn iterative_job_matches_a_solo_session() {
+        let service = tiny_service(QueueLimits::default());
+        let mut solo = service.engine().session_seeded(11);
+        solo.initial_generation().expect("solo runs");
+        solo.seed_starters();
+        let solo_stats = solo.iterate(2).expect("solo iterates");
+        let handle = service
+            .submit(JobSpec::iterative(2).with_seed(11))
+            .expect("admitted");
+        let report = handle.wait().into_report().expect("job completes");
+        assert_eq!(report.iterations, solo_stats);
+        assert_eq!(report.library.patterns(), solo.library().patterns());
+    }
+
+    #[test]
+    fn budget_truncates_single_round_jobs() {
+        let service = tiny_service(QueueLimits::default());
+        let handle = service
+            .submit(JobSpec::initial().with_budget(5))
+            .expect("admitted");
+        let report = handle.wait().into_report().expect("job completes");
+        assert_eq!(report.generated, 5, "budget must truncate the request");
+    }
+
+    #[test]
+    fn job_admission_rejects_and_recovers() {
+        let service = tiny_service(QueueLimits {
+            interactive: 1,
+            batch: 8,
+            best_effort: 8,
+        });
+        let slow = service
+            .submit(JobSpec::iterative(2).with_class(QosClass::Interactive))
+            .expect("first interactive job is admitted");
+        // The class is at its bound: the second submit must be refused
+        // without touching the first.
+        let err = service
+            .submit(JobSpec::initial().with_class(QosClass::Interactive))
+            .unwrap_err();
+        assert!(
+            matches!(err, PpError::Rejected { .. }),
+            "wrong error: {err}"
+        );
+        assert!(err.to_string().contains("interactive"), "reason: {err}");
+        // Other classes still have room.
+        let batch = service.submit(JobSpec::initial()).expect("batch admitted");
+        assert!(batch.wait().is_completed());
+        // Capacity frees once the slow job resolves; the retry lands.
+        assert!(slow.wait().is_completed());
+        let retry = service
+            .submit(JobSpec::initial().with_class(QosClass::Interactive))
+            .expect("slot freed after completion");
+        assert!(retry.wait().is_completed());
+        let stats = service.stats();
+        assert_eq!(stats.rejected.get(QosClass::Interactive), 1);
+        assert_eq!(stats.submitted.get(QosClass::Interactive), 2);
+    }
+
+    #[test]
+    fn cancellation_resolves_to_cancelled_with_partial_results() {
+        let service = tiny_service(QueueLimits::default());
+        let handle = service.submit(JobSpec::initial()).expect("admitted");
+        handle.cancel();
+        match handle.wait() {
+            JobOutcome::Cancelled(report) => {
+                assert!(report.generated < 200, "cancel must stop the round early");
+            }
+            // The round may already have finished on a fast box; both
+            // terminals are legitimate, anything else is not.
+            JobOutcome::Completed(_) => {}
+            other => panic!("unexpected outcome: {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_shaping_fails_fast_without_taking_a_slot() {
+        let service = tiny_service(QueueLimits::default());
+        let mut bad = PipelineConfig::tiny();
+        bad.variations = 0;
+        let err = service
+            .submit(JobSpec::initial().with_config(bad))
+            .unwrap_err();
+        assert!(matches!(err, PpError::Config(_)), "wrong error: {err}");
+        assert_eq!(service.stats().submitted.total(), 0);
+    }
+
+    /// A panic inside a round must still settle the job: the waiter
+    /// gets a `Failed` outcome (never a deadlock) and the class's
+    /// admission slot frees for the next tenant.
+    #[test]
+    fn panicking_job_settles_with_failed_and_frees_the_slot() {
+        struct PanicSampler;
+        impl crate::stages::Sampler for PanicSampler {
+            fn sample(
+                &self,
+                _jobs: &JobSet,
+                _seed: u64,
+            ) -> Result<Vec<crate::pipeline::RawSample>, PpError> {
+                panic!("sampler exploded");
+            }
+        }
+        let engine = Engine::builder(SynthNode::small(), PipelineConfig::tiny())
+            .sampler(PanicSampler)
+            .untrained_engine()
+            .expect("tiny config is valid");
+        let service = Service::new(
+            &engine,
+            ServiceOptions {
+                threads: 1,
+                job_limits: QueueLimits::uniform(1),
+                ..Default::default()
+            },
+        );
+        let handle = service.submit(JobSpec::initial()).expect("admitted");
+        match handle.wait() {
+            JobOutcome::Failed(e) => {
+                assert!(e.to_string().contains("panicked"), "wrong error: {e}")
+            }
+            other => panic!("expected Failed, got: {other}"),
+        }
+        assert_eq!(service.stats().active.total(), 0, "slot must free");
+        // The freed slot admits the next job in the same class.
+        let retry = service.submit(JobSpec::initial()).expect("slot freed");
+        assert!(matches!(retry.wait(), JobOutcome::Failed(_)));
+    }
+
+    /// A deadline too far in the future to represent as an `Instant`
+    /// degrades to "no deadline" instead of panicking mid-submit.
+    #[test]
+    fn unrepresentable_deadlines_do_not_panic() {
+        let service = tiny_service(QueueLimits::default());
+        let handle = service
+            .submit(
+                JobSpec::initial()
+                    .with_budget(2)
+                    .with_deadline(Duration::MAX),
+            )
+            .expect("admitted");
+        let report = handle.wait().into_report().expect("job completes");
+        assert_eq!(report.generated, 2);
+    }
+
+    #[test]
+    fn raw_jobs_run_explicit_requests() {
+        let service = tiny_service(QueueLimits::default());
+        let starters = service.engine().starters().to_vec();
+        let masks = pp_inpaint::MaskSet::Default.masks(service.engine().node().clip());
+        let request = GenerationRequest::new(JobSet::cycle(&starters, &masks, 6), 13);
+        let handle = service
+            .submit(JobSpec::raw(request).with_class(QosClass::BestEffort))
+            .expect("admitted");
+        let report = handle.wait().into_report().expect("job completes");
+        assert_eq!(report.generated, 6);
+        let sched = service.scheduler_stats();
+        assert_eq!(sched.admitted.get(QosClass::BestEffort), 1);
+    }
+}

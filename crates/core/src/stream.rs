@@ -1,9 +1,12 @@
 //! Streaming generation requests: what to sample and how to observe it.
 
+use crate::error::PpError;
 use crate::jobs::JobSet;
+use crate::jobspec::QosClass;
 use pp_geometry::Layout;
 use pp_inpaint::Mask;
 use std::sync::Arc;
+use std::time::Duration;
 
 pub use pp_diffusion::CancelToken;
 
@@ -39,6 +42,16 @@ pub struct StreamOptions {
     /// for the bare `run_round` harness). Any value produces
     /// bit-identical libraries — admission is reassembled in job order.
     pub tail_threads: Option<usize>,
+    /// QoS class attached to scheduler submissions made under these
+    /// options: it selects the admission queue and the share weight
+    /// under class-aware policies ([`crate::WeightedFair`]). Ignored by
+    /// private (non-scheduled) worker pools.
+    pub class: QosClass,
+    /// Soft deadline attached to scheduler submissions, measured from
+    /// the moment of submission. Advisory: [`crate::DeadlineFirst`]
+    /// dispatches earlier deadlines first; nothing is aborted when one
+    /// passes.
+    pub deadline: Option<Duration>,
 }
 
 impl std::fmt::Debug for StreamOptions {
@@ -48,6 +61,8 @@ impl std::fmt::Debug for StreamOptions {
             .field("progress", &self.progress.as_ref().map(|_| "<hook>"))
             .field("capacity", &self.capacity)
             .field("tail_threads", &self.tail_threads)
+            .field("class", &self.class)
+            .field("deadline", &self.deadline)
             .finish()
     }
 }
@@ -66,18 +81,41 @@ impl StreamOptions {
     }
 
     /// Options with a per-worker buffer bound (in micro-batches).
-    /// Clamped to at least 1: the delivery channels cannot be
-    /// rendezvous-only, and `0` must not silently mean "unbounded"
-    /// (that is what leaving the field `None` does).
-    pub fn with_capacity(mut self, capacity: usize) -> Self {
-        self.capacity = Some(capacity.max(1));
-        self
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Config`] for `capacity == 0`: the delivery channels
+    /// cannot be rendezvous-only, and `0` must not silently mean
+    /// "unbounded" (that is what leaving the field `None` does).
+    pub fn with_capacity(mut self, capacity: usize) -> Result<Self, PpError> {
+        if capacity == 0 {
+            return Err(PpError::Config(
+                "capacity: 0 micro-batches would make delivery rendezvous-only; \
+                 use 1 for the tightest backpressure or leave the field None for unbounded"
+                    .into(),
+            ));
+        }
+        self.capacity = Some(capacity);
+        Ok(self)
     }
 
     /// Options with an explicit tail worker count (`0` = serial),
     /// overriding the pipeline configuration's default.
     pub fn with_tail_threads(mut self, tail_threads: usize) -> Self {
         self.tail_threads = Some(tail_threads);
+        self
+    }
+
+    /// Options with a QoS class for scheduler submissions.
+    pub fn with_class(mut self, class: QosClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Options with a soft deadline (from submission) for scheduler
+    /// submissions.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -126,6 +164,27 @@ mod tests {
     use super::*;
     use pp_inpaint::MaskSet;
     use pp_pdk::SynthNode;
+
+    #[test]
+    fn zero_capacity_is_rejected_at_construction() {
+        let err = StreamOptions::default().with_capacity(0).unwrap_err();
+        assert!(matches!(err, PpError::Config(_)), "wrong error: {err}");
+        assert!(err.to_string().contains("capacity"), "message was: {err}");
+        let opts = StreamOptions::default().with_capacity(1).unwrap();
+        assert_eq!(opts.capacity, Some(1));
+    }
+
+    #[test]
+    fn qos_options_default_and_chain() {
+        let opts = StreamOptions::default();
+        assert_eq!(opts.class, QosClass::Batch);
+        assert_eq!(opts.deadline, None);
+        let opts = opts
+            .with_class(QosClass::Interactive)
+            .with_deadline(Duration::from_millis(50));
+        assert_eq!(opts.class, QosClass::Interactive);
+        assert_eq!(opts.deadline, Some(Duration::from_millis(50)));
+    }
 
     #[test]
     fn fan_out_matches_nested_order() {

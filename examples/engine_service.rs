@@ -1,15 +1,21 @@
-//! A miniature multi-tenant service on one engine: two scripted
-//! "tenants" with different request shapes share one trained model
-//! through the round-robin scheduler, then everything is persisted and
-//! resumed from a directory store — the shape of a real PDK-loop
-//! deployment (train once, serve many, survive restarts).
+//! A miniature multi-tenant service on one engine, driven through the
+//! QoS front door: tenants describe work as declarative `JobSpec`s
+//! (kind, QoS class, deadline, budget, config shaping) and the
+//! `Service` runs them over one shared model with class-weighted
+//! fairness, bounded per-class admission, and scheduler observability.
+//! One tenant deliberately overflows its admission bound, sees a typed
+//! rejection, and retries once capacity frees — the shape of a real
+//! PDK-loop deployment front end. (Engine/session persistence is
+//! unchanged: `engine.save(&store)` et al., see `Engine::save`.)
 //!
 //! Run with: `cargo run --release --example engine_service`
 
 use patternpaint::core::{
-    DirStore, Engine, PatternPaint, PipelineConfig, PpError, Session, StreamOptions,
+    JobSpec, PatternPaint, PipelineConfig, PpError, QosClass, QueueLimits, SchedulerOptions,
+    Service, ServiceOptions, WeightedFair,
 };
 use patternpaint::pdk::SynthNode;
+use std::time::Duration;
 
 fn main() -> Result<(), PpError> {
     let node = SynthNode::default();
@@ -18,90 +24,128 @@ fn main() -> Result<(), PpError> {
         .seed(42)
         .pretrained()?;
     pp.finetune()?;
-    // Freeze the trained stack into an immutable, shareable snapshot.
+    // Freeze the trained stack into an immutable, shareable snapshot
+    // and open the front door over it: a WeightedFair scheduler
+    // (interactive 4 : batch 2 : best-effort 1 micro-batch shares) and
+    // a deliberately tight interactive job bound so the rejection path
+    // below is reproducible.
     let engine = pp.into_engine();
+    let service = Service::new(
+        &engine,
+        ServiceOptions {
+            threads: 4,
+            scheduler: SchedulerOptions::new().policy(WeightedFair),
+            job_limits: QueueLimits {
+                interactive: 1,
+                batch: 4,
+                best_effort: 8,
+            },
+        },
+    );
 
-    // One worker pool serves every tenant fairly, micro-batch by
-    // micro-batch; each tenant keeps its own library, seed and knobs.
-    let scheduler = engine.scheduler(4);
+    // Tenant A: a designer at a prompt — interactive class, a soft
+    // deadline, the full iterative pipeline.
+    let tenant_a = service.submit(
+        JobSpec::iterative(2)
+            .with_class(QosClass::Interactive)
+            .with_deadline(Duration::from_secs(60))
+            .with_seed(1001),
+    )?;
+    println!(
+        "tenant-a admitted: job {} [{}]",
+        tenant_a.id(),
+        tenant_a.class()
+    );
 
-    // Tenant A: the paper's default request shape.
-    let mut tenant_a = engine
-        .session_seeded(1001)
-        .with_options(StreamOptions::default().with_progress(|p| {
-            if p.completed == p.total {
-                eprintln!("  [tenant-a] sampled {}/{}", p.completed, p.total);
-            }
-        }))
-        .attach(&scheduler);
-
-    // Tenant B: double variations, tighter selection, parallel tail.
+    // Tenant B: a background library grower — batch class, shaped
+    // request (double variations, tighter selection, parallel tail)
+    // and a sample budget.
     let mut cfg_b = *engine.config();
     cfg_b.variations = 2;
     cfg_b.select_k = 5;
     cfg_b.tail_threads = 2;
-    let mut tenant_b = engine
-        .session_seeded(2002)
-        .with_config(cfg_b)?
-        .with_options(StreamOptions::default().with_progress(|p| {
-            if p.completed == p.total {
-                eprintln!("  [tenant-b] sampled {}/{}", p.completed, p.total);
-            }
-        }))
-        .attach(&scheduler);
+    let tenant_b = service.submit(
+        JobSpec::iterative(2)
+            .with_class(QosClass::Batch)
+            .with_seed(2002)
+            .with_config(cfg_b)
+            .with_budget(500),
+    )?;
+    println!(
+        "tenant-b admitted: job {} [{}]",
+        tenant_b.id(),
+        tenant_b.class()
+    );
 
-    println!("serving two tenants concurrently on one model...");
-    std::thread::scope(|s| {
-        let a = s.spawn(|| -> Result<(), PpError> {
-            tenant_a.initial_generation()?;
-            tenant_a.seed_starters();
-            tenant_a.iterate(2)?;
-            Ok(())
-        });
-        let b = (|| -> Result<(), PpError> {
-            tenant_b.initial_generation()?;
-            tenant_b.seed_starters();
-            tenant_b.iterate(2)?;
-            Ok(())
-        })();
-        a.join().expect("tenant A thread")?;
-        b
-    })?;
-    for (name, session) in [("tenant-a", &tenant_a), ("tenant-b", &tenant_b)] {
-        let stats = session.library().stats();
-        println!(
-            "  {name}: generated {} | legal {} | unique {} | H1 {:.2} | H2 {:.2}",
-            session.generated_total(),
-            session.legal_total(),
-            stats.unique,
-            stats.h1,
-            stats.h2,
-        );
+    // A second interactive tenant while tenant A still holds the only
+    // interactive slot: admission control rejects it with a typed
+    // error instead of queueing without bound.
+    let impatient = JobSpec::initial()
+        .with_class(QosClass::Interactive)
+        .with_seed(3003)
+        .with_budget(60);
+    match service.submit(impatient.clone()) {
+        Err(PpError::Rejected { reason }) => {
+            println!("tenant-c rejected as expected: {reason}")
+        }
+        Err(e) => return Err(e),
+        Ok(_) => println!("tenant-c admitted (tenant A already finished — fast machine!)"),
     }
 
-    // Persist the whole deployment: model checkpoint + per-tenant
-    // libraries and progress cursors.
-    let root = std::env::temp_dir().join("patternpaint-engine-service");
-    let store = DirStore::open(&root)?;
-    engine.save(&store)?;
-    tenant_a.save(&store, "tenant-a")?;
-    tenant_b.save(&store, "tenant-b")?;
-    println!("saved engine + sessions to {}", root.display());
-
-    // "Restart": reopen everything and run one more iteration for
-    // tenant A, exactly where it left off.
-    let engine2 = Engine::open(&store)?;
-    let mut resumed = Session::resume(&engine2, &store, "tenant-a")?;
+    // Tenant A resolves; its interactive slot frees and the retry lands.
+    let report_a = tenant_a
+        .wait()
+        .into_report()
+        .expect("tenant A runs to completion");
     println!(
-        "resumed tenant-a at iteration cursor {} with {} patterns",
-        resumed.next_iteration(),
-        resumed.library().len()
+        "tenant-a done: generated {} | legal {} | unique {}",
+        report_a.generated,
+        report_a.legal,
+        report_a.library.len()
     );
-    resumed.iterate(1)?;
-    let stats = resumed.library().stats();
+    let tenant_c = service.submit(impatient)?;
     println!(
-        "  tenant-a after resume: unique {} | H1 {:.2} | H2 {:.2}",
-        stats.unique, stats.h1, stats.h2
+        "tenant-c retry admitted: job {} [{}]",
+        tenant_c.id(),
+        tenant_c.class()
+    );
+
+    for (name, handle) in [("tenant-b", tenant_b), ("tenant-c", tenant_c)] {
+        let outcome = handle.wait();
+        match outcome.report() {
+            Some(report) => {
+                let stats = report.library.stats();
+                println!(
+                    "{name} done: generated {} | legal {} | unique {} | H1 {:.2} | H2 {:.2}",
+                    report.generated, report.legal, stats.unique, stats.h1, stats.h2,
+                );
+            }
+            None => println!("{name}: {outcome}"),
+        }
+    }
+
+    // Scheduler observability: who actually got the micro-batches.
+    let sched = service.scheduler_stats();
+    println!(
+        "scheduler [{}]: {} micro-batches, {} samples, wait {:.1}ms, turnaround {:.1}ms",
+        sched.policy,
+        sched.micro_batches,
+        sched.samples,
+        sched.wait_micros as f64 / 1e3,
+        sched.turnaround_micros as f64 / 1e3,
+    );
+    for s in &sched.per_session {
+        println!(
+            "  session {} [{}]: {} micro-batches, {} samples",
+            s.session, s.class, s.micro_batches, s.samples
+        );
+    }
+    let jobs = service.stats();
+    println!(
+        "front door: {} submitted, {} rejected, {} finished",
+        jobs.submitted.total(),
+        jobs.rejected.total(),
+        jobs.finished.total()
     );
     Ok(())
 }
