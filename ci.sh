@@ -3,6 +3,8 @@
 # Run from the repository root: ./ci.sh
 # Pass --bench-smoke to also exercise the benchmark binaries at reduced
 # job counts (no BENCH_*.json is written) so they cannot silently rot.
+# Pass --chaos to additionally sweep the deterministic fault-injection
+# suite (tests/chaos_scheduler.rs) across fixed PP_CHAOS_SEED values.
 set -euo pipefail
 
 echo "==> cargo build --release"
@@ -12,7 +14,7 @@ echo "==> cargo build --release --examples"
 cargo build --release --examples
 
 echo "==> cargo test -q"
-cargo test -q
+RUST_BACKTRACE=1 cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
@@ -28,6 +30,17 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     PP_BENCH_SMOKE=1 PP_BENCH_JOBS=8 cargo run --release -q -p pp-bench --bin sampling_bench
     echo "==> bench smoke: round_bench (200 jobs)"
     PP_BENCH_SMOKE=1 PP_BENCH_JOBS=200 cargo run --release -q -p pp-bench --bin round_bench
+fi
+
+if [[ "${1:-}" == "--chaos" ]]; then
+    # Fixed seeds so a failure is reproducible by rerunning the same
+    # seed; seeded_fault_plan_is_always_survivable derives its whole
+    # fault schedule (which tenant panics/errors/stalls, at which
+    # micro-batch) from PP_CHAOS_SEED.
+    for seed in 3 47 20260807; do
+        echo "==> chaos sweep: PP_CHAOS_SEED=$seed"
+        PP_CHAOS_SEED=$seed RUST_BACKTRACE=1 cargo test -q --test chaos_scheduler
+    done
 fi
 
 echo "ci.sh: all checks passed"

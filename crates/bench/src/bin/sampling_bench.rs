@@ -25,7 +25,13 @@
 //!      `Service` over a `WeightedFair` scheduler, timed to the last
 //!      `JobOutcome` and followed by a `SchedulerStats` snapshot
 //!      (queue depths, per-session micro-batch shares, wait /
-//!      turnaround counters).
+//!      turnaround counters);
+//!    * `faulted_clean` — the supervision-overhead guard: the full job
+//!      batch as a clean tenant while a one-job tenant absorbs an
+//!      injected worker panic and retries. The clean tenant is what's
+//!      timed — catch_unwind isolation, poison-safe locks, and the
+//!      fault hook must cost ~nothing on the happy path, so this mode
+//!      stays within a few percent of `batched_gemm`.
 //!
 //! All modes run the same worker-thread count, so the reported speedup
 //! is purely kernels + batching. Results go to `BENCH_sampling.json` at
@@ -37,8 +43,9 @@
 //! bench-smoke step uses both so the binary cannot silently rot.)
 
 use patternpaint_core::{
-    Engine, JobSet, JobSpec, PipelineConfig, QosClass, RawSample, Sampler, ScheduledSampler,
-    SchedulerOptions, Service, ServiceOptions, StreamOptions, WeightedFair,
+    Engine, Fault, FaultPlan, JobSet, JobSpec, PipelineConfig, QosClass, RawSample, RetryPolicy,
+    Sampler, ScheduledSampler, SchedulerOptions, Service, ServiceOptions, StreamOptions,
+    WeightedFair,
 };
 use pp_diffusion::{CancelToken, DiffusionConfig, DiffusionModel};
 use pp_geometry::GrayImage;
@@ -270,7 +277,80 @@ fn main() {
             stats,
         )
     };
-    let modes: Vec<ModeResult> = modes.into_iter().chain([qos_mode]).collect();
+    // The supervision-overhead guard: the same full job batch as a
+    // clean Interactive tenant while a one-job BestEffort tenant
+    // absorbs an injected worker panic and retries. Only the clean
+    // tenant is timed; the faulted tenant's real work (one sample,
+    // since the panic fires before any DDIM compute) is what bounds
+    // the interference. Supervision — catch_unwind isolation,
+    // poison-safe locks, the fault hook's single branch — must cost
+    // ~nothing on this happy path.
+    let (faulted_mode, faulted_stats, faulted_retries) = {
+        // Sessions are allocated in submit order: warmup = 1,
+        // clean = 2, faulted = 3.
+        let service = Service::new(
+            &engine,
+            ServiceOptions {
+                threads,
+                scheduler: SchedulerOptions::new()
+                    .policy(WeightedFair)
+                    .faults(FaultPlan::new().inject(3, Fault::PanicAt { batch: 0 })),
+                ..Default::default()
+            },
+        );
+        let request = |n: usize, seed: u64| {
+            patternpaint_core::GenerationRequest::new(JobSet::cycle(&starters, &masks, n), seed)
+        };
+        // Warm up worker U-Net pools like the other modes.
+        service
+            .submit(JobSpec::raw(request(threads.min(jobs.len()), 1)))
+            .expect("warmup job admitted")
+            .wait()
+            .into_report()
+            .expect("warmup job completes");
+        let t0 = Instant::now();
+        let clean = service
+            .submit(JobSpec::raw(request(jobs.len(), 42)).with_class(QosClass::Interactive))
+            .expect("clean tenant admitted");
+        let faulted = service
+            .submit(
+                JobSpec::raw(request(1, 43))
+                    .with_class(QosClass::BestEffort)
+                    .with_retry(RetryPolicy::new(2, std::time::Duration::from_millis(1))),
+            )
+            .expect("faulted tenant admitted");
+        let clean_outcome = clean.wait();
+        let seconds = t0.elapsed().as_secs_f64();
+        let clean_report = clean_outcome
+            .into_report()
+            .expect("clean tenant completes despite the neighbouring panic");
+        assert_eq!(clean_report.generated, jobs.len());
+        assert_eq!(clean_report.attempts, 1, "the clean tenant never retried");
+        let faulted_report = faulted
+            .wait()
+            .into_report()
+            .expect("faulted tenant retries to completion");
+        assert_eq!(
+            faulted_report.attempts, 2,
+            "the injected panic forced exactly one retry"
+        );
+        let retries = service.stats().retries;
+        let stats = service.scheduler_stats();
+        assert_eq!(stats.worker_panics, 1, "the one injected panic was caught");
+        assert_eq!(stats.workers_lost, 0, "the panic never escaped the batch");
+        let steps = (jobs.len() * cfg.model.ddim_steps) as f64;
+        (
+            ModeResult {
+                name: "faulted_clean",
+                seconds,
+                samples_per_sec: jobs.len() as f64 / seconds,
+                ns_per_step: seconds * 1e9 / steps,
+            },
+            stats,
+            retries,
+        )
+    };
+    let modes: Vec<ModeResult> = modes.into_iter().chain([qos_mode, faulted_mode]).collect();
 
     println!();
     println!(
@@ -287,11 +367,21 @@ fn main() {
     let stream_ratio = modes[3].samples_per_sec / modes[2].samples_per_sec;
     let engine_ratio = modes[4].samples_per_sec / modes[2].samples_per_sec;
     let qos_ratio = modes[5].samples_per_sec / modes[2].samples_per_sec;
+    let faulted_ratio = modes[6].samples_per_sec / modes[2].samples_per_sec;
+    let faulted_vs_qos = modes[6].samples_per_sec / modes[5].samples_per_sec;
     println!();
     println!("batched_gemm vs per_sample_naive (pre-rework path): {speedup:.2}x");
     println!("streamed_gemm vs batched_gemm (stream delivery overhead): {stream_ratio:.2}x");
     println!("engine_sched vs batched_gemm (shared-scheduler overhead): {engine_ratio:.2}x");
     println!("qos_sched vs batched_gemm (front door + policy + tail overhead): {qos_ratio:.2}x");
+    println!(
+        "faulted_clean vs batched_gemm (supervision + neighbouring fault overhead): \
+         {faulted_ratio:.2}x"
+    );
+    println!(
+        "faulted_clean scheduler stats: worker_panics={} workers_lost={} retries={}",
+        faulted_stats.worker_panics, faulted_stats.workers_lost, faulted_retries
+    );
     println!();
     println!(
         "qos_sched scheduler stats: policy={} micro_batches={} wait={:.1}ms turnaround={:.1}ms",
@@ -361,6 +451,13 @@ fn main() {
         "engine_sched_vs_batched": engine_ratio,
         "qos_sched_vs_batched": qos_ratio,
         "qos_sched_stats": qos_stats_row,
+        "faulted_clean_vs_batched": faulted_ratio,
+        "faulted_clean_vs_qos_sched": faulted_vs_qos,
+        "faulted_stats": json!({
+            "worker_panics": faulted_stats.worker_panics,
+            "workers_lost": faulted_stats.workers_lost,
+            "retries": faulted_retries,
+        }),
     });
     if smoke {
         println!("smoke mode: skipping BENCH_sampling.json");

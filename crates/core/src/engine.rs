@@ -63,7 +63,8 @@ use crate::library::PatternLibrary;
 use crate::pipeline::{GenerationRound, IterationStats};
 use crate::scheduler::{ScheduledSampler, Scheduler, SchedulerHandle, SchedulerOptions};
 use crate::stages::{
-    run_round_into, DiffusionSampler, PatternDenoiser, SampleStream, Sampler, Selector, Validator,
+    run_round_into_partial, DiffusionSampler, PatternDenoiser, SampleStream, Sampler, Selector,
+    Validator,
 };
 use crate::stream::{GenerationRequest, StreamOptions};
 use pp_diffusion::{load_checkpoint, read_config, save_checkpoint, write_config, DiffusionModel};
@@ -174,9 +175,28 @@ impl EngineCore {
         opts: &StreamOptions,
         library: &mut PatternLibrary,
     ) -> Result<(usize, usize), PpError> {
+        let (counts, error) = self.run_request_into_partial(cfg, sched, request, opts, library);
+        match error {
+            Some(e) => Err(e),
+            None => Ok(counts),
+        }
+    }
+
+    /// [`PatternPaintCore::run_request_into`] reporting partial
+    /// progress alongside the failure, so an erroring round (a hard
+    /// deadline, an aborted stream) still accounts the samples it
+    /// admitted before dying.
+    pub(crate) fn run_request_into_partial(
+        &self,
+        cfg: &PipelineConfig,
+        sched: Option<&SchedulerHandle>,
+        request: &GenerationRequest,
+        opts: &StreamOptions,
+        library: &mut PatternLibrary,
+    ) -> ((usize, usize), Option<PpError>) {
         let mut opts = opts.clone();
         opts.tail_threads = Some(opts.tail_threads.unwrap_or(cfg.tail_threads));
-        run_round_into(
+        run_round_into_partial(
             self.sampler(cfg, sched).as_ref(),
             self.denoiser.as_ref(),
             self.validator.as_ref(),
@@ -563,6 +583,16 @@ impl Session {
         self
     }
 
+    /// Routes sampling through an existing scheduler handle (same
+    /// session id as every other user of that handle). The service's
+    /// retry loop uses this so all attempts of one job share one
+    /// scheduler session — stats attribution and [`crate::FaultPlan`]
+    /// keying stay stable across retries.
+    pub(crate) fn attach_handle(mut self, handle: crate::scheduler::SchedulerHandle) -> Session {
+        self.scheduler = Some(handle);
+        self
+    }
+
     /// The session's stream options.
     pub fn options(&self) -> &StreamOptions {
         &self.opts
@@ -622,20 +652,28 @@ impl Session {
     /// returns `(generated, legal)` for the round and updates the
     /// cumulative counters.
     ///
+    /// On error the counters (and the library) still reflect every
+    /// sample admitted before the round died — a hard-deadline abort
+    /// keeps its partial results, which is what
+    /// [`crate::JobOutcome::TimedOut`] reports.
+    ///
     /// # Errors
     ///
     /// Anything [`Session::generate_stream`] reports.
     pub fn run_request(&mut self, request: &GenerationRequest) -> Result<(usize, usize), PpError> {
-        let (generated, legal) = self.core.run_request_into(
+        let ((generated, legal), error) = self.core.run_request_into_partial(
             &self.cfg,
             self.scheduler.as_ref(),
             request,
             &self.opts,
             &mut self.library,
-        )?;
+        );
         self.generated_total += generated;
         self.legal_total += legal;
-        Ok((generated, legal))
+        match error {
+            Some(e) => Err(e),
+            None => Ok((generated, legal)),
+        }
     }
 
     /// Stage 2 for this session: the initial generation round into the

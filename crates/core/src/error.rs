@@ -61,6 +61,23 @@ pub enum PpError {
     /// The artifact store under an engine/session save or resume
     /// failed.
     Artifact(ArtifactError),
+    /// A scheduler worker panicked while running this submission's
+    /// micro-batch. The panic was contained to the one submission (the
+    /// worker respawns; other tenants are untouched) and is considered
+    /// transient: a [`crate::RetryPolicy`] re-attempts jobs that fail
+    /// this way.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// A hard deadline passed before the work finished; the submission
+    /// was cooperatively cancelled between micro-batches. Jobs
+    /// resolving through the service surface this as
+    /// [`crate::JobOutcome::TimedOut`] with their partial results.
+    DeadlineExceeded {
+        /// How far past the deadline enforcement happened.
+        late_by: std::time::Duration,
+    },
 }
 
 impl fmt::Display for PpError {
@@ -81,7 +98,25 @@ impl fmt::Display for PpError {
             PpError::Rejected { reason } => write!(f, "admission rejected: {reason}"),
             PpError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             PpError::Artifact(e) => write!(f, "artifact error: {e}"),
+            PpError::WorkerPanic { detail } => {
+                write!(f, "scheduler worker panicked: {detail}")
+            }
+            PpError::DeadlineExceeded { late_by } => {
+                write!(f, "hard deadline exceeded ({late_by:?} past it)")
+            }
         }
+    }
+}
+
+impl PpError {
+    /// Whether the failure is *transient* — infrastructure damage that
+    /// a clean re-run can reasonably outlive — as opposed to a property
+    /// of the request itself. This is the classification
+    /// [`crate::RetryPolicy`] keys on: worker panics and I/O failures
+    /// retry; config, shape, admission and deadline failures do not
+    /// (re-running an invalid or expired request cannot fix it).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PpError::WorkerPanic { .. } | PpError::Io(_))
     }
 }
 
@@ -191,6 +226,43 @@ mod tests {
         }
         .into();
         assert!(e.source().expect("checkpoint source").source().is_none());
+    }
+
+    #[test]
+    fn transience_classifies_retryable_failures() {
+        assert!(PpError::WorkerPanic {
+            detail: "sampler exploded".into()
+        }
+        .is_transient());
+        assert!(PpError::Io(io::Error::new(io::ErrorKind::Interrupted, "blip")).is_transient());
+        for e in [
+            PpError::Config("bad".into()),
+            PpError::EmptyRequest,
+            PpError::Model("oops".into()),
+            PpError::Rejected {
+                reason: "full".into(),
+            },
+            PpError::DeadlineExceeded {
+                late_by: std::time::Duration::from_millis(3),
+            },
+        ] {
+            assert!(!e.is_transient(), "{e} must not retry");
+        }
+    }
+
+    #[test]
+    fn fault_variants_display_usefully() {
+        use std::error::Error as _;
+        let e = PpError::WorkerPanic {
+            detail: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("panicked"), "display was: {e}");
+        assert!(e.source().is_none(), "WorkerPanic is a leaf");
+        let e = PpError::DeadlineExceeded {
+            late_by: std::time::Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("deadline"), "display was: {e}");
+        assert!(e.source().is_none(), "DeadlineExceeded is a leaf");
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Deterministic fault injection for the scheduler's worker pool.
+//!
+//! The repository's robustness discipline is to *prove* fault handling
+//! by injecting damage and asserting the system contains it
+//! (`tests/failure_injection.rs` does this for the DRC layer). This
+//! module lifts that discipline to the serving layer: a [`FaultPlan`]
+//! is a seeded, fully deterministic schedule of faults — panics,
+//! transient errors, stalls — that the scheduler's workers consult
+//! immediately before running a micro-batch.
+//!
+//! A plan is keyed by `(session id, micro-batch ordinal)`: session ids
+//! are allocated in submission order (one per
+//! [`crate::Scheduler::handle`] / [`crate::Service::submit`] call) and
+//! the ordinal counts micro-batches *within* one submission, so a fault
+//! fires at the same logical point regardless of worker count or
+//! interleaving. Each scheduled fault fires **once** and is consumed —
+//! a retried submission starts a fresh ordinal sequence and only hits
+//! faults scheduled again for it (schedule the same fault twice to
+//! fail two attempts).
+//!
+//! Install a plan with [`crate::SchedulerOptions::faults`]. An empty
+//! plan (the default) costs a single branch per micro-batch on the
+//! dispatch path; `tests/chaos_scheduler.rs` and the `faulted` mode of
+//! `sampling_bench` are the intended consumers. Production services
+//! simply never install one.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One scheduled fault, applied to a worker right before it runs the
+/// targeted micro-batch (so an injected panic or error wastes no DDIM
+/// compute — the batch never starts).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic on the worker thread (exercises `catch_unwind` isolation,
+    /// worker respawn and the [`crate::PpError::WorkerPanic`] surface).
+    PanicAt {
+        /// Zero-based micro-batch ordinal within the submission.
+        batch: u64,
+    },
+    /// Fail the micro-batch with a transient I/O error
+    /// ([`crate::PpError::Io`], `ErrorKind::Interrupted` — the class of
+    /// failure a [`crate::RetryPolicy`] is for).
+    ErrAt {
+        /// Zero-based micro-batch ordinal within the submission.
+        batch: u64,
+    },
+    /// Sleep before running the micro-batch normally (exercises
+    /// deadline enforcement and queue-wait shedding; the batch still
+    /// completes and delivers).
+    StallFor {
+        /// Zero-based micro-batch ordinal within the submission.
+        batch: u64,
+        /// How long the worker sleeps before sampling.
+        duration: Duration,
+    },
+}
+
+impl Fault {
+    /// The micro-batch ordinal this fault targets.
+    pub fn batch(&self) -> u64 {
+        match self {
+            Fault::PanicAt { batch } | Fault::ErrAt { batch } | Fault::StallFor { batch, .. } => {
+                *batch
+            }
+        }
+    }
+}
+
+/// A deterministic schedule of [`Fault`]s, keyed by scheduler session
+/// id. Build one explicitly with [`FaultPlan::inject`] or derive a
+/// pseudo-random (but seed-stable) schedule with [`FaultPlan::seeded`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    by_session: BTreeMap<u64, Vec<Fault>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` for `session`. Scheduling the same fault
+    /// twice makes it fire on two separate occurrences of its batch
+    /// ordinal (e.g. the first two attempts of a retried submission).
+    pub fn inject(mut self, session: u64, fault: Fault) -> FaultPlan {
+        self.by_session.entry(session).or_default().push(fault);
+        self
+    }
+
+    /// A seed-stable pseudo-random plan: one fault per session in
+    /// `sessions`, with kind, target batch (below `batches`) and stall
+    /// length all derived from `seed` via SplitMix64. The same seed
+    /// always produces the same plan — this is what `ci.sh --chaos`
+    /// sweeps over fixed seeds.
+    pub fn seeded(seed: u64, sessions: std::ops::Range<u64>, batches: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let batches = batches.max(1);
+        for session in sessions {
+            let r = splitmix64(seed ^ session.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let batch = (r >> 8) % batches;
+            let fault = match r % 3 {
+                0 => Fault::PanicAt { batch },
+                1 => Fault::ErrAt { batch },
+                _ => Fault::StallFor {
+                    batch,
+                    duration: Duration::from_millis(1 + (r >> 40) % 20),
+                },
+            };
+            plan = plan.inject(session, fault);
+        }
+        plan
+    }
+
+    /// Whether the plan schedules nothing (the scheduler skips the
+    /// per-batch lookup entirely for empty plans).
+    pub fn is_empty(&self) -> bool {
+        self.by_session.values().all(Vec::is_empty)
+    }
+
+    /// Total faults still scheduled.
+    pub fn remaining(&self) -> usize {
+        self.by_session.values().map(Vec::len).sum()
+    }
+
+    /// Consumes and returns the first fault scheduled for
+    /// `(session, batch)`, if any.
+    pub(crate) fn take(&mut self, session: u64, batch: u64) -> Option<Fault> {
+        let faults = self.by_session.get_mut(&session)?;
+        let at = faults.iter().position(|f| f.batch() == batch)?;
+        Some(faults.remove(at))
+    }
+}
+
+/// SplitMix64: the standard 64-bit mixer — tiny, statistically solid,
+/// and dependency-free (the compat `rand` stand-in is not needed here).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_consumed_once_in_schedule_order() {
+        let mut plan = FaultPlan::new()
+            .inject(1, Fault::PanicAt { batch: 0 })
+            .inject(1, Fault::PanicAt { batch: 0 })
+            .inject(2, Fault::ErrAt { batch: 3 });
+        assert_eq!(plan.remaining(), 3);
+        assert!(!plan.is_empty());
+        // Wrong session / wrong batch: nothing fires.
+        assert_eq!(plan.take(3, 0), None);
+        assert_eq!(plan.take(1, 1), None);
+        // Duplicates fire once each.
+        assert_eq!(plan.take(1, 0), Some(Fault::PanicAt { batch: 0 }));
+        assert_eq!(plan.take(1, 0), Some(Fault::PanicAt { batch: 0 }));
+        assert_eq!(plan.take(1, 0), None);
+        assert_eq!(plan.take(2, 3), Some(Fault::ErrAt { batch: 3 }));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_seed_stable_and_bounded() {
+        let a = FaultPlan::seeded(0xC4A05, 1..5, 4);
+        let b = FaultPlan::seeded(0xC4A05, 1..5, 4);
+        let c = FaultPlan::seeded(0xC4A06, 1..5, 4);
+        assert_eq!(a.by_session, b.by_session, "same seed, same plan");
+        assert_ne!(a.by_session, c.by_session, "different seed, different plan");
+        assert_eq!(a.remaining(), 4, "one fault per session");
+        for faults in a.by_session.values() {
+            for f in faults {
+                assert!(f.batch() < 4, "batch within bound: {f:?}");
+                if let Fault::StallFor { duration, .. } = f {
+                    assert!(*duration <= Duration::from_millis(20));
+                }
+            }
+        }
+    }
+}

@@ -90,6 +90,70 @@ impl QosClass {
     }
 }
 
+/// How the service re-runs a job that failed on a *transient* fault
+/// (one where [`PpError::is_transient`] is true: a worker panic or an
+/// I/O failure). Non-transient failures — bad config, admission
+/// rejection, an expired deadline — never retry, because re-running an
+/// invalid or expired request cannot fix it.
+///
+/// Retries are deterministic: every attempt runs on a fresh session
+/// built from the same spec (same seed, same config), so an attempt
+/// that succeeds produces the library bit-identical to a run that never
+/// faulted. Backoff between attempts is exponential and bounded:
+/// attempt `n+1` waits `backoff × 2ⁿ⁻¹`, capped at 5 seconds, and the
+/// wait itself is cancellable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first run included; `1` means no retry.
+    /// (Zero is treated as 1 — a job always runs at least once.)
+    pub max_attempts: u32,
+    /// Base backoff before the second attempt; later attempts double
+    /// it (capped at 5 s).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// Ceiling on a single backoff sleep, whatever the doubling says.
+    pub const MAX_BACKOFF: Duration = Duration::from_secs(5);
+
+    /// No retries: the job runs exactly once (the default).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `max_attempts` total attempts with exponential backoff
+    /// starting at `backoff`.
+    pub fn new(max_attempts: u32, backoff: Duration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff,
+        }
+    }
+
+    /// The backoff to sleep before `attempt` (1-based; attempt 1 is the
+    /// first run and never waits): `backoff × 2^(attempt-2)`, capped at
+    /// [`RetryPolicy::MAX_BACKOFF`].
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 || self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        // Past 2^32 the cap has long since won; clamp the shift.
+        let doublings = (attempt - 2).min(31);
+        self.backoff
+            .saturating_mul(1u32 << doublings)
+            .min(RetryPolicy::MAX_BACKOFF)
+    }
+}
+
 /// What kind of workload a [`JobSpec`] describes.
 #[non_exhaustive]
 #[derive(Debug, Clone)]
@@ -136,10 +200,19 @@ pub struct JobSpec {
     pub kind: JobKind,
     /// QoS class for admission control and policy-weighted scheduling.
     pub class: QosClass,
-    /// Soft deadline, measured from submission. Purely advisory: it
-    /// orders dispatch under [`crate::DeadlineFirst`] and never causes
-    /// a rejection or abort on its own.
+    /// Deadline, measured from submission. Soft by default (purely
+    /// advisory: it orders dispatch under [`crate::DeadlineFirst`] and
+    /// never causes a rejection or abort on its own); see
+    /// [`JobSpec::hard_deadline`] for enforcement.
     pub deadline: Option<Duration>,
+    /// Makes [`JobSpec::deadline`] *hard*: past it, the job is
+    /// cooperatively cancelled between micro-batches and resolves to
+    /// [`crate::JobOutcome::TimedOut`] carrying whatever partial
+    /// results the rounds that finished produced.
+    pub hard_deadline: bool,
+    /// Retry policy for transient faults (worker panics, I/O errors).
+    /// Defaults to [`RetryPolicy::none`].
+    pub retry: RetryPolicy,
     /// Sample budget: single-round kinds truncate their request to at
     /// most this many samples; [`JobKind::Iterative`] stops scheduling
     /// further rounds once the generated total reaches it. `None` is
@@ -159,6 +232,8 @@ impl JobSpec {
             kind,
             class: QosClass::default(),
             deadline: None,
+            hard_deadline: false,
+            retry: RetryPolicy::none(),
             budget: None,
             seed: None,
             config: None,
@@ -193,6 +268,21 @@ impl JobSpec {
         self
     }
 
+    /// Sets a *hard* deadline (from submission): past it the job is
+    /// cancelled between micro-batches and resolves to
+    /// [`crate::JobOutcome::TimedOut`] with partial results.
+    pub fn with_hard_deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self.hard_deadline = true;
+        self
+    }
+
+    /// Sets the retry policy for transient faults.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> JobSpec {
+        self.retry = retry;
+        self
+    }
+
     /// Sets the sample budget.
     pub fn with_budget(mut self, budget: usize) -> JobSpec {
         self.budget = Some(budget);
@@ -223,7 +313,9 @@ impl JobSpec {
         use crate::artifact::ByteWriter;
         let mut w = ByteWriter::new();
         w.bytes(b"PPJS");
-        w.u32(1); // spec version
+        // Version 2 appends hard_deadline + retry after the seed;
+        // version-1 blobs still decode (with soft deadline, no retry).
+        w.u32(2);
         match &self.kind {
             JobKind::Initial => w.u8(0),
             JobKind::Iterative { iterations } => {
@@ -240,6 +332,9 @@ impl JobSpec {
         opt_u64(&mut w, self.deadline.map(|d| d.as_micros() as u64));
         opt_u64(&mut w, self.budget.map(|b| b as u64));
         opt_u64(&mut w, self.seed);
+        w.u8(u8::from(self.hard_deadline));
+        w.u64(u64::from(self.retry.max_attempts));
+        w.u64(self.retry.backoff.as_micros() as u64);
         match &self.config {
             None => w.u8(0),
             Some(cfg) => {
@@ -263,7 +358,7 @@ impl JobSpec {
             return Err(corrupt("missing PPJS magic".into()));
         }
         let version = r.u32("version").map_err(corrupt)?;
-        if version != 1 {
+        if !(1..=2).contains(&version) {
             return Err(corrupt(format!("unsupported spec version {version}")));
         }
         let kind = match r.u8("kind").map_err(corrupt)? {
@@ -277,6 +372,22 @@ impl JobSpec {
         let deadline = opt_read(&mut r, "deadline")?.map(Duration::from_micros);
         let budget = opt_read(&mut r, "budget")?.map(|b| b as usize);
         let seed = opt_read(&mut r, "seed")?;
+        let (hard_deadline, retry) = if version >= 2 {
+            let hard = match r.u8("hard deadline flag").map_err(corrupt)? {
+                0 => false,
+                1 => true,
+                f => return Err(corrupt(format!("unknown hard deadline flag {f}"))),
+            };
+            let max_attempts = r.u64("retry max attempts").map_err(corrupt)?;
+            let max_attempts = u32::try_from(max_attempts)
+                .map_err(|_| corrupt(format!("retry max attempts {max_attempts} overflows")))?;
+            let backoff = Duration::from_micros(r.u64("retry backoff").map_err(corrupt)?);
+            (hard, RetryPolicy::new(max_attempts, backoff))
+        } else {
+            // Version-1 blobs predate enforcement and retries: their
+            // deadlines stay soft and they never retry.
+            (false, RetryPolicy::none())
+        };
         let config = match r.u8("config flag").map_err(corrupt)? {
             0 => None,
             1 => Some(crate::engine::decode_config(&mut r).map_err(corrupt)?),
@@ -287,6 +398,8 @@ impl JobSpec {
             kind,
             class,
             deadline,
+            hard_deadline,
+            retry,
             budget,
             seed,
             config,
@@ -341,12 +454,17 @@ mod tests {
                 .with_seed(42)
                 .with_config(PipelineConfig::tiny()),
             JobSpec::initial().with_class(QosClass::BestEffort),
+            JobSpec::iterative(1)
+                .with_hard_deadline(Duration::from_secs(2))
+                .with_retry(RetryPolicy::new(3, Duration::from_millis(10))),
         ];
         for spec in specs {
             let bytes = spec.encode().expect("non-raw specs encode");
             let back = JobSpec::decode(&bytes).expect("blob decodes");
             assert_eq!(back.class, spec.class);
             assert_eq!(back.deadline, spec.deadline);
+            assert_eq!(back.hard_deadline, spec.hard_deadline);
+            assert_eq!(back.retry, spec.retry);
             assert_eq!(back.budget, spec.budget);
             assert_eq!(back.seed, spec.seed);
             assert_eq!(back.config, spec.config);
@@ -378,5 +496,48 @@ mod tests {
         bad_class[17] = 9;
         let err = JobSpec::decode(&bad_class).unwrap_err();
         assert!(err.to_string().contains("class"), "message was: {err}");
+    }
+
+    /// Version-1 blobs (pre-retry, pre-hard-deadline) still decode,
+    /// defaulting to soft deadlines and no retries.
+    #[test]
+    fn version_one_blobs_decode_with_defaults() {
+        use crate::artifact::ByteWriter;
+        let mut w = ByteWriter::new();
+        w.bytes(b"PPJS");
+        w.u32(1);
+        w.u8(1); // iterative
+        w.u64(4);
+        w.u8(0); // interactive
+        w.u8(1); // deadline present
+        w.u64(250_000);
+        w.u8(0); // no budget
+        w.u8(1); // seed present
+        w.u64(7);
+        w.u8(0); // no config
+        let back = JobSpec::decode(&w.into_vec()).expect("v1 blob decodes");
+        assert!(matches!(back.kind, JobKind::Iterative { iterations: 4 }));
+        assert_eq!(back.class, QosClass::Interactive);
+        assert_eq!(back.deadline, Some(Duration::from_micros(250_000)));
+        assert!(!back.hard_deadline, "v1 deadlines stay soft");
+        assert_eq!(back.retry, RetryPolicy::none(), "v1 specs never retry");
+        assert_eq!(back.seed, Some(7));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let none = RetryPolicy::none();
+        assert_eq!(none.max_attempts, 1);
+        assert_eq!(none.delay_before(2), Duration::ZERO);
+        assert_eq!(RetryPolicy::new(0, Duration::ZERO).max_attempts, 1);
+
+        let retry = RetryPolicy::new(5, Duration::from_millis(10));
+        assert_eq!(retry.delay_before(1), Duration::ZERO, "first run: no wait");
+        assert_eq!(retry.delay_before(2), Duration::from_millis(10));
+        assert_eq!(retry.delay_before(3), Duration::from_millis(20));
+        assert_eq!(retry.delay_before(4), Duration::from_millis(40));
+        // The doubling is capped, even for absurd attempt counts.
+        assert_eq!(retry.delay_before(40), RetryPolicy::MAX_BACKOFF);
+        assert_eq!(retry.delay_before(u32::MAX), RetryPolicy::MAX_BACKOFF);
     }
 }

@@ -67,7 +67,13 @@
 //! [`WeightedFair`], [`DeadlineFirst`]), per-class queues are bounded
 //! ([`QueueLimits`], overflow → [`PpError::Rejected`]), and
 //! [`Scheduler::stats`] snapshots queue depths and dispatch counters
-//! ([`SchedulerStats`]).
+//! ([`SchedulerStats`]). The runtime underneath is *supervised*: worker
+//! panics are isolated to the one submission that was running
+//! ([`PpError::WorkerPanic`]), jobs carrying a [`RetryPolicy`] re-run
+//! transient failures with bounded backoff, hard deadlines resolve to
+//! [`JobOutcome::TimedOut`] with partial results, and the whole story
+//! is provable through deterministic fault injection ([`fault`],
+//! `tests/chaos_scheduler.rs`).
 //!
 //! # Example
 //!
@@ -104,6 +110,7 @@ pub mod builder;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod jobs;
 pub mod jobspec;
 pub mod library;
@@ -119,8 +126,9 @@ pub use builder::PipelineBuilder;
 pub use config::{FinetuneConfig, PipelineConfig, PretrainConfig};
 pub use engine::{Engine, Session, ENGINE_META_KEY, ENGINE_MODEL_KEY};
 pub use error::PpError;
+pub use fault::{Fault, FaultPlan};
 pub use jobs::JobSet;
-pub use jobspec::{JobKind, JobSpec, QosClass};
+pub use jobspec::{JobKind, JobSpec, QosClass, RetryPolicy};
 pub use library::PatternLibrary;
 pub use pipeline::{GenerationRound, IterationStats, PatternPaint, RawSample};
 pub use scheduler::{

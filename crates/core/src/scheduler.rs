@@ -52,8 +52,41 @@
 //! still reach the consumer, and the stream ends early without error.
 //! Dropping the [`Scheduler`] aborts still-queued submissions with an
 //! explicit error (never a silently short stream) and joins the pool.
+//!
+//! **Supervision** (this is a *supervised* runtime, not a best-effort
+//! pool): worker faults are contained at the smallest scope that can
+//! absorb them.
+//!
+//! * A panic while running a micro-batch is caught with
+//!   `catch_unwind`, converted to a typed
+//!   [`PpError::WorkerPanic`] failure delivered to the *one*
+//!   submission that was running, and the worker rebuilds its U-Net
+//!   state and keeps serving other tenants
+//!   ([`SchedulerStats::worker_panics`] counts these).
+//! * A panic anywhere else in the worker loop (a buggy
+//!   [`SchedPolicy`], say) kills that loop — but each worker thread is
+//!   a supervisor that respawns its loop, recovering the poisoned
+//!   state mutex on the way back in
+//!   ([`SchedulerStats::workers_lost`] counts respawns). Every lock in
+//!   this module recovers from poisoning, so `submit()`, `stats()` and
+//!   shutdown all keep working after a fault.
+//! * A *hard* deadline ([`StreamOptions::with_hard_deadline`]) is
+//!   enforced between micro-batches: a queued submission past its
+//!   deadline is retired with [`PpError::DeadlineExceeded`]; batches
+//!   already finished still reach the consumer.
+//! * Under overload, best-effort work can be shed at admission
+//!   ([`SchedulerOptions::shed_best_effort_above`]): when the p90 of
+//!   recent queue waits crosses the threshold, new
+//!   [`QosClass::BestEffort`] submissions are rejected instead of
+//!   queued behind work they would only slow down.
+//!
+//! Fault *injection* for tests and benches lives in [`crate::fault`]:
+//! a [`FaultPlan`] installed via [`SchedulerOptions::faults`] fires
+//! deterministic panics/errors/stalls at chosen `(session,
+//! micro-batch)` points; `tests/chaos_scheduler.rs` drives it.
 
 use crate::error::PpError;
+use crate::fault::{Fault, FaultPlan};
 use crate::jobs::JobSet;
 use crate::jobspec::QosClass;
 use crate::pipeline::RawSample;
@@ -63,9 +96,10 @@ use pp_diffusion::DiffusionModel;
 use pp_geometry::{GrayImage, Layout};
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -308,12 +342,33 @@ pub struct SchedulerStats {
     pub completed: ClassCounts,
     /// Submissions retired early (cancellation or a dropped stream).
     pub abandoned: ClassCounts,
+    /// Submissions retired at a hard deadline
+    /// ([`PpError::DeadlineExceeded`]).
+    pub timed_out: ClassCounts,
+    /// Best-effort submissions refused by overload shedding
+    /// ([`SchedulerOptions::shed_best_effort_above`]); also counted in
+    /// [`SchedulerStats::rejected`].
+    pub shed: u64,
+    /// Micro-batch panics caught and converted to
+    /// [`PpError::WorkerPanic`] (the worker survived and rebuilt its
+    /// U-Net state).
+    pub worker_panics: u64,
+    /// Worker loops lost to an escaped panic and respawned by their
+    /// supervising thread. Persistently non-zero growth means a buggy
+    /// policy or a fault plan, not load.
+    pub workers_lost: u64,
     /// Micro-batches dispatched in total.
     pub micro_batches: u64,
     /// Jobs (samples) dispatched in total.
     pub samples: u64,
     /// Cumulative submit → first-dispatch latency, microseconds.
     pub wait_micros: u64,
+    /// Median submit → first-dispatch latency over the most recent
+    /// submissions (the shedding signal's companion), microseconds.
+    pub wait_p50_micros: u64,
+    /// 90th-percentile submit → first-dispatch latency over the most
+    /// recent submissions (the overload-shedding signal), microseconds.
+    pub wait_p90_micros: u64,
     /// Cumulative submit → final-dispatch latency over completed
     /// submissions, microseconds.
     pub turnaround_micros: u64,
@@ -327,6 +382,8 @@ pub struct SchedulerStats {
 pub struct SchedulerOptions {
     policy: Box<dyn SchedPolicy>,
     limits: QueueLimits,
+    faults: FaultPlan,
+    shed_wait: Option<Duration>,
 }
 
 impl Default for SchedulerOptions {
@@ -334,6 +391,8 @@ impl Default for SchedulerOptions {
         SchedulerOptions {
             policy: Box::new(RoundRobin),
             limits: QueueLimits::default(),
+            faults: FaultPlan::new(),
+            shed_wait: None,
         }
     }
 }
@@ -343,6 +402,8 @@ impl std::fmt::Debug for SchedulerOptions {
         f.debug_struct("SchedulerOptions")
             .field("policy", &self.policy.name())
             .field("limits", &self.limits)
+            .field("faults", &self.faults.remaining())
+            .field("shed_wait", &self.shed_wait)
             .finish()
     }
 }
@@ -364,6 +425,25 @@ impl SchedulerOptions {
         self.limits = limits;
         self
     }
+
+    /// Installs a deterministic [`FaultPlan`] consulted before every
+    /// micro-batch — the chaos-testing hook (see [`crate::fault`]).
+    /// Empty plans (the default) cost one branch per micro-batch.
+    pub fn faults(mut self, plan: FaultPlan) -> SchedulerOptions {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables overload shedding: when the 90th-percentile queue wait
+    /// over recent submissions exceeds `threshold`, new
+    /// [`QosClass::BestEffort`] submissions are rejected at admission
+    /// ([`PpError::Rejected`], counted in [`SchedulerStats::shed`])
+    /// instead of queued. Higher classes are never shed — they have
+    /// admission bounds of their own.
+    pub fn shed_best_effort_above(mut self, threshold: Duration) -> SchedulerOptions {
+        self.shed_wait = Some(threshold);
+        self
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -377,9 +457,11 @@ enum SchedMsg {
         start: usize,
         samples: Vec<GrayImage>,
     },
-    /// The scheduler shut down (or a worker failed) before this
-    /// submission finished; the stream surfaces an error.
-    Aborted(String),
+    /// The scheduler shut down, a worker failed or panicked, or a hard
+    /// deadline passed before this submission finished; the stream
+    /// surfaces the typed error so the service can classify it
+    /// (transient → retry, deadline → `TimedOut`).
+    Aborted(PpError),
 }
 
 /// A queued request: shared job images plus a dispatch cursor.
@@ -394,6 +476,9 @@ struct Submission {
     session: u64,
     class: QosClass,
     deadline: Option<Instant>,
+    /// When set, passing `deadline` retires the submission with
+    /// [`PpError::DeadlineExceeded`] instead of merely reordering it.
+    hard_deadline: bool,
     submitted_at: Instant,
     cancel: CancelToken,
     /// Internal retire flag, distinct from the caller's `cancel`
@@ -409,6 +494,10 @@ struct Task {
     jobs: Arc<Vec<(GrayImage, GrayImage)>>,
     range: Range<usize>,
     seed: u64,
+    /// The submitting session and this micro-batch's zero-based
+    /// ordinal within its submission — the [`FaultPlan`] key.
+    session: u64,
+    ordinal: u64,
     tx: Sender<SchedMsg>,
     /// The submission's retire flag: workers set it when delivery
     /// fails (consumer dropped the stream) or after sending
@@ -417,6 +506,10 @@ struct Task {
     retired: Arc<std::sync::atomic::AtomicBool>,
 }
 
+/// How many recent first-dispatch waits feed the percentile window
+/// behind [`SchedulerStats::wait_p90_micros`] and overload shedding.
+const WAIT_WINDOW: usize = 64;
+
 /// Cumulative dispatch counters, updated under the state lock.
 #[derive(Default)]
 struct StatsInner {
@@ -424,11 +517,30 @@ struct StatsInner {
     rejected: [u64; 3],
     completed: [u64; 3],
     abandoned: [u64; 3],
+    timed_out: [u64; 3],
+    shed: u64,
     micro_batches: u64,
     samples: u64,
     wait_micros: u64,
     turnaround_micros: u64,
+    /// Ring buffer of the last [`WAIT_WINDOW`] submit → first-dispatch
+    /// waits (microseconds): the shedding signal.
+    recent_waits: VecDeque<u64>,
     per_session: BTreeMap<u64, (QosClass, u64, u64)>,
+}
+
+impl StatsInner {
+    /// The p-th percentile (nearest-rank) of the recent-wait window,
+    /// 0 when the window is empty.
+    fn wait_percentile(&self, p: u64) -> u64 {
+        if self.recent_waits.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = self.recent_waits.iter().copied().collect();
+        sorted.sort_unstable();
+        let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+        sorted[rank - 1]
+    }
 }
 
 struct SchedState {
@@ -445,6 +557,28 @@ struct Shared {
     threads: usize,
     limits: QueueLimits,
     next_session: AtomicU64,
+    /// Micro-batch panics caught (worker survived and rebuilt).
+    worker_panics: AtomicU64,
+    /// Worker loops lost to an escaped panic and respawned.
+    workers_lost: AtomicU64,
+    /// Worker threads still serving; 0 means the pool is wedged and
+    /// submissions would hang forever, so `submit` refuses them.
+    workers_alive: AtomicUsize,
+    /// Chaos hook: `has_faults` keeps the happy path to one branch per
+    /// micro-batch (no lock touch when no plan was installed).
+    has_faults: bool,
+    faults: Mutex<FaultPlan>,
+    shed_wait: Option<Duration>,
+}
+
+/// Locks the scheduler state, recovering from poisoning: every mutation
+/// in this module is counter/queue bookkeeping that stays coherent at
+/// any interleaving point, so a panic between lock and unlock (a buggy
+/// policy, an injected fault) must not condemn `submit()`, `stats()`
+/// and shutdown forever — that would turn one tenant's fault into a
+/// whole-service outage.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, SchedState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Pops the next micro-batch in policy order; retires exhausted and
@@ -461,6 +595,20 @@ fn take_task(st: &mut SchedState) -> Option<Task> {
         let sub = &st.queue[i];
         if sub.cancel.is_cancelled() || sub.retired.load(Ordering::Relaxed) {
             st.stats.abandoned[sub.class.index()] += 1;
+            st.queue.remove(i);
+        } else if sub.hard_deadline && sub.deadline.is_some_and(|d| Instant::now() > d) {
+            // Hard-deadline enforcement: cooperative, between
+            // micro-batches. Finished batches already reached the
+            // consumer (partial results survive); the stream ends with
+            // the typed error so the service resolves to `TimedOut`.
+            let late_by = sub
+                .deadline
+                .map(|d| Instant::now().saturating_duration_since(d))
+                .unwrap_or_default();
+            let _ = sub
+                .tx
+                .send(SchedMsg::Aborted(PpError::DeadlineExceeded { late_by }));
+            st.stats.timed_out[sub.class.index()] += 1;
             st.queue.remove(i);
         } else {
             i += 1;
@@ -489,8 +637,14 @@ fn take_task(st: &mut SchedState) -> Option<Task> {
     let end = (start + sub.batch).min(sub.jobs.len());
     sub.cursor = end;
     if sub.dispatched == 0 {
-        st.stats.wait_micros += sub.submitted_at.elapsed().as_micros() as u64;
+        let wait = sub.submitted_at.elapsed().as_micros() as u64;
+        st.stats.wait_micros += wait;
+        if st.stats.recent_waits.len() == WAIT_WINDOW {
+            st.stats.recent_waits.pop_front();
+        }
+        st.stats.recent_waits.push_back(wait);
     }
+    let ordinal = sub.dispatched;
     sub.dispatched += 1;
     // Advance virtual time by the class stride: 4 / weight, so heavier
     // classes accumulate pass more slowly and earn more dispatches.
@@ -509,6 +663,8 @@ fn take_task(st: &mut SchedState) -> Option<Task> {
         jobs: Arc::clone(&sub.jobs),
         range: start..end,
         seed: sub.seed,
+        session: sub.session,
+        ordinal,
         tx: sub.tx.clone(),
         retired: Arc::clone(&sub.retired),
     };
@@ -521,11 +677,24 @@ fn take_task(st: &mut SchedState) -> Option<Task> {
     Some(task)
 }
 
-fn worker_loop(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
+/// Renders a `catch_unwind` payload for [`PpError::WorkerPanic`]
+/// (panics carry `&str` or `String` in practice; anything else gets a
+/// placeholder rather than being dropped).
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, model: &Arc<DiffusionModel>) {
     let mut worker = model.worker();
     loop {
         let task = {
-            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            let mut st = lock_state(shared);
             loop {
                 if st.shutdown {
                     return;
@@ -533,29 +702,78 @@ fn worker_loop(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
                 if let Some(task) = take_task(&mut st) {
                     break task;
                 }
-                st = shared.cv.wait(st).expect("scheduler state poisoned");
+                st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
+        };
+        // Chaos hook: one branch when no plan is installed; with one,
+        // consume at most one fault for this (session, ordinal) point.
+        // Faults fire *before* `worker.run`, so an injected panic or
+        // error wastes no DDIM compute.
+        let fault = if shared.has_faults {
+            shared
+                .faults
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take(task.session, task.ordinal)
+        } else {
+            None
         };
         let refs: Vec<(&GrayImage, &GrayImage)> = task.jobs[task.range.clone()]
             .iter()
             .map(|(i, m)| (i, m))
             .collect();
         let seeds: Vec<u64> = task.range.clone().map(|i| task.seed ^ i as u64).collect();
-        let (msg, poisoned) = match worker.run(&refs, &seeds) {
-            Ok(samples) => (
+        // Panic isolation: a panic inside the model (or an injected
+        // one) is contained to this one micro-batch — converted to a
+        // typed abort for the one submission that was running, while
+        // the worker rebuilds its U-Net scratch state and keeps
+        // serving everyone else.
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<GrayImage>, PpError> {
+            match fault {
+                Some(Fault::PanicAt { .. }) => panic!(
+                    "injected fault: worker panic (session {}, micro-batch {})",
+                    task.session, task.ordinal
+                ),
+                Some(Fault::ErrAt { .. }) => {
+                    return Err(PpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        format!(
+                            "injected transient i/o fault (session {}, micro-batch {})",
+                            task.session, task.ordinal
+                        ),
+                    )))
+                }
+                Some(Fault::StallFor { duration, .. }) => std::thread::sleep(duration),
+                None => {}
+            }
+            worker
+                .run(&refs, &seeds)
+                .map_err(|e| PpError::Model(format!("scheduler worker failed: {e}")))
+        }));
+        let (msg, poisoned) = match outcome {
+            Ok(Ok(samples)) => (
                 SchedMsg::Batch {
                     start: task.range.start,
                     samples,
                 },
                 false,
             ),
-            // Shapes are validated at submit time, so this is a
-            // defensive path; the consumer still sees a hard error
-            // rather than a silently short stream.
-            Err(e) => (
-                SchedMsg::Aborted(format!("scheduler worker failed: {e}")),
-                true,
-            ),
+            // Shapes are validated at submit time, so a model error is
+            // a defensive path; the consumer still sees a hard typed
+            // error rather than a silently short stream.
+            Ok(Err(e)) => (SchedMsg::Aborted(e), true),
+            Err(payload) => {
+                shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                // The worker's U-Net scratch state is suspect after an
+                // unwind through it: rebuild from the shared model.
+                worker = model.worker();
+                (
+                    SchedMsg::Aborted(PpError::WorkerPanic {
+                        detail: panic_detail(payload),
+                    }),
+                    true,
+                )
+            }
         };
         // A send error means the consumer dropped the stream, and a
         // poisoned submission will never deliver anything useful
@@ -567,6 +785,48 @@ fn worker_loop(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
         if task.tx.send(msg).is_err() || poisoned {
             task.retired
                 .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+/// Upper bound on worker-loop respawns per thread: far above anything a
+/// fault plan produces, low enough that a deterministically crashing
+/// loop (a policy that panics on every pick) cannot spin forever.
+const MAX_RESPAWNS: u64 = 64;
+
+/// The supervisor each worker thread actually runs: re-enters
+/// [`worker_loop`] after an *escaped* panic (one that unwound outside
+/// the per-micro-batch `catch_unwind` — a buggy policy, say), counting
+/// each loss in [`SchedulerStats::workers_lost`]. When a thread
+/// exhausts its respawn budget it retires; when the *last* thread
+/// retires, queued submissions are aborted and `submit` starts
+/// refusing, so nothing hangs on a pool that no longer exists.
+fn supervise(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
+    let mut respawns = 0u64;
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, &model))).is_ok() {
+            return; // clean shutdown
+        }
+        shared.workers_lost.fetch_add(1, Ordering::Relaxed);
+        respawns += 1;
+        if respawns > MAX_RESPAWNS {
+            break;
+        }
+        // Let any co-panicking siblings clear the state before the
+        // loop re-enters it.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if shared.workers_alive.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // Last worker gone: nobody will ever dispatch again. Abort
+        // queued submissions rather than letting consumers block on a
+        // recv that cannot complete.
+        let mut st = lock_state(&shared);
+        let orphans: Vec<Submission> = st.queue.drain(..).collect();
+        for sub in orphans {
+            st.stats.abandoned[sub.class.index()] += 1;
+            let _ = sub.tx.send(SchedMsg::Aborted(PpError::Model(
+                "scheduler worker pool lost all workers".into(),
+            )));
         }
     }
 }
@@ -623,12 +883,18 @@ impl Scheduler {
             threads,
             limits: options.limits,
             next_session: AtomicU64::new(1),
+            worker_panics: AtomicU64::new(0),
+            workers_lost: AtomicU64::new(0),
+            workers_alive: AtomicUsize::new(threads),
+            has_faults: !options.faults.is_empty(),
+            faults: Mutex::new(options.faults),
+            shed_wait: options.shed_wait,
         });
         let workers = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let model = Arc::clone(&model);
-                std::thread::spawn(move || worker_loop(shared, model))
+                std::thread::spawn(move || supervise(shared, model))
             })
             .collect();
         Scheduler { shared, workers }
@@ -662,7 +928,7 @@ impl Scheduler {
 }
 
 fn snapshot(shared: &Shared) -> SchedulerStats {
-    let st = shared.state.lock().expect("scheduler state poisoned");
+    let st = lock_state(shared);
     let mut queued = [0u64; 3];
     for sub in &st.queue {
         queued[sub.class.index()] += 1;
@@ -675,9 +941,15 @@ fn snapshot(shared: &Shared) -> SchedulerStats {
         rejected: ClassCounts::from_raw(st.stats.rejected),
         completed: ClassCounts::from_raw(st.stats.completed),
         abandoned: ClassCounts::from_raw(st.stats.abandoned),
+        timed_out: ClassCounts::from_raw(st.stats.timed_out),
+        shed: st.stats.shed,
+        worker_panics: shared.worker_panics.load(Ordering::Relaxed),
+        workers_lost: shared.workers_lost.load(Ordering::Relaxed),
         micro_batches: st.stats.micro_batches,
         samples: st.stats.samples,
         wait_micros: st.stats.wait_micros,
+        wait_p50_micros: st.stats.wait_percentile(50),
+        wait_p90_micros: st.stats.wait_percentile(90),
         turnaround_micros: st.stats.turnaround_micros,
         per_session: st
             .stats
@@ -698,14 +970,14 @@ fn snapshot(shared: &Shared) -> SchedulerStats {
 impl Drop for Scheduler {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("scheduler state poisoned");
+            let mut st = lock_state(&self.shared);
             st.shutdown = true;
             // Still-queued submissions must not end as silently short
             // streams: abort them explicitly.
             for sub in st.queue.drain(..) {
-                let _ = sub
-                    .tx
-                    .send(SchedMsg::Aborted("scheduler shut down mid-request".into()));
+                let _ = sub.tx.send(SchedMsg::Aborted(PpError::Model(
+                    "scheduler shut down mid-request".into(),
+                )));
             }
         }
         self.shared.cv.notify_all();
@@ -734,8 +1006,9 @@ impl std::fmt::Debug for SchedulerHandle {
 impl SchedulerHandle {
     /// Queues `jobs` for sampling with per-job seeds `seed ^ index`,
     /// micro-batched `batch` jobs at a time under `class` (and an
-    /// optional soft `deadline` from now); returns the in-order
-    /// receiver.
+    /// optional `deadline` from now, soft unless `hard_deadline`);
+    /// returns the in-order receiver.
+    #[allow(clippy::too_many_arguments)]
     fn submit(
         &self,
         jobs: Vec<(GrayImage, GrayImage)>,
@@ -744,6 +1017,7 @@ impl SchedulerHandle {
         cancel: CancelToken,
         class: QosClass,
         deadline: Option<Duration>,
+        hard_deadline: bool,
     ) -> Result<ScheduledRx, PpError> {
         for (img, mask) in &jobs {
             for (what, side) in [("image", img), ("mask", mask)].map(|(w, i)| (w, i.width())) {
@@ -756,10 +1030,15 @@ impl SchedulerHandle {
                 }
             }
         }
+        if self.shared.workers_alive.load(Ordering::SeqCst) == 0 {
+            return Err(PpError::Model(
+                "scheduler worker pool lost all workers".into(),
+            ));
+        }
         let total = jobs.len();
         let (tx, rx) = mpsc::channel();
         {
-            let mut st = self.shared.state.lock().expect("scheduler state poisoned");
+            let mut st = lock_state(&self.shared);
             if st.shutdown {
                 return Err(PpError::Model("scheduler is shut down".into()));
             }
@@ -772,6 +1051,25 @@ impl SchedulerHandle {
                         "{class} submission queue is full ({depth} queued, limit {limit})"
                     ),
                 });
+            }
+            // Overload shedding: when recent queue waits say the pool
+            // is saturated, refuse best-effort work at the door (it
+            // would only deepen everyone's backlog). An empty window
+            // never sheds — the signal must be observed, not assumed.
+            if class == QosClass::BestEffort {
+                if let Some(threshold) = self.shared.shed_wait {
+                    let p90 = st.stats.wait_percentile(90);
+                    if !st.stats.recent_waits.is_empty() && Duration::from_micros(p90) > threshold {
+                        st.stats.shed += 1;
+                        st.stats.rejected[class.index()] += 1;
+                        return Err(PpError::Rejected {
+                            reason: format!(
+                                "best-effort work shed under overload \
+                                 (recent wait p90 {p90}us over threshold {threshold:?})"
+                            ),
+                        });
+                    }
+                }
             }
             st.stats.admitted[class.index()] += 1;
             // Join the stride-scheduling frontier: starting at the
@@ -791,6 +1089,7 @@ impl SchedulerHandle {
                 // checked_add: a deadline too far to represent is the
                 // same as no deadline, never a panic.
                 deadline: deadline.and_then(|d| Instant::now().checked_add(d)),
+                hard_deadline,
                 submitted_at: Instant::now(),
                 cancel,
                 retired: Arc::new(std::sync::atomic::AtomicBool::new(false)),
@@ -842,10 +1141,13 @@ impl Iterator for ScheduledRx {
                 Ok(SchedMsg::Batch { start, samples }) => {
                     self.pending.insert(start, samples);
                 }
-                Ok(SchedMsg::Aborted(reason)) => {
+                Ok(SchedMsg::Aborted(e)) => {
                     // Poison: no further batches will be delivered.
+                    // The error stays typed end to end so the service
+                    // can classify it (transient → retry, deadline →
+                    // `TimedOut`).
                     self.total = self.next;
-                    return Some(Err(PpError::Model(reason)));
+                    return Some(Err(e));
                 }
                 // All senders gone: cancellation retired the
                 // submission (clean early end) — or a worker died
@@ -933,6 +1235,7 @@ impl Sampler for ScheduledSampler {
             opts.cancel.clone(),
             opts.class,
             opts.deadline,
+            opts.hard_deadline,
         )?;
         let templates: Vec<Arc<Layout>> = jobs.iter().map(|(t, _)| Arc::clone(t)).collect();
         let hook = opts.progress.clone();
@@ -987,7 +1290,7 @@ mod tests {
     ) -> Result<ScheduledRx, PpError> {
         sched
             .handle()
-            .submit(jobs, seed, batch, cancel, QosClass::Batch, None)
+            .submit(jobs, seed, batch, cancel, QosClass::Batch, None, false)
     }
 
     /// A view with the pass the scheduler would maintain for a
@@ -1155,6 +1458,7 @@ mod tests {
                 CancelToken::new(),
                 QosClass::Interactive,
                 None,
+                false,
             )
             .unwrap_err();
         assert!(
@@ -1167,7 +1471,15 @@ mod tests {
         );
         // The batch class is unaffected by the interactive bound.
         let rx = handle
-            .submit(jobs(2), 1, 1, CancelToken::new(), QosClass::Batch, None)
+            .submit(
+                jobs(2),
+                1,
+                1,
+                CancelToken::new(),
+                QosClass::Batch,
+                None,
+                false,
+            )
             .unwrap();
         assert_eq!(rx.map(|r| r.unwrap().1.len()).sum::<usize>(), 2);
         let stats = sched.stats();
@@ -1210,7 +1522,15 @@ mod tests {
         assert!(err.is_some(), "shutdown must surface an error");
         // New submissions are rejected.
         assert!(handle
-            .submit(jobs(1), 0, 1, CancelToken::new(), QosClass::Batch, None)
+            .submit(
+                jobs(1),
+                0,
+                1,
+                CancelToken::new(),
+                QosClass::Batch,
+                None,
+                false
+            )
             .is_err());
     }
 
@@ -1239,5 +1559,215 @@ mod tests {
         )];
         let err = submit_default(&sched, bad, 0, 1, CancelToken::new()).unwrap_err();
         assert!(matches!(err, PpError::Shape { .. }), "wrong error: {err}");
+    }
+
+    #[test]
+    fn wait_percentiles_use_nearest_rank() {
+        let mut stats = StatsInner::default();
+        assert_eq!(stats.wait_percentile(90), 0, "empty window reads 0");
+        stats.recent_waits.extend([50, 10, 40, 20, 30]);
+        assert_eq!(stats.wait_percentile(50), 30);
+        assert_eq!(stats.wait_percentile(90), 50);
+        assert_eq!(stats.wait_percentile(100), 50);
+    }
+
+    /// An injected panic is contained to its one submission: the stream
+    /// ends with a typed `WorkerPanic`, the worker respawns, and a
+    /// later submission on the same pool completes — with `stats()`
+    /// working throughout (no poisoned-mutex panic).
+    #[test]
+    fn injected_panic_is_isolated_and_the_pool_survives() {
+        let model = tiny_model();
+        // Session ids start at 1; the first handle() call gets 1.
+        let plan = FaultPlan::new().inject(1, Fault::PanicAt { batch: 1 });
+        let sched = Scheduler::new_with(model, 1, SchedulerOptions::new().faults(plan));
+        let handle = sched.handle();
+        let rx = handle
+            .submit(
+                jobs(6),
+                7,
+                2,
+                CancelToken::new(),
+                QosClass::Batch,
+                None,
+                false,
+            )
+            .unwrap();
+        let mut delivered = 0;
+        let mut err = None;
+        for item in rx {
+            match item {
+                Ok((_, samples)) => delivered += samples.len(),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(delivered, 2, "micro-batch 0 lands before the batch-1 fault");
+        let err = err.expect("the faulted submission must surface an error");
+        assert!(
+            matches!(err, PpError::WorkerPanic { .. }),
+            "wrong error: {err}"
+        );
+        assert!(err.is_transient(), "worker panics are retryable");
+        // The pool survived: stats work and a fresh submission drains.
+        let stats = sched.stats();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.workers_lost, 0, "the panic never escaped the batch");
+        let rx = submit_default(&sched, jobs(3), 9, 1, CancelToken::new()).unwrap();
+        assert_eq!(rx.map(|r| r.unwrap().1.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn injected_error_surfaces_as_transient_io() {
+        let model = tiny_model();
+        let plan = FaultPlan::new().inject(1, Fault::ErrAt { batch: 0 });
+        let sched = Scheduler::new_with(model, 1, SchedulerOptions::new().faults(plan));
+        let handle = sched.handle();
+        let rx = handle
+            .submit(
+                jobs(2),
+                3,
+                1,
+                CancelToken::new(),
+                QosClass::Batch,
+                None,
+                false,
+            )
+            .unwrap();
+        let err = rx
+            .map(Result::unwrap_err)
+            .next()
+            .expect("the fault fires on the first micro-batch");
+        assert!(matches!(err, PpError::Io(_)), "wrong error: {err}");
+        assert!(err.is_transient());
+    }
+
+    /// An already-expired hard deadline retires the submission with
+    /// `DeadlineExceeded` before any micro-batch is dispatched.
+    #[test]
+    fn expired_hard_deadline_times_the_submission_out() {
+        let model = tiny_model();
+        let sched = Scheduler::new(model, 1);
+        let handle = sched.handle();
+        let rx = handle
+            .submit(
+                jobs(4),
+                5,
+                1,
+                CancelToken::new(),
+                QosClass::Interactive,
+                Some(Duration::ZERO),
+                true,
+            )
+            .unwrap();
+        let err = rx
+            .map(Result::unwrap_err)
+            .next()
+            .expect("a zero hard deadline must fire");
+        assert!(
+            matches!(err, PpError::DeadlineExceeded { .. }),
+            "wrong error: {err}"
+        );
+        assert!(!err.is_transient(), "an expired deadline must not retry");
+        // Spin briefly: the abort and the timed_out counter land when a
+        // worker purges the queue, slightly after submit returns.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sched.stats().timed_out.get(QosClass::Interactive) == 0 {
+            assert!(Instant::now() < deadline, "timed_out counter never moved");
+            std::thread::yield_now();
+        }
+        // A soft deadline over the same pool is advisory: it completes.
+        let rx = handle
+            .submit(
+                jobs(2),
+                5,
+                1,
+                CancelToken::new(),
+                QosClass::Interactive,
+                Some(Duration::ZERO),
+                false,
+            )
+            .unwrap();
+        assert_eq!(rx.map(|r| r.unwrap().1.len()).sum::<usize>(), 2);
+    }
+
+    /// With a zero shed threshold, the first observed wait flips the
+    /// scheduler into shedding best-effort work — while batch and
+    /// interactive submissions still pass admission.
+    #[test]
+    fn overload_shedding_rejects_best_effort_only() {
+        let model = tiny_model();
+        let sched = Scheduler::new_with(
+            model,
+            1,
+            SchedulerOptions::new().shed_best_effort_above(Duration::ZERO),
+        );
+        let handle = sched.handle();
+        // Empty window: nothing sheds, even at threshold zero.
+        let rx_a = handle
+            .submit(
+                jobs(2),
+                1,
+                1,
+                CancelToken::new(),
+                QosClass::BestEffort,
+                None,
+                false,
+            )
+            .expect("an unobserved pool must not shed");
+        // A batch-class submission queued behind A's in-flight work
+        // records a first-dispatch wait of at least one full DDIM
+        // micro-batch — provably nonzero (batch is never shed, so this
+        // passes admission whatever the window says).
+        let rx_b = handle
+            .submit(
+                jobs(2),
+                2,
+                1,
+                CancelToken::new(),
+                QosClass::Batch,
+                None,
+                false,
+            )
+            .unwrap();
+        assert_eq!(rx_a.map(|r| r.unwrap().1.len()).sum::<usize>(), 2);
+        assert_eq!(rx_b.map(|r| r.unwrap().1.len()).sum::<usize>(), 2);
+        // The wait window now holds a nonzero entry, beating the zero
+        // threshold: best-effort is shed...
+        let err = handle
+            .submit(
+                jobs(1),
+                3,
+                1,
+                CancelToken::new(),
+                QosClass::BestEffort,
+                None,
+                false,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, PpError::Rejected { .. }),
+            "wrong error: {err}"
+        );
+        assert!(err.to_string().contains("shed"), "reason was: {err}");
+        // ...while higher classes still pass.
+        let rx = handle
+            .submit(
+                jobs(1),
+                4,
+                1,
+                CancelToken::new(),
+                QosClass::Batch,
+                None,
+                false,
+            )
+            .unwrap();
+        assert_eq!(rx.map(|r| r.unwrap().1.len()).sum::<usize>(), 1);
+        let stats = sched.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected.get(QosClass::BestEffort), 1);
+        assert!(stats.wait_p90_micros >= stats.wait_p50_micros);
     }
 }

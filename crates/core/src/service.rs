@@ -48,8 +48,9 @@ use crate::scheduler::{ClassCounts, QueueLimits, Scheduler, SchedulerOptions, Sc
 use crate::stream::{CancelToken, GenerationRequest, Progress, StreamOptions};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Build-time service configuration.
 #[derive(Debug, Default)]
@@ -76,6 +77,10 @@ pub struct ServiceStats {
     pub rejected: ClassCounts,
     /// Jobs that reached a terminal outcome.
     pub finished: ClassCounts,
+    /// Attempt re-runs across all jobs: each transient failure that a
+    /// [`crate::RetryPolicy`] re-submitted adds one (a job that succeeds on
+    /// attempt 3 contributed 2).
+    pub retries: u64,
 }
 
 #[derive(Default)]
@@ -84,12 +89,23 @@ struct ServiceCounters {
     submitted: [u64; 3],
     rejected: [u64; 3],
     finished: [u64; 3],
+    retries: u64,
 }
 
 struct ServiceShared {
     counters: Mutex<ServiceCounters>,
     job_limits: QueueLimits,
     next_job: AtomicU64,
+}
+
+/// Locks the service counters, recovering from poisoning: counter
+/// bookkeeping stays coherent at any interleaving point, and `stats()`
+/// must keep answering after a worker or job thread panicked.
+fn lock_counters(shared: &ServiceShared) -> MutexGuard<'_, ServiceCounters> {
+    shared
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The multi-tenant front door: one engine, one scheduler, declarative
@@ -151,16 +167,13 @@ impl Service {
 
     /// A snapshot of job-level admission counters.
     pub fn stats(&self) -> ServiceStats {
-        let c = self
-            .shared
-            .counters
-            .lock()
-            .expect("service counters poisoned");
+        let c = lock_counters(&self.shared);
         ServiceStats {
             active: counts(&c.active),
             submitted: counts(&c.submitted),
             rejected: counts(&c.rejected),
             finished: counts(&c.finished),
+            retries: c.retries,
         }
     }
 
@@ -179,20 +192,16 @@ impl Service {
     /// validation or tries to change the engine's model architecture.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, PpError> {
         let class = spec.class;
+        let seed = spec.seed.unwrap_or(self.engine.seed());
         // Validate the shaping before taking an admission slot, so a
-        // bad spec never occupies capacity.
-        let mut session = self
-            .engine
-            .session_seeded(spec.seed.unwrap_or(self.engine.seed()));
+        // bad spec never occupies capacity. The validated session is
+        // discarded: every attempt (the first included) builds a fresh
+        // one in the job thread so retries are bit-identical re-runs.
         if let Some(cfg) = spec.config {
-            session = session.with_config(cfg)?;
+            self.engine.session_seeded(seed).with_config(cfg)?;
         }
         {
-            let mut c = self
-                .shared
-                .counters
-                .lock()
-                .expect("service counters poisoned");
+            let mut c = lock_counters(&self.shared);
             let depth = c.active[class.index()];
             let limit = self.shared.job_limits.limit(class) as u64;
             if depth >= limit {
@@ -214,18 +223,28 @@ impl Service {
             done: Condvar::new(),
         });
         let hook_state = Arc::clone(&state);
-        let mut opts = StreamOptions::default()
+        let mut proto = StreamOptions::default()
             .with_cancel(state.cancel.clone())
             .with_class(class)
             .with_progress(move |p: Progress| {
                 hook_state.completed.store(p.completed, Ordering::Relaxed);
                 hook_state.total.store(p.total, Ordering::Relaxed);
             });
-        opts.deadline = spec.deadline;
-        session = session.with_options(opts).attach(&self.scheduler);
+        proto.deadline = spec.deadline;
+        // The job-level deadline is one fixed point in time, shared by
+        // every attempt (a retry does not reset the clock).
+        // checked_add: an unrepresentable deadline degrades to none.
+        let deadline_at = spec.deadline.and_then(|d| Instant::now().checked_add(d));
+        let hard = spec.hard_deadline;
+        let retry = spec.retry;
+        // One scheduler session for all attempts: stats attribution
+        // and fault-plan keying stay stable across retries.
+        let sched_handle = self.scheduler.handle();
 
         let thread_state = Arc::clone(&state);
         let shared = Arc::clone(&self.shared);
+        let engine = self.engine.clone();
+        let config = spec.config;
         let kind = spec.kind;
         let budget = spec.budget;
         let worker = std::thread::spawn(move || {
@@ -235,22 +254,82 @@ impl Service {
             // never leave `wait()` blocked forever.
             let mut guard = JobGuard {
                 state: thread_state,
-                shared,
+                shared: Arc::clone(&shared),
                 outcome: None,
             };
             let cancel = guard.state.cancel.clone();
-            let (result, report) = run_job(session, kind, budget);
-            guard.outcome = Some(match result {
-                Ok(()) if cancel.is_cancelled() => JobOutcome::Cancelled(report),
-                Ok(()) => JobOutcome::Completed(report),
-                Err(PpError::Rejected { reason }) => JobOutcome::Rejected {
-                    reason,
-                    partial: report,
-                },
-                Err(e) => JobOutcome::Failed(e),
-            });
+            let mut attempt = 1u32;
+            let outcome = loop {
+                // A fresh session per attempt: the library and
+                // iteration cursor restart from scratch, so a retried
+                // run is bit-identical to one that never faulted.
+                let mut opts = proto.clone();
+                if let Some(at) = deadline_at {
+                    opts.deadline = Some(at.saturating_duration_since(Instant::now()));
+                    opts.hard_deadline = hard;
+                }
+                let session = {
+                    let mut s = engine.session_seeded(seed);
+                    if let Some(cfg) = config {
+                        s = match s.with_config(cfg) {
+                            Ok(s) => s,
+                            // Validated at submit; defensive.
+                            Err(e) => break JobOutcome::Failed(e),
+                        };
+                    }
+                    s.with_options(opts).attach_handle(sched_handle.clone())
+                };
+                let (result, mut report) = run_job(session, kind.clone(), budget);
+                report.attempts = attempt;
+                match result {
+                    Ok(()) if cancel.is_cancelled() => break JobOutcome::Cancelled(report),
+                    Ok(()) => break JobOutcome::Completed(report),
+                    Err(PpError::DeadlineExceeded { .. }) => {
+                        break JobOutcome::TimedOut { partial: report }
+                    }
+                    Err(PpError::Rejected { reason }) => {
+                        break JobOutcome::Rejected {
+                            reason,
+                            partial: report,
+                        }
+                    }
+                    Err(e)
+                        if e.is_transient()
+                            && attempt < retry.max_attempts
+                            && !cancel.is_cancelled() =>
+                    {
+                        attempt += 1;
+                        lock_counters(&shared).retries += 1;
+                        // Bounded exponential backoff, slept in small
+                        // slices so cancellation and a passing hard
+                        // deadline interrupt the wait instead of
+                        // stacking on top of it.
+                        let until = Instant::now() + retry.delay_before(attempt);
+                        let interrupted = loop {
+                            if cancel.is_cancelled() {
+                                break Some(JobOutcome::Cancelled(report.clone()));
+                            }
+                            if hard && deadline_at.is_some_and(|at| Instant::now() > at) {
+                                break Some(JobOutcome::TimedOut {
+                                    partial: report.clone(),
+                                });
+                            }
+                            let left = until.saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                break None;
+                            }
+                            std::thread::sleep(left.min(Duration::from_millis(5)));
+                        };
+                        if let Some(outcome) = interrupted {
+                            break outcome;
+                        }
+                    }
+                    Err(e) => break JobOutcome::Failed(e),
+                }
+            };
+            guard.outcome = Some(outcome);
         });
-        let mut jobs = self.jobs.lock().expect("service jobs poisoned");
+        let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
         // Reap terminal jobs so a long-lived service doesn't accumulate
         // one join handle per job ever submitted (dropping a finished
         // handle just releases it; active jobs stay tracked for Drop).
@@ -281,11 +360,7 @@ impl Drop for JobGuard {
         // even when a panic elsewhere poisoned them — panicking here
         // would abort the process mid-unwind.
         {
-            let mut c = self
-                .shared
-                .counters
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut c = lock_counters(&self.shared);
             c.active[self.state.class.index()] -= 1;
             c.finished[self.state.class.index()] += 1;
         }
@@ -300,7 +375,8 @@ impl Drop for JobGuard {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        let mut jobs = std::mem::take(&mut *self.jobs.lock().expect("service jobs poisoned"));
+        let mut jobs =
+            std::mem::take(&mut *self.jobs.lock().unwrap_or_else(PoisonError::into_inner));
         for (cancel, _) in &jobs {
             cancel.cancel();
         }
@@ -373,6 +449,7 @@ fn run_job(
     let report = JobReport {
         generated: session.generated_total(),
         legal: session.legal_total(),
+        attempts: 1,
         iterations,
         library: session.into_library(),
     };
@@ -435,7 +512,7 @@ impl JobHandle {
             .state
             .outcome
             .lock()
-            .expect("job outcome poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .is_some()
         {
             JobStatus::Done
@@ -463,11 +540,47 @@ impl JobHandle {
     /// Blocks until the job reaches its terminal outcome and returns
     /// it.
     pub fn wait(self) -> JobOutcome {
-        let mut outcome = self.state.outcome.lock().expect("job outcome poisoned");
+        let mut outcome = self
+            .state
+            .outcome
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         while outcome.is_none() {
-            outcome = self.state.done.wait(outcome).expect("job outcome poisoned");
+            outcome = self
+                .state
+                .done
+                .wait(outcome)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         outcome.take().expect("checked Some above")
+    }
+
+    /// Blocks for at most `timeout` for the terminal outcome. On
+    /// timeout the handle comes back unchanged (`Err`), so a caller
+    /// can bound every wait on a possibly-wedged job without
+    /// forfeiting the ability to poll, cancel, or wait again.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<JobOutcome, JobHandle> {
+        let deadline = Instant::now() + timeout;
+        let mut outcome = self
+            .state
+            .outcome
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while outcome.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                drop(outcome);
+                return Err(self);
+            }
+            outcome = self
+                .state
+                .done
+                .wait_timeout(outcome, left)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        let outcome = outcome.take().expect("checked Some above");
+        Ok(outcome)
     }
 }
 
@@ -479,6 +592,10 @@ pub struct JobReport {
     /// Samples that passed validation (duplicates included, matching
     /// the paper's Table I accounting).
     pub legal: usize,
+    /// How many attempts the job took (1 = no retry was needed; see
+    /// [`crate::RetryPolicy`]). The report's results come from the last
+    /// attempt alone — earlier, faulted attempts contribute nothing.
+    pub attempts: u32,
     /// Per-iteration statistics for [`JobKind::Iterative`] jobs.
     pub iterations: Vec<IterationStats>,
     /// The library the job grew.
@@ -510,6 +627,16 @@ pub enum JobOutcome {
         /// (empty when the very first round was refused).
         partial: JobReport,
     },
+    /// The job's hard deadline ([`JobSpec::with_hard_deadline`]) passed
+    /// before it finished: the scheduler cancelled the work between
+    /// micro-batches and the rounds that completed in time survive in
+    /// `partial`. Timed-out jobs never retry — the deadline is a
+    /// property of the request, not a transient fault.
+    TimedOut {
+        /// Results of the rounds that beat the deadline (empty when
+        /// the very first round timed out).
+        partial: JobReport,
+    },
     /// A round failed; the wrapped error's `source()` chain names the
     /// root cause.
     Failed(PpError),
@@ -535,6 +662,11 @@ impl fmt::Display for JobOutcome {
                 "rejected: {reason} ({} generated, {} legal kept from earlier rounds)",
                 partial.generated, partial.legal
             ),
+            JobOutcome::TimedOut { partial } => write!(
+                f,
+                "timed out: {} generated, {} legal before the deadline",
+                partial.generated, partial.legal
+            ),
             JobOutcome::Failed(e) => write!(f, "failed: {e}"),
         }
     }
@@ -547,12 +679,13 @@ impl JobOutcome {
     }
 
     /// The report, for outcomes that carry one (`Completed`,
-    /// `Cancelled`, and `Rejected`'s partial rounds).
+    /// `Cancelled`, and `Rejected`/`TimedOut` partial rounds).
     pub fn report(&self) -> Option<&JobReport> {
         match self {
             JobOutcome::Completed(r)
             | JobOutcome::Cancelled(r)
-            | JobOutcome::Rejected { partial: r, .. } => Some(r),
+            | JobOutcome::Rejected { partial: r, .. }
+            | JobOutcome::TimedOut { partial: r } => Some(r),
             _ => None,
         }
     }
@@ -562,7 +695,8 @@ impl JobOutcome {
         match self {
             JobOutcome::Completed(r)
             | JobOutcome::Cancelled(r)
-            | JobOutcome::Rejected { partial: r, .. } => Some(r),
+            | JobOutcome::Rejected { partial: r, .. }
+            | JobOutcome::TimedOut { partial: r } => Some(r),
             _ => None,
         }
     }

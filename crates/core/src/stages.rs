@@ -376,10 +376,33 @@ pub fn run_round_into(
     opts: &StreamOptions,
     library: &mut PatternLibrary,
 ) -> Result<(usize, usize), PpError> {
-    if request.jobs().is_empty() {
-        return Err(PpError::EmptyRequest);
+    let (counts, error) =
+        run_round_into_partial(sampler, denoiser, validator, request, opts, library);
+    match error {
+        Some(e) => Err(e),
+        None => Ok(counts),
     }
-    let stream = sampler.sample_stream(request.jobs(), request.seed(), opts)?;
+}
+
+/// [`run_round_into`] that reports partial progress alongside the
+/// failure: the counts cover every sample admitted before the round
+/// errored (a timed-out or aborted stream keeps what beat the cut,
+/// and `library` already holds it).
+pub(crate) fn run_round_into_partial(
+    sampler: &dyn Sampler,
+    denoiser: &dyn PatternDenoiser,
+    validator: &dyn Validator,
+    request: &GenerationRequest,
+    opts: &StreamOptions,
+    library: &mut PatternLibrary,
+) -> ((usize, usize), Option<PpError>) {
+    if request.jobs().is_empty() {
+        return ((0, 0), Some(PpError::EmptyRequest));
+    }
+    let stream = match sampler.sample_stream(request.jobs(), request.seed(), opts) {
+        Ok(stream) => stream,
+        Err(e) => return ((0, 0), Some(e)),
+    };
     tail::consume(
         stream,
         denoiser,

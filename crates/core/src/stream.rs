@@ -47,11 +47,17 @@ pub struct StreamOptions {
     /// under class-aware policies ([`crate::WeightedFair`]). Ignored by
     /// private (non-scheduled) worker pools.
     pub class: QosClass,
-    /// Soft deadline attached to scheduler submissions, measured from
-    /// the moment of submission. Advisory: [`crate::DeadlineFirst`]
+    /// Deadline attached to scheduler submissions, measured from the
+    /// moment of submission. Soft by default: [`crate::DeadlineFirst`]
     /// dispatches earlier deadlines first; nothing is aborted when one
-    /// passes.
+    /// passes. See [`StreamOptions::hard_deadline`] for enforcement.
     pub deadline: Option<Duration>,
+    /// Makes [`StreamOptions::deadline`] *hard*: once it passes, the
+    /// scheduler cooperatively cancels the submission between
+    /// micro-batches with [`crate::PpError::DeadlineExceeded`]
+    /// (micro-batches already finished still reach the consumer, so
+    /// partial results survive). Meaningless without a deadline set.
+    pub hard_deadline: bool,
 }
 
 impl std::fmt::Debug for StreamOptions {
@@ -63,6 +69,7 @@ impl std::fmt::Debug for StreamOptions {
             .field("tail_threads", &self.tail_threads)
             .field("class", &self.class)
             .field("deadline", &self.deadline)
+            .field("hard_deadline", &self.hard_deadline)
             .finish()
     }
 }
@@ -116,6 +123,16 @@ impl StreamOptions {
     /// submissions.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Options with a *hard* deadline (from submission): past it, the
+    /// scheduler cancels the submission between micro-batches and the
+    /// stream ends with [`crate::PpError::DeadlineExceeded`] after any
+    /// already-finished batches.
+    pub fn with_hard_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self.hard_deadline = true;
         self
     }
 }
@@ -179,11 +196,16 @@ mod tests {
         let opts = StreamOptions::default();
         assert_eq!(opts.class, QosClass::Batch);
         assert_eq!(opts.deadline, None);
+        assert!(!opts.hard_deadline, "deadlines default to soft");
         let opts = opts
             .with_class(QosClass::Interactive)
             .with_deadline(Duration::from_millis(50));
         assert_eq!(opts.class, QosClass::Interactive);
         assert_eq!(opts.deadline, Some(Duration::from_millis(50)));
+        assert!(!opts.hard_deadline, "with_deadline stays soft");
+        let opts = opts.with_hard_deadline(Duration::from_millis(20));
+        assert_eq!(opts.deadline, Some(Duration::from_millis(20)));
+        assert!(opts.hard_deadline);
     }
 
     #[test]

@@ -123,7 +123,13 @@ pub(crate) fn admit(verdict: TailVerdict, library: &mut PatternLibrary) -> bool 
 }
 
 /// Consumes a sample stream into `library`, returning
-/// `(generated, legal)` counts — the tail half of every round.
+/// `(generated, legal)` counts and the first stream error, if any —
+/// the tail half of every round.
+///
+/// The counts are meaningful even when an error is returned: every
+/// sample before the failure point (in job order) is already admitted
+/// and counted, which is what lets a timed-out or aborted round report
+/// its partial results instead of pretending nothing happened.
 ///
 /// `tail_threads == 0` (or an active `force_naive`) runs on the calling
 /// thread; otherwise a pool of `tail_threads` workers prepares samples
@@ -135,19 +141,22 @@ pub(crate) fn consume(
     validator: &dyn Validator,
     tail_threads: usize,
     library: &mut PatternLibrary,
-) -> Result<(usize, usize), PpError> {
+) -> ((usize, usize), Option<PpError>) {
     if pp_nn::gemm::force_naive() {
         // The pre-rework tail: serial, rasterising, re-squishing.
         let mut generated = 0;
         let mut legal = 0;
         for sample in stream {
-            let sample = sample?;
+            let sample = match sample {
+                Ok(s) => s,
+                Err(e) => return ((generated, legal), Some(e)),
+            };
             generated += 1;
             if denoise_and_admit(denoiser, validator, &sample, library) {
                 legal += 1;
             }
         }
-        return Ok((generated, legal));
+        return ((generated, legal), None);
     }
     if tail_threads == 0 {
         return consume_serial(stream, denoiser, validator, library);
@@ -165,20 +174,24 @@ pub(crate) fn consume_batch(
     library: &mut PatternLibrary,
 ) -> (usize, usize) {
     let items = samples.iter().map(Ok);
-    let result = if pp_nn::gemm::force_naive() {
+    let (counts, error) = if pp_nn::gemm::force_naive() {
         let mut legal = 0;
         for sample in samples {
             if denoise_and_admit(denoiser, validator, sample, library) {
                 legal += 1;
             }
         }
-        Ok((samples.len(), legal))
+        ((samples.len(), legal), None)
     } else if tail_threads == 0 {
         consume_serial(items, denoiser, validator, library)
     } else {
         consume_parallel(items, denoiser, validator, tail_threads, library)
     };
-    result.expect("in-memory batches cannot produce stream errors")
+    assert!(
+        error.is_none(),
+        "in-memory batches cannot produce stream errors"
+    );
+    counts
 }
 
 fn consume_serial<S, I>(
@@ -186,7 +199,7 @@ fn consume_serial<S, I>(
     denoiser: &dyn PatternDenoiser,
     validator: &dyn Validator,
     library: &mut PatternLibrary,
-) -> Result<(usize, usize), PpError>
+) -> ((usize, usize), Option<PpError>)
 where
     S: Borrow<RawSample>,
     I: Iterator<Item = Result<S, PpError>>,
@@ -195,14 +208,17 @@ where
     let mut generated = 0;
     let mut legal = 0;
     for item in items {
-        let sample = item?;
+        let sample = match item {
+            Ok(s) => s,
+            Err(e) => return ((generated, legal), Some(e)),
+        };
         generated += 1;
         let verdict = prepare(denoiser, validator, sample.borrow(), Some(&mut cache));
         if admit(verdict, library) {
             legal += 1;
         }
     }
-    Ok((generated, legal))
+    ((generated, legal), None)
 }
 
 /// Samples dispatched to a tail worker per channel message. Channel
@@ -229,7 +245,7 @@ fn consume_parallel<S, I>(
     validator: &dyn Validator,
     threads: usize,
     library: &mut PatternLibrary,
-) -> Result<(usize, usize), PpError>
+) -> ((usize, usize), Option<PpError>)
 where
     S: Borrow<RawSample> + Send,
     I: Iterator<Item = Result<S, PpError>> + Send,
@@ -324,8 +340,5 @@ where
             }
         }
     });
-    match first_error {
-        Some(e) => Err(e),
-        None => Ok((generated, legal)),
-    }
+    ((generated, legal), first_error)
 }

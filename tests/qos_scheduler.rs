@@ -16,9 +16,10 @@
 //!   display usefully and `source()` chains reach the root cause.
 
 use patternpaint::core::{
-    CancelToken, ClassCounts, DeadlineFirst, Engine, GenerationRequest, JobOutcome, JobSet,
-    JobSpec, PipelineConfig, PpError, QosClass, QueueLimits, SchedPolicy, Scheduler,
-    SchedulerOptions, Service, ServiceOptions, Session, StreamOptions, WeightedFair,
+    CancelToken, ClassCounts, DeadlineFirst, Engine, Fault, FaultPlan, GenerationRequest,
+    JobOutcome, JobSet, JobSpec, PipelineConfig, PpError, QosClass, QueueLimits, RetryPolicy,
+    SchedPolicy, Scheduler, SchedulerOptions, Service, ServiceOptions, Session, StreamOptions,
+    WeightedFair,
 };
 use patternpaint::pdk::SynthNode;
 use pp_inpaint::MaskSet;
@@ -347,4 +348,102 @@ fn custom_policies_plug_in_without_changing_results() {
     let scheduler = engine.scheduler_with(2, SchedulerOptions::new().policy(NewestFirst));
     assert_tenants_match_solo(&engine, &scheduler, &unequal_tenants());
     assert_eq!(scheduler.stats().policy, "newest-first");
+}
+
+/// Dropping the receiver mid-retry abandons the job cleanly: when a
+/// fault kills attempt 1 and the caller cancels during the retry
+/// backoff, the retry loop stops — no ghost re-submission ever reaches
+/// the scheduler, and the abandoned submission is accounted exactly
+/// once.
+#[test]
+fn cancel_during_retry_backoff_abandons_without_ghost_resubmission() {
+    let engine = tiny_engine(8);
+    // Session 1 (the job's only scheduler session) panics on its
+    // second micro-batch, mid-submission.
+    let service = Service::new(
+        &engine,
+        ServiceOptions {
+            threads: 1,
+            scheduler: SchedulerOptions::new()
+                .faults(FaultPlan::new().inject(1, Fault::PanicAt { batch: 1 })),
+            ..Default::default()
+        },
+    );
+    let handle = service
+        .submit(
+            // 12 jobs at tiny's batch_size 4 = 3 micro-batches, so the
+            // panic at batch 1 leaves batch 2 queued — the abandoned
+            // remainder the scheduler must purge.
+            JobSpec::raw(request(&engine, 12, 40))
+                // A long backoff guarantees the cancel lands inside it.
+                .with_retry(RetryPolicy::new(2, Duration::from_millis(500))),
+        )
+        .expect("admitted");
+    // Wait for attempt 1 to fail and enter backoff, and for the
+    // scheduler to purge the dead submission's queued remainder.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while service.stats().retries < 1 || service.scheduler_stats().abandoned.total() < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "retry/abandon never happened: {:?}",
+            service.scheduler_stats()
+        );
+        std::thread::yield_now();
+    }
+    handle.cancel();
+    match handle.wait() {
+        JobOutcome::Cancelled(report) => {
+            assert_eq!(report.attempts, 1, "attempt 2 must never have started");
+        }
+        other => panic!("expected Cancelled, got: {other}"),
+    }
+    let sched = service.scheduler_stats();
+    assert_eq!(
+        sched.admitted.total(),
+        1,
+        "only attempt 1's submission ever reached the scheduler"
+    );
+    assert_eq!(sched.abandoned.total(), 1, "abandoned exactly once");
+    assert_eq!(sched.worker_panics, 1);
+    assert_eq!(
+        service.stats().retries,
+        1,
+        "the retry was booked, then dropped"
+    );
+}
+
+/// `wait_timeout` returns the handle unchanged while the job is still
+/// running and the outcome once it resolves — a bounded wait that
+/// neither cancels nor detaches the job.
+#[test]
+fn wait_timeout_returns_the_handle_until_the_job_resolves() {
+    let engine = tiny_engine(9);
+    // A 100 ms stall on the first micro-batch guarantees the job is
+    // still running when the 1 ms wait expires.
+    let service = Service::new(
+        &engine,
+        ServiceOptions {
+            threads: 1,
+            scheduler: SchedulerOptions::new().faults(FaultPlan::new().inject(
+                1,
+                Fault::StallFor {
+                    batch: 0,
+                    duration: Duration::from_millis(100),
+                },
+            )),
+            ..Default::default()
+        },
+    );
+    let handle = service
+        .submit(JobSpec::raw(request(&engine, 8, 41)))
+        .expect("admitted");
+    let handle = handle
+        .wait_timeout(Duration::from_millis(1))
+        .expect_err("the job is still stalled; the handle comes back");
+    // The returned handle is the same job: a generous second wait
+    // resolves it normally.
+    match handle.wait_timeout(Duration::from_secs(30)) {
+        Ok(outcome) => assert!(outcome.is_completed(), "outcome: {outcome}"),
+        Err(_) => panic!("30 s was not enough for a stalled tiny round"),
+    }
 }
