@@ -5,7 +5,16 @@
 # job counts (no BENCH_*.json is written) so they cannot silently rot.
 # Pass --chaos to additionally sweep the deterministic fault-injection
 # suite (tests/chaos_scheduler.rs) across fixed PP_CHAOS_SEED values.
+# Pass --analyze to run ONLY the pp-analyze static-analysis gate (fast
+# path for pre-commit); the default run includes it too.
 set -euo pipefail
+
+if [[ "${1:-}" == "--analyze" ]]; then
+    echo "==> cargo run -p pp-analyze (static analysis only)"
+    cargo run -q -p pp-analyze
+    echo "ci.sh: analyze passed"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -15,6 +24,9 @@ cargo build --release --examples
 
 echo "==> cargo test -q"
 RUST_BACKTRACE=1 cargo test -q
+
+echo "==> cargo run -p pp-analyze (static analysis)"
+cargo run -q -p pp-analyze
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

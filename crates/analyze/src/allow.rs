@@ -1,0 +1,155 @@
+//! The `analyze.allow` baseline: narrowly-scoped waivers.
+//!
+//! Format, one waiver per line, fields separated by `|`:
+//!
+//! ```text
+//! rule | path | needle | reason
+//! ```
+//!
+//! * `rule` — the rule id the waiver applies to;
+//! * `path` — the exact repo-relative file;
+//! * `needle` — a substring the offending source line must contain
+//!   (`*` matches any line, use sparingly);
+//! * `reason` — required free text: why this violation is acceptable.
+//!
+//! Blank lines and `#` comments are ignored. A waiver that matches no
+//! finding is *stale* and fails the run: the baseline may only ever
+//! shrink to match reality.
+
+use crate::report::Finding;
+
+/// One parsed waiver line.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id this waiver applies to.
+    pub rule: String,
+    /// Exact repo-relative path the finding must be in.
+    pub path: String,
+    /// Substring of the offending line (`*` = any).
+    pub needle: String,
+    /// Why the violation is acceptable (required).
+    pub reason: String,
+    /// 1-based line in `analyze.allow`, for stale reporting.
+    pub line_no: u32,
+}
+
+impl Waiver {
+    /// Whether this waiver excuses `f`.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule
+            && self.path == f.file
+            && (self.needle == "*" || f.snippet.contains(&self.needle))
+    }
+}
+
+/// The parsed allow file.
+#[derive(Debug, Default)]
+pub struct AllowList {
+    /// Waivers in file order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl AllowList {
+    /// Parses the allow-file text; malformed lines are errors (a
+    /// baseline that silently ignores typos grants nothing reliably).
+    pub fn parse(text: &str) -> Result<AllowList, String> {
+        let mut waivers = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+            if parts.len() != 4 || parts.iter().any(|p| p.is_empty()) {
+                return Err(format!(
+                    "analyze.allow:{}: expected `rule | path | needle | reason`, got: {line}",
+                    i + 1
+                ));
+            }
+            waivers.push(Waiver {
+                rule: parts[0].to_string(),
+                path: parts[1].to_string(),
+                needle: parts[2].to_string(),
+                reason: parts[3].to_string(),
+                line_no: i as u32 + 1,
+            });
+        }
+        Ok(AllowList { waivers })
+    }
+
+    /// Splits raw findings into (unwaived, waived) and returns the
+    /// stale waivers that matched nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<Waiver>) {
+        let mut hit = vec![false; self.waivers.len()];
+        let mut unwaived = Vec::new();
+        let mut waived = Vec::new();
+        for f in findings {
+            let mut excused = false;
+            for (i, w) in self.waivers.iter().enumerate() {
+                if w.matches(&f) {
+                    hit[i] = true;
+                    excused = true;
+                }
+            }
+            if excused {
+                waived.push(f);
+            } else {
+                unwaived.push(f);
+            }
+        }
+        let stale = self
+            .waivers
+            .iter()
+            .zip(&hit)
+            .filter(|(_, h)| !**h)
+            .map(|(w, _)| w.clone())
+            .collect();
+        (unwaived, waived, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn waiver_requires_rule_path_and_needle() {
+        let allow =
+            AllowList::parse("poison-hygiene | src/a.rs | .lock().unwrap() | legacy\n").unwrap();
+        let f = finding("poison-hygiene", "src/a.rs", "x.lock().unwrap();");
+        assert!(allow.waivers[0].matches(&f));
+        let other_file = finding("poison-hygiene", "src/b.rs", "x.lock().unwrap();");
+        assert!(!allow.waivers[0].matches(&other_file));
+        let other_rule = finding("determinism", "src/a.rs", "x.lock().unwrap();");
+        assert!(!allow.waivers[0].matches(&other_rule));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(AllowList::parse("rule-only-no-path\n").is_err());
+        assert!(AllowList::parse("a | b | c |\n").is_err(), "empty reason");
+        assert!(AllowList::parse("# comment\n\n")
+            .unwrap()
+            .waivers
+            .is_empty());
+    }
+
+    #[test]
+    fn stale_waivers_are_returned() {
+        let allow = AllowList::parse("determinism | src/a.rs | * | because\n").unwrap();
+        let (unwaived, waived, stale) = allow.apply(vec![]);
+        assert!(unwaived.is_empty() && waived.is_empty());
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].line_no, 1);
+    }
+}

@@ -1,0 +1,397 @@
+//! A minimal Rust lexer: just enough structure for lexical rules
+//! without an external parser dependency.
+//!
+//! The scanner distinguishes comments (line, nested block), string
+//! literals (plain, raw with any `#` count, byte variants), char
+//! literals vs lifetimes, identifiers, numbers, and single-character
+//! punctuation. That is sufficient for every rule in this crate: rules
+//! match on *code* token sequences, so a forbidden pattern inside a
+//! string or comment never fires, and comment tokens keep their text so
+//! the unsafe-audit rule can look for `// SAFETY:` markers.
+
+/// What a token is; `Punct` carries the single character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String literal of any flavour, escapes resolved lexically only.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal (integers, floats, suffixed forms).
+    Num,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// `// ...` comment, text preserved (doc comments included).
+    LineComment,
+    /// `/* ... */` comment, nesting-aware, text preserved.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens. The lexer never fails: unterminated
+/// constructs simply run to end of input, which is fine for a linter
+/// whose inputs already compile.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let count_newlines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = b[i];
+        let start = i;
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == '/' && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == '*' && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+                line += count_newlines(&b[start..i]);
+            }
+            '"' => {
+                i = scan_string(&b, i);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+                line += count_newlines(&b[start..i]);
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a lifetime starts with an ident char and is
+                // NOT followed by a closing quote right after it.
+                if i + 1 < n && is_ident_start(b[i + 1]) && !(i + 2 < n && b[i + 2] == '\'') {
+                    i += 1;
+                    while i < n && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line: start_line,
+                    });
+                } else {
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 1; // skip the escape introducer
+                        if i < n {
+                            i += 1; // and the escaped char
+                        }
+                        // \u{...} and \x.. run until the quote below.
+                    } else if i < n {
+                        i += 1;
+                    }
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    if i < n {
+                        i += 1; // closing quote
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[start..i].iter().collect(),
+                        line: start_line,
+                    });
+                }
+            }
+            'r' | 'b' if raw_or_byte_prefix(&b, i) => {
+                i = scan_prefixed_literal(&b, i);
+                let text: String = b[start..i].iter().collect();
+                let kind = if text.ends_with('\'') {
+                    TokKind::Char
+                } else {
+                    TokKind::Str
+                };
+                toks.push(Tok {
+                    kind,
+                    text,
+                    line: start_line,
+                });
+                line += count_newlines(&b[start..i]);
+            }
+            c if is_ident_start(c) => {
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < n {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                        i += 1; // decimal point of a float, not `..`
+                    } else if (d == '+' || d == '-') && i > start && matches!(b[i - 1], 'e' | 'E') {
+                        i += 1; // exponent sign
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            other => {
+                i += 1;
+                toks.push(Tok {
+                    kind: TokKind::Punct(other),
+                    text: other.to_string(),
+                    line: start_line,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Scans a plain (escaping) string starting at the opening quote;
+/// returns the index one past the closing quote.
+fn scan_string(b: &[char], mut i: usize) -> usize {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// True when the `r`/`b` at `i` starts a raw string, byte string, raw
+/// byte string, or byte char rather than an identifier.
+fn raw_or_byte_prefix(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    match b[i] {
+        'r' => {
+            let mut j = i + 1;
+            while j < n && b[j] == '#' {
+                j += 1;
+            }
+            j < n && b[j] == '"' && j > i // r" only counts with quote or #s+quote
+                || (i + 1 < n && b[i + 1] == '"')
+        }
+        'b' => {
+            if i + 1 >= n {
+                return false;
+            }
+            match b[i + 1] {
+                '"' | '\'' => true,
+                'r' => {
+                    let mut j = i + 2;
+                    while j < n && b[j] == '#' {
+                        j += 1;
+                    }
+                    j < n && b[j] == '"'
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Scans `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, or `b'x'`
+/// starting at the prefix; returns the index one past the end.
+fn scan_prefixed_literal(b: &[char], mut i: usize) -> usize {
+    let n = b.len();
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+        if i < n && b[i] == '\'' {
+            // byte char: reuse char-literal shape
+            i += 1;
+            if i < n && b[i] == '\\' {
+                i += 2;
+            } else if i < n {
+                i += 1;
+            }
+            while i < n && b[i] != '\'' {
+                i += 1;
+            }
+            return (i + 1).min(n);
+        }
+    }
+    if i < n && b[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < n && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || b[i] != '"' {
+        return i; // not actually a literal; let the caller move on
+    }
+    i += 1; // opening quote
+    if raw || hashes > 0 {
+        // Raw: ends at `"` followed by the same number of `#`s.
+        while i < n {
+            if b[i] == '"' {
+                let mut j = i + 1;
+                let mut k = 0usize;
+                while j < n && k < hashes && b[j] == '#' {
+                    j += 1;
+                    k += 1;
+                }
+                if k == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+        n
+    } else {
+        scan_string(b, i - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = lex("let s = \"a.lock().unwrap()\"; // .lock().unwrap()\n");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+        assert!(toks.iter().any(|t| t.kind == TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let toks = lex(r####"let s = r#"contains "quotes" and unwrap"#; x"####);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* outer /* inner */ still */ code");
+        assert_eq!(
+            kinds("/* a /* b */ c */ x"),
+            vec![TokKind::BlockComment, TokKind::Ident]
+        );
+        assert!(toks.iter().any(|t| t.is_ident("code")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let toks = lex("let a = \"two\nlines\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn identifiers_starting_with_r_and_b_survive() {
+        let toks = lex("let row0 = broadcast + r + b;");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "row0", "broadcast", "r", "b"]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The `pp-analyze` CLI.
+//!
+//! ```text
+//! pp-analyze [--root DIR] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings or stale waivers, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                for (id, what) in pp_analyze::rules::CATALOGUE {
+                    println!("{id}: {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("usage: pp-analyze [--root DIR] [--json] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(find_root);
+    match pp_analyze::analyze_root(&root) {
+        Ok(analysis) => {
+            if json {
+                print!("{}", analysis.render_json());
+            } else {
+                print!("{}", analysis.render_text());
+            }
+            if analysis.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("pp-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// directory holding a `[workspace]` Cargo.toml), so the tool works
+/// from any subdirectory. Falls back to `.`.
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pp-analyze: {msg}\nusage: pp-analyze [--root DIR] [--json] [--list-rules]");
+    ExitCode::from(2)
+}

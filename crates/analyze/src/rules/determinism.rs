@@ -1,0 +1,69 @@
+//! `determinism`: no ambient clocks or entropy in seeded paths.
+//!
+//! The repo's headline guarantee is bit-identical resumable runs:
+//! every sample is a pure function of `(model, template, mask,
+//! seed ^ job_index)`. An `Instant::now()` feeding a decision, or an
+//! RNG seeded from the environment, silently breaks that. The rule
+//! forbids `SystemTime::now`, `Instant::now`, and entropy-sourced RNG
+//! construction (`thread_rng`, `from_entropy`, `OsRng`) outside the
+//! configured timing/backoff modules (deadline enforcement and retry
+//! backoff are wall-clock by nature) and the benchmark harness. Any
+//! other site needs an `analyze.allow` waiver naming the reason.
+
+use super::{finding, Config};
+use crate::model::SourceFile;
+use crate::report::Finding;
+
+const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+const ENTROPY_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+
+pub(super) fn check(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if cfg
+            .determinism_allowed
+            .iter()
+            .any(|p| f.path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let n = f.code_len();
+        for k in 0..n {
+            let t = f.ct(k);
+            let line = t.line;
+            if f.is_test_line(line) {
+                continue;
+            }
+            if t.is_ident("now")
+                && k >= 3
+                && f.ct(k - 1).is_punct(':')
+                && f.ct(k - 2).is_punct(':')
+                && CLOCK_TYPES.iter().any(|c| f.ct(k - 3).is_ident(c))
+            {
+                let ty = &f.ct(k - 3).text;
+                out.push(finding(
+                    "determinism",
+                    f,
+                    line,
+                    format!(
+                        "ambient clock `{ty}::now()` outside the timing/backoff allowlist; \
+                         thread timing through the caller or add an analyze.allow waiver"
+                    ),
+                ));
+            }
+            if ENTROPY_IDENTS.iter().any(|e| t.is_ident(e)) {
+                out.push(finding(
+                    "determinism",
+                    f,
+                    line,
+                    format!(
+                        "entropy-sourced RNG `{}` breaks bit-identical replay; derive seeds \
+                         from the request (`seed ^ job_index`) instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,171 @@
+//! `error-surface`: `pub fn ... -> Result<..>` in pp-core uses
+//! `PpError` (or another typed `*Error`) as its error type.
+//!
+//! The service front door maps typed errors to admission rejections,
+//! retries, and client responses; an ad-hoc error type (or a stringly
+//! `Box<dyn Error>`) in the public surface breaks that mapping. The
+//! rule parses every `pub fn` signature's return type: a `Result`
+//! whose error argument neither is `PpError` nor ends in `Error`
+//! is a finding. A qualified one-argument alias such as `io::Result`
+//! resolves to the qualifier's `Error` type and passes; a bare
+//! `Result<T>` alias is opaque and flagged.
+
+use super::{finding, Config};
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::report::Finding;
+
+pub(super) fn check(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !f.path.starts_with(cfg.core_prefix.as_str()) {
+            continue;
+        }
+        let n = f.code_len();
+        let mut k = 0usize;
+        while k < n {
+            if !f.ct(k).is_ident("pub") {
+                k += 1;
+                continue;
+            }
+            let mut j = k + 1;
+            // pub(crate) / pub(super) / pub(in ...) is restricted
+            // visibility, not the public surface — skip it.
+            if j < n && f.ct(j).is_punct('(') {
+                k = j + 1;
+                continue;
+            }
+            // qualifiers before `fn`
+            while j < n
+                && (f.ct(j).is_ident("const")
+                    || f.ct(j).is_ident("async")
+                    || f.ct(j).is_ident("unsafe")
+                    || f.ct(j).is_ident("extern")
+                    || f.ct(j).kind == TokKind::Str)
+            {
+                j += 1;
+            }
+            if !(j + 1 < n && f.ct(j).is_ident("fn")) {
+                k += 1;
+                continue;
+            }
+            let name = f.ct(j + 1).text.clone();
+            let line = f.ct(j + 1).line;
+            if f.is_test_line(line) {
+                k = j + 2;
+                continue;
+            }
+            // Signature runs to the body `{` or a `;` (trait decls).
+            let mut end = j + 2;
+            while end < n && !(f.ct(end).is_punct('{') || f.ct(end).is_punct(';')) {
+                end += 1;
+            }
+            if let Some(msg) = check_signature(f, j + 2, end, &name) {
+                out.push(finding("error-surface", f, line, msg));
+            }
+            k = end;
+        }
+    }
+    out
+}
+
+/// Examines code tokens `[start, end)` of one signature; returns a
+/// message when its return type misuses `Result`.
+fn check_signature(f: &SourceFile, start: usize, end: usize, name: &str) -> Option<String> {
+    // The *last* `->` before the body belongs to the fn itself (earlier
+    // ones sit inside `Fn() -> T` bounds in the parameter list).
+    let mut arrow = None;
+    let mut i = start;
+    while i + 1 < end {
+        if f.ct(i).is_punct('-') && f.ct(i + 1).is_punct('>') {
+            arrow = Some(i + 2);
+        }
+        i += 1;
+    }
+    let mut i = arrow?;
+    // Find `Result` in the return type (stop at `where`).
+    let mut res = None;
+    while i < end && !f.ct(i).is_ident("where") {
+        if f.ct(i).is_ident("Result") {
+            res = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    let res = res?;
+    let qualifier = (res >= 2
+        && f.ct(res - 1).is_punct(':')
+        && f.ct(res - 2).is_punct(':')
+        && res >= 3
+        && f.ct(res - 3).kind == TokKind::Ident)
+        .then(|| f.ct(res - 3).text.clone());
+    if !(res + 1 < end && f.ct(res + 1).is_punct('<')) {
+        // `Result` with no generics: some alias we cannot see through.
+        return match qualifier {
+            Some(_) => None,
+            None => Some(format!(
+                "pub fn `{name}` returns a bare `Result` alias; spell out `Result<_, PpError>`"
+            )),
+        };
+    }
+    // Split the generic arguments at angle depth 1 (and paren/bracket
+    // depth 0, so tuple and array error types stay whole).
+    let mut depth = 0i32;
+    let mut nest = 0i32;
+    let mut args: Vec<Vec<String>> = vec![Vec::new()];
+    let mut i = res + 1;
+    while i < end {
+        let t = f.ct(i);
+        match t.kind {
+            TokKind::Punct('<') => {
+                depth += 1;
+                if depth > 1 {
+                    args.last_mut()
+                        .expect("args starts non-empty")
+                        .push("<".into());
+                }
+            }
+            TokKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                args.last_mut()
+                    .expect("args starts non-empty")
+                    .push(">".into());
+            }
+            TokKind::Punct(',') if depth == 1 && nest == 0 => args.push(Vec::new()),
+            _ => {
+                match t.kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') => nest += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => nest -= 1,
+                    _ => {}
+                }
+                args.last_mut()
+                    .expect("args starts non-empty")
+                    .push(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    if args.len() < 2 {
+        // One-argument Result: a qualified alias (io::Result) resolves
+        // to the qualifier's Error type; a bare one is opaque.
+        return match qualifier {
+            Some(_) => None,
+            None => Some(format!(
+                "pub fn `{name}` returns a single-argument `Result` alias; use `PpError`"
+            )),
+        };
+    }
+    let err = &args[1];
+    let typed = err.iter().any(|t| t == "PpError") || err.iter().any(|t| t.ends_with("Error"));
+    if typed {
+        return None;
+    }
+    Some(format!(
+        "pub fn `{name}` returns `Result<_, {}>`; pp-core's surface uses `PpError` \
+         (or a typed `*Error`)",
+        err.join("")
+    ))
+}

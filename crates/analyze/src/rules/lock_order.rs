@@ -1,0 +1,413 @@
+//! `lock-order`: the static lock-acquisition graph of pp-core must be
+//! cycle-free.
+//!
+//! For every function in `crates/core/src/` the rule extracts which
+//! named lock fields are acquired (`x.state.lock()` → `state`) and
+//! which are still held at that point: a guard bound with `let` is held
+//! until its enclosing block closes (or an explicit `drop(guard)`);
+//! an unbound guard is held to the end of its statement. Helper
+//! functions that acquire and return guards (`lock_state`,
+//! `lock_counters`) are expanded at their call sites, so indirection
+//! does not hide an acquisition. Every "B acquired while A held" pair
+//! becomes an edge A→B; a cycle in the resulting graph — including a
+//! self-edge, since `std::sync::Mutex` is not re-entrant — is a
+//! potential deadlock and fails the pass.
+//!
+//! This is a conservative lexical approximation: guards moved across
+//! functions or stored in structs are invisible, and a guard is
+//! assumed held to end of block even if dropped early by shadowing.
+//! For the scheduler/service/engine layer — short, block-scoped
+//! critical sections by policy — that approximation is exact.
+
+use super::{finding, Config};
+use crate::model::SourceFile;
+use crate::report::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(super) fn check(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
+    let mut fns: Vec<FnDef> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !f.path.starts_with(cfg.core_prefix.as_str()) {
+            continue;
+        }
+        extract_functions(f, fi, &mut fns);
+    }
+    let by_name: BTreeMap<&str, usize> = fns
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.name.as_str(), i))
+        .collect();
+
+    // Edges: (held, acquired) -> example site.
+    let mut edges: BTreeMap<(String, String), (usize, u32)> = BTreeMap::new();
+    for def in &fns {
+        simulate(def, &fns, &by_name, &mut edges);
+    }
+
+    let mut out = Vec::new();
+    for cycle in find_cycles(&edges) {
+        let mut route = String::new();
+        let mut sites = Vec::new();
+        for w in cycle.windows(2) {
+            if let Some(&(fi, line)) = edges.get(&(w[0].clone(), w[1].clone())) {
+                sites.push(format!(
+                    "{} -> {} at {}:{}",
+                    w[0], w[1], files[fi].path, line
+                ));
+            }
+        }
+        route.push_str(&cycle.join(" -> "));
+        let &(fi, line) = edges
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .expect("cycle edges exist in the map");
+        out.push(finding(
+            "lock-order",
+            &files[fi],
+            line,
+            format!(
+                "potential deadlock: lock-order cycle {route} ({}); acquire these locks in \
+                 one global order or narrow the critical sections",
+                sites.join(", ")
+            ),
+        ));
+    }
+    out
+}
+
+/// One event inside a function body, in lexical order.
+#[derive(Debug, Clone)]
+enum Event {
+    /// `{`
+    Open,
+    /// `}`
+    Close,
+    /// `;` (statement boundary at the current depth)
+    Semi,
+    /// A named lock acquisition, with its binding if `let`-bound.
+    Acquire {
+        lock: String,
+        line: u32,
+        binding: Option<String>,
+    },
+    /// A call to a function that may acquire locks.
+    Call {
+        callee: String,
+        line: u32,
+        binding: Option<String>,
+    },
+    /// `drop(name)` — an explicit early release.
+    Drop { name: String },
+}
+
+#[derive(Debug)]
+struct FnDef {
+    name: String,
+    file: usize,
+    events: Vec<Event>,
+}
+
+const ACQUIRES: [&str; 3] = ["lock", "read", "write"];
+const KEYWORDS: [&str; 14] = [
+    "if", "while", "match", "for", "return", "let", "loop", "move", "in", "else", "fn", "drop",
+    "Some", "Ok",
+];
+
+fn extract_functions(f: &SourceFile, fi: usize, out: &mut Vec<FnDef>) {
+    let n = f.code_len();
+    let mut k = 0usize;
+    while k < n {
+        if !(f.ct(k).is_ident("fn")
+            && k + 1 < n
+            && f.ct(k + 1).kind == crate::lexer::TokKind::Ident)
+        {
+            k += 1;
+            continue;
+        }
+        let name = f.ct(k + 1).text.clone();
+        if f.is_test_line(f.ct(k).line) {
+            k += 2;
+            continue;
+        }
+        // Find the body opening brace (or `;` for trait decls).
+        let mut j = k + 2;
+        let mut open = None;
+        while j < n {
+            if f.ct(j).is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if f.ct(j).is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            k = j + 1;
+            continue;
+        };
+        // Match the closing brace.
+        let mut depth = 0i32;
+        let mut close = open;
+        while close < n {
+            if f.ct(close).is_punct('{') {
+                depth += 1;
+            } else if f.ct(close).is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        let events = extract_events(f, open, close.min(n - 1));
+        out.push(FnDef {
+            name,
+            file: fi,
+            events,
+        });
+        k += 2; // keep walking inside the body: nested fns are rare but real
+    }
+}
+
+/// Builds the event stream for code tokens `(open, close)`.
+fn extract_events(f: &SourceFile, open: usize, close: usize) -> Vec<Event> {
+    let mut ev = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = f.ct(k);
+        if t.is_punct('{') {
+            ev.push(Event::Open);
+        } else if t.is_punct('}') {
+            ev.push(Event::Close);
+        } else if t.is_punct(';') {
+            ev.push(Event::Semi);
+        } else if t.is_punct('.')
+            && k + 3 < close
+            && ACQUIRES.iter().any(|a| f.ct(k + 1).is_ident(a))
+            && f.ct(k + 2).is_punct('(')
+            && f.ct(k + 3).is_punct(')')
+        {
+            // `recv.lock()` — name the receiver field if we can see it.
+            if k >= 1 && f.ct(k - 1).kind == crate::lexer::TokKind::Ident {
+                ev.push(Event::Acquire {
+                    lock: f.ct(k - 1).text.clone(),
+                    line: f.ct(k + 1).line,
+                    binding: statement_binding(f, open, k),
+                });
+            }
+            k += 4;
+            continue;
+        } else if t.is_ident("drop")
+            && k + 3 < close
+            && f.ct(k + 1).is_punct('(')
+            && f.ct(k + 2).kind == crate::lexer::TokKind::Ident
+            && f.ct(k + 3).is_punct(')')
+        {
+            ev.push(Event::Drop {
+                name: f.ct(k + 2).text.clone(),
+            });
+            k += 4;
+            continue;
+        } else if t.kind == crate::lexer::TokKind::Ident
+            && k + 1 < close
+            && f.ct(k + 1).is_punct('(')
+            && !KEYWORDS.contains(&t.text.as_str())
+            && !(k >= 1 && (f.ct(k - 1).is_punct('.') || f.ct(k - 1).is_punct(':')))
+        {
+            ev.push(Event::Call {
+                callee: t.text.clone(),
+                line: t.line,
+                binding: statement_binding(f, open, k),
+            });
+        }
+        k += 1;
+    }
+    ev
+}
+
+/// If the statement containing code position `k` starts with
+/// `let [mut] NAME`, returns `NAME`.
+fn statement_binding(f: &SourceFile, open: usize, k: usize) -> Option<String> {
+    let mut s = k;
+    while s > open {
+        let t = f.ct(s - 1);
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    if !f.ct(s).is_ident("let") {
+        return None;
+    }
+    let mut p = s + 1;
+    if f.ct(p).is_ident("mut") {
+        p += 1;
+    }
+    (f.ct(p).kind == crate::lexer::TokKind::Ident).then(|| f.ct(p).text.clone())
+}
+
+/// Ordered locks a function acquires, following calls transitively.
+fn flatten(
+    idx: usize,
+    fns: &[FnDef],
+    by_name: &BTreeMap<&str, usize>,
+    visiting: &mut BTreeSet<usize>,
+) -> Vec<String> {
+    if !visiting.insert(idx) {
+        return Vec::new(); // recursion guard
+    }
+    let mut locks = Vec::new();
+    for e in &fns[idx].events {
+        match e {
+            Event::Acquire { lock, .. } => locks.push(lock.clone()),
+            Event::Call { callee, .. } => {
+                if let Some(&ci) = by_name.get(callee.as_str()) {
+                    locks.extend(flatten(ci, fns, by_name, visiting));
+                }
+            }
+            _ => {}
+        }
+    }
+    visiting.remove(&idx);
+    locks
+}
+
+#[derive(Debug)]
+struct Held {
+    lock: String,
+    depth: i32,
+    binding: Option<String>,
+}
+
+fn simulate(
+    def: &FnDef,
+    fns: &[FnDef],
+    by_name: &BTreeMap<&str, usize>,
+    edges: &mut BTreeMap<(String, String), (usize, u32)>,
+) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let acquire = |held: &mut Vec<Held>,
+                   lock: &str,
+                   line: u32,
+                   binding: &Option<String>,
+                   depth: i32,
+                   edges: &mut BTreeMap<(String, String), (usize, u32)>| {
+        for h in held.iter() {
+            edges
+                .entry((h.lock.clone(), lock.to_string()))
+                .or_insert((def.file, line));
+        }
+        held.push(Held {
+            lock: lock.to_string(),
+            depth,
+            binding: binding.clone(),
+        });
+    };
+    for e in &def.events {
+        match e {
+            Event::Open => depth += 1,
+            Event::Close => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            Event::Semi => {
+                // Unbound guards are temporaries: dead at the `;`.
+                held.retain(|h| h.binding.is_some() || h.depth < depth);
+            }
+            Event::Drop { name } => {
+                held.retain(|h| h.binding.as_deref() != Some(name.as_str()));
+            }
+            Event::Acquire {
+                lock,
+                line,
+                binding,
+            } => acquire(&mut held, lock, *line, binding, depth, edges),
+            Event::Call {
+                callee,
+                line,
+                binding,
+            } => {
+                if let Some(&ci) = by_name.get(callee.as_str()) {
+                    let locks = flatten(ci, fns, by_name, &mut BTreeSet::new());
+                    if binding.is_some() {
+                        // `let g = self.lock_x();` — the callee's guard
+                        // lives on at the call site; treat its locks as
+                        // acquired here.
+                        for lock in locks {
+                            acquire(&mut held, &lock, *line, binding, depth, edges);
+                        }
+                    } else {
+                        // A plain call: the callee's acquisitions are
+                        // transient (its own simulation covers their
+                        // internal ordering), but anything held *here*
+                        // still orders before them.
+                        for lock in locks {
+                            for h in held.iter() {
+                                edges
+                                    .entry((h.lock.clone(), lock.clone()))
+                                    .or_insert((def.file, *line));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All distinct cycles (as node paths `a -> b -> a`) in the edge set.
+fn find_cycles(edges: &BTreeMap<(String, String), (usize, u32)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_keys: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into_iter().collect();
+        dfs(
+            start,
+            start,
+            &adj,
+            &mut stack,
+            &mut on_path,
+            &mut cycles,
+            &mut seen_keys,
+        );
+    }
+    cycles
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    start: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    on_path: &mut BTreeSet<&'a str>,
+    cycles: &mut Vec<Vec<String>>,
+    seen_keys: &mut BTreeSet<Vec<String>>,
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if next == start {
+            let mut cyc: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            cyc.push(start.to_string());
+            // Canonical key: the sorted node set, so each cycle
+            // reports once regardless of entry point.
+            let mut key: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            key.sort();
+            if seen_keys.insert(key) {
+                cycles.push(cyc);
+            }
+        } else if !on_path.contains(next) {
+            stack.push(next);
+            on_path.insert(next);
+            dfs(next, start, adj, stack, on_path, cycles, seen_keys);
+            stack.pop();
+            on_path.remove(next);
+        }
+    }
+}

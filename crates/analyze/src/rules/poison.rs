@@ -1,0 +1,50 @@
+//! `poison-hygiene`: results of `Mutex::lock` / `RwLock::read` /
+//! `RwLock::write` must recover from poisoning, never `.unwrap()` /
+//! `.expect()`.
+//!
+//! The supervised runtime's whole fault story (PR 6) rests on poisoned
+//! locks being *recovered*, not re-panicked: one tenant's panic must
+//! not condemn `submit()`/`stats()`/shutdown for everyone else. The
+//! rule matches the token sequence `. lock ( ) . unwrap|expect` (and
+//! the `read`/`write` variants) in non-test code; `unwrap_or_else`
+//! is a different identifier and does not fire.
+
+use super::{finding, Config};
+use crate::model::SourceFile;
+use crate::report::Finding;
+
+const ACQUIRES: [&str; 3] = ["lock", "read", "write"];
+const SINKS: [&str; 2] = ["unwrap", "expect"];
+
+pub(super) fn check(files: &[SourceFile], _cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let n = f.code_len();
+        for k in 0..n.saturating_sub(5) {
+            if f.ct(k).is_punct('.')
+                && ACQUIRES.iter().any(|a| f.ct(k + 1).is_ident(a))
+                && f.ct(k + 2).is_punct('(')
+                && f.ct(k + 3).is_punct(')')
+                && f.ct(k + 4).is_punct('.')
+                && SINKS.iter().any(|s| f.ct(k + 5).is_ident(s))
+            {
+                let line = f.ct(k + 1).line;
+                if f.is_test_line(line) {
+                    continue;
+                }
+                let acquire = &f.ct(k + 1).text;
+                let sink = &f.ct(k + 5).text;
+                out.push(finding(
+                    "poison-hygiene",
+                    f,
+                    line,
+                    format!(
+                        "`.{acquire}().{sink}(..)` re-panics on a poisoned lock; recover with \
+                         `.unwrap_or_else(PoisonError::into_inner)` (or handle the error)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

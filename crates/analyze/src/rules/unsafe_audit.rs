@@ -1,0 +1,170 @@
+//! `unsafe-audit`: every `unsafe` occurrence must be justified in
+//! writing, and crates that need no unsafe must say so enforceably.
+//!
+//! Two checks:
+//!
+//! 1. Each `unsafe` keyword (block, fn, impl) must have a `// SAFETY:`
+//!    comment — or a `# Safety` doc section for `unsafe fn` — on the
+//!    lines directly above it (blank lines and attributes may
+//!    intervene).
+//! 2. Per crate: if no file under its `src/` contains `unsafe`, every
+//!    crate root (`lib.rs`, `main.rs`, `bin/*.rs`) must carry
+//!    `#![forbid(unsafe_code)]`; if the crate *does* use unsafe, its
+//!    `lib.rs` must carry `#![deny(unsafe_op_in_unsafe_fn)]` so every
+//!    unsafe operation sits in an explicit, commented block.
+
+use super::{finding, Config};
+use crate::model::SourceFile;
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+pub(super) fn check(files: &[SourceFile], _cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_safety_comments(files, &mut out);
+    check_crate_attrs(files, &mut out);
+    out
+}
+
+fn check_safety_comments(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for f in files {
+        for k in 0..f.code_len() {
+            if !f.ct(k).is_ident("unsafe") {
+                continue;
+            }
+            let line = f.ct(k).line;
+            if !has_safety_note(f, line) {
+                out.push(finding(
+                    "unsafe-audit",
+                    f,
+                    line,
+                    "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc section) on the \
+                     preceding lines; state the invariant that makes this sound"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Looks for a SAFETY marker on `line` itself or on the comment block
+/// directly above it, skipping blank and attribute-only lines.
+fn has_safety_note(f: &SourceFile, line: u32) -> bool {
+    let marker = |text: &str| text.contains("SAFETY:") || text.contains("# Safety");
+    if marker(&f.line_info(line).comment) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let info = f.line_info(l);
+        let blank = !info.has_code && info.comment.is_empty() && !info.comment_cont;
+        if blank || info.attr_only {
+            l -= 1;
+            continue;
+        }
+        if info.has_code {
+            // Nearest line above is code: accept only a trailing
+            // SAFETY comment on that same line.
+            return marker(&info.comment);
+        }
+        // A comment block: scan it upward as one unit.
+        while l >= 1 {
+            let ci = f.line_info(l);
+            if ci.has_code {
+                break;
+            }
+            if marker(&ci.comment) {
+                return true;
+            }
+            if ci.comment.is_empty() && !ci.comment_cont {
+                break;
+            }
+            l -= 1;
+        }
+        return false;
+    }
+    false
+}
+
+fn check_crate_attrs(files: &[SourceFile], out: &mut Vec<Finding>) {
+    // Group the `src/` files of each crate; `crates/<name>/src/...`
+    // plus the workspace-root crate at `src/...`.
+    let mut crates: BTreeMap<String, Vec<&SourceFile>> = BTreeMap::new();
+    for f in files {
+        if let Some(key) = crate_key(&f.path) {
+            crates.entry(key).or_default().push(f);
+        }
+    }
+    for srcs in crates.values() {
+        let has_unsafe = srcs
+            .iter()
+            .any(|f| (0..f.code_len()).any(|k| f.ct(k).is_ident("unsafe")));
+        for f in srcs {
+            if !is_crate_root(&f.path) {
+                continue;
+            }
+            if !has_unsafe && !has_inner_attr(f, "forbid", "unsafe_code") {
+                out.push(finding(
+                    "unsafe-audit",
+                    f,
+                    1,
+                    "crate has no unsafe code but its root lacks `#![forbid(unsafe_code)]`; \
+                     forbid it so none can creep in"
+                        .to_string(),
+                ));
+            }
+            if has_unsafe
+                && f.path.ends_with("/lib.rs")
+                && !has_inner_attr(f, "deny", "unsafe_op_in_unsafe_fn")
+            {
+                out.push(finding(
+                    "unsafe-audit",
+                    f,
+                    1,
+                    "crate uses unsafe but its lib.rs lacks `#![deny(unsafe_op_in_unsafe_fn)]`; \
+                     deny it so each unsafe operation needs an explicit commented block"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// The crate grouping key for a `src/` file, `None` for test/example
+/// targets (separate compilation units; crate attrs do not reach them).
+fn crate_key(path: &str) -> Option<String> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let name = rest.split('/').next()?;
+        let src_prefix = format!("crates/{name}/src/");
+        return path
+            .starts_with(&src_prefix)
+            .then(|| format!("crates/{name}"));
+    }
+    path.starts_with("src/").then(|| ".".to_string())
+}
+
+/// Whether this file is a crate root (its own compilation unit root).
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("/lib.rs") && path.matches('/').count() <= 3 && path.contains("/src/")
+        || path == "src/lib.rs"
+        || path.ends_with("/src/main.rs")
+        || path.contains("/src/bin/")
+}
+
+/// Looks for `#![<level>(<lint>)]` in the file's code tokens.
+fn has_inner_attr(f: &SourceFile, level: &str, lint: &str) -> bool {
+    let n = f.code_len();
+    for k in 0..n.saturating_sub(7) {
+        if f.ct(k).is_punct('#')
+            && f.ct(k + 1).is_punct('!')
+            && f.ct(k + 2).is_punct('[')
+            && f.ct(k + 3).is_ident(level)
+            && f.ct(k + 4).is_punct('(')
+            && f.ct(k + 5).is_ident(lint)
+            && f.ct(k + 6).is_punct(')')
+            && f.ct(k + 7).is_punct(']')
+        {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,51 @@
+//! The real workspace must scan clean: zero unwaived findings and zero
+//! stale waivers against the checked-in `analyze.allow`. This is the
+//! same gate `./ci.sh --analyze` runs, kept in the test suite so a
+//! plain `cargo test` catches a new violation before CI does.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root exists")
+}
+
+#[test]
+fn workspace_scans_clean() {
+    let analysis = pp_analyze::analyze_root(&repo_root()).expect("analysis runs");
+    assert!(
+        analysis.is_clean(),
+        "workspace has unwaived findings or stale waivers:\n{}",
+        analysis.render_text()
+    );
+    assert!(
+        analysis.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        analysis.files_scanned
+    );
+}
+
+#[test]
+fn every_waiver_is_exercised() {
+    // `is_clean` already fails on stale waivers; this documents the
+    // expectation that the baseline stays small and fully live.
+    let analysis = pp_analyze::analyze_root(&repo_root()).expect("analysis runs");
+    assert!(
+        analysis.waived.len() >= analysis_waiver_floor(),
+        "waived {} findings; the checked-in baseline should cover each entry",
+        analysis.waived.len()
+    );
+}
+
+/// One finding per `analyze.allow` line is the floor; a needle may
+/// legitimately match several findings in the same file.
+fn analysis_waiver_floor() -> usize {
+    let allow = std::fs::read_to_string(repo_root().join("analyze.allow")).unwrap_or_default();
+    allow
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .count()
+}

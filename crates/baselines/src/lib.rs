@@ -22,6 +22,8 @@
 //! fail sign-off — reproducing the near-zero legality of the paper's
 //! Table I baselines.
 
+#![forbid(unsafe_code)]
+
 pub mod cup;
 pub mod diffpattern;
 pub mod sampler;

@@ -13,7 +13,7 @@ use crate::cup::{BaselineOutcome, CupBaseline};
 use crate::diffpattern::DiffPatternBaseline;
 use patternpaint_core::{JobSet, PpError, RawSample, Sampler};
 use pp_geometry::{GrayImage, Layout};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 fn outcome_image(outcome: &BaselineOutcome, clip: u32) -> GrayImage {
     match &outcome.layout {
@@ -64,11 +64,13 @@ impl Sampler for CupSampler {
     }
 
     fn sample(&self, jobs: &JobSet, seed: u64) -> Result<Vec<RawSample>, PpError> {
-        let outcomes = self.inner.lock().expect("CUP sampler poisoned").generate(
-            &self.seeds,
-            jobs.len(),
-            seed,
-        );
+        // Poison recovery: the baseline reseeds per call, so a panic in
+        // an earlier call leaves no state worth protecting.
+        let outcomes = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .generate(&self.seeds, jobs.len(), seed);
         Ok(outcomes_to_samples(jobs, &outcomes, self.clip))
     }
 }
@@ -97,10 +99,11 @@ impl Sampler for DiffPatternSampler {
     }
 
     fn sample(&self, jobs: &JobSet, seed: u64) -> Result<Vec<RawSample>, PpError> {
+        // Poison recovery: generation reseeds per call (see CupSampler).
         let outcomes = self
             .inner
             .lock()
-            .expect("DiffPattern sampler poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .generate(jobs.len(), seed);
         Ok(outcomes_to_samples(jobs, &outcomes, self.clip))
     }

@@ -3,6 +3,8 @@
 //!
 //! Run: `cargo run -p pp-bench --release --bin fig7`
 
+#![forbid(unsafe_code)]
+
 use patternpaint_core::PipelineConfig;
 use pp_bench::{cached_pipeline, dump_json, scale, VARIANTS};
 use serde_json::json;

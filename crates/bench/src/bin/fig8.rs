@@ -4,6 +4,8 @@
 //! Run: `cargo run -p pp-bench --release --bin fig8`
 //! Output: `bench_results/fig8/*.pgm`
 
+#![forbid(unsafe_code)]
+
 use patternpaint_core::PipelineConfig;
 use pp_bench::{cached_pipeline, Variant};
 use pp_drc::check_layout;

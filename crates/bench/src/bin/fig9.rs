@@ -4,6 +4,8 @@
 //!
 //! Run: `cargo run -p pp-bench --release --bin fig9`
 
+#![forbid(unsafe_code)]
+
 use pp_bench::dump_json;
 use pp_geometry::{GrayImage, Layout, Rect};
 use pp_inpaint::{Denoiser, TemplateDenoiser};

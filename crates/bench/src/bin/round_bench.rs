@@ -36,6 +36,8 @@
 //! (`PP_BENCH_JOBS=n` scales the round; `PP_BENCH_SMOKE=1` skips the
 //! JSON write — the ci.sh bench-smoke step uses both.)
 
+#![forbid(unsafe_code)]
+
 use patternpaint_core::stages::{DrcValidator, SampleStream, Sampler};
 use patternpaint_core::{
     Engine, GenerationRequest, JobSet, PatternLibrary, PipelineConfig, PpError, RawSample,

@@ -42,6 +42,8 @@
 //! the JSON write and shortens the pretrain probe — the ci.sh
 //! bench-smoke step uses both so the binary cannot silently rot.)
 
+#![forbid(unsafe_code)]
+
 use patternpaint_core::{
     Engine, Fault, FaultPlan, JobSet, JobSpec, PipelineConfig, QosClass, RawSample, RetryPolicy,
     Sampler, ScheduledSampler, SchedulerOptions, Service, ServiceOptions, StreamOptions,

@@ -9,6 +9,8 @@
 //! Run: `cargo run -p pp-bench --release --bin table1`
 //! Scale up with `PP_SCALE=5` (multiplies sample counts).
 
+#![forbid(unsafe_code)]
+
 use patternpaint_core::{
     run_round, DrcValidator, GenerationRequest, JobSet, PatternLibrary, PipelineConfig, Sampler,
     StreamOptions,

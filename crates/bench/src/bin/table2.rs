@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run -p pp-bench --release --bin table2`
 
+#![forbid(unsafe_code)]
+
 use patternpaint_core::{
     DiffusionSampler, GenerationRequest, JobSet, PatternDenoiser, PipelineConfig, Sampler,
 };

@@ -4,6 +4,8 @@
 //!
 //! Run: `cargo run -p pp-bench --release --bin table3`
 
+#![forbid(unsafe_code)]
+
 use patternpaint_core::PipelineConfig;
 use pp_bench::{cached_pipeline, dump_json, scale, VARIANTS};
 use pp_drc::check_layout;

@@ -18,6 +18,8 @@
 //! weights are cached under `target/pp-model-cache/` so repeated runs
 //! skip training.
 
+#![forbid(unsafe_code)]
+
 use patternpaint_core::{PatternPaint, PipelineConfig};
 use pp_pdk::SynthNode;
 use std::fs;

@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// What went wrong talking to an [`ArtifactStore`].
 #[derive(Debug)]
@@ -270,7 +270,7 @@ impl ArtifactStore for MemStore {
         validate_key(key)?;
         self.map
             .lock()
-            .expect("mem store poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key.to_string(), bytes.to_vec());
         Ok(())
     }
@@ -279,7 +279,7 @@ impl ArtifactStore for MemStore {
         validate_key(key)?;
         self.map
             .lock()
-            .expect("mem store poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(key)
             .cloned()
             .ok_or_else(|| ArtifactError::Missing {
@@ -292,7 +292,7 @@ impl ArtifactStore for MemStore {
         Ok(self
             .map
             .lock()
-            .expect("mem store poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .contains_key(key))
     }
 
@@ -300,7 +300,7 @@ impl ArtifactStore for MemStore {
         Ok(self
             .map
             .lock()
-            .expect("mem store poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect())

@@ -105,6 +105,8 @@
 //! See `examples/quickstart.rs` for an end-to-end run and the README
 //! migration table for the pre-stream API mapping.
 
+#![forbid(unsafe_code)]
+
 pub mod artifact;
 pub mod builder;
 pub mod config;

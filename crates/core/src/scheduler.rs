@@ -632,7 +632,10 @@ fn take_task(st: &mut SchedState) -> Option<Task> {
     // A policy returning an out-of-range index is a bug, but clamping
     // keeps it a fairness bug rather than a worker panic.
     let pick = st.policy.pick(&views).min(st.queue.len() - 1);
-    let mut sub = st.queue.remove(pick).expect("pick is clamped in range");
+    // The clamp keeps `pick` in range for the non-empty queue, so
+    // `remove` cannot come back empty; bail rather than panic if it
+    // ever does (a worker panic here would wedge the whole pool).
+    let mut sub = st.queue.remove(pick)?;
     let start = sub.cursor;
     let end = (start + sub.batch).min(sub.jobs.len());
     sub.cursor = end;

@@ -368,7 +368,7 @@ impl Drop for JobGuard {
             .state
             .outcome
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(outcome);
+            .unwrap_or_else(PoisonError::into_inner) = Some(outcome);
         self.state.done.notify_all();
     }
 }
@@ -545,14 +545,16 @@ impl JobHandle {
             .outcome
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        while outcome.is_none() {
+        loop {
+            if let Some(terminal) = outcome.take() {
+                return terminal;
+            }
             outcome = self
                 .state
                 .done
                 .wait(outcome)
                 .unwrap_or_else(PoisonError::into_inner);
         }
-        outcome.take().expect("checked Some above")
     }
 
     /// Blocks for at most `timeout` for the terminal outcome. On
@@ -566,7 +568,10 @@ impl JobHandle {
             .outcome
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        while outcome.is_none() {
+        loop {
+            if let Some(terminal) = outcome.take() {
+                return Ok(terminal);
+            }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 drop(outcome);
@@ -579,8 +584,6 @@ impl JobHandle {
                 .unwrap_or_else(PoisonError::into_inner)
                 .0;
         }
-        let outcome = outcome.take().expect("checked Some above");
-        Ok(outcome)
     }
 }
 

@@ -29,7 +29,7 @@ use std::borrow::Borrow;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Per-worker cache of template scan lines, keyed by template identity.
 ///
@@ -290,7 +290,9 @@ where
             scope.spawn(move || {
                 let mut cache = TemplateLineCache::default();
                 loop {
-                    let job = job_rx.lock().expect("tail job lock poisoned").recv();
+                    // Poison recovery: a panicking sibling worker must
+                    // not wedge the receiver for the rest of the pool.
+                    let job = job_rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                     let Ok((start, chunk)) = job else { break };
                     let verdicts: Vec<Result<TailVerdict, PpError>> = chunk
                         .into_iter()

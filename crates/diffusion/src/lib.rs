@@ -37,6 +37,8 @@
 //! [`CancelToken`]); both share one worker implementation and are
 //! bit-identical per job.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod error;
 pub mod model;

@@ -34,6 +34,8 @@
 //! assert!(!report.is_clean());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checker;
 pub mod report;
 pub mod rules;

@@ -31,6 +31,8 @@
 //! assert!(cx >= 3 && cy >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod component;
 pub mod image;
 pub mod io;

@@ -30,6 +30,8 @@
 //! assert_eq!(MaskSet::Default.masks(32).len(), 5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod denoise;
 pub mod masks;
 

@@ -29,6 +29,8 @@
 //! assert!((stats.h2 - 20f64.log2()).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pp_geometry::{Layout, Signature, SquishPattern};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;

@@ -75,38 +75,42 @@ fn silu_poly_scalar(x: f32) -> f32 {
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn silu_avx(dst: &mut [f32], src: &[f32]) -> usize {
     use std::arch::x86_64::*;
-    let len = dst.len().min(src.len());
-    let chunks = len / 8;
-    let log2e = _mm256_set1_ps(-LOG2E);
-    let lo = _mm256_set1_ps(-126.0);
-    let hi = _mm256_set1_ps(126.0);
-    let ln2 = _mm256_set1_ps(LN2);
-    let one = _mm256_set1_ps(1.0);
-    let bias = _mm256_set1_epi32(127);
-    let c0 = _mm256_set1_ps(EXP2_POLY[0]);
-    let c1 = _mm256_set1_ps(EXP2_POLY[1]);
-    let c2 = _mm256_set1_ps(EXP2_POLY[2]);
-    let c3 = _mm256_set1_ps(EXP2_POLY[3]);
-    let c4 = _mm256_set1_ps(EXP2_POLY[4]);
-    for i in 0..chunks {
-        let x = _mm256_loadu_ps(src.as_ptr().add(i * 8));
-        let t = _mm256_max_ps(lo, _mm256_min_ps(hi, _mm256_mul_ps(x, log2e)));
-        let n = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(t);
-        let r = _mm256_sub_ps(t, n);
-        let p = _mm256_fmadd_ps(c0, r, c1);
-        let p = _mm256_fmadd_ps(p, r, c2);
-        let p = _mm256_fmadd_ps(p, r, c3);
-        let p = _mm256_fmadd_ps(p, r, c4);
-        // Mirror the scalar ops exactly: 2ʳ = (p·r)·r + (ln2·r + 1).
-        let p = _mm256_fmadd_ps(_mm256_mul_ps(p, r), r, _mm256_fmadd_ps(ln2, r, one));
-        let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
-            _mm256_cvtps_epi32(n),
-            bias,
-        )));
-        let denom = _mm256_fmadd_ps(p, pow2n, one);
-        _mm256_storeu_ps(dst.as_mut_ptr().add(i * 8), _mm256_div_ps(x, denom));
+    // SAFETY: the caller upholds this fn's `# Safety` contract (AVX2+FMA
+    // present); `chunks = min(len) / 8` bounds every load/store.
+    unsafe {
+        let len = dst.len().min(src.len());
+        let chunks = len / 8;
+        let log2e = _mm256_set1_ps(-LOG2E);
+        let lo = _mm256_set1_ps(-126.0);
+        let hi = _mm256_set1_ps(126.0);
+        let ln2 = _mm256_set1_ps(LN2);
+        let one = _mm256_set1_ps(1.0);
+        let bias = _mm256_set1_epi32(127);
+        let c0 = _mm256_set1_ps(EXP2_POLY[0]);
+        let c1 = _mm256_set1_ps(EXP2_POLY[1]);
+        let c2 = _mm256_set1_ps(EXP2_POLY[2]);
+        let c3 = _mm256_set1_ps(EXP2_POLY[3]);
+        let c4 = _mm256_set1_ps(EXP2_POLY[4]);
+        for i in 0..chunks {
+            let x = _mm256_loadu_ps(src.as_ptr().add(i * 8));
+            let t = _mm256_max_ps(lo, _mm256_min_ps(hi, _mm256_mul_ps(x, log2e)));
+            let n = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(t);
+            let r = _mm256_sub_ps(t, n);
+            let p = _mm256_fmadd_ps(c0, r, c1);
+            let p = _mm256_fmadd_ps(p, r, c2);
+            let p = _mm256_fmadd_ps(p, r, c3);
+            let p = _mm256_fmadd_ps(p, r, c4);
+            // Mirror the scalar ops exactly: 2ʳ = (p·r)·r + (ln2·r + 1).
+            let p = _mm256_fmadd_ps(_mm256_mul_ps(p, r), r, _mm256_fmadd_ps(ln2, r, one));
+            let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+                _mm256_cvtps_epi32(n),
+                bias,
+            )));
+            let denom = _mm256_fmadd_ps(p, pow2n, one);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i * 8), _mm256_div_ps(x, denom));
+        }
+        chunks * 8
     }
-    chunks * 8
 }
 
 /// Writes `silu(src)` into `dst`: libm reference when

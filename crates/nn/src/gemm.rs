@@ -188,28 +188,33 @@ unsafe fn kernel_tile_avx(
     debug_assert!(ap.len() >= kc * MR);
     debug_assert!((row0 + kc - 1) * n + j0 + NR <= b.len());
     debug_assert!((i0 + mr - 1) * n + j0 + NR <= c.len());
-    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
-    let bp = b.as_ptr();
-    let app = ap.as_ptr();
-    for p in 0..kc {
-        let brow = bp.add((row0 + p) * n + j0);
-        let b0 = _mm256_loadu_ps(brow);
-        let b1 = _mm256_loadu_ps(brow.add(8));
-        let apk = app.add(p * MR);
-        for r in 0..MR {
-            let a = _mm256_set1_ps(*apk.add(r));
-            acc[r][0] = _mm256_fmadd_ps(a, b0, acc[r][0]);
-            acc[r][1] = _mm256_fmadd_ps(a, b1, acc[r][1]);
+    // SAFETY: the caller upholds this fn's `# Safety` contract (AVX2+FMA
+    // present, B/C index ranges in bounds, re-checked by the
+    // debug_asserts above), so every load/store stays in bounds.
+    unsafe {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        let bp = b.as_ptr();
+        let app = ap.as_ptr();
+        for p in 0..kc {
+            let brow = bp.add((row0 + p) * n + j0);
+            let b0 = _mm256_loadu_ps(brow);
+            let b1 = _mm256_loadu_ps(brow.add(8));
+            let apk = app.add(p * MR);
+            for r in 0..MR {
+                let a = _mm256_set1_ps(*apk.add(r));
+                acc[r][0] = _mm256_fmadd_ps(a, b0, acc[r][0]);
+                acc[r][1] = _mm256_fmadd_ps(a, b1, acc[r][1]);
+            }
         }
-    }
-    let cp = c.as_mut_ptr();
-    for r in 0..mr {
-        let crow = cp.add((i0 + r) * n + j0);
-        _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
-        _mm256_storeu_ps(
-            crow.add(8),
-            _mm256_add_ps(_mm256_loadu_ps(crow.add(8)), acc[r][1]),
-        );
+        let cp = c.as_mut_ptr();
+        for r in 0..mr {
+            let crow = cp.add((i0 + r) * n + j0);
+            _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
+            _mm256_storeu_ps(
+                crow.add(8),
+                _mm256_add_ps(_mm256_loadu_ps(crow.add(8)), acc[r][1]),
+            );
+        }
     }
 }
 
@@ -237,28 +242,33 @@ unsafe fn kernel_tile_avx512(
     debug_assert!(ap.len() >= kc * MR);
     debug_assert!((row0 + kc - 1) * n + j0 + 32 <= b.len());
     debug_assert!((i0 + mr - 1) * n + j0 + 32 <= c.len());
-    let mut acc = [[_mm512_setzero_ps(); 2]; MR];
-    let bp = b.as_ptr();
-    let app = ap.as_ptr();
-    for p in 0..kc {
-        let brow = bp.add((row0 + p) * n + j0);
-        let b0 = _mm512_loadu_ps(brow);
-        let b1 = _mm512_loadu_ps(brow.add(16));
-        let apk = app.add(p * MR);
-        for r in 0..MR {
-            let a = _mm512_set1_ps(*apk.add(r));
-            acc[r][0] = _mm512_fmadd_ps(a, b0, acc[r][0]);
-            acc[r][1] = _mm512_fmadd_ps(a, b1, acc[r][1]);
+    // SAFETY: the caller upholds this fn's `# Safety` contract (AVX-512F
+    // present, B/C index ranges in bounds, re-checked by the
+    // debug_asserts above), so every load/store stays in bounds.
+    unsafe {
+        let mut acc = [[_mm512_setzero_ps(); 2]; MR];
+        let bp = b.as_ptr();
+        let app = ap.as_ptr();
+        for p in 0..kc {
+            let brow = bp.add((row0 + p) * n + j0);
+            let b0 = _mm512_loadu_ps(brow);
+            let b1 = _mm512_loadu_ps(brow.add(16));
+            let apk = app.add(p * MR);
+            for r in 0..MR {
+                let a = _mm512_set1_ps(*apk.add(r));
+                acc[r][0] = _mm512_fmadd_ps(a, b0, acc[r][0]);
+                acc[r][1] = _mm512_fmadd_ps(a, b1, acc[r][1]);
+            }
         }
-    }
-    let cp = c.as_mut_ptr();
-    for r in 0..mr {
-        let crow = cp.add((i0 + r) * n + j0);
-        _mm512_storeu_ps(crow, _mm512_add_ps(_mm512_loadu_ps(crow), acc[r][0]));
-        _mm512_storeu_ps(
-            crow.add(16),
-            _mm512_add_ps(_mm512_loadu_ps(crow.add(16)), acc[r][1]),
-        );
+        let cp = c.as_mut_ptr();
+        for r in 0..mr {
+            let crow = cp.add((i0 + r) * n + j0);
+            _mm512_storeu_ps(crow, _mm512_add_ps(_mm512_loadu_ps(crow), acc[r][0]));
+            _mm512_storeu_ps(
+                crow.add(16),
+                _mm512_add_ps(_mm512_loadu_ps(crow.add(16)), acc[r][1]),
+            );
+        }
     }
 }
 
@@ -407,37 +417,41 @@ fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn dot_avx(a: &[f32], b: &[f32]) -> f32 {
     use std::arch::x86_64::*;
-    let len = a.len().min(b.len());
-    let ap = a.as_ptr();
-    let bp = b.as_ptr();
-    let mut acc0 = _mm256_setzero_ps();
-    let mut acc1 = _mm256_setzero_ps();
-    let mut i = 0;
-    while i + 16 <= len {
-        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
-        acc1 = _mm256_fmadd_ps(
-            _mm256_loadu_ps(ap.add(i + 8)),
-            _mm256_loadu_ps(bp.add(i + 8)),
-            acc1,
-        );
-        i += 16;
+    // SAFETY: the caller upholds this fn's `# Safety` contract (AVX2+FMA
+    // present); `len = min(a.len(), b.len())` bounds every read.
+    unsafe {
+        let len = a.len().min(b.len());
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= len {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= len {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let acc = _mm256_add_ps(acc0, acc1);
+        let hi = _mm256_extractf128_ps::<1>(acc);
+        let lo = _mm256_castps256_ps128(acc);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps::<1>(s, s));
+        let mut sum = _mm_cvtss_f32(s);
+        while i < len {
+            sum += *ap.add(i) * *bp.add(i);
+            i += 1;
+        }
+        sum
     }
-    if i + 8 <= len {
-        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
-        i += 8;
-    }
-    let acc = _mm256_add_ps(acc0, acc1);
-    let hi = _mm256_extractf128_ps::<1>(acc);
-    let lo = _mm256_castps256_ps128(acc);
-    let s = _mm_add_ps(lo, hi);
-    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
-    let s = _mm_add_ss(s, _mm_shuffle_ps::<1>(s, s));
-    let mut sum = _mm_cvtss_f32(s);
-    while i < len {
-        sum += *ap.add(i) * *bp.add(i);
-        i += 1;
-    }
-    sum
 }
 
 /// Scalar reference `C = A·B + β·C` (tests and the force-naive path).

@@ -30,6 +30,11 @@
 //! assert_eq!(y.shape(), [1, 2, 1, 1]);
 //! ```
 
+// The SIMD kernels mark every pointer-touching operation with an
+// explicit `unsafe {}` block plus a SAFETY comment; nothing is
+// implicitly unsafe just because the enclosing fn is.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod act;
 pub mod conv;
 pub mod gemm;

@@ -31,6 +31,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod foundation;
 pub mod node;

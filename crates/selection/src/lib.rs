@@ -25,6 +25,8 @@
 //! assert_eq!(picks.len(), 5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod pca;
 pub mod select;

@@ -30,6 +30,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod constraints;
 pub mod settings;
 pub mod solver;

@@ -34,6 +34,8 @@
 //! See `examples/quickstart.rs` for an end-to-end generation run and
 //! `DESIGN.md` / `EXPERIMENTS.md` for the experiment inventory.
 
+#![forbid(unsafe_code)]
+
 pub use patternpaint_core as core;
 pub use pp_baselines as baselines;
 pub use pp_diffusion as diffusion;
