@@ -48,7 +48,7 @@ if [[ "${1:-}" == "--chaos" ]]; then
     # Fixed seeds so a failure is reproducible by rerunning the same
     # seed; seeded_fault_plan_is_always_survivable derives its whole
     # fault schedule (which tenant panics/errors/stalls, at which
-    # micro-batch) from PP_CHAOS_SEED.
+    # slot ordinal) from PP_CHAOS_SEED.
     for seed in 3 47 20260807; do
         echo "==> chaos sweep: PP_CHAOS_SEED=$seed"
         PP_CHAOS_SEED=$seed RUST_BACKTRACE=1 cargo test -q --test chaos_scheduler

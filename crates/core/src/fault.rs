@@ -5,21 +5,25 @@
 //! (`tests/failure_injection.rs` does this for the DRC layer). This
 //! module lifts that discipline to the serving layer: a [`FaultPlan`]
 //! is a seeded, fully deterministic schedule of faults — panics,
-//! transient errors, stalls — that the scheduler's workers consult
-//! immediately before running a micro-batch.
+//! transient errors, stalls — that the scheduler consults at every
+//! slot admission, immediately before a job would enter a worker's
+//! slot table.
 //!
-//! A plan is keyed by `(session id, micro-batch ordinal)`: session ids
-//! are allocated in submission order (one per
-//! [`crate::Scheduler::handle`] / [`crate::Service::submit`] call) and
-//! the ordinal counts micro-batches *within* one submission, so a fault
-//! fires at the same logical point regardless of worker count or
-//! interleaving. Each scheduled fault fires **once** and is consumed —
-//! a retried submission starts a fresh ordinal sequence and only hits
+//! A plan is keyed by `(session id, slot ordinal)`: session ids are
+//! allocated in submission order (one per [`crate::Scheduler::handle`]
+//! / [`crate::Service::submit`] call) and the slot ordinal is the
+//! job's zero-based index *within* its submission, so a fault fires at
+//! the same logical point regardless of worker count, slot capacity or
+//! interleaving. (Before continuous batching the key was the
+//! micro-batch ordinal; under fixed micro-batch width `w`, old ordinal
+//! `k` corresponds to slot ordinal `k × w` — the first job of that
+//! batch.) Each scheduled fault fires **once** and is consumed — a
+//! retried submission starts a fresh ordinal sequence and only hits
 //! faults scheduled again for it (schedule the same fault twice to
 //! fail two attempts).
 //!
 //! Install a plan with [`crate::SchedulerOptions::faults`]. An empty
-//! plan (the default) costs a single branch per micro-batch on the
+//! plan (the default) costs a single branch per slot admission on the
 //! dispatch path; `tests/chaos_scheduler.rs` and the `faulted` mode of
 //! `sampling_bench` are the intended consumers. Production services
 //! simply never install one.
@@ -27,30 +31,33 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// One scheduled fault, applied to a worker right before it runs the
-/// targeted micro-batch (so an injected panic or error wastes no DDIM
-/// compute — the batch never starts).
+/// One scheduled fault, applied when the targeted slot would be
+/// admitted into a worker's table (so an injected panic or error
+/// wastes no DDIM compute — the slot never starts, and co-resident
+/// slots from other submissions are untouched).
 #[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
-    /// Panic on the worker thread (exercises `catch_unwind` isolation,
-    /// worker respawn and the [`crate::PpError::WorkerPanic`] surface).
+    /// Poison the submission as a worker panic (exercises panic
+    /// isolation and the [`crate::PpError::WorkerPanic`] surface).
+    /// Synthesized at admission: the abort hits only the targeted
+    /// submission, never the shared slot table stepping around it.
     PanicAt {
-        /// Zero-based micro-batch ordinal within the submission.
+        /// Zero-based slot ordinal (job index) within the submission.
         batch: u64,
     },
-    /// Fail the micro-batch with a transient I/O error
+    /// Fail the submission with a transient I/O error
     /// ([`crate::PpError::Io`], `ErrorKind::Interrupted` — the class of
     /// failure a [`crate::RetryPolicy`] is for).
     ErrAt {
-        /// Zero-based micro-batch ordinal within the submission.
+        /// Zero-based slot ordinal (job index) within the submission.
         batch: u64,
     },
-    /// Sleep before running the micro-batch normally (exercises
-    /// deadline enforcement and queue-wait shedding; the batch still
-    /// completes and delivers).
+    /// Sleep before admitting the slot normally (exercises deadline
+    /// enforcement and queue-wait shedding; the slot still completes
+    /// and delivers).
     StallFor {
-        /// Zero-based micro-batch ordinal within the submission.
+        /// Zero-based slot ordinal (job index) within the submission.
         batch: u64,
         /// How long the worker sleeps before sampling.
         duration: Duration,
@@ -58,7 +65,8 @@ pub enum Fault {
 }
 
 impl Fault {
-    /// The micro-batch ordinal this fault targets.
+    /// The slot ordinal this fault targets. (The field keeps its
+    /// pre-continuous-batching name `batch` for source compatibility.)
     pub fn batch(&self) -> u64 {
         match self {
             Fault::PanicAt { batch } | Fault::ErrAt { batch } | Fault::StallFor { batch, .. } => {
@@ -83,7 +91,7 @@ impl FaultPlan {
     }
 
     /// Schedules `fault` for `session`. Scheduling the same fault
-    /// twice makes it fire on two separate occurrences of its batch
+    /// twice makes it fire on two separate occurrences of its slot
     /// ordinal (e.g. the first two attempts of a retried submission).
     pub fn inject(mut self, session: u64, fault: Fault) -> FaultPlan {
         self.by_session.entry(session).or_default().push(fault);
@@ -91,10 +99,10 @@ impl FaultPlan {
     }
 
     /// A seed-stable pseudo-random plan: one fault per session in
-    /// `sessions`, with kind, target batch (below `batches`) and stall
-    /// length all derived from `seed` via SplitMix64. The same seed
-    /// always produces the same plan — this is what `ci.sh --chaos`
-    /// sweeps over fixed seeds.
+    /// `sessions`, with kind, target slot ordinal (below `batches`)
+    /// and stall length all derived from `seed` via SplitMix64. The
+    /// same seed always produces the same plan — this is what
+    /// `ci.sh --chaos` sweeps over fixed seeds.
     pub fn seeded(seed: u64, sessions: std::ops::Range<u64>, batches: u64) -> FaultPlan {
         let mut plan = FaultPlan::new();
         let batches = batches.max(1);
@@ -115,7 +123,7 @@ impl FaultPlan {
     }
 
     /// Whether the plan schedules nothing (the scheduler skips the
-    /// per-batch lookup entirely for empty plans).
+    /// per-admission lookup entirely for empty plans).
     pub fn is_empty(&self) -> bool {
         self.by_session.values().all(Vec::is_empty)
     }
@@ -126,7 +134,7 @@ impl FaultPlan {
     }
 
     /// Consumes and returns the first fault scheduled for
-    /// `(session, batch)`, if any.
+    /// `(session, slot ordinal)`, if any.
     pub(crate) fn take(&mut self, session: u64, batch: u64) -> Option<Fault> {
         let faults = self.by_session.get_mut(&session)?;
         let at = faults.iter().position(|f| f.batch() == batch)?;

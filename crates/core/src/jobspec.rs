@@ -206,7 +206,7 @@ pub struct JobSpec {
     /// [`JobSpec::hard_deadline`] for enforcement.
     pub deadline: Option<Duration>,
     /// Makes [`JobSpec::deadline`] *hard*: past it, the job is
-    /// cooperatively cancelled between micro-batches and resolves to
+    /// cooperatively cancelled at a slot-admission point and resolves to
     /// [`crate::JobOutcome::TimedOut`] carrying whatever partial
     /// results the rounds that finished produced.
     pub hard_deadline: bool,
@@ -269,7 +269,7 @@ impl JobSpec {
     }
 
     /// Sets a *hard* deadline (from submission): past it the job is
-    /// cancelled between micro-batches and resolves to
+    /// cancelled at a slot-admission point and resolves to
     /// [`crate::JobOutcome::TimedOut`] with partial results.
     pub fn with_hard_deadline(mut self, deadline: Duration) -> JobSpec {
         self.deadline = Some(deadline);

@@ -134,8 +134,9 @@ pub use jobspec::{JobKind, JobSpec, QosClass, RetryPolicy};
 pub use library::PatternLibrary;
 pub use pipeline::{GenerationRound, IterationStats, PatternPaint, RawSample};
 pub use scheduler::{
-    ClassCounts, DeadlineFirst, QueueLimits, RoundRobin, SchedPolicy, SchedView, ScheduledSampler,
-    Scheduler, SchedulerHandle, SchedulerOptions, SchedulerStats, SessionSched, WeightedFair,
+    ClassCounts, DeadlineFirst, DispatchMode, QueueLimits, RoundRobin, SchedPolicy, SchedView,
+    ScheduledSampler, Scheduler, SchedulerHandle, SchedulerOptions, SchedulerStats, SessionSched,
+    WeightedFair,
 };
 pub use service::{
     JobHandle, JobOutcome, JobReport, JobStatus, Service, ServiceOptions, ServiceStats,

@@ -1,5 +1,5 @@
 //! The engine scheduler: many sessions' requests, one model, pluggable
-//! QoS policies over micro-batch dispatch.
+//! QoS policies over continuously batched slot dispatch.
 //!
 //! A solo pipeline gives each generation round a private pool of
 //! sampling workers ([`crate::DiffusionSampler`] spawns them per
@@ -8,24 +8,46 @@
 //! with N×`threads` workers, and a long round would starve a short one.
 //! The [`Scheduler`] instead owns a fixed pool of
 //! [`pp_diffusion::InpaintWorker`]s bound to the engine's shared model
-//! and *interleaves* submissions at micro-batch granularity.
+//! and **continuously batches** submissions at slot granularity: each
+//! worker keeps a slot table ([`pp_diffusion::SlotFeed`]) of in-flight
+//! jobs, each with its own DDIM step cursor, and between any two steps
+//! it admits queued jobs — from *any* submission — into free slots. A
+//! network pass packs whatever slots are live into one `[B, 3, H, W]`
+//! tensor with per-slot timesteps, so a micro-batch is formed *across*
+//! sessions at the moment capacity frees up (the way LLM serving
+//! engines batch requests at token granularity) instead of one
+//! submission monopolising a worker for a whole fixed batch. An
+//! Interactive job arriving mid-flight therefore starts at the next
+//! step boundary, not the next batch boundary.
+//! [`SchedulerOptions::dispatch`] can restore the pre-slot dispatch
+//! ([`DispatchMode::FixedBatch`]) for comparison — `sampling_bench`'s
+//! `mixed_tenants` mode races the two.
 //!
-//! **Which** submission supplies the next micro-batch is a
-//! [`SchedPolicy`] decision, pluggable at build time
-//! ([`crate::Engine::scheduler_with`]):
+//! **Which** submissions fill free slots first is a [`SchedPolicy`]
+//! decision, pluggable at build time
+//! ([`crate::Engine::scheduler_with`]): the policy *ranks* the queue
+//! ([`SchedPolicy::rank`], most-preferred first) and the dispatcher
+//! walks the ranking, admitting up to each submission's micro-batch
+//! width. Existing policies that only implement the legacy
+//! [`SchedPolicy::pick`] keep working through a built-in shim (rank =
+//! repeated pick), so custom policies from the QoS redesign need no
+//! change.
 //!
 //! * [`RoundRobin`] (default) — strict rotation, every submission gets
-//!   an equal micro-batch share; bit-identical to the pre-policy
-//!   scheduler (a regression test in `tests/qos_scheduler.rs` pins it);
+//!   an equal share; admission order matches the pre-slot scheduler's
+//!   dispatch order (a regression test in `tests/qos_scheduler.rs`
+//!   pins the delivered results);
 //! * [`WeightedFair`] — shares proportional to the submission's
 //!   [`QosClass::weight`] (interactive 4 : batch 2 : best-effort 1);
 //! * [`DeadlineFirst`] — earliest soft deadline first; submissions
 //!   without deadlines fall back to the fair-share order among
 //!   themselves.
 //!
-//! Every policy dispatches whole micro-batches and the per-submission
+//! Every policy only reorders slot admission and the per-submission
 //! reassembly below is unchanged, so per-session in-order delivery —
-//! and therefore bit-identical libraries — holds under all of them.
+//! and therefore bit-identical libraries — holds under all of them:
+//! a job's arithmetic never depends on which slots shared its passes
+//! (see `pp_diffusion::slots`).
 //!
 //! **Admission control**: each [`QosClass`] has its own bounded
 //! submission queue ([`QueueLimits`]). An overflowing submit returns
@@ -71,8 +93,8 @@
 //!   this module recovers from poisoning, so `submit()`, `stats()` and
 //!   shutdown all keep working after a fault.
 //! * A *hard* deadline ([`StreamOptions::with_hard_deadline`]) is
-//!   enforced between micro-batches: a queued submission past its
-//!   deadline is retired with [`PpError::DeadlineExceeded`]; batches
+//!   enforced at slot-admission points: a queued submission past its
+//!   deadline is retired with [`PpError::DeadlineExceeded`]; samples
 //!   already finished still reach the consumer.
 //! * Under overload, best-effort work can be shed at admission
 //!   ([`SchedulerOptions::shed_best_effort_above`]): when the p90 of
@@ -82,8 +104,9 @@
 //!
 //! Fault *injection* for tests and benches lives in [`crate::fault`]:
 //! a [`FaultPlan`] installed via [`SchedulerOptions::faults`] fires
-//! deterministic panics/errors/stalls at chosen `(session,
-//! micro-batch)` points; `tests/chaos_scheduler.rs` drives it.
+//! deterministic panics/errors/stalls at chosen `(session, slot
+//! ordinal)` points, where the slot ordinal is the job's index within
+//! its submission; `tests/chaos_scheduler.rs` drives it.
 
 use crate::error::PpError;
 use crate::fault::{Fault, FaultPlan};
@@ -92,10 +115,9 @@ use crate::jobspec::QosClass;
 use crate::pipeline::RawSample;
 use crate::stages::{SampleStream, Sampler};
 use crate::stream::{CancelToken, Progress, StreamOptions};
-use pp_diffusion::DiffusionModel;
+use pp_diffusion::{DiffusionModel, SlotFeed, SlotJob};
 use pp_geometry::{GrayImage, Layout};
 use std::collections::{BTreeMap, VecDeque};
-use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -131,14 +153,23 @@ pub struct SchedView {
 }
 
 /// The scheduling decision, extracted from the dispatch loop: given the
-/// queue (oldest first), pick the submission the next micro-batch comes
-/// from.
+/// queue (oldest first), order the submissions free slots should be
+/// filled from.
 ///
-/// The scheduler owns everything else — micro-batch sizing, worker
+/// The scheduler owns everything else — slot admission, worker
 /// assignment, in-order reassembly — so a policy can only change
-/// *interleaving*, never per-session results. After a dispatch the
-/// picked submission moves to the back of the queue (which is what
-/// makes [`RoundRobin`]'s constant `0` a strict rotation).
+/// *interleaving*, never per-session results. When a worker has free
+/// slots it walks [`SchedPolicy::rank`]'s order, admitting up to each
+/// submission's micro-batch width before moving to the next; admitted
+/// submissions then move to the back of the queue (which is what makes
+/// [`RoundRobin`]'s identity ranking a strict rotation).
+///
+/// Pre-continuous-batching policies only implemented
+/// [`SchedPolicy::pick`] (choose one index). They still work unchanged:
+/// the default [`SchedPolicy::rank`] builds a full ranking by calling
+/// `pick` repeatedly on the shrinking remainder of the queue, which
+/// reproduces the old "pick, dispatch, re-pick" dispatch order exactly.
+/// Override `rank` directly to order the whole queue in one call.
 ///
 /// Implementations must be deterministic in the queue contents: tests
 /// replay schedules and assert bit-identical libraries.
@@ -146,9 +177,34 @@ pub trait SchedPolicy: Send {
     /// A short name for stats and reports.
     fn name(&self) -> &str;
 
-    /// Index into `queue` (non-empty) of the submission to dispatch
-    /// from next.
+    /// Index into `queue` (non-empty) of the most-preferred
+    /// submission. Legacy single-pick interface; the dispatcher only
+    /// calls [`SchedPolicy::rank`].
     fn pick(&mut self, queue: &[SchedView]) -> usize;
+
+    /// Queue indices in admission order, most-preferred first. Free
+    /// slots are offered to `queue[rank[0]]` first, then `rank[1]`,
+    /// and so on.
+    ///
+    /// The default implementation ranks by repeated [`pick`] over the
+    /// shrinking remainder (with out-of-range picks clamped), so a
+    /// `pick`-only policy behaves exactly as it did under fixed
+    /// micro-batch dispatch. The dispatcher tolerates sloppy output —
+    /// out-of-range and duplicate indices are dropped, missing ones
+    /// appended in queue order — a malformed ranking is a fairness
+    /// bug, never a stall.
+    ///
+    /// [`pick`]: SchedPolicy::pick
+    fn rank(&mut self, queue: &[SchedView]) -> Vec<usize> {
+        let mut remaining: Vec<usize> = (0..queue.len()).collect();
+        let mut order = Vec::with_capacity(queue.len());
+        while !remaining.is_empty() {
+            let views: Vec<SchedView> = remaining.iter().map(|&i| queue[i]).collect();
+            let p = self.pick(&views).min(remaining.len() - 1);
+            order.push(remaining.remove(p));
+        }
+        order
+    }
 }
 
 /// Strict rotation: every active submission gets an equal micro-batch
@@ -165,6 +221,12 @@ impl SchedPolicy for RoundRobin {
     fn pick(&mut self, _queue: &[SchedView]) -> usize {
         0
     }
+
+    fn rank(&mut self, queue: &[SchedView]) -> Vec<usize> {
+        // Queue order *is* rotation order: admitted submissions move
+        // to the back, so the identity ranking rotates.
+        (0..queue.len()).collect()
+    }
 }
 
 /// Class-weighted fair shares: the submission with the smallest
@@ -173,12 +235,24 @@ impl SchedPolicy for RoundRobin {
 /// per dispatch and starts at the queue's current frontier). Over any
 /// window, classes receive micro-batches proportional to
 /// interactive 4 : batch 2 : best-effort 1; within a class, equal
-/// shares. Ties break toward the oldest submission, so single-class
-/// workloads degrade to exact round-robin, and a late arrival joins at
-/// the frontier instead of monopolising the pool until its pass
-/// catches up.
+/// shares. Pass ties break toward the higher class weight (at equal
+/// virtual time the better QoS class is served first — which is what
+/// lets an Interactive arrival joining at the frontier preempt a
+/// steady lower-class flood at the very next free slot), then toward
+/// the oldest submission, so single-class workloads degrade to exact
+/// round-robin and a late arrival never bursts past an established
+/// equal-or-heavier share.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WeightedFair;
+
+/// The stride-scheduling sort key: virtual time first, then stride
+/// (`4 / weight` — smaller means heavier class) for pass ties.
+fn stride_key(view: &SchedView) -> (u64, u32) {
+    (
+        view.pass,
+        QosClass::Interactive.weight() / view.class.weight(),
+    )
+}
 
 impl SchedPolicy for WeightedFair {
     fn name(&self) -> &str {
@@ -188,11 +262,20 @@ impl SchedPolicy for WeightedFair {
     fn pick(&mut self, queue: &[SchedView]) -> usize {
         let mut best = 0;
         for (i, view) in queue.iter().enumerate().skip(1) {
-            if view.pass < queue[best].pass {
+            if stride_key(view) < stride_key(&queue[best]) {
                 best = i;
             }
         }
         best
+    }
+
+    fn rank(&mut self, queue: &[SchedView]) -> Vec<usize> {
+        // Stable sort by (pass, stride) == repeated min-extraction
+        // with ties toward the heavier class then the oldest:
+        // identical to the pick shim, in one pass.
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        order.sort_by_key(|&i| stride_key(&queue[i]));
+        order
     }
 }
 
@@ -222,6 +305,22 @@ impl SchedPolicy for DeadlineFirst {
             Some((_, i)) => i,
             None => WeightedFair.pick(queue),
         }
+    }
+
+    fn rank(&mut self, queue: &[SchedView]) -> Vec<usize> {
+        // Deadline holders first (earliest first, ties oldest — the
+        // stable sort), then the rest in weighted-fair order: exactly
+        // what repeated `pick` extraction produces.
+        let mut dated: Vec<usize> = (0..queue.len())
+            .filter(|&i| queue[i].deadline.is_some())
+            .collect();
+        dated.sort_by_key(|&i| queue[i].deadline);
+        let mut rest: Vec<usize> = (0..queue.len())
+            .filter(|&i| queue[i].deadline.is_none())
+            .collect();
+        rest.sort_by_key(|&i| stride_key(&queue[i]));
+        dated.extend(rest);
+        dated
     }
 }
 
@@ -357,10 +456,26 @@ pub struct SchedulerStats {
     /// supervising thread. Persistently non-zero growth means a buggy
     /// policy or a fault plan, not load.
     pub workers_lost: u64,
-    /// Micro-batches dispatched in total.
+    /// Micro-batches dispatched in total. Under continuous batching a
+    /// "micro-batch" is one submission's group of slots admitted in
+    /// one refill — the unit the stride accounting and fairness tests
+    /// count.
     pub micro_batches: u64,
     /// Jobs (samples) dispatched in total.
     pub samples: u64,
+    /// Slot-occupancy numerator: per network step, how many slots of
+    /// the stepping worker's table held live jobs. With
+    /// [`SchedulerStats::slots_idle`] this gives the pool's packing
+    /// efficiency — `filled / (filled + idle)` — the number continuous
+    /// batching exists to push up.
+    pub slots_filled: u64,
+    /// Slot-occupancy denominator companion: per network step, how
+    /// many slots of the stepping worker's table sat empty.
+    pub slots_idle: u64,
+    /// Network steps whose slot table mixed jobs from more than one
+    /// submission — forward passes that fixed dispatch would have run
+    /// separately (and narrower).
+    pub batches_merged: u64,
     /// Cumulative submit → first-dispatch latency, microseconds.
     pub wait_micros: u64,
     /// Median submit → first-dispatch latency over the most recent
@@ -369,21 +484,53 @@ pub struct SchedulerStats {
     /// 90th-percentile submit → first-dispatch latency over the most
     /// recent submissions (the overload-shedding signal), microseconds.
     pub wait_p90_micros: u64,
-    /// Cumulative submit → final-dispatch latency over completed
-    /// submissions, microseconds.
+    /// Per-class median submit → first-dispatch latency over each
+    /// class's recent submissions, microseconds.
+    pub wait_p50_micros_by_class: ClassCounts,
+    /// Per-class 99th-percentile submit → first-dispatch latency over
+    /// each class's recent submissions, microseconds — the
+    /// `mixed_tenants` bench headline (Interactive p99 is the number
+    /// slot-granular admission improves).
+    pub wait_p99_micros_by_class: ClassCounts,
+    /// Cumulative submit → retirement latency over all retired
+    /// submissions — completed, abandoned and timed-out alike, so
+    /// stragglers no longer skew the average (every retirement path
+    /// records its terminal timestamp).
     pub turnaround_micros: u64,
     /// Per-session dispatch counters, ordered by session id.
     pub per_session: Vec<SessionSched>,
 }
 
+/// How workers turn queued submissions into network passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Continuous batching (the default): a worker admits jobs from
+    /// *any* queued submission into free slots of its in-flight DDIM
+    /// step loop, at step granularity. Micro-batches form across
+    /// sessions the moment capacity frees up; per-job results are
+    /// bit-identical to every other mode because a job's arithmetic
+    /// never depends on its batch neighbours.
+    #[default]
+    Continuous,
+    /// The pre-slot dispatch, kept as an in-tree baseline and
+    /// migration escape hatch: a worker only refills an *empty* slot
+    /// table, and only from the single top-ranked submission — one
+    /// fixed micro-batch at a time, run to completion.
+    /// `sampling_bench`'s `mixed_tenants` mode races this against
+    /// [`DispatchMode::Continuous`].
+    FixedBatch,
+}
+
 /// Build-time scheduler configuration: the [`SchedPolicy`] and the
 /// per-class admission bounds. `Default` is [`RoundRobin`] with
-/// [`QueueLimits::default`] — exactly the pre-policy scheduler.
+/// [`QueueLimits::default`] under [`DispatchMode::Continuous`].
 pub struct SchedulerOptions {
     policy: Box<dyn SchedPolicy>,
     limits: QueueLimits,
     faults: FaultPlan,
     shed_wait: Option<Duration>,
+    dispatch: DispatchMode,
+    slot_capacity: usize,
 }
 
 impl Default for SchedulerOptions {
@@ -393,6 +540,8 @@ impl Default for SchedulerOptions {
             limits: QueueLimits::default(),
             faults: FaultPlan::new(),
             shed_wait: None,
+            dispatch: DispatchMode::default(),
+            slot_capacity: 0,
         }
     }
 }
@@ -404,6 +553,8 @@ impl std::fmt::Debug for SchedulerOptions {
             .field("limits", &self.limits)
             .field("faults", &self.faults.remaining())
             .field("shed_wait", &self.shed_wait)
+            .field("dispatch", &self.dispatch)
+            .field("slot_capacity", &self.slot_capacity)
             .finish()
     }
 }
@@ -426,11 +577,29 @@ impl SchedulerOptions {
         self
     }
 
-    /// Installs a deterministic [`FaultPlan`] consulted before every
-    /// micro-batch — the chaos-testing hook (see [`crate::fault`]).
-    /// Empty plans (the default) cost one branch per micro-batch.
+    /// Installs a deterministic [`FaultPlan`] consulted at every slot
+    /// admission — the chaos-testing hook (see [`crate::fault`]).
+    /// Empty plans (the default) cost one branch per admission.
     pub fn faults(mut self, plan: FaultPlan) -> SchedulerOptions {
         self.faults = plan;
+        self
+    }
+
+    /// Selects the [`DispatchMode`] (default
+    /// [`DispatchMode::Continuous`]).
+    pub fn dispatch(mut self, mode: DispatchMode) -> SchedulerOptions {
+        self.dispatch = mode;
+        self
+    }
+
+    /// Overrides the per-worker slot-table capacity under
+    /// [`DispatchMode::Continuous`]. `0` (the default) sizes the table
+    /// automatically to 1.5× the largest queued micro-batch width, so
+    /// one submission's full micro-batch plus headroom for a newly
+    /// arrived tenant fit in a single network pass. Ignored under
+    /// [`DispatchMode::FixedBatch`].
+    pub fn slot_capacity(mut self, slots: usize) -> SchedulerOptions {
+        self.slot_capacity = slots;
         self
     }
 
@@ -466,6 +635,10 @@ enum SchedMsg {
 
 /// A queued request: shared job images plus a dispatch cursor.
 struct Submission {
+    /// Scheduler-unique id for slot tagging (session ids are
+    /// per-handle and a handle submits many times). Masked to 32 bits
+    /// — the tag packs `(uid << 32) | job index`.
+    uid: u64,
     jobs: Arc<Vec<(GrayImage, GrayImage)>>,
     seed: u64,
     batch: usize,
@@ -473,6 +646,10 @@ struct Submission {
     dispatched: u64,
     /// Stride-scheduling virtual time (see [`SchedView::pass`]).
     pass: u64,
+    /// Slots admitted since `pass` last advanced: every `batch` slots
+    /// of work costs one class stride, so slot-granular admission
+    /// charges the same virtual time per job as fixed dispatch did.
+    credits: usize,
     session: u64,
     class: QosClass,
     deadline: Option<Instant>,
@@ -484,30 +661,20 @@ struct Submission {
     /// Internal retire flag, distinct from the caller's `cancel`
     /// token (which may be shared across rounds): set by workers when
     /// delivery fails or the submission is poisoned, so the dispatcher
-    /// stops feeding a request nobody is listening to.
+    /// stops feeding a request nobody is listening to — and evicts its
+    /// already-admitted slots instead of stepping them to completion.
     retired: Arc<std::sync::atomic::AtomicBool>,
+    /// Slots of this submission currently admitted across *all*
+    /// workers' tables. Hard-deadline aborts wait for this to reach 0
+    /// so in-flight samples (which beat the clock) deliver before the
+    /// stream is truncated by the typed error.
+    inflight: Arc<AtomicUsize>,
     tx: Sender<SchedMsg>,
 }
 
-/// One unit of worker work: a contiguous micro-batch of a submission.
-struct Task {
-    jobs: Arc<Vec<(GrayImage, GrayImage)>>,
-    range: Range<usize>,
-    seed: u64,
-    /// The submitting session and this micro-batch's zero-based
-    /// ordinal within its submission — the [`FaultPlan`] key.
-    session: u64,
-    ordinal: u64,
-    tx: Sender<SchedMsg>,
-    /// The submission's retire flag: workers set it when delivery
-    /// fails (consumer dropped the stream) or after sending
-    /// `Aborted`, so the dispatcher retires the submission instead of
-    /// burning the shared pool on micro-batches nobody will receive.
-    retired: Arc<std::sync::atomic::AtomicBool>,
-}
-
-/// How many recent first-dispatch waits feed the percentile window
-/// behind [`SchedulerStats::wait_p90_micros`] and overload shedding.
+/// How many recent first-dispatch waits feed the percentile windows
+/// behind [`SchedulerStats::wait_p90_micros`], the per-class p99s and
+/// overload shedding.
 const WAIT_WINDOW: usize = 64;
 
 /// Cumulative dispatch counters, updated under the state lock.
@@ -526,20 +693,52 @@ struct StatsInner {
     /// Ring buffer of the last [`WAIT_WINDOW`] submit → first-dispatch
     /// waits (microseconds): the shedding signal.
     recent_waits: VecDeque<u64>,
+    /// Per-class rings of the same waits, indexed by
+    /// [`QosClass::index`]: the `mixed_tenants` latency signal.
+    recent_class_waits: [VecDeque<u64>; 3],
     per_session: BTreeMap<u64, (QosClass, u64, u64)>,
+}
+
+/// The p-th percentile (nearest-rank) of a wait window, 0 when empty.
+fn percentile_of(window: &VecDeque<u64>, p: u64) -> u64 {
+    if window.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<u64> = window.iter().copied().collect();
+    sorted.sort_unstable();
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
 }
 
 impl StatsInner {
     /// The p-th percentile (nearest-rank) of the recent-wait window,
     /// 0 when the window is empty.
     fn wait_percentile(&self, p: u64) -> u64 {
-        if self.recent_waits.is_empty() {
-            return 0;
+        percentile_of(&self.recent_waits, p)
+    }
+
+    /// Per-class nearest-rank percentiles of the recent-wait windows.
+    fn class_wait_percentile(&self, p: u64) -> ClassCounts {
+        ClassCounts::from_raw([
+            percentile_of(&self.recent_class_waits[0], p),
+            percentile_of(&self.recent_class_waits[1], p),
+            percentile_of(&self.recent_class_waits[2], p),
+        ])
+    }
+
+    /// Records a submit → first-dispatch wait into the cumulative sum
+    /// and both percentile windows.
+    fn record_wait(&mut self, wait: u64, class: QosClass) {
+        self.wait_micros += wait;
+        if self.recent_waits.len() == WAIT_WINDOW {
+            self.recent_waits.pop_front();
         }
-        let mut sorted: Vec<u64> = self.recent_waits.iter().copied().collect();
-        sorted.sort_unstable();
-        let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
-        sorted[rank - 1]
+        self.recent_waits.push_back(wait);
+        let ring = &mut self.recent_class_waits[class.index()];
+        if ring.len() == WAIT_WINDOW {
+            ring.pop_front();
+        }
+        ring.push_back(wait);
     }
 }
 
@@ -557,7 +756,10 @@ struct Shared {
     threads: usize,
     limits: QueueLimits,
     next_session: AtomicU64,
-    /// Micro-batch panics caught (worker survived and rebuilt).
+    /// Slot-tag uid allocator (see [`Submission::uid`]).
+    next_uid: AtomicU64,
+    /// Worker panics caught and contained (worker survived and
+    /// rebuilt), including synthesized [`Fault::PanicAt`] injections.
     worker_panics: AtomicU64,
     /// Worker loops lost to an escaped panic and respawned.
     workers_lost: AtomicU64,
@@ -565,10 +767,21 @@ struct Shared {
     /// submissions would hang forever, so `submit` refuses them.
     workers_alive: AtomicUsize,
     /// Chaos hook: `has_faults` keeps the happy path to one branch per
-    /// micro-batch (no lock touch when no plan was installed).
+    /// slot admission (no lock touch when no plan was installed).
     has_faults: bool,
     faults: Mutex<FaultPlan>,
     shed_wait: Option<Duration>,
+    dispatch: DispatchMode,
+    /// Slot-table capacity override (0 = auto, see
+    /// [`SchedulerOptions::slot_capacity`]).
+    slot_capacity: usize,
+    /// Σ live slots over all network steps (see
+    /// [`SchedulerStats::slots_filled`]).
+    slots_filled: AtomicU64,
+    /// Σ empty slots over all network steps.
+    slots_idle: AtomicU64,
+    /// Steps whose table mixed submissions.
+    batches_merged: AtomicU64,
 }
 
 /// Locks the scheduler state, recovering from poisoning: every mutation
@@ -581,26 +794,36 @@ fn lock_state(shared: &Shared) -> MutexGuard<'_, SchedState> {
     shared.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Pops the next micro-batch in policy order; retires exhausted and
-/// cancelled submissions (dropping their sender ends the stream —
-/// cleanly for cancellation, which is not an error).
-fn take_task(st: &mut SchedState) -> Option<Task> {
-    use std::sync::atomic::Ordering;
-    // Purge cancelled and retired submissions before the policy looks
-    // at the queue (the pre-policy scheduler purged lazily at the
-    // front; purging up front is observationally identical and keeps
-    // dead submissions out of policy decisions).
+/// Purges dead submissions from the queue: cancelled and retired ones
+/// retire as `abandoned` (dropping the sender ends the stream — cleanly
+/// for cancellation, which is not an error), expired hard deadlines as
+/// `timed_out` with a typed abort. Slots already admitted keep running
+/// and deliver — cancellation and deadlines act on *queued* work, like
+/// the fixed dispatcher's between-batch enforcement points. Every
+/// retirement path records its terminal timestamp into
+/// `turnaround_micros`, so abandoned and timed-out stragglers no longer
+/// vanish from turnaround accounting (they used to be recorded only on
+/// completion).
+fn purge(st: &mut SchedState) {
     let mut i = 0;
     while i < st.queue.len() {
         let sub = &st.queue[i];
         if sub.cancel.is_cancelled() || sub.retired.load(Ordering::Relaxed) {
             st.stats.abandoned[sub.class.index()] += 1;
+            st.stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
             st.queue.remove(i);
-        } else if sub.hard_deadline && sub.deadline.is_some_and(|d| Instant::now() > d) {
-            // Hard-deadline enforcement: cooperative, between
-            // micro-batches. Finished batches already reached the
-            // consumer (partial results survive); the stream ends with
-            // the typed error so the service resolves to `TimedOut`.
+        } else if sub.hard_deadline
+            && sub.deadline.is_some_and(|d| Instant::now() > d)
+            // Defer the abort while slots are in flight: their samples
+            // beat the clock and must reach the consumer before the
+            // stream is truncated by the typed error. Admission below
+            // skips expired submissions, so this drains promptly.
+            && sub.inflight.load(Ordering::Relaxed) == 0
+        {
+            // Hard-deadline enforcement: cooperative, at slot-admission
+            // points. Samples already delivered reached the consumer
+            // (partial results survive); the stream ends with the typed
+            // error so the service resolves to `TimedOut`.
             let late_by = sub
                 .deadline
                 .map(|d| Instant::now().saturating_duration_since(d))
@@ -609,16 +832,17 @@ fn take_task(st: &mut SchedState) -> Option<Task> {
                 .tx
                 .send(SchedMsg::Aborted(PpError::DeadlineExceeded { late_by }));
             st.stats.timed_out[sub.class.index()] += 1;
+            st.stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
             st.queue.remove(i);
         } else {
             i += 1;
         }
     }
-    if st.queue.is_empty() {
-        return None;
-    }
-    let views: Vec<SchedView> = st
-        .queue
+}
+
+/// What the policy sees of one queued submission.
+fn views_of(queue: &VecDeque<Submission>) -> Vec<SchedView> {
+    queue
         .iter()
         .map(|sub| SchedView {
             class: sub.class,
@@ -628,56 +852,26 @@ fn take_task(st: &mut SchedState) -> Option<Task> {
             remaining: sub.jobs.len() - sub.cursor,
             session: sub.session,
         })
-        .collect();
-    // A policy returning an out-of-range index is a bug, but clamping
-    // keeps it a fairness bug rather than a worker panic.
-    let pick = st.policy.pick(&views).min(st.queue.len() - 1);
-    // The clamp keeps `pick` in range for the non-empty queue, so
-    // `remove` cannot come back empty; bail rather than panic if it
-    // ever does (a worker panic here would wedge the whole pool).
-    let mut sub = st.queue.remove(pick)?;
-    let start = sub.cursor;
-    let end = (start + sub.batch).min(sub.jobs.len());
-    sub.cursor = end;
-    if sub.dispatched == 0 {
-        let wait = sub.submitted_at.elapsed().as_micros() as u64;
-        st.stats.wait_micros += wait;
-        if st.stats.recent_waits.len() == WAIT_WINDOW {
-            st.stats.recent_waits.pop_front();
+        .collect()
+}
+
+/// Sanitises a policy ranking: out-of-range and duplicate indices are
+/// dropped, missing ones appended in queue order. A malformed ranking
+/// is a fairness bug, never a stall or a panic.
+fn normalize_ranking(ranking: Vec<usize>, len: usize) -> Vec<usize> {
+    let mut seen = vec![false; len];
+    let mut order = Vec::with_capacity(len);
+    for i in ranking {
+        if i < len && !std::mem::replace(&mut seen[i], true) {
+            order.push(i);
         }
-        st.stats.recent_waits.push_back(wait);
     }
-    let ordinal = sub.dispatched;
-    sub.dispatched += 1;
-    // Advance virtual time by the class stride: 4 / weight, so heavier
-    // classes accumulate pass more slowly and earn more dispatches.
-    sub.pass += u64::from(QosClass::Interactive.weight() / sub.class.weight());
-    st.stats.micro_batches += 1;
-    st.stats.samples += (end - start) as u64;
-    let entry = st
-        .stats
-        .per_session
-        .entry(sub.session)
-        .or_insert((sub.class, 0, 0));
-    entry.0 = sub.class;
-    entry.1 += 1;
-    entry.2 += (end - start) as u64;
-    let task = Task {
-        jobs: Arc::clone(&sub.jobs),
-        range: start..end,
-        seed: sub.seed,
-        session: sub.session,
-        ordinal,
-        tx: sub.tx.clone(),
-        retired: Arc::clone(&sub.retired),
-    };
-    if end < sub.jobs.len() {
-        st.queue.push_back(sub);
-    } else {
-        st.stats.completed[sub.class.index()] += 1;
-        st.stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
+    for (i, ranked) in seen.into_iter().enumerate() {
+        if !ranked {
+            order.push(i);
+        }
     }
-    Some(task)
+    order
 }
 
 /// Renders a `catch_unwind` payload for [`PpError::WorkerPanic`]
@@ -693,101 +887,426 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, model: &Arc<DiffusionModel>) {
-    let mut worker = model.worker();
-    loop {
-        let task = {
-            let mut st = lock_state(shared);
+// ---------------------------------------------------------------------
+// Continuous dispatch: the worker-side slot feed
+// ---------------------------------------------------------------------
+
+/// Delivery route for one submission with slots in a worker's table.
+struct Route {
+    tx: Sender<SchedMsg>,
+    retired: Arc<std::sync::atomic::AtomicBool>,
+    /// The submission's cross-worker in-flight slot count (see
+    /// [`Submission::inflight`]).
+    sub_inflight: Arc<AtomicUsize>,
+    /// Slots of this submission currently in this worker's table.
+    inflight: usize,
+}
+
+/// The scheduler's side of [`pp_diffusion::SlotFeed`], one per worker
+/// loop entry: `refill` *is* the dispatcher — purge, policy ranking,
+/// slot admission, fault injection and dispatch stats all happen there
+/// under the state lock — while `complete`/`evict` route finished
+/// samples back to their submission's stream without touching it.
+struct SchedFeed {
+    shared: Arc<Shared>,
+    /// Routes for submissions with slots in this worker's table,
+    /// keyed by [`Submission::uid`].
+    routes: BTreeMap<u64, Route>,
+    /// Slot-table capacity as of the last refill (the denominator for
+    /// idle-slot accounting).
+    capacity: usize,
+    /// A panic that unwound out of [`SchedPolicy::rank`] during
+    /// refill, parked so in-flight slots drain before the worker loop
+    /// re-raises it toward its supervisor.
+    policy_panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Packs a slot tag from a submission uid (32 bits) and a job index.
+fn slot_tag(uid: u64, index: usize) -> u64 {
+    (uid << 32) | index as u64
+}
+
+impl SchedFeed {
+    fn new(shared: Arc<Shared>) -> SchedFeed {
+        SchedFeed {
+            shared,
+            routes: BTreeMap::new(),
+            capacity: 0,
+            policy_panic: None,
+        }
+    }
+
+    /// Releases one slot of `uid`, dropping the route (and its sender
+    /// clone) when it was the last — which is what lets a fully
+    /// retired submission's stream disconnect.
+    fn release(&mut self, uid: u64) {
+        if let Some(route) = self.routes.get_mut(&uid) {
+            route.sub_inflight.fetch_sub(1, Ordering::Relaxed);
+            route.inflight -= 1;
+            if route.inflight == 0 {
+                self.routes.remove(&uid);
+            }
+        }
+    }
+
+    /// Aborts every submission with slots in this worker's table —
+    /// the worker-level failure path, where an unwind destroyed the
+    /// whole slot loop and per-slot attribution with it.
+    fn abort_inflight(&mut self, err: impl Fn() -> PpError) {
+        for route in std::mem::take(&mut self.routes).into_values() {
+            let _ = route.tx.send(SchedMsg::Aborted(err()));
+            route.retired.store(true, Ordering::Relaxed);
+            // The table is gone with the unwound slot loop: hand the
+            // slots back so deferred hard-deadline purging never waits
+            // on slots that no longer exist.
+            route
+                .sub_inflight
+                .fetch_sub(route.inflight, Ordering::Relaxed);
+        }
+    }
+
+    /// The dispatcher proper: purge the queue, rank it, fill free
+    /// slots in ranking order. Blocks on the condvar only when this
+    /// worker's table is empty (`active == 0`) and nothing was
+    /// admitted — with slots in flight it returns immediately so the
+    /// step loop keeps moving.
+    fn refill_inner(&mut self, active: usize) -> Vec<SlotJob> {
+        let mut stall: Option<Duration> = None;
+        let shared = Arc::clone(&self.shared);
+        let out = {
+            let mut st = lock_state(&shared);
             loop {
+                purge(&mut st);
                 if st.shutdown {
-                    return;
+                    break Vec::new();
                 }
-                if let Some(task) = take_task(&mut st) {
-                    break task;
+                let jobs = self.admit(&mut st, active, &mut stall);
+                if !jobs.is_empty() || active > 0 {
+                    break jobs;
                 }
                 st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        // Chaos hook: one branch when no plan is installed; with one,
-        // consume at most one fault for this (session, ordinal) point.
-        // Faults fire *before* `worker.run`, so an injected panic or
-        // error wastes no DDIM compute.
-        let fault = if shared.has_faults {
-            shared
-                .faults
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .take(task.session, task.ordinal)
+        // An injected stall models a slow model pass, not a wedged
+        // scheduler: sleep outside the state lock.
+        if let Some(d) = stall {
+            std::thread::sleep(d);
+        }
+        out
+    }
+
+    /// One admission pass over the ranked queue. Returns the slots to
+    /// add to this worker's table; updates cursors, stride accounting,
+    /// routes and dispatch stats; retires submissions hit by injected
+    /// faults; rotates admitted submissions to the back of the queue.
+    fn admit(
+        &mut self,
+        st: &mut SchedState,
+        active: usize,
+        stall: &mut Option<Duration>,
+    ) -> Vec<SlotJob> {
+        if st.queue.is_empty() {
+            return Vec::new();
+        }
+        let fixed = self.shared.dispatch == DispatchMode::FixedBatch;
+        if fixed && active > 0 {
+            // Pre-slot dispatch semantics: a worker only takes new
+            // work once its table fully drained.
+            return Vec::new();
+        }
+        let max_batch = st.queue.iter().map(|s| s.batch).max().unwrap_or(1);
+        let capacity = if fixed {
+            max_batch
+        } else if self.shared.slot_capacity > 0 {
+            self.shared.slot_capacity
         } else {
-            None
+            // Auto sizing: the widest queued micro-batch plus 50%
+            // headroom, so a newly arrived tenant can join the next
+            // network pass instead of waiting for a slot lifetime.
+            max_batch + max_batch / 2
         };
-        let refs: Vec<(&GrayImage, &GrayImage)> = task.jobs[task.range.clone()]
-            .iter()
-            .map(|(i, m)| (i, m))
-            .collect();
-        let seeds: Vec<u64> = task.range.clone().map(|i| task.seed ^ i as u64).collect();
-        // Panic isolation: a panic inside the model (or an injected
-        // one) is contained to this one micro-batch — converted to a
-        // typed abort for the one submission that was running, while
-        // the worker rebuilds its U-Net scratch state and keeps
-        // serving everyone else.
-        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<GrayImage>, PpError> {
-            match fault {
-                Some(Fault::PanicAt { .. }) => panic!(
-                    "injected fault: worker panic (session {}, micro-batch {})",
-                    task.session, task.ordinal
-                ),
-                Some(Fault::ErrAt { .. }) => {
-                    return Err(PpError::Io(std::io::Error::new(
-                        std::io::ErrorKind::Interrupted,
-                        format!(
-                            "injected transient i/o fault (session {}, micro-batch {})",
-                            task.session, task.ordinal
-                        ),
-                    )))
-                }
-                Some(Fault::StallFor { duration, .. }) => std::thread::sleep(duration),
-                None => {}
+        self.capacity = capacity;
+        let mut free = capacity.saturating_sub(active);
+        if free == 0 {
+            return Vec::new();
+        }
+        let views = views_of(&st.queue);
+        let ranking = normalize_ranking(st.policy.rank(&views), st.queue.len());
+        let st = &mut *st;
+        let queue = &mut st.queue;
+        let stats = &mut st.stats;
+        let mut out = Vec::new();
+        // Post-walk queue surgery, keyed by uid: submissions that got
+        // slots rotate to the back (in admission order — what makes
+        // the identity ranking a strict rotation), fault-aborted ones
+        // leave as abandoned, fully dispatched ones as completed.
+        let mut admitted_order: Vec<u64> = Vec::new();
+        let mut aborted: Vec<u64> = Vec::new();
+        for qi in ranking {
+            if free == 0 {
+                break;
             }
-            worker
-                .run(&refs, &seeds)
-                .map_err(|e| PpError::Model(format!("scheduler worker failed: {e}")))
-        }));
-        let (msg, poisoned) = match outcome {
-            Ok(Ok(samples)) => (
-                SchedMsg::Batch {
-                    start: task.range.start,
-                    samples,
-                },
-                false,
-            ),
+            let sub = &mut queue[qi];
+            if sub.hard_deadline && sub.deadline.is_some_and(|d| Instant::now() > d) {
+                // Expired but still draining in-flight slots (purge
+                // defers its abort): admit nothing more from it.
+                continue;
+            }
+            let my_inflight = self.routes.get(&sub.uid).map_or(0, |r| r.inflight);
+            // Per-worker share: one submission may hold at most its
+            // micro-batch width in any single worker's table —
+            // preserving the fixed dispatcher's concurrency bound of
+            // `batch × workers` jobs in flight per submission.
+            let allow = if fixed && !admitted_order.is_empty() {
+                0 // fixed mode admits from the top-ranked submission only
+            } else {
+                sub.batch
+                    .saturating_sub(my_inflight)
+                    .min(sub.jobs.len() - sub.cursor)
+                    .min(free)
+            };
+            if allow == 0 {
+                continue;
+            }
+            let mut n = 0;
+            let mut abort: Option<PpError> = None;
+            while n < allow {
+                let index = sub.cursor + n;
+                // Chaos hook, now keyed on (session, slot ordinal) =
+                // the job's index within its submission. Faults fire
+                // at admission, before any DDIM compute: a synthesized
+                // panic/error aborts only this submission — slots of
+                // co-resident tenants in the same table are untouched,
+                // which is the isolation continuous batching must keep.
+                if self.shared.has_faults {
+                    let fault = self
+                        .shared
+                        .faults
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take(sub.session, index as u64);
+                    match fault {
+                        Some(Fault::PanicAt { .. }) => {
+                            self.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            abort = Some(PpError::WorkerPanic {
+                                detail: format!(
+                                    "injected fault: worker panic (session {}, slot {})",
+                                    sub.session, index
+                                ),
+                            });
+                            break;
+                        }
+                        Some(Fault::ErrAt { .. }) => {
+                            abort = Some(PpError::Io(std::io::Error::new(
+                                std::io::ErrorKind::Interrupted,
+                                format!(
+                                    "injected transient i/o fault (session {}, slot {})",
+                                    sub.session, index
+                                ),
+                            )));
+                            break;
+                        }
+                        Some(Fault::StallFor { duration, .. }) => {
+                            *stall = Some(stall.map_or(duration, |s| s.max(duration)));
+                        }
+                        None => {}
+                    }
+                }
+                out.push(SlotJob {
+                    tag: slot_tag(sub.uid, index),
+                    jobs: Arc::clone(&sub.jobs),
+                    index,
+                    seed: sub.seed ^ index as u64,
+                });
+                n += 1;
+            }
+            if n > 0 {
+                if sub.dispatched == 0 {
+                    let wait = sub.submitted_at.elapsed().as_micros() as u64;
+                    stats.record_wait(wait, sub.class);
+                }
+                sub.dispatched += 1;
+                sub.cursor += n;
+                // Advance virtual time by the class stride (4 /
+                // weight) once per micro-batch worth of slots, so
+                // slot-granular admission charges the same pass per
+                // job as fixed dispatch did.
+                sub.credits += n;
+                let stride = u64::from(QosClass::Interactive.weight() / sub.class.weight());
+                while sub.credits >= sub.batch {
+                    sub.credits -= sub.batch;
+                    sub.pass += stride;
+                }
+                stats.micro_batches += 1;
+                stats.samples += n as u64;
+                let entry = stats
+                    .per_session
+                    .entry(sub.session)
+                    .or_insert((sub.class, 0, 0));
+                entry.0 = sub.class;
+                entry.1 += 1;
+                entry.2 += n as u64;
+                let route = self.routes.entry(sub.uid).or_insert_with(|| Route {
+                    tx: sub.tx.clone(),
+                    retired: Arc::clone(&sub.retired),
+                    sub_inflight: Arc::clone(&sub.inflight),
+                    inflight: 0,
+                });
+                route.inflight += n;
+                sub.inflight.fetch_add(n, Ordering::Relaxed);
+                free -= n;
+                admitted_order.push(sub.uid);
+            }
+            if let Some(err) = abort {
+                // Slots admitted before the fault point (this refill
+                // or earlier) still run and deliver; everything from
+                // the fault on is gone. The consumer sees the typed
+                // abort; `purge`-style accounting happens in the
+                // surgery below, so counters land before this call
+                // returns.
+                let _ = sub.tx.send(SchedMsg::Aborted(err));
+                sub.retired.store(true, Ordering::Relaxed);
+                aborted.push(sub.uid);
+            }
+        }
+        if admitted_order.is_empty() && aborted.is_empty() {
+            return out;
+        }
+        let mut rotated: BTreeMap<u64, Submission> = BTreeMap::new();
+        let mut kept: VecDeque<Submission> = VecDeque::with_capacity(queue.len());
+        for sub in queue.drain(..) {
+            if aborted.contains(&sub.uid) {
+                stats.abandoned[sub.class.index()] += 1;
+                stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
+            } else if sub.cursor >= sub.jobs.len() {
+                stats.completed[sub.class.index()] += 1;
+                stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
+            } else if admitted_order.contains(&sub.uid) {
+                rotated.insert(sub.uid, sub);
+            } else {
+                kept.push_back(sub);
+            }
+        }
+        for uid in &admitted_order {
+            if let Some(sub) = rotated.remove(uid) {
+                kept.push_back(sub);
+            }
+        }
+        *queue = kept;
+        out
+    }
+}
+
+impl SlotFeed for SchedFeed {
+    fn refill(&mut self, active: usize) -> Vec<SlotJob> {
+        if self.policy_panic.is_some() {
+            // A panicked policy cannot rank: stop admitting, let the
+            // slot loop drain what is in flight, then the worker loop
+            // re-raises toward its supervisor.
+            return Vec::new();
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.refill_inner(active))) {
+            Ok(jobs) => jobs,
+            Err(payload) => {
+                self.policy_panic = Some(payload);
+                Vec::new()
+            }
+        }
+    }
+
+    fn complete(&mut self, tag: u64, sample: GrayImage) {
+        let uid = tag >> 32;
+        let index = (tag & 0xffff_ffff) as usize;
+        if let Some(route) = self.routes.get_mut(&uid) {
+            let delivered = route
+                .tx
+                .send(SchedMsg::Batch {
+                    start: index,
+                    samples: vec![sample],
+                })
+                .is_ok();
+            if !delivered {
+                // The consumer dropped the stream: retire the
+                // submission so the dispatcher stops sampling into
+                // the void (the caller's cancel token is left alone —
+                // it may be shared across rounds).
+                route.retired.store(true, Ordering::Relaxed);
+            }
+        }
+        self.release(uid);
+    }
+
+    fn evict(&mut self, tag: u64) -> bool {
+        let uid = tag >> 32;
+        // Only retired submissions are evicted mid-flight (delivery
+        // already failed, or a fault poisoned them). Cancelled and
+        // deadline-expired submissions keep their admitted slots to
+        // completion — evicting those would strand already-delivered
+        // out-of-order samples in the consumer's reorder buffer.
+        let retired = self
+            .routes
+            .get(&uid)
+            .is_none_or(|route| route.retired.load(Ordering::Relaxed));
+        if retired {
+            self.release(uid);
+        }
+        retired
+    }
+
+    fn on_step(&mut self, active: usize) {
+        self.shared
+            .slots_filled
+            .fetch_add(active as u64, Ordering::Relaxed);
+        self.shared.slots_idle.fetch_add(
+            self.capacity.saturating_sub(active) as u64,
+            Ordering::Relaxed,
+        );
+        if self.routes.len() > 1 {
+            // This pass packs jobs from >1 submission: a batch the
+            // fixed dispatcher would have run as separate (narrower)
+            // passes.
+            self.shared.batches_merged.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, model: &Arc<DiffusionModel>) {
+    let mut worker = model.worker();
+    loop {
+        let mut feed = SchedFeed::new(Arc::clone(shared));
+        // Panic isolation: a panic inside the model is contained to
+        // the submissions whose slots were in this worker's table —
+        // converted to typed aborts while the worker rebuilds its
+        // U-Net scratch state and keeps serving everyone else.
+        // (Injected faults never reach this path: they are synthesized
+        // at slot admission, poisoning one slot's submission without
+        // unwinding the shared step loop.)
+        let outcome = catch_unwind(AssertUnwindSafe(|| worker.run_slots(&mut feed)));
+        match outcome {
+            Ok(Ok(())) => match feed.policy_panic.take() {
+                // A policy panic is a scheduler bug, not a model
+                // fault: re-raise it so the supervisor counts a lost
+                // worker loop and respawns.
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => return, // clean shutdown
+            },
             // Shapes are validated at submit time, so a model error is
-            // a defensive path; the consumer still sees a hard typed
-            // error rather than a silently short stream.
-            Ok(Err(e)) => (SchedMsg::Aborted(e), true),
+            // a defensive path; consumers still see a hard typed error
+            // rather than silently short streams.
+            Ok(Err(e)) => {
+                let detail = format!("scheduler worker failed: {e}");
+                feed.abort_inflight(|| PpError::Model(detail.clone()));
+            }
             Err(payload) => {
                 shared.worker_panics.fetch_add(1, Ordering::Relaxed);
                 // The worker's U-Net scratch state is suspect after an
                 // unwind through it: rebuild from the shared model.
                 worker = model.worker();
-                (
-                    SchedMsg::Aborted(PpError::WorkerPanic {
-                        detail: panic_detail(payload),
-                    }),
-                    true,
-                )
+                let detail = panic_detail(payload);
+                feed.abort_inflight(|| PpError::WorkerPanic {
+                    detail: detail.clone(),
+                });
             }
-        };
-        // A send error means the consumer dropped the stream, and a
-        // poisoned submission will never deliver anything useful
-        // again: retire either way so the dispatcher stops sampling
-        // micro-batches nobody will receive (each one is full DDIM
-        // inference stolen from live submissions). The caller's
-        // cancel token is left alone — it may be shared across
-        // rounds.
-        if task.tx.send(msg).is_err() || poisoned {
-            task.retired
-                .store(true, std::sync::atomic::Ordering::Relaxed);
         }
     }
 }
@@ -827,6 +1346,7 @@ fn supervise(shared: Arc<Shared>, model: Arc<DiffusionModel>) {
         let orphans: Vec<Submission> = st.queue.drain(..).collect();
         for sub in orphans {
             st.stats.abandoned[sub.class.index()] += 1;
+            st.stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
             let _ = sub.tx.send(SchedMsg::Aborted(PpError::Model(
                 "scheduler worker pool lost all workers".into(),
             )));
@@ -886,12 +1406,18 @@ impl Scheduler {
             threads,
             limits: options.limits,
             next_session: AtomicU64::new(1),
+            next_uid: AtomicU64::new(1),
             worker_panics: AtomicU64::new(0),
             workers_lost: AtomicU64::new(0),
             workers_alive: AtomicUsize::new(threads),
             has_faults: !options.faults.is_empty(),
             faults: Mutex::new(options.faults),
             shed_wait: options.shed_wait,
+            dispatch: options.dispatch,
+            slot_capacity: options.slot_capacity,
+            slots_filled: AtomicU64::new(0),
+            slots_idle: AtomicU64::new(0),
+            batches_merged: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -950,9 +1476,14 @@ fn snapshot(shared: &Shared) -> SchedulerStats {
         workers_lost: shared.workers_lost.load(Ordering::Relaxed),
         micro_batches: st.stats.micro_batches,
         samples: st.stats.samples,
+        slots_filled: shared.slots_filled.load(Ordering::Relaxed),
+        slots_idle: shared.slots_idle.load(Ordering::Relaxed),
+        batches_merged: shared.batches_merged.load(Ordering::Relaxed),
         wait_micros: st.stats.wait_micros,
         wait_p50_micros: st.stats.wait_percentile(50),
         wait_p90_micros: st.stats.wait_percentile(90),
+        wait_p50_micros_by_class: st.stats.class_wait_percentile(50),
+        wait_p99_micros_by_class: st.stats.class_wait_percentile(99),
         turnaround_micros: st.stats.turnaround_micros,
         per_session: st
             .stats
@@ -976,8 +1507,12 @@ impl Drop for Scheduler {
             let mut st = lock_state(&self.shared);
             st.shutdown = true;
             // Still-queued submissions must not end as silently short
-            // streams: abort them explicitly.
-            for sub in st.queue.drain(..) {
+            // streams: abort them explicitly. Their terminal
+            // timestamps still land (handles may outlive the
+            // scheduler and read stats).
+            let drained: Vec<Submission> = st.queue.drain(..).collect();
+            for sub in drained {
+                st.stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
                 let _ = sub.tx.send(SchedMsg::Aborted(PpError::Model(
                     "scheduler shut down mid-request".into(),
                 )));
@@ -1081,12 +1616,14 @@ impl SchedulerHandle {
             // long-running submissions.
             let pass = st.queue.iter().map(|s| s.pass).min().unwrap_or(0);
             st.queue.push_back(Submission {
+                uid: self.shared.next_uid.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff,
                 jobs: Arc::new(jobs),
                 seed,
                 batch: batch.max(1),
                 cursor: 0,
                 dispatched: 0,
                 pass,
+                credits: 0,
                 session: self.session,
                 class,
                 // checked_add: a deadline too far to represent is the
@@ -1096,6 +1633,7 @@ impl SchedulerHandle {
                 submitted_at: Instant::now(),
                 cancel,
                 retired: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+                inflight: Arc::new(AtomicUsize::new(0)),
                 tx,
             });
         }
@@ -1334,10 +1872,19 @@ mod tests {
             view(QosClass::Interactive, None, 3),
         ];
         assert_eq!(WeightedFair.pick(&q), 1);
-        // At pass parity the oldest submission wins (index 0).
+        // At pass parity the heavier class wins — at equal virtual
+        // time the better QoS class is served first, so an interactive
+        // arrival at the frontier preempts a best-effort flood at the
+        // next free slot instead of waiting out a full frontier round.
         let q = [
             view(QosClass::BestEffort, None, 1),
             view(QosClass::Interactive, None, 4),
+        ];
+        assert_eq!(WeightedFair.pick(&q), 1);
+        // At pass *and* weight parity the oldest submission wins.
+        let q = [
+            view(QosClass::Batch, None, 2),
+            view(QosClass::Batch, None, 2),
         ];
         assert_eq!(WeightedFair.pick(&q), 0);
         // Single-class queues degrade to exact round-robin: equal
@@ -1575,14 +2122,17 @@ mod tests {
     }
 
     /// An injected panic is contained to its one submission: the stream
-    /// ends with a typed `WorkerPanic`, the worker respawns, and a
+    /// ends with a typed `WorkerPanic`, the pool keeps serving, and a
     /// later submission on the same pool completes — with `stats()`
     /// working throughout (no poisoned-mutex panic).
     #[test]
     fn injected_panic_is_isolated_and_the_pool_survives() {
         let model = tiny_model();
         // Session ids start at 1; the first handle() call gets 1.
-        let plan = FaultPlan::new().inject(1, Fault::PanicAt { batch: 1 });
+        // Faults key on slot ordinals (job index within the
+        // submission): ordinal 2 is the first slot of the second
+        // admission group under micro-batch width 2.
+        let plan = FaultPlan::new().inject(1, Fault::PanicAt { batch: 2 });
         let sched = Scheduler::new_with(model, 1, SchedulerOptions::new().faults(plan));
         let handle = sched.handle();
         let rx = handle
@@ -1607,7 +2157,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(delivered, 2, "micro-batch 0 lands before the batch-1 fault");
+        assert_eq!(delivered, 2, "slots 0-1 land before the slot-2 fault");
         let err = err.expect("the faulted submission must surface an error");
         assert!(
             matches!(err, PpError::WorkerPanic { .. }),

@@ -530,9 +530,9 @@ impl JobHandle {
         }
     }
 
-    /// Requests cooperative cancellation: the job stops at its next
-    /// micro-batch boundary and resolves to [`JobOutcome::Cancelled`]
-    /// with whatever it finished.
+    /// Requests cooperative cancellation: the job stops at the
+    /// scheduler's next slot-admission point and resolves to
+    /// [`JobOutcome::Cancelled`] with whatever it finished.
     pub fn cancel(&self) {
         self.state.cancel.cancel();
     }

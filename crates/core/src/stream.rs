@@ -127,9 +127,10 @@ impl StreamOptions {
     }
 
     /// Options with a *hard* deadline (from submission): past it, the
-    /// scheduler cancels the submission between micro-batches and the
-    /// stream ends with [`crate::PpError::DeadlineExceeded`] after any
-    /// already-finished batches.
+    /// scheduler cancels the submission at the next slot-admission
+    /// point and the stream ends with
+    /// [`crate::PpError::DeadlineExceeded`] after any
+    /// already-finished jobs.
     pub fn with_hard_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self.hard_deadline = true;

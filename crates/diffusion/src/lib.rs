@@ -43,6 +43,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod model;
 pub mod schedule;
+pub mod slots;
 pub mod stream;
 pub mod unet;
 
@@ -53,5 +54,6 @@ pub use checkpoint::{
 pub use error::ModelError;
 pub use model::{DiffusionConfig, DiffusionModel, InpaintWorker, Parameterization, TrainReport};
 pub use schedule::{BetaSchedule, NoiseSchedule};
+pub use slots::{SlotFeed, SlotJob};
 pub use stream::{CancelToken, InpaintStream, MicroBatch};
 pub use unet::{UNet, UNetConfig};

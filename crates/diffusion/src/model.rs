@@ -94,12 +94,12 @@ pub struct TrainReport {
 #[derive(Debug, Clone)]
 pub struct DiffusionModel {
     cfg: DiffusionConfig,
-    unet: UNet,
+    pub(crate) unet: UNet,
     schedule: NoiseSchedule,
 }
 
 /// Standard-normal sample via Box-Muller.
-fn randn(rng: &mut StdRng) -> f32 {
+pub(crate) fn randn(rng: &mut StdRng) -> f32 {
     let u1: f32 = rng.gen_range(1e-7f32..1.0);
     let u2: f32 = rng.gen_range(0.0f32..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
@@ -244,7 +244,11 @@ impl DiffusionModel {
     }
 
     /// Checks one input image against the configured model size.
-    fn check_image(&self, what: &'static str, img: &GrayImage) -> Result<(), ModelError> {
+    pub(crate) fn check_image(
+        &self,
+        what: &'static str,
+        img: &GrayImage,
+    ) -> Result<(), ModelError> {
         for side in [img.width(), img.height()] {
             if side != self.cfg.image {
                 return Err(ModelError::Shape {
@@ -724,8 +728,8 @@ impl DiffusionModel {
 /// pairs.
 #[derive(Debug)]
 pub struct InpaintWorker {
-    model: Arc<DiffusionModel>,
-    unet: UNet,
+    pub(crate) model: Arc<DiffusionModel>,
+    pub(crate) unet: UNet,
 }
 
 impl InpaintWorker {

@@ -203,8 +203,9 @@ fn seeded_fault_plan_is_always_survivable() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xC4A05);
     let engine = tiny_engine(4);
-    // One fault per session 1..=3; 8 jobs at batch_size 4 = 2
-    // micro-batches per attempt, matching the plan's batch bound.
+    // One fault per session 1..=3; the plan draws each fault's slot
+    // ordinal below 2, and every attempt dispatches 8 jobs (ordinals
+    // 0..8), so every scheduled fault actually fires.
     let plan = FaultPlan::seeded(seed, 1..4, 2);
     assert_eq!(plan.remaining(), 3, "one fault per tenant");
     let service = service_with_faults(&engine, 2, plan);
@@ -286,10 +287,10 @@ fn expired_hard_deadline_resolves_to_timed_out() {
     assert!(handle.wait().is_completed());
 }
 
-/// A mid-run hard deadline keeps the micro-batches that beat the
-/// clock: an injected stall makes batch 0 slow enough that the rest of
-/// the submission expires behind it, and the job resolves to
-/// `TimedOut` carrying exactly batch 0's samples.
+/// A mid-run hard deadline keeps the slots that beat the clock: an
+/// injected stall at slot ordinal 0 makes the first refill slow
+/// enough that the rest of the submission expires behind it, and the
+/// job resolves to `TimedOut` carrying exactly that refill's samples.
 #[test]
 fn hard_deadline_mid_run_keeps_partial_results() {
     let engine = tiny_engine(6);
@@ -301,10 +302,10 @@ fn hard_deadline_mid_run_keeps_partial_results() {
         },
     );
     let service = service_with_faults(&engine, 1, plan);
-    // 12 jobs at tiny's batch_size 4 = 3 micro-batches. Batch 0 is
-    // dispatched immediately (beating the 80 ms deadline), stalls
-    // 300 ms, and delivers; batches 1-2 are still queued when the
-    // worker next looks, now past the deadline — purged.
+    // 12 jobs at tiny's batch_size 4: the first refill admits slots
+    // 0..4 immediately (beating the 80 ms deadline), stalls 300 ms,
+    // and delivers; jobs 4..12 are still queued when the worker next
+    // refills, now past the deadline — purged.
     let handle = service
         .submit(
             JobSpec::raw(request(&engine, 12, 13)).with_hard_deadline(Duration::from_millis(80)),
@@ -377,7 +378,7 @@ fn supervisor_respawns_a_worker_loop_killed_by_a_policy_panic() {
     assert_eq!(counts.0, 4);
 }
 
-/// Fault plans key on `(session, micro-batch ordinal)` and each fault
+/// Fault plans key on `(session, slot ordinal)` and each fault
 /// fires once: the *same* session's second submission (a service
 /// retry) only re-faults if the plan schedules it again.
 #[test]
