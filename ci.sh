@@ -49,9 +49,12 @@ if [[ "${1:-}" == "--chaos" ]]; then
     # seed; seeded_fault_plan_is_always_survivable derives its whole
     # fault schedule (which tenant panics/errors/stalls, at which
     # slot ordinal) from PP_CHAOS_SEED.
+    # fleet_router's chaos_ test derives the doomed replica and the
+    # job mix from the same seed (replica-loss redistribution).
     for seed in 3 47 20260807; do
         echo "==> chaos sweep: PP_CHAOS_SEED=$seed"
         PP_CHAOS_SEED=$seed RUST_BACKTRACE=1 cargo test -q --test chaos_scheduler
+        PP_CHAOS_SEED=$seed RUST_BACKTRACE=1 cargo test -q --test fleet_router chaos_
     done
 fi
 

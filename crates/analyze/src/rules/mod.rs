@@ -40,10 +40,12 @@ impl Default for Config {
                 "examples/".into(),
                 "crates/core/src/scheduler.rs".into(),
                 "crates/core/src/service.rs".into(),
+                "crates/core/src/fleet.rs".into(),
             ],
             panic_files: vec![
                 "crates/core/src/scheduler.rs".into(),
                 "crates/core/src/service.rs".into(),
+                "crates/core/src/fleet.rs".into(),
                 "crates/core/src/tail.rs".into(),
             ],
             core_prefix: "crates/core/src/".into(),

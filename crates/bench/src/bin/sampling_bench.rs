@@ -52,9 +52,9 @@
 #![forbid(unsafe_code)]
 
 use patternpaint_core::{
-    DispatchMode, Engine, Fault, FaultPlan, JobSet, JobSpec, PipelineConfig, QosClass, RawSample,
-    RetryPolicy, Sampler, ScheduledSampler, SchedulerOptions, SchedulerStats, Service,
-    ServiceOptions, StreamOptions, WeightedFair,
+    DispatchMode, Engine, Fault, FaultPlan, Fleet, FleetOptions, JobSet, JobSpec, PipelineConfig,
+    QosClass, RawSample, RetryPolicy, Sampler, ScheduledSampler, SchedulerOptions, SchedulerStats,
+    Service, ServiceOptions, StreamOptions, WeightedFair,
 };
 use pp_diffusion::{CancelToken, DiffusionConfig, DiffusionModel};
 use pp_geometry::GrayImage;
@@ -592,6 +592,125 @@ fn main() {
     let interactive_p99_improvement = mixed_fixed.stats.wait_p99_micros_by_class.interactive as f64
         / (mixed_cont.stats.wait_p99_micros_by_class.interactive.max(1)) as f64;
 
+    // 3. pp-fleet replica scaling, N ∈ {1, 2, 4}. The host is a single
+    // vCPU, so N replicas of a CPU-bound forward pass cannot scale —
+    // their computes serialise on the one core. What a fleet *does*
+    // overlap on any host is the off-CPU part of a job: the remote
+    // accelerator round trip. This mode models that explicitly with
+    // `FaultPlan::stall_all` — every slot admission sleeps a fixed
+    // off-CPU interval on its replica's worker thread before the
+    // (cheap, tiny-model) on-CPU compute. One replica serialises
+    // stall + compute per job; N replicas sleep concurrently, so the
+    // sweep measures exactly what the router adds or saves — not
+    // kernel throughput. Width-1 jobs on a one-slot table keep the
+    // per-job admission count fixed across N. The honest caveat,
+    // recorded in PERF.md: the ≥1.7× N=2 ratio below validates the
+    // *router* (distribution, stealing, per-replica queues overlap
+    // independent off-CPU waits); it says nothing about scaling
+    // on-CPU kernels across replicas on one core.
+    let fleet_jobs = if smoke { 8usize } else { 32 };
+    // ~14ms off-CPU per job vs ~1.5ms on-CPU (tiny model + round
+    // tail): the off-CPU share must dominate for replica overlap to
+    // show through on one core — with stall s and compute c, perfect
+    // overlap yields (s+c)/(s/2+c) at N=2, so s ≈ 9c predicts ~1.8×
+    // before router overhead.
+    let fleet_stall = std::time::Duration::from_millis(14);
+    let fleet_node = SynthNode::small();
+    let fleet_cfg = PipelineConfig::tiny();
+    let fleet_engine = Engine::builder(fleet_node.clone(), fleet_cfg)
+        .seed(0)
+        .untrained_engine()
+        .expect("tiny config is valid");
+    let fleet_masks = MaskSet::Default.masks(fleet_node.clip());
+    struct FleetRun {
+        replicas: usize,
+        seconds: f64,
+        samples_per_sec: f64,
+        steals: u64,
+    }
+    let fleet_once = |n: usize| -> FleetRun {
+        let fleet = Fleet::replicate(
+            &fleet_engine,
+            FleetOptions::new()
+                .with_replicas(n)
+                .scheduler_factory(move |_| {
+                    SchedulerOptions::new()
+                        .slot_capacity(1)
+                        .faults(FaultPlan::new().stall_all(fleet_stall))
+                }),
+        );
+        let request = |seed: u64| {
+            patternpaint_core::GenerationRequest::new(
+                JobSet::cycle(fleet_engine.starters(), &fleet_masks, 1),
+                seed,
+            )
+        };
+        // Warm every replica's U-Net pool before the clock starts.
+        let warm: Vec<_> = (0..n)
+            .map(|i| {
+                fleet
+                    .submit(JobSpec::raw(request(1)).with_placement(i as u64))
+                    .expect("warmup job admitted")
+            })
+            .collect();
+        for h in warm {
+            h.wait().into_report().expect("warmup job completes");
+        }
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..fleet_jobs)
+            .map(|i| {
+                let seed = 100 + i as u64;
+                fleet
+                    .submit(JobSpec::raw(request(seed)).with_seed(seed))
+                    .expect("fleet job admitted")
+            })
+            .collect();
+        let generated: usize = handles
+            .into_iter()
+            .map(|h| {
+                h.wait()
+                    .into_report()
+                    .expect("fleet job completes")
+                    .generated
+            })
+            .sum();
+        let seconds = t0.elapsed().as_secs_f64();
+        assert_eq!(generated, fleet_jobs, "every fleet sample must arrive");
+        FleetRun {
+            replicas: n,
+            seconds,
+            samples_per_sec: fleet_jobs as f64 / seconds,
+            steals: fleet.stats().steals,
+        }
+    };
+    // Interleaved best-of-N with a paired N=2/N=1 ratio, same
+    // reasoning as the overhead guards above.
+    let fleet_ns: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let fleet_reps = if smoke { 1 } else { 3 };
+    let mut fleet_best: Vec<FleetRun> = fleet_ns.iter().map(|&n| fleet_once(n)).collect();
+    let mut fleet_rounds: Vec<Vec<f64>> = vec![fleet_best.iter().map(|r| r.seconds).collect()];
+    for _ in 1..fleet_reps {
+        let round: Vec<FleetRun> = fleet_ns.iter().map(|&n| fleet_once(n)).collect();
+        fleet_rounds.push(round.iter().map(|r| r.seconds).collect());
+        for (best, run) in fleet_best.iter_mut().zip(round) {
+            if run.seconds < best.seconds {
+                *best = run;
+            }
+        }
+    }
+    let fleet_n2_ratio = {
+        // Median of per-round (N=1 seconds / N=2 seconds): the
+        // aggregate-throughput scaling factor, regime-paired.
+        let mut rs: Vec<f64> = fleet_rounds.iter().map(|r| r[0] / r[1]).collect();
+        rs.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        let n = rs.len();
+        if n % 2 == 1 {
+            rs[n / 2]
+        } else {
+            0.5 * (rs[n / 2 - 1] + rs[n / 2])
+        }
+    };
+
     println!();
     println!(
         "{:<18} {:>10} {:>14} {:>14}",
@@ -652,6 +771,20 @@ fn main() {
         "mixed_tenants continuous vs fixed: {mixed_ratio:.2}x samples/s, \
          {interactive_p99_improvement:.2}x lower interactive p99 wait"
     );
+    println!();
+    for r in &fleet_best {
+        println!(
+            "replicas [N={}]: {} jobs in {:.3}s ({:.2} samples/s; {} steals; \
+             {:.0}ms modelled off-CPU stall per job)",
+            r.replicas,
+            fleet_jobs,
+            r.seconds,
+            r.samples_per_sec,
+            r.steals,
+            fleet_stall.as_secs_f64() * 1e3,
+        );
+    }
+    println!("replicas N=2 vs N=1: {fleet_n2_ratio:.2}x aggregate samples/s");
 
     let mode_rows: Vec<serde_json::Value> = modes
         .iter()
@@ -739,6 +872,17 @@ fn main() {
             "continuous": mixed_row(&mixed_cont),
             "continuous_vs_fixed_samples_per_sec": mixed_ratio,
             "interactive_p99_wait_fixed_over_continuous": interactive_p99_improvement,
+        }),
+        "fleet_replicas": json!({
+            "jobs": fleet_jobs,
+            "stall_ms": fleet_stall.as_secs_f64() * 1e3,
+            "sweep": fleet_best.iter().map(|r| json!({
+                "replicas": r.replicas,
+                "seconds": r.seconds,
+                "samples_per_sec": r.samples_per_sec,
+                "steals": r.steals,
+            })).collect::<Vec<_>>(),
+            "n2_vs_n1_samples_per_sec": fleet_n2_ratio,
         }),
     });
     if smoke {

@@ -157,6 +157,35 @@ pub trait ArtifactStore: Send + Sync {
     fn list(&self) -> Result<Vec<String>, ArtifactError>;
 }
 
+/// Copies every artifact whose key starts with `prefix` from `src` to
+/// `dst`, returning how many were copied (possibly 0 — an absent
+/// prefix is not an error). Each key is copied with one `get` + one
+/// `put`, so `dst` readers inherit the store's key-level atomicity:
+/// they may observe a prefix mid-copy, but never a torn value. This is
+/// the fleet's affinity-migration primitive — moving a
+/// `session-<name>.*` pair between replica stores when a pinned
+/// replica is lost or drained.
+///
+/// # Errors
+///
+/// Whatever the underlying [`ArtifactStore`] operations raise; a
+/// failed copy leaves already-copied keys in place.
+pub fn copy_artifacts(
+    src: &dyn ArtifactStore,
+    dst: &dyn ArtifactStore,
+    prefix: &str,
+) -> Result<usize, ArtifactError> {
+    let mut copied = 0;
+    for key in src.list()? {
+        if !key.starts_with(prefix) {
+            continue;
+        }
+        dst.put(&key, &src.get(&key)?)?;
+        copied += 1;
+    }
+    Ok(copied)
+}
+
 /// An [`ArtifactStore`] mapping each key to a file in one directory.
 ///
 /// Writes go to a dot-prefixed temp file first and are renamed into
@@ -463,6 +492,24 @@ mod tests {
             store.get("b.bin").unwrap_err(),
             ArtifactError::Missing { .. }
         ));
+    }
+
+    #[test]
+    fn copy_artifacts_moves_prefixed_keys_between_stores() {
+        let src = MemStore::new();
+        let dst = MemStore::new();
+        src.put("session-a.meta", b"meta").unwrap();
+        src.put("session-a.ppsq", b"lib").unwrap();
+        src.put("engine.meta", b"engine").unwrap();
+        let copied = copy_artifacts(&src, &dst, "session-a.").unwrap();
+        assert_eq!(copied, 2, "exactly the session pair moves");
+        assert_eq!(dst.get("session-a.meta").unwrap(), b"meta");
+        assert_eq!(dst.get("session-a.ppsq").unwrap(), b"lib");
+        assert!(!dst.contains("engine.meta").unwrap(), "prefix respected");
+        // Source keeps its artifacts (copy, not move) and an absent
+        // prefix is a no-op, not an error.
+        assert_eq!(src.list().unwrap().len(), 3);
+        assert_eq!(copy_artifacts(&src, &dst, "session-zzz.").unwrap(), 0);
     }
 
     #[test]

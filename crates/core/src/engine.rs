@@ -802,7 +802,10 @@ impl Session {
     }
 }
 
-fn session_keys(name: &str) -> (String, String) {
+/// The manifest + library key pair for a named session — shared with
+/// the fleet router, which targets these keys when migrating a pinned
+/// session between replica stores.
+pub(crate) fn session_keys(name: &str) -> (String, String) {
     (
         format!("session-{name}.meta"),
         format!("session-{name}.ppsq"),

@@ -82,6 +82,7 @@ impl Fault {
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     by_session: BTreeMap<u64, Vec<Fault>>,
+    stall_all: Option<Duration>,
 }
 
 impl FaultPlan {
@@ -122,10 +123,22 @@ impl FaultPlan {
         plan
     }
 
+    /// Stalls **every** slot admission by `duration`, on top of any
+    /// scheduled faults. Unlike [`FaultPlan::inject`]ed stalls this is
+    /// not consumed: it models a fixed off-CPU round trip per
+    /// admission (a remote accelerator call, storage fetch, network
+    /// hop), which is what the `replicas` mode of `sampling_bench`
+    /// uses to make fleet-level overlap observable on a single-core
+    /// host. A zero duration is ignored.
+    pub fn stall_all(mut self, duration: Duration) -> FaultPlan {
+        self.stall_all = (duration > Duration::ZERO).then_some(duration);
+        self
+    }
+
     /// Whether the plan schedules nothing (the scheduler skips the
     /// per-admission lookup entirely for empty plans).
     pub fn is_empty(&self) -> bool {
-        self.by_session.values().all(Vec::is_empty)
+        self.by_session.values().all(Vec::is_empty) && self.stall_all.is_none()
     }
 
     /// Total faults still scheduled.
@@ -134,11 +147,17 @@ impl FaultPlan {
     }
 
     /// Consumes and returns the first fault scheduled for
-    /// `(session, slot ordinal)`, if any.
+    /// `(session, slot ordinal)`, if any. An unconditional
+    /// [`FaultPlan::stall_all`] is synthesized (not consumed) when no
+    /// scheduled fault matches.
     pub(crate) fn take(&mut self, session: u64, batch: u64) -> Option<Fault> {
-        let faults = self.by_session.get_mut(&session)?;
-        let at = faults.iter().position(|f| f.batch() == batch)?;
-        Some(faults.remove(at))
+        let scheduled = self.by_session.get_mut(&session).and_then(|faults| {
+            let at = faults.iter().position(|f| f.batch() == batch)?;
+            Some(faults.remove(at))
+        });
+        scheduled.or(self
+            .stall_all
+            .map(|duration| Fault::StallFor { batch, duration }))
     }
 }
 
@@ -172,6 +191,31 @@ mod tests {
         assert_eq!(plan.take(1, 0), None);
         assert_eq!(plan.take(2, 3), Some(Fault::ErrAt { batch: 3 }));
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn stall_all_fires_everywhere_and_is_never_consumed() {
+        let stall = Duration::from_millis(2);
+        let mut plan = FaultPlan::new()
+            .inject(1, Fault::ErrAt { batch: 0 })
+            .stall_all(stall);
+        assert!(!plan.is_empty());
+        // Scheduled faults still win (and are consumed)...
+        assert_eq!(plan.take(1, 0), Some(Fault::ErrAt { batch: 0 }));
+        // ...after which every (session, ordinal) synthesizes a stall.
+        for (session, batch) in [(1, 0), (1, 7), (42, 3)] {
+            assert_eq!(
+                plan.take(session, batch),
+                Some(Fault::StallFor {
+                    batch,
+                    duration: stall
+                })
+            );
+        }
+        assert!(!plan.is_empty(), "stall_all persists");
+        assert_eq!(plan.remaining(), 0, "no scheduled faults left");
+        // A zero stall is a no-op plan again.
+        assert!(FaultPlan::new().stall_all(Duration::ZERO).is_empty());
     }
 
     #[test]

@@ -1,0 +1,1079 @@
+//! pp-fleet: engine replicas behind a work-stealing router.
+//!
+//! A [`Fleet`] opens N [`Engine`] replicas from one checkpoint and puts
+//! them behind the same declarative front door as [`crate::Service`]:
+//! callers submit [`JobSpec`]s and hold [`crate::JobHandle`]s resolving
+//! to a terminal [`crate::JobOutcome`]. What changes is *where* a job
+//! runs — and the fleet promises it does not matter:
+//!
+//! - **Bit-identity.** Every replica is opened from the same artifact
+//!   snapshot and every attempt builds a fresh seeded session, so a job
+//!   produces the same library whichever replica executes it, and a
+//!   fleet of N is bit-identical to a fleet of one for the same specs.
+//! - **Work stealing.** Each replica has a dedicated runner thread and
+//!   a router queue. An idle runner first drains its own queue, then
+//!   steals the *newest* job from the longest peer queue — job
+//!   granularity, never mid-job.
+//! - **Back-pressure-aware admission.** The router aggregates
+//!   [`SchedulerStats`] across replicas via [`SchedulerStats::merge`]:
+//!   per-class active-job depth caps admission fleet-wide
+//!   ([`FleetOptions::job_limits`]), and best-effort work is shed when
+//!   the merged recent wait p90 crosses
+//!   [`FleetOptions::shed_backpressure_above`]. Rejections are counted
+//!   by cause in [`FleetStats`].
+//! - **Session affinity.** A [`JobSpec::with_affinity`] key pins the
+//!   job to the replica holding that session's state. Successful
+//!   affinity jobs persist their session to the replica's local store
+//!   (PPSS + PPSQ, via [`crate::Session::save`]); later jobs with the
+//!   same key resume it there. When the pinned replica is lost or
+//!   [`Fleet::drain`]ed, the next job for the key re-homes it: the
+//!   serialized session artifacts are copied to the new replica
+//!   ([`crate::artifact::copy_artifacts`]) before resuming. Affinity
+//!   jobs report the session's *cumulative* totals and library.
+//! - **Failure domains.** [`crate::RetryPolicy`] retries prefer a
+//!   different replica than the one that just failed. A replica whose
+//!   supervised scheduler loses its whole worker pool is retired: its
+//!   queued jobs are redistributed to healthy peers, the in-flight job
+//!   is failed over *without* consuming a retry attempt, and its saved
+//!   sessions migrate lazily on next use. Hard deadlines and
+//!   cancellation are honoured while a job is still queued (purged at
+//!   the router) and while it runs (enforced by the replica scheduler).
+//!
+//! Lock order: the router mutex is the outermost lock; scheduler and
+//! store internals are only ever taken while the router lock is either
+//! held (stats snapshots are taken *before* locking the router) or the
+//! job is already owned by exactly one runner.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::artifact::{copy_artifacts, validate_key, ArtifactStore, MemStore};
+use crate::config::PipelineConfig;
+use crate::engine::{session_keys, Engine, Session};
+use crate::error::PpError;
+use crate::jobspec::{JobKind, JobSpec, QosClass, RetryPolicy};
+use crate::library::PatternLibrary;
+use crate::pipeline::IterationStats;
+use crate::scheduler::{ClassCounts, QueueLimits, Scheduler, SchedulerOptions, SchedulerStats};
+use crate::service::{run_job, run_rounds, truncated, JobHandle, JobOutcome, JobReport, JobState};
+use crate::stream::{CancelToken, Progress, StreamOptions};
+
+/// How a [`Fleet`] is shaped.
+///
+/// `Default` is two replicas with one sampling thread each, default
+/// fleet-wide job limits, and no best-effort shedding.
+pub struct FleetOptions {
+    /// Replica count for [`Fleet::open`] / [`Fleet::replicate`]
+    /// (clamped to at least 1). Ignored by [`Fleet::from_engines`],
+    /// which takes one replica per engine handed in.
+    pub replicas: usize,
+    /// Sampling worker threads per replica scheduler (clamped to at
+    /// least 1). A custom [`FleetOptions::scheduler_factory`] does not
+    /// override this — thread count and policy are orthogonal.
+    pub threads: usize,
+    /// Fleet-wide per-class bound on jobs in flight (queued at the
+    /// router + running), mirroring [`crate::ServiceOptions`]' limits
+    /// but aggregated across all replicas.
+    pub job_limits: QueueLimits,
+    /// When set, best-effort submissions are shed while the merged
+    /// recent wait p90 across healthy replicas exceeds this threshold.
+    /// Interactive and batch work is never shed by back-pressure.
+    pub shed_backpressure_above: Option<Duration>,
+    scheduler: Option<SchedFactory>,
+}
+
+type SchedFactory = Box<dyn Fn(usize) -> SchedulerOptions + Send + Sync>;
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            replicas: 2,
+            threads: 1,
+            job_limits: QueueLimits::default(),
+            shed_backpressure_above: None,
+            scheduler: None,
+        }
+    }
+}
+
+impl fmt::Debug for FleetOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetOptions")
+            .field("replicas", &self.replicas)
+            .field("threads", &self.threads)
+            .field("job_limits", &self.job_limits)
+            .field("shed_backpressure_above", &self.shed_backpressure_above)
+            .field(
+                "scheduler",
+                &if self.scheduler.is_some() {
+                    "custom"
+                } else {
+                    "default"
+                },
+            )
+            .finish()
+    }
+}
+
+impl FleetOptions {
+    /// Default options: see the struct-level docs.
+    pub fn new() -> FleetOptions {
+        FleetOptions::default()
+    }
+
+    /// Sets the replica count.
+    pub fn with_replicas(mut self, replicas: usize) -> FleetOptions {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// Sets the per-replica sampling thread count.
+    pub fn with_threads(mut self, threads: usize) -> FleetOptions {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the fleet-wide per-class job limits.
+    pub fn with_job_limits(mut self, limits: QueueLimits) -> FleetOptions {
+        self.job_limits = limits;
+        self
+    }
+
+    /// Enables best-effort shedding above the given merged wait p90.
+    pub fn with_backpressure_shed(mut self, above: Duration) -> FleetOptions {
+        self.shed_backpressure_above = Some(above);
+        self
+    }
+
+    /// Supplies per-replica [`SchedulerOptions`] (policy, limits, fault
+    /// plan); the factory is called once per replica with its index.
+    /// Fault plans are per replica, which is what lets tests kill one
+    /// replica's scheduler while its peers stay healthy.
+    pub fn scheduler_factory(
+        mut self,
+        factory: impl Fn(usize) -> SchedulerOptions + Send + Sync + 'static,
+    ) -> FleetOptions {
+        self.scheduler = Some(Box::new(factory));
+        self
+    }
+}
+
+/// One engine replica: its own supervised scheduler and its own local
+/// artifact store holding serialized affinity sessions. The store is an
+/// `Arc` so session state survives the replica's scheduler dying — that
+/// is exactly what migration reads from.
+struct Replica {
+    engine: Engine,
+    scheduler: Scheduler,
+    store: Arc<MemStore>,
+    retired: AtomicBool,
+}
+
+impl Replica {
+    /// Whether this replica may be given new work: not drained/lost and
+    /// its supervised worker pool still has live workers.
+    fn usable(&self) -> bool {
+        !self.retired.load(Ordering::SeqCst) && self.scheduler.is_healthy()
+    }
+}
+
+/// One queued unit of work. `state.class` carries the QoS class.
+struct FleetJob {
+    state: Arc<JobState>,
+    kind: JobKind,
+    seed: u64,
+    config: Option<PipelineConfig>,
+    budget: Option<usize>,
+    retry: RetryPolicy,
+    hard: bool,
+    deadline_at: Option<Instant>,
+    proto: StreamOptions,
+    affinity: Option<String>,
+    /// 1-based attempt about to run. Failover after replica loss does
+    /// *not* increment this; transient retries do.
+    attempt: u32,
+    /// Earliest instant this job may start (retry backoff).
+    not_before: Option<Instant>,
+    /// Replica that just failed this job transiently; requeueing
+    /// prefers any other usable replica.
+    excluded: Option<usize>,
+    /// Replica whose store still holds this affinity session's last
+    /// saved state, set at pick time when the job re-homes. The runner
+    /// copies the artifacts over before resuming.
+    migrate_from: Option<usize>,
+}
+
+#[derive(Default)]
+struct FleetCounters {
+    steals: u64,
+    affinity_hits: u64,
+    affinity_misses: u64,
+    migrations: u64,
+    rejected_depth: u64,
+    rejected_backpressure: u64,
+    failovers: u64,
+    redistributed: u64,
+    retries: u64,
+    active: [u64; 3],
+    submitted: [u64; 3],
+    finished: [u64; 3],
+}
+
+struct RouterState {
+    /// One FIFO queue per replica; stealing pops from the back.
+    queues: Vec<VecDeque<FleetJob>>,
+    /// Cancel token of the job each runner is currently executing, so
+    /// `Drop` can interrupt in-flight work.
+    running: Vec<Option<CancelToken>>,
+    /// Affinity key → replica currently owning that session.
+    homes: BTreeMap<String, usize>,
+    counters: FleetCounters,
+    shutdown: bool,
+}
+
+struct FleetShared {
+    router: Mutex<RouterState>,
+    cv: Condvar,
+    replicas: Vec<Replica>,
+    limits: QueueLimits,
+    backpressure: Option<Duration>,
+    next_job: AtomicU64,
+}
+
+/// N engine replicas behind a work-stealing, affinity-aware router.
+/// See the [module docs](self) for the guarantees.
+pub struct Fleet {
+    shared: Arc<FleetShared>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+/// Per-replica slice of a [`FleetStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct ReplicaStats {
+    /// Replica index (stable for the fleet's lifetime).
+    pub index: usize,
+    /// Whether the replica is accepting work (not retired, supervised
+    /// worker pool alive).
+    pub healthy: bool,
+    /// Jobs waiting in this replica's router queue.
+    pub queued: usize,
+    /// The replica scheduler's own counters.
+    pub scheduler: SchedulerStats,
+}
+
+/// A point-in-time snapshot of the whole fleet.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// One entry per replica, in index order (retired replicas stay
+    /// listed, marked unhealthy).
+    pub replicas: Vec<ReplicaStats>,
+    /// [`SchedulerStats::merge`] over every replica — counters summed,
+    /// wait percentiles recomputed from the combined recent windows.
+    pub aggregated: SchedulerStats,
+    /// Jobs an idle runner pulled from a peer's queue.
+    pub steals: u64,
+    /// Affinity jobs that resumed their session on its pinned replica.
+    pub affinity_hits: u64,
+    /// Affinity jobs that had to re-home because the pinned replica was
+    /// lost or drained.
+    pub affinity_misses: u64,
+    /// Session migrations that actually copied serialized state between
+    /// replica stores.
+    pub migrations: u64,
+    /// Submissions refused because the class was at its fleet-wide
+    /// in-flight limit.
+    pub rejected_depth: u64,
+    /// Best-effort submissions shed by the back-pressure threshold.
+    pub rejected_backpressure: u64,
+    /// In-flight jobs requeued after their replica was lost (no retry
+    /// attempt consumed).
+    pub failovers: u64,
+    /// Queued jobs redistributed off a lost or drained replica.
+    pub redistributed: u64,
+    /// Transient-failure retries across all jobs.
+    pub retries: u64,
+    /// Jobs admitted and not yet terminal, per class.
+    pub active: ClassCounts,
+    /// Jobs admitted since the fleet started, per class.
+    pub submitted: ClassCounts,
+    /// Jobs that reached a terminal outcome, per class.
+    pub finished: ClassCounts,
+}
+
+/// `unwrap_or_else(into_inner)`: the router must stay usable even if a
+/// runner panicked while holding the lock — wedging every submitter and
+/// waiter on a poisoned mutex would turn one bug into a fleet outage.
+fn lock_router(shared: &FleetShared) -> MutexGuard<'_, RouterState> {
+    shared.router.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn empty_report(attempts: u32) -> JobReport {
+    JobReport {
+        generated: 0,
+        legal: 0,
+        attempts,
+        iterations: Vec::new(),
+        library: PatternLibrary::new(),
+    }
+}
+
+fn counts(raw: &[u64; 3]) -> ClassCounts {
+    ClassCounts {
+        interactive: raw[0],
+        batch: raw[1],
+        best_effort: raw[2],
+    }
+}
+
+impl Fleet {
+    /// Opens `options.replicas` independent replicas of the engine
+    /// checkpoint in `store` (each gets its own copy of the weights, so
+    /// replicas share nothing mutable).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Engine::open`] reports: a missing or corrupt
+    /// checkpoint fails the whole fleet — a partially-open fleet would
+    /// silently serve with less capacity than asked for.
+    pub fn open(store: &dyn ArtifactStore, options: FleetOptions) -> Result<Fleet, PpError> {
+        let engines = (0..options.replicas.max(1))
+            .map(|_| Engine::open(store))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Fleet::build(engines, options))
+    }
+
+    /// Builds a fleet of `options.replicas` clones of one live engine.
+    /// Clones share the immutable model snapshot behind `Arc` (cheap),
+    /// and bit-identity holds because the snapshot is frozen.
+    pub fn replicate(engine: &Engine, options: FleetOptions) -> Fleet {
+        let engines = vec![engine.clone(); options.replicas.max(1)];
+        Fleet::build(engines, options)
+    }
+
+    /// Builds a fleet from explicit engines, one replica per engine.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Config`] when `engines` is empty.
+    pub fn from_engines(engines: Vec<Engine>, options: FleetOptions) -> Result<Fleet, PpError> {
+        if engines.is_empty() {
+            return Err(PpError::Config(
+                "fleet needs at least one engine replica".into(),
+            ));
+        }
+        Ok(Fleet::build(engines, options))
+    }
+
+    fn build(engines: Vec<Engine>, options: FleetOptions) -> Fleet {
+        let n = engines.len();
+        let threads = options.threads.max(1);
+        let replicas: Vec<Replica> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(index, engine)| {
+                let sched_options = match &options.scheduler {
+                    Some(factory) => factory(index),
+                    None => SchedulerOptions::new(),
+                };
+                let scheduler = engine.scheduler_with(threads, sched_options);
+                Replica {
+                    engine,
+                    scheduler,
+                    store: Arc::new(MemStore::new()),
+                    retired: AtomicBool::new(false),
+                }
+            })
+            .collect();
+        let shared = Arc::new(FleetShared {
+            router: Mutex::new(RouterState {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                running: (0..n).map(|_| None).collect(),
+                homes: BTreeMap::new(),
+                counters: FleetCounters::default(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            replicas,
+            limits: options.job_limits,
+            backpressure: options.shed_backpressure_above,
+            next_job: AtomicU64::new(1),
+        });
+        let runners = (0..n)
+            .map(|r| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || runner(&shared, r))
+            })
+            .collect();
+        Fleet { shared, runners }
+    }
+
+    /// Replica count (retired replicas included).
+    pub fn replicas(&self) -> usize {
+        self.shared.replicas.len()
+    }
+
+    /// Submits a job; returns immediately with a [`JobHandle`] that
+    /// behaves exactly like a [`crate::Service`] handle.
+    ///
+    /// Placement: an affinity key pins the job to the replica owning
+    /// that session; otherwise [`JobSpec::with_placement`] hints a
+    /// replica (`hint % replicas`, if usable); otherwise the shortest
+    /// usable queue wins. Idle replicas steal, so a hint is a
+    /// preference, not an assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Rejected`] when the class is at its fleet-wide
+    /// in-flight limit, when best-effort work is shed by back-pressure,
+    /// or when every replica has been lost or drained;
+    /// [`PpError::Config`] for an invalid affinity key or config
+    /// shaping that fails validation.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, PpError> {
+        let class = spec.class;
+        if let Some(key) = &spec.affinity {
+            validate_key(key)
+                .map_err(|e| PpError::Config(format!("job spec: affinity key: {e}")))?;
+        }
+        let seed = spec.seed.unwrap_or(self.shared.replicas[0].engine.seed());
+        // Validate config shaping before admission, like the service:
+        // a bad spec must never occupy an in-flight slot.
+        if let Some(cfg) = spec.config {
+            self.shared.replicas[0]
+                .engine
+                .session_seeded(seed)
+                .with_config(cfg)?;
+        }
+        // Aggregate scheduler stats *before* taking the router lock —
+        // snapshots take each scheduler's state lock, and the fleet's
+        // lock order is router-outermost, never router-under-scheduler.
+        let shed_reason = match (class, self.shared.backpressure) {
+            (QosClass::BestEffort, Some(threshold)) => {
+                let parts: Vec<SchedulerStats> = self
+                    .shared
+                    .replicas
+                    .iter()
+                    .filter(|rep| rep.usable())
+                    .map(|rep| rep.scheduler.stats())
+                    .collect();
+                let merged = SchedulerStats::merge(&parts);
+                let p90 = Duration::from_micros(merged.wait_p90_micros);
+                (!merged.recent_wait_micros.is_empty() && p90 > threshold).then(|| {
+                    format!("best-effort shed: fleet wait p90 {p90:?} over threshold {threshold:?}")
+                })
+            }
+            _ => None,
+        };
+
+        let mut router = lock_router(&self.shared);
+        let usable: Vec<usize> = (0..self.shared.replicas.len())
+            .filter(|&i| self.shared.replicas[i].usable())
+            .collect();
+        if usable.is_empty() {
+            return Err(PpError::Rejected {
+                reason: "fleet has no usable replicas (all lost or drained)".into(),
+            });
+        }
+        let depth = router.counters.active[class.index()];
+        let limit = self.shared.limits.limit(class) as u64;
+        if depth >= limit {
+            router.counters.rejected_depth += 1;
+            return Err(PpError::Rejected {
+                reason: format!(
+                    "{class} job queue is full ({depth} in flight fleet-wide, limit {limit})"
+                ),
+            });
+        }
+        if let Some(reason) = shed_reason {
+            router.counters.rejected_backpressure += 1;
+            return Err(PpError::Rejected { reason });
+        }
+        router.counters.active[class.index()] += 1;
+        router.counters.submitted[class.index()] += 1;
+
+        let state = Arc::new(JobState::new(
+            self.shared.next_job.fetch_add(1, Ordering::Relaxed),
+            class,
+        ));
+        let hook_state = Arc::clone(&state);
+        let mut proto = StreamOptions::default()
+            .with_cancel(state.cancel.clone())
+            .with_class(class)
+            .with_progress(move |p: Progress| {
+                hook_state.completed.store(p.completed, Ordering::Relaxed);
+                hook_state.total.store(p.total, Ordering::Relaxed);
+            });
+        proto.deadline = spec.deadline;
+        // One fixed deadline instant shared by every attempt and every
+        // replica — failover does not reset the clock.
+        let deadline_at = spec.deadline.and_then(|d| Instant::now().checked_add(d));
+
+        let home = match &spec.affinity {
+            Some(key) => match router.homes.get(key) {
+                Some(&h) if self.shared.replicas[h].usable() => h,
+                Some(_) => {
+                    // Stale home: keep the entry so the picking runner
+                    // sees the old owner and records the migration; the
+                    // queue choice is just a starting point.
+                    placed(&router, &usable, spec.placement)
+                }
+                None => {
+                    let h = placed(&router, &usable, spec.placement);
+                    router.homes.insert(key.clone(), h);
+                    h
+                }
+            },
+            None => placed(&router, &usable, spec.placement),
+        };
+        router.queues[home].push_back(FleetJob {
+            state: Arc::clone(&state),
+            kind: spec.kind,
+            seed,
+            config: spec.config,
+            budget: spec.budget,
+            retry: spec.retry,
+            hard: spec.hard_deadline,
+            deadline_at,
+            proto,
+            affinity: spec.affinity,
+            attempt: 1,
+            not_before: None,
+            excluded: None,
+            migrate_from: None,
+        });
+        drop(router);
+        self.shared.cv.notify_all();
+        Ok(JobHandle::from_state(state))
+    }
+
+    /// A snapshot of router counters plus per-replica and merged
+    /// scheduler stats.
+    pub fn stats(&self) -> FleetStats {
+        // Scheduler snapshots before the router lock (lock order).
+        let per: Vec<SchedulerStats> = self
+            .shared
+            .replicas
+            .iter()
+            .map(|rep| rep.scheduler.stats())
+            .collect();
+        let aggregated = SchedulerStats::merge(&per);
+        let router = lock_router(&self.shared);
+        let c = &router.counters;
+        FleetStats {
+            replicas: per
+                .into_iter()
+                .enumerate()
+                .map(|(index, scheduler)| ReplicaStats {
+                    index,
+                    healthy: self.shared.replicas[index].usable(),
+                    queued: router.queues[index].len(),
+                    scheduler,
+                })
+                .collect(),
+            aggregated,
+            steals: c.steals,
+            affinity_hits: c.affinity_hits,
+            affinity_misses: c.affinity_misses,
+            migrations: c.migrations,
+            rejected_depth: c.rejected_depth,
+            rejected_backpressure: c.rejected_backpressure,
+            failovers: c.failovers,
+            redistributed: c.redistributed,
+            retries: c.retries,
+            active: counts(&c.active),
+            submitted: counts(&c.submitted),
+            finished: counts(&c.finished),
+        }
+    }
+
+    /// Voluntarily retires a replica: it stops accepting work, its
+    /// queued jobs are redistributed to usable peers, and sessions
+    /// pinned to it migrate to wherever their next job runs. The job it
+    /// is currently executing (if any) finishes normally. Returns
+    /// `false` for an out-of-range index.
+    ///
+    /// Draining the *last* usable replica fails the jobs queued on it —
+    /// there is nowhere left to move them.
+    pub fn drain(&self, replica: usize) -> bool {
+        if replica >= self.shared.replicas.len() {
+            return false;
+        }
+        let mut router = lock_router(&self.shared);
+        retire_replica(&self.shared, &mut router, replica, None);
+        drop(router);
+        self.shared.cv.notify_all();
+        true
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        {
+            let mut router = lock_router(&self.shared);
+            router.shutdown = true;
+            let queued: Vec<FleetJob> =
+                router.queues.iter_mut().flat_map(|q| q.drain(..)).collect();
+            for job in queued {
+                finish(
+                    &mut router,
+                    &job.state,
+                    JobOutcome::Cancelled(empty_report(job.attempt)),
+                );
+            }
+            for slot in &mut router.running {
+                if let Some(cancel) = slot.take() {
+                    cancel.cancel();
+                }
+            }
+        }
+        self.shared.cv.notify_all();
+        for h in self.runners.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fleet")
+            .field("replicas", &self.shared.replicas.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shortest-usable-queue placement, honouring a placement hint when the
+/// hinted replica is usable. Ties go to the lowest index, so placement
+/// is deterministic for a deterministic submission order.
+fn placed(router: &RouterState, usable: &[usize], hint: Option<u64>) -> usize {
+    if let Some(p) = hint {
+        let cand = (p as usize) % router.queues.len();
+        if usable.contains(&cand) {
+            return cand;
+        }
+    }
+    usable
+        .iter()
+        .copied()
+        .min_by_key(|&i| router.queues[i].len())
+        .unwrap_or(0)
+}
+
+/// Settles a terminal job and releases its fleet-wide admission slot.
+/// Every caller owns the job exclusively (it was just removed from a
+/// queue or finished running), so the slot is released exactly once.
+fn finish(router: &mut RouterState, state: &JobState, outcome: JobOutcome) {
+    router.counters.active[state.class.index()] -= 1;
+    router.counters.finished[state.class.index()] += 1;
+    state.settle(outcome);
+}
+
+/// What one attempt on one replica concluded. The outcome is boxed:
+/// a `JobReport` (library included) dwarfs the dataless variants.
+enum Attempt {
+    /// Terminal: settle the job.
+    Done(Box<JobOutcome>),
+    /// Transient failure with attempts left: requeue with backoff,
+    /// preferring a different replica.
+    Retry,
+    /// The replica's worker pool is gone: fail over without consuming
+    /// an attempt and retire the replica.
+    Lost,
+}
+
+/// Side observations of an attempt, folded into router counters by the
+/// runner (the attempt itself runs without the router lock).
+#[derive(Default)]
+struct AttemptSide {
+    /// The affinity session resumed from previously saved state.
+    resumed: bool,
+    /// Serialized session state was copied from another replica first.
+    migrated: bool,
+}
+
+fn runner(shared: &Arc<FleetShared>, r: usize) {
+    loop {
+        let mut router = lock_router(shared);
+        let mut job = loop {
+            if router.shutdown {
+                return;
+            }
+            if !shared.replicas[r].usable() {
+                retire_replica(shared, &mut router, r, None);
+                drop(router);
+                shared.cv.notify_all();
+                return;
+            }
+            purge_expired(&mut router, r);
+            if let Some(job) = pop_ready(shared, &mut router, r) {
+                break job;
+            }
+            if let Some(job) = steal(shared, &mut router, r) {
+                router.counters.steals += 1;
+                break job;
+            }
+            // Timed wait: backoff expiry, queued-job hard deadlines,
+            // and peer-loss detection all need periodic wakeups even
+            // when nobody submits.
+            let (guard, _) = shared
+                .cv
+                .wait_timeout(router, Duration::from_millis(10))
+                .unwrap_or_else(PoisonError::into_inner);
+            router = guard;
+        };
+        // Re-home an affinity job whose pinned replica is gone, while
+        // the router lock still serialises same-key decisions.
+        if let Some(key) = &job.affinity {
+            match router.homes.get(key).copied() {
+                Some(h) if h != r => {
+                    job.migrate_from = Some(h);
+                    router.homes.insert(key.clone(), r);
+                }
+                None => {
+                    router.homes.insert(key.clone(), r);
+                }
+                _ => {}
+            }
+        }
+        router.running[r] = Some(job.state.cancel.clone());
+        drop(router);
+
+        let (verdict, side) = run_attempt(shared, r, &job);
+
+        let mut router = lock_router(shared);
+        router.running[r] = None;
+        if job.affinity.is_some() {
+            if side.migrated {
+                router.counters.migrations += 1;
+                router.counters.affinity_misses += 1;
+            } else if side.resumed {
+                router.counters.affinity_hits += 1;
+            }
+        }
+        match verdict {
+            Attempt::Done(outcome) => finish(&mut router, &job.state, *outcome),
+            Attempt::Retry => {
+                router.counters.retries += 1;
+                job.attempt += 1;
+                job.not_before = Some(Instant::now() + job.retry.delay_before(job.attempt));
+                job.excluded = Some(r);
+                job.migrate_from = None;
+                requeue(shared, &mut router, job);
+            }
+            Attempt::Lost => {
+                retire_replica(shared, &mut router, r, Some(job));
+                drop(router);
+                shared.cv.notify_all();
+                return;
+            }
+        }
+        drop(router);
+        shared.cv.notify_all();
+    }
+}
+
+/// Settles queued jobs that are already cancelled or past a hard
+/// deadline, without wasting a replica slot on them.
+fn purge_expired(router: &mut RouterState, r: usize) {
+    let mut i = 0;
+    while i < router.queues[r].len() {
+        let (cancelled, expired) = {
+            let job = &router.queues[r][i];
+            (
+                job.state.cancel.is_cancelled(),
+                job.hard && job.deadline_at.is_some_and(|at| Instant::now() > at),
+            )
+        };
+        if !cancelled && !expired {
+            i += 1;
+            continue;
+        }
+        if let Some(job) = router.queues[r].remove(i) {
+            let outcome = if cancelled {
+                JobOutcome::Cancelled(empty_report(job.attempt))
+            } else {
+                JobOutcome::TimedOut {
+                    partial: empty_report(job.attempt),
+                }
+            };
+            finish(router, &job.state, outcome);
+        }
+    }
+}
+
+/// Whether runner `r` may execute `job` right now: backoff elapsed,
+/// the job is not pinned to a *different, usable* replica, and the
+/// replica that just failed it transiently does not take it back while
+/// a peer could run it instead (otherwise, on a loaded machine, the
+/// failing runner tends to win the re-pick race and "failover" never
+/// actually changes replicas).
+fn eligible(shared: &FleetShared, router: &RouterState, r: usize, job: &FleetJob) -> bool {
+    if job.not_before.is_some_and(|t| Instant::now() < t) {
+        return false;
+    }
+    if let Some(key) = &job.affinity {
+        // Pinned jobs run where their session lives; the exclusion
+        // rule below never applies to them — retrying elsewhere would
+        // abandon the saved state.
+        return match router.homes.get(key) {
+            Some(&h) => h == r || !shared.replicas[h].usable(),
+            None => true,
+        };
+    }
+    if job.excluded == Some(r)
+        && (0..shared.replicas.len()).any(|i| i != r && shared.replicas[i].usable())
+    {
+        return false;
+    }
+    true
+}
+
+/// Oldest eligible job from the runner's own queue.
+fn pop_ready(shared: &FleetShared, router: &mut RouterState, r: usize) -> Option<FleetJob> {
+    let idx =
+        (0..router.queues[r].len()).find(|&i| eligible(shared, router, r, &router.queues[r][i]))?;
+    router.queues[r].remove(idx)
+}
+
+/// Newest eligible job from the longest peer queue — newest because the
+/// oldest entries are what the loaded peer will reach next itself, so
+/// stealing from the back minimises double-handling.
+fn steal(shared: &FleetShared, router: &mut RouterState, r: usize) -> Option<FleetJob> {
+    let victim = (0..router.queues.len())
+        .filter(|&p| p != r && !router.queues[p].is_empty())
+        .max_by_key(|&p| router.queues[p].len())?;
+    let idx = (0..router.queues[victim].len())
+        .rev()
+        .find(|&i| eligible(shared, router, r, &router.queues[victim][i]))?;
+    router.queues[victim].remove(idx)
+}
+
+/// Requeues a job on the shortest usable queue, preferring any replica
+/// other than `job.excluded`; falls back to the excluded replica when
+/// it is the only one left, and fails the job when none are usable.
+fn requeue(shared: &FleetShared, router: &mut RouterState, job: FleetJob) {
+    let usable: Vec<usize> = (0..shared.replicas.len())
+        .filter(|&i| shared.replicas[i].usable())
+        .collect();
+    let preferred: Vec<usize> = usable
+        .iter()
+        .copied()
+        .filter(|&i| Some(i) != job.excluded)
+        .collect();
+    let pool = if preferred.is_empty() {
+        &usable
+    } else {
+        &preferred
+    };
+    match pool.iter().copied().min_by_key(|&i| router.queues[i].len()) {
+        Some(target) => router.queues[target].push_back(job),
+        None => finish(
+            router,
+            &job.state,
+            JobOutcome::Failed(PpError::Model("fleet lost all replicas".into())),
+        ),
+    }
+}
+
+/// Retires replica `r`: marks it unusable, redistributes its queue to
+/// usable peers, and fails over the in-flight job (when its runner
+/// handed one in) without consuming a retry attempt. Sessions pinned to
+/// the replica stay mapped to it and migrate lazily — the serialized
+/// state lives in the replica's store, which outlives its scheduler.
+fn retire_replica(
+    shared: &FleetShared,
+    router: &mut RouterState,
+    r: usize,
+    inflight: Option<FleetJob>,
+) {
+    shared.replicas[r].retired.store(true, Ordering::SeqCst);
+    router.running[r] = None;
+    let drained: Vec<FleetJob> = router.queues[r].drain(..).collect();
+    if let Some(mut job) = inflight {
+        router.counters.failovers += 1;
+        job.excluded = Some(r);
+        job.migrate_from = None;
+        requeue(shared, router, job);
+    }
+    for job in drained {
+        router.counters.redistributed += 1;
+        requeue(shared, router, job);
+    }
+}
+
+/// Runs one attempt of `job` on replica `r`. Holds no router lock: the
+/// job is owned by this runner, and the only cross-replica state it
+/// touches is the (internally synchronised) store named by
+/// `migrate_from`, whose owner is already retired.
+fn run_attempt(shared: &FleetShared, r: usize, job: &FleetJob) -> (Attempt, AttemptSide) {
+    let rep = &shared.replicas[r];
+    let mut side = AttemptSide::default();
+    if !rep.scheduler.is_healthy() {
+        return (Attempt::Lost, side);
+    }
+    let mut opts = job.proto.clone();
+    if let Some(at) = job.deadline_at {
+        opts.deadline = Some(at.saturating_duration_since(Instant::now()));
+        opts.hard_deadline = job.hard;
+    }
+    let cancel = job.proto.cancel.clone();
+
+    let (result, mut report) = match &job.affinity {
+        Some(key) => run_affinity_attempt(shared, r, job, key, opts, &mut side),
+        None => {
+            let session = match build_session(rep, job, opts) {
+                Ok(s) => s,
+                Err(e) => return (Attempt::Done(Box::new(JobOutcome::Failed(e))), side),
+            };
+            run_job(session, job.kind.clone(), job.budget)
+        }
+    };
+    report.attempts = job.attempt;
+
+    let verdict = match result {
+        Ok(()) if cancel.is_cancelled() => Attempt::Done(Box::new(JobOutcome::Cancelled(report))),
+        Ok(()) => Attempt::Done(Box::new(JobOutcome::Completed(report))),
+        Err(PpError::DeadlineExceeded { .. }) => {
+            Attempt::Done(Box::new(JobOutcome::TimedOut { partial: report }))
+        }
+        Err(PpError::Rejected { reason }) => Attempt::Done(Box::new(JobOutcome::Rejected {
+            reason,
+            partial: report,
+        })),
+        // Checked before the transient branch: a dead worker pool
+        // surfaces as a transient-looking error, but re-running on the
+        // same replica can never succeed — fail over instead, without
+        // consuming a retry attempt.
+        Err(_) if !rep.scheduler.is_healthy() => Attempt::Lost,
+        Err(e)
+            if e.is_transient()
+                && job.attempt < job.retry.max_attempts
+                && !cancel.is_cancelled() =>
+        {
+            Attempt::Retry
+        }
+        Err(e) => Attempt::Done(Box::new(JobOutcome::Failed(e))),
+    };
+    (verdict, side)
+}
+
+/// A fresh seeded session for one attempt, mirroring the service: the
+/// library and iteration cursor restart from scratch so a retried run
+/// is bit-identical to one that never faulted.
+fn build_session(rep: &Replica, job: &FleetJob, opts: StreamOptions) -> Result<Session, PpError> {
+    let mut s = rep.engine.session_seeded(job.seed);
+    if let Some(cfg) = job.config {
+        s = s.with_config(cfg)?;
+    }
+    Ok(s.with_options(opts).attach(&rep.scheduler))
+}
+
+/// One attempt of an affinity job: migrate serialized state if the
+/// session just re-homed, resume it when saved state exists (fresh
+/// seeded session otherwise), run the rounds, and persist the session
+/// back to this replica's store on success — failed attempts save
+/// nothing, so a retry resumes from the last durable state and replays
+/// identically.
+fn run_affinity_attempt(
+    shared: &FleetShared,
+    r: usize,
+    job: &FleetJob,
+    key: &str,
+    opts: StreamOptions,
+    side: &mut AttemptSide,
+) -> (Result<(), PpError>, JobReport) {
+    let rep = &shared.replicas[r];
+    if let Some(from) = job.migrate_from {
+        let prefix = format!("session-{key}.");
+        match copy_artifacts(&*shared.replicas[from].store, &*rep.store, &prefix) {
+            Ok(copied) => side.migrated = copied > 0,
+            Err(e) => return (Err(PpError::Artifact(e)), empty_report(job.attempt)),
+        }
+    }
+    let (meta_key, _) = session_keys(key);
+    let saved = rep.store.get(&meta_key).is_ok();
+    let (session, result_iters) = if saved {
+        match Session::resume(&rep.engine, &*rep.store, key) {
+            Ok(mut s) => {
+                side.resumed = true;
+                if let Some(cfg) = job.config {
+                    s = match s.with_config(cfg) {
+                        Ok(s) => s,
+                        Err(e) => return (Err(e), empty_report(job.attempt)),
+                    };
+                }
+                let mut s = s.with_options(opts).attach(&rep.scheduler);
+                let ri = run_continuation(&mut s, &job.kind, job.budget);
+                (s, ri)
+            }
+            Err(e) => return (Err(e), empty_report(job.attempt)),
+        }
+    } else {
+        match build_session(rep, job, opts) {
+            Ok(mut s) => {
+                let ri = run_rounds(&mut s, job.kind.clone(), job.budget);
+                (s, ri)
+            }
+            Err(e) => return (Err(e), empty_report(job.attempt)),
+        }
+    };
+    let (result, iterations) = result_iters;
+    let result = match result {
+        Ok(()) => session.save(&*rep.store, key),
+        Err(e) => Err(e),
+    };
+    let report = JobReport {
+        generated: session.generated_total(),
+        legal: session.legal_total(),
+        attempts: job.attempt,
+        iterations,
+        library: session.into_library(),
+    };
+    (result, report)
+}
+
+/// The rounds of a *resumed* affinity session. Differs from
+/// [`run_rounds`] in two ways: an iterative kind that already ran its
+/// initial round skips straight to refinement (the cursor is restored
+/// from the manifest), and sample budgets bound this job's *delta*, not
+/// the session's lifetime totals.
+fn run_continuation(
+    session: &mut Session,
+    kind: &JobKind,
+    budget: Option<usize>,
+) -> (Result<(), PpError>, Vec<IterationStats>) {
+    let start = session.generated_total();
+    let mut iterations = Vec::new();
+    let result = (|| -> Result<(), PpError> {
+        match kind {
+            JobKind::Initial => {
+                let request = truncated(session.initial_request(), budget);
+                session.run_request(&request)?;
+            }
+            JobKind::Raw(request) => {
+                let request = truncated(request.clone(), budget);
+                session.run_request(&request)?;
+            }
+            JobKind::Iterative { iterations: n } => {
+                if session.next_iteration() == 0 {
+                    let request = truncated(session.initial_request(), budget);
+                    session.run_request(&request)?;
+                    session.seed_starters();
+                }
+                for _ in 0..*n {
+                    if session.options().cancel.is_cancelled() {
+                        break;
+                    }
+                    if budget.is_some_and(|b| session.generated_total() - start >= b) {
+                        break;
+                    }
+                    iterations.extend(session.iterate(1)?);
+                }
+            }
+        }
+        Ok(())
+    })();
+    (result, iterations)
+}

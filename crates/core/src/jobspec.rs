@@ -224,6 +224,19 @@ pub struct JobSpec {
     /// exactly like [`crate::Session::with_config`] (the model
     /// architecture must stay the engine's).
     pub config: Option<PipelineConfig>,
+    /// Session-affinity key for fleet routing: jobs sharing a key pin
+    /// to the replica holding that session's library state, and
+    /// successive [`JobKind::Iterative`] jobs *continue* the named
+    /// session (via PPSQ save/resume) instead of starting fresh.
+    /// Ignored by a single [`crate::Service`]. Keys are bounded at
+    /// [`JobSpec::MAX_AFFINITY`] bytes and restricted to
+    /// `[A-Za-z0-9._-]` (they become artifact-store keys).
+    pub affinity: Option<String>,
+    /// Placement hint for fleet routing: a stateless job lands on
+    /// replica `hint % replicas` when that replica is healthy. Purely
+    /// advisory — load balancing and failover override it; ignored by
+    /// a single [`crate::Service`].
+    pub placement: Option<u64>,
 }
 
 impl JobSpec {
@@ -237,8 +250,16 @@ impl JobSpec {
             budget: None,
             seed: None,
             config: None,
+            affinity: None,
+            placement: None,
         }
     }
+
+    /// Longest allowed [`JobSpec::affinity`] key, in bytes — the same
+    /// bound [`JobSpec::decode`] enforces *before* allocating, so a
+    /// corrupt length field can never balloon a read (mirroring the
+    /// PPCK checkpoint bounding checks).
+    pub const MAX_AFFINITY: usize = 256;
 
     /// An initial-generation workload.
     pub fn initial() -> JobSpec {
@@ -301,6 +322,20 @@ impl JobSpec {
         self
     }
 
+    /// Sets the session-affinity key for fleet routing (see
+    /// [`JobSpec::affinity`]).
+    pub fn with_affinity(mut self, key: impl Into<String>) -> JobSpec {
+        self.affinity = Some(key.into());
+        self
+    }
+
+    /// Sets the advisory placement hint for fleet routing (see
+    /// [`JobSpec::placement`]).
+    pub fn with_placement(mut self, hint: u64) -> JobSpec {
+        self.placement = Some(hint);
+        self
+    }
+
     /// Serialises the spec to a self-describing binary blob
     /// ([`JobSpec::decode`] reverses it), so specs can sit in work
     /// queues or artifact stores next to the sessions they produced.
@@ -313,9 +348,11 @@ impl JobSpec {
         use crate::artifact::ByteWriter;
         let mut w = ByteWriter::new();
         w.bytes(b"PPJS");
-        // Version 2 appends hard_deadline + retry after the seed;
-        // version-1 blobs still decode (with soft deadline, no retry).
-        w.u32(2);
+        // Version 3 appends the fleet routing hints (affinity +
+        // placement) after the retry fields; version 2 appended
+        // hard_deadline + retry after the seed. Version-1 and -2 blobs
+        // still decode, defaulting what they predate.
+        w.u32(3);
         match &self.kind {
             JobKind::Initial => w.u8(0),
             JobKind::Iterative { iterations } => {
@@ -335,6 +372,22 @@ impl JobSpec {
         w.u8(u8::from(self.hard_deadline));
         w.u64(u64::from(self.retry.max_attempts));
         w.u64(self.retry.backoff.as_micros() as u64);
+        match &self.affinity {
+            None => w.u8(0),
+            Some(key) => {
+                if key.len() > JobSpec::MAX_AFFINITY {
+                    return Err(PpError::Config(format!(
+                        "job spec: affinity key is {} bytes (limit {})",
+                        key.len(),
+                        JobSpec::MAX_AFFINITY
+                    )));
+                }
+                w.u8(1);
+                w.u32(key.len() as u32);
+                w.bytes(key.as_bytes());
+            }
+        }
+        opt_u64(&mut w, self.placement);
         match &self.config {
             None => w.u8(0),
             Some(cfg) => {
@@ -358,7 +411,7 @@ impl JobSpec {
             return Err(corrupt("missing PPJS magic".into()));
         }
         let version = r.u32("version").map_err(corrupt)?;
-        if !(1..=2).contains(&version) {
+        if !(1..=3).contains(&version) {
             return Err(corrupt(format!("unsupported spec version {version}")));
         }
         let kind = match r.u8("kind").map_err(corrupt)? {
@@ -388,6 +441,32 @@ impl JobSpec {
             // deadlines stay soft and they never retry.
             (false, RetryPolicy::none())
         };
+        let (affinity, placement) = if version >= 3 {
+            let affinity = match r.u8("affinity flag").map_err(corrupt)? {
+                0 => None,
+                1 => {
+                    let len = r.u32("affinity length").map_err(corrupt)? as usize;
+                    // Bound before allocating: a corrupt length field
+                    // must fail the read, not size it (the PPCK rule).
+                    if len > JobSpec::MAX_AFFINITY {
+                        return Err(corrupt(format!(
+                            "affinity length {len} exceeds limit {}",
+                            JobSpec::MAX_AFFINITY
+                        )));
+                    }
+                    let raw = r.bytes(len, "affinity key").map_err(corrupt)?;
+                    Some(
+                        String::from_utf8(raw.to_vec())
+                            .map_err(|_| corrupt("affinity key is not UTF-8".into()))?,
+                    )
+                }
+                f => return Err(corrupt(format!("unknown affinity flag {f}"))),
+            };
+            (affinity, opt_read(&mut r, "placement")?)
+        } else {
+            // Pre-fleet blobs: no routing hints.
+            (None, None)
+        };
         let config = match r.u8("config flag").map_err(corrupt)? {
             0 => None,
             1 => Some(crate::engine::decode_config(&mut r).map_err(corrupt)?),
@@ -403,6 +482,8 @@ impl JobSpec {
             budget,
             seed,
             config,
+            affinity,
+            placement,
         })
     }
 }
@@ -457,6 +538,9 @@ mod tests {
             JobSpec::iterative(1)
                 .with_hard_deadline(Duration::from_secs(2))
                 .with_retry(RetryPolicy::new(3, Duration::from_millis(10))),
+            JobSpec::iterative(2)
+                .with_affinity("tenant-a.session_7")
+                .with_placement(3),
         ];
         for spec in specs {
             let bytes = spec.encode().expect("non-raw specs encode");
@@ -468,6 +552,8 @@ mod tests {
             assert_eq!(back.budget, spec.budget);
             assert_eq!(back.seed, spec.seed);
             assert_eq!(back.config, spec.config);
+            assert_eq!(back.affinity, spec.affinity);
+            assert_eq!(back.placement, spec.placement);
             match (&back.kind, &spec.kind) {
                 (JobKind::Initial, JobKind::Initial) => {}
                 (JobKind::Iterative { iterations: a }, JobKind::Iterative { iterations: b }) => {
@@ -522,6 +608,69 @@ mod tests {
         assert!(!back.hard_deadline, "v1 deadlines stay soft");
         assert_eq!(back.retry, RetryPolicy::none(), "v1 specs never retry");
         assert_eq!(back.seed, Some(7));
+        assert_eq!(back.affinity, None, "v1 blobs predate fleet routing");
+        assert_eq!(back.placement, None);
+    }
+
+    /// Version-2 blobs (retry + hard deadline, pre-fleet) still decode
+    /// after the v3 bump, with no routing hints.
+    #[test]
+    fn version_two_blobs_decode_with_defaults() {
+        use crate::artifact::ByteWriter;
+        let mut w = ByteWriter::new();
+        w.bytes(b"PPJS");
+        w.u32(2);
+        w.u8(0); // initial
+        w.u8(2); // best-effort
+        w.u8(1); // deadline present
+        w.u64(1_000_000);
+        w.u8(1); // budget present
+        w.u64(200);
+        w.u8(0); // no seed
+        w.u8(1); // hard deadline
+        w.u64(3); // retry max attempts
+        w.u64(50_000); // retry backoff, µs
+        w.u8(0); // no config
+        let back = JobSpec::decode(&w.into_vec()).expect("v2 blob decodes");
+        assert!(matches!(back.kind, JobKind::Initial));
+        assert_eq!(back.class, QosClass::BestEffort);
+        assert_eq!(back.deadline, Some(Duration::from_secs(1)));
+        assert!(back.hard_deadline, "v2 hard flag survives");
+        assert_eq!(back.retry, RetryPolicy::new(3, Duration::from_millis(50)));
+        assert_eq!(back.budget, Some(200));
+        assert_eq!(back.seed, None);
+        assert_eq!(back.affinity, None, "v2 blobs predate fleet routing");
+        assert_eq!(back.placement, None, "v2 blobs predate fleet routing");
+    }
+
+    /// A corrupt affinity length must fail the read *before* any
+    /// allocation sized by it — the same discipline as the PPCK
+    /// checkpoint bounding checks.
+    #[test]
+    fn oversized_affinity_is_rejected_on_both_paths() {
+        let spec = JobSpec::initial().with_affinity("k".repeat(JobSpec::MAX_AFFINITY + 1));
+        let err = spec.encode().unwrap_err();
+        assert!(err.to_string().contains("affinity"), "message was: {err}");
+
+        let good = JobSpec::initial()
+            .with_affinity("fleet-key")
+            .encode()
+            .unwrap();
+        // The affinity flag + u32 length sit right after the fixed v3
+        // prefix: header 8, kind 1, class 1, deadline 1, budget 1,
+        // seed 1, hard 1, retry 16 = byte 30 is the flag.
+        assert_eq!(good[30], 1, "affinity flag where the layout says");
+        let mut bad = good.clone();
+        bad[31..35].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = JobSpec::decode(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("affinity length"),
+            "message was: {err}"
+        );
+        // Truncating the key bytes themselves is caught by the bounded
+        // read, not by a panic.
+        let err = JobSpec::decode(&good[..good.len() - 4]).unwrap_err();
+        assert!(err.to_string().contains("job spec"), "message was: {err}");
     }
 
     #[test]

@@ -75,6 +75,15 @@
 //! is provable through deterministic fault injection ([`fault`],
 //! `tests/chaos_scheduler.rs`).
 //!
+//! **Fleet.** [`Fleet`] scales the same front door across N engine
+//! replicas opened from one checkpoint: a work-stealing router places
+//! jobs at job granularity, admission is back-pressure-aware on
+//! aggregated [`SchedulerStats`], session-affinity keys pin iterative
+//! work to the replica holding its state (with explicit PPSQ migration
+//! when that replica is lost or drained), and per-job results stay
+//! bit-identical to a single replica. [`Fleet::stats`] exposes
+//! per-replica and merged counters ([`FleetStats`]).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -113,6 +122,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod fleet;
 pub mod jobs;
 pub mod jobspec;
 pub mod library;
@@ -123,12 +133,13 @@ pub mod stages;
 pub mod stream;
 mod tail;
 
-pub use artifact::{ArtifactError, ArtifactStore, DirStore, MemStore};
+pub use artifact::{copy_artifacts, ArtifactError, ArtifactStore, DirStore, MemStore};
 pub use builder::PipelineBuilder;
 pub use config::{FinetuneConfig, PipelineConfig, PretrainConfig};
 pub use engine::{Engine, Session, ENGINE_META_KEY, ENGINE_MODEL_KEY};
 pub use error::PpError;
 pub use fault::{Fault, FaultPlan};
+pub use fleet::{Fleet, FleetOptions, FleetStats, ReplicaStats};
 pub use jobs::JobSet;
 pub use jobspec::{JobKind, JobSpec, QosClass, RetryPolicy};
 pub use library::PatternLibrary;

@@ -407,6 +407,14 @@ impl ClassCounts {
     }
 }
 
+impl std::ops::AddAssign for ClassCounts {
+    fn add_assign(&mut self, rhs: ClassCounts) {
+        self.interactive += rhs.interactive;
+        self.batch += rhs.batch;
+        self.best_effort += rhs.best_effort;
+    }
+}
+
 /// Dispatch counters for one session (one id per
 /// [`Scheduler::handle`]; a session accumulates across its
 /// submissions).
@@ -497,8 +505,98 @@ pub struct SchedulerStats {
     /// stragglers no longer skew the average (every retirement path
     /// records its terminal timestamp).
     pub turnaround_micros: u64,
+    /// The raw recent-wait window behind [`wait_p50_micros`] /
+    /// [`wait_p90_micros`] (at most the last 64 submit →
+    /// first-dispatch waits, oldest first, microseconds). Carried in
+    /// the snapshot so [`SchedulerStats::merge`] can recompute honest
+    /// percentiles over the *combined* window instead of averaging
+    /// per-replica percentiles.
+    ///
+    /// [`wait_p50_micros`]: SchedulerStats::wait_p50_micros
+    /// [`wait_p90_micros`]: SchedulerStats::wait_p90_micros
+    pub recent_wait_micros: Vec<u64>,
+    /// Per-class recent-wait windows, indexed Interactive / Batch /
+    /// BestEffort — the inputs to the `_by_class` percentile fields.
+    pub recent_wait_micros_by_class: [Vec<u64>; 3],
     /// Per-session dispatch counters, ordered by session id.
     pub per_session: Vec<SessionSched>,
+}
+
+impl SchedulerStats {
+    /// Aggregates snapshots from several schedulers (the fleet
+    /// router's admission signal): counters are summed, the
+    /// recent-wait windows are concatenated and every percentile is
+    /// recomputed over the combined window (nearest-rank, matching the
+    /// per-scheduler definition). `policy` is the shared name when all
+    /// parts agree and `"mixed"` otherwise; `threads` is the pool
+    /// total. Per-session counters with the same id are summed — ids
+    /// are only unique *within* one scheduler, so fleet-level callers
+    /// that need true attribution should keep the per-replica
+    /// snapshots (as [`crate::FleetStats`] does).
+    pub fn merge(parts: &[SchedulerStats]) -> SchedulerStats {
+        let policy = match parts.first() {
+            Some(first) if parts.iter().all(|p| p.policy == first.policy) => first.policy.clone(),
+            Some(_) => "mixed".to_string(),
+            None => String::new(),
+        };
+        let mut merged = SchedulerStats {
+            policy,
+            ..SchedulerStats::default()
+        };
+        let mut per_session: BTreeMap<u64, SessionSched> = BTreeMap::new();
+        for part in parts {
+            merged.threads += part.threads;
+            merged.queued += part.queued;
+            merged.admitted += part.admitted;
+            merged.rejected += part.rejected;
+            merged.completed += part.completed;
+            merged.abandoned += part.abandoned;
+            merged.timed_out += part.timed_out;
+            merged.shed += part.shed;
+            merged.worker_panics += part.worker_panics;
+            merged.workers_lost += part.workers_lost;
+            merged.micro_batches += part.micro_batches;
+            merged.samples += part.samples;
+            merged.slots_filled += part.slots_filled;
+            merged.slots_idle += part.slots_idle;
+            merged.batches_merged += part.batches_merged;
+            merged.wait_micros += part.wait_micros;
+            merged.turnaround_micros += part.turnaround_micros;
+            merged
+                .recent_wait_micros
+                .extend_from_slice(&part.recent_wait_micros);
+            for (ring, other) in merged
+                .recent_wait_micros_by_class
+                .iter_mut()
+                .zip(&part.recent_wait_micros_by_class)
+            {
+                ring.extend_from_slice(other);
+            }
+            for s in &part.per_session {
+                per_session
+                    .entry(s.session)
+                    .and_modify(|acc| {
+                        acc.micro_batches += s.micro_batches;
+                        acc.samples += s.samples;
+                    })
+                    .or_insert(*s);
+            }
+        }
+        merged.wait_p50_micros = percentile_of(&merged.recent_wait_micros, 50);
+        merged.wait_p90_micros = percentile_of(&merged.recent_wait_micros, 90);
+        merged.wait_p50_micros_by_class = ClassCounts::from_raw([
+            percentile_of(&merged.recent_wait_micros_by_class[0], 50),
+            percentile_of(&merged.recent_wait_micros_by_class[1], 50),
+            percentile_of(&merged.recent_wait_micros_by_class[2], 50),
+        ]);
+        merged.wait_p99_micros_by_class = ClassCounts::from_raw([
+            percentile_of(&merged.recent_wait_micros_by_class[0], 99),
+            percentile_of(&merged.recent_wait_micros_by_class[1], 99),
+            percentile_of(&merged.recent_wait_micros_by_class[2], 99),
+        ]);
+        merged.per_session = per_session.into_values().collect();
+        merged
+    }
 }
 
 /// How workers turn queued submissions into network passes.
@@ -700,11 +798,17 @@ struct StatsInner {
 }
 
 /// The p-th percentile (nearest-rank) of a wait window, 0 when empty.
-fn percentile_of(window: &VecDeque<u64>, p: u64) -> u64 {
-    if window.is_empty() {
+/// Generic over the container so both the live `VecDeque` rings and
+/// the `Vec` windows carried by [`SchedulerStats::merge`] share one
+/// definition.
+fn percentile_of<'a, I>(window: I, p: u64) -> u64
+where
+    I: IntoIterator<Item = &'a u64>,
+{
+    let mut sorted: Vec<u64> = window.into_iter().copied().collect();
+    if sorted.is_empty() {
         return 0;
     }
-    let mut sorted: Vec<u64> = window.iter().copied().collect();
     sorted.sort_unstable();
     let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
     sorted[rank - 1]
@@ -1029,6 +1133,20 @@ impl SchedFeed {
         let mut free = capacity.saturating_sub(active);
         if free == 0 {
             return Vec::new();
+        }
+        if !fixed && active == 0 {
+            // Admission-side de-aligner: a cold table filled in one
+            // refill with uniform-length jobs retires every slot at
+            // the same boundary forever — the table stays
+            // cohort-aligned and a late tenant waits a full slot
+            // lifetime for its first dispatch. Capping the first
+            // refill at half capacity splits the cold cohort in two:
+            // the remainder is admitted at the very next step boundary
+            // (refill runs after every step), one step out of phase,
+            // so slots free up twice per lifetime from then on. Costs
+            // at most one half-idle step per cold start; FixedBatch
+            // keeps its run-to-completion semantics.
+            free = free.min(capacity.div_ceil(2)).max(1);
         }
         let views = views_of(&st.queue);
         let ranking = normalize_ranking(st.policy.rank(&views), st.queue.len());
@@ -1454,6 +1572,46 @@ impl Scheduler {
     pub fn stats(&self) -> SchedulerStats {
         snapshot(&self.shared)
     }
+
+    /// Whether the worker pool can still serve: `false` once every
+    /// worker thread has exhausted its respawn budget (the pool is
+    /// wedged and [`SchedulerHandle`] submissions are being refused).
+    /// The fleet router polls this to decide when a replica must be
+    /// retired and its queue redistributed.
+    pub fn is_healthy(&self) -> bool {
+        self.shared.workers_alive.load(Ordering::SeqCst) > 0
+    }
+
+    /// Stops admission and aborts still-queued submissions with a
+    /// typed error (their terminal timestamps still land in
+    /// [`SchedulerStats::turnaround_micros`]). Workers finish their
+    /// in-flight slot tables and exit; `Drop` performs the same drain
+    /// before joining them, so calling this explicitly is only needed
+    /// to quiesce a pool *before* letting it go out of scope — e.g. a
+    /// fleet draining one replica while others keep serving.
+    pub fn drain(&self) {
+        drain_shared(&self.shared);
+    }
+}
+
+/// The shutdown half of `Drop`, shared with [`Scheduler::drain`]:
+/// flags shutdown, aborts the queue (stamping turnarounds — handles
+/// may outlive the scheduler and read stats) and wakes every worker.
+fn drain_shared(shared: &Shared) {
+    {
+        let mut st = lock_state(shared);
+        st.shutdown = true;
+        // Still-queued submissions must not end as silently short
+        // streams: abort them explicitly.
+        let drained: Vec<Submission> = st.queue.drain(..).collect();
+        for sub in drained {
+            st.stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
+            let _ = sub.tx.send(SchedMsg::Aborted(PpError::Model(
+                "scheduler shut down mid-request".into(),
+            )));
+        }
+    }
+    shared.cv.notify_all();
 }
 
 fn snapshot(shared: &Shared) -> SchedulerStats {
@@ -1485,6 +1643,12 @@ fn snapshot(shared: &Shared) -> SchedulerStats {
         wait_p50_micros_by_class: st.stats.class_wait_percentile(50),
         wait_p99_micros_by_class: st.stats.class_wait_percentile(99),
         turnaround_micros: st.stats.turnaround_micros,
+        recent_wait_micros: st.stats.recent_waits.iter().copied().collect(),
+        recent_wait_micros_by_class: [
+            st.stats.recent_class_waits[0].iter().copied().collect(),
+            st.stats.recent_class_waits[1].iter().copied().collect(),
+            st.stats.recent_class_waits[2].iter().copied().collect(),
+        ],
         per_session: st
             .stats
             .per_session
@@ -1503,22 +1667,7 @@ fn snapshot(shared: &Shared) -> SchedulerStats {
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        {
-            let mut st = lock_state(&self.shared);
-            st.shutdown = true;
-            // Still-queued submissions must not end as silently short
-            // streams: abort them explicitly. Their terminal
-            // timestamps still land (handles may outlive the
-            // scheduler and read stats).
-            let drained: Vec<Submission> = st.queue.drain(..).collect();
-            for sub in drained {
-                st.stats.turnaround_micros += sub.submitted_at.elapsed().as_micros() as u64;
-                let _ = sub.tx.send(SchedMsg::Aborted(PpError::Model(
-                    "scheduler shut down mid-request".into(),
-                )));
-            }
-        }
-        self.shared.cv.notify_all();
+        drain_shared(&self.shared);
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -1650,6 +1799,12 @@ impl SchedulerHandle {
     /// [`Scheduler::stats`]).
     pub fn stats(&self) -> SchedulerStats {
         snapshot(&self.shared)
+    }
+
+    /// Whether the owning pool can still serve (see
+    /// [`Scheduler::is_healthy`]).
+    pub fn is_healthy(&self) -> bool {
+        self.shared.workers_alive.load(Ordering::SeqCst) > 0
     }
 }
 
@@ -2119,6 +2274,98 @@ mod tests {
         assert_eq!(stats.wait_percentile(50), 30);
         assert_eq!(stats.wait_percentile(90), 50);
         assert_eq!(stats.wait_percentile(100), 50);
+    }
+
+    /// A hand-built fixture snapshot with distinctive values in every
+    /// field `merge` must touch.
+    fn merge_fixture(policy: &str, scale: u64) -> SchedulerStats {
+        SchedulerStats {
+            policy: policy.to_string(),
+            threads: scale as usize,
+            queued: ClassCounts::from_raw([scale, 0, 0]),
+            admitted: ClassCounts::from_raw([10 * scale, scale, 0]),
+            rejected: ClassCounts::from_raw([0, 0, scale]),
+            completed: ClassCounts::from_raw([9 * scale, scale, 0]),
+            abandoned: ClassCounts::from_raw([scale, 0, 0]),
+            timed_out: ClassCounts::from_raw([0, scale, 0]),
+            shed: scale,
+            worker_panics: 2 * scale,
+            workers_lost: scale,
+            micro_batches: 100 * scale,
+            samples: 400 * scale,
+            slots_filled: 1000 * scale,
+            slots_idle: 10 * scale,
+            batches_merged: 5 * scale,
+            wait_micros: 7000 * scale,
+            turnaround_micros: 9000 * scale,
+            recent_wait_micros: vec![10 * scale, 20 * scale],
+            recent_wait_micros_by_class: [vec![10 * scale], vec![20 * scale], Vec::new()],
+            per_session: vec![SessionSched {
+                session: 1,
+                class: QosClass::Interactive,
+                micro_batches: 3 * scale,
+                samples: 12 * scale,
+            }],
+            ..SchedulerStats::default()
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_recomputes_percentiles() {
+        let merged = SchedulerStats::merge(&[merge_fixture("rr", 1), merge_fixture("rr", 2)]);
+        assert_eq!(merged.policy, "rr", "uniform policy keeps its name");
+        assert_eq!(merged.threads, 3);
+        assert_eq!(merged.queued.total(), 3);
+        assert_eq!(merged.admitted, ClassCounts::from_raw([30, 3, 0]));
+        assert_eq!(merged.rejected.best_effort, 3);
+        assert_eq!(merged.completed, ClassCounts::from_raw([27, 3, 0]));
+        assert_eq!(merged.abandoned.interactive, 3);
+        assert_eq!(merged.timed_out.batch, 3);
+        assert_eq!(merged.shed, 3);
+        assert_eq!(merged.worker_panics, 6);
+        assert_eq!(merged.workers_lost, 3);
+        assert_eq!(merged.micro_batches, 300);
+        assert_eq!(merged.samples, 1200);
+        assert_eq!(merged.slots_filled, 3000);
+        assert_eq!(merged.slots_idle, 30);
+        assert_eq!(merged.batches_merged, 15);
+        assert_eq!(merged.wait_micros, 21_000);
+        assert_eq!(merged.turnaround_micros, 27_000);
+        // Windows concatenate ([10, 20] ++ [20, 40]) and percentiles
+        // are recomputed over the combined window, not averaged:
+        // nearest-rank p50 of {10, 20, 20, 40} is 20, p90 is 40.
+        assert_eq!(merged.recent_wait_micros, vec![10, 20, 20, 40]);
+        assert_eq!(merged.wait_p50_micros, 20);
+        assert_eq!(merged.wait_p90_micros, 40);
+        assert_eq!(
+            merged.wait_p50_micros_by_class,
+            ClassCounts::from_raw([10, 20, 0])
+        );
+        assert_eq!(
+            merged.wait_p99_micros_by_class,
+            ClassCounts::from_raw([20, 40, 0])
+        );
+        // Same session id on two parts: summed (ids are per-scheduler;
+        // fleet callers keep per-replica snapshots for attribution).
+        assert_eq!(merged.per_session.len(), 1);
+        assert_eq!(merged.per_session[0].micro_batches, 9);
+        assert_eq!(merged.per_session[0].samples, 36);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_mixed_policies() {
+        let empty = SchedulerStats::merge(&[]);
+        assert_eq!(empty.policy, "");
+        assert_eq!(empty.threads, 0);
+        assert_eq!(empty.wait_p90_micros, 0, "no window reads 0");
+        let mixed = SchedulerStats::merge(&[merge_fixture("rr", 1), merge_fixture("wf", 1)]);
+        assert_eq!(mixed.policy, "mixed");
+        assert_eq!(mixed.threads, 2);
+        // A single part round-trips its own percentiles.
+        let solo = SchedulerStats::merge(&[merge_fixture("df", 2)]);
+        assert_eq!(solo.policy, "df");
+        assert_eq!(solo.wait_p50_micros, 20);
+        assert_eq!(solo.wait_p90_micros, 40);
     }
 
     /// An injected panic is contained to its one submission: the stream

@@ -38,6 +38,11 @@
 //! ([`crate::SchedulerOptions::limits`]). A rejected submit leaves no
 //! trace; retrying after an existing handle resolves is the expected
 //! recovery (see `examples/engine_service.rs`).
+//!
+//! One process outgrown? [`crate::Fleet`] is the same front door over
+//! N engine replicas: it accepts the same [`JobSpec`]s, returns the
+//! same [`JobHandle`]s and resolves to the same [`JobOutcome`]s, with
+//! routing, work-stealing and failover behind the submit call.
 
 use crate::engine::{Engine, Session};
 use crate::error::PpError;
@@ -213,15 +218,10 @@ impl Service {
             c.active[class.index()] += 1;
             c.submitted[class.index()] += 1;
         }
-        let state = Arc::new(JobState {
-            id: self.shared.next_job.fetch_add(1, Ordering::Relaxed),
+        let state = Arc::new(JobState::new(
+            self.shared.next_job.fetch_add(1, Ordering::Relaxed),
             class,
-            cancel: CancelToken::new(),
-            completed: AtomicUsize::new(0),
-            total: AtomicUsize::new(0),
-            outcome: Mutex::new(None),
-            done: Condvar::new(),
-        });
+        ));
         let hook_state = Arc::clone(&state);
         let mut proto = StreamOptions::default()
             .with_cancel(state.cancel.clone())
@@ -364,12 +364,7 @@ impl Drop for JobGuard {
             c.active[self.state.class.index()] -= 1;
             c.finished[self.state.class.index()] += 1;
         }
-        *self
-            .state
-            .outcome
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = Some(outcome);
-        self.state.done.notify_all();
+        self.state.settle(outcome);
     }
 }
 
@@ -397,8 +392,9 @@ fn counts(raw: &[u64; 3]) -> ClassCounts {
 
 /// Truncates `request` to at most `budget` jobs (sample budgets are
 /// per-job intent: the front door enforces them by shrinking the
-/// request, never by guessing inside the round).
-fn truncated(request: GenerationRequest, budget: Option<usize>) -> GenerationRequest {
+/// request, never by guessing inside the round). Shared with the
+/// fleet router, which enforces budgets identically per replica.
+pub(crate) fn truncated(request: GenerationRequest, budget: Option<usize>) -> GenerationRequest {
     match budget {
         Some(b) if request.jobs().len() > b => {
             let mut jobs = request.jobs().clone();
@@ -409,15 +405,17 @@ fn truncated(request: GenerationRequest, budget: Option<usize>) -> GenerationReq
     }
 }
 
-/// Runs the job's rounds. The report is built from the session on
-/// every path — success *and* failure — so mid-run errors (a scheduler
-/// rejection after eight good rounds, say) never discard the work that
-/// already landed in the library.
-fn run_job(
-    mut session: Session,
+/// Runs the job's rounds against a borrowed session, so callers that
+/// need the session *after* the rounds (the fleet router persists
+/// affinity sessions via PPSQ before reporting) share one definition
+/// of what each [`JobKind`] does. Returns the per-round stats for
+/// iterative kinds; the session's own counters and library carry the
+/// results.
+pub(crate) fn run_rounds(
+    session: &mut Session,
     kind: JobKind,
     budget: Option<usize>,
-) -> (Result<(), PpError>, JobReport) {
+) -> (Result<(), PpError>, Vec<IterationStats>) {
     let mut iterations = Vec::new();
     let result = (|| -> Result<(), PpError> {
         match kind {
@@ -446,6 +444,19 @@ fn run_job(
         }
         Ok(())
     })();
+    (result, iterations)
+}
+
+/// Runs the job's rounds. The report is built from the session on
+/// every path — success *and* failure — so mid-run errors (a scheduler
+/// rejection after eight good rounds, say) never discard the work that
+/// already landed in the library.
+pub(crate) fn run_job(
+    mut session: Session,
+    kind: JobKind,
+    budget: Option<usize>,
+) -> (Result<(), PpError>, JobReport) {
+    let (result, iterations) = run_rounds(&mut session, kind, budget);
     let report = JobReport {
         generated: session.generated_total(),
         legal: session.legal_total(),
@@ -456,14 +467,44 @@ fn run_job(
     (result, report)
 }
 
-struct JobState {
-    id: u64,
-    class: QosClass,
-    cancel: CancelToken,
-    completed: AtomicUsize,
-    total: AtomicUsize,
-    outcome: Mutex<Option<JobOutcome>>,
-    done: Condvar,
+/// The shared terminal-state cell behind a [`JobHandle`]: the service
+/// settles it from a per-job thread, the fleet router from replica
+/// runners — the waiting side is identical either way.
+pub(crate) struct JobState {
+    pub(crate) id: u64,
+    pub(crate) class: QosClass,
+    pub(crate) cancel: CancelToken,
+    pub(crate) completed: AtomicUsize,
+    pub(crate) total: AtomicUsize,
+    pub(crate) outcome: Mutex<Option<JobOutcome>>,
+    pub(crate) done: Condvar,
+}
+
+impl JobState {
+    /// A fresh, unsettled job state.
+    pub(crate) fn new(id: u64, class: QosClass) -> JobState {
+        JobState {
+            id,
+            class,
+            cancel: CancelToken::new(),
+            completed: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Stores the terminal outcome and wakes waiters — first writer
+    /// wins, so racing settlement paths (a replica-loss sweep vs. the
+    /// runner that was executing the job) can both call this safely.
+    pub(crate) fn settle(&self, outcome: JobOutcome) {
+        let mut slot = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(outcome);
+            drop(slot);
+            self.done.notify_all();
+        }
+    }
 }
 
 /// Where a submitted job currently stands.
@@ -496,6 +537,13 @@ impl fmt::Debug for JobHandle {
 }
 
 impl JobHandle {
+    /// Wraps a shared job state — the fleet router hands out the same
+    /// handle type the service does, so callers poll/wait/cancel
+    /// identically whichever front door admitted the job.
+    pub(crate) fn from_state(state: Arc<JobState>) -> JobHandle {
+        JobHandle { state }
+    }
+
     /// The service-assigned job id.
     pub fn id(&self) -> u64 {
         self.state.id

@@ -1,18 +1,19 @@
-//! A miniature multi-tenant service on one engine, driven through the
-//! QoS front door: tenants describe work as declarative `JobSpec`s
-//! (kind, QoS class, deadline, budget, config shaping) and the
-//! `Service` runs them over one shared model with class-weighted
-//! fairness, bounded per-class admission, and scheduler observability.
-//! One tenant deliberately overflows its admission bound, sees a typed
-//! rejection, and retries once capacity frees — the shape of a real
-//! PDK-loop deployment front end. (Engine/session persistence is
-//! unchanged: `engine.save(&store)` et al., see `Engine::save`.)
+//! A miniature serving deployment on a replicated fleet: one trained
+//! checkpoint, N engine replicas each with its own supervised
+//! scheduler, and the `Fleet` router in front — work stealing across
+//! replica queues, fleet-wide admission bounds, session affinity with
+//! live migration, and replica drain with redistribution. Tenants
+//! still describe work as declarative `JobSpec`s; results are
+//! bit-identical whatever the replica count, because jobs never split
+//! across replicas. (The single-`Service` front door this example
+//! used to demonstrate still works unchanged — see README migration
+//! v5 for the mapping.)
 //!
 //! Run with: `cargo run --release --example engine_service`
 
 use patternpaint::core::{
-    JobSpec, PatternPaint, PipelineConfig, PpError, QosClass, QueueLimits, SchedulerOptions,
-    Service, ServiceOptions, WeightedFair,
+    Fleet, FleetOptions, JobSpec, MemStore, PatternPaint, PipelineConfig, PpError, QosClass,
+    QueueLimits,
 };
 use patternpaint::pdk::SynthNode;
 use std::time::Duration;
@@ -24,128 +25,130 @@ fn main() -> Result<(), PpError> {
         .seed(42)
         .pretrained()?;
     pp.finetune()?;
-    // Freeze the trained stack into an immutable, shareable snapshot
-    // and open the front door over it: a WeightedFair scheduler
-    // (interactive 4 : batch 2 : best-effort 1 micro-batch shares) and
-    // a deliberately tight interactive job bound so the rejection path
-    // below is reproducible.
-    let engine = pp.into_engine();
-    let service = Service::new(
-        &engine,
-        ServiceOptions {
-            threads: 4,
-            scheduler: SchedulerOptions::new().policy(WeightedFair),
-            job_limits: QueueLimits {
-                interactive: 1,
-                batch: 4,
-                best_effort: 8,
-            },
-        },
-    );
 
-    // Tenant A: a designer at a prompt — interactive class, a soft
-    // deadline, the full iterative pipeline.
-    let tenant_a = service.submit(
-        JobSpec::iterative(2)
+    // Freeze the trained stack, persist it once, and open a fleet of
+    // two replicas over the checkpoint. Each replica deserializes its
+    // own engine and runs its own scheduler + artifact store; the
+    // router in front owns admission, placement, and failover.
+    let store = MemStore::new();
+    pp.into_engine().save(&store)?;
+    let fleet = Fleet::open(
+        &store,
+        FleetOptions::new()
+            .with_replicas(2)
+            .with_job_limits(QueueLimits::default())
+            // Shed incoming BestEffort work while the merged p90 of
+            // recent submit→dispatch waits exceeds a second.
+            .with_backpressure_shed(Duration::from_secs(1)),
+    )?;
+    println!("fleet up: {} replicas, one checkpoint", fleet.replicas());
+
+    // Tenant A: a designer session pinned by affinity. The first job
+    // creates the session on some replica and persists it there; the
+    // follow-up resumes it in place — same library, same cursor, as
+    // if one uninterrupted session had run both.
+    let job = fleet.submit(
+        JobSpec::iterative(1)
             .with_class(QosClass::Interactive)
-            .with_deadline(Duration::from_secs(60))
-            .with_seed(1001),
+            .with_seed(1001)
+            .with_affinity("tenant-a"),
     )?;
+    let first = job.wait().into_report().expect("tenant A round 1 runs");
     println!(
-        "tenant-a admitted: job {} [{}]",
-        tenant_a.id(),
-        tenant_a.class()
+        "tenant-a round 1: generated {} | unique {}",
+        first.generated,
+        first.library.len()
     );
-
-    // Tenant B: a background library grower — batch class, shaped
-    // request (double variations, tighter selection, parallel tail)
-    // and a sample budget.
-    let mut cfg_b = *engine.config();
-    cfg_b.variations = 2;
-    cfg_b.select_k = 5;
-    cfg_b.tail_threads = 2;
-    let tenant_b = service.submit(
-        JobSpec::iterative(2)
-            .with_class(QosClass::Batch)
-            .with_seed(2002)
-            .with_config(cfg_b)
-            .with_budget(500),
+    let job = fleet.submit(
+        JobSpec::iterative(1)
+            .with_class(QosClass::Interactive)
+            .with_seed(1001)
+            .with_affinity("tenant-a"),
     )?;
+    let second = job.wait().into_report().expect("tenant A round 2 resumes");
     println!(
-        "tenant-b admitted: job {} [{}]",
-        tenant_b.id(),
-        tenant_b.class()
+        "tenant-a round 2 (resumed): generated {} | unique {}",
+        second.generated,
+        second.library.len()
     );
 
-    // A second interactive tenant while tenant A still holds the only
-    // interactive slot: admission control rejects it with a typed
-    // error instead of queueing without bound.
-    let impatient = JobSpec::initial()
-        .with_class(QosClass::Interactive)
-        .with_seed(3003)
-        .with_budget(60);
-    match service.submit(impatient.clone()) {
-        Err(PpError::Rejected { reason }) => {
-            println!("tenant-c rejected as expected: {reason}")
-        }
-        Err(e) => return Err(e),
-        Ok(_) => println!("tenant-c admitted (tenant A already finished — fast machine!)"),
-    }
-
-    // Tenant A resolves; its interactive slot frees and the retry lands.
-    let report_a = tenant_a
-        .wait()
-        .into_report()
-        .expect("tenant A runs to completion");
-    println!(
-        "tenant-a done: generated {} | legal {} | unique {}",
-        report_a.generated,
-        report_a.legal,
-        report_a.library.len()
-    );
-    let tenant_c = service.submit(impatient)?;
-    println!(
-        "tenant-c retry admitted: job {} [{}]",
-        tenant_c.id(),
-        tenant_c.class()
-    );
-
-    for (name, handle) in [("tenant-b", tenant_b), ("tenant-c", tenant_c)] {
+    // Background tenants: batch-class jobs the router spreads over
+    // both replicas (shortest queue first, idle replicas steal).
+    let batch: Vec<_> = (0..4u64)
+        .map(|i| {
+            fleet.submit(
+                JobSpec::initial()
+                    .with_class(QosClass::Batch)
+                    .with_seed(2000 + i)
+                    .with_budget(60),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    for (i, handle) in batch.into_iter().enumerate() {
         let outcome = handle.wait();
         match outcome.report() {
-            Some(report) => {
-                let stats = report.library.stats();
-                println!(
-                    "{name} done: generated {} | legal {} | unique {} | H1 {:.2} | H2 {:.2}",
-                    report.generated, report.legal, stats.unique, stats.h1, stats.h2,
-                );
-            }
-            None => println!("{name}: {outcome}"),
+            Some(report) => println!(
+                "batch-{i} done: generated {} | legal {}",
+                report.generated, report.legal
+            ),
+            None => println!("batch-{i}: {outcome}"),
         }
     }
 
-    // Scheduler observability: who actually got the micro-batches.
-    let sched = service.scheduler_stats();
+    // Retire replica 0. Anything queued there redistributes; tenant
+    // A's next job finds its home replica gone, migrates the saved
+    // session (PPSQ copy) to a survivor, and *continues* it.
+    let stats = fleet.stats();
     println!(
-        "scheduler [{}]: {} micro-batches, {} samples, wait {:.1}ms, turnaround {:.1}ms",
-        sched.policy,
-        sched.micro_batches,
-        sched.samples,
-        sched.wait_micros as f64 / 1e3,
-        sched.turnaround_micros as f64 / 1e3,
+        "draining replica 0 (held {} queued jobs)",
+        stats.replicas[0].queued
     );
-    for s in &sched.per_session {
+    fleet.drain(0);
+    let job = fleet.submit(
+        JobSpec::iterative(1)
+            .with_class(QosClass::Interactive)
+            .with_seed(1001)
+            .with_affinity("tenant-a"),
+    )?;
+    let third = job
+        .wait()
+        .into_report()
+        .expect("tenant A survives the drain");
+    println!(
+        "tenant-a round 3 (migrated): generated {} | unique {}",
+        third.generated,
+        third.library.len()
+    );
+
+    // Router observability: who ran what, and what the failover
+    // machinery actually did.
+    let stats = fleet.stats();
+    for r in &stats.replicas {
         println!(
-            "  session {} [{}]: {} micro-batches, {} samples",
-            s.session, s.class, s.micro_batches, s.samples
+            "replica {} [{}]: {} micro-batches, {} samples",
+            r.index,
+            if r.healthy { "healthy" } else { "retired" },
+            r.scheduler.micro_batches,
+            r.scheduler.samples,
         );
     }
-    let jobs = service.stats();
     println!(
-        "front door: {} submitted, {} rejected, {} finished",
-        jobs.submitted.total(),
-        jobs.rejected.total(),
-        jobs.finished.total()
+        "router: steals {} | affinity hits/misses {}/{} | migrations {} | \
+         failovers {} | redistributed {} | rejected depth/backpressure {}/{}",
+        stats.steals,
+        stats.affinity_hits,
+        stats.affinity_misses,
+        stats.migrations,
+        stats.failovers,
+        stats.redistributed,
+        stats.rejected_depth,
+        stats.rejected_backpressure,
+    );
+    println!(
+        "fleet: {} submitted, {} finished, merged wait p90 {:.1}ms",
+        stats.submitted.total(),
+        stats.finished.total(),
+        stats.aggregated.wait_p90_micros as f64 / 1e3,
     );
     Ok(())
 }

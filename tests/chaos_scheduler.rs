@@ -302,10 +302,12 @@ fn hard_deadline_mid_run_keeps_partial_results() {
         },
     );
     let service = service_with_faults(&engine, 1, plan);
-    // 12 jobs at tiny's batch_size 4: the first refill admits slots
-    // 0..4 immediately (beating the 80 ms deadline), stalls 300 ms,
-    // and delivers; jobs 4..12 are still queued when the worker next
-    // refills, now past the deadline — purged.
+    // 12 jobs at tiny's batch_size 4: the table auto-sizes to 6 slots
+    // and the cold-start de-aligner caps the first refill at half of
+    // that, so slots 0..3 are admitted immediately (beating the 80 ms
+    // deadline), stall 300 ms, and deliver; jobs 3..12 are still
+    // queued when the worker next refills, now past the deadline —
+    // purged.
     let handle = service
         .submit(
             JobSpec::raw(request(&engine, 12, 13)).with_hard_deadline(Duration::from_millis(80)),
@@ -314,8 +316,8 @@ fn hard_deadline_mid_run_keeps_partial_results() {
     match handle.wait() {
         JobOutcome::TimedOut { partial } => {
             assert_eq!(
-                partial.generated, 4,
-                "exactly the stalled-but-dispatched batch 0 must survive"
+                partial.generated, 3,
+                "exactly the stalled-but-dispatched first refill must survive"
             );
         }
         other => panic!("expected TimedOut, got: {other}"),

@@ -257,6 +257,44 @@ fn best_effort_flood_does_not_starve_interactive() {
     assert_eq!(stats.completed.total(), 4, "nobody starves: all complete");
 }
 
+/// The admission de-aligner: a *cold* continuous refill (empty slot
+/// table) caps its width at half the table, so a lone tenant whose
+/// batch exactly matches the capacity cannot march every slot in
+/// lockstep. The staggered start shows up in the occupancy counters —
+/// early steps run a part-filled table (idle slots counted) and the
+/// 12 jobs spread over more micro-batches than the 3 full-width
+/// refills an aligned start would dispatch.
+#[test]
+fn cold_refill_dealigner_staggers_slot_occupancy() {
+    let engine = tiny_engine(15);
+    let scheduler = engine.scheduler_with(
+        1,
+        SchedulerOptions::new()
+            .dispatch(DispatchMode::Continuous)
+            // Capacity == batch width: the worst lockstep case.
+            .slot_capacity(4),
+    );
+    let mut session = engine.session_seeded(95).attach(&scheduler);
+    let counts = session
+        .run_request(&request(&engine, 12, 95))
+        .expect("round runs");
+    assert_eq!(counts.0, 12);
+    let stats = scheduler.stats();
+    assert_eq!(stats.samples, 12);
+    assert_eq!(stats.completed.total(), 1);
+    assert_eq!(stats.batches_merged, 0, "single tenant: nothing to merge");
+    assert!(
+        stats.micro_batches >= 4,
+        "the capped cold refill must split 12 jobs into more than the \
+         3 aligned full-width refills: {stats:?}"
+    );
+    assert!(
+        stats.slots_idle >= 1 && stats.slots_idle < stats.slots_filled,
+        "a staggered table steps part-filled early on, without idling \
+         more than it works: {stats:?}"
+    );
+}
+
 /// Straggler-accounting regression: a submission abandoned mid-stream
 /// (cancelled after its first delivery) must still record a terminal
 /// timestamp. Before the fix only *completed* submissions fed
