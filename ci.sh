@@ -7,6 +7,9 @@
 # suite (tests/chaos_scheduler.rs) across fixed PP_CHAOS_SEED values.
 # Pass --analyze to run ONLY the pp-analyze static-analysis gate (fast
 # path for pre-commit); the default run includes it too.
+# Pass --train-smoke to additionally run the training-job smoke test
+# (tests/train_jobs.rs smoke_*) plus the train_coexist bench probe
+# proving interactive latency survives a co-resident Train job.
 set -euo pipefail
 
 if [[ "${1:-}" == "--analyze" ]]; then
@@ -56,6 +59,14 @@ if [[ "${1:-}" == "--chaos" ]]; then
         PP_CHAOS_SEED=$seed RUST_BACKTRACE=1 cargo test -q --test chaos_scheduler
         PP_CHAOS_SEED=$seed RUST_BACKTRACE=1 cargo test -q --test fleet_router chaos_
     done
+fi
+
+if [[ "${1:-}" == "--train-smoke" ]]; then
+    echo "==> train smoke: tests/train_jobs.rs smoke_"
+    RUST_BACKTRACE=1 cargo test -q --test train_jobs smoke_
+    echo "==> train smoke: sampling_bench train_coexist probe"
+    PP_BENCH_SMOKE=1 PP_BENCH_JOBS=8 PP_BENCH_MODE=train_coexist \
+        cargo run --release -q -p pp-bench --bin sampling_bench
 fi
 
 echo "ci.sh: all checks passed"

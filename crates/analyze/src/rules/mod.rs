@@ -47,6 +47,7 @@ impl Default for Config {
                 "crates/core/src/service.rs".into(),
                 "crates/core/src/fleet.rs".into(),
                 "crates/core/src/tail.rs".into(),
+                "crates/core/src/train.rs".into(),
             ],
             core_prefix: "crates/core/src/".into(),
         }

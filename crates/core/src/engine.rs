@@ -67,7 +67,10 @@ use crate::stages::{
     Validator,
 };
 use crate::stream::{GenerationRequest, StreamOptions};
-use pp_diffusion::{load_checkpoint, read_config, save_checkpoint, write_config, DiffusionModel};
+use pp_diffusion::{
+    load_checkpoint, load_checkpoint_with, read_config, save_checkpoint, write_config,
+    CheckpointLineage, DiffusionModel,
+};
 use pp_geometry::Layout;
 use pp_inpaint::{Mask, MaskSchedule, MaskSet};
 use pp_pdk::SynthNode;
@@ -472,6 +475,54 @@ impl Engine {
         Ok(Engine {
             core: Arc::new(core),
         })
+    }
+
+    /// A new engine identical to this one but serving `model` — the
+    /// fork point for fine-tuned weights: node, config, seed, starters
+    /// and stage overrides carry over; the snapshot is marked
+    /// finetuned.
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Config`] when `model`'s architecture differs from
+    /// this engine's (a fine-tune never changes shapes; anything else
+    /// is not a fork of this engine).
+    pub fn with_model(&self, model: DiffusionModel) -> Result<Engine, PpError> {
+        if model.config() != self.core.cfg.model {
+            return Err(PpError::Config(
+                "with_model: the model's architecture differs from the engine's".into(),
+            ));
+        }
+        let mut core = (*self.core).clone();
+        core.model = Arc::new(model);
+        core.finetuned = true;
+        Ok(Engine {
+            core: Arc::new(core),
+        })
+    }
+
+    /// Opens a fine-tuned checkpoint (one written by a
+    /// [`crate::JobKind::Train`] job) as a new engine forked from this
+    /// one, returning the checkpoint's lineage so the caller can verify
+    /// parent/epoch provenance. The new engine serves generation
+    /// through [`crate::Service`] / [`crate::Fleet`] exactly like any
+    /// other — A/B it against this one via
+    /// [`crate::Fleet::from_engines`].
+    ///
+    /// # Errors
+    ///
+    /// [`PpError::Artifact`] when the key is missing or unreadable,
+    /// [`PpError::Checkpoint`] when the checkpoint is corrupt,
+    /// [`PpError::Config`] when its architecture differs from this
+    /// engine's.
+    pub fn open_trained(
+        &self,
+        store: &dyn ArtifactStore,
+        key: &str,
+    ) -> Result<(Engine, CheckpointLineage), PpError> {
+        let bytes = store.get(key)?;
+        let (model, lineage) = load_checkpoint_with(bytes.as_slice())?;
+        Ok((self.with_model(model)?, lineage))
     }
 }
 

@@ -318,6 +318,7 @@ fn empty_report(attempts: u32) -> JobReport {
         attempts,
         iterations: Vec::new(),
         library: PatternLibrary::new(),
+        train: None,
     }
 }
 
@@ -434,6 +435,17 @@ impl Fleet {
     /// shaping that fails validation.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, PpError> {
         let class = spec.class;
+        // Training mutates weights; replicas of a fleet share one
+        // checkpoint and must stay bit-identical. Fine-tune through a
+        // single Service, then open the trained checkpoint as a new
+        // engine (or fleet) to A/B it against this one.
+        if matches!(spec.kind, JobKind::Train(_)) {
+            return Err(PpError::Config(
+                "train jobs run on a single Service, not a fleet: replicas share one \
+                 checkpoint and training would fork it"
+                    .into(),
+            ));
+        }
         if let Some(key) = &spec.affinity {
             validate_key(key)
                 .map_err(|e| PpError::Config(format!("job spec: affinity key: {e}")))?;
@@ -1030,6 +1042,7 @@ fn run_affinity_attempt(
         attempts: job.attempt,
         iterations,
         library: session.into_library(),
+        train: None,
     };
     (result, report)
 }
@@ -1071,6 +1084,13 @@ fn run_continuation(
                     }
                     iterations.extend(session.iterate(1)?);
                 }
+            }
+            // Unreachable: Fleet::submit rejects Train jobs before any
+            // replica runner sees them.
+            JobKind::Train(_) => {
+                return Err(PpError::Config(
+                    "train jobs do not run generation rounds".into(),
+                ))
             }
         }
         Ok(())

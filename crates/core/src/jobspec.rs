@@ -22,6 +22,7 @@
 use crate::config::PipelineConfig;
 use crate::error::PpError;
 use crate::stream::GenerationRequest;
+use crate::train::{ExportWeights, TrainSpec};
 use std::fmt;
 use std::time::Duration;
 
@@ -174,6 +175,15 @@ pub enum JobKind {
     /// run the round tail over them. Raw requests carry in-memory job
     /// sets and are the one kind [`JobSpec::encode`] cannot serialise.
     Raw(GenerationRequest),
+    /// A training workload: fine-tune the engine's model per the
+    /// [`TrainSpec`] (epochs × steps over starters + ingested session
+    /// libraries, EMA shadow, lineage-carrying checkpoints). Runs
+    /// preemptibly under the scheduler — parked between epochs whenever
+    /// higher-class work is queued — and resumes bit-identically from
+    /// its last checkpoint after preemption, retry, or restart.
+    /// Requires the service to be built with an artifact store
+    /// ([`crate::ServiceOptions::store`]).
+    Train(TrainSpec),
 }
 
 /// A declarative, serializable description of one workload.
@@ -277,6 +287,13 @@ impl JobSpec {
         JobSpec::new(JobKind::Raw(request))
     }
 
+    /// A training workload. Defaults to [`QosClass::BestEffort`] — the
+    /// canonical scavenger class, parked whenever interactive or batch
+    /// tenants need the pool — but [`JobSpec::with_class`] can raise it.
+    pub fn train(spec: TrainSpec) -> JobSpec {
+        JobSpec::new(JobKind::Train(spec)).with_class(QosClass::BestEffort)
+    }
+
     /// Sets the QoS class.
     pub fn with_class(mut self, class: QosClass) -> JobSpec {
         self.class = class;
@@ -348,11 +365,12 @@ impl JobSpec {
         use crate::artifact::ByteWriter;
         let mut w = ByteWriter::new();
         w.bytes(b"PPJS");
-        // Version 3 appends the fleet routing hints (affinity +
-        // placement) after the retry fields; version 2 appended
-        // hard_deadline + retry after the seed. Version-1 and -2 blobs
-        // still decode, defaulting what they predate.
-        w.u32(3);
+        // Version 4 adds the Train kind (tag 2 + its payload); version
+        // 3 appended the fleet routing hints (affinity + placement)
+        // after the retry fields; version 2 appended hard_deadline +
+        // retry after the seed. Version-1 through -3 blobs still
+        // decode, defaulting what they predate.
+        w.u32(4);
         match &self.kind {
             JobKind::Initial => w.u8(0),
             JobKind::Iterative { iterations } => {
@@ -363,6 +381,10 @@ impl JobSpec {
                 return Err(PpError::Config(
                     "job spec: raw requests carry in-memory job sets and cannot be encoded".into(),
                 ))
+            }
+            JobKind::Train(spec) => {
+                w.u8(2);
+                encode_train(&mut w, spec)?;
             }
         }
         w.u8(self.class.tag());
@@ -411,7 +433,7 @@ impl JobSpec {
             return Err(corrupt("missing PPJS magic".into()));
         }
         let version = r.u32("version").map_err(corrupt)?;
-        if !(1..=3).contains(&version) {
+        if !(1..=4).contains(&version) {
             return Err(corrupt(format!("unsupported spec version {version}")));
         }
         let kind = match r.u8("kind").map_err(corrupt)? {
@@ -419,6 +441,12 @@ impl JobSpec {
             1 => JobKind::Iterative {
                 iterations: r.u64("iterations").map_err(corrupt)? as usize,
             },
+            2 if version >= 4 => JobKind::Train(decode_train(&mut r)?),
+            2 => {
+                return Err(corrupt(format!(
+                    "kind tag 2 needs spec version 4, got {version}"
+                )))
+            }
             k => return Err(corrupt(format!("unknown kind tag {k}"))),
         };
         let class = QosClass::from_tag(r.u8("class").map_err(corrupt)?)?;
@@ -488,6 +516,114 @@ impl JobSpec {
     }
 }
 
+/// Most session datasets a serialised [`TrainSpec`] may name — the
+/// decode-side bound applied *before* any allocation sized by the
+/// count field.
+const MAX_TRAIN_DATASETS: usize = 64;
+
+fn write_str(w: &mut crate::artifact::ByteWriter, what: &str, s: &str) -> Result<(), PpError> {
+    if s.len() > JobSpec::MAX_AFFINITY {
+        return Err(PpError::Config(format!(
+            "job spec: train {what} is {} bytes (limit {})",
+            s.len(),
+            JobSpec::MAX_AFFINITY
+        )));
+    }
+    w.u32(s.len() as u32);
+    w.bytes(s.as_bytes());
+    Ok(())
+}
+
+fn read_str(r: &mut crate::artifact::ByteReader<'_>, what: &str) -> Result<String, PpError> {
+    let corrupt = |detail: String| PpError::Config(format!("job spec: {detail}"));
+    let len = r.u32(what).map_err(corrupt)? as usize;
+    if len > JobSpec::MAX_AFFINITY {
+        return Err(corrupt(format!(
+            "train {what} length {len} exceeds limit {}",
+            JobSpec::MAX_AFFINITY
+        )));
+    }
+    let raw = r.bytes(len, what).map_err(corrupt)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| corrupt(format!("train {what} is not UTF-8")))
+}
+
+fn encode_train(w: &mut crate::artifact::ByteWriter, spec: &TrainSpec) -> Result<(), PpError> {
+    w.u32(spec.epochs);
+    w.u64(spec.steps_per_epoch as u64);
+    w.u64(spec.batch as u64);
+    w.f32(spec.lr);
+    w.f32(spec.lambda);
+    w.u64(spec.prior_count as u64);
+    match spec.ema_decay {
+        None => w.u8(0),
+        Some(decay) => {
+            w.u8(1);
+            w.f32(decay);
+        }
+    }
+    w.u8(match spec.export {
+        ExportWeights::Live => 0,
+        ExportWeights::Ema => 1,
+    });
+    w.u64(spec.synth_corpus as u64);
+    if spec.datasets.len() > MAX_TRAIN_DATASETS {
+        return Err(PpError::Config(format!(
+            "job spec: train names {} datasets (limit {MAX_TRAIN_DATASETS})",
+            spec.datasets.len()
+        )));
+    }
+    w.u32(spec.datasets.len() as u32);
+    for name in &spec.datasets {
+        write_str(w, "dataset name", name)?;
+    }
+    write_str(w, "output name", &spec.output)
+}
+
+fn decode_train(r: &mut crate::artifact::ByteReader<'_>) -> Result<TrainSpec, PpError> {
+    let corrupt = |detail: String| PpError::Config(format!("job spec: {detail}"));
+    let epochs = r.u32("train epochs").map_err(corrupt)?;
+    let steps_per_epoch = r.u64("train steps").map_err(corrupt)? as usize;
+    let batch = r.u64("train batch").map_err(corrupt)? as usize;
+    let lr = r.f32("train lr").map_err(corrupt)?;
+    let lambda = r.f32("train lambda").map_err(corrupt)?;
+    let prior_count = r.u64("train prior count").map_err(corrupt)? as usize;
+    let ema_decay = match r.u8("train ema flag").map_err(corrupt)? {
+        0 => None,
+        1 => Some(r.f32("train ema decay").map_err(corrupt)?),
+        f => return Err(corrupt(format!("unknown train ema flag {f}"))),
+    };
+    let export = match r.u8("train export").map_err(corrupt)? {
+        0 => ExportWeights::Live,
+        1 => ExportWeights::Ema,
+        f => return Err(corrupt(format!("unknown train export tag {f}"))),
+    };
+    let synth_corpus = r.u64("train synth corpus").map_err(corrupt)? as usize;
+    let n = r.u32("train dataset count").map_err(corrupt)? as usize;
+    if n > MAX_TRAIN_DATASETS {
+        return Err(corrupt(format!(
+            "train dataset count {n} exceeds limit {MAX_TRAIN_DATASETS}"
+        )));
+    }
+    let mut datasets = Vec::with_capacity(n);
+    for _ in 0..n {
+        datasets.push(read_str(r, "dataset name")?);
+    }
+    let output = read_str(r, "output name")?;
+    Ok(TrainSpec {
+        epochs,
+        steps_per_epoch,
+        batch,
+        lr,
+        lambda,
+        prior_count,
+        ema_decay,
+        export,
+        datasets,
+        synth_corpus,
+        output,
+    })
+}
+
 fn opt_u64(w: &mut crate::artifact::ByteWriter, v: Option<u64>) {
     match v {
         None => w.u8(0),
@@ -541,6 +677,21 @@ mod tests {
             JobSpec::iterative(2)
                 .with_affinity("tenant-a.session_7")
                 .with_placement(3),
+            JobSpec::train(
+                TrainSpec::new("finetune-a")
+                    .with_epochs(6)
+                    .with_steps_per_epoch(10)
+                    .with_batch(3)
+                    .with_lr(5e-4)
+                    .with_prior(4, 0.25)
+                    .with_ema(Some(0.995))
+                    .with_export(ExportWeights::Ema)
+                    .with_dataset("corpus-1")
+                    .with_dataset("corpus-2")
+                    .with_synth_corpus(8),
+            )
+            .with_retry(RetryPolicy::new(2, Duration::from_millis(5))),
+            JobSpec::train(TrainSpec::new("plain").with_ema(None)),
         ];
         for spec in specs {
             let bytes = spec.encode().expect("non-raw specs encode");
@@ -559,6 +710,7 @@ mod tests {
                 (JobKind::Iterative { iterations: a }, JobKind::Iterative { iterations: b }) => {
                     assert_eq!(a, b)
                 }
+                (JobKind::Train(a), JobKind::Train(b)) => assert_eq!(a, b),
                 (a, b) => panic!("kind mismatch: {a:?} vs {b:?}"),
             }
         }
@@ -671,6 +823,52 @@ mod tests {
         // read, not by a panic.
         let err = JobSpec::decode(&good[..good.len() - 4]).unwrap_err();
         assert!(err.to_string().contains("job spec"), "message was: {err}");
+    }
+
+    /// Train is a v4 kind: the default class is best-effort, older
+    /// blobs can never claim the tag, and a corrupt dataset count must
+    /// fail before it sizes an allocation.
+    #[test]
+    fn train_kind_is_version_gated_and_bounded() {
+        let spec = JobSpec::train(TrainSpec::new("t"));
+        assert_eq!(
+            spec.class,
+            QosClass::BestEffort,
+            "training defaults to the scavenger class"
+        );
+
+        // A v3 blob claiming kind tag 2 is corrupt, not a train spec.
+        let good = spec.encode().unwrap();
+        let mut downgraded = good.clone();
+        downgraded[4..8].copy_from_slice(&3u32.to_le_bytes());
+        let err = JobSpec::decode(&downgraded).unwrap_err();
+        assert!(err.to_string().contains("version 4"), "message was: {err}");
+
+        // Encode-side bounds: too many datasets, oversized names.
+        let mut many = TrainSpec::new("t");
+        many.datasets = vec!["d".into(); MAX_TRAIN_DATASETS + 1];
+        let err = JobSpec::train(many).encode().unwrap_err();
+        assert!(err.to_string().contains("datasets"), "message was: {err}");
+        let long = TrainSpec::new("o".repeat(JobSpec::MAX_AFFINITY + 1));
+        let err = JobSpec::train(long).encode().unwrap_err();
+        assert!(err.to_string().contains("output"), "message was: {err}");
+
+        // Decode-side: corrupt the dataset count field (fixed train
+        // payload after the kind tag: epochs 4, steps 8, batch 8, lr 4,
+        // lambda 4, prior 8, ema flag+decay 5, export 1, synth 8 = count
+        // at byte 9 + 50 = 59).
+        let mut bad = good.clone();
+        bad[59..63].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = JobSpec::decode(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("dataset count"),
+            "message was: {err}"
+        );
+        // Truncation anywhere in the train payload is a named error.
+        for cut in 9..63 {
+            let err = JobSpec::decode(&good[..cut]).unwrap_err();
+            assert!(err.to_string().contains("job spec"), "cut {cut}: {err}");
+        }
     }
 
     #[test]

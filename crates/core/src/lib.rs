@@ -84,6 +84,14 @@
 //! bit-identical to a single replica. [`Fleet::stats`] exposes
 //! per-replica and merged counters ([`FleetStats`]).
 //!
+//! **Training.** Fine-tuning is a job too: [`JobSpec::train`] runs a
+//! [`TrainSpec`] (dataset synthesis from the PDK + saved session
+//! libraries, masked-inpainting loss, Adam, optional EMA shadow
+//! weights) under the same service — preemptible between epochs when
+//! higher QoS classes have queued work, checkpointed every epoch with
+//! parent/epoch lineage, and resumable bit-identically after any
+//! interruption ([`train`], `tests/train_jobs.rs`).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -132,6 +140,7 @@ pub mod service;
 pub mod stages;
 pub mod stream;
 mod tail;
+pub mod train;
 
 pub use artifact::{copy_artifacts, ArtifactError, ArtifactStore, DirStore, MemStore};
 pub use builder::PipelineBuilder;
@@ -157,3 +166,4 @@ pub use stages::{
     SampleStream, Sampler, Selector, Validator,
 };
 pub use stream::{CancelToken, GenerationRequest, Progress, ProgressHook, StreamOptions};
+pub use train::{ExportWeights, TrainRun, TrainSpec, TrainSummary};

@@ -1806,6 +1806,30 @@ impl SchedulerHandle {
     pub fn is_healthy(&self) -> bool {
         self.shared.workers_alive.load(Ordering::SeqCst) > 0
     }
+
+    /// Consumes the fault planted for this handle's session at
+    /// `ordinal`, if any — the chaos hook for workloads that dispatch
+    /// work themselves instead of through the sampling pool (the
+    /// service's train driver keys it on the epoch index, mirroring
+    /// how sampling keys on the slot ordinal). A consumed
+    /// [`Fault::PanicAt`] counts against
+    /// [`SchedulerStats::worker_panics`], exactly as a sampling-path
+    /// panic does.
+    pub(crate) fn take_fault(&self, ordinal: u64) -> Option<Fault> {
+        if !self.shared.has_faults {
+            return None;
+        }
+        let fault = self
+            .shared
+            .faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take(self.session, ordinal);
+        if matches!(fault, Some(Fault::PanicAt { .. })) {
+            self.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
 }
 
 /// In-order micro-batch delivery for one submission: workers may finish

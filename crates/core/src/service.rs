@@ -44,13 +44,18 @@
 //! same [`JobHandle`]s and resolves to the same [`JobOutcome`]s, with
 //! routing, work-stealing and failover behind the submit call.
 
+use crate::artifact::ArtifactStore;
 use crate::engine::{Engine, Session};
 use crate::error::PpError;
+use crate::fault::Fault;
 use crate::jobspec::{JobKind, JobSpec, QosClass};
 use crate::library::PatternLibrary;
 use crate::pipeline::IterationStats;
-use crate::scheduler::{ClassCounts, QueueLimits, Scheduler, SchedulerOptions, SchedulerStats};
-use crate::stream::{CancelToken, GenerationRequest, Progress, StreamOptions};
+use crate::scheduler::{
+    ClassCounts, QueueLimits, Scheduler, SchedulerHandle, SchedulerOptions, SchedulerStats,
+};
+use crate::stream::{CancelToken, GenerationRequest, Progress, ProgressHook, StreamOptions};
+use crate::train::{TrainRun, TrainSpec, TrainSummary};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -58,7 +63,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Build-time service configuration.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ServiceOptions {
     /// Sampling worker threads in the shared pool (`0` = the engine
     /// configuration's `threads`).
@@ -68,6 +73,21 @@ pub struct ServiceOptions {
     /// Per-class bounds on *concurrent jobs* (queued or running).
     /// Overflow rejects at [`Service::submit`].
     pub job_limits: QueueLimits,
+    /// Artifact store for stateful workloads: [`JobKind::Train`] jobs
+    /// checkpoint through it (and ingest saved session libraries from
+    /// it). `None` rejects Train submissions with [`PpError::Config`].
+    pub store: Option<Arc<dyn ArtifactStore>>,
+}
+
+impl fmt::Debug for ServiceOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceOptions")
+            .field("threads", &self.threads)
+            .field("scheduler", &self.scheduler)
+            .field("job_limits", &self.job_limits)
+            .field("store", &self.store.as_ref().map(|_| "dyn ArtifactStore"))
+            .finish()
+    }
 }
 
 /// Job-level admission counters (the scheduler's own dispatch counters
@@ -125,6 +145,7 @@ pub struct Service {
     engine: Engine,
     scheduler: Scheduler,
     shared: Arc<ServiceShared>,
+    store: Option<Arc<dyn ArtifactStore>>,
     jobs: Mutex<Vec<(CancelToken, JoinHandle<()>)>>,
 }
 
@@ -155,6 +176,7 @@ impl Service {
                 job_limits: options.job_limits,
                 next_job: AtomicU64::new(1),
             }),
+            store: options.store,
             jobs: Mutex::new(Vec::new()),
         }
     }
@@ -196,6 +218,9 @@ impl Service {
     /// [`PpError::Config`] when the spec's config shaping fails
     /// validation or tries to change the engine's model architecture.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, PpError> {
+        if matches!(spec.kind, JobKind::Train(_)) {
+            return self.submit_train(spec);
+        }
         let class = spec.class;
         let seed = spec.seed.unwrap_or(self.engine.seed());
         // Validate the shaping before taking an admission slot, so a
@@ -205,19 +230,7 @@ impl Service {
         if let Some(cfg) = spec.config {
             self.engine.session_seeded(seed).with_config(cfg)?;
         }
-        {
-            let mut c = lock_counters(&self.shared);
-            let depth = c.active[class.index()];
-            let limit = self.shared.job_limits.limit(class) as u64;
-            if depth >= limit {
-                c.rejected[class.index()] += 1;
-                return Err(PpError::Rejected {
-                    reason: format!("{class} job queue is full ({depth} in flight, limit {limit})"),
-                });
-            }
-            c.active[class.index()] += 1;
-            c.submitted[class.index()] += 1;
-        }
+        self.admit_slot(class)?;
         let state = Arc::new(JobState::new(
             self.shared.next_job.fetch_add(1, Ordering::Relaxed),
             class,
@@ -329,6 +342,27 @@ impl Service {
             };
             guard.outcome = Some(outcome);
         });
+        Ok(self.register(state, worker))
+    }
+
+    /// Takes (or refuses) a per-class admission slot.
+    fn admit_slot(&self, class: QosClass) -> Result<(), PpError> {
+        let mut c = lock_counters(&self.shared);
+        let depth = c.active[class.index()];
+        let limit = self.shared.job_limits.limit(class) as u64;
+        if depth >= limit {
+            c.rejected[class.index()] += 1;
+            return Err(PpError::Rejected {
+                reason: format!("{class} job queue is full ({depth} in flight, limit {limit})"),
+            });
+        }
+        c.active[class.index()] += 1;
+        c.submitted[class.index()] += 1;
+        Ok(())
+    }
+
+    /// Tracks an admitted job's thread and hands the caller its handle.
+    fn register(&self, state: Arc<JobState>, worker: JoinHandle<()>) -> JobHandle {
         let mut jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
         // Reap terminal jobs so a long-lived service doesn't accumulate
         // one join handle per job ever submitted (dropping a finished
@@ -336,7 +370,142 @@ impl Service {
         jobs.retain(|(_, worker)| !worker.is_finished());
         jobs.push((state.cancel.clone(), worker));
         drop(jobs);
-        Ok(JobHandle { state })
+        JobHandle { state }
+    }
+
+    /// Admits and runs a [`JobKind::Train`] job: a preemptible,
+    /// resumable epoch loop on a dedicated thread, under the same
+    /// admission gate, retry policy, deadline clock and guard
+    /// settlement as generation jobs.
+    ///
+    /// The driver checkpoints after every epoch and *parks* between
+    /// epochs while any strictly-higher QoS class has sampling
+    /// submissions in flight — training is the canonical scavenger
+    /// workload, so interactive and batch tenants reclaim the machine
+    /// at epoch granularity. A transient failure (worker panic, I/O)
+    /// retries under the spec's [`crate::RetryPolicy`], and the retry
+    /// *resumes from the last checkpoint* rather than epoch 0 — the
+    /// attempt re-prepares the run from the store, which is also what
+    /// makes a process restart resumable.
+    fn submit_train(&self, spec: JobSpec) -> Result<JobHandle, PpError> {
+        let JobKind::Train(train_spec) = spec.kind else {
+            // Guarded by the caller; defensive.
+            return Err(PpError::Config("submit_train needs a train spec".into()));
+        };
+        let store = self.store.clone().ok_or_else(|| {
+            PpError::Config(
+                "train jobs need an artifact store: build the service with \
+                 ServiceOptions::store"
+                    .into(),
+            )
+        })?;
+        train_spec.validate()?;
+        if spec.config.is_some() {
+            return Err(PpError::Config(
+                "train jobs do not take request-shaping config overrides".into(),
+            ));
+        }
+        let class = spec.class;
+        let seed = spec.seed.unwrap_or(self.engine.seed());
+        self.admit_slot(class)?;
+        let state = Arc::new(JobState::new(
+            self.shared.next_job.fetch_add(1, Ordering::Relaxed),
+            class,
+        ));
+        // The same progress plumbing generation uses, fed at epoch
+        // granularity: JobHandle::progress reports epochs done / total.
+        let hook_state = Arc::clone(&state);
+        let progress: ProgressHook = Arc::new(move |p: Progress| {
+            hook_state.completed.store(p.completed, Ordering::Relaxed);
+            hook_state.total.store(p.total, Ordering::Relaxed);
+        });
+        let deadline_at = spec.deadline.and_then(|d| Instant::now().checked_add(d));
+        let hard = spec.hard_deadline;
+        let retry = spec.retry;
+        // One scheduler session for all attempts: fault-plan keying and
+        // panic accounting stay stable across retries, as for sampling.
+        let sched_handle = self.scheduler.handle();
+
+        let thread_state = Arc::clone(&state);
+        let shared = Arc::clone(&self.shared);
+        let engine = self.engine.clone();
+        let worker = std::thread::spawn(move || {
+            let mut guard = JobGuard {
+                state: thread_state,
+                shared: Arc::clone(&shared),
+                outcome: None,
+            };
+            let cancel = guard.state.cancel.clone();
+            let mut attempt = 1u32;
+            let outcome = loop {
+                let exit = run_train_attempt(
+                    &engine,
+                    &*store,
+                    &train_spec,
+                    seed,
+                    &sched_handle,
+                    &cancel,
+                    deadline_at,
+                    hard,
+                    class,
+                    &progress,
+                );
+                match exit {
+                    Ok(TrainExit::Completed(summary)) if cancel.is_cancelled() => {
+                        break JobOutcome::Cancelled(train_report(summary, attempt))
+                    }
+                    Ok(TrainExit::Completed(summary)) => {
+                        break JobOutcome::Completed(train_report(summary, attempt))
+                    }
+                    Ok(TrainExit::Cancelled(summary)) => {
+                        break JobOutcome::Cancelled(train_report(summary, attempt))
+                    }
+                    // The partial report carries the summary of the
+                    // last *checkpointed* epoch — exactly what a
+                    // follow-up job would resume from.
+                    Ok(TrainExit::TimedOut(summary)) => {
+                        break JobOutcome::TimedOut {
+                            partial: train_report(summary, attempt),
+                        }
+                    }
+                    Err(e)
+                        if e.is_transient()
+                            && attempt < retry.max_attempts
+                            && !cancel.is_cancelled() =>
+                    {
+                        attempt += 1;
+                        lock_counters(&shared).retries += 1;
+                        // Bounded exponential backoff in cancellable
+                        // slices, mirroring the generation retry loop.
+                        // An interruption mid-backoff still resolves
+                        // typed; the empty report (train: None) says no
+                        // new checkpoint came out of the failed attempt.
+                        let until = Instant::now() + retry.delay_before(attempt);
+                        let interrupted = loop {
+                            if cancel.is_cancelled() {
+                                break Some(JobOutcome::Cancelled(empty_train_report(attempt)));
+                            }
+                            if hard && deadline_at.is_some_and(|at| Instant::now() > at) {
+                                break Some(JobOutcome::TimedOut {
+                                    partial: empty_train_report(attempt),
+                                });
+                            }
+                            let left = until.saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                break None;
+                            }
+                            std::thread::sleep(left.min(Duration::from_millis(5)));
+                        };
+                        if let Some(outcome) = interrupted {
+                            break outcome;
+                        }
+                    }
+                    Err(e) => break JobOutcome::Failed(e),
+                }
+            };
+            guard.outcome = Some(outcome);
+        });
+        Ok(self.register(state, worker))
     }
 }
 
@@ -441,6 +610,14 @@ pub(crate) fn run_rounds(
                     iterations.extend(session.iterate(1)?);
                 }
             }
+            // Train jobs never reach the round runner: the service
+            // drives them through a dedicated epoch loop, and the
+            // fleet rejects them at submission.
+            JobKind::Train(_) => {
+                return Err(PpError::Config(
+                    "train jobs do not run generation rounds".into(),
+                ))
+            }
         }
         Ok(())
     })();
@@ -463,8 +640,148 @@ pub(crate) fn run_job(
         attempts: 1,
         iterations,
         library: session.into_library(),
+        train: None,
     };
     (result, report)
+}
+
+/// How one training attempt ended (errors travel separately so the
+/// retry loop can classify them).
+enum TrainExit {
+    Completed(TrainSummary),
+    Cancelled(TrainSummary),
+    TimedOut(TrainSummary),
+}
+
+/// The report of a training job: no generation counters, the summary
+/// carries everything.
+fn train_report(summary: TrainSummary, attempts: u32) -> JobReport {
+    JobReport {
+        generated: 0,
+        legal: 0,
+        attempts,
+        iterations: Vec::new(),
+        library: PatternLibrary::new(),
+        train: Some(summary),
+    }
+}
+
+/// A report for a train job interrupted before any attempt produced a
+/// summary (cancel or deadline during retry backoff).
+fn empty_train_report(attempts: u32) -> JobReport {
+    JobReport {
+        generated: 0,
+        legal: 0,
+        attempts,
+        iterations: Vec::new(),
+        library: PatternLibrary::new(),
+        train: None,
+    }
+}
+
+/// Whether any class strictly higher-priority than `class` has sampling
+/// submissions in flight — the parking signal for preemptible training.
+fn higher_class_busy(stats: &SchedulerStats, class: QosClass) -> bool {
+    QosClass::ALL
+        .iter()
+        .take(class.index())
+        .any(|&c| stats.queued.get(c) > 0)
+}
+
+/// How often a parked train job re-checks the scheduler's queues (and
+/// its own cancel/deadline state).
+const PREEMPT_POLL: Duration = Duration::from_millis(2);
+
+/// One training attempt: prepare (fresh or resumed from the last
+/// checkpoint), then per epoch — park while higher classes are busy,
+/// consume any injected fault keyed on the epoch ordinal, run the
+/// epoch under `catch_unwind` (a panic in the math is isolated to this
+/// job and surfaces as transient [`PpError::WorkerPanic`]), checkpoint,
+/// and report epoch-granular progress.
+#[allow(clippy::too_many_arguments)]
+fn run_train_attempt(
+    engine: &Engine,
+    store: &dyn ArtifactStore,
+    spec: &TrainSpec,
+    seed: u64,
+    sched: &SchedulerHandle,
+    cancel: &CancelToken,
+    deadline_at: Option<Instant>,
+    hard: bool,
+    class: QosClass,
+    progress: &ProgressHook,
+) -> Result<TrainExit, PpError> {
+    let mut run = TrainRun::prepare(engine, store, spec, seed)?;
+    let report_progress = |run: &TrainRun| {
+        progress(Progress {
+            completed: run.epochs_done() as usize,
+            total: run.epochs_total() as usize,
+        });
+    };
+    report_progress(&run);
+    while !run.is_done() {
+        if cancel.is_cancelled() {
+            return Ok(TrainExit::Cancelled(run.summary()));
+        }
+        if hard && deadline_at.is_some_and(|at| Instant::now() > at) {
+            return Ok(TrainExit::TimedOut(run.summary()));
+        }
+        // Preemption point: park while interactive/batch tenants have
+        // sampling in flight. One episode counts once, however long.
+        let mut parked = false;
+        while higher_class_busy(&sched.stats(), class) {
+            if cancel.is_cancelled() {
+                return Ok(TrainExit::Cancelled(run.summary()));
+            }
+            if hard && deadline_at.is_some_and(|at| Instant::now() > at) {
+                return Ok(TrainExit::TimedOut(run.summary()));
+            }
+            if !parked {
+                parked = true;
+                run.note_preemption();
+            }
+            std::thread::sleep(PREEMPT_POLL);
+        }
+        // Chaos hook, keyed on (session, epoch ordinal) — the train
+        // analogue of the sampling path's (session, slot ordinal).
+        match sched.take_fault(u64::from(run.epochs_done())) {
+            Some(Fault::PanicAt { .. }) => {
+                return Err(PpError::WorkerPanic {
+                    detail: format!(
+                        "injected fault: worker panic (train epoch {})",
+                        run.epochs_done()
+                    ),
+                })
+            }
+            Some(Fault::ErrAt { .. }) => {
+                return Err(PpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!(
+                        "injected transient i/o fault (train epoch {})",
+                        run.epochs_done()
+                    ),
+                )))
+            }
+            Some(Fault::StallFor { duration, .. }) => std::thread::sleep(duration),
+            None => {}
+        }
+        let epoch = run.epochs_done();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.run_epoch())) {
+            Ok(Ok(_report)) => {}
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                // The run may hold mid-epoch weights now; the retry
+                // re-prepares from the last checkpoint, discarding them.
+                return Err(PpError::WorkerPanic {
+                    detail: format!("train epoch {epoch} panicked"),
+                });
+            }
+        }
+        run.checkpoint(store)?;
+        report_progress(&run);
+    }
+    run.finish(store)?;
+    Ok(TrainExit::Completed(run.summary()))
 }
 
 /// The shared terminal-state cell behind a [`JobHandle`]: the service
@@ -651,6 +968,10 @@ pub struct JobReport {
     pub iterations: Vec<IterationStats>,
     /// The library the job grew.
     pub library: PatternLibrary,
+    /// Training summary, for [`JobKind::Train`] jobs (`None` on
+    /// generation kinds): epochs done, checkpoint/state keys, parent
+    /// lineage, resume/preemption counts.
+    pub train: Option<TrainSummary>,
 }
 
 /// The single terminal state of a submitted job.

@@ -8,19 +8,25 @@
 //!
 //! ```text
 //! "PPCK"                magic
-//! u32  version          format version (currently 1)
+//! u32  version          format version (currently 2)
 //! manifest              the full DiffusionConfig (architecture +
 //!                       schedule + sampling settings), so a checkpoint
 //!                       is self-describing — load_checkpoint rebuilds
 //!                       the model without out-of-band configuration
+//! lineage (v2)          u8 parent flag; if 1, the u64 trailing
+//!                       checksum of the parent checkpoint this one was
+//!                       fine-tuned from; then u32 epoch — how many
+//!                       training epochs produced these weights
 //! PPDM payload          DiffusionModel::save_weights byte-for-byte
 //! u64  checksum         FNV-1a over every preceding byte
 //! ```
 //!
 //! All integers are little-endian. [`load_checkpoint`] validates magic,
-//! version, manifest and checksum, and returns
+//! version, manifest, lineage and checksum, and returns
 //! [`ModelError::Corrupt`] / [`ModelError::Io`] naming the failing
 //! section; a rejected stream never yields a half-built model.
+//! Version-1 streams (written before lineage existed) still load, with
+//! [`CheckpointLineage::default`] (`parent: None, epoch: 0`).
 
 use crate::error::ModelError;
 use crate::model::{DiffusionConfig, DiffusionModel, Parameterization};
@@ -30,8 +36,46 @@ use std::io::{Read, Write};
 /// First four bytes of every checkpoint stream.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"PPCK";
 
-/// The checkpoint format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// The checkpoint format version this build writes. [`load_checkpoint`]
+/// also reads version 1 (pre-lineage), defaulting the lineage fields.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Where a checkpoint's weights came from: the training-provenance
+/// fields added by format version 2.
+///
+/// `parent` is the trailing FNV-1a checksum of the checkpoint the run
+/// was forked from (see [`checkpoint_checksum`]) — a content address,
+/// so a fine-tune can be matched to its exact parent weights without
+/// trusting file names. `epoch` counts completed training epochs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointLineage {
+    /// Trailing checksum of the parent checkpoint, `None` for a root
+    /// (from-scratch) model.
+    pub parent: Option<u64>,
+    /// Training epochs completed when these weights were written.
+    pub epoch: u32,
+}
+
+/// The trailing FNV-1a checksum of a serialized checkpoint blob — the
+/// content address [`CheckpointLineage::parent`] records. Validates
+/// only the envelope (magic + minimum length), not the payload; use
+/// [`load_checkpoint`] to verify integrity.
+///
+/// # Errors
+///
+/// [`ModelError::Corrupt`] when the blob is too short to carry the
+/// envelope or does not start with the PPCK magic.
+pub fn checkpoint_checksum(bytes: &[u8]) -> Result<u64, ModelError> {
+    if bytes.len() < CHECKPOINT_MAGIC.len() + 4 + 8 || bytes[..4] != CHECKPOINT_MAGIC {
+        return Err(ModelError::corrupt(
+            "checkpoint: envelope",
+            format!("{} bytes is not a PPCK stream", bytes.len()),
+        ));
+    }
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(&bytes[bytes.len() - 8..]);
+    Ok(u64::from_le_bytes(sum))
+}
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
@@ -122,12 +166,28 @@ pub fn write_config<W: Write>(cfg: &DiffusionConfig, w: &mut W) -> Result<(), Mo
         .map_err(ModelError::io("manifest: parameterization"))
 }
 
-/// Writes `model` as a self-describing, checksummed checkpoint.
+/// Writes `model` as a self-describing, checksummed checkpoint with
+/// default lineage (root model, epoch 0) — see
+/// [`save_checkpoint_with`].
 ///
 /// # Errors
 ///
 /// [`ModelError::Io`] naming the section whose write failed.
 pub fn save_checkpoint<W: Write>(model: &mut DiffusionModel, writer: W) -> Result<(), ModelError> {
+    save_checkpoint_with(model, writer, CheckpointLineage::default())
+}
+
+/// Writes `model` as a self-describing, checksummed checkpoint carrying
+/// `lineage` (format version 2).
+///
+/// # Errors
+///
+/// [`ModelError::Io`] naming the section whose write failed.
+pub fn save_checkpoint_with<W: Write>(
+    model: &mut DiffusionModel,
+    writer: W,
+    lineage: CheckpointLineage,
+) -> Result<(), ModelError> {
     let cfg = model.config();
     let mut w = HashingWriter {
         inner: writer,
@@ -137,6 +197,18 @@ pub fn save_checkpoint<W: Write>(model: &mut DiffusionModel, writer: W) -> Resul
         .map_err(ModelError::io("checkpoint: magic"))?;
     write_u32(&mut w, CHECKPOINT_VERSION, "checkpoint: version")?;
     write_config(&cfg, &mut w)?;
+    match lineage.parent {
+        None => w
+            .write_all(&[0])
+            .map_err(ModelError::io("lineage: parent flag"))?,
+        Some(parent) => {
+            w.write_all(&[1])
+                .map_err(ModelError::io("lineage: parent flag"))?;
+            w.write_all(&parent.to_le_bytes())
+                .map_err(ModelError::io("lineage: parent checksum"))?;
+        }
+    }
+    write_u32(&mut w, lineage.epoch, "lineage: epoch")?;
     model.save_weights(&mut w)?;
     let checksum = w.hash;
     w.inner
@@ -222,15 +294,30 @@ pub fn read_config<R: Read>(r: &mut R) -> Result<DiffusionConfig, ModelError> {
 }
 
 /// Reads a checkpoint written by [`save_checkpoint`], rebuilding the
-/// model from the embedded manifest.
+/// model from the embedded manifest and discarding the lineage (see
+/// [`load_checkpoint_with`] to keep it).
+///
+/// # Errors
+///
+/// See [`load_checkpoint_with`].
+pub fn load_checkpoint<R: Read>(reader: R) -> Result<DiffusionModel, ModelError> {
+    load_checkpoint_with(reader).map(|(model, _)| model)
+}
+
+/// Reads a checkpoint written by [`save_checkpoint_with`], rebuilding
+/// the model from the embedded manifest and returning its lineage.
+/// Version-1 streams load with `parent: None, epoch: 0`.
 ///
 /// # Errors
 ///
 /// [`ModelError::Corrupt`] on bad magic, an unsupported version, an
-/// invalid manifest or a checksum mismatch; [`ModelError::Io`] when the
-/// reader fails or the stream is truncated. Either way no model is
-/// returned — corruption cannot produce garbage weights.
-pub fn load_checkpoint<R: Read>(reader: R) -> Result<DiffusionModel, ModelError> {
+/// invalid manifest, a corrupt lineage flag or a checksum mismatch;
+/// [`ModelError::Io`] when the reader fails or the stream is truncated.
+/// Either way no model is returned — corruption cannot produce garbage
+/// weights.
+pub fn load_checkpoint_with<R: Read>(
+    reader: R,
+) -> Result<(DiffusionModel, CheckpointLineage), ModelError> {
     let mut r = HashingReader {
         inner: reader,
         hash: FNV_OFFSET,
@@ -245,13 +332,38 @@ pub fn load_checkpoint<R: Read>(reader: R) -> Result<DiffusionModel, ModelError>
         ));
     }
     let version = read_u32(&mut r, "checkpoint: version")?;
-    if version != CHECKPOINT_VERSION {
+    if !(1..=CHECKPOINT_VERSION).contains(&version) {
         return Err(ModelError::corrupt(
             "checkpoint: version",
-            format!("unsupported version {version} (this build reads {CHECKPOINT_VERSION})"),
+            format!("unsupported version {version} (this build reads 1..={CHECKPOINT_VERSION})"),
         ));
     }
     let cfg = read_config(&mut r)?;
+    let lineage = if version >= 2 {
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)
+            .map_err(ModelError::io("lineage: parent flag"))?;
+        let parent = match flag[0] {
+            0 => None,
+            1 => {
+                let mut buf = [0u8; 8];
+                r.read_exact(&mut buf)
+                    .map_err(ModelError::io("lineage: parent checksum"))?;
+                Some(u64::from_le_bytes(buf))
+            }
+            other => {
+                return Err(ModelError::corrupt(
+                    "lineage: parent flag",
+                    format!("unknown parent flag {other}"),
+                ))
+            }
+        };
+        let epoch = read_u32(&mut r, "lineage: epoch")?;
+        CheckpointLineage { parent, epoch }
+    } else {
+        // Pre-lineage streams: a root model with no epoch history.
+        CheckpointLineage::default()
+    };
     let mut model = DiffusionModel::new(cfg, 0);
     model.load_weights(&mut r)?;
     let computed = r.hash;
@@ -266,7 +378,7 @@ pub fn load_checkpoint<R: Read>(reader: R) -> Result<DiffusionModel, ModelError>
             format!("stored {stored:016x}, computed {computed:016x}"),
         ));
     }
-    Ok(model)
+    Ok((model, lineage))
 }
 
 #[cfg(test)]
@@ -326,6 +438,130 @@ mod tests {
         // Truncation inside the payload reports the dry section.
         let err = load_checkpoint(&bytes[..bytes.len() - 12]).unwrap_err();
         assert!(matches!(err, ModelError::Io { .. }), "wrong error: {err}");
+    }
+
+    /// Serialises `model` in the retired version-1 layout (no lineage
+    /// section) with a correct trailing checksum, byte-compatible with
+    /// what pre-v2 builds wrote.
+    fn v1_bytes(model: &mut DiffusionModel) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&CHECKPOINT_MAGIC);
+        body.extend_from_slice(&1u32.to_le_bytes());
+        write_config(&model.config(), &mut body).unwrap();
+        model.save_weights(&mut body).unwrap();
+        let mut hash = FNV_OFFSET;
+        fnv_update(&mut hash, &body);
+        body.extend_from_slice(&hash.to_le_bytes());
+        body
+    }
+
+    #[test]
+    fn version_one_streams_load_with_default_lineage() {
+        let mut model = trained_tiny();
+        let old = v1_bytes(&mut model);
+        let (back, lineage) = load_checkpoint_with(old.as_slice()).expect("v1 stream loads");
+        assert_eq!(lineage, CheckpointLineage::default());
+        assert_eq!(lineage.parent, None, "v1 blobs predate lineage");
+        assert_eq!(lineage.epoch, 0);
+        assert_eq!(back.config(), model.config());
+        let img = GrayImage::filled(16, 16, -1.0);
+        let mask = GrayImage::filled(16, 16, 1.0);
+        assert_eq!(
+            back.sample_inpaint(&img, &mask, 5).unwrap(),
+            model.sample_inpaint(&img, &mask, 5).unwrap(),
+            "v1 weights load bit-identically"
+        );
+    }
+
+    #[test]
+    fn lineage_roundtrips_and_checksum_addresses_the_blob() {
+        let mut model = trained_tiny();
+        let mut parent_blob = Vec::new();
+        save_checkpoint(&mut model, &mut parent_blob).unwrap();
+        let parent_sum = checkpoint_checksum(&parent_blob).unwrap();
+
+        let lineage = CheckpointLineage {
+            parent: Some(parent_sum),
+            epoch: 7,
+        };
+        let mut child = Vec::new();
+        save_checkpoint_with(&mut model, &mut child, lineage).unwrap();
+        let (_, back) = load_checkpoint_with(child.as_slice()).unwrap();
+        assert_eq!(back, lineage);
+
+        // The content address is the stream's own trailing checksum.
+        let mut tail = [0u8; 8];
+        tail.copy_from_slice(&parent_blob[parent_blob.len() - 8..]);
+        assert_eq!(parent_sum, u64::from_le_bytes(tail));
+
+        // Too-short or non-PPCK byte strings are typed errors, not
+        // panics.
+        assert!(matches!(
+            checkpoint_checksum(b"PPCK"),
+            Err(ModelError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            checkpoint_checksum(&child[1..]),
+            Err(ModelError::Corrupt { .. })
+        ));
+    }
+
+    /// The lineage section sits right after the 22-byte manifest
+    /// (offset 30): a corrupt parent flag is a typed `Corrupt` naming
+    /// the field, caught before the checksum could even run.
+    #[test]
+    fn corrupt_lineage_flag_is_rejected() {
+        let mut model = trained_tiny();
+        let mut bytes = Vec::new();
+        save_checkpoint_with(
+            &mut model,
+            &mut bytes,
+            CheckpointLineage {
+                parent: Some(1),
+                epoch: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(bytes[30], 1, "parent flag where the layout says");
+        let mut bad = bytes.clone();
+        bad[30] = 7;
+        let err = load_checkpoint_with(bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ModelError::Corrupt { .. }),
+            "wrong error: {err}"
+        );
+        assert!(err.to_string().contains("parent flag"), "was: {err}");
+    }
+
+    /// Truncation at *every* prefix depth of the envelope + lineage
+    /// region (and a sweep of payload/checksum depths) returns a typed
+    /// error, never a panic and never a model.
+    #[test]
+    fn truncation_at_every_depth_is_a_typed_error() {
+        let mut model = trained_tiny();
+        let mut bytes = Vec::new();
+        save_checkpoint_with(
+            &mut model,
+            &mut bytes,
+            CheckpointLineage {
+                parent: Some(0xfeed),
+                epoch: 2,
+            },
+        )
+        .unwrap();
+        // Envelope + manifest + lineage (flag 1 + parent 8 + epoch 4)
+        // ends at byte 43; cover every cut inside it, then sample the
+        // weight payload and the trailing checksum.
+        let header_end = 43.min(bytes.len());
+        let mut cuts: Vec<usize> = (0..header_end).collect();
+        cuts.extend([bytes.len() - 9, bytes.len() - 8, bytes.len() - 1]);
+        for cut in cuts {
+            let err = load_checkpoint_with(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ModelError::Io { .. } | ModelError::Corrupt { .. }),
+                "cut at {cut}: wrong error {err}"
+            );
+        }
     }
 
     #[test]

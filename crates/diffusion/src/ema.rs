@@ -1,0 +1,216 @@
+//! Exponential-moving-average shadow weights.
+//!
+//! Training keeps two weight sets: the *live* weights the optimiser
+//! updates, and a shadow copy updated after every step as
+//! `shadow = decay · shadow + (1 − decay) · live`. The shadow tracks a
+//! smoothed trajectory through weight space; sampling from it is the
+//! standard variance-reduction trick diffusion training relies on
+//! (every serious diffusion codebase exports EMA weights, not the last
+//! optimiser step).
+//!
+//! [`EmaShadow`] holds only the smoothed value buffers, matched to the
+//! model's parameters by [`pp_nn::Layer::visit_params`] visitation
+//! order — the same convention the optimiser and the PPDM weight codec
+//! use, so the three never disagree about which tensor is which. The
+//! buffers round-trip through [`EmaShadow::tensors`] /
+//! [`EmaShadow::from_tensors`] for checkpointing, exactly (raw f32
+//! bits), so a resumed run's shadow continues bit-identically.
+
+use crate::error::ModelError;
+use crate::model::DiffusionModel;
+use pp_nn::{Layer, Param};
+
+/// An EMA shadow of a [`DiffusionModel`]'s weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmaShadow {
+    decay: f32,
+    shadow: Vec<Vec<f32>>,
+}
+
+impl EmaShadow {
+    /// Initialises the shadow as a copy of the model's current weights
+    /// (the conventional EMA start: the first update already blends).
+    pub fn new(model: &mut DiffusionModel, decay: f32) -> EmaShadow {
+        let mut shadow = Vec::new();
+        model
+            .unet
+            .visit_params(&mut |p: &mut Param| shadow.push(p.value.clone()));
+        EmaShadow { decay, shadow }
+    }
+
+    /// The decay factor `d` in `shadow = d · shadow + (1 − d) · live`.
+    pub fn decay(&self) -> f32 {
+        self.decay
+    }
+
+    /// Folds the model's current weights into the shadow (call once per
+    /// optimiser step).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Shape`] when the model's parameter shapes no
+    /// longer match the shadow (a different architecture was passed).
+    pub fn update(&mut self, model: &mut DiffusionModel) -> Result<(), ModelError> {
+        let d = self.decay;
+        let shadow = &mut self.shadow;
+        let mut idx = 0usize;
+        let mut mismatch = None;
+        model.unet.visit_params(&mut |p: &mut Param| {
+            match shadow.get_mut(idx) {
+                Some(s) if s.len() == p.value.len() => {
+                    for (s, &v) in s.iter_mut().zip(&p.value) {
+                        *s = d * *s + (1.0 - d) * v;
+                    }
+                }
+                other => {
+                    mismatch.get_or_insert((other.map_or(0, |s| s.len()), p.value.len()));
+                }
+            }
+            idx += 1;
+        });
+        check_shapes(mismatch, idx, self.shadow.len())
+    }
+
+    /// Copies the shadow weights into the model (the EMA export path).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Shape`] when the shapes do not match; the model is
+    /// only partially written in that case, so treat it as consumed.
+    pub fn apply_to(&self, model: &mut DiffusionModel) -> Result<(), ModelError> {
+        let shadow = &self.shadow;
+        let mut idx = 0usize;
+        let mut mismatch = None;
+        model.unet.visit_params(&mut |p: &mut Param| {
+            match shadow.get(idx) {
+                Some(s) if s.len() == p.value.len() => p.value.copy_from_slice(s),
+                other => {
+                    mismatch.get_or_insert((other.map_or(0, |s| s.len()), p.value.len()));
+                }
+            }
+            idx += 1;
+        });
+        check_shapes(mismatch, idx, self.shadow.len())
+    }
+
+    /// The shadow buffers, in parameter visitation order (for
+    /// checkpoint serialisation).
+    pub fn tensors(&self) -> &[Vec<f32>] {
+        &self.shadow
+    }
+
+    /// Rebuilds a shadow from checkpointed buffers, validating the
+    /// shapes against `model`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Shape`] when the buffer count or any buffer length
+    /// disagrees with the model's parameters.
+    pub fn from_tensors(
+        model: &mut DiffusionModel,
+        decay: f32,
+        tensors: Vec<Vec<f32>>,
+    ) -> Result<EmaShadow, ModelError> {
+        let mut idx = 0usize;
+        let mut mismatch = None;
+        model.unet.visit_params(&mut |p: &mut Param| {
+            match tensors.get(idx) {
+                Some(s) if s.len() == p.value.len() => {}
+                other => {
+                    mismatch.get_or_insert((other.map_or(0, |s| s.len()), p.value.len()));
+                }
+            }
+            idx += 1;
+        });
+        check_shapes(mismatch, idx, tensors.len())?;
+        Ok(EmaShadow {
+            decay,
+            shadow: tensors,
+        })
+    }
+}
+
+fn check_shapes(
+    mismatch: Option<(usize, usize)>,
+    visited: usize,
+    held: usize,
+) -> Result<(), ModelError> {
+    if let Some((got, want)) = mismatch {
+        return Err(ModelError::Shape {
+            what: "EMA shadow tensor vs model parameter",
+            expected: want.min(u32::MAX as usize) as u32,
+            actual: got.min(u32::MAX as usize) as u32,
+        });
+    }
+    if visited != held {
+        return Err(ModelError::Shape {
+            what: "EMA shadow tensor count vs model parameters",
+            expected: visited.min(u32::MAX as usize) as u32,
+            actual: held.min(u32::MAX as usize) as u32,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DiffusionConfig, DiffusionModel};
+    use pp_geometry::GrayImage;
+
+    fn tiny() -> DiffusionModel {
+        DiffusionModel::new(DiffusionConfig::tiny(16), 5)
+    }
+
+    #[test]
+    fn shadow_tracks_training_and_diverges_from_live() {
+        let mut model = tiny();
+        let mut ema = EmaShadow::new(&mut model, 0.9);
+        let corpus = vec![GrayImage::filled(16, 16, -1.0); 2];
+        model.train(&corpus, 4, 2, 2e-3, 1).unwrap();
+        ema.update(&mut model).unwrap();
+        // After one blended update the shadow sits between the initial
+        // weights and the live ones — it must differ from live.
+        let mut ema_model = model.clone();
+        ema.apply_to(&mut ema_model).unwrap();
+        let img = GrayImage::filled(16, 16, -1.0);
+        let mask = GrayImage::filled(16, 16, 1.0);
+        assert_ne!(
+            model.sample_inpaint(&img, &mask, 3).unwrap(),
+            ema_model.sample_inpaint(&img, &mask, 3).unwrap(),
+            "EMA weights must diverge from live weights"
+        );
+    }
+
+    #[test]
+    fn tensors_roundtrip_bit_identically() {
+        let mut model = tiny();
+        let mut ema = EmaShadow::new(&mut model, 0.95);
+        let corpus = vec![GrayImage::filled(16, 16, 1.0); 2];
+        model.train(&corpus, 2, 2, 2e-3, 2).unwrap();
+        ema.update(&mut model).unwrap();
+        let back =
+            EmaShadow::from_tensors(&mut model, ema.decay(), ema.tensors().to_vec()).unwrap();
+        assert_eq!(ema, back);
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let mut model = tiny();
+        let ema = EmaShadow::new(&mut model, 0.9);
+        // A wider U-Net: same image size, different parameter shapes.
+        let mut wide = DiffusionConfig::tiny(16);
+        wide.base_ch *= 2;
+        let mut other = DiffusionModel::new(wide, 5);
+        assert!(matches!(
+            ema.apply_to(&mut other),
+            Err(ModelError::Shape { .. })
+        ));
+        let mut truncated = ema.tensors().to_vec();
+        truncated.pop();
+        assert!(matches!(
+            EmaShadow::from_tensors(&mut model, 0.9, truncated),
+            Err(ModelError::Shape { .. })
+        ));
+    }
+}

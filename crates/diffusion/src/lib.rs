@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod checkpoint;
+pub mod ema;
 pub mod error;
 pub mod model;
 pub mod schedule;
@@ -48,9 +49,10 @@ pub mod stream;
 pub mod unet;
 
 pub use checkpoint::{
-    load_checkpoint, read_config, save_checkpoint, write_config, CHECKPOINT_MAGIC,
-    CHECKPOINT_VERSION,
+    checkpoint_checksum, load_checkpoint, load_checkpoint_with, read_config, save_checkpoint,
+    save_checkpoint_with, write_config, CheckpointLineage, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
+pub use ema::EmaShadow;
 pub use error::ModelError;
 pub use model::{DiffusionConfig, DiffusionModel, InpaintWorker, Parameterization, TrainReport};
 pub use schedule::{BetaSchedule, NoiseSchedule};

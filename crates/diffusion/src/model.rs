@@ -1,5 +1,6 @@
 //! Training, finetuning and sampling.
 
+use crate::ema::EmaShadow;
 use crate::error::ModelError;
 use crate::schedule::{BetaSchedule, NoiseSchedule};
 use crate::stream::{CancelToken, InpaintStream, MicroBatch};
@@ -287,16 +288,7 @@ impl DiffusionModel {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut opt = Adam::new(lr);
-        let mut losses = Vec::with_capacity(steps);
-        for _ in 0..steps {
-            let refs: Vec<&GrayImage> = (0..batch)
-                .map(|_| &corpus[rng.gen_range(0..corpus.len())])
-                .collect();
-            let weights = vec![1.0f32; batch];
-            let loss = self.train_step(&refs, &weights, &mut opt, &mut rng);
-            losses.push(loss);
-        }
-        Ok(report_from(&losses))
+        self.run_steps(corpus, &[], 1.0, batch, 0, steps, &mut opt, &mut rng, None)
     }
 
     /// DreamBooth-style few-shot finetuning with prior preservation
@@ -328,16 +320,76 @@ impl DiffusionModel {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut opt = Adam::new(lr);
+        let (n_start, n_prior) = mix_split(batch, prior.is_empty());
+        self.run_steps(
+            starters, prior, lambda, n_start, n_prior, steps, &mut opt, &mut rng, None,
+        )
+    }
+
+    /// One epoch of `steps` optimiser steps over a prior-preserving
+    /// batch mix, driving caller-owned optimiser, RNG and (optionally)
+    /// EMA shadow state — the resumable unit `pp-core`'s trainer
+    /// checkpoints between. With `prior` empty the mix degenerates to
+    /// uniform sampling at weight 1 (pretraining); otherwise each step
+    /// mixes starters (weight 1) with prior samples (weight `lambda`),
+    /// exactly as [`DiffusionModel::finetune`] does — all three entry
+    /// points share one loop.
+    ///
+    /// Determinism contract: given identical weights, optimiser state,
+    /// EMA state and RNG, an epoch is a pure function — the trainer's
+    /// bit-identical-resume guarantee rests on it.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Empty`] when `starters` is empty,
+    /// [`ModelError::Shape`] when an image does not match the
+    /// configured size or the EMA shadow predates a different
+    /// architecture.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_epoch(
+        &mut self,
+        starters: &[GrayImage],
+        prior: &[GrayImage],
+        lambda: f32,
+        steps: usize,
+        batch: usize,
+        opt: &mut Adam,
+        rng: &mut StdRng,
+        ema: Option<&mut EmaShadow>,
+    ) -> Result<TrainReport, ModelError> {
+        if starters.is_empty() {
+            return Err(ModelError::Empty("training set"));
+        }
+        for img in starters.iter().chain(prior) {
+            self.check_image("training image", img)?;
+        }
+        let (n_start, n_prior) = mix_split(batch, prior.is_empty());
+        self.run_steps(
+            starters, prior, lambda, n_start, n_prior, steps, opt, rng, ema,
+        )
+    }
+
+    /// The one training loop behind [`DiffusionModel::train`],
+    /// [`DiffusionModel::finetune`] and [`DiffusionModel::train_epoch`]:
+    /// sample a weighted mix, take an optimiser step, fold the EMA.
+    /// Inputs are pre-validated by the public entry points.
+    #[allow(clippy::too_many_arguments)]
+    fn run_steps(
+        &mut self,
+        starters: &[GrayImage],
+        prior: &[GrayImage],
+        lambda: f32,
+        n_start: usize,
+        n_prior: usize,
+        steps: usize,
+        opt: &mut Adam,
+        rng: &mut StdRng,
+        mut ema: Option<&mut EmaShadow>,
+    ) -> Result<TrainReport, ModelError> {
         let mut losses = Vec::with_capacity(steps);
-        let n_prior = if prior.is_empty() {
-            0
-        } else {
-            (batch / 2).max(1)
-        };
-        let n_start = batch.saturating_sub(n_prior).max(1);
         for _ in 0..steps {
-            let mut refs: Vec<&GrayImage> = Vec::with_capacity(batch);
-            let mut weights = Vec::with_capacity(batch);
+            let mut refs: Vec<&GrayImage> = Vec::with_capacity(n_start + n_prior);
+            let mut weights = Vec::with_capacity(n_start + n_prior);
             for _ in 0..n_start {
                 refs.push(&starters[rng.gen_range(0..starters.len())]);
                 weights.push(1.0);
@@ -346,8 +398,11 @@ impl DiffusionModel {
                 refs.push(&prior[rng.gen_range(0..prior.len())]);
                 weights.push(lambda);
             }
-            let loss = self.train_step(&refs, &weights, &mut opt, &mut rng);
+            let loss = self.train_step(&refs, &weights, opt, rng);
             losses.push(loss);
+            if let Some(shadow) = ema.as_deref_mut() {
+                shadow.update(self)?;
+            }
         }
         Ok(report_from(&losses))
     }
@@ -761,6 +816,15 @@ impl InpaintWorker {
         }
         Ok(self.model.sample_chunk(&mut self.unet, jobs, seeds))
     }
+}
+
+/// Splits a batch between starter and prior draws: with a prior set,
+/// half the batch (at least one) preserves the prior class (paper
+/// Eq. 7); without one, everything comes from the starters.
+fn mix_split(batch: usize, prior_empty: bool) -> (usize, usize) {
+    let n_prior = if prior_empty { 0 } else { (batch / 2).max(1) };
+    let n_start = batch.saturating_sub(n_prior).max(1);
+    (n_start, n_prior)
 }
 
 /// A random training mask: mostly local rectangles (~the 25 % regions

@@ -51,7 +51,7 @@ pub use act::{Silu, Tanh};
 pub use conv::Conv2d;
 pub use linear::Linear;
 pub use norm::GroupNorm;
-pub use optim::Adam;
+pub use optim::{Adam, AdamState, Sgd};
 pub use param::Param;
 pub use pool::{AvgPool2, Upsample2};
 pub use seq::Sequential;
